@@ -1,0 +1,223 @@
+//! Constrained buffers (§4.1).
+//!
+//! A cobuf is a byte array tagged with the principal owning the
+//! information inside it. Code running on the web framework can
+//! store, retrieve, concatenate, and slice cobufs — everything a
+//! data-independent social-network application needs — but has no
+//! operation that reveals the contents. Collation is gated: data may
+//! be copied into a cobuf owned by `dst` only if `dst` speaks for the
+//! source's owner (the friendship edge in the social graph). Only the
+//! web framework, holding the render token minted at store creation,
+//! can extract bytes for delivery to an authenticated session.
+//!
+//! The interface is deliberately not Turing-complete over contents:
+//! there is no data-dependent branch on cobuf bytes (§4.1 notes vote
+//! tallying is inexpressible by design).
+
+use nexus_nal::Principal;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a cobuf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CobufId(pub u64);
+
+/// The framework's render capability. Constructed exactly once, by
+/// [`CobufStore::new`]; tenant code never holds one.
+pub struct RenderToken {
+    _private: (),
+}
+
+/// Errors from cobuf operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CobufError {
+    /// Unknown handle.
+    NoSuchCobuf(u64),
+    /// Collation denied: destination owner does not speak for the
+    /// source owner.
+    FlowDenied {
+        /// Destination owner.
+        dst: String,
+        /// Source owner.
+        src: String,
+    },
+    /// Slice out of range.
+    BadRange,
+}
+
+impl fmt::Display for CobufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CobufError::NoSuchCobuf(id) => write!(f, "no such cobuf: {id}"),
+            CobufError::FlowDenied { dst, src } => {
+                write!(f, "flow denied: {dst} does not speak for {src}")
+            }
+            CobufError::BadRange => write!(f, "slice out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CobufError {}
+
+struct Cobuf {
+    owner: Principal,
+    bytes: Vec<u8>,
+}
+
+/// The framework's table of constrained buffers.
+pub struct CobufStore {
+    bufs: HashMap<u64, Cobuf>,
+    next: u64,
+}
+
+impl CobufStore {
+    /// Create the store and the single render token.
+    pub fn new() -> (CobufStore, RenderToken) {
+        (
+            CobufStore {
+                bufs: HashMap::new(),
+                next: 1,
+            },
+            RenderToken { _private: () },
+        )
+    }
+
+    /// Ingest user data. The owner identifier is attached in the web
+    /// server layer after authentication — tenant code cannot forge
+    /// cobufs on behalf of a user because it never calls this with an
+    /// owner of its choosing.
+    pub fn ingest(&mut self, owner: Principal, bytes: Vec<u8>) -> CobufId {
+        let id = self.next;
+        self.next += 1;
+        self.bufs.insert(id, Cobuf { owner, bytes });
+        CobufId(id)
+    }
+
+    fn get(&self, id: CobufId) -> Result<&Cobuf, CobufError> {
+        self.bufs.get(&id.0).ok_or(CobufError::NoSuchCobuf(id.0))
+    }
+
+    /// Owner of a cobuf (owners are public metadata; contents are
+    /// not).
+    pub fn owner(&self, id: CobufId) -> Result<&Principal, CobufError> {
+        Ok(&self.get(id)?.owner)
+    }
+
+    /// Length in bytes (needed for layout; reveals no content).
+    pub fn len(&self, id: CobufId) -> Result<usize, CobufError> {
+        Ok(self.get(id)?.bytes.len())
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self, id: CobufId) -> Result<bool, CobufError> {
+        Ok(self.get(id)?.bytes.is_empty())
+    }
+
+    /// Concatenate `parts` into a new cobuf owned by `dst_owner`.
+    /// Every part's owner must satisfy `dst_owner speaksfor part`
+    /// under `speaks_for` (or be `dst_owner` itself).
+    pub fn concat(
+        &mut self,
+        dst_owner: Principal,
+        parts: &[CobufId],
+        speaks_for: &dyn Fn(&Principal, &Principal) -> bool,
+    ) -> Result<CobufId, CobufError> {
+        let mut bytes = Vec::new();
+        for part in parts {
+            let src = self.get(*part)?;
+            if src.owner != dst_owner && !speaks_for(&dst_owner, &src.owner) {
+                return Err(CobufError::FlowDenied {
+                    dst: dst_owner.to_string(),
+                    src: src.owner.to_string(),
+                });
+            }
+            bytes.extend_from_slice(&src.bytes);
+        }
+        Ok(self.ingest(dst_owner, bytes))
+    }
+
+    /// Slice a cobuf; the result keeps the source owner.
+    pub fn slice(&mut self, id: CobufId, start: usize, end: usize) -> Result<CobufId, CobufError> {
+        let src = self.get(id)?;
+        if start > end || end > src.bytes.len() {
+            return Err(CobufError::BadRange);
+        }
+        let owner = src.owner.clone();
+        let bytes = src.bytes[start..end].to_vec();
+        Ok(self.ingest(owner, bytes))
+    }
+
+    /// Extract bytes for rendering to an authenticated session —
+    /// requires the framework's token, so tenant code cannot call it.
+    pub fn render(&self, id: CobufId, _token: &RenderToken) -> Result<&[u8], CobufError> {
+        Ok(&self.get(id)?.bytes)
+    }
+
+    /// Number of cobufs held.
+    pub fn count(&self) -> usize {
+        self.bufs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: &str) -> Principal {
+        Principal::name(n)
+    }
+
+    #[test]
+    fn ingest_len_owner_no_content_access() {
+        let (mut store, token) = CobufStore::new();
+        let id = store.ingest(p("alice"), b"status: hello".to_vec());
+        assert_eq!(store.len(id).unwrap(), 13);
+        assert_eq!(store.owner(id).unwrap(), &p("alice"));
+        // Only the token holder can see the bytes.
+        assert_eq!(store.render(id, &token).unwrap(), b"status: hello");
+    }
+
+    #[test]
+    fn concat_same_owner_allowed() {
+        let (mut store, token) = CobufStore::new();
+        let a = store.ingest(p("alice"), b"hello ".to_vec());
+        let b = store.ingest(p("alice"), b"world".to_vec());
+        let c = store.concat(p("alice"), &[a, b], &|_, _| false).unwrap();
+        assert_eq!(store.render(c, &token).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn concat_across_owners_requires_speaksfor() {
+        let (mut store, _token) = CobufStore::new();
+        let bob_post = store.ingest(p("bob"), b"bob's post".to_vec());
+        // alice's wall wants bob's post: allowed only if alice
+        // speaksfor bob (they are friends).
+        let friends = |dst: &Principal, src: &Principal| {
+            dst == &p("alice") && src == &p("bob")
+        };
+        assert!(store.concat(p("alice"), &[bob_post], &friends).is_ok());
+        let strangers = |_: &Principal, _: &Principal| false;
+        let err = store.concat(p("carol"), &[bob_post], &strangers);
+        assert!(matches!(err, Err(CobufError::FlowDenied { .. })));
+    }
+
+    #[test]
+    fn slice_keeps_owner() {
+        let (mut store, _t) = CobufStore::new();
+        let id = store.ingest(p("alice"), b"0123456789".to_vec());
+        let s = store.slice(id, 2, 5).unwrap();
+        assert_eq!(store.owner(s).unwrap(), &p("alice"));
+        assert_eq!(store.len(s).unwrap(), 3);
+        assert!(matches!(store.slice(id, 8, 4), Err(CobufError::BadRange)));
+        assert!(matches!(store.slice(id, 0, 99), Err(CobufError::BadRange)));
+    }
+
+    #[test]
+    fn missing_handles() {
+        let (mut store, _t) = CobufStore::new();
+        assert!(matches!(
+            store.slice(CobufId(99), 0, 0),
+            Err(CobufError::NoSuchCobuf(99))
+        ));
+    }
+}

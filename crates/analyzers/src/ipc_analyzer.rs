@@ -1,0 +1,168 @@
+//! The IPC connectivity analyzer (§2.2).
+//!
+//! "A transitive IPC connection graph that has no links to these
+//! drivers demonstrates that there is no existing channel to the disk
+//! or network." The analyzer enumerates the graph through the
+//! kernel's introspection interface and emits labels of the form
+//! `analyzer says ¬hasPath(X, Filesystem)`.
+
+use nexus_kernel::Nexus;
+use nexus_nal::{Formula, Principal, Term};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The labeling function.
+pub struct IpcAnalyzer {
+    /// The principal the analyzer's statements are attributed to
+    /// (its process, e.g. `/proc/ipd/30`).
+    pub principal: Principal,
+}
+
+/// The result of one analysis pass: the transitive closure of the
+/// IPC graph at the time of analysis.
+#[derive(Debug, Clone)]
+pub struct ConnectivityReport {
+    reach: HashMap<u64, HashSet<u64>>,
+}
+
+impl ConnectivityReport {
+    /// Build from directed edges.
+    pub fn from_edges(edges: &[(u64, u64)]) -> Self {
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut nodes: HashSet<u64> = HashSet::new();
+        for &(a, b) in edges {
+            adj.entry(a).or_default().push(b);
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let mut reach = HashMap::new();
+        for &n in &nodes {
+            let mut seen = HashSet::new();
+            let mut q = VecDeque::from([n]);
+            while let Some(cur) = q.pop_front() {
+                if let Some(nexts) = adj.get(&cur) {
+                    for &nx in nexts {
+                        if seen.insert(nx) {
+                            q.push_back(nx);
+                        }
+                    }
+                }
+            }
+            reach.insert(n, seen);
+        }
+        ConnectivityReport { reach }
+    }
+
+    /// Is there a (transitive, directed) IPC path from `a` to `b`?
+    pub fn has_path(&self, a: u64, b: u64) -> bool {
+        self.reach.get(&a).map(|s| s.contains(&b)).unwrap_or(false)
+    }
+}
+
+impl IpcAnalyzer {
+    /// Analyzer attributed to the given process principal.
+    pub fn new(principal: Principal) -> Self {
+        IpcAnalyzer { principal }
+    }
+
+    /// Run the analysis over a kernel's live IPC graph.
+    pub fn analyze(&self, nexus: &Nexus) -> ConnectivityReport {
+        ConnectivityReport::from_edges(&nexus.ipc_graph())
+    }
+
+    /// Emit the (no-)path labels for `subject` against the named
+    /// `targets` (pid, display-name) pairs. Positive paths yield
+    /// `hasPath`, absent paths yield `¬hasPath` — only the negative
+    /// form certifies confinement.
+    pub fn labels_for(
+        &self,
+        report: &ConnectivityReport,
+        subject: u64,
+        targets: &[(u64, &str)],
+    ) -> Vec<Formula> {
+        let subject_term = Term::sym(format!("/proc/ipd/{subject}"));
+        targets
+            .iter()
+            .map(|(pid, name)| {
+                let atom = Formula::pred(
+                    "hasPath",
+                    vec![subject_term.clone(), Term::sym(name.to_string())],
+                );
+                let stmt = if report.has_path(subject, *pid) {
+                    atom
+                } else {
+                    atom.not()
+                };
+                stmt.says(self.principal.clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_kernel::{BootImages, NexusConfig};
+    use nexus_storage::RamDisk;
+    use nexus_tpm::Tpm;
+
+    #[test]
+    fn transitive_closure() {
+        let r = ConnectivityReport::from_edges(&[(1, 2), (2, 3), (4, 1)]);
+        assert!(r.has_path(1, 3));
+        assert!(r.has_path(4, 3));
+        assert!(!r.has_path(3, 1));
+        assert!(!r.has_path(1, 4));
+        assert!(!r.has_path(9, 1), "unknown nodes have no paths");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let r = ConnectivityReport::from_edges(&[(1, 2), (2, 1)]);
+        assert!(r.has_path(1, 1));
+        assert!(r.has_path(2, 2));
+    }
+
+    #[test]
+    fn live_kernel_analysis_and_labels() {
+        let mut nexus = nexus_kernel::Nexus::boot(
+            Tpm::new_with_seed(31),
+            RamDisk::new(),
+            &BootImages::standard(),
+            NexusConfig::default(),
+        )
+        .unwrap();
+        let player = nexus.spawn("movie-player", b"player");
+        let fs_srv = nexus.spawn("fileserver", b"fs");
+        let net = nexus.spawn("netdriver", b"net");
+        let helper = nexus.spawn("helper", b"h");
+        // The player talks only to a helper; the helper talks to no
+        // one sensitive.
+        let helper_port = nexus.create_port(helper).unwrap();
+        nexus.ipc_send(player, helper_port, b"frame".to_vec()).unwrap();
+
+        let analyzer_pid = nexus.spawn("ipc-analyzer", b"analyzer");
+        let analyzer = IpcAnalyzer::new(nexus.principal(analyzer_pid).unwrap());
+        let report = analyzer.analyze(&nexus);
+        assert!(!report.has_path(player, fs_srv));
+        assert!(!report.has_path(player, net));
+
+        let labels = analyzer.labels_for(
+            &report,
+            player,
+            &[(fs_srv, "Filesystem"), (net, "Netdriver")],
+        );
+        let rendered: Vec<String> = labels.iter().map(|l| l.to_string()).collect();
+        assert!(rendered[0].contains("not hasPath("));
+        assert!(rendered[0].starts_with(&format!("/proc/ipd/{analyzer_pid} says")));
+
+        // Now the player opens a channel towards the filesystem: the
+        // next analysis flips the label.
+        let fs_port = nexus.create_port(fs_srv).unwrap();
+        nexus.ipc_send(player, fs_port, b"leak".to_vec()).unwrap();
+        let report2 = analyzer.analyze(&nexus);
+        assert!(report2.has_path(player, fs_srv));
+        let labels2 =
+            analyzer.labels_for(&report2, player, &[(fs_srv, "Filesystem")]);
+        assert!(!labels2[0].to_string().contains("not "));
+    }
+}

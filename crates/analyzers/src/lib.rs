@@ -1,0 +1,29 @@
+//! # Labeling functions: analysis and synthesis
+//!
+//! Logical attestation's non-axiomatic bases for trust (§1) are
+//! implemented by *labeling functions* — programs that inspect or
+//! transform other programs and emit labels describing them:
+//!
+//! * [`ipc_analyzer`] — the **analytic** basis: walks the kernel's
+//!   transitive IPC connection graph through introspection and emits
+//!   `¬hasPath(X, Filesystem)`-style labels (§2.2, the movie-player
+//!   application);
+//! * [`pylite`] — both bases at once, as in Fauxbook's sandbox
+//!   (§4.1): a small interpreted language with a static import-
+//!   whitelist analysis and a **synthetic** reflection-rewriting pass
+//!   that together confine tenant code;
+//! * [`cobuf`] — constrained buffers: owner-tagged byte strings that
+//!   tenant code can store, retrieve, concatenate, and slice but never
+//!   inspect; collation is gated on the social graph's `speaksfor`
+//!   relation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cobuf;
+pub mod ipc_analyzer;
+pub mod pylite;
+
+pub use cobuf::{CobufId, CobufStore};
+pub use ipc_analyzer::{ConnectivityReport, IpcAnalyzer};
+pub use pylite::{analyze_imports, find_reflection, rewrite_reflection, Interpreter, PyValue};

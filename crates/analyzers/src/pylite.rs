@@ -1,0 +1,529 @@
+//! PyLite: the sandboxed tenant language of the Fauxbook web
+//! framework (§4.1).
+//!
+//! The paper's framework runs tenant code under two labeling
+//! functions: one performs *static analysis* ensuring the code is
+//! legal and imports only whitelisted libraries; the second performs
+//! *synthesis*, rewriting every reflection-related call so it cannot
+//! reach the import machinery. PyLite reproduces exactly those
+//! properties in a small interpreted language:
+//!
+//! * straight-line statements: `import m`, `x = expr`, bare calls;
+//! * expressions: strings, integers, variables, and function calls
+//!   into a host-supplied builtin table (where the cobuf operations
+//!   live);
+//! * **no data-dependent control flow** — there is no `if`/`while`,
+//!   so tenant programs are data-independent by construction, which
+//!   is the property that makes cobuf confinement sound.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reflection-flavored callables that could reach the import
+/// machinery (the attack §4.1 defends against).
+pub const REFLECTION_FNS: &[&str] = &[
+    "getattr",
+    "setattr",
+    "eval",
+    "exec",
+    "__import__",
+    "globals",
+    "locals",
+    "vars",
+    "type",
+];
+
+/// A PyLite value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyValue {
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+    /// An opaque handle (e.g. a cobuf id) — contents invisible.
+    Handle(u64),
+    /// Absent value.
+    None,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Literal string.
+    Str(String),
+    /// Literal integer.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `import name`.
+    Import(String),
+    /// `name = expr`.
+    Assign(String, Expr),
+    /// Bare expression (for side-effecting calls).
+    Expr(Expr),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Parse / runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyError {
+    /// Syntax error with line number (1-based).
+    Syntax {
+        /// Line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Import of a non-whitelisted module (static analysis verdict).
+    ForbiddenImport(String),
+    /// A rewritten reflection call fired at runtime.
+    ReflectionDenied(String),
+    /// Unknown function.
+    NoSuchFunction(String),
+    /// Unknown variable.
+    NoSuchVariable(String),
+    /// Builtin raised.
+    Host(String),
+}
+
+impl fmt::Display for PyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            PyError::ForbiddenImport(m) => write!(f, "forbidden import: {m}"),
+            PyError::ReflectionDenied(n) => write!(f, "reflection call denied: {n}"),
+            PyError::NoSuchFunction(n) => write!(f, "no such function: {n}"),
+            PyError::NoSuchVariable(n) => write!(f, "no such variable: {n}"),
+            PyError::Host(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for PyError {}
+
+// ---- parsing ----
+
+fn parse_expr(src: &str, line: usize) -> Result<Expr, PyError> {
+    let src = src.trim();
+    let err = |m: &str| PyError::Syntax {
+        line,
+        message: m.to_string(),
+    };
+    if src.is_empty() {
+        return Err(err("empty expression"));
+    }
+    if (src.starts_with('"') && src.ends_with('"') && src.len() >= 2)
+        || (src.starts_with('\'') && src.ends_with('\'') && src.len() >= 2)
+    {
+        return Ok(Expr::Str(src[1..src.len() - 1].to_string()));
+    }
+    if let Ok(i) = src.parse::<i64>() {
+        return Ok(Expr::Int(i));
+    }
+    if let Some(open) = src.find('(') {
+        if !src.ends_with(')') {
+            return Err(err("expected ')'"));
+        }
+        let name = src[..open].trim().to_string();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err("bad function name"));
+        }
+        let inner = &src[open + 1..src.len() - 1];
+        let mut args = Vec::new();
+        // Split on top-level commas (no nested parens in args split —
+        // handle nesting with a depth counter; quotes respected).
+        let mut depth = 0usize;
+        let mut in_str: Option<char> = None;
+        let mut start = 0usize;
+        for (i, c) in inner.char_indices() {
+            match (in_str, c) {
+                (Some(q), c) if c == q => in_str = None,
+                (Some(_), _) => {}
+                (None, '"') => in_str = Some('"'),
+                (None, '\'') => in_str = Some('\''),
+                (None, '(') => depth += 1,
+                (None, ')') => depth = depth.saturating_sub(1),
+                (None, ',') if depth == 0 => {
+                    args.push(parse_expr(&inner[start..i], line)?);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if !inner[start..].trim().is_empty() {
+            args.push(parse_expr(&inner[start..], line)?);
+        } else if !args.is_empty() {
+            return Err(err("trailing comma"));
+        }
+        return Ok(Expr::Call(name, args));
+    }
+    if src.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Ok(Expr::Var(src.to_string()));
+    }
+    Err(err(&format!("cannot parse expression: {src}")))
+}
+
+/// Parse a PyLite source string.
+pub fn parse(source: &str) -> Result<Program, PyError> {
+    let mut stmts = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(module) = line.strip_prefix("import ") {
+            let module = module.trim();
+            if module.is_empty() || !module.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(PyError::Syntax {
+                    line: line_no,
+                    message: "bad module name".into(),
+                });
+            }
+            stmts.push(Stmt::Import(module.to_string()));
+            continue;
+        }
+        // Assignment? Find a top-level '=' not inside quotes/parens
+        // and not '=='.
+        let mut eq_pos = None;
+        {
+            let bytes = line.as_bytes();
+            let mut depth = 0;
+            let mut in_str: Option<u8> = None;
+            let mut i = 0;
+            while i < bytes.len() {
+                let c = bytes[i];
+                match (in_str, c) {
+                    (Some(q), c) if c == q => in_str = None,
+                    (Some(_), _) => {}
+                    (None, b'"') => in_str = Some(b'"'),
+                    (None, b'\'') => in_str = Some(b'\''),
+                    (None, b'(') => depth += 1,
+                    (None, b')') => depth -= 1,
+                    (None, b'=') if depth == 0 => {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                            i += 1;
+                        } else {
+                            eq_pos = Some(i);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        if let Some(eq) = eq_pos {
+            let name = line[..eq].trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(PyError::Syntax {
+                    line: line_no,
+                    message: format!("bad assignment target: {name}"),
+                });
+            }
+            let value = parse_expr(&line[eq + 1..], line_no)?;
+            stmts.push(Stmt::Assign(name.to_string(), value));
+        } else {
+            stmts.push(Stmt::Expr(parse_expr(line, line_no)?));
+        }
+    }
+    Ok(Program { stmts })
+}
+
+// ---- static analysis (the first labeling function) ----
+
+/// All modules the program imports.
+pub fn analyze_imports(prog: &Program) -> Vec<String> {
+    prog.stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Import(m) => Some(m.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Verify every import is whitelisted; returns the offending module
+/// on failure.
+pub fn check_import_whitelist(prog: &Program, whitelist: &[&str]) -> Result<(), PyError> {
+    for m in analyze_imports(prog) {
+        if !whitelist.contains(&m.as_str()) {
+            return Err(PyError::ForbiddenImport(m));
+        }
+    }
+    Ok(())
+}
+
+fn walk_calls<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+    if let Expr::Call(name, args) = e {
+        out.push(name);
+        for a in args {
+            walk_calls(a, out);
+        }
+    }
+}
+
+/// Names of reflection-flavored calls appearing anywhere in the
+/// program.
+pub fn find_reflection(prog: &Program) -> Vec<String> {
+    let mut calls = Vec::new();
+    for s in &prog.stmts {
+        match s {
+            Stmt::Assign(_, e) | Stmt::Expr(e) => walk_calls(e, &mut calls),
+            Stmt::Import(_) => {}
+        }
+    }
+    calls
+        .into_iter()
+        .filter(|c| REFLECTION_FNS.contains(c))
+        .map(str::to_string)
+        .collect()
+}
+
+// ---- synthesis (the second labeling function) ----
+
+fn rewrite_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Call(name, args) => {
+            let args: Vec<Expr> = args.iter().map(rewrite_expr).collect();
+            if REFLECTION_FNS.contains(&name.as_str()) {
+                // Neutralize: the call becomes a runtime denial that
+                // cannot reach the import machinery.
+                Expr::Call("__denied__".to_string(), vec![Expr::Str(name.clone())])
+            } else {
+                Expr::Call(name.clone(), args)
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// The synthetic pass: rewrite every reflection-related call so it
+/// cannot invoke the import function (§4.1).
+pub fn rewrite_reflection(prog: &Program) -> Program {
+    Program {
+        stmts: prog
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Import(m) => Stmt::Import(m.clone()),
+                Stmt::Assign(n, e) => Stmt::Assign(n.clone(), rewrite_expr(e)),
+                Stmt::Expr(e) => Stmt::Expr(rewrite_expr(e)),
+            })
+            .collect(),
+    }
+}
+
+// ---- interpretation ----
+
+/// A host builtin.
+pub type Builtin<'h> = Box<dyn FnMut(Vec<PyValue>) -> Result<PyValue, PyError> + 'h>;
+
+/// The PyLite interpreter: an environment plus a table of host
+/// builtins (the framework registers the cobuf operations here).
+#[derive(Default)]
+pub struct Interpreter<'h> {
+    env: HashMap<String, PyValue>,
+    builtins: HashMap<String, Builtin<'h>>,
+}
+
+impl<'h> Interpreter<'h> {
+    /// Empty interpreter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a host builtin.
+    pub fn register(&mut self, name: &str, f: Builtin<'h>) {
+        self.builtins.insert(name.to_string(), f);
+    }
+
+    /// Pre-bind a variable (e.g. the session's request cobuf).
+    pub fn bind(&mut self, name: &str, v: PyValue) {
+        self.env.insert(name.to_string(), v);
+    }
+
+    /// Read a variable after execution.
+    pub fn get(&self, name: &str) -> Option<&PyValue> {
+        self.env.get(name)
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<PyValue, PyError> {
+        match e {
+            Expr::Str(s) => Ok(PyValue::Str(s.clone())),
+            Expr::Int(i) => Ok(PyValue::Int(*i)),
+            Expr::Var(n) => self
+                .env
+                .get(n)
+                .cloned()
+                .ok_or_else(|| PyError::NoSuchVariable(n.clone())),
+            Expr::Call(name, args) => {
+                if name == "__denied__" {
+                    let what = match args.first() {
+                        Some(Expr::Str(s)) => s.clone(),
+                        _ => "?".into(),
+                    };
+                    return Err(PyError::ReflectionDenied(what));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                match self.builtins.get_mut(name) {
+                    Some(f) => f(vals),
+                    None => Err(PyError::NoSuchFunction(name.clone())),
+                }
+            }
+        }
+    }
+
+    /// Execute a program; returns the value of the last statement.
+    pub fn run(&mut self, prog: &Program) -> Result<PyValue, PyError> {
+        let mut last = PyValue::None;
+        for s in &prog.stmts {
+            match s {
+                Stmt::Import(_) => {
+                    // Imports are resolved by the (whitelisted) host;
+                    // at runtime they are no-ops.
+                    last = PyValue::None;
+                }
+                Stmt::Assign(n, e) => {
+                    let v = self.eval(e)?;
+                    self.env.insert(n.clone(), v.clone());
+                    last = v;
+                }
+                Stmt::Expr(e) => last = self.eval(e)?,
+            }
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_program() {
+        let prog = parse(
+            "import fauxbook\n\
+             # a comment\n\
+             x = \"hello\"\n\
+             y = concat(x, ' world')\n\
+             post(y)\n",
+        )
+        .unwrap();
+        assert_eq!(prog.stmts.len(), 4);
+        assert_eq!(analyze_imports(&prog), vec!["fauxbook"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("x = ").is_err());
+        assert!(parse("f(a,").is_err());
+        assert!(parse("1bad! = 2").is_err());
+        assert!(parse("import bad-name").is_err());
+    }
+
+    #[test]
+    fn import_whitelist_enforced() {
+        let prog = parse("import os").unwrap();
+        assert_eq!(
+            check_import_whitelist(&prog, &["fauxbook", "strings"]),
+            Err(PyError::ForbiddenImport("os".into()))
+        );
+        let ok = parse("import fauxbook").unwrap();
+        assert!(check_import_whitelist(&ok, &["fauxbook"]).is_ok());
+    }
+
+    #[test]
+    fn reflection_detected_even_nested() {
+        let prog = parse("x = concat(getattr(obj, 'secret'), 'x')").unwrap();
+        assert_eq!(find_reflection(&prog), vec!["getattr"]);
+        let clean = parse("x = concat('a', 'b')").unwrap();
+        assert!(find_reflection(&clean).is_empty());
+    }
+
+    #[test]
+    fn rewriting_neutralizes_reflection() {
+        let prog = parse("x = __import__('os')").unwrap();
+        let safe = rewrite_reflection(&prog);
+        assert!(find_reflection(&safe).is_empty(), "rewritten code is clean");
+        let mut interp = Interpreter::new();
+        let err = interp.run(&safe).unwrap_err();
+        assert_eq!(err, PyError::ReflectionDenied("__import__".into()));
+    }
+
+    #[test]
+    fn interpreter_runs_with_host_builtins() {
+        let mut interp = Interpreter::new();
+        interp.register(
+            "concat",
+            Box::new(|args| {
+                let mut out = String::new();
+                for a in args {
+                    match a {
+                        PyValue::Str(s) => out.push_str(&s),
+                        PyValue::Int(i) => out.push_str(&i.to_string()),
+                        _ => return Err(PyError::Host("concat: bad arg".into())),
+                    }
+                }
+                Ok(PyValue::Str(out))
+            }),
+        );
+        let prog = parse("x = concat('a', 'b', 1)\ny = concat(x, '!')").unwrap();
+        interp.run(&prog).unwrap();
+        assert_eq!(interp.get("y"), Some(&PyValue::Str("ab1!".into())));
+    }
+
+    #[test]
+    fn unknown_function_and_variable() {
+        let mut interp = Interpreter::new();
+        assert_eq!(
+            interp.run(&parse("nope()").unwrap()),
+            Err(PyError::NoSuchFunction("nope".into()))
+        );
+        assert_eq!(
+            interp.run(&parse("x = missing").unwrap()),
+            Err(PyError::NoSuchVariable("missing".into()))
+        );
+    }
+
+    #[test]
+    fn no_control_flow_in_the_language() {
+        // `if` is not a statement form: it parses as an expression and
+        // fails — tenant code cannot branch on data.
+        assert!(parse("if x: y = 1").is_err());
+    }
+
+    #[test]
+    fn handles_are_opaque() {
+        let mut interp = Interpreter::new();
+        interp.bind("buf", PyValue::Handle(42));
+        interp.register(
+            "length_of",
+            Box::new(|args| match args.as_slice() {
+                [PyValue::Handle(_)] => Ok(PyValue::Int(10)),
+                _ => Err(PyError::Host("bad arg".into())),
+            }),
+        );
+        let prog = parse("n = length_of(buf)").unwrap();
+        interp.run(&prog).unwrap();
+        assert_eq!(interp.get("n"), Some(&PyValue::Int(10)));
+        // There is no builtin that turns a Handle into bytes unless
+        // the host registers one; tenant interpreters don't get it.
+    }
+}

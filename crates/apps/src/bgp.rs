@@ -1,0 +1,269 @@
+//! The BGP protocol verifier (§4): synthetic trust for legacy
+//! network infrastructure.
+//!
+//! Instead of attesting every BGP speaker's binary (axiomatic, and
+//! hopeless for legacy routers), a verifier straddles the legacy
+//! speaker as a proxy and checks every outgoing advertisement against
+//! minimal safety rules: a speaker may only advertise routes that
+//! extend routes it actually received (no fabrication — "a host
+//! cannot advertise an n-hop route … for which the shortest
+//! advertisement it received is m, for n < m"), and may only
+//! originate prefixes it owns.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An AS number.
+pub type AsNum = u32;
+
+/// A prefix (string form, e.g. `10.0.0.0/8`).
+pub type Prefix = String;
+
+/// BGP messages (the subset the safety rules govern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// Advertise a route.
+    Advertise {
+        /// The destination prefix.
+        prefix: Prefix,
+        /// AS path, nearest first; the last element is the origin.
+        as_path: Vec<AsNum>,
+    },
+    /// Withdraw a route.
+    Withdraw {
+        /// The destination prefix.
+        prefix: Prefix,
+    },
+}
+
+/// A safety violation detected by the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Advertised a route shorter than anything actually received
+    /// (route fabrication).
+    FabricatedRoute {
+        /// The prefix.
+        prefix: Prefix,
+        /// Claimed path length.
+        claimed: usize,
+        /// Shortest received path length.
+        shortest_received: usize,
+    },
+    /// Originated a prefix the AS does not own (false origination).
+    FalseOrigination {
+        /// The prefix.
+        prefix: Prefix,
+    },
+    /// Advertised a prefix never received nor owned.
+    UnknownPrefix {
+        /// The prefix.
+        prefix: Prefix,
+    },
+    /// The AS path does not include the speaker itself.
+    MissingSelf,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::FabricatedRoute {
+                prefix,
+                claimed,
+                shortest_received,
+            } => write!(
+                f,
+                "fabricated route to {prefix}: claims {claimed} hops, shortest received is {shortest_received}"
+            ),
+            Violation::FalseOrigination { prefix } => {
+                write!(f, "false origination of {prefix}")
+            }
+            Violation::UnknownPrefix { prefix } => {
+                write!(f, "advertisement for unknown prefix {prefix}")
+            }
+            Violation::MissingSelf => write!(f, "AS path omits the speaker"),
+        }
+    }
+}
+
+/// The verifier proxy for one legacy speaker.
+pub struct BgpVerifier {
+    /// The AS this speaker belongs to.
+    pub local_as: AsNum,
+    /// Prefixes this AS legitimately originates.
+    pub owned_prefixes: Vec<Prefix>,
+    /// Shortest received path length per prefix.
+    received: HashMap<Prefix, usize>,
+    /// Violations observed (for the audit log).
+    pub violations: Vec<Violation>,
+}
+
+impl BgpVerifier {
+    /// New verifier.
+    pub fn new(local_as: AsNum, owned_prefixes: Vec<Prefix>) -> Self {
+        BgpVerifier {
+            local_as,
+            owned_prefixes,
+            received: HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Observe an *incoming* message (from a peer to the legacy
+    /// speaker). The verifier records the shortest path seen.
+    pub fn observe_incoming(&mut self, msg: &BgpMessage) {
+        match msg {
+            BgpMessage::Advertise { prefix, as_path } => {
+                let len = as_path.len();
+                self.received
+                    .entry(prefix.clone())
+                    .and_modify(|m| *m = (*m).min(len))
+                    .or_insert(len);
+            }
+            BgpMessage::Withdraw { prefix } => {
+                self.received.remove(prefix);
+            }
+        }
+    }
+
+    /// Check an *outgoing* message; `Ok` means it conforms and may be
+    /// forwarded, `Err` blocks it (and logs the violation).
+    pub fn check_outgoing(&mut self, msg: &BgpMessage) -> Result<(), Violation> {
+        let v = self.validate(msg);
+        if let Err(violation) = &v {
+            self.violations.push(violation.clone());
+        }
+        v
+    }
+
+    fn validate(&self, msg: &BgpMessage) -> Result<(), Violation> {
+        let BgpMessage::Advertise { prefix, as_path } = msg else {
+            return Ok(()); // withdrawals are always safe
+        };
+        if !as_path.contains(&self.local_as) {
+            return Err(Violation::MissingSelf);
+        }
+        let originated = as_path.last() == Some(&self.local_as) && as_path.len() == 1;
+        if originated {
+            if self.owned_prefixes.contains(prefix) {
+                return Ok(());
+            }
+            return Err(Violation::FalseOrigination {
+                prefix: prefix.clone(),
+            });
+        }
+        match self.received.get(prefix) {
+            None => {
+                if self.owned_prefixes.contains(prefix) {
+                    Ok(())
+                } else {
+                    Err(Violation::UnknownPrefix {
+                        prefix: prefix.clone(),
+                    })
+                }
+            }
+            Some(&shortest) => {
+                // Forwarding must extend a received route: the
+                // advertised path includes our hop, so it must be at
+                // least shortest + 1 long.
+                if as_path.len() < shortest + 1 {
+                    Err(Violation::FabricatedRoute {
+                        prefix: prefix.clone(),
+                        claimed: as_path.len(),
+                        shortest_received: shortest,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adv(prefix: &str, path: &[AsNum]) -> BgpMessage {
+        BgpMessage::Advertise {
+            prefix: prefix.to_string(),
+            as_path: path.to_vec(),
+        }
+    }
+
+    #[test]
+    fn legitimate_forwarding_passes() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        v.observe_incoming(&adv("10.0.0.0/8", &[65002, 65003]));
+        // Forwarding with our AS prepended: 3 hops ≥ 2 + 1.
+        assert!(v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65002, 65003])).is_ok());
+    }
+
+    #[test]
+    fn route_fabrication_blocked() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        v.observe_incoming(&adv("10.0.0.0/8", &[65002, 65003, 65004]));
+        // Claiming a 2-hop route when the shortest received is 3.
+        let err = v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65004]));
+        assert!(matches!(err, Err(Violation::FabricatedRoute { claimed: 2, shortest_received: 3, .. })));
+        assert_eq!(v.violations.len(), 1);
+    }
+
+    #[test]
+    fn owned_prefix_origination_allowed() {
+        let mut v = BgpVerifier::new(65001, vec!["192.168.0.0/16".to_string()]);
+        assert!(v.check_outgoing(&adv("192.168.0.0/16", &[65001])).is_ok());
+    }
+
+    #[test]
+    fn false_origination_blocked() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        assert!(matches!(
+            v.check_outgoing(&adv("8.8.8.0/24", &[65001])),
+            Err(Violation::FalseOrigination { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_prefix_blocked() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        assert!(matches!(
+            v.check_outgoing(&adv("172.16.0.0/12", &[65001, 65002])),
+            Err(Violation::UnknownPrefix { .. })
+        ));
+    }
+
+    #[test]
+    fn path_must_include_self() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        v.observe_incoming(&adv("10.0.0.0/8", &[65002]));
+        assert_eq!(
+            v.check_outgoing(&adv("10.0.0.0/8", &[65002, 65003])),
+            Err(Violation::MissingSelf)
+        );
+    }
+
+    #[test]
+    fn withdrawals_always_pass_and_clear_state() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        v.observe_incoming(&adv("10.0.0.0/8", &[65002]));
+        assert!(v
+            .check_outgoing(&BgpMessage::Withdraw {
+                prefix: "10.0.0.0/8".into()
+            })
+            .is_ok());
+        v.observe_incoming(&BgpMessage::Withdraw {
+            prefix: "10.0.0.0/8".into(),
+        });
+        // After withdrawal, forwarding it again is an unknown prefix.
+        assert!(v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65002])).is_err());
+    }
+
+    #[test]
+    fn shortest_received_tracks_minimum() {
+        let mut v = BgpVerifier::new(65001, vec![]);
+        v.observe_incoming(&adv("10.0.0.0/8", &[65002, 65003, 65004]));
+        v.observe_incoming(&adv("10.0.0.0/8", &[65005]));
+        // Now 2 hops ≥ 1 + 1 is fine.
+        assert!(v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65005])).is_ok());
+    }
+}

@@ -1,0 +1,302 @@
+//! CertiPics (§4): image editing with a certified transformation log.
+//!
+//! Alongside the output image, the suite generates an unforgeable log
+//! of every transformation applied. Publication-standards checkers
+//! later examine the (source, log, result) triple: the log replays to
+//! the result, and disallowed operations (e.g. cloning) are evident.
+
+use nexus_tpm::{hash, Digest};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A grayscale raster image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Solid-color image.
+    pub fn solid(width: usize, height: usize, value: u8) -> Image {
+        Image {
+            width,
+            height,
+            pixels: vec![value; width * height],
+        }
+    }
+
+    /// Content digest.
+    pub fn digest(&self) -> Digest {
+        let mut bytes = Vec::with_capacity(self.pixels.len() + 16);
+        bytes.extend_from_slice(&(self.width as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.height as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.pixels);
+        hash(&bytes)
+    }
+
+    fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+}
+
+/// Transformations supported by the portable-bitmap-style suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Crop to a rectangle.
+    Crop {
+        /// Left.
+        x: usize,
+        /// Top.
+        y: usize,
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// Nearest-neighbour resize.
+    Resize {
+        /// New width.
+        w: usize,
+        /// New height.
+        h: usize,
+    },
+    /// Brightness shift.
+    Brighten {
+        /// Added to every pixel (saturating).
+        delta: i16,
+    },
+    /// Clone a region onto another location — the classic forgery.
+    Clone {
+        /// Source rectangle (x, y, w, h).
+        src: (usize, usize, usize, usize),
+        /// Destination top-left.
+        dst: (usize, usize),
+    },
+}
+
+impl Transform {
+    /// Apply to an image.
+    pub fn apply(&self, img: &Image) -> Image {
+        match self {
+            Transform::Crop { x, y, w, h } => {
+                let mut out = Image::solid(*w, *h, 0);
+                for dy in 0..*h {
+                    for dx in 0..*w {
+                        out.pixels[dy * w + dx] = img.get(x + dx, y + dy);
+                    }
+                }
+                out
+            }
+            Transform::Resize { w, h } => {
+                let mut out = Image::solid(*w, *h, 0);
+                for dy in 0..*h {
+                    for dx in 0..*w {
+                        let sx = dx * img.width / w;
+                        let sy = dy * img.height / h;
+                        out.pixels[dy * w + dx] = img.get(sx, sy);
+                    }
+                }
+                out
+            }
+            Transform::Brighten { delta } => {
+                let mut out = img.clone();
+                for p in &mut out.pixels {
+                    *p = (*p as i16 + delta).clamp(0, 255) as u8;
+                }
+                out
+            }
+            Transform::Clone { src, dst } => {
+                let (sx, sy, w, h) = *src;
+                let (dx0, dy0) = *dst;
+                let mut out = img.clone();
+                for dy in 0..h {
+                    for dx in 0..w {
+                        let v = img.get(sx + dx, sy + dy);
+                        let tx = dx0 + dx;
+                        let ty = dy0 + dy;
+                        if tx < out.width && ty < out.height {
+                            out.pixels[ty * out.width + tx] = v;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Is this operation allowed under publication standards?
+    pub fn publication_safe(&self) -> bool {
+        !matches!(self, Transform::Clone { .. })
+    }
+}
+
+/// One log entry: the transform and the digest of its output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The transform applied.
+    pub transform: Transform,
+    /// Digest of the image after applying it.
+    pub output_digest: Digest,
+}
+
+/// The editing session: applies transforms while growing the log.
+pub struct CertiPics {
+    source_digest: Digest,
+    current: Image,
+    log: Vec<LogEntry>,
+}
+
+/// Verdict from a standards check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Log replays to the final image and all ops are allowed.
+    Compliant,
+    /// A disallowed operation appears in the log.
+    DisallowedOp(String),
+    /// The log does not replay to the claimed result (forged log).
+    LogMismatch,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Compliant => write!(f, "compliant"),
+            Verdict::DisallowedOp(op) => write!(f, "disallowed operation: {op}"),
+            Verdict::LogMismatch => write!(f, "log does not match result"),
+        }
+    }
+}
+
+impl CertiPics {
+    /// Start a session from a source image.
+    pub fn open(source: Image) -> CertiPics {
+        CertiPics {
+            source_digest: source.digest(),
+            current: source,
+            log: Vec::new(),
+        }
+    }
+
+    /// Apply a transform, logging it.
+    pub fn apply(&mut self, t: Transform) {
+        self.current = t.apply(&self.current);
+        self.log.push(LogEntry {
+            transform: t,
+            output_digest: self.current.digest(),
+        });
+    }
+
+    /// The edited image.
+    pub fn result(&self) -> &Image {
+        &self.current
+    }
+
+    /// The certified log.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Digest of the source.
+    pub fn source_digest(&self) -> Digest {
+        self.source_digest
+    }
+
+    /// The analyzer: replay the log over the source and check both
+    /// integrity (each digest matches) and policy (no disallowed op).
+    pub fn verify(source: &Image, log: &[LogEntry], result: &Image) -> Verdict {
+        let mut img = source.clone();
+        for entry in log {
+            if !entry.transform.publication_safe() {
+                return Verdict::DisallowedOp(format!("{:?}", entry.transform));
+            }
+            img = entry.transform.apply(&img);
+            if img.digest() != entry.output_digest {
+                return Verdict::LogMismatch;
+            }
+        }
+        if img.digest() == result.digest() {
+            Verdict::Compliant
+        } else {
+            Verdict::LogMismatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> Image {
+        let mut img = Image::solid(w, h, 0);
+        for y in 0..h {
+            for x in 0..w {
+                img.pixels[y * w + x] = ((x + y) % 256) as u8;
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn honest_edit_is_compliant() {
+        let src = gradient(64, 64);
+        let mut session = CertiPics::open(src.clone());
+        session.apply(Transform::Crop { x: 8, y: 8, w: 32, h: 32 });
+        session.apply(Transform::Resize { w: 16, h: 16 });
+        session.apply(Transform::Brighten { delta: 20 });
+        assert_eq!(
+            CertiPics::verify(&src, session.log(), session.result()),
+            Verdict::Compliant
+        );
+    }
+
+    #[test]
+    fn cloning_is_flagged() {
+        let src = gradient(32, 32);
+        let mut session = CertiPics::open(src.clone());
+        session.apply(Transform::Clone {
+            src: (0, 0, 8, 8),
+            dst: (16, 16),
+        });
+        assert!(matches!(
+            CertiPics::verify(&src, session.log(), session.result()),
+            Verdict::DisallowedOp(_)
+        ));
+    }
+
+    #[test]
+    fn forged_log_detected() {
+        let src = gradient(32, 32);
+        let mut session = CertiPics::open(src.clone());
+        session.apply(Transform::Brighten { delta: 10 });
+        // Attacker edits the result after the fact.
+        let mut doctored = session.result().clone();
+        doctored.pixels[0] = 0;
+        assert_eq!(
+            CertiPics::verify(&src, session.log(), &doctored),
+            Verdict::LogMismatch
+        );
+        // Or rewrites a log entry.
+        let mut log = session.log().to_vec();
+        log[0].transform = Transform::Brighten { delta: 5 };
+        assert_eq!(
+            CertiPics::verify(&src, &log, session.result()),
+            Verdict::LogMismatch
+        );
+    }
+
+    #[test]
+    fn transforms_behave() {
+        let src = gradient(10, 10);
+        let cropped = Transform::Crop { x: 0, y: 0, w: 5, h: 5 }.apply(&src);
+        assert_eq!((cropped.width, cropped.height), (5, 5));
+        let resized = Transform::Resize { w: 20, h: 20 }.apply(&src);
+        assert_eq!(resized.pixels.len(), 400);
+        let bright = Transform::Brighten { delta: 300 }.apply(&src);
+        assert!(bright.pixels.iter().all(|&p| p == 255));
+    }
+}

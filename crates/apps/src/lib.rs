@@ -1,0 +1,35 @@
+//! # Applications on logical attestation (§4)
+//!
+//! Each application demonstrates a different way labels, goals,
+//! guards, and authorities combine:
+//!
+//! * [`fauxbook`] — the flagship: a privacy-preserving three-tier
+//!   social network where even the developers' own code cannot read
+//!   user data (cobufs + sandbox + interposition + authorities);
+//! * [`movie_player`] — time-sensitive content released to *any*
+//!   player that an IPC-connectivity analysis shows cannot leak to
+//!   disk or network (no whitelists, no platform lock-down);
+//! * [`object_store`] — transitive integrity: typed objects from an
+//!   attested type-safe producer skip deserialization re-validation;
+//! * [`notabot`] — keyboard-driver keypress attestations feeding a
+//!   spam classifier;
+//! * [`certipics`] — image editing with a certified, unforgeable
+//!   transformation log;
+//! * [`trudocs`] — excerpts certified to speak for their source
+//!   document under a use policy;
+//! * [`bgp`] — a protocol verifier straddling a legacy BGP speaker,
+//!   enforcing route-safety rules (synthetic trust in a network
+//!   setting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod certipics;
+pub mod fauxbook;
+pub mod movie_player;
+pub mod notabot;
+pub mod object_store;
+pub mod trudocs;
+
+pub use fauxbook::Fauxbook;

@@ -1,0 +1,142 @@
+//! Not-A-Bot (§4): human-presence attestation against spam.
+//!
+//! The keyboard driver counts physical keypresses and issues a
+//! TPM-rooted certificate attesting to the count. Mail carrying a
+//! fresh human-presence attestation scores drastically lower with the
+//! spam classifier than mail sent by a script that produced no
+//! keystrokes.
+
+use nexus_core::Certificate;
+use nexus_kernel::Nexus;
+
+/// The instrumented keyboard driver.
+pub struct KeyboardDriver {
+    /// Its process id.
+    pub pid: u64,
+    presses: u64,
+}
+
+impl KeyboardDriver {
+    /// Install the driver as an IPD.
+    pub fn install(nexus: &mut Nexus) -> KeyboardDriver {
+        let pid = nexus.spawn("kbd-driver", b"kbd-driver-image");
+        KeyboardDriver { pid, presses: 0 }
+    }
+
+    /// A physical keypress (interrupt path).
+    pub fn keypress(&mut self, _scancode: u8) {
+        self.presses += 1;
+    }
+
+    /// Keypresses observed so far.
+    pub fn count(&self) -> u64 {
+        self.presses
+    }
+
+    /// Issue the attestation label and externalize it to a
+    /// certificate a mail relay can verify (§4: "a TPM-backed
+    /// certificate then serves as input to a SPAM classification
+    /// algorithm").
+    pub fn attest(&self, nexus: &mut Nexus) -> Result<Certificate, nexus_kernel::KernelError> {
+        let h = nexus.sys_say(self.pid, &format!("keypresses = {}", self.presses))?;
+        nexus.externalize(self.pid, h)
+    }
+}
+
+/// A toy spam classifier consuming human-presence attestations.
+pub struct SpamClassifier {
+    /// Minimum keypresses to count as a human compose session.
+    pub min_presses: u64,
+}
+
+impl SpamClassifier {
+    /// Score a message: 0.0 = surely human, 1.0 = surely bot.
+    /// The attestation is verified against the sending machine's EK.
+    pub fn score(
+        &self,
+        body: &str,
+        attestation: Option<&Certificate>,
+        sender_ek: &ed25519_dalek::VerifyingKey,
+    ) -> f64 {
+        let mut score: f64 = 0.5;
+        if body.contains("WIN BIG") || body.contains("FREE $$$") {
+            score += 0.3;
+        }
+        if let Some(cert) = attestation {
+            if let Ok(label) = cert.verify(sender_ek) {
+                let stmt = label.statement.to_string();
+                if let Some(n) = stmt.strip_prefix("keypresses = ").and_then(|s| s.parse::<u64>().ok())
+                {
+                    if n >= self.min_presses {
+                        score -= 0.45;
+                    }
+                }
+            } else {
+                // A forged certificate is worse than none.
+                score += 0.2;
+            }
+        }
+        score.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_kernel::{BootImages, NexusConfig};
+    use nexus_storage::RamDisk;
+    use nexus_tpm::Tpm;
+
+    fn booted() -> Nexus {
+        Nexus::boot(
+            Tpm::new_with_seed(0x2b07),
+            RamDisk::new(),
+            &BootImages::standard(),
+            NexusConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn human_typing_lowers_spam_score() {
+        let mut nexus = booted();
+        let mut kbd = KeyboardDriver::install(&mut nexus);
+        for c in "hello, here is my trip report".bytes() {
+            kbd.keypress(c);
+        }
+        let cert = kbd.attest(&mut nexus).unwrap();
+        let ek = nexus.tpm.ek_public();
+        let clf = SpamClassifier { min_presses: 10 };
+        let with = clf.score("here is my trip report", Some(&cert), &ek);
+        let without = clf.score("here is my trip report", None, &ek);
+        assert!(with < without);
+        assert!(with < 0.2);
+    }
+
+    #[test]
+    fn script_without_keystrokes_gains_nothing() {
+        let mut nexus = booted();
+        let kbd = KeyboardDriver::install(&mut nexus);
+        let cert = kbd.attest(&mut nexus).unwrap(); // 0 presses
+        let ek = nexus.tpm.ek_public();
+        let clf = SpamClassifier { min_presses: 10 };
+        let s = clf.score("WIN BIG FREE $$$", Some(&cert), &ek);
+        assert!(s >= 0.8);
+    }
+
+    #[test]
+    fn forged_certificate_penalized() {
+        let mut nexus = booted();
+        let mut kbd = KeyboardDriver::install(&mut nexus);
+        for _ in 0..50 {
+            kbd.keypress(b'x');
+        }
+        let mut cert = kbd.attest(&mut nexus).unwrap();
+        cert.statement = "keypresses = 99999".into();
+        let ek = nexus.tpm.ek_public();
+        let clf = SpamClassifier { min_presses: 10 };
+        let honest = clf.score("hi", None, &ek);
+        let forged = clf.score("hi", Some(&cert), &ek);
+        assert!(forged > honest);
+    }
+}

@@ -1,0 +1,228 @@
+//! The Java-style object store (§4): transitive integrity
+//! verification.
+//!
+//! Deserialization normally re-validates every type invariant because
+//! external bytes cannot be trusted. If the producer can present a
+//! label showing it was a type-safe runtime upholding the same
+//! invariants, the consumer skips the per-field validation — the
+//! integrity of the data is *transitively* established by the
+//! producer's attestation.
+
+use nexus_nal::{parse, Formula, Principal};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A field in a typed object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Field {
+    /// Signed integer with declared bounds.
+    Int {
+        /// Value.
+        value: i64,
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// UTF-8 string with a length cap.
+    Str {
+        /// Value.
+        value: String,
+        /// Maximum length.
+        max_len: usize,
+    },
+    /// Reference to another object in the same batch.
+    Ref {
+        /// Index into the batch.
+        index: usize,
+    },
+}
+
+/// A typed object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypedObject {
+    /// Type signature name.
+    pub type_sig: String,
+    /// Fields.
+    pub fields: Vec<Field>,
+}
+
+/// Validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "validation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Deserialization statistics — how much work the fast path skips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeserStats {
+    /// Objects processed.
+    pub objects: usize,
+    /// Individual invariant checks executed.
+    pub checks: usize,
+}
+
+/// The store: a serialized batch plus an optional producer label.
+pub struct ObjectStore;
+
+impl ObjectStore {
+    /// Serialize a batch.
+    pub fn serialize(objects: &[TypedObject]) -> Vec<u8> {
+        serde_json::to_vec(objects).expect("serializable")
+    }
+
+    /// Full validating deserialization: every invariant checked.
+    pub fn deserialize_validating(
+        bytes: &[u8],
+    ) -> Result<(Vec<TypedObject>, DeserStats), ValidationError> {
+        let objects: Vec<TypedObject> =
+            serde_json::from_slice(bytes).map_err(|e| ValidationError(e.to_string()))?;
+        let mut stats = DeserStats::default();
+        for (i, obj) in objects.iter().enumerate() {
+            stats.objects += 1;
+            for f in &obj.fields {
+                stats.checks += 1;
+                match f {
+                    Field::Int { value, min, max } => {
+                        if value < min || value > max {
+                            return Err(ValidationError(format!(
+                                "object {i}: int {value} outside [{min}, {max}]"
+                            )));
+                        }
+                    }
+                    Field::Str { value, max_len } => {
+                        if value.len() > *max_len {
+                            return Err(ValidationError(format!(
+                                "object {i}: string length {} exceeds {max_len}",
+                                value.len()
+                            )));
+                        }
+                        if !value.chars().all(|c| !c.is_control() || c == '\n') {
+                            return Err(ValidationError(format!(
+                                "object {i}: control characters in string"
+                            )));
+                        }
+                    }
+                    Field::Ref { index } => {
+                        if *index >= objects.len() {
+                            return Err(ValidationError(format!(
+                                "object {i}: dangling reference {index}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok((objects, stats))
+    }
+
+    /// Attested deserialization: when the producer's label shows it
+    /// was a type-safe runtime upholding `invariant`, skip per-field
+    /// checks entirely (§4's "slow parts of sanity checking every
+    /// byte … can be skipped").
+    pub fn deserialize_attested(
+        bytes: &[u8],
+        producer_labels: &[Formula],
+        producer: &Principal,
+        invariant: &str,
+    ) -> Result<(Vec<TypedObject>, DeserStats), ValidationError> {
+        let want = parse(&format!("{producer} says isTypeSafe({invariant})"))
+            .map_err(|e| ValidationError(e.to_string()))?;
+        if !producer_labels.iter().any(|l| l == &want) {
+            return Err(ValidationError(format!(
+                "producer lacks label: {want}"
+            )));
+        }
+        let objects: Vec<TypedObject> =
+            serde_json::from_slice(bytes).map_err(|e| ValidationError(e.to_string()))?;
+        let stats = DeserStats {
+            objects: objects.len(),
+            checks: 0,
+        };
+        Ok((objects, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<TypedObject> {
+        (0..n)
+            .map(|i| TypedObject {
+                type_sig: "com.example.Account".into(),
+                fields: vec![
+                    Field::Int {
+                        value: i as i64,
+                        min: 0,
+                        max: 1_000_000,
+                    },
+                    Field::Str {
+                        value: format!("user{i}"),
+                        max_len: 64,
+                    },
+                    Field::Ref { index: 0 },
+                ],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validating_path_checks_everything() {
+        let bytes = ObjectStore::serialize(&sample(10));
+        let (objs, stats) = ObjectStore::deserialize_validating(&bytes).unwrap();
+        assert_eq!(objs.len(), 10);
+        assert_eq!(stats.checks, 30);
+    }
+
+    #[test]
+    fn validating_path_catches_violations() {
+        let mut objs = sample(3);
+        objs[1].fields[0] = Field::Int {
+            value: -5,
+            min: 0,
+            max: 10,
+        };
+        let bytes = ObjectStore::serialize(&objs);
+        assert!(ObjectStore::deserialize_validating(&bytes).is_err());
+
+        let mut objs2 = sample(3);
+        objs2[2].fields[2] = Field::Ref { index: 99 };
+        let bytes2 = ObjectStore::serialize(&objs2);
+        assert!(ObjectStore::deserialize_validating(&bytes2).is_err());
+    }
+
+    #[test]
+    fn attested_path_skips_checks() {
+        let bytes = ObjectStore::serialize(&sample(100));
+        let producer = Principal::name("JVM-7");
+        let labels = vec![parse("JVM-7 says isTypeSafe(com_example_batch)").unwrap()];
+        let (objs, stats) = ObjectStore::deserialize_attested(
+            &bytes,
+            &labels,
+            &producer,
+            "com_example_batch",
+        )
+        .unwrap();
+        assert_eq!(objs.len(), 100);
+        assert_eq!(stats.checks, 0, "attestation obviates per-field checks");
+    }
+
+    #[test]
+    fn attested_path_requires_the_right_label() {
+        let bytes = ObjectStore::serialize(&sample(1));
+        let producer = Principal::name("JVM-7");
+        // Wrong invariant name.
+        let labels = vec![parse("JVM-7 says isTypeSafe(other)").unwrap()];
+        assert!(ObjectStore::deserialize_attested(&bytes, &labels, &producer, "batch").is_err());
+        // Wrong speaker.
+        let labels2 = vec![parse("CLR says isTypeSafe(batch)").unwrap()];
+        assert!(ObjectStore::deserialize_attested(&bytes, &labels2, &producer, "batch").is_err());
+    }
+}

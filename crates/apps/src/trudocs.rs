@@ -1,0 +1,270 @@
+//! TruDocs (§4): excerpts that speak for their documents.
+//!
+//! A display system certifies that an excerpt conveys the original
+//! document's meaning under a use policy: ellipses may replace runs
+//! of words, bracketed editorial comments may be inserted, typecase
+//! may change, and the total number and length of excerpts is capped.
+//! A compliant excerpt earns the label
+//! `TruDocs says excerpt speaksfor document`.
+
+use nexus_nal::{Formula, Principal};
+
+/// The use policy governing excerpting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsePolicy {
+    /// May `...` replace elided words?
+    pub allow_ellipsis: bool,
+    /// May `[comments]` be inserted?
+    pub allow_comments: bool,
+    /// May letter case differ?
+    pub allow_case_change: bool,
+    /// Maximum words per excerpt.
+    pub max_words: usize,
+    /// Maximum excerpts per document.
+    pub max_excerpts: usize,
+}
+
+impl Default for UsePolicy {
+    fn default() -> Self {
+        UsePolicy {
+            allow_ellipsis: true,
+            allow_comments: true,
+            allow_case_change: true,
+            max_words: 50,
+            max_excerpts: 5,
+        }
+    }
+}
+
+/// Why an excerpt was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// A word appears that is not in the source (in order).
+    NotDerivable(String),
+    /// Ellipsis used but not allowed.
+    EllipsisForbidden,
+    /// Comment used but not allowed.
+    CommentForbidden,
+    /// Case changed but not allowed.
+    CaseChangeForbidden,
+    /// Too long.
+    TooLong {
+        /// Word count.
+        words: usize,
+    },
+    /// Per-document excerpt quota exhausted.
+    QuotaExhausted,
+}
+
+fn words(s: &str) -> Vec<&str> {
+    s.split_whitespace().collect()
+}
+
+/// The certifier.
+pub struct TruDocs {
+    policy: UsePolicy,
+    issued: usize,
+}
+
+impl TruDocs {
+    /// New certifier for one document under a policy.
+    pub fn new(policy: UsePolicy) -> Self {
+        TruDocs { policy, issued: 0 }
+    }
+
+    /// Check an excerpt against the source; on success, count it
+    /// against the quota and return the speaksfor label.
+    pub fn certify(
+        &mut self,
+        source: &str,
+        excerpt: &str,
+        doc_name: &str,
+        excerpt_name: &str,
+    ) -> Result<Formula, Rejection> {
+        if self.issued >= self.policy.max_excerpts {
+            return Err(Rejection::QuotaExhausted);
+        }
+        fn strip(s: &str) -> &str {
+            s.trim_matches(|c: char| c.is_ascii_punctuation())
+        }
+        let src: Vec<&str> = words(source).into_iter().map(strip).collect();
+        // Pass 1: drop editorial comments (they do not break
+        // contiguity — the surrounding quotation must still be a
+        // contiguous run of the source) and split at ellipses into
+        // segments that must each match contiguously.
+        let mut segments: Vec<Vec<&str>> = vec![Vec::new()];
+        let mut in_comment = false;
+        let mut content_words = 0usize;
+        for raw in words(excerpt) {
+            if in_comment {
+                if raw.ends_with(']') {
+                    in_comment = false;
+                }
+                continue;
+            }
+            if raw.starts_with('[') {
+                if !self.policy.allow_comments {
+                    return Err(Rejection::CommentForbidden);
+                }
+                if !raw.ends_with(']') {
+                    in_comment = true;
+                }
+                continue;
+            }
+            if raw == "..." || raw == "…" {
+                if !self.policy.allow_ellipsis {
+                    return Err(Rejection::EllipsisForbidden);
+                }
+                if !segments.last().expect("nonempty").is_empty() {
+                    segments.push(Vec::new());
+                }
+                continue;
+            }
+            let w = strip(raw);
+            if !w.is_empty() {
+                content_words += 1;
+                segments.last_mut().expect("nonempty").push(w);
+            }
+        }
+        if content_words > self.policy.max_words {
+            return Err(Rejection::TooLong {
+                words: content_words,
+            });
+        }
+        // Pass 2: each segment must appear contiguously in the source,
+        // in order; ellipses allow arbitrary gaps between segments.
+        let match_from = |start: usize, seg: &[&str], ci: bool| -> Option<usize> {
+            if seg.is_empty() {
+                return Some(start);
+            }
+            (start..src.len().checked_sub(seg.len() - 1).unwrap_or(0)).find(|&base| {
+                seg.iter().enumerate().all(|(k, w)| {
+                    let s = src[base + k];
+                    s == *w || (ci && s.eq_ignore_ascii_case(w))
+                })
+            })
+        };
+        let mut src_idx = 0usize;
+        for seg in &segments {
+            if seg.is_empty() {
+                continue;
+            }
+            match match_from(src_idx, seg, self.policy.allow_case_change) {
+                Some(base) => src_idx = base + seg.len(),
+                None => {
+                    // Diagnose: would a case-insensitive match have
+                    // succeeded?
+                    return Err(
+                        if !self.policy.allow_case_change
+                            && match_from(src_idx, seg, true).is_some()
+                        {
+                            Rejection::CaseChangeForbidden
+                        } else {
+                            Rejection::NotDerivable(seg.join(" "))
+                        },
+                    );
+                }
+            }
+        }
+        self.issued += 1;
+        Ok(Formula::speaksfor(
+            Principal::name(excerpt_name),
+            Principal::name(doc_name),
+        )
+        .says(Principal::name("TruDocs")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "The committee found that the program was effective \
+                       in limited trials but requires further review before \
+                       wider deployment";
+
+    #[test]
+    fn faithful_excerpt_certified() {
+        let mut td = TruDocs::new(UsePolicy::default());
+        let label = td
+            .certify(SRC, "The committee found that the program was effective", "report", "quote1")
+            .unwrap();
+        assert_eq!(
+            label.to_string(),
+            "TruDocs says quote1 speaksfor report"
+        );
+    }
+
+    #[test]
+    fn ellipsis_spans_gaps() {
+        let mut td = TruDocs::new(UsePolicy::default());
+        assert!(td
+            .certify(SRC, "The committee found ... requires further review", "r", "q")
+            .is_ok());
+    }
+
+    #[test]
+    fn meaning_inversion_rejected() {
+        // Classic distortion: splice words to invert the meaning.
+        let mut td = TruDocs::new(UsePolicy::default());
+        let r = td.certify(SRC, "the program was ineffective", "r", "q");
+        assert!(matches!(r, Err(Rejection::NotDerivable(_))));
+    }
+
+    #[test]
+    fn out_of_order_splicing_rejected_without_ellipsis() {
+        let mut td = TruDocs::new(UsePolicy::default());
+        // "review before trials" reverses source order mid-phrase.
+        let r = td.certify(SRC, "further review trials", "r", "q");
+        assert!(matches!(r, Err(Rejection::NotDerivable(_))));
+    }
+
+    #[test]
+    fn comments_and_case() {
+        let mut td = TruDocs::new(UsePolicy::default());
+        assert!(td
+            .certify(SRC, "the program [the pilot] was effective", "r", "q1")
+            .is_ok());
+        assert!(td.certify(SRC, "THE COMMITTEE FOUND", "r", "q2").is_ok());
+
+        let strict = UsePolicy {
+            allow_comments: false,
+            allow_case_change: false,
+            allow_ellipsis: false,
+            ..UsePolicy::default()
+        };
+        let mut td2 = TruDocs::new(strict);
+        assert_eq!(
+            td2.certify(SRC, "the program [sic] was", "r", "q"),
+            Err(Rejection::CommentForbidden)
+        );
+        assert_eq!(
+            td2.certify(SRC, "the committee found ... review", "r", "q"),
+            Err(Rejection::EllipsisForbidden)
+        );
+        assert_eq!(
+            td2.certify(SRC, "THE COMMITTEE", "r", "q"),
+            Err(Rejection::CaseChangeForbidden)
+        );
+    }
+
+    #[test]
+    fn quotas_enforced() {
+        let policy = UsePolicy {
+            max_excerpts: 2,
+            max_words: 3,
+            ..UsePolicy::default()
+        };
+        let mut td = TruDocs::new(policy);
+        assert!(matches!(
+            td.certify(SRC, "The committee found that the", "r", "q"),
+            Err(Rejection::TooLong { words: 5 })
+        ));
+        td.certify(SRC, "The committee", "r", "q1").unwrap();
+        td.certify(SRC, "further review", "r", "q2").unwrap();
+        assert_eq!(
+            td.certify(SRC, "wider deployment", "r", "q3"),
+            Err(Rejection::QuotaExhausted)
+        );
+    }
+}

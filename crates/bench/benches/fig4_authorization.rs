@@ -1,0 +1,15 @@
+//! Criterion bench for Figure 4: authorization cost per case.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexus_bench::fig4;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_authorization");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("all_cases", |b| {
+        b.iter(|| std::hint::black_box(fig4::run(200)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 5: proof checking vs proof length.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nexus_bench::fig5::{build, Family};
+use nexus_nal::check::{check, Assumptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_proof_eval");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for family in [Family::Delegate, Family::Negate, Family::Boolean] {
+        for n in [5usize, 10, 20] {
+            let (proof, creds, _) = build(family, n);
+            let asm = Assumptions::from_iter(creds.iter());
+            g.bench_with_input(
+                BenchmarkId::new(family.name(), n),
+                &n,
+                |b, _| b.iter(|| check(&proof, &asm).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

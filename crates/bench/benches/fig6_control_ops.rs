@@ -1,0 +1,15 @@
+//! Criterion bench for Figure 6: control-operation overhead.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexus_bench::fig6;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_control_ops");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("all_ops", |b| {
+        b.iter(|| std::hint::black_box(fig6::run(100)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

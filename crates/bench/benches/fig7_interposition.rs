@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 7: packet paths under interposition.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nexus_bench::fig7::{measure, Config};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_interposition");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for cfg in Config::ALL {
+        g.bench_with_input(
+            BenchmarkId::new(cfg.name().replace(' ', "_"), 100),
+            &cfg,
+            |b, &cfg| b.iter(|| std::hint::black_box(measure(cfg, 100, 500))),
+        );
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 8: application throughput under access
+//! control, interposition, and attested storage.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nexus_bench::fig8::{AcMode, MonMode, ServerKind, StoreMode, WebBench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fauxbook");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let scenarios: &[(&str, AcMode, MonMode, StoreMode)] = &[
+        ("none", AcMode::None, MonMode::None, StoreMode::None),
+        ("static_ac", AcMode::Static, MonMode::None, StoreMode::None),
+        ("dynamic_ac", AcMode::Dynamic, MonMode::None, StoreMode::None),
+        ("user_monitor", AcMode::None, MonMode::UserUncached, StoreMode::None),
+        ("hash", AcMode::None, MonMode::None, StoreMode::Hash),
+        ("decrypt", AcMode::None, MonMode::None, StoreMode::Decrypt),
+    ];
+    for (name, ac, mon, store) in scenarios {
+        let mut world = WebBench::new(ServerKind::StaticFiles, *ac, *mon, *store, 10_000);
+        g.bench_with_input(BenchmarkId::new(*name, 10_000), name, |b, _| {
+            b.iter(|| std::hint::black_box(world.serve()))
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for Table 1: per-syscall latency in the three
+//! kernel configurations.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexus_bench::table1;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_syscalls");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("all_rows", |b| {
+        b.iter(|| std::hint::black_box(table1::run(200)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

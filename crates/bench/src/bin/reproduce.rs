@@ -1,0 +1,97 @@
+//! Regenerate every table and figure of the paper's evaluation (§5)
+//! and print them in the paper's layout.
+//!
+//! Usage: `cargo run --release -p nexus-bench --bin reproduce [quick]`
+
+use nexus_bench::{fig4, fig5, fig6, fig7, fig8, table1};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let (iters, pkts, reqs) = if quick { (300, 2_000, 50) } else { (2_000, 20_000, 300) };
+
+    println!("=== Table 1: system call overhead (ns/call) ===");
+    println!("{:<14} {:>12} {:>12} {:>12}", "call", "Nexus bare", "Nexus", "direct");
+    for row in table1::run(iters) {
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0}",
+            row.call, row.bare_ns, row.nexus_ns, row.direct_ns
+        );
+    }
+
+    println!("\n=== Figure 4: authorization cost (ns/call) ===");
+    println!("{:<12} {:>14} {:>14}", "case", "kernel cache", "no cache");
+    for p in fig4::run(iters) {
+        println!("{:<12} {:>14.0} {:>14.0}", p.case, p.cached_ns, p.uncached_ns);
+    }
+
+    println!("\n=== Figure 5: proof evaluation cost (ns/check) ===");
+    println!(
+        "{:<10} {:>7} {:>12} {:>12}",
+        "family", "#rules", "eval (E)", "full (F)"
+    );
+    for p in fig5::run(iters.min(500), 20) {
+        println!(
+            "{:<10} {:>7} {:>12.0} {:>12.0}",
+            p.family, p.rules, p.eval_ns, p.full_ns
+        );
+    }
+
+    println!("\n=== Figure 6: control operation overhead (ns/op) ===");
+    for p in fig6::run(iters) {
+        println!("{:<16} {:>12.0}", p.op, p.ns);
+    }
+
+    println!("\n=== Figure 7: interposition overhead (packets/s) ===");
+    println!("{:<10} {:>12} {:>12}", "config", "100 B", "1500 B");
+    let pts = fig7::run(pkts);
+    for cfg in fig7::Config::ALL {
+        let small = pts
+            .iter()
+            .find(|p| p.config == cfg.name() && p.pkt_size == 100)
+            .unwrap();
+        let large = pts
+            .iter()
+            .find(|p| p.config == cfg.name() && p.pkt_size == 1500)
+            .unwrap();
+        println!("{:<10} {:>12.0} {:>12.0}", cfg.name(), small.pps, large.pps);
+    }
+
+    println!("\n=== Figure 8: application throughput (requests/s) ===");
+    let pts = fig8::run(reqs);
+    for kind in ["static", "www"] {
+        for column in ["access control", "introspection", "attested storage"] {
+            println!("\n-- {kind} files / {column} --");
+            let variants: Vec<&str> = {
+                let mut v: Vec<&str> = Vec::new();
+                for p in pts.iter().filter(|p| p.kind == kind && p.column == column) {
+                    if !v.contains(&p.variant) {
+                        v.push(p.variant);
+                    }
+                }
+                v
+            };
+            print!("{:<10}", "size");
+            for v in &variants {
+                print!(" {v:>12}");
+            }
+            println!();
+            for size in fig8::SIZES {
+                print!("{size:<10}");
+                for v in &variants {
+                    let p = pts
+                        .iter()
+                        .find(|p| {
+                            p.kind == kind
+                                && p.column == column
+                                && p.variant == *v
+                                && p.size == size
+                        })
+                        .unwrap();
+                    print!(" {:>12.0}", p.rps);
+                }
+                println!();
+            }
+        }
+    }
+    println!("\n(see EXPERIMENTS.md for paper-vs-measured discussion)");
+}

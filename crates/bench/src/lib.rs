@@ -1,0 +1,39 @@
+//! Benchmark workloads regenerating every table and figure of the
+//! paper's evaluation (§5). The same workload functions back both the
+//! Criterion benches (`benches/`) and the `reproduce` binary that
+//! prints paper-style tables.
+
+#![forbid(unsafe_code)]
+#![allow(missing_docs)]
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+
+use nexus_kernel::{BootImages, Nexus, NexusConfig};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+
+/// Boot a kernel with the given config for benchmarking.
+pub fn boot_with(cfg: NexusConfig) -> Nexus {
+    Nexus::boot(
+        Tpm::new_with_seed(0xbe4c),
+        RamDisk::new(),
+        &BootImages::standard(),
+        cfg,
+    )
+    .expect("boot")
+}
+
+/// Time `f` over `iters` iterations; returns nanoseconds per
+/// iteration.
+pub fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}

@@ -1,0 +1,189 @@
+//! Authorities: dynamic state without invalidated credentials (§2.7).
+//!
+//! A trustworthy principal must not emit transferable statements that
+//! can later become false — an NTP service that signed "the time is
+//! now X" would promptly become a liar. Instead, an authority answers
+//! validity queries *on each check*: the guard asks "do you currently
+//! believe S?", and the yes/no answer is authoritative (by virtue of
+//! the attested IPC channel) but untransferable and uncacheable.
+//!
+//! This split — indefinitely-cacheable labels vs. untransferable
+//! authority answers — is what lets Nexus do without a revocation
+//! infrastructure: revocable facts are phrased as
+//! `A says (Valid(S) → S)` with an authority for `A says Valid(S)`.
+
+use nexus_nal::{Formula, Principal};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether the authority runs inside the guard process (embedded) or
+/// behind an IPC channel (external). External queries traverse the
+/// kernel's interposition machinery and cost correspondingly more —
+/// the `embed auth` vs `auth` distinction in Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthorityKind {
+    /// In-process: a function call.
+    Embedded,
+    /// Behind an IPC port: an upcall.
+    External,
+}
+
+/// An authority: answers whether it *currently* believes a statement.
+pub trait Authority: Send + Sync {
+    /// Authoritative, untransferable answer for `statement` — the
+    /// inner `S` of a leaf `P says S` where `P` is this authority.
+    fn check(&self, statement: &Formula) -> bool;
+}
+
+/// An authority implemented by a closure over live state.
+pub struct FnAuthority<F: Fn(&Formula) -> bool + Send + Sync>(pub F);
+
+impl<F: Fn(&Formula) -> bool + Send + Sync> Authority for FnAuthority<F> {
+    fn check(&self, statement: &Formula) -> bool {
+        (self.0)(statement)
+    }
+}
+
+struct Registered {
+    authority: Arc<dyn Authority>,
+    kind: AuthorityKind,
+}
+
+/// The kernel's table of registered authorities, keyed by the
+/// principal whose statements they vouch for (the paper binds
+/// authorities to attested IPC ports; the port-to-principal label is
+/// the kernel's).
+#[derive(Default)]
+pub struct AuthorityRegistry {
+    map: HashMap<Principal, Registered>,
+    queries: AtomicU64,
+}
+
+impl AuthorityRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an authority for `principal`'s statements
+    /// (the `auth add` control operation of Figure 6).
+    pub fn register(
+        &mut self,
+        principal: Principal,
+        authority: Arc<dyn Authority>,
+        kind: AuthorityKind,
+    ) {
+        self.map.insert(principal, Registered { authority, kind });
+    }
+
+    /// Remove an authority.
+    pub fn unregister(&mut self, principal: &Principal) -> bool {
+        self.map.remove(principal).is_some()
+    }
+
+    /// Is any authority registered for this principal?
+    pub fn has(&self, principal: &Principal) -> bool {
+        self.map.contains_key(principal)
+    }
+
+    /// The kind of the registered authority, if any.
+    pub fn kind(&self, principal: &Principal) -> Option<AuthorityKind> {
+        self.map.get(principal).map(|r| r.kind)
+    }
+
+    /// Query: does `principal` currently believe `statement`?
+    /// Returns `None` if no authority is registered for `principal`.
+    pub fn query(&self, principal: &Principal, statement: &Formula) -> Option<bool> {
+        let reg = self.map.get(principal)?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Some(reg.authority.check(statement))
+    }
+
+    /// Total number of authority queries (statistics).
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_nal::parse;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn fn_authority_answers() {
+        let auth = FnAuthority(|s: &Formula| s.to_string() == "sky = blue");
+        assert!(auth.check(&parse("sky = blue").unwrap()));
+        assert!(!auth.check(&parse("sky = green").unwrap()));
+    }
+
+    #[test]
+    fn registry_lookup_and_query() {
+        let mut reg = AuthorityRegistry::new();
+        let ntp = Principal::name("NTP");
+        reg.register(
+            ntp.clone(),
+            Arc::new(FnAuthority(|s: &Formula| {
+                // A clock authority subscribing to a small set of
+                // arithmetic statements about the time (§2.7).
+                match s {
+                    Formula::Cmp(op, a, b) => {
+                        let now = 20110301i64; // frozen clock for the test
+                        match (a, b) {
+                            (nexus_nal::Term::Sym(n), nexus_nal::Term::Int(bound))
+                                if n == "TimeNow" =>
+                            {
+                                op.eval(&now, bound)
+                            }
+                            _ => false,
+                        }
+                    }
+                    _ => false,
+                }
+            })),
+            AuthorityKind::External,
+        );
+        assert!(reg.has(&ntp));
+        assert_eq!(reg.kind(&ntp), Some(AuthorityKind::External));
+        assert_eq!(reg.query(&ntp, &parse("TimeNow < 20110319").unwrap()), Some(true));
+        assert_eq!(reg.query(&ntp, &parse("TimeNow < 20110201").unwrap()), Some(false));
+        assert_eq!(
+            reg.query(&Principal::name("Nobody"), &parse("x").unwrap()),
+            None
+        );
+        assert_eq!(reg.query_count(), 2);
+    }
+
+    #[test]
+    fn authority_answers_track_live_state() {
+        // The whole point: answers change as state changes, with no
+        // stale credentials anywhere.
+        let quota = Arc::new(Mutex::new(50u64));
+        let q = quota.clone();
+        let mut reg = AuthorityRegistry::new();
+        let fs = Principal::name("Filesystem");
+        reg.register(
+            fs.clone(),
+            Arc::new(FnAuthority(move |s: &Formula| {
+                s.to_string() == "underQuota(alice)" && *q.lock() < 80
+            })),
+            AuthorityKind::Embedded,
+        );
+        let stmt = parse("underQuota(alice)").unwrap();
+        assert_eq!(reg.query(&fs, &stmt), Some(true));
+        *quota.lock() = 90;
+        assert_eq!(reg.query(&fs, &stmt), Some(false));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut reg = AuthorityRegistry::new();
+        let p = Principal::name("X");
+        reg.register(p.clone(), Arc::new(FnAuthority(|_| true)), AuthorityKind::Embedded);
+        assert!(reg.unregister(&p));
+        assert!(!reg.has(&p));
+        assert!(!reg.unregister(&p));
+    }
+}

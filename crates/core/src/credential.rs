@@ -1,0 +1,212 @@
+//! Externalized credentials (§2.4).
+//!
+//! Within one Nexus, labels travel between labelstores without
+//! cryptography: the kernel is the secure channel. To convince a
+//! *remote* principal, a label is externalized into a certificate
+//! chain rooted in the TPM:
+//!
+//! ```text
+//! EK ──signs──▶ AIK ──signs──▶ NK (+ PCR composite)
+//! NK ──signs──▶ "speaker says statement" (+ boot id)
+//! ```
+//!
+//! which a verifier reads as
+//! `TPM says kernel says labelstore says process says S`.
+//! The verified statement is attributed to the fully-qualified
+//! subprincipal `key:<NK>.boot-<id>.<speaker>`, so statements from
+//! different kernels, boots, or processes never collide.
+
+use crate::error::CoreError;
+use crate::label::Label;
+use ed25519_dalek::{Signature, Verifier, VerifyingKey};
+use nexus_tpm::{AikCert, KeyAttestation};
+use serde::{Deserialize, Serialize};
+
+/// An externalized label: the X.509-analogue certificate chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The in-kernel speaker name (e.g. `/proc/ipd/12`).
+    pub speaker: String,
+    /// The statement, NAL concrete syntax.
+    pub statement: String,
+    /// The boot-instantiation id (hash prefix of the NBK public key).
+    pub boot_id: String,
+    /// The kernel's NK public key.
+    pub nk_pub: [u8; 32],
+    /// TPM attestation binding NK to the measured kernel (PCRs).
+    pub nk_attestation: KeyAttestation,
+    /// AIK certificate chaining to the endorsement key.
+    pub aik_cert: AikCert,
+    /// NK's signature over (speaker, statement, boot id).
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// The byte string NK signs.
+    pub fn message(speaker: &str, statement: &str, boot_id: &str) -> Vec<u8> {
+        let mut m = b"nexus-label-cert".to_vec();
+        for part in [speaker, statement, boot_id] {
+            m.extend_from_slice(&(part.len() as u64).to_le_bytes());
+            m.extend_from_slice(part.as_bytes());
+        }
+        m
+    }
+
+    /// Verify the full chain against a trusted endorsement key and
+    /// return the label, re-attributed to the fully-qualified
+    /// principal.
+    pub fn verify(&self, trusted_ek: &VerifyingKey) -> Result<Label, CoreError> {
+        // 1. EK vouches for the AIK.
+        if !self.aik_cert.verify(trusted_ek) {
+            return Err(CoreError::BadCertificate(
+                "AIK certificate does not chain to the trusted EK".into(),
+            ));
+        }
+        let aik = self
+            .aik_cert
+            .aik()
+            .ok_or_else(|| CoreError::BadCertificate("malformed AIK key".into()))?;
+        // 2. AIK vouches for NK under some PCR composite.
+        if !self.nk_attestation.verify(&aik) {
+            return Err(CoreError::BadCertificate(
+                "NK attestation does not verify under the AIK".into(),
+            ));
+        }
+        if self.nk_attestation.subject_pub != self.nk_pub {
+            return Err(CoreError::BadCertificate(
+                "attestation covers a different NK".into(),
+            ));
+        }
+        // 3. NK vouches for the label.
+        let nk = VerifyingKey::from_bytes(&self.nk_pub)
+            .map_err(|e| CoreError::BadCertificate(format!("malformed NK key: {e}")))?;
+        let msg = Self::message(&self.speaker, &self.statement, &self.boot_id);
+        let sig = Signature::from_slice(&self.signature)
+            .map_err(|e| CoreError::BadCertificate(format!("malformed signature: {e}")))?;
+        nk.verify(&msg, &sig)
+            .map_err(|_| CoreError::BadCertificate("NK signature invalid".into()))?;
+        // 4. Reconstruct the label under the fully-qualified principal.
+        let statement = nexus_nal::parse(&self.statement)?;
+        let speaker = self.qualified_speaker()?;
+        Ok(Label { speaker, statement })
+    }
+
+    /// The fully-qualified speaker principal:
+    /// `key:<nk-hex>.boot-<id>.<local speaker>`.
+    pub fn qualified_speaker(&self) -> Result<nexus_nal::Principal, CoreError> {
+        let nk_hex = nexus_tpm::hash(&self.nk_pub).to_hex()[..16].to_string();
+        let base = nexus_nal::Principal::key(nk_hex)
+            .sub(format!("boot-{}", self.boot_id))
+            .sub(self.speaker.clone());
+        Ok(base)
+    }
+
+    /// Serialized size in bytes (for Figure 6's cost accounting).
+    pub fn encoded_len(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelStore;
+    use crate::signer::KernelSigner;
+    use nexus_nal::{parse, Principal};
+    use nexus_tpm::Tpm;
+
+    fn setup() -> (Tpm, KernelSigner) {
+        let mut tpm = Tpm::new_with_seed(21);
+        tpm.pcrs_mut().extend(4, b"nexus-kernel");
+        tpm.take_ownership().unwrap();
+        let signer = KernelSigner::generate(&mut tpm).unwrap();
+        (tpm, signer)
+    }
+
+    #[test]
+    fn externalize_import_round_trip() {
+        let (tpm, signer) = setup();
+        let mut store = LabelStore::new();
+        let proc12 = Principal::name("/proc/ipd/12");
+        let h = store.say(&proc12, "openFile(secret)").unwrap();
+        let cert = store.externalize(h, &signer).unwrap();
+
+        let mut remote = LabelStore::new();
+        let h2 = remote.import(&cert, &tpm.ek_public()).unwrap();
+        let label = remote.get(h2).unwrap();
+        assert_eq!(label.statement, parse("openFile(secret)").unwrap());
+        // Attribution is fully qualified — never the bare local name.
+        assert!(label.speaker.to_string().starts_with("key:"));
+        assert!(label.speaker.to_string().ends_with("./proc/ipd/12"));
+    }
+
+    #[test]
+    fn tampered_statement_rejected() {
+        let (tpm, signer) = setup();
+        let mut store = LabelStore::new();
+        let h = store.say(&Principal::name("A"), "good").unwrap();
+        let mut cert = store.externalize(h, &signer).unwrap();
+        cert.statement = "evil".into();
+        let mut remote = LabelStore::new();
+        assert!(matches!(
+            remote.import(&cert, &tpm.ek_public()),
+            Err(CoreError::BadCertificate(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_speaker_rejected() {
+        let (tpm, signer) = setup();
+        let mut store = LabelStore::new();
+        let h = store.say(&Principal::name("A"), "good").unwrap();
+        let mut cert = store.externalize(h, &signer).unwrap();
+        cert.speaker = "B".into();
+        assert!(cert.verify(&tpm.ek_public()).is_err());
+    }
+
+    #[test]
+    fn wrong_ek_rejected() {
+        let (_tpm, signer) = setup();
+        let mut store = LabelStore::new();
+        let h = store.say(&Principal::name("A"), "good").unwrap();
+        let cert = store.externalize(h, &signer).unwrap();
+        let other = Tpm::new_with_seed(99);
+        assert!(cert.verify(&other.ek_public()).is_err());
+    }
+
+    #[test]
+    fn substituted_nk_rejected() {
+        // Attacker substitutes their own NK but keeps the original
+        // attestation: mismatch detected.
+        let (tpm, signer) = setup();
+        let mut store = LabelStore::new();
+        let h = store.say(&Principal::name("A"), "good").unwrap();
+        let mut cert = store.externalize(h, &signer).unwrap();
+        cert.nk_pub = [7u8; 32];
+        assert!(cert.verify(&tpm.ek_public()).is_err());
+    }
+
+    #[test]
+    fn distinct_boots_yield_distinct_principals() {
+        let mut tpm = Tpm::new_with_seed(22);
+        tpm.take_ownership().unwrap();
+        let s1 = KernelSigner::generate(&mut tpm).unwrap();
+        let s2 = KernelSigner::generate(&mut tpm).unwrap();
+        let mut store = LabelStore::new();
+        let h = store.say(&Principal::name("A"), "x").unwrap();
+        let c1 = store.externalize(h, &s1).unwrap();
+        let c2 = store.externalize(h, &s2).unwrap();
+        let p1 = c1.verify(&tpm.ek_public()).unwrap().speaker;
+        let p2 = c2.verify(&tpm.ek_public()).unwrap().speaker;
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn encoded_len_nonzero() {
+        let (_tpm, signer) = setup();
+        let mut store = LabelStore::new();
+        let h = store.say(&Principal::name("A"), "x").unwrap();
+        let cert = store.externalize(h, &signer).unwrap();
+        assert!(cert.encoded_len() > 100);
+    }
+}

@@ -1,0 +1,314 @@
+//! The kernel decision cache (§2.8).
+//!
+//! Guard invocations are expensive (16–20× a cached decision, Figure
+//! 4), so the kernel caches previously observed guard decisions in a
+//! hashtable indexed by the access-control tuple (subject, operation,
+//! object). Only decisions the guard marked cacheable — proofs with no
+//! authority dependence — are stored.
+//!
+//! Invalidation uses the paper's subregion trick: the hash function is
+//! designed so all entries with the same (operation, object) land in
+//! the same *subregion* of the table. A `setgoal` then clears one
+//! subregion rather than the whole cache; a proof update clears a
+//! single entry. Subregion size is configurable and trades off
+//! invalidation cost against collision rate.
+
+use crate::resource::{OpName, ResourceId};
+use nexus_nal::Principal;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The access-control tuple the cache is indexed by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The requesting principal.
+    pub subject: Principal,
+    /// The operation.
+    pub operation: OpName,
+    /// The resource.
+    pub object: ResourceId,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionCacheConfig {
+    /// Total number of slots (rounded up to a multiple of
+    /// `subregion_slots`).
+    pub total_slots: usize,
+    /// Slots per (operation, object) subregion.
+    pub subregion_slots: usize,
+}
+
+impl Default for DecisionCacheConfig {
+    fn default() -> Self {
+        DecisionCacheConfig {
+            total_slots: 4096,
+            subregion_slots: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: CacheKey,
+    allow: bool,
+}
+
+/// Statistics counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCacheStats {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries cleared by invalidation.
+    pub invalidations: u64,
+    /// Insertions that displaced a colliding entry.
+    pub collisions: u64,
+}
+
+/// The decision cache: a direct-mapped table partitioned into
+/// subregions.
+#[derive(Debug)]
+pub struct DecisionCache {
+    slots: Vec<Option<Slot>>,
+    subregion_slots: usize,
+    subregions: usize,
+    stats: DecisionCacheStats,
+}
+
+impl DecisionCache {
+    /// Build with the given configuration.
+    pub fn new(cfg: DecisionCacheConfig) -> Self {
+        let subregion_slots = cfg.subregion_slots.max(1);
+        let subregions = (cfg.total_slots.max(subregion_slots) + subregion_slots - 1)
+            / subregion_slots;
+        DecisionCache {
+            slots: vec![None; subregions * subregion_slots],
+            subregion_slots,
+            subregions,
+            stats: DecisionCacheStats::default(),
+        }
+    }
+
+    fn hash64<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    /// Subregion index: depends only on (operation, object), so a
+    /// `setgoal` on that pair invalidates exactly one subregion.
+    fn subregion_of(&self, operation: &OpName, object: &ResourceId) -> usize {
+        (Self::hash64(&(operation, object)) as usize) % self.subregions
+    }
+
+    fn slot_of(&self, key: &CacheKey) -> usize {
+        let sub = self.subregion_of(&key.operation, &key.object);
+        let within = (Self::hash64(&key.subject) as usize) % self.subregion_slots;
+        sub * self.subregion_slots + within
+    }
+
+    /// Look up a cached decision.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<bool> {
+        let idx = self.slot_of(key);
+        match &self.slots[idx] {
+            Some(slot) if &slot.key == key => {
+                self.stats.hits += 1;
+                Some(slot.allow)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a (cacheable) decision.
+    pub fn insert(&mut self, key: CacheKey, allow: bool) {
+        let idx = self.slot_of(&key);
+        if let Some(existing) = &self.slots[idx] {
+            if existing.key != key {
+                self.stats.collisions += 1;
+            }
+        }
+        self.slots[idx] = Some(Slot { key, allow });
+    }
+
+    /// Invalidate the single entry for `key` — a proof update (§2.8:
+    /// "On a proof update, the kernel clears a single entry").
+    pub fn invalidate_entry(&mut self, key: &CacheKey) {
+        let idx = self.slot_of(key);
+        if let Some(slot) = &self.slots[idx] {
+            if &slot.key == key {
+                self.slots[idx] = None;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Invalidate the whole subregion for (operation, object) — a
+    /// `setgoal` may affect many subjects, but they all hash into one
+    /// subregion.
+    pub fn invalidate_subregion(&mut self, operation: &OpName, object: &ResourceId) {
+        let sub = self.subregion_of(operation, object);
+        let base = sub * self.subregion_slots;
+        for slot in &mut self.slots[base..base + self.subregion_slots] {
+            if slot.is_some() {
+                *slot = None;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drop everything (used on resize; the cache is soft state).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+
+    /// Resize at runtime (§2.8: "the cache can be resized at
+    /// runtime"). Contents are discarded — it is a cache.
+    pub fn resize(&mut self, cfg: DecisionCacheConfig) {
+        let stats = self.stats;
+        *self = DecisionCache::new(cfg);
+        self.stats = stats;
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DecisionCacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of subregions (for ablation benchmarks).
+    pub fn subregion_count(&self) -> usize {
+        self.subregions
+    }
+}
+
+impl Default for DecisionCache {
+    fn default() -> Self {
+        Self::new(DecisionCacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str, op: &str, obj: &str) -> CacheKey {
+        CacheKey {
+            subject: Principal::name(s),
+            operation: OpName::from(op),
+            object: ResourceId(obj.to_string()),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut c = DecisionCache::default();
+        let k = key("alice", "read", "file:/x");
+        assert_eq!(c.lookup(&k), None);
+        c.insert(k.clone(), true);
+        assert_eq!(c.lookup(&k), Some(true));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn entry_invalidation_clears_one() {
+        let mut c = DecisionCache::default();
+        let k1 = key("alice", "read", "file:/x");
+        let k2 = key("bob", "read", "file:/x");
+        c.insert(k1.clone(), true);
+        c.insert(k2.clone(), false);
+        c.invalidate_entry(&k1);
+        assert_eq!(c.lookup(&k1), None);
+        assert_eq!(c.lookup(&k2), Some(false));
+    }
+
+    #[test]
+    fn subregion_invalidation_clears_all_subjects_of_pair() {
+        let mut c = DecisionCache::default();
+        // Many subjects on one (op, object): all land in one subregion.
+        let subjects: Vec<CacheKey> = (0..10)
+            .map(|i| key(&format!("user{i}"), "read", "file:/shared"))
+            .collect();
+        for k in &subjects {
+            c.insert(k.clone(), true);
+        }
+        // Another object must survive.
+        let other = key("alice", "read", "file:/other");
+        c.insert(other.clone(), true);
+
+        c.invalidate_subregion(&OpName::from("read"), &ResourceId("file:/shared".into()));
+        for k in &subjects {
+            assert_eq!(c.lookup(k), None, "entry for {k:?} should be gone");
+        }
+        // `other` survives unless it happens to share the subregion —
+        // with 256 subregions that would be a 1/256 accident; assert
+        // only when subregions differ, keeping the test robust.
+        let sub_shared = c.subregion_of(&OpName::from("read"), &ResourceId("file:/shared".into()));
+        let sub_other = c.subregion_of(&OpName::from("read"), &ResourceId("file:/other".into()));
+        if sub_shared != sub_other {
+            assert_eq!(c.lookup(&other), Some(true));
+        }
+    }
+
+    #[test]
+    fn collisions_are_counted_and_displace() {
+        let mut c = DecisionCache::new(DecisionCacheConfig {
+            total_slots: 4,
+            subregion_slots: 2,
+        });
+        // With 2 subregions × 2 slots, collisions are guaranteed.
+        for i in 0..32 {
+            c.insert(key(&format!("u{i}"), "read", "file:/x"), true);
+        }
+        assert!(c.stats().collisions > 0);
+        assert!(c.len() <= 4);
+    }
+
+    #[test]
+    fn resize_preserves_stats_but_drops_entries() {
+        let mut c = DecisionCache::default();
+        let k = key("a", "op", "o");
+        c.insert(k.clone(), true);
+        c.lookup(&k);
+        let hits = c.stats().hits;
+        c.resize(DecisionCacheConfig {
+            total_slots: 64,
+            subregion_slots: 8,
+        });
+        assert_eq!(c.stats().hits, hits);
+        assert_eq!(c.lookup(&k), None);
+    }
+
+    #[test]
+    fn negative_decisions_cacheable_too() {
+        let mut c = DecisionCache::default();
+        let k = key("mallory", "write", "file:/x");
+        c.insert(k.clone(), false);
+        assert_eq!(c.lookup(&k), Some(false));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = DecisionCache::default();
+        c.insert(key("a", "r", "o"), true);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for logical-attestation operations.
+
+use nexus_nal::{CheckError, ParseError};
+use std::fmt;
+
+/// Errors from label, goal, credential, and guard operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Label handle not present in the labelstore.
+    NoSuchLabel(u64),
+    /// NAL parse failure (e.g. in `say`).
+    Parse(ParseError),
+    /// The caller is not permitted to make this statement (a process
+    /// may only `say` in its own name or that of its subprincipals).
+    NotSpeaker {
+        /// Who tried to speak.
+        caller: String,
+        /// Whose statement it would have been.
+        speaker: String,
+    },
+    /// Certificate chain failed to verify.
+    BadCertificate(String),
+    /// Proof checking failed.
+    Check(CheckError),
+    /// No proof supplied or stored for the request.
+    NoProof,
+    /// TPM error during externalization.
+    Tpm(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoSuchLabel(h) => write!(f, "no label with handle {h}"),
+            CoreError::Parse(e) => write!(f, "{e}"),
+            CoreError::NotSpeaker { caller, speaker } => {
+                write!(f, "{caller} may not speak for {speaker}")
+            }
+            CoreError::BadCertificate(m) => write!(f, "bad certificate: {m}"),
+            CoreError::Check(e) => write!(f, "{e}"),
+            CoreError::NoProof => write!(f, "no proof supplied"),
+            CoreError::Tpm(m) => write!(f, "TPM error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+
+impl From<CheckError> for CoreError {
+    fn from(e: CheckError) -> Self {
+        CoreError::Check(e)
+    }
+}

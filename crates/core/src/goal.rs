@@ -1,0 +1,201 @@
+//! Goal formulas and the goalstore (§2.5–2.6).
+//!
+//! `setgoal` associates a NAL formula with an (operation, resource)
+//! pair; subsequent operations are vectored to a guard that checks
+//! client proofs against the formula. Setting a goal is itself a
+//! guarded operation (typically restricted to the resource owner).
+//!
+//! The default policy problem: a nascent object with no goal yet must
+//! not be world-accessible. The kernel-designated guard interprets the
+//! absence of a goal as `resource-manager.object says operation`,
+//! satisfiable only by the object itself or its superprincipal, the
+//! resource manager that created it.
+
+use crate::resource::{OpName, ResourceId};
+use nexus_nal::{Formula, Principal};
+use std::collections::HashMap;
+
+/// A goal plus its vectoring information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalEntry {
+    /// The goal formula; may contain `$subject`, `$operation`,
+    /// `$object` variables instantiated by the guard per request.
+    pub formula: Formula,
+    /// IPC port of a designated guard, or `None` for the
+    /// kernel-designated default guard.
+    pub guard_port: Option<u64>,
+    /// Monotonic epoch, bumped on every change — consumed by the
+    /// decision cache for invalidation bookkeeping.
+    pub epoch: u64,
+}
+
+/// The kernel's table of goal formulas.
+#[derive(Debug, Default)]
+pub struct GoalStore {
+    goals: HashMap<(ResourceId, OpName), GoalEntry>,
+    epoch: u64,
+}
+
+impl GoalStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `setgoal` system call. Returns the new epoch.
+    pub fn set_goal(
+        &mut self,
+        resource: ResourceId,
+        op: OpName,
+        formula: Formula,
+        guard_port: Option<u64>,
+    ) -> u64 {
+        self.epoch += 1;
+        self.goals.insert(
+            (resource, op),
+            GoalEntry {
+                formula,
+                guard_port,
+                epoch: self.epoch,
+            },
+        );
+        self.epoch
+    }
+
+    /// Remove a goal (`goal clr` in Figure 6). Returns the new epoch,
+    /// or `None` if there was nothing to clear.
+    pub fn clear_goal(&mut self, resource: &ResourceId, op: &OpName) -> Option<u64> {
+        self.goals
+            .remove(&(resource.clone(), op.clone()))
+            .map(|_| {
+                self.epoch += 1;
+                self.epoch
+            })
+    }
+
+    /// Look up the goal for an (operation, resource) pair.
+    pub fn get(&self, resource: &ResourceId, op: &OpName) -> Option<&GoalEntry> {
+        self.goals.get(&(resource.clone(), op.clone()))
+    }
+
+    /// The effective goal: the stored formula, or the default policy
+    /// `resource-manager.object says operation` when none is set.
+    pub fn effective_goal(
+        &self,
+        resource_manager: &Principal,
+        resource: &ResourceId,
+        op: &OpName,
+    ) -> Formula {
+        match self.get(resource, op) {
+            Some(entry) => entry.formula.clone(),
+            None => Self::default_goal(resource_manager, resource, op),
+        }
+    }
+
+    /// The bootstrap default policy (§2.6).
+    pub fn default_goal(
+        resource_manager: &Principal,
+        resource: &ResourceId,
+        op: &OpName,
+    ) -> Formula {
+        let object_principal = resource_manager.sub(resource.0.clone());
+        Formula::pred(op.0.clone(), vec![]).says(object_principal)
+    }
+
+    /// Number of goals set.
+    pub fn len(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// True if no goals set.
+    pub fn is_empty(&self) -> bool {
+        self.goals.is_empty()
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_nal::parse;
+
+    #[test]
+    fn set_get_clear() {
+        let mut gs = GoalStore::new();
+        let r = ResourceId::file("/secret");
+        let op = OpName::from("read");
+        let f = parse("Owner says TimeNow < 20110319").unwrap();
+        let e1 = gs.set_goal(r.clone(), op.clone(), f.clone(), None);
+        assert_eq!(gs.get(&r, &op).unwrap().formula, f);
+        assert_eq!(gs.get(&r, &op).unwrap().epoch, e1);
+        let e2 = gs.clear_goal(&r, &op).unwrap();
+        assert!(e2 > e1);
+        assert!(gs.get(&r, &op).is_none());
+        assert!(gs.clear_goal(&r, &op).is_none());
+    }
+
+    #[test]
+    fn default_policy_names_resource_manager_subprincipal() {
+        let fs = Principal::name("FS");
+        let r = ResourceId::file("/dir/file");
+        let g = GoalStore::default_goal(&fs, &r, &OpName::from("write"));
+        assert_eq!(g, parse("FS.file:/dir/file says write").unwrap());
+    }
+
+    #[test]
+    fn effective_goal_falls_back_to_default() {
+        let mut gs = GoalStore::new();
+        let fs = Principal::name("FS");
+        let r = ResourceId::file("/f");
+        let op = OpName::from("read");
+        let def = gs.effective_goal(&fs, &r, &op);
+        assert_eq!(def, GoalStore::default_goal(&fs, &r, &op));
+        let f = parse("anyone says ok").unwrap();
+        gs.set_goal(r.clone(), op.clone(), f.clone(), None);
+        assert_eq!(gs.effective_goal(&fs, &r, &op), f);
+    }
+
+    #[test]
+    fn per_operation_goals_are_independent() {
+        let mut gs = GoalStore::new();
+        let r = ResourceId::vkey(1);
+        // Group signatures (§3.3): different goals for sign vs
+        // externalize on the same key.
+        gs.set_goal(
+            r.clone(),
+            OpName::from("sign"),
+            parse("GroupMgr says member($subject)").unwrap(),
+            None,
+        );
+        gs.set_goal(
+            r.clone(),
+            OpName::from("externalize"),
+            parse("GroupMgr says keymaster($subject)").unwrap(),
+            None,
+        );
+        assert_ne!(
+            gs.get(&r, &OpName::from("sign")).unwrap().formula,
+            gs.get(&r, &OpName::from("externalize")).unwrap().formula
+        );
+    }
+
+    #[test]
+    fn lockout_is_possible_without_superuser() {
+        // Footnote 2: a bad application can set an unsatisfiable goal
+        // on its own resource. The goalstore does not prevent this —
+        // there is no superuser.
+        let mut gs = GoalStore::new();
+        let r = ResourceId::file("/mine");
+        gs.set_goal(
+            r.clone(),
+            OpName::from("read"),
+            Formula::False,
+            None,
+        );
+        assert_eq!(gs.get(&r, &OpName::from("read")).unwrap().formula, Formula::False);
+    }
+}

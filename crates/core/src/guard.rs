@@ -1,0 +1,601 @@
+//! Guards: proof-checking reference monitors (§2.6, §2.9).
+//!
+//! A guard receives (subject, operation, object, proof, labels),
+//! instantiates the goal formula for the operation, checks the proof,
+//! validates every leaf against the supplied credentials or a
+//! registered authority, and answers allow/deny together with a
+//! *cacheability* bit: decisions whose proofs rest only on
+//! indefinitely-valid labels may be stored in the kernel decision
+//! cache; any authority dependence makes the decision uncacheable.
+//!
+//! The guard keeps its own cache of proof-checking work (§2.9):
+//! structural soundness of a (proof, goal) pair never changes, so it
+//! is memoized; *credential matching* — do the leaves hold right now?
+//! — is re-done on every request, which is exactly the paper's split
+//! (Figure 4's `no cred` case costs ~20% over `pass` even when
+//! everything else is cached).
+
+use crate::authority::AuthorityRegistry;
+use crate::error::CoreError;
+use crate::resource::{OpName, ResourceId};
+use nexus_nal::check::{check, normalize, Assumptions};
+use nexus_nal::{CheckError, Formula, Principal, Proof, Subst, Term};
+use sha2::{Digest as _, Sha256};
+use std::collections::{HashMap, VecDeque};
+
+/// A guarded access request.
+#[derive(Debug, Clone)]
+pub struct AccessRequest<'a> {
+    /// The requesting principal.
+    pub subject: &'a Principal,
+    /// The operation being attempted.
+    pub operation: &'a OpName,
+    /// The resource operated on.
+    pub object: &'a ResourceId,
+    /// The client-supplied proof.
+    pub proof: Option<&'a Proof>,
+    /// The client's credentials (label formulas), already
+    /// authenticated by the kernel (labelstore) or by certificate
+    /// verification at import time.
+    pub labels: &'a [Formula],
+}
+
+/// Why a request was denied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DenyReason {
+    /// No proof was supplied (and none stored).
+    NoProof,
+    /// The proof is structurally unsound.
+    Unsound(CheckError),
+    /// The proof is sound but proves something other than the goal.
+    WrongConclusion {
+        /// What the proof establishes.
+        proved: Box<Formula>,
+        /// What the goal requires.
+        goal: Box<Formula>,
+    },
+    /// A proof leaf is not among the supplied credentials and no
+    /// authority covers it.
+    MissingCredential(Formula),
+    /// An authority was consulted and said no.
+    AuthorityDenied(Formula),
+}
+
+/// The guard's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Allow the operation?
+    pub allow: bool,
+    /// May the kernel cache this decision? True only when the proof's
+    /// leaves are all indefinitely-valid labels.
+    pub cacheable: bool,
+    /// Deny rationale (None when allowed).
+    pub reason: Option<DenyReason>,
+}
+
+impl Decision {
+    fn allow(cacheable: bool) -> Decision {
+        Decision {
+            allow: true,
+            cacheable,
+            reason: None,
+        }
+    }
+
+    fn deny(cacheable: bool, reason: DenyReason) -> Decision {
+        Decision {
+            allow: false,
+            cacheable,
+            reason: Some(reason),
+        }
+    }
+}
+
+/// Guard cache configuration (§2.9).
+#[derive(Debug, Clone, Copy)]
+pub struct GuardCacheConfig {
+    /// Maximum number of memoized (proof, goal) checks.
+    pub capacity: usize,
+    /// Per-root-principal quota, limiting exhaustion attacks by
+    /// incessant spawning of subprincipals: quotas attach to the root
+    /// of the process tree.
+    pub per_principal_quota: usize,
+}
+
+impl Default for GuardCacheConfig {
+    fn default() -> Self {
+        GuardCacheConfig {
+            capacity: 1024,
+            per_principal_quota: 256,
+        }
+    }
+}
+
+/// Guard statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Total checks performed.
+    pub checks: u64,
+    /// Proof-checking work skipped via the guard cache.
+    pub cache_hits: u64,
+    /// Full proof checks.
+    pub cache_misses: u64,
+    /// Authority consultations.
+    pub authority_queries: u64,
+    /// Entries evicted from the guard cache.
+    pub evictions: u64,
+}
+
+#[derive(Clone)]
+struct CachedCheck {
+    /// Structural check outcome.
+    result: Result<Formula, CheckError>,
+    /// The proof's credential leaves (cloned out so credential
+    /// matching can run without re-walking the proof).
+    leaves: Vec<Formula>,
+    owner: Principal,
+}
+
+/// The guard.
+pub struct Guard {
+    cfg: GuardCacheConfig,
+    cache: HashMap<(u64, u64), CachedCheck>,
+    /// Insertion order per owning root principal, for preferential
+    /// eviction.
+    order: HashMap<Principal, VecDeque<(u64, u64)>>,
+    stats: GuardStats,
+}
+
+impl Guard {
+    /// Guard with default cache configuration.
+    pub fn new() -> Self {
+        Self::with_config(GuardCacheConfig::default())
+    }
+
+    /// Guard with explicit cache configuration.
+    pub fn with_config(cfg: GuardCacheConfig) -> Self {
+        Guard {
+            cfg,
+            cache: HashMap::new(),
+            order: HashMap::new(),
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Instantiate a goal formula for a request: `$subject`,
+    /// `$operation`, `$object` bind to the request parameters.
+    pub fn instantiate_goal(goal: &Formula, req: &AccessRequest<'_>) -> Formula {
+        let s = Subst::new()
+            .bind_principal("subject", req.subject.clone())
+            .bind("operation", Term::sym(req.operation.0.clone()))
+            .bind("object", Term::sym(req.object.0.clone()));
+        s.apply(goal)
+    }
+
+    /// Evaluate a request against a goal formula.
+    ///
+    /// `authorities` supplies the registry used to validate leaves
+    /// that reference dynamic state.
+    pub fn check(
+        &mut self,
+        req: &AccessRequest<'_>,
+        goal: &Formula,
+        authorities: &AuthorityRegistry,
+    ) -> Decision {
+        self.stats.checks += 1;
+        let goal = Self::instantiate_goal(goal, req);
+        // Trivial goals need no proof: `true` is the "default ALLOW"
+        // policy of Figure 4's `no goal` case.
+        if normalize(&goal) == Formula::True {
+            return Decision::allow(true);
+        }
+        let proof = match req.proof {
+            Some(p) => p,
+            // A missing proof is a static denial: installing a proof
+            // later invalidates the decision-cache entry (§2.8), so
+            // the kernel may cache it.
+            None => return Decision::deny(true, DenyReason::NoProof),
+        };
+
+        // 1. Structural check (memoized).
+        let (result, leaves) = self.check_structure(proof, &goal, req.subject);
+        let concl = match result {
+            Ok(c) => c,
+            // Unsoundness is a property of the proof alone: cacheable
+            // (a proof update invalidates the entry).
+            Err(e) => return Decision::deny(true, DenyReason::Unsound(e)),
+        };
+        if normalize(&concl) != normalize(&goal) {
+            // Depends only on (proof, goal): cacheable — setgoal
+            // invalidates the subregion, proof update the entry.
+            return Decision::deny(
+                true,
+                DenyReason::WrongConclusion {
+                    proved: Box::new(concl),
+                    goal: Box::new(goal),
+                },
+            );
+        }
+
+        // 2. Credential matching — never cached (§2.9).
+        let label_set = Assumptions::from_iter(req.labels.iter());
+        let mut cacheable = true;
+        for leaf in &leaves {
+            if label_set.contains(leaf) {
+                continue;
+            }
+            // Authority fallback: leaf must be `P says S` with a
+            // registered authority for P.
+            if let Formula::Says(p, s) = leaf {
+                if let Some(answer) = authorities.query(p, s) {
+                    self.stats.authority_queries += 1;
+                    cacheable = false; // dynamic state ⇒ uncacheable
+                    if answer {
+                        continue;
+                    }
+                    return Decision::deny(false, DenyReason::AuthorityDenied(leaf.clone()));
+                }
+            }
+            return Decision::deny(false, DenyReason::MissingCredential(leaf.clone()));
+        }
+        Decision::allow(cacheable)
+    }
+
+    /// Structural proof check with memoization. Soundness of a proof
+    /// never changes, so the (proof, goal-independent) result and the
+    /// leaf list are cached keyed by proof digest.
+    fn check_structure(
+        &mut self,
+        proof: &Proof,
+        _goal: &Formula,
+        subject: &Principal,
+    ) -> (Result<Formula, CheckError>, Vec<Formula>) {
+        let key = (Self::digest_proof(proof), 0u64);
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return (hit.result.clone(), hit.leaves.clone());
+        }
+        self.stats.cache_misses += 1;
+        // Validate rule applications with the proof's own leaves
+        // admitted; credential presence is checked separately.
+        let leaves: Vec<Formula> = proof.leaves().into_iter().cloned().collect();
+        let asm = Assumptions::from_iter(leaves.iter());
+        let result = check(proof, &asm);
+        self.insert_cached(
+            key,
+            CachedCheck {
+                result: result.clone(),
+                leaves: leaves.clone(),
+                owner: subject.root().clone(),
+            },
+        );
+        (result, leaves)
+    }
+
+    fn digest_proof(proof: &Proof) -> u64 {
+        let bytes = serde_json::to_vec(proof).unwrap_or_default();
+        let mut h = Sha256::new();
+        h.update(&bytes);
+        let out = h.finalize();
+        u64::from_le_bytes(out[..8].try_into().expect("sha256 is 32 bytes"))
+    }
+
+    fn insert_cached(&mut self, key: (u64, u64), value: CachedCheck) {
+        let owner = value.owner.clone();
+        // Per-principal quota: evict the same principal's oldest.
+        let own_queue_len = self.order.get(&owner).map(|q| q.len()).unwrap_or(0);
+        if own_queue_len >= self.cfg.per_principal_quota {
+            self.evict_from(&owner.clone());
+        } else if self.cache.len() >= self.cfg.capacity {
+            // Prefer evicting the requesting principal's own entries
+            // (§2.9), falling back to the heaviest user.
+            if own_queue_len > 0 {
+                self.evict_from(&owner.clone());
+            } else if let Some(heaviest) = self
+                .order
+                .iter()
+                .max_by_key(|(_, q)| q.len())
+                .map(|(p, _)| p.clone())
+            {
+                self.evict_from(&heaviest);
+            }
+        }
+        self.order.entry(owner).or_default().push_back(key);
+        self.cache.insert(key, value);
+    }
+
+    fn evict_from(&mut self, owner: &Principal) {
+        if let Some(queue) = self.order.get_mut(owner) {
+            if let Some(old) = queue.pop_front() {
+                self.cache.remove(&old);
+                self.stats.evictions += 1;
+            }
+            if queue.is_empty() {
+                self.order.remove(owner);
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// Current number of memoized checks.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop all memoized state (it is soft state; correctness is
+    /// unaffected, §2.9).
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+        self.order.clear();
+    }
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience used by callers that assemble everything themselves:
+/// run a one-shot guard check without memoization.
+pub fn check_once(
+    req: &AccessRequest<'_>,
+    goal: &Formula,
+    authorities: &AuthorityRegistry,
+) -> Result<Decision, CoreError> {
+    let mut g = Guard::with_config(GuardCacheConfig {
+        capacity: 1,
+        per_principal_quota: 1,
+    });
+    Ok(g.check(req, goal, authorities))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::{AuthorityKind, FnAuthority};
+    use nexus_nal::{parse, prove, ProverConfig};
+    use std::sync::Arc;
+
+    fn subject() -> Principal {
+        Principal::name("/proc/ipd/12")
+    }
+
+    fn req_parts() -> (OpName, ResourceId) {
+        (OpName::from("read"), ResourceId::file("/secret"))
+    }
+
+    fn build_req<'a>(
+        subject: &'a Principal,
+        op: &'a OpName,
+        obj: &'a ResourceId,
+        proof: Option<&'a Proof>,
+        labels: &'a [Formula],
+    ) -> AccessRequest<'a> {
+        AccessRequest {
+            subject,
+            operation: op,
+            object: obj,
+            proof,
+            labels,
+        }
+    }
+
+    #[test]
+    fn pass_with_label_backed_proof_is_cacheable() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let labels = vec![parse("Owner says ok").unwrap()];
+        let goal = parse("Owner says ok").unwrap();
+        let proof = prove(&goal, &labels, ProverConfig::default()).unwrap();
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &labels);
+        let d = guard.check(&req, &goal, &AuthorityRegistry::new());
+        assert!(d.allow);
+        assert!(d.cacheable);
+    }
+
+    #[test]
+    fn no_proof_denied() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, None, &[]);
+        let d = guard.check(&req, &goal, &AuthorityRegistry::new());
+        assert!(!d.allow);
+        assert_eq!(d.reason, Some(DenyReason::NoProof));
+    }
+
+    #[test]
+    fn true_goal_allows_without_proof() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, None, &[]);
+        let d = guard.check(&req, &Formula::True, &AuthorityRegistry::new());
+        assert!(d.allow);
+        assert!(d.cacheable);
+    }
+
+    #[test]
+    fn unsound_proof_denied() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        // AndElimL applied to a non-conjunction.
+        let bad = Proof::AndElimL(Box::new(Proof::assume(parse("Owner says ok").unwrap())));
+        let labels = vec![parse("Owner says ok").unwrap()];
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&bad), &labels);
+        let d = guard.check(&req, &goal, &AuthorityRegistry::new());
+        assert!(!d.allow);
+        assert!(matches!(d.reason, Some(DenyReason::Unsound(_))));
+    }
+
+    #[test]
+    fn wrong_conclusion_denied() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let labels = vec![parse("Owner says other").unwrap()];
+        let proof = Proof::assume(parse("Owner says other").unwrap());
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &labels);
+        let d = guard.check(&req, &goal, &AuthorityRegistry::new());
+        assert!(!d.allow);
+        assert!(matches!(d.reason, Some(DenyReason::WrongConclusion { .. })));
+    }
+
+    #[test]
+    fn missing_credential_denied() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let proof = Proof::assume(parse("Owner says ok").unwrap());
+        // Proof references a label the client does not hold.
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &[]);
+        let d = guard.check(&req, &goal, &AuthorityRegistry::new());
+        assert!(!d.allow);
+        assert!(matches!(d.reason, Some(DenyReason::MissingCredential(_))));
+    }
+
+    #[test]
+    fn authority_backed_leaf_allows_but_uncacheable() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("NTP says TimeNow < 20110319").unwrap();
+        let proof = Proof::assume(goal.clone());
+        let mut reg = AuthorityRegistry::new();
+        reg.register(
+            Principal::name("NTP"),
+            Arc::new(FnAuthority(|s: &Formula| {
+                s.to_string() == "TimeNow < 20110319"
+            })),
+            AuthorityKind::External,
+        );
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &[]);
+        let d = guard.check(&req, &goal, &reg);
+        assert!(d.allow);
+        assert!(!d.cacheable, "authority dependence must be uncacheable");
+    }
+
+    #[test]
+    fn authority_denial() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("NTP says TimeNow < 20110319").unwrap();
+        let proof = Proof::assume(goal.clone());
+        let mut reg = AuthorityRegistry::new();
+        reg.register(
+            Principal::name("NTP"),
+            Arc::new(FnAuthority(|_| false)),
+            AuthorityKind::External,
+        );
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &[]);
+        let d = guard.check(&req, &goal, &reg);
+        assert!(!d.allow);
+        assert!(matches!(d.reason, Some(DenyReason::AuthorityDenied(_))));
+    }
+
+    #[test]
+    fn goal_variables_instantiate_from_request() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        // §2.5's goal shape: the subject itself must request the open.
+        let goal = parse("$subject says openFile($object)").unwrap();
+        let labels = vec![parse("/proc/ipd/12 says openFile(file:/secret)").unwrap()];
+        let proof = Proof::assume(labels[0].clone());
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &labels);
+        let d = guard.check(&req, &goal, &AuthorityRegistry::new());
+        assert!(d.allow, "reason: {:?}", d.reason);
+
+        // A different subject's label must not satisfy it.
+        let mallory = Principal::name("/proc/ipd/66");
+        let req2 = build_req(&mallory, &op, &obj, Some(&proof), &labels);
+        let d2 = guard.check(&req2, &goal, &AuthorityRegistry::new());
+        assert!(!d2.allow);
+    }
+
+    #[test]
+    fn guard_cache_hits_on_repeat() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let labels = vec![goal.clone()];
+        let proof = Proof::assume(goal.clone());
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &labels);
+        guard.check(&req, &goal, &AuthorityRegistry::new());
+        guard.check(&req, &goal, &AuthorityRegistry::new());
+        guard.check(&req, &goal, &AuthorityRegistry::new());
+        let st = guard.stats();
+        assert_eq!(st.cache_misses, 1);
+        assert_eq!(st.cache_hits, 2);
+    }
+
+    #[test]
+    fn credential_matching_not_cached() {
+        // Same proof, but credentials disappear between calls: the
+        // second call must deny even though the structure check hits
+        // the cache.
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let labels = vec![goal.clone()];
+        let proof = Proof::assume(goal.clone());
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &labels);
+        assert!(guard.check(&req, &goal, &AuthorityRegistry::new()).allow);
+        let req2 = build_req(&s, &op, &obj, Some(&proof), &[]);
+        let d = guard.check(&req2, &goal, &AuthorityRegistry::new());
+        assert!(!d.allow);
+        assert_eq!(guard.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn per_principal_quota_and_eviction() {
+        let cfg = GuardCacheConfig {
+            capacity: 8,
+            per_principal_quota: 2,
+        };
+        let mut guard = Guard::with_config(cfg);
+        let (op, obj) = req_parts();
+        let reg = AuthorityRegistry::new();
+        // One principal floods the cache with distinct proofs.
+        let flooder = Principal::name("flood").sub("child");
+        for i in 0..6 {
+            let f = parse(&format!("flood says stmt{i}")).unwrap();
+            let labels = vec![f.clone()];
+            let proof = Proof::assume(f.clone());
+            let req = build_req(&flooder, &op, &obj, Some(&proof), &labels);
+            guard.check(&req, &f, &reg);
+        }
+        // Quota (keyed on the *root* of the process tree) caps the
+        // flooder at 2 entries.
+        assert!(guard.cache_len() <= 2, "len={}", guard.cache_len());
+        assert!(guard.stats().evictions >= 4);
+    }
+
+    #[test]
+    fn flush_cache_is_safe() {
+        let s = subject();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let labels = vec![goal.clone()];
+        let proof = Proof::assume(goal.clone());
+        let mut guard = Guard::new();
+        let req = build_req(&s, &op, &obj, Some(&proof), &labels);
+        assert!(guard.check(&req, &goal, &AuthorityRegistry::new()).allow);
+        guard.flush_cache();
+        assert!(guard.check(&req, &goal, &AuthorityRegistry::new()).allow);
+    }
+}

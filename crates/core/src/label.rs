@@ -1,0 +1,252 @@
+//! Labels and labelstores (§2.2–2.3).
+//!
+//! A label is an attributed statement `P says S` created by invoking
+//! the `say` system call. Because `say` traps into the kernel over a
+//! secure channel, the kernel can attribute the statement to the
+//! calling process *without any cryptography* — this is the heart of
+//! the paper's "cryptography avoidance" (Figure 6's three orders of
+//! magnitude). The labelstore holds labels; they can be transferred
+//! between stores, externalized into signed certificates, imported
+//! back, and deleted.
+
+use crate::credential::Certificate;
+use crate::error::CoreError;
+use crate::signer::KernelSigner;
+use nexus_nal::{parse, Formula, Principal};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Handle to a label within a labelstore (returned by `say`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelHandle(pub u64);
+
+/// An attributed, unforgeable statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Label {
+    /// The speaker the kernel attributed the statement to.
+    pub speaker: Principal,
+    /// The statement made.
+    pub statement: Formula,
+}
+
+impl Label {
+    /// The label as a NAL formula: `speaker says statement`.
+    pub fn formula(&self) -> Formula {
+        self.statement.clone().says(self.speaker.clone())
+    }
+}
+
+/// A kernel-maintained store of labels belonging to one principal
+/// (typically one process).
+#[derive(Debug, Default)]
+pub struct LabelStore {
+    labels: HashMap<u64, Label>,
+    next: u64,
+}
+
+impl LabelStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `say` system call: attribute `statement` (NAL concrete
+    /// syntax) to `caller` and deposit the label. The kernel enforces
+    /// that a process speaks only in its own name — or that of its
+    /// subprincipals (a process may mint statements for objects it
+    /// implements, just as the filesystem speaks for `FS./dir/file`).
+    pub fn say(
+        &mut self,
+        caller: &Principal,
+        statement: &str,
+    ) -> Result<LabelHandle, CoreError> {
+        let f = parse(statement)?;
+        self.say_parsed(caller, caller.clone(), f)
+    }
+
+    /// `say` with an explicit speaker, still subject to the
+    /// caller-speaks-for-speaker rule.
+    pub fn say_as(
+        &mut self,
+        caller: &Principal,
+        speaker: Principal,
+        statement: &str,
+    ) -> Result<LabelHandle, CoreError> {
+        let f = parse(statement)?;
+        self.say_parsed(caller, speaker, f)
+    }
+
+    /// `say` with a pre-parsed statement.
+    pub fn say_parsed(
+        &mut self,
+        caller: &Principal,
+        speaker: Principal,
+        statement: Formula,
+    ) -> Result<LabelHandle, CoreError> {
+        if &speaker != caller && !caller.is_ancestor_of(&speaker) {
+            return Err(CoreError::NotSpeaker {
+                caller: caller.to_string(),
+                speaker: speaker.to_string(),
+            });
+        }
+        Ok(self.insert(Label { speaker, statement }))
+    }
+
+    /// Insert a label the kernel itself vouches for (e.g. the
+    /// `Nexus says IPC.x speaksfor /proc/ipd/y` port-binding labels).
+    /// Not reachable from user programs.
+    pub fn insert(&mut self, label: Label) -> LabelHandle {
+        let h = self.next;
+        self.next += 1;
+        self.labels.insert(h, label);
+        LabelHandle(h)
+    }
+
+    /// Read a label.
+    pub fn get(&self, h: LabelHandle) -> Result<&Label, CoreError> {
+        self.labels.get(&h.0).ok_or(CoreError::NoSuchLabel(h.0))
+    }
+
+    /// Delete a label.
+    pub fn delete(&mut self, h: LabelHandle) -> Result<Label, CoreError> {
+        self.labels.remove(&h.0).ok_or(CoreError::NoSuchLabel(h.0))
+    }
+
+    /// Move a label to another store (e.g. handing a credential to a
+    /// peer process).
+    pub fn transfer(
+        &mut self,
+        h: LabelHandle,
+        to: &mut LabelStore,
+    ) -> Result<LabelHandle, CoreError> {
+        let label = self.delete(h)?;
+        Ok(to.insert(label))
+    }
+
+    /// Externalize a label into a signed certificate chain
+    /// ("TPM says kernel says labelstore says process says S", §2.4).
+    /// This is the expensive path: asymmetric signing.
+    pub fn externalize(
+        &self,
+        h: LabelHandle,
+        signer: &KernelSigner,
+    ) -> Result<Certificate, CoreError> {
+        let label = self.get(h)?;
+        Ok(signer.sign_label(label))
+    }
+
+    /// Import an externalized certificate: verify the chain back to
+    /// the TPM's endorsement key and deposit the label spoken by the
+    /// fully-qualified principal. The expensive path again:
+    /// asymmetric verification.
+    pub fn import(
+        &mut self,
+        cert: &Certificate,
+        trusted_ek: &ed25519_dalek::VerifyingKey,
+    ) -> Result<LabelHandle, CoreError> {
+        let label = cert.verify(trusted_ek)?;
+        Ok(self.insert(label))
+    }
+
+    /// All label formulas in the store — what gets handed to the guard
+    /// as the credential set.
+    pub fn formulas(&self) -> Vec<Formula> {
+        let mut v: Vec<(u64, Formula)> = self
+            .labels
+            .iter()
+            .map(|(h, l)| (*h, l.formula()))
+            .collect();
+        v.sort_by_key(|(h, _)| *h);
+        v.into_iter().map(|(_, f)| f).collect()
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_nal::parse;
+
+    fn p(n: &str) -> Principal {
+        Principal::name(n)
+    }
+
+    #[test]
+    fn say_attributes_to_caller() {
+        let mut store = LabelStore::new();
+        let proc12 = p("/proc/ipd/12");
+        let h = store.say(&proc12, "openFile(secret)").unwrap();
+        let label = store.get(h).unwrap();
+        assert_eq!(label.speaker, proc12);
+        assert_eq!(
+            label.formula(),
+            parse("/proc/ipd/12 says openFile(secret)").unwrap()
+        );
+    }
+
+    #[test]
+    fn say_rejects_impersonation() {
+        let mut store = LabelStore::new();
+        let attacker = p("/proc/ipd/66");
+        let victim = p("/proc/ipd/12");
+        let err = store.say_as(&attacker, victim, "ok");
+        assert!(matches!(err, Err(CoreError::NotSpeaker { .. })));
+    }
+
+    #[test]
+    fn say_allows_subprincipal_speech() {
+        // The filesystem may speak for files it implements.
+        let mut store = LabelStore::new();
+        let fs = p("FS");
+        let file = fs.sub("/dir/file");
+        let h = store.say_as(&fs, file.clone(), "created").unwrap();
+        assert_eq!(store.get(h).unwrap().speaker, file);
+    }
+
+    #[test]
+    fn delete_and_missing_handles() {
+        let mut store = LabelStore::new();
+        let h = store.say(&p("A"), "x").unwrap();
+        store.delete(h).unwrap();
+        assert!(matches!(store.get(h), Err(CoreError::NoSuchLabel(_))));
+        assert!(matches!(store.delete(h), Err(CoreError::NoSuchLabel(_))));
+    }
+
+    #[test]
+    fn transfer_moves_between_stores() {
+        let mut a = LabelStore::new();
+        let mut b = LabelStore::new();
+        let h = a.say(&p("A"), "x").unwrap();
+        let h2 = a.transfer(h, &mut b).unwrap();
+        assert!(a.is_empty());
+        assert_eq!(b.get(h2).unwrap().formula(), parse("A says x").unwrap());
+    }
+
+    #[test]
+    fn formulas_sorted_by_insertion() {
+        let mut store = LabelStore::new();
+        store.say(&p("A"), "one").unwrap();
+        store.say(&p("A"), "two").unwrap();
+        let fs = store.formulas();
+        assert_eq!(fs[0], parse("A says one").unwrap());
+        assert_eq!(fs[1], parse("A says two").unwrap());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut store = LabelStore::new();
+        assert!(matches!(
+            store.say(&p("A"), "says says"),
+            Err(CoreError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-request proof storage.
+//!
+//! Clients install proofs ahead of time (`proof set` / `proof clr` in
+//! Figure 6); the kernel fetches the stored proof for the
+//! (subject, operation, object) tuple on each guarded invocation. The
+//! kernel interposes on updates so it can invalidate the corresponding
+//! decision-cache entry (§2.8).
+
+use crate::decision_cache::CacheKey;
+use crate::resource::{OpName, ResourceId};
+use nexus_nal::{Principal, Proof};
+use std::collections::HashMap;
+
+/// Proofs keyed by access-control tuple.
+#[derive(Debug, Default)]
+pub struct ProofStore {
+    proofs: HashMap<CacheKey, Proof>,
+}
+
+impl ProofStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the proof for a tuple. Returns the cache
+    /// key so the caller can invalidate the decision cache.
+    pub fn set_proof(
+        &mut self,
+        subject: Principal,
+        operation: OpName,
+        object: ResourceId,
+        proof: Proof,
+    ) -> CacheKey {
+        let key = CacheKey {
+            subject,
+            operation,
+            object,
+        };
+        self.proofs.insert(key.clone(), proof);
+        key
+    }
+
+    /// Remove the proof for a tuple.
+    pub fn clear_proof(
+        &mut self,
+        subject: &Principal,
+        operation: &OpName,
+        object: &ResourceId,
+    ) -> Option<CacheKey> {
+        let key = CacheKey {
+            subject: subject.clone(),
+            operation: operation.clone(),
+            object: object.clone(),
+        };
+        self.proofs.remove(&key).map(|_| key)
+    }
+
+    /// Fetch the stored proof.
+    pub fn get(
+        &self,
+        subject: &Principal,
+        operation: &OpName,
+        object: &ResourceId,
+    ) -> Option<&Proof> {
+        let key = CacheKey {
+            subject: subject.clone(),
+            operation: operation.clone(),
+            object: object.clone(),
+        };
+        self.proofs.get(&key)
+    }
+
+    /// Number of stored proofs.
+    pub fn len(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.proofs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_nal::{parse, Proof};
+
+    #[test]
+    fn set_get_clear() {
+        let mut ps = ProofStore::new();
+        let subject = Principal::name("alice");
+        let op = OpName::from("read");
+        let obj = ResourceId::file("/x");
+        let proof = Proof::assume(parse("A says p").unwrap());
+        ps.set_proof(subject.clone(), op.clone(), obj.clone(), proof.clone());
+        assert_eq!(ps.get(&subject, &op, &obj), Some(&proof));
+        assert!(ps.clear_proof(&subject, &op, &obj).is_some());
+        assert!(ps.get(&subject, &op, &obj).is_none());
+        assert!(ps.clear_proof(&subject, &op, &obj).is_none());
+    }
+
+    #[test]
+    fn proofs_are_per_tuple() {
+        let mut ps = ProofStore::new();
+        let a = Principal::name("a");
+        let b = Principal::name("b");
+        let op = OpName::from("read");
+        let obj = ResourceId::file("/x");
+        let pa = Proof::assume(parse("A says p").unwrap());
+        let pb = Proof::assume(parse("B says q").unwrap());
+        ps.set_proof(a.clone(), op.clone(), obj.clone(), pa.clone());
+        ps.set_proof(b.clone(), op.clone(), obj.clone(), pb.clone());
+        assert_eq!(ps.get(&a, &op, &obj), Some(&pa));
+        assert_eq!(ps.get(&b, &op, &obj), Some(&pb));
+        assert_eq!(ps.len(), 2);
+    }
+}

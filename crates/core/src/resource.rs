@@ -1,0 +1,100 @@
+//! Resource and operation names.
+//!
+//! Nexus allows a goal formula to be attached to *any* operation on
+//! *any* system resource (§2.5): processes, threads, memory maps,
+//! pages, IPC ports, files, directories, VDIRs, VKEYs…  Resources are
+//! identified by structured string names so the same goalstore serves
+//! every resource manager.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A resource identifier, e.g. `file:/fauxbook/alice/wall`,
+/// `ipc:42`, `ipd:12`, `vdir:3`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub String);
+
+impl ResourceId {
+    /// Build a namespaced id.
+    pub fn new(kind: &str, name: impl fmt::Display) -> Self {
+        ResourceId(format!("{kind}:{name}"))
+    }
+
+    /// A file resource.
+    pub fn file(path: &str) -> Self {
+        Self::new("file", path)
+    }
+
+    /// An IPC port resource.
+    pub fn ipc(port: u64) -> Self {
+        Self::new("ipc", port)
+    }
+
+    /// A process (isolated protection domain) resource.
+    pub fn ipd(pid: u64) -> Self {
+        Self::new("ipd", pid)
+    }
+
+    /// A virtual data integrity register.
+    pub fn vdir(idx: u64) -> Self {
+        Self::new("vdir", idx)
+    }
+
+    /// A virtual key.
+    pub fn vkey(idx: u64) -> Self {
+        Self::new("vkey", idx)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An operation name on a resource (`read`, `write`, `setgoal`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpName(pub String);
+
+impl OpName {
+    /// Construct from anything stringy.
+    pub fn new(s: impl Into<String>) -> Self {
+        OpName(s.into())
+    }
+}
+
+impl fmt::Display for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for OpName {
+    fn from(s: &str) -> Self {
+        OpName(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        assert_eq!(ResourceId::file("/a/b").to_string(), "file:/a/b");
+        assert_eq!(ResourceId::ipc(42).to_string(), "ipc:42");
+        assert_eq!(ResourceId::ipd(12).to_string(), "ipd:12");
+        assert_eq!(ResourceId::vdir(3).to_string(), "vdir:3");
+        assert_eq!(ResourceId::vkey(7).to_string(), "vkey:7");
+        assert_eq!(OpName::from("read").to_string(), "read");
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert((ResourceId::file("/x"), OpName::from("read")));
+        assert!(s.contains(&(ResourceId::file("/x"), OpName::from("read"))));
+        assert!(!s.contains(&(ResourceId::file("/x"), OpName::from("write"))));
+    }
+}

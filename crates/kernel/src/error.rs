@@ -1,0 +1,76 @@
+//! Kernel error type.
+
+use std::fmt;
+
+/// Errors from Nexus kernel operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// No such process.
+    NoSuchIpd(u64),
+    /// No such IPC port.
+    NoSuchPort(u64),
+    /// Port receive with an empty queue.
+    WouldBlock,
+    /// The guard denied the operation.
+    AccessDenied {
+        /// Human-readable denial reason.
+        reason: String,
+    },
+    /// Call was blocked by an interposed reference monitor.
+    Blocked {
+        /// The monitor that blocked it.
+        monitor: String,
+    },
+    /// No such file or directory.
+    NoSuchFile(String),
+    /// File already exists.
+    FileExists(String),
+    /// Invalid file descriptor.
+    BadFd(u64),
+    /// Boot failed (measurement mismatch, storage abort, TPM refusal).
+    BootFailure(String),
+    /// Propagated logical-attestation error.
+    Core(String),
+    /// Propagated storage error.
+    Storage(String),
+    /// The calling process has relinquished this system call.
+    SyscallRevoked(&'static str),
+    /// Introspection path does not exist.
+    NoSuchNode(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchIpd(p) => write!(f, "no such IPD: {p}"),
+            KernelError::NoSuchPort(p) => write!(f, "no such IPC port: {p}"),
+            KernelError::WouldBlock => write!(f, "operation would block"),
+            KernelError::AccessDenied { reason } => write!(f, "access denied: {reason}"),
+            KernelError::Blocked { monitor } => write!(f, "blocked by monitor {monitor}"),
+            KernelError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            KernelError::FileExists(p) => write!(f, "file exists: {p}"),
+            KernelError::BadFd(fd) => write!(f, "bad file descriptor: {fd}"),
+            KernelError::BootFailure(m) => write!(f, "boot failure: {m}"),
+            KernelError::Core(m) => write!(f, "{m}"),
+            KernelError::Storage(m) => write!(f, "{m}"),
+            KernelError::SyscallRevoked(name) => {
+                write!(f, "system call {name} relinquished by caller")
+            }
+            KernelError::NoSuchNode(p) => write!(f, "no such introspection node: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<nexus_core::CoreError> for KernelError {
+    fn from(e: nexus_core::CoreError) -> Self {
+        KernelError::Core(e.to_string())
+    }
+}
+
+impl From<nexus_storage::StorageError> for KernelError {
+    fn from(e: nexus_storage::StorageError) -> Self {
+        KernelError::Storage(e.to_string())
+    }
+}

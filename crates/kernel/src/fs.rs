@@ -1,0 +1,243 @@
+//! RAM filesystem.
+//!
+//! The Nexus splits filesystem functionality across the kernel core
+//! (namespace) and user-level servers (stores); here a single RAM
+//! store provides the mechanism, while authorization — per-(file,
+//! operation) goal formulas — is applied by the `Nexus` syscall layer
+//! that wraps it. On creation, the file server deposits the ownership
+//! label `FS says client speaksfor FS.<file>` into the creator's
+//! labelstore (§2.6), which is what lets the creator discharge the
+//! default policy and set goals later.
+
+use crate::error::KernelError;
+use std::collections::{BTreeMap, HashMap};
+
+/// The file server's principal name.
+pub const FS_PRINCIPAL: &str = "FS";
+
+#[derive(Debug, Clone)]
+struct FileNode {
+    data: Vec<u8>,
+    owner: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    offset: usize,
+}
+
+/// An in-memory filesystem with POSIX-ish fd semantics.
+#[derive(Debug, Default)]
+pub struct RamFs {
+    files: BTreeMap<String, FileNode>,
+    fds: HashMap<u64, OpenFile>,
+    next_fd: u64,
+}
+
+impl RamFs {
+    /// Empty filesystem.
+    pub fn new() -> Self {
+        RamFs {
+            next_fd: 3, // 0-2 conventionally reserved
+            ..Default::default()
+        }
+    }
+
+    /// Create an empty file owned by `owner`. Fails if it exists.
+    pub fn create(&mut self, path: &str, owner: u64) -> Result<(), KernelError> {
+        if self.files.contains_key(path) {
+            return Err(KernelError::FileExists(path.to_string()));
+        }
+        self.files.insert(
+            path.to_string(),
+            FileNode {
+                data: Vec::new(),
+                owner,
+            },
+        );
+        Ok(())
+    }
+
+    /// Open an existing file; returns a descriptor.
+    pub fn open(&mut self, path: &str) -> Result<u64, KernelError> {
+        if !self.files.contains_key(path) {
+            return Err(KernelError::NoSuchFile(path.to_string()));
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(
+            fd,
+            OpenFile {
+                path: path.to_string(),
+                offset: 0,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Close a descriptor.
+    pub fn close(&mut self, fd: u64) -> Result<(), KernelError> {
+        self.fds.remove(&fd).map(|_| ()).ok_or(KernelError::BadFd(fd))
+    }
+
+    /// Path behind a descriptor.
+    pub fn path_of(&self, fd: u64) -> Result<&str, KernelError> {
+        self.fds
+            .get(&fd)
+            .map(|o| o.path.as_str())
+            .ok_or(KernelError::BadFd(fd))
+    }
+
+    /// Read up to `n` bytes at the descriptor's offset.
+    pub fn read(&mut self, fd: u64, n: usize) -> Result<Vec<u8>, KernelError> {
+        let open = self.fds.get_mut(&fd).ok_or(KernelError::BadFd(fd))?;
+        let node = self
+            .files
+            .get(&open.path)
+            .ok_or_else(|| KernelError::NoSuchFile(open.path.clone()))?;
+        let start = open.offset.min(node.data.len());
+        let end = (start + n).min(node.data.len());
+        open.offset = end;
+        Ok(node.data[start..end].to_vec())
+    }
+
+    /// Write at the descriptor's offset (extending the file).
+    pub fn write(&mut self, fd: u64, data: &[u8]) -> Result<usize, KernelError> {
+        let open = self.fds.get_mut(&fd).ok_or(KernelError::BadFd(fd))?;
+        let node = self
+            .files
+            .get_mut(&open.path)
+            .ok_or_else(|| KernelError::NoSuchFile(open.path.clone()))?;
+        let end = open.offset + data.len();
+        if node.data.len() < end {
+            node.data.resize(end, 0);
+        }
+        node.data[open.offset..end].copy_from_slice(data);
+        open.offset = end;
+        Ok(data.len())
+    }
+
+    /// Overwrite a whole file.
+    pub fn write_all(&mut self, path: &str, data: &[u8]) -> Result<(), KernelError> {
+        let node = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| KernelError::NoSuchFile(path.to_string()))?;
+        node.data = data.to_vec();
+        Ok(())
+    }
+
+    /// Read a whole file.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>, KernelError> {
+        self.files
+            .get(path)
+            .map(|n| n.data.clone())
+            .ok_or_else(|| KernelError::NoSuchFile(path.to_string()))
+    }
+
+    /// Delete a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), KernelError> {
+        self.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| KernelError::NoSuchFile(path.to_string()))
+    }
+
+    /// Owner pid of a file.
+    pub fn owner(&self, path: &str) -> Result<u64, KernelError> {
+        self.files
+            .get(path)
+            .map(|n| n.owner)
+            .ok_or_else(|| KernelError::NoSuchFile(path.to_string()))
+    }
+
+    /// Does the path exist?
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Paths with a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// File size.
+    pub fn size(&self, path: &str) -> Result<usize, KernelError> {
+        self.files
+            .get(path)
+            .map(|n| n.data.len())
+            .ok_or_else(|| KernelError::NoSuchFile(path.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_write_read_close() {
+        let mut fs = RamFs::new();
+        fs.create("/a", 1).unwrap();
+        let fd = fs.open("/a").unwrap();
+        assert_eq!(fs.write(fd, b"hello").unwrap(), 5);
+        fs.close(fd).unwrap();
+        let fd = fs.open("/a").unwrap();
+        assert_eq!(fs.read(fd, 3).unwrap(), b"hel");
+        assert_eq!(fs.read(fd, 10).unwrap(), b"lo");
+        assert_eq!(fs.read(fd, 10).unwrap(), b"");
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn create_duplicate_rejected() {
+        let mut fs = RamFs::new();
+        fs.create("/a", 1).unwrap();
+        assert!(matches!(fs.create("/a", 2), Err(KernelError::FileExists(_))));
+    }
+
+    #[test]
+    fn bad_fd_and_missing_file() {
+        let mut fs = RamFs::new();
+        assert!(matches!(fs.open("/nope"), Err(KernelError::NoSuchFile(_))));
+        assert!(matches!(fs.read(99, 1), Err(KernelError::BadFd(99))));
+        assert!(matches!(fs.close(99), Err(KernelError::BadFd(99))));
+    }
+
+    #[test]
+    fn ownership_and_unlink() {
+        let mut fs = RamFs::new();
+        fs.create("/a", 7).unwrap();
+        assert_eq!(fs.owner("/a").unwrap(), 7);
+        fs.unlink("/a").unwrap();
+        assert!(!fs.exists("/a"));
+        assert!(fs.unlink("/a").is_err());
+    }
+
+    #[test]
+    fn whole_file_helpers_and_list() {
+        let mut fs = RamFs::new();
+        fs.create("/d/x", 1).unwrap();
+        fs.create("/d/y", 1).unwrap();
+        fs.write_all("/d/x", b"data").unwrap();
+        assert_eq!(fs.read_all("/d/x").unwrap(), b"data");
+        assert_eq!(fs.size("/d/x").unwrap(), 4);
+        assert_eq!(fs.list("/d/"), vec!["/d/x", "/d/y"]);
+    }
+
+    #[test]
+    fn sparse_write_extends_with_zeros() {
+        let mut fs = RamFs::new();
+        fs.create("/a", 1).unwrap();
+        let fd = fs.open("/a").unwrap();
+        fs.write(fd, b"ab").unwrap();
+        let fd2 = fs.open("/a").unwrap();
+        fs.read(fd2, 1).unwrap();
+        fs.write(fd2, b"XY").unwrap(); // at offset 1
+        assert_eq!(fs.read_all("/a").unwrap(), b"aXY");
+    }
+}

@@ -1,0 +1,323 @@
+//! Interpositioning (§3.2): synthetic trust via reference monitors.
+//!
+//! The `interpose` system call binds a reference monitor to an IPC
+//! channel. Every call on the channel is rerouted through the
+//! monitor, which may inspect and modify arguments, block the call,
+//! and see (and modify) the return. Since *all* Nexus system calls go
+//! through IPC, a monitor can mediate a process's entire interaction
+//! with its environment. Interpositioning composes: multiple monitors
+//! stack on one channel, and `interpose` itself can be monitored.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A call crossing an interposed channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpcCall {
+    /// Calling pid.
+    pub subject: u64,
+    /// Operation name.
+    pub operation: String,
+    /// Object / target description.
+    pub object: String,
+    /// Marshaled arguments.
+    pub args: Vec<u8>,
+}
+
+/// Monitor verdict for a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Let the call proceed (possibly with modified arguments).
+    Continue,
+    /// Block the call.
+    Block,
+}
+
+/// A reference monitor.
+pub trait Interceptor: Send {
+    /// Monitor name (appears in block errors and audit logs).
+    fn name(&self) -> &str;
+    /// Inspect/modify/block an outgoing call.
+    fn on_call(&mut self, call: &mut IpcCall) -> Verdict;
+    /// Inspect/modify the response on the return path.
+    fn on_return(&mut self, _call: &IpcCall, _response: &mut Vec<u8>) {}
+    /// May the redirector cache this monitor's verdicts per
+    /// (subject, operation, object)? Only monitors whose decisions
+    /// don't depend on argument bytes or mutable state may say yes.
+    fn cacheable(&self) -> bool {
+        false
+    }
+}
+
+/// Where a monitor runs. User-level monitors pay an extra marshaling
+/// round-trip per call (they live in their own IPD and are reached by
+/// IPC), which is the `kref` vs `uref` gap in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorLevel {
+    /// In-kernel monitor: direct call.
+    Kernel,
+    /// User-space monitor: marshaled across an IPC boundary.
+    User,
+}
+
+struct Installed {
+    interceptor: Box<dyn Interceptor>,
+    level: MonitorLevel,
+}
+
+/// Outcome of running a channel's monitor chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainOutcome {
+    /// All monitors passed; the (possibly modified) call may proceed.
+    Proceed,
+    /// A monitor blocked the call.
+    Blocked {
+        /// The blocking monitor's name.
+        monitor: String,
+    },
+}
+
+/// The kernel's redirector table: per-channel monitor chains plus a
+/// verdict cache.
+#[derive(Default)]
+pub struct Redirector {
+    chains: HashMap<u64, Vec<Installed>>,
+    /// Verdict cache keyed by (port, subject, operation, object) —
+    /// only consulted/filled when every monitor on the chain is
+    /// cacheable. This is the decision caching whose effect Figure 7
+    /// measures (`min` vs `max`).
+    cache: HashMap<(u64, u64, String, String), ChainOutcome>,
+    /// Global switch for the verdict cache.
+    pub caching_enabled: bool,
+    hits: u64,
+    invocations: u64,
+}
+
+impl Redirector {
+    /// Empty table with caching enabled.
+    pub fn new() -> Self {
+        Redirector {
+            caching_enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// The `interpose` system call: append a monitor to a channel's
+    /// chain. (Authorization — the consent goal formula — is enforced
+    /// by the caller in `Nexus::interpose`.)
+    pub fn install(&mut self, port: u64, interceptor: Box<dyn Interceptor>, level: MonitorLevel) {
+        self.chains
+            .entry(port)
+            .or_default()
+            .push(Installed { interceptor, level });
+        // New monitor: previous verdicts no longer valid for the port.
+        self.cache.retain(|(p, _, _, _), _| *p != port);
+    }
+
+    /// Remove all monitors from a channel.
+    pub fn clear(&mut self, port: u64) {
+        self.chains.remove(&port);
+        self.cache.retain(|(p, _, _, _), _| *p != port);
+    }
+
+    /// Is the channel interposed?
+    pub fn is_interposed(&self, port: u64) -> bool {
+        self.chains.get(&port).map(|c| !c.is_empty()).unwrap_or(false)
+    }
+
+    /// Run the chain for `port` over `call`. Marshaling: each
+    /// kernel-mode switch re-encodes the call; user-level monitors
+    /// round-trip the encoding once more.
+    pub fn dispatch(&mut self, port: u64, call: &mut IpcCall) -> ChainOutcome {
+        let chain = match self.chains.get_mut(&port) {
+            Some(c) if !c.is_empty() => c,
+            _ => return ChainOutcome::Proceed,
+        };
+        self.invocations += 1;
+        let all_cacheable = chain.iter().all(|i| i.interceptor.cacheable());
+        let key = (
+            port,
+            call.subject,
+            call.operation.clone(),
+            call.object.clone(),
+        );
+        if self.caching_enabled && all_cacheable {
+            if let Some(outcome) = self.cache.get(&key) {
+                self.hits += 1;
+                return outcome.clone();
+            }
+        }
+        for installed in chain.iter_mut() {
+            // Parameter marshaling at the kernel-mode switch; user
+            // monitors marshal across their own address space too.
+            let encoded = serde_json::to_vec(&*call).unwrap_or_default();
+            if installed.level == MonitorLevel::User {
+                let copy: IpcCall = serde_json::from_slice(&encoded).unwrap_or_else(|_| call.clone());
+                *call = copy;
+            }
+            if installed.interceptor.on_call(call) == Verdict::Block {
+                let outcome = ChainOutcome::Blocked {
+                    monitor: installed.interceptor.name().to_string(),
+                };
+                if self.caching_enabled && all_cacheable {
+                    self.cache.insert(key, outcome.clone());
+                }
+                return outcome;
+            }
+        }
+        if self.caching_enabled && all_cacheable {
+            self.cache.insert(key, ChainOutcome::Proceed);
+        }
+        ChainOutcome::Proceed
+    }
+
+    /// Run the return path for `port`.
+    pub fn dispatch_return(&mut self, port: u64, call: &IpcCall, response: &mut Vec<u8>) {
+        if let Some(chain) = self.chains.get_mut(&port) {
+            for installed in chain.iter_mut().rev() {
+                installed.interceptor.on_return(call, response);
+            }
+        }
+    }
+
+    /// (cache hits, total interposed dispatches).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.invocations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct BlockWrites {
+        cacheable: bool,
+    }
+    impl Interceptor for BlockWrites {
+        fn name(&self) -> &str {
+            "block-writes"
+        }
+        fn on_call(&mut self, call: &mut IpcCall) -> Verdict {
+            if call.operation == "write" {
+                Verdict::Block
+            } else {
+                Verdict::Continue
+            }
+        }
+        fn cacheable(&self) -> bool {
+            self.cacheable
+        }
+    }
+
+    struct Uppercase;
+    impl Interceptor for Uppercase {
+        fn name(&self) -> &str {
+            "uppercase"
+        }
+        fn on_call(&mut self, call: &mut IpcCall) -> Verdict {
+            call.args = call.args.to_ascii_uppercase();
+            Verdict::Continue
+        }
+        fn on_return(&mut self, _call: &IpcCall, response: &mut Vec<u8>) {
+            response.push(b'!');
+        }
+    }
+
+    fn call(op: &str) -> IpcCall {
+        IpcCall {
+            subject: 7,
+            operation: op.into(),
+            object: "disk".into(),
+            args: b"hello".to_vec(),
+        }
+    }
+
+    #[test]
+    fn uninterposed_channels_pass_through() {
+        let mut r = Redirector::new();
+        assert_eq!(r.dispatch(1, &mut call("write")), ChainOutcome::Proceed);
+        assert!(!r.is_interposed(1));
+    }
+
+    #[test]
+    fn monitor_blocks_matching_calls() {
+        let mut r = Redirector::new();
+        r.install(1, Box::new(BlockWrites { cacheable: false }), MonitorLevel::Kernel);
+        assert_eq!(r.dispatch(1, &mut call("read")), ChainOutcome::Proceed);
+        assert!(matches!(
+            r.dispatch(1, &mut call("write")),
+            ChainOutcome::Blocked { .. }
+        ));
+    }
+
+    #[test]
+    fn monitors_can_rewrite_arguments_and_returns() {
+        let mut r = Redirector::new();
+        r.install(1, Box::new(Uppercase), MonitorLevel::Kernel);
+        let mut c = call("read");
+        r.dispatch(1, &mut c);
+        assert_eq!(c.args, b"HELLO");
+        let mut resp = b"ok".to_vec();
+        r.dispatch_return(1, &c, &mut resp);
+        assert_eq!(resp, b"ok!");
+    }
+
+    #[test]
+    fn chains_compose_in_order() {
+        let mut r = Redirector::new();
+        r.install(1, Box::new(Uppercase), MonitorLevel::Kernel);
+        r.install(1, Box::new(BlockWrites { cacheable: false }), MonitorLevel::Kernel);
+        // Uppercase runs, then BlockWrites blocks.
+        let mut c = call("write");
+        assert!(matches!(r.dispatch(1, &mut c), ChainOutcome::Blocked { .. }));
+        assert_eq!(c.args, b"HELLO", "earlier monitor already ran");
+    }
+
+    #[test]
+    fn cacheable_verdicts_are_cached() {
+        let mut r = Redirector::new();
+        r.install(1, Box::new(BlockWrites { cacheable: true }), MonitorLevel::Kernel);
+        for _ in 0..5 {
+            r.dispatch(1, &mut call("read"));
+        }
+        let (hits, total) = r.stats();
+        assert_eq!(total, 5);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn non_cacheable_monitors_rerun() {
+        let mut r = Redirector::new();
+        r.install(1, Box::new(BlockWrites { cacheable: false }), MonitorLevel::Kernel);
+        for _ in 0..5 {
+            r.dispatch(1, &mut call("read"));
+        }
+        assert_eq!(r.stats().0, 0);
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let mut r = Redirector::new();
+        r.caching_enabled = false;
+        r.install(1, Box::new(BlockWrites { cacheable: true }), MonitorLevel::Kernel);
+        for _ in 0..5 {
+            r.dispatch(1, &mut call("read"));
+        }
+        assert_eq!(r.stats().0, 0);
+    }
+
+    #[test]
+    fn install_invalidates_port_cache() {
+        let mut r = Redirector::new();
+        r.install(1, Box::new(BlockWrites { cacheable: true }), MonitorLevel::Kernel);
+        r.dispatch(1, &mut call("write"));
+        // Installing another monitor resets cached verdicts.
+        r.install(1, Box::new(Uppercase), MonitorLevel::Kernel);
+        // Uppercase is not cacheable -> chain not cacheable; verdict
+        // still computed fresh (and correct).
+        assert!(matches!(
+            r.dispatch(1, &mut call("write")),
+            ChainOutcome::Blocked { .. }
+        ));
+    }
+}

@@ -1,0 +1,836 @@
+//! The Nexus kernel: boot, system calls, and the authorization path.
+//!
+//! This is the glue that realizes Figure 1 of the paper: a call on an
+//! object is (1) vectored through the redirector (interpositioning),
+//! (2) looked up in the kernel decision cache, (3) on a miss, sent to
+//! the guard with the stored or supplied proof and the subject's
+//! labels, and (4) permitted iff the proof discharges the goal.
+
+use crate::error::KernelError;
+use crate::fs::{RamFs, FS_PRINCIPAL};
+use crate::interpose::{ChainOutcome, Interceptor, IpcCall, MonitorLevel, Redirector};
+use crate::ipc::IpcTable;
+use crate::ipd::IpdTable;
+use crate::sched::StrideScheduler;
+use nexus_core::{
+    AccessRequest, Authority, AuthorityKind, AuthorityRegistry, CacheKey, Certificate,
+    DecisionCache, DecisionCacheConfig, GoalStore, Guard, KernelSigner, Label, LabelHandle,
+    OpName, ProofStore, ResourceId,
+};
+use nexus_nal::{prove, Formula, Principal, Proof, ProverConfig, Term};
+use nexus_storage::{RamDisk, SsrManager, StorageError, VdirTable, VkeyTable};
+use nexus_tpm::Tpm;
+use std::sync::Arc;
+
+/// The measured boot chain (§3.4): firmware, boot loader, kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootImages {
+    /// BIOS/firmware image.
+    pub bios: Vec<u8>,
+    /// Boot loader image.
+    pub loader: Vec<u8>,
+    /// Nexus kernel image.
+    pub kernel: Vec<u8>,
+}
+
+impl BootImages {
+    /// The stock images used across tests and benchmarks.
+    pub fn standard() -> Self {
+        BootImages {
+            bios: b"nexus-bios-v1".to_vec(),
+            loader: b"nexus-loader-v1".to_vec(),
+            kernel: b"nexus-kernel-v1".to_vec(),
+        }
+    }
+}
+
+/// Kernel configuration switches (used by the evaluation harness to
+/// reproduce the paper's ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct NexusConfig {
+    /// Route system calls through the redirector ("Nexus"); disabling
+    /// this gives the "Nexus bare" rows of Table 1.
+    pub interpose_syscalls: bool,
+    /// Enable the kernel decision cache (Figure 4 solid vs dashed).
+    pub decision_cache: bool,
+    /// Let the kernel attempt proof construction from the subject's
+    /// labels when no proof is stored or supplied.
+    pub auto_prove: bool,
+    /// Enforce goal formulas on filesystem operations (Figure 8's
+    /// access-control column benchmarks toggle this).
+    pub authorize_fs: bool,
+}
+
+impl Default for NexusConfig {
+    fn default() -> Self {
+        NexusConfig {
+            interpose_syscalls: true,
+            decision_cache: true,
+            auto_prove: true,
+            authorize_fs: true,
+        }
+    }
+}
+
+/// System calls (the Table 1 set plus label/goal/proof management).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Syscall {
+    /// Empty call (overhead measurement).
+    Null,
+    /// Parent pid.
+    GetPpid,
+    /// Kernel clock.
+    GetTimeOfDay,
+    /// Scheduler yield.
+    Yield,
+    /// Open a file.
+    Open(String),
+    /// Close a descriptor.
+    Close(u64),
+    /// Read from a descriptor.
+    Read(u64, usize),
+    /// Write to a descriptor.
+    Write(u64, Vec<u8>),
+}
+
+impl Syscall {
+    /// The operation name used for relinquishment and interposition.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Null => "null",
+            Syscall::GetPpid => "getppid",
+            Syscall::GetTimeOfDay => "gettimeofday",
+            Syscall::Yield => "yield",
+            Syscall::Open(_) => "open",
+            Syscall::Close(_) => "close",
+            Syscall::Read(..) => "read",
+            Syscall::Write(..) => "write",
+        }
+    }
+}
+
+/// System call results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysRet {
+    /// No value.
+    Unit,
+    /// Integer result.
+    Int(u64),
+    /// Byte result.
+    Data(Vec<u8>),
+}
+
+/// Port number of the syscall channel in the redirector table.
+pub const SYSCALL_CHANNEL: u64 = 0;
+
+/// The kernel.
+pub struct Nexus {
+    /// The platform TPM.
+    pub tpm: Tpm,
+    /// The kernel's signing identity (NK / NBK).
+    pub signer: KernelSigner,
+    /// Secondary storage.
+    pub disk: RamDisk,
+    /// Virtual data integrity registers.
+    pub vdirs: VdirTable,
+    /// Virtual keys.
+    pub vkeys: VkeyTable,
+    /// Secure storage regions.
+    pub ssrs: SsrManager,
+    /// IPC ports.
+    pub ipc: IpcTable,
+    /// Interposition table.
+    pub redirector: Redirector,
+    /// Proportional-share scheduler.
+    pub sched: StrideScheduler,
+    ipds: IpdTable,
+    goals: GoalStore,
+    proofs: ProofStore,
+    dcache: DecisionCache,
+    guard: Guard,
+    authorities: AuthorityRegistry,
+    fs: RamFs,
+    cfg: NexusConfig,
+    clock: u64,
+    first_boot: bool,
+    fs_port: u64,
+    fs_reply_port: u64,
+    guard_upcalls: u64,
+}
+
+impl Nexus {
+    /// Boot the Nexus: measure the chain into the PCRs, take TPM
+    /// ownership on first boot or recover attested storage state on
+    /// later boots (aborting on tamper), and mint the kernel identity.
+    pub fn boot(
+        mut tpm: Tpm,
+        mut disk: RamDisk,
+        images: &BootImages,
+        cfg: NexusConfig,
+    ) -> Result<Nexus, KernelError> {
+        tpm.power_cycle();
+        tpm.pcrs_mut().extend(0, &images.bios);
+        tpm.pcrs_mut().extend(1, &images.loader);
+        tpm.pcrs_mut().extend(2, &images.kernel);
+        let first_boot = !tpm.is_owned();
+        let vdirs = if first_boot {
+            tpm.take_ownership()
+                .map_err(|e| KernelError::BootFailure(e.to_string()))?;
+            VdirTable::init_first_boot(&mut disk, &mut tpm)
+                .map_err(|e| KernelError::BootFailure(e.to_string()))?
+        } else {
+            VdirTable::recover(&disk, &tpm)
+                .map_err(|e| KernelError::BootFailure(e.to_string()))?
+        };
+        let ssrs = match SsrManager::open(&disk, &vdirs) {
+            Ok(s) => s,
+            Err(StorageError::NoSuchFile(_)) => SsrManager::new(),
+            Err(e) => return Err(KernelError::BootFailure(e.to_string())),
+        };
+        let signer = KernelSigner::generate(&mut tpm)
+            .map_err(|e| KernelError::BootFailure(e.to_string()))?;
+        let mut ipc = IpcTable::new();
+        let (fs_port, _) = ipc.create_port(0);
+        let (fs_reply_port, _) = ipc.create_port(0);
+        Ok(Nexus {
+            tpm,
+            signer,
+            disk,
+            vdirs,
+            vkeys: VkeyTable::new(),
+            ssrs,
+            ipc,
+            redirector: Redirector::new(),
+            sched: StrideScheduler::new(),
+            ipds: IpdTable::new(),
+            goals: GoalStore::new(),
+            proofs: ProofStore::new(),
+            dcache: DecisionCache::new(DecisionCacheConfig::default()),
+            guard: Guard::new(),
+            authorities: AuthorityRegistry::new(),
+            fs: RamFs::new(),
+            cfg,
+            clock: 0,
+            first_boot,
+            fs_port,
+            fs_reply_port,
+            guard_upcalls: 0,
+        })
+    }
+
+    /// Boot with default config.
+    pub fn boot_default() -> Result<Nexus, KernelError> {
+        Nexus::boot(
+            Tpm::new_with_seed(0xeade),
+            RamDisk::new(),
+            &BootImages::standard(),
+            NexusConfig::default(),
+        )
+    }
+
+    /// Was this the first boot (TPM ownership taken)?
+    pub fn first_boot(&self) -> bool {
+        self.first_boot
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> NexusConfig {
+        self.cfg
+    }
+
+    /// Mutate configuration (benchmark harness).
+    pub fn set_config(&mut self, cfg: NexusConfig) {
+        self.cfg = cfg;
+    }
+
+    // ---- processes ----
+
+    /// Spawn a top-level process. (Scheduler weights are assigned
+    /// separately — tenants register via [`Nexus::sched`].)
+    pub fn spawn(&mut self, name: &str, image: &[u8]) -> u64 {
+        self.ipds.spawn(name, 0, image)
+    }
+
+    /// Spawn a child process.
+    pub fn spawn_child(&mut self, parent: u64, name: &str, image: &[u8]) -> Result<u64, KernelError> {
+        self.ipds.get(parent)?;
+        Ok(self.ipds.spawn(name, parent, image))
+    }
+
+    /// The principal a pid's statements are attributed to.
+    pub fn principal(&self, pid: u64) -> Result<Principal, KernelError> {
+        Ok(self.ipds.get(pid)?.principal())
+    }
+
+    /// Launch-time hash of a process image.
+    pub fn launch_hash(&self, pid: u64) -> Result<nexus_tpm::Digest, KernelError> {
+        Ok(self.ipds.get(pid)?.launch_hash)
+    }
+
+    /// Process table access (read-only).
+    pub fn ipds(&self) -> &IpdTable {
+        &self.ipds
+    }
+
+    /// Relinquish a system call permanently (§4.1: the web server
+    /// drops everything but IPC after initialization).
+    pub fn relinquish(&mut self, pid: u64, syscall: &'static str) -> Result<(), KernelError> {
+        self.ipds.get_mut(pid)?.relinquished.insert(syscall);
+        Ok(())
+    }
+
+    // ---- labels ----
+
+    /// The `say` system call.
+    pub fn sys_say(&mut self, pid: u64, statement: &str) -> Result<LabelHandle, KernelError> {
+        let caller = self.principal(pid)?;
+        Ok(self
+            .ipds
+            .get_mut(pid)?
+            .labelstore
+            .say(&caller, statement)?)
+    }
+
+    /// Deposit a kernel-vouched label into a process's labelstore
+    /// (e.g. port bindings, ownership transfers).
+    pub fn kernel_label(&mut self, pid: u64, speaker: Principal, statement: Formula) -> Result<LabelHandle, KernelError> {
+        Ok(self
+            .ipds
+            .get_mut(pid)?
+            .labelstore
+            .insert(Label { speaker, statement }))
+    }
+
+    /// All label formulas a process holds.
+    pub fn labels_of(&self, pid: u64) -> Result<Vec<Formula>, KernelError> {
+        Ok(self.ipds.get(pid)?.labelstore.formulas())
+    }
+
+    /// Externalize a label into a TPM-rooted certificate (§2.4).
+    pub fn externalize(&self, pid: u64, h: LabelHandle) -> Result<Certificate, KernelError> {
+        Ok(self.ipds.get(pid)?.labelstore.externalize(h, &self.signer)?)
+    }
+
+    /// Import a certificate into a process's labelstore, verifying the
+    /// chain against a trusted endorsement key.
+    pub fn import_cert(
+        &mut self,
+        pid: u64,
+        cert: &Certificate,
+        trusted_ek: &ed25519_dalek::VerifyingKey,
+    ) -> Result<LabelHandle, KernelError> {
+        Ok(self.ipds.get_mut(pid)?.labelstore.import(cert, trusted_ek)?)
+    }
+
+    /// Transfer a label between processes' labelstores.
+    pub fn transfer_label(
+        &mut self,
+        from: u64,
+        h: LabelHandle,
+        to: u64,
+    ) -> Result<LabelHandle, KernelError> {
+        let label = self.ipds.get_mut(from)?.labelstore.delete(h)?;
+        Ok(self.ipds.get_mut(to)?.labelstore.insert(label))
+    }
+
+    // ---- goals, proofs, authorities ----
+
+    fn manager_of(object: &ResourceId) -> Principal {
+        if object.0.starts_with("file:") {
+            Principal::name(FS_PRINCIPAL)
+        } else {
+            Principal::name("Nexus")
+        }
+    }
+
+    /// Grant `pid` ownership of `object`: the resource manager says
+    /// the process speaks for the object (§2.6).
+    pub fn grant_ownership(&mut self, pid: u64, object: &ResourceId) -> Result<LabelHandle, KernelError> {
+        let manager = Self::manager_of(object);
+        let subject = self.principal(pid)?;
+        let stmt = Formula::speaksfor(subject, manager.sub(object.0.clone()));
+        self.kernel_label(pid, manager, stmt)
+    }
+
+    /// The `setgoal` system call: authorized against the resource's
+    /// `setgoal` goal (default: owner only), then installed; the
+    /// decision-cache subregion for (op, object) is invalidated.
+    pub fn sys_setgoal(
+        &mut self,
+        pid: u64,
+        object: ResourceId,
+        op: &str,
+        formula: Formula,
+    ) -> Result<u64, KernelError> {
+        if !self.authorize(pid, "setgoal", &object)? {
+            return Err(KernelError::AccessDenied {
+                reason: format!("setgoal on {object} denied"),
+            });
+        }
+        let opn = OpName::from(op);
+        let epoch = self.goals.set_goal(object.clone(), opn.clone(), formula, None);
+        self.dcache.invalidate_subregion(&opn, &object);
+        Ok(epoch)
+    }
+
+    /// Clear a goal (authorized like `setgoal`).
+    pub fn sys_clear_goal(
+        &mut self,
+        pid: u64,
+        object: &ResourceId,
+        op: &str,
+    ) -> Result<(), KernelError> {
+        if !self.authorize(pid, "setgoal", object)? {
+            return Err(KernelError::AccessDenied {
+                reason: format!("setgoal on {object} denied"),
+            });
+        }
+        let opn = OpName::from(op);
+        self.goals.clear_goal(object, &opn);
+        self.dcache.invalidate_subregion(&opn, object);
+        Ok(())
+    }
+
+    /// Install a proof for (subject, op, object); invalidates exactly
+    /// that decision-cache entry (§2.8).
+    pub fn sys_set_proof(
+        &mut self,
+        pid: u64,
+        op: &str,
+        object: &ResourceId,
+        proof: Proof,
+    ) -> Result<(), KernelError> {
+        let subject = self.principal(pid)?;
+        let key = self
+            .proofs
+            .set_proof(subject, OpName::from(op), object.clone(), proof);
+        self.dcache.invalidate_entry(&key);
+        Ok(())
+    }
+
+    /// Remove a stored proof; invalidates its decision-cache entry.
+    pub fn sys_clear_proof(
+        &mut self,
+        pid: u64,
+        op: &str,
+        object: &ResourceId,
+    ) -> Result<(), KernelError> {
+        let subject = self.principal(pid)?;
+        if let Some(key) = self
+            .proofs
+            .clear_proof(&subject, &OpName::from(op), object)
+        {
+            self.dcache.invalidate_entry(&key);
+        }
+        Ok(())
+    }
+
+    /// Register an authority for a principal's statements.
+    pub fn register_authority(
+        &mut self,
+        principal: Principal,
+        authority: Arc<dyn Authority>,
+        kind: AuthorityKind,
+    ) {
+        self.authorities.register(principal, authority, kind);
+    }
+
+    // ---- the authorization path (Figure 1) ----
+
+    /// Authorize `pid` performing `op` on `object` using the stored
+    /// proof (or auto-proving from held labels when configured).
+    pub fn authorize(&mut self, pid: u64, op: &str, object: &ResourceId) -> Result<bool, KernelError> {
+        self.authorize_with(pid, op, object, None)
+    }
+
+    /// Authorize with an explicitly supplied proof.
+    pub fn authorize_with(
+        &mut self,
+        pid: u64,
+        op: &str,
+        object: &ResourceId,
+        inline_proof: Option<&Proof>,
+    ) -> Result<bool, KernelError> {
+        let subject = self.principal(pid)?;
+        let opn = OpName::from(op);
+        let key = CacheKey {
+            subject: subject.clone(),
+            operation: opn.clone(),
+            object: object.clone(),
+        };
+        if self.cfg.decision_cache {
+            if let Some(allow) = self.dcache.lookup(&key) {
+                return Ok(allow);
+            }
+        }
+        self.guard_upcalls += 1;
+        let goal = self
+            .goals
+            .effective_goal(&Self::manager_of(object), object, &opn);
+        // The subject's credentials: its labelstore plus the request
+        // itself, which arrived over the attested syscall channel and
+        // is therefore an utterance the kernel can vouch for.
+        let mut labels = self.ipds.get(pid)?.labelstore.formulas();
+        labels.push(Formula::pred(op, vec![]).says(subject.clone()));
+        labels.push(
+            Formula::pred(op, vec![Term::sym(object.0.clone())]).says(subject.clone()),
+        );
+        let stored = self.proofs.get(&subject, &opn, object).cloned();
+        // Auto-proving makes the outcome depend on the subject's label
+        // set, which has no cache-invalidation hook — so decisions on
+        // that path must not be cached (the guard's cacheability bit
+        // covers only proof/goal dependence).
+        let auto_attempted = inline_proof.is_none() && stored.is_none() && self.cfg.auto_prove;
+        let auto;
+        let proof_ref: Option<&Proof> = match inline_proof {
+            Some(p) => Some(p),
+            None => match &stored {
+                Some(p) => Some(p),
+                None if self.cfg.auto_prove => {
+                    let probe = AccessRequest {
+                        subject: &subject,
+                        operation: &opn,
+                        object,
+                        proof: None,
+                        labels: &labels,
+                    };
+                    let inst = Guard::instantiate_goal(&goal, &probe);
+                    auto = prove(&inst, &labels, ProverConfig::default());
+                    auto.as_ref()
+                }
+                None => None,
+            },
+        };
+        let req = AccessRequest {
+            subject: &subject,
+            operation: &opn,
+            object,
+            proof: proof_ref,
+            labels: &labels,
+        };
+        let decision = self.guard.check(&req, &goal, &self.authorities);
+        let cacheable = decision.cacheable && (!auto_attempted || decision.allow);
+        if self.cfg.decision_cache && cacheable {
+            self.dcache.insert(key, decision.allow);
+        }
+        Ok(decision.allow)
+    }
+
+    /// Decision-cache statistics.
+    pub fn decision_cache_stats(&self) -> nexus_core::decision_cache::DecisionCacheStats {
+        self.dcache.stats()
+    }
+
+    /// Guard statistics.
+    pub fn guard_stats(&self) -> nexus_core::GuardStats {
+        self.guard.stats()
+    }
+
+    /// Number of guard upcalls (decision-cache misses that reached the
+    /// guard).
+    pub fn guard_upcalls(&self) -> u64 {
+        self.guard_upcalls
+    }
+
+    // ---- system calls ----
+
+    fn require_allowed(&self, pid: u64, name: &'static str) -> Result<(), KernelError> {
+        if self.ipds.get(pid)?.relinquished.contains(name) {
+            return Err(KernelError::SyscallRevoked(name));
+        }
+        Ok(())
+    }
+
+    /// Dispatch a system call for `pid`, running the redirector chain
+    /// when syscall interposition is enabled.
+    pub fn syscall(&mut self, pid: u64, call: Syscall) -> Result<SysRet, KernelError> {
+        self.require_allowed(pid, call.name())?;
+        if self.cfg.interpose_syscalls {
+            let mut ipc_call = IpcCall {
+                subject: pid,
+                operation: call.name().to_string(),
+                object: String::new(),
+                args: Vec::new(),
+            };
+            if let ChainOutcome::Blocked { monitor } =
+                self.redirector.dispatch(SYSCALL_CHANNEL, &mut ipc_call)
+            {
+                return Err(KernelError::Blocked { monitor });
+            }
+        }
+        match call {
+            Syscall::Null => Ok(SysRet::Unit),
+            Syscall::GetPpid => Ok(SysRet::Int(self.ipds.ppid(pid)?)),
+            Syscall::GetTimeOfDay => {
+                self.clock += 1;
+                Ok(SysRet::Int(self.clock))
+            }
+            Syscall::Yield => {
+                self.sched.next();
+                Ok(SysRet::Unit)
+            }
+            Syscall::Open(path) => {
+                let object = ResourceId::file(&path);
+                if self.cfg.authorize_fs && !self.authorize(pid, "open", &object)? {
+                    return Err(KernelError::AccessDenied {
+                        reason: format!("open {path}"),
+                    });
+                }
+                self.fs_server_hop(pid, b"open")?;
+                Ok(SysRet::Int(self.fs.open(&path)?))
+            }
+            Syscall::Close(fd) => {
+                self.fs_server_hop(pid, b"close")?;
+                self.fs.close(fd)?;
+                Ok(SysRet::Unit)
+            }
+            Syscall::Read(fd, n) => {
+                let path = self.fs.path_of(fd)?.to_string();
+                let object = ResourceId::file(&path);
+                if self.cfg.authorize_fs && !self.authorize(pid, "read", &object)? {
+                    return Err(KernelError::AccessDenied {
+                        reason: format!("read {path}"),
+                    });
+                }
+                self.fs_server_hop(pid, b"read")?;
+                Ok(SysRet::Data(self.fs.read(fd, n)?))
+            }
+            Syscall::Write(fd, data) => {
+                let path = self.fs.path_of(fd)?.to_string();
+                let object = ResourceId::file(&path);
+                if self.cfg.authorize_fs && !self.authorize(pid, "write", &object)? {
+                    return Err(KernelError::AccessDenied {
+                        reason: format!("write {path}"),
+                    });
+                }
+                self.fs_server_hop(pid, b"write")?;
+                Ok(SysRet::Int(self.fs.write(fd, &data)? as u64))
+            }
+        }
+    }
+
+    /// Model the client-server microkernel round trip to the
+    /// user-level file server: request and reply each cross an IPC
+    /// port (the cost that makes Table 1's file rows 2–3× Linux).
+    fn fs_server_hop(&mut self, pid: u64, op: &[u8]) -> Result<(), KernelError> {
+        self.ipc.send(pid, self.fs_port, op.to_vec())?;
+        let _ = self.ipc.recv(self.fs_port)?;
+        self.ipc.send(0, self.fs_reply_port, b"ok".to_vec())?;
+        let _ = self.ipc.recv(self.fs_reply_port)?;
+        Ok(())
+    }
+
+    // ---- filesystem management ----
+
+    /// Create a file: the file server executes it and deposits the
+    /// ownership label in the creator's labelstore (§2.6).
+    pub fn fs_create(&mut self, pid: u64, path: &str) -> Result<(), KernelError> {
+        self.fs.create(path, pid)?;
+        let object = ResourceId::file(path);
+        self.grant_ownership(pid, &object)?;
+        Ok(())
+    }
+
+    /// Direct whole-file read (used by services; still authorized).
+    pub fn fs_read_all(&mut self, pid: u64, path: &str) -> Result<Vec<u8>, KernelError> {
+        let object = ResourceId::file(path);
+        if self.cfg.authorize_fs && !self.authorize(pid, "read", &object)? {
+            return Err(KernelError::AccessDenied {
+                reason: format!("read {path}"),
+            });
+        }
+        self.fs.read_all(path)
+    }
+
+    /// Direct whole-file write (authorized).
+    pub fn fs_write_all(&mut self, pid: u64, path: &str, data: &[u8]) -> Result<(), KernelError> {
+        let object = ResourceId::file(path);
+        if self.cfg.authorize_fs && !self.authorize(pid, "write", &object)? {
+            return Err(KernelError::AccessDenied {
+                reason: format!("write {path}"),
+            });
+        }
+        self.fs.write_all(path, data)
+    }
+
+    /// Raw filesystem access for resource managers (bypasses goals —
+    /// kernel-internal use only).
+    pub fn fs_raw(&mut self) -> &mut RamFs {
+        &mut self.fs
+    }
+
+    // ---- IPC ----
+
+    /// Create a port for `pid`; the kernel's binding label lands in
+    /// the owner's labelstore.
+    pub fn create_port(&mut self, pid: u64) -> Result<u64, KernelError> {
+        let (id, label) = self.ipc.create_port(pid);
+        if let Formula::Says(speaker, stmt) = label {
+            self.kernel_label(pid, speaker, *stmt)?;
+        }
+        Ok(id)
+    }
+
+    /// Send on a port, traversing any interposed monitors.
+    pub fn ipc_send(&mut self, pid: u64, port: u64, msg: Vec<u8>) -> Result<(), KernelError> {
+        let mut call = IpcCall {
+            subject: pid,
+            operation: "send".into(),
+            object: format!("ipc:{port}"),
+            args: msg,
+        };
+        if let ChainOutcome::Blocked { monitor } = self.redirector.dispatch(port, &mut call) {
+            return Err(KernelError::Blocked { monitor });
+        }
+        self.ipc.send(pid, port, call.args)
+    }
+
+    /// Receive on an owned port.
+    pub fn ipc_recv(&mut self, pid: u64, port: u64) -> Result<(u64, Vec<u8>), KernelError> {
+        if self.ipc.owner_of(port)? != pid {
+            return Err(KernelError::AccessDenied {
+                reason: format!("pid {pid} does not own port {port}"),
+            });
+        }
+        self.ipc.recv(port)
+    }
+
+    /// The `interpose` system call: install a reference monitor on a
+    /// channel. Interposition is subject to consent — authorized
+    /// against the channel's `interpose` goal (default: port owner).
+    pub fn interpose(
+        &mut self,
+        pid: u64,
+        port: u64,
+        interceptor: Box<dyn Interceptor>,
+        level: MonitorLevel,
+    ) -> Result<(), KernelError> {
+        let object = ResourceId::ipc(port);
+        // The port owner holds the ownership label from create_port;
+        // others must satisfy an explicit goal. The syscall channel is
+        // a kernel-owned virtual port.
+        let owner = if port == SYSCALL_CHANNEL {
+            0
+        } else {
+            self.ipc.owner_of(port)?
+        };
+        let authorized = if owner == pid || pid == 0 {
+            true
+        } else {
+            self.authorize(pid, "interpose", &object)?
+        };
+        if !authorized {
+            return Err(KernelError::AccessDenied {
+                reason: format!("interpose on port {port}"),
+            });
+        }
+        self.redirector.install(port, interceptor, level);
+        Ok(())
+    }
+
+    // ---- introspection (§3.1) ----
+
+    /// Publish an application key=value binding under
+    /// `/proc/app/<pid>/<key>`.
+    pub fn publish(&mut self, pid: u64, key: &str, value: &str) -> Result<(), KernelError> {
+        self.ipds
+            .get_mut(pid)?
+            .published
+            .insert(key.to_string(), value.to_string());
+        Ok(())
+    }
+
+    /// Read an introspection node: a live, greybox view of kernel
+    /// state. Paths mirror the paper's /proc conventions.
+    pub fn introspect_read(&self, path: &str) -> Result<String, KernelError> {
+        let parts: Vec<&str> = path.trim_start_matches('/').split('/').collect();
+        match parts.as_slice() {
+            ["proc", "ipds"] => Ok(self
+                .ipds
+                .pids()
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",")),
+            ["proc", "ipd", pid, field] => {
+                let pid: u64 = pid.parse().map_err(|_| KernelError::NoSuchNode(path.into()))?;
+                let ipd = self.ipds.get(pid)?;
+                match *field {
+                    "name" => Ok(format!("name={}", ipd.name)),
+                    "parent" => Ok(format!("parent={}", ipd.parent)),
+                    "hash" => Ok(format!("hash={}", ipd.launch_hash.to_hex())),
+                    _ => Err(KernelError::NoSuchNode(path.into())),
+                }
+            }
+            ["proc", "ipc", "edges"] => Ok(self
+                .ipc
+                .edges()
+                .iter()
+                .map(|(a, b)| format!("{a}->{b}"))
+                .collect::<Vec<_>>()
+                .join(",")),
+            ["proc", "ipc", port, "owner"] => {
+                let port: u64 =
+                    port.parse().map_err(|_| KernelError::NoSuchNode(path.into()))?;
+                Ok(format!("owner={}", self.ipc.owner_of(port)?))
+            }
+            ["proc", "sched", client, field] => match *field {
+                "weight" => self
+                    .sched
+                    .weight(client)
+                    .map(|w| format!("weight={w}"))
+                    .ok_or_else(|| KernelError::NoSuchNode(path.into())),
+                "usage" => self
+                    .sched
+                    .usage(client)
+                    .map(|u| format!("usage={u}"))
+                    .ok_or_else(|| KernelError::NoSuchNode(path.into())),
+                "share" => self
+                    .sched
+                    .share(client)
+                    .map(|s| format!("share={s:.4}"))
+                    .ok_or_else(|| KernelError::NoSuchNode(path.into())),
+                _ => Err(KernelError::NoSuchNode(path.into())),
+            },
+            ["proc", "app", pid, key] => {
+                let pid: u64 = pid.parse().map_err(|_| KernelError::NoSuchNode(path.into()))?;
+                self.ipds
+                    .get(pid)?
+                    .published
+                    .get(*key)
+                    .map(|v| format!("{key}={v}"))
+                    .ok_or_else(|| KernelError::NoSuchNode(path.into()))
+            }
+            _ => Err(KernelError::NoSuchNode(path.into())),
+        }
+    }
+
+    /// Goal-guarded introspection read: sensitive nodes carry goal
+    /// formulas like any other resource.
+    pub fn introspect_read_authorized(
+        &mut self,
+        pid: u64,
+        path: &str,
+    ) -> Result<String, KernelError> {
+        let object = ResourceId::new("proc", path);
+        if self.goals.get(&object, &OpName::from("read")).is_some()
+            && !self.authorize(pid, "read", &object)?
+        {
+            return Err(KernelError::AccessDenied {
+                reason: format!("introspect {path}"),
+            });
+        }
+        self.introspect_read(path)
+    }
+
+    /// The raw IPC connectivity graph (pid → pid edges) for labeling
+    /// functions like the IPC analyzer.
+    pub fn ipc_graph(&self) -> Vec<(u64, u64)> {
+        self.ipc.edges().to_vec()
+    }
+
+    /// Goal store epoch (diagnostics).
+    pub fn goal_epoch(&self) -> u64 {
+        self.goals.epoch()
+    }
+}

@@ -1,0 +1,265 @@
+//! Simulated network device and the UDP-echo packet paths of Figure 7.
+//!
+//! The paper measures interpositioning overhead by installing
+//! progressively more of the machinery on the packet path of a
+//! trivial UDP echo server: in-interrupt echo (kernel / user), a
+//! separate server process reached over IPC (kernel / user driver),
+//! and finally device-driver reference monitors (DDRMs, [56]) in the
+//! kernel or in user space, with and without verdict caching.
+
+use crate::interpose::{Interceptor, IpcCall, MonitorLevel, Verdict};
+use crate::nexus::Nexus;
+use crate::error::KernelError;
+use std::collections::VecDeque;
+
+/// A simulated NIC: receive and transmit rings.
+#[derive(Debug, Default)]
+pub struct NicDevice {
+    /// Received frames awaiting the driver.
+    pub rx: VecDeque<Vec<u8>>,
+    /// Frames queued for transmission.
+    pub tx: VecDeque<Vec<u8>>,
+}
+
+impl NicDevice {
+    /// Empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver a frame from the wire.
+    pub fn inject(&mut self, frame: Vec<u8>) {
+        self.rx.push_back(frame);
+    }
+
+    /// Take a transmitted frame off the wire.
+    pub fn transmitted(&mut self) -> Option<Vec<u8>> {
+        self.tx.pop_front()
+    }
+}
+
+/// Which packet path to exercise (Figure 7's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EchoPath {
+    /// `kern-int`: echo directly in the kernel interrupt handler.
+    KernelInterrupt,
+    /// `user-int`: echo in a user driver's handler (one address-space
+    /// copy, no IPC).
+    UserInterrupt,
+    /// `kern-drv`: kernel driver hands the packet to a separate echo
+    /// server over IPC.
+    KernelDriver,
+    /// `user-drv`: user-level driver, IPC to the server, user-level
+    /// protocol processing.
+    UserDriver,
+}
+
+/// The device-driver reference monitor: constrains the driver to a
+/// whitelist of operations and a single destination channel, so a
+/// buggy or malicious driver cannot copy packet contents elsewhere
+/// (§4.1's network-driver confidentiality argument).
+pub struct Ddrm {
+    /// Operations the driver may perform.
+    pub allowed_ops: Vec<String>,
+    /// The only IPC object the driver may touch.
+    pub allowed_object: String,
+}
+
+impl Interceptor for Ddrm {
+    fn name(&self) -> &str {
+        "ddrm"
+    }
+    fn on_call(&mut self, call: &mut IpcCall) -> Verdict {
+        if self.allowed_ops.iter().any(|o| o == &call.operation)
+            && call.object == self.allowed_object
+        {
+            Verdict::Continue
+        } else {
+            Verdict::Block
+        }
+    }
+    fn cacheable(&self) -> bool {
+        // The DDRM's verdict depends only on (operation, object).
+        true
+    }
+}
+
+/// A configured echo benchmark world.
+pub struct EchoWorld {
+    /// The device.
+    pub nic: NicDevice,
+    driver_pid: u64,
+    server_pid: u64,
+    driver_port: u64,
+    server_port: u64,
+    path: EchoPath,
+}
+
+impl EchoWorld {
+    /// Build the echo topology on a booted kernel: a driver IPD, an
+    /// echo-server IPD, and their ports. Installing a monitor is a
+    /// separate step ([`EchoWorld::install_monitor`]).
+    pub fn new(nexus: &mut Nexus, path: EchoPath) -> Result<EchoWorld, KernelError> {
+        let driver_pid = nexus.spawn("nic-driver", b"nic-driver-image");
+        let server_pid = nexus.spawn("udp-echo", b"udp-echo-image");
+        let driver_port = nexus.create_port(driver_pid)?;
+        let server_port = nexus.create_port(server_pid)?;
+        Ok(EchoWorld {
+            nic: NicDevice::new(),
+            driver_pid,
+            server_pid,
+            driver_port,
+            server_port,
+            path,
+        })
+    }
+
+    /// Install a DDRM on the server-bound channel at the given level.
+    pub fn install_monitor(
+        &self,
+        nexus: &mut Nexus,
+        level: MonitorLevel,
+    ) -> Result<(), KernelError> {
+        let ddrm = Ddrm {
+            allowed_ops: vec!["send".into()],
+            allowed_object: format!("ipc:{}", self.server_port),
+        };
+        nexus.interpose(0, self.server_port, Box::new(ddrm), level)
+    }
+
+    /// The server port (monitored channel).
+    pub fn server_port(&self) -> u64 {
+        self.server_port
+    }
+
+    /// Process one packet through the configured path, returning the
+    /// echo. This is the unit of work Figure 7 rates in packets/s.
+    pub fn echo(&mut self, nexus: &mut Nexus, frame: &[u8]) -> Result<Vec<u8>, KernelError> {
+        self.nic.inject(frame.to_vec());
+        let pkt = self.nic.rx.pop_front().expect("just injected");
+        let reply = match self.path {
+            EchoPath::KernelInterrupt => pkt,
+            EchoPath::UserInterrupt => {
+                // One copy into the user driver's address space.
+                let copy = pkt.clone();
+                drop(pkt);
+                copy
+            }
+            EchoPath::KernelDriver => {
+                // Kernel driver → IPC → echo server → reply.
+                nexus.ipc_send(self.driver_pid, self.server_port, pkt)?;
+                let (_, p) = nexus.ipc_recv(self.server_pid, self.server_port)?;
+                nexus.ipc_send(self.server_pid, self.driver_port, p)?;
+                let (_, reply) = nexus.ipc_recv(self.driver_pid, self.driver_port)?;
+                reply
+            }
+            EchoPath::UserDriver => {
+                // User driver: copy in, user-level header processing,
+                // IPC to server and back.
+                let mut copy = pkt.clone();
+                drop(pkt);
+                // Minimal "TCP/IP stack" work: checksum-ish pass.
+                let sum: u8 = copy.iter().fold(0u8, |a, b| a.wrapping_add(*b));
+                copy.push(sum);
+                nexus.ipc_send(self.driver_pid, self.server_port, copy)?;
+                let (_, p) = nexus.ipc_recv(self.server_pid, self.server_port)?;
+                nexus.ipc_send(self.server_pid, self.driver_port, p)?;
+                let (_, mut reply) = nexus.ipc_recv(self.driver_pid, self.driver_port)?;
+                reply.pop();
+                reply
+            }
+        };
+        self.nic.tx.push_back(reply.clone());
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nexus::{BootImages, NexusConfig};
+    use nexus_storage::RamDisk;
+    use nexus_tpm::Tpm;
+
+    fn boot() -> Nexus {
+        Nexus::boot(
+            Tpm::new_with_seed(77),
+            RamDisk::new(),
+            &BootImages::standard(),
+            NexusConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_paths_echo_correctly() {
+        for path in [
+            EchoPath::KernelInterrupt,
+            EchoPath::UserInterrupt,
+            EchoPath::KernelDriver,
+            EchoPath::UserDriver,
+        ] {
+            let mut nexus = boot();
+            let mut world = EchoWorld::new(&mut nexus, path).unwrap();
+            let frame = vec![0xabu8; 100];
+            let reply = world.echo(&mut nexus, &frame).unwrap();
+            assert_eq!(reply, frame, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn ddrm_allows_echo_traffic() {
+        let mut nexus = boot();
+        let mut world = EchoWorld::new(&mut nexus, EchoPath::UserDriver).unwrap();
+        world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
+        let reply = world.echo(&mut nexus, &[1, 2, 3]).unwrap();
+        assert_eq!(reply, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ddrm_blocks_offpath_traffic() {
+        let mut nexus = boot();
+        let world = EchoWorld::new(&mut nexus, EchoPath::UserDriver).unwrap();
+        world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
+        // The driver tries to exfiltrate to a foreign port — but the
+        // monitor is on the server port, so simulate a disallowed op
+        // there: a "recv"-flavored send is not in allowed_ops… instead
+        // directly verify that a non-"send" operation on the channel
+        // is blocked via a raw redirector dispatch.
+        let mut call = crate::interpose::IpcCall {
+            subject: 99,
+            operation: "dma_read".into(),
+            object: format!("ipc:{}", world.server_port()),
+            args: vec![],
+        };
+        let outcome = nexus.redirector.dispatch(world.server_port(), &mut call);
+        assert!(matches!(
+            outcome,
+            crate::interpose::ChainOutcome::Blocked { .. }
+        ));
+    }
+
+    #[test]
+    fn monitored_path_hits_cache() {
+        let mut nexus = boot();
+        let mut world = EchoWorld::new(&mut nexus, EchoPath::KernelDriver).unwrap();
+        world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
+        for _ in 0..10 {
+            world.echo(&mut nexus, &[0u8; 100]).unwrap();
+        }
+        let (hits, total) = nexus.redirector.stats();
+        assert!(total >= 10);
+        assert!(hits >= 9, "verdicts should be cached, hits={hits}");
+    }
+
+    #[test]
+    fn nic_rings_fifo() {
+        let mut nic = NicDevice::new();
+        nic.inject(vec![1]);
+        nic.inject(vec![2]);
+        assert_eq!(nic.rx.pop_front(), Some(vec![1]));
+        assert_eq!(nic.transmitted(), None);
+        nic.tx.push_back(vec![3]);
+        assert_eq!(nic.transmitted(), Some(vec![3]));
+    }
+}

@@ -1,0 +1,195 @@
+//! Proportional-share CPU scheduling (stride scheduling).
+//!
+//! §4.1's resource attestation: the cloud provider runs a
+//! proportional-share scheduler whose internal state — the weight
+//! assigned to each tenant — is exported through introspection, so a
+//! labeling function can vouch that a tenant actually receives its
+//! contracted fraction of the CPU. This turns an SLA from an
+//! end-to-end measurement problem into a checkable label.
+
+use std::collections::HashMap;
+
+const STRIDE_ONE: u64 = 1 << 20;
+
+#[derive(Debug, Clone)]
+struct Client {
+    weight: u64,
+    stride: u64,
+    pass: u64,
+    /// Quanta received.
+    usage: u64,
+}
+
+/// A stride scheduler over named clients (tenants).
+#[derive(Debug, Default)]
+pub struct StrideScheduler {
+    clients: HashMap<String, Client>,
+    quanta: u64,
+}
+
+impl StrideScheduler {
+    /// Empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or re-weight) a client. Weight must be ≥ 1.
+    pub fn set_weight(&mut self, name: &str, weight: u64) {
+        let weight = weight.max(1);
+        let stride = STRIDE_ONE / weight;
+        // New clients start at the current minimum pass so they don't
+        // monopolize the CPU catching up.
+        let min_pass = self
+            .clients
+            .values()
+            .map(|c| c.pass)
+            .min()
+            .unwrap_or(0);
+        let entry = self.clients.entry(name.to_string()).or_insert(Client {
+            weight,
+            stride,
+            pass: min_pass,
+            usage: 0,
+        });
+        entry.weight = weight;
+        entry.stride = stride;
+    }
+
+    /// Remove a client.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.clients.remove(name).is_some()
+    }
+
+    /// Dispatch the next quantum: the client with the minimum pass
+    /// runs and its pass advances by its stride.
+    pub fn next(&mut self) -> Option<String> {
+        let name = self
+            .clients
+            .iter()
+            .min_by_key(|(n, c)| (c.pass, n.as_str().to_string()))
+            .map(|(n, _)| n.clone())?;
+        let c = self.clients.get_mut(&name).expect("chosen above");
+        c.pass += c.stride;
+        c.usage += 1;
+        self.quanta += 1;
+        Some(name)
+    }
+
+    /// A client's weight.
+    pub fn weight(&self, name: &str) -> Option<u64> {
+        self.clients.get(name).map(|c| c.weight)
+    }
+
+    /// A client's received quanta.
+    pub fn usage(&self, name: &str) -> Option<u64> {
+        self.clients.get(name).map(|c| c.usage)
+    }
+
+    /// The fraction of total weight assigned to `name` — what the
+    /// resource-attestation labeling function reads out.
+    pub fn share(&self, name: &str) -> Option<f64> {
+        let total: u64 = self.clients.values().map(|c| c.weight).sum();
+        let w = self.weight(name)?;
+        if total == 0 {
+            return None;
+        }
+        Some(w as f64 / total as f64)
+    }
+
+    /// All client names, sorted.
+    pub fn clients(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.clients.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total quanta dispatched.
+    pub fn total_quanta(&self) -> u64 {
+        self.quanta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_allocation() {
+        let mut s = StrideScheduler::new();
+        s.set_weight("a", 3);
+        s.set_weight("b", 1);
+        for _ in 0..4000 {
+            s.next();
+        }
+        let ua = s.usage("a").unwrap() as f64;
+        let ub = s.usage("b").unwrap() as f64;
+        let ratio = ua / ub;
+        assert!(
+            (ratio - 3.0).abs() < 0.05,
+            "3:1 weights must yield ~3:1 usage, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn shares_reflect_weights() {
+        let mut s = StrideScheduler::new();
+        s.set_weight("a", 1);
+        s.set_weight("b", 1);
+        s.set_weight("c", 2);
+        assert!((s.share("c").unwrap() - 0.5).abs() < 1e-9);
+        assert!((s.share("a").unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_joiner_not_starved_nor_dominant() {
+        let mut s = StrideScheduler::new();
+        s.set_weight("a", 1);
+        for _ in 0..1000 {
+            s.next();
+        }
+        s.set_weight("b", 1);
+        for _ in 0..1000 {
+            s.next();
+        }
+        let ub = s.usage("b").unwrap();
+        assert!(
+            (400..=600).contains(&ub),
+            "late joiner should get ~half of remaining quanta, got {ub}"
+        );
+    }
+
+    #[test]
+    fn empty_scheduler_idles() {
+        let mut s = StrideScheduler::new();
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn reweight_takes_effect() {
+        let mut s = StrideScheduler::new();
+        s.set_weight("a", 1);
+        s.set_weight("b", 1);
+        for _ in 0..100 {
+            s.next();
+        }
+        s.set_weight("a", 9);
+        let before_a = s.usage("a").unwrap();
+        let before_b = s.usage("b").unwrap();
+        for _ in 0..1000 {
+            s.next();
+        }
+        let da = s.usage("a").unwrap() - before_a;
+        let db = s.usage("b").unwrap() - before_b;
+        let ratio = da as f64 / db as f64;
+        assert!((ratio - 9.0).abs() < 1.0, "ratio after reweight: {ratio}");
+    }
+
+    #[test]
+    fn remove_client() {
+        let mut s = StrideScheduler::new();
+        s.set_weight("a", 1);
+        assert!(s.remove("a"));
+        assert!(!s.remove("a"));
+        assert_eq!(s.next(), None);
+    }
+}

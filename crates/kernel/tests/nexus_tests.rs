@@ -1,0 +1,375 @@
+//! Kernel-level tests: boot, the authorization path of Figure 1,
+//! system calls, and introspection.
+
+use nexus_kernel::{BootImages, Nexus, NexusConfig, SysRet, Syscall};
+use nexus_core::{AuthorityKind, FnAuthority, ResourceId};
+use nexus_nal::{parse, Formula, Principal};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+use std::sync::Arc;
+
+fn boot() -> Nexus {
+    Nexus::boot(
+        Tpm::new_with_seed(123),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn first_boot_takes_ownership() {
+    let nexus = boot();
+    assert!(nexus.first_boot());
+    assert!(nexus.tpm.is_owned());
+}
+
+#[test]
+fn reboot_recovers_state() {
+    let nexus = boot();
+    let (tpm, disk) = (nexus.tpm, nexus.disk);
+    let nexus2 = Nexus::boot(tpm, disk, &BootImages::standard(), NexusConfig::default()).unwrap();
+    assert!(!nexus2.first_boot());
+}
+
+#[test]
+fn modified_kernel_image_cannot_recover() {
+    let nexus = boot();
+    let (tpm, disk) = (nexus.tpm, nexus.disk);
+    let evil = BootImages {
+        kernel: b"evil-kernel".to_vec(),
+        ..BootImages::standard()
+    };
+    let err = Nexus::boot(tpm, disk, &evil, NexusConfig::default());
+    assert!(err.is_err(), "PCR mismatch must block state recovery");
+}
+
+#[test]
+fn basic_syscalls() {
+    let mut nexus = boot();
+    let parent = nexus.spawn("parent", b"img");
+    let child = nexus.spawn_child(parent, "child", b"img").unwrap();
+    assert_eq!(nexus.syscall(child, Syscall::Null).unwrap(), SysRet::Unit);
+    assert_eq!(
+        nexus.syscall(child, Syscall::GetPpid).unwrap(),
+        SysRet::Int(parent)
+    );
+    let SysRet::Int(t1) = nexus.syscall(child, Syscall::GetTimeOfDay).unwrap() else {
+        panic!()
+    };
+    let SysRet::Int(t2) = nexus.syscall(child, Syscall::GetTimeOfDay).unwrap() else {
+        panic!()
+    };
+    assert!(t2 > t1);
+    assert_eq!(nexus.syscall(child, Syscall::Yield).unwrap(), SysRet::Unit);
+}
+
+#[test]
+fn relinquished_syscalls_fail() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("ws", b"webserver");
+    nexus.relinquish(pid, "open").unwrap();
+    assert!(nexus.syscall(pid, Syscall::Open("/x".into())).is_err());
+    // Other calls still work.
+    assert!(nexus.syscall(pid, Syscall::Null).is_ok());
+}
+
+#[test]
+fn file_owner_can_use_own_file_via_default_policy() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("app", b"img");
+    nexus.fs_create(pid, "/mine").unwrap();
+    // Default policy: FS.file:/mine says <op>; the ownership label
+    // plus the request statement discharge it via handoff.
+    let SysRet::Int(fd) = nexus.syscall(pid, Syscall::Open("/mine".into())).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(
+        nexus.syscall(pid, Syscall::Write(fd, b"hi".to_vec())),
+        Ok(SysRet::Int(2))
+    ));
+    let SysRet::Int(fd2) = nexus.syscall(pid, Syscall::Open("/mine".into())).unwrap() else {
+        panic!()
+    };
+    assert_eq!(
+        nexus.syscall(pid, Syscall::Read(fd2, 10)).unwrap(),
+        SysRet::Data(b"hi".to_vec())
+    );
+}
+
+#[test]
+fn stranger_denied_by_default_policy() {
+    let mut nexus = boot();
+    let owner = nexus.spawn("owner", b"img");
+    let stranger = nexus.spawn("stranger", b"img");
+    nexus.fs_create(owner, "/secret").unwrap();
+    assert!(nexus
+        .syscall(stranger, Syscall::Open("/secret".into()))
+        .is_err());
+}
+
+#[test]
+fn owner_can_setgoal_and_grant_access() {
+    let mut nexus = boot();
+    let owner = nexus.spawn("owner", b"img");
+    let friend = nexus.spawn("friend", b"img");
+    nexus.fs_create(owner, "/shared").unwrap();
+    // Owner sets a goal admitting the friend's own request.
+    let friend_principal = nexus.principal(friend).unwrap();
+    let goal = parse(&format!("{friend_principal} says open")).unwrap();
+    nexus
+        .sys_setgoal(owner, ResourceId::file("/shared"), "open", goal)
+        .unwrap();
+    assert!(nexus.syscall(friend, Syscall::Open("/shared".into())).is_ok());
+    // A third process is still shut out.
+    let other = nexus.spawn("other", b"img");
+    assert!(nexus.syscall(other, Syscall::Open("/shared".into())).is_err());
+}
+
+#[test]
+fn stranger_cannot_setgoal_on_others_file() {
+    let mut nexus = boot();
+    let owner = nexus.spawn("owner", b"img");
+    let mallory = nexus.spawn("mallory", b"img");
+    nexus.fs_create(owner, "/f").unwrap();
+    let err = nexus.sys_setgoal(mallory, ResourceId::file("/f"), "open", Formula::True);
+    assert!(err.is_err());
+}
+
+#[test]
+fn lockout_without_superuser_is_possible() {
+    // Footnote 2: the owner can set an unsatisfiable goal and lock
+    // out everyone — including themselves. There is no superuser.
+    let mut nexus = boot();
+    let owner = nexus.spawn("owner", b"img");
+    nexus.fs_create(owner, "/oops").unwrap();
+    nexus
+        .sys_setgoal(owner, ResourceId::file("/oops"), "open", Formula::False)
+        .unwrap();
+    assert!(nexus.syscall(owner, Syscall::Open("/oops".into())).is_err());
+}
+
+#[test]
+fn decision_cache_reduces_guard_upcalls() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("app", b"img");
+    nexus.fs_create(pid, "/f").unwrap();
+    for _ in 0..50 {
+        nexus.syscall(pid, Syscall::Open("/f".into())).unwrap();
+    }
+    let upcalls = nexus.guard_upcalls();
+    assert!(
+        upcalls <= 3,
+        "repeat opens must be served by the decision cache, upcalls={upcalls}"
+    );
+    assert!(nexus.decision_cache_stats().hits >= 45);
+}
+
+#[test]
+fn setgoal_invalidates_cached_decisions() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("app", b"img");
+    nexus.fs_create(pid, "/f").unwrap();
+    // Warm the cache with an allow.
+    nexus.syscall(pid, Syscall::Open("/f".into())).unwrap();
+    nexus.syscall(pid, Syscall::Open("/f".into())).unwrap();
+    // Owner locks the file.
+    nexus
+        .sys_setgoal(pid, ResourceId::file("/f"), "open", Formula::False)
+        .unwrap();
+    assert!(
+        nexus.syscall(pid, Syscall::Open("/f".into())).is_err(),
+        "stale cached allow must not survive setgoal"
+    );
+}
+
+#[test]
+fn authority_backed_goal_tracks_live_state() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("app", b"img");
+    nexus.fs_create(pid, "/timed").unwrap();
+    // Clock authority (embedded): time is mutable state.
+    let now = Arc::new(parking_lot::Mutex::new(20110301i64));
+    let clock = now.clone();
+    nexus.register_authority(
+        Principal::name("NTP"),
+        Arc::new(FnAuthority(move |s: &nexus_nal::Formula| {
+            if let nexus_nal::Formula::Cmp(op, a, b) = s {
+                if let (nexus_nal::Term::Sym(n), nexus_nal::Term::Int(bound)) = (a, b) {
+                    if n == "TimeNow" {
+                        return op.eval(&*clock.lock(), bound);
+                    }
+                }
+            }
+            false
+        })),
+        AuthorityKind::Embedded,
+    );
+    nexus
+        .sys_setgoal(
+            pid,
+            ResourceId::file("/timed"),
+            "open",
+            parse("NTP says TimeNow < 20110319").unwrap(),
+        )
+        .unwrap();
+    // Supply the proof (a single authority-backed assumption).
+    let proof = nexus_nal::Proof::assume(parse("NTP says TimeNow < 20110319").unwrap());
+    nexus
+        .sys_set_proof(pid, "open", &ResourceId::file("/timed"), proof)
+        .unwrap();
+    assert!(nexus.syscall(pid, Syscall::Open("/timed".into())).is_ok());
+    // The deadline passes; the very next check fails — no revocation
+    // machinery needed (§2.7).
+    *now.lock() = 20110401;
+    assert!(nexus.syscall(pid, Syscall::Open("/timed".into())).is_err());
+}
+
+#[test]
+fn introspection_views_live_state() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("worker", b"image-bytes");
+    assert!(nexus
+        .introspect_read(&format!("/proc/ipd/{pid}/name"))
+        .unwrap()
+        .contains("worker"));
+    nexus.publish(pid, "modules", "mod1,mod2").unwrap();
+    assert_eq!(
+        nexus
+            .introspect_read(&format!("/proc/app/{pid}/modules"))
+            .unwrap(),
+        "modules=mod1,mod2"
+    );
+    nexus.sched.set_weight("tenant-a", 3);
+    nexus.sched.set_weight("tenant-b", 1);
+    assert_eq!(
+        nexus.introspect_read("/proc/sched/tenant-a/weight").unwrap(),
+        "weight=3"
+    );
+    assert!(nexus
+        .introspect_read("/proc/sched/tenant-a/share")
+        .unwrap()
+        .starts_with("share=0.75"));
+    assert!(nexus.introspect_read("/proc/nope").is_err());
+}
+
+#[test]
+fn ipc_graph_reflects_sends() {
+    let mut nexus = boot();
+    let a = nexus.spawn("a", b"");
+    let b = nexus.spawn("b", b"");
+    let port = nexus.create_port(b).unwrap();
+    nexus.ipc_send(a, port, b"hello".to_vec()).unwrap();
+    let (from, msg) = nexus.ipc_recv(b, port).unwrap();
+    assert_eq!(from, a);
+    assert_eq!(msg, b"hello");
+    assert!(nexus.ipc_graph().contains(&(a, b)));
+    let edges = nexus.introspect_read("/proc/ipc/edges").unwrap();
+    assert!(edges.contains(&format!("{a}->{b}")));
+}
+
+#[test]
+fn port_binding_label_deposited() {
+    let mut nexus = boot();
+    let pid = nexus.spawn("svc", b"");
+    let port = nexus.create_port(pid).unwrap();
+    let labels = nexus.labels_of(pid).unwrap();
+    let expect = parse(&format!(
+        "Nexus says IPC.{port} speaksfor /proc/ipd/{pid}"
+    ))
+    .unwrap();
+    assert!(labels.contains(&expect));
+}
+
+#[test]
+fn recv_requires_ownership() {
+    let mut nexus = boot();
+    let a = nexus.spawn("a", b"");
+    let b = nexus.spawn("b", b"");
+    let port = nexus.create_port(b).unwrap();
+    nexus.ipc_send(a, port, vec![1]).unwrap();
+    assert!(nexus.ipc_recv(a, port).is_err());
+    assert!(nexus.ipc_recv(b, port).is_ok());
+}
+
+#[test]
+fn externalize_and_import_across_kernels() {
+    // A label minted on one Nexus is verified on another machine
+    // holding the first machine's EK.
+    let mut nexus_a = boot();
+    let pid = nexus_a.spawn("prover", b"img");
+    let h = nexus_a.sys_say(pid, "isTypeSafe(PGM)").unwrap();
+    let cert = nexus_a.externalize(pid, h).unwrap();
+    let ek_a = nexus_a.tpm.ek_public();
+
+    let mut nexus_b = Nexus::boot(
+        Tpm::new_with_seed(9),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .unwrap();
+    let importer = nexus_b.spawn("verifier", b"img");
+    let h2 = nexus_b.import_cert(importer, &cert, &ek_a).unwrap();
+    let labels = nexus_b.labels_of(importer).unwrap();
+    assert_eq!(labels.len(), 1);
+    let _ = h2;
+    // The imported statement is attributed to the fully-qualified
+    // remote principal, not a local name.
+    let s = labels[0].to_string();
+    assert!(s.contains("says isTypeSafe(PGM)"));
+    assert!(s.starts_with("key:"));
+}
+
+#[test]
+fn interposed_syscalls_can_be_blocked() {
+    struct DenyYield;
+    impl nexus_kernel::Interceptor for DenyYield {
+        fn name(&self) -> &str {
+            "deny-yield"
+        }
+        fn on_call(&mut self, call: &mut nexus_kernel::IpcCall) -> nexus_kernel::Verdict {
+            if call.operation == "yield" {
+                nexus_kernel::Verdict::Block
+            } else {
+                nexus_kernel::Verdict::Continue
+            }
+        }
+    }
+    let mut nexus = boot();
+    let pid = nexus.spawn("app", b"");
+    nexus
+        .interpose(0, nexus_kernel::SYSCALL_CHANNEL, Box::new(DenyYield), nexus_kernel::MonitorLevel::Kernel)
+        .unwrap();
+    assert!(matches!(
+        nexus.syscall(pid, Syscall::Yield),
+        Err(nexus_kernel::KernelError::Blocked { .. })
+    ));
+    assert!(nexus.syscall(pid, Syscall::Null).is_ok());
+}
+
+#[test]
+fn goal_guarded_introspection() {
+    let mut nexus = boot();
+    let owner = nexus.spawn("tenant-a", b"");
+    let snoop = nexus.spawn("tenant-b", b"");
+    nexus.sched.set_weight("tenant-a", 2);
+    // Guard the tenant's weight file so only the tenant reads it
+    // (§4.1: "goal statements ensure that file is not readable by
+    // other tenants").
+    let path = "/proc/sched/tenant-a/weight";
+    let obj = ResourceId::new("proc", path);
+    nexus.grant_ownership(owner, &obj).unwrap();
+    let owner_principal = nexus.principal(owner).unwrap();
+    nexus
+        .sys_setgoal(
+            owner,
+            obj,
+            "read",
+            parse(&format!("{owner_principal} says read")).unwrap(),
+        )
+        .unwrap();
+    assert!(nexus.introspect_read_authorized(owner, path).is_ok());
+    assert!(nexus.introspect_read_authorized(snoop, path).is_err());
+}

@@ -1,0 +1,84 @@
+//! Error types for parsing and proof checking.
+
+use crate::formula::Formula;
+use std::fmt;
+
+/// Error produced while parsing NAL concrete syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced by the proof checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// A leaf assumption is not among the supplied credentials.
+    UnknownAssumption(Formula),
+    /// A hypothesis leaf is not bound by an enclosing introduction rule.
+    UndischargedHypothesis(Formula),
+    /// A rule was applied to premises of the wrong shape.
+    RuleMismatch {
+        /// The rule that failed.
+        rule: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A comparison could not be decided by evaluation (non-literal
+    /// operands).
+    NotEvaluable(Formula),
+    /// A scoped delegation was applied to a statement outside its scope.
+    ScopeViolation {
+        /// The statement that failed the scope check.
+        statement: Formula,
+        /// The scope identifiers.
+        scope: Vec<String>,
+    },
+    /// The proof contains a goal variable; proofs must be ground.
+    NonGround(Formula),
+    /// Proof exceeds the checker's configured size bound.
+    TooLarge(usize),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownAssumption(s) => {
+                write!(f, "assumption not among supplied credentials: {s}")
+            }
+            CheckError::UndischargedHypothesis(s) => {
+                write!(f, "undischarged hypothesis: {s}")
+            }
+            CheckError::RuleMismatch { rule, detail } => {
+                write!(f, "rule {rule} misapplied: {detail}")
+            }
+            CheckError::NotEvaluable(s) => write!(f, "comparison not evaluable: {s}"),
+            CheckError::ScopeViolation { statement, scope } => {
+                write!(f, "statement {statement} outside delegation scope {scope:?}")
+            }
+            CheckError::NonGround(s) => write!(f, "proof not ground: {s}"),
+            CheckError::TooLarge(n) => write!(f, "proof too large: {n} nodes"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}

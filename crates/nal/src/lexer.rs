@@ -1,0 +1,427 @@
+//! Tokenizer for NAL concrete syntax.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier: `NTP`, `isTypeSafe`, `alice`.
+    Ident(String),
+    /// Path-like identifier: `/proc/ipd/12`, `/dir/file`.
+    Path(String),
+    /// Goal variable: `$X`.
+    Var(String),
+    /// Key principal: `key:ab12cd`.
+    Key(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (double-quoted, backslash escapes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `says`
+    Says,
+    /// `speaksfor`
+    SpeaksFor,
+    /// `on`
+    On,
+    /// `and` / `∧` / `/\`
+    And,
+    /// `or` / `∨` / `\/`
+    Or,
+    /// `not` / `¬`
+    Not,
+    /// `->` / `=>` / `implies` / `⇒`
+    Implies,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=` / `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+/// A token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// True for characters that may appear in a path segment.
+fn is_path_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '/' || c == '.'
+}
+
+/// Tokenize a NAL input string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    // Byte offsets: we track char indices; for ASCII-dominated input
+    // they coincide with byte offsets closely enough for messages.
+    let mut i = 0usize;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, offset: start });
+                i += 1;
+            }
+            '∧' => {
+                out.push(Spanned { token: Token::And, offset: start });
+                i += 1;
+            }
+            '∨' => {
+                out.push(Spanned { token: Token::Or, offset: start });
+                i += 1;
+            }
+            '¬' => {
+                out.push(Spanned { token: Token::Not, offset: start });
+                i += 1;
+            }
+            '⇒' | '→' => {
+                out.push(Spanned { token: Token::Implies, offset: start });
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned { token: Token::Le, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned { token: Token::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '>' {
+                    out.push(Spanned { token: Token::Implies, offset: start });
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned { token: Token::Eq, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Eq, offset: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(start, "unexpected '!'"));
+                }
+            }
+            '-' => {
+                if i + 1 < n && bytes[i + 1] == '>' {
+                    out.push(Spanned { token: Token::Implies, offset: start });
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    let mut j = i + 1;
+                    while j < n && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let text: String = bytes[i..j].iter().collect();
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| ParseError::new(start, format!("bad integer: {e}")))?;
+                    out.push(Spanned { token: Token::Int(v), offset: start });
+                    i = j;
+                } else {
+                    return Err(ParseError::new(start, "unexpected '-'"));
+                }
+            }
+            '/' => {
+                // `/\` is conjunction; otherwise a path.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    out.push(Spanned { token: Token::And, offset: start });
+                    i += 2;
+                } else {
+                    let mut j = i;
+                    while j < n && is_path_char(bytes[j]) {
+                        j += 1;
+                    }
+                    // Trailing dots belong to subprincipal syntax, not
+                    // the path itself (e.g. `FS./dir/file.part` keeps
+                    // the dot; but `path.` followed by non-path is a
+                    // Dot token). We keep dots inside the path: Nexus
+                    // paths are opaque strings.
+                    let text: String = bytes[i..j].iter().collect();
+                    out.push(Spanned { token: Token::Path(text), offset: start });
+                    i = j;
+                }
+            }
+            '\\' => {
+                if i + 1 < n && bytes[i + 1] == '/' {
+                    out.push(Spanned { token: Token::Or, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(start, "unexpected '\\'"));
+                }
+            }
+            '$' => {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(ParseError::new(start, "empty variable name after '$'"));
+                }
+                let text: String = bytes[i + 1..j].iter().collect();
+                out.push(Spanned { token: Token::Var(text), offset: start });
+                i = j;
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while j < n {
+                    match bytes[j] {
+                        '"' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        '\\' if j + 1 < n => {
+                            let esc = bytes[j + 1];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        other => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                out.push(Spanned { token: Token::Str(s), offset: start });
+                i = j;
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|e| ParseError::new(start, format!("bad integer: {e}")))?;
+                out.push(Spanned { token: Token::Int(v), offset: start });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < n && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let token = match text.as_str() {
+                    "says" => Token::Says,
+                    "speaksfor" => Token::SpeaksFor,
+                    "on" => Token::On,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "implies" => Token::Implies,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "key" if j < n && bytes[j] == ':' => {
+                        // key:hexdigits
+                        let mut k = j + 1;
+                        while k < n && bytes[k].is_ascii_hexdigit() {
+                            k += 1;
+                        }
+                        let hex: String = bytes[j + 1..k].iter().collect();
+                        if hex.is_empty() {
+                            return Err(ParseError::new(start, "empty key after 'key:'"));
+                        }
+                        out.push(Spanned { token: Token::Key(hex), offset: start });
+                        i = k;
+                        continue;
+                    }
+                    _ => {
+                        // Namespaced resource names (`file:/secret`,
+                        // `ipc:42`) lex as a single path-like token.
+                        if j < n && bytes[j] == ':' && j + 1 < n && is_path_char(bytes[j + 1]) {
+                            let mut k = j + 1;
+                            while k < n && is_path_char(bytes[k]) {
+                                k += 1;
+                            }
+                            let rest: String = bytes[j + 1..k].iter().collect();
+                            out.push(Spanned {
+                                token: Token::Path(format!("{text}:{rest}")),
+                                offset: start,
+                            });
+                            i = k;
+                            continue;
+                        }
+                        Token::Ident(text)
+                    }
+                };
+                out.push(Spanned { token, offset: start });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(start, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("NTP says TimeNow"),
+            vec![
+                Token::Ident("NTP".into()),
+                Token::Says,
+                Token::Ident("TimeNow".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn paths() {
+        assert_eq!(
+            toks("/proc/ipd/12"),
+            vec![Token::Path("/proc/ipd/12".into())]
+        );
+        assert_eq!(
+            toks("/proc/state/new.bak"),
+            vec![Token::Path("/proc/state/new.bak".into())]
+        );
+    }
+
+    #[test]
+    fn unicode_connectives() {
+        assert_eq!(toks("a ∧ b"), vec![
+            Token::Ident("a".into()), Token::And, Token::Ident("b".into())]);
+        assert_eq!(toks("a ∨ b")[1], Token::Or);
+        assert_eq!(toks("¬a")[0], Token::Not);
+        assert_eq!(toks("a ⇒ b")[1], Token::Implies);
+        assert_eq!(toks(r"a /\ b")[1], Token::And);
+        assert_eq!(toks(r"a \/ b")[1], Token::Or);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(toks("a < 5")[1], Token::Lt);
+        assert_eq!(toks("a <= 5")[1], Token::Le);
+        assert_eq!(toks("a = 5")[1], Token::Eq);
+        assert_eq!(toks("a == 5")[1], Token::Eq);
+        assert_eq!(toks("a != 5")[1], Token::Ne);
+        assert_eq!(toks("a >= 5")[1], Token::Ge);
+        assert_eq!(toks("a > 5")[1], Token::Gt);
+    }
+
+    #[test]
+    fn arrows() {
+        assert_eq!(toks("a -> b")[1], Token::Implies);
+        assert_eq!(toks("a => b")[1], Token::Implies);
+        assert_eq!(toks("a implies b")[1], Token::Implies);
+    }
+
+    #[test]
+    fn variables_and_keys() {
+        assert_eq!(toks("$X")[0], Token::Var("X".into()));
+        assert_eq!(toks("key:ab12")[0], Token::Key("ab12".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""a\"b\n""#)[0],
+            Token::Str("a\"b\n".into())
+        );
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(toks("-5")[0], Token::Int(-5));
+        assert_eq!(toks("x = -5")[2], Token::Int(-5));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("€").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = tokenize("ab cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 3);
+    }
+}

@@ -1,0 +1,442 @@
+//! Recursive-descent parser for NAL concrete syntax.
+//!
+//! The grammar is given in the crate docs. The parser is total over the
+//! token stream (no backtracking blow-ups) and produces the same AST
+//! that the pretty-printer consumes, so `parse(f.to_string()) == f` for
+//! all formulas (see the proptest in this module).
+
+use crate::error::ParseError;
+use crate::formula::{CmpOp, Formula};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::principal::Principal;
+use crate::term::Term;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.offset + 1).unwrap_or(0))
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.offset(), msg)
+    }
+
+    // formula := implies
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.implies()
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), Some(Token::Implies)) {
+            self.pos += 1;
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while matches!(self.peek(), Some(Token::And)) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    // unary := NOT unary | TRUE | FALSE | "(" formula ")" | statement
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.pos += 1;
+                Ok(self.unary()?.not())
+            }
+            Some(Token::True) => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            Some(Token::False) => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let f = self.formula()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(_) => self.statement(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    // statement := term (says | speaksfor | cmp | <bare predicate>)
+    fn statement(&mut self) -> Result<Formula, ParseError> {
+        let t = self.term()?;
+        match self.peek() {
+            Some(Token::Says) => {
+                self.pos += 1;
+                let p = term_to_principal(&t).ok_or_else(|| {
+                    self.err(format!("'{t}' cannot be a principal before 'says'"))
+                })?;
+                let body = self.unary()?;
+                Ok(body.says(p))
+            }
+            Some(Token::SpeaksFor) => {
+                self.pos += 1;
+                let from = term_to_principal(&t).ok_or_else(|| {
+                    self.err(format!("'{t}' cannot be a principal before 'speaksfor'"))
+                })?;
+                let to_term = self.term()?;
+                let to = term_to_principal(&to_term).ok_or_else(|| {
+                    self.err(format!("'{to_term}' cannot be a principal after 'speaksfor'"))
+                })?;
+                if matches!(self.peek(), Some(Token::On)) {
+                    self.pos += 1;
+                    let mut scope = Vec::new();
+                    while let Some(Token::Ident(name)) = self.peek() {
+                        scope.push(name.clone());
+                        self.pos += 1;
+                    }
+                    if scope.is_empty() {
+                        return Err(self.err("expected scope identifiers after 'on'"));
+                    }
+                    Ok(Formula::speaksfor_on(from, to, scope))
+                } else {
+                    Ok(Formula::speaksfor(from, to))
+                }
+            }
+            Some(op @ (Token::Lt | Token::Le | Token::Eq | Token::Ne | Token::Ge | Token::Gt)) => {
+                let op = match op {
+                    Token::Lt => CmpOp::Lt,
+                    Token::Le => CmpOp::Le,
+                    Token::Eq => CmpOp::Eq,
+                    Token::Ne => CmpOp::Ne,
+                    Token::Ge => CmpOp::Ge,
+                    _ => CmpOp::Gt,
+                };
+                self.pos += 1;
+                let rhs = self.term()?;
+                Ok(Formula::cmp(op, t, rhs))
+            }
+            _ => {
+                // Bare predicate.
+                match t {
+                    Term::App(f, args) => Ok(Formula::Pred(f, args)),
+                    Term::Sym(s) => Ok(Formula::Pred(s, vec![])),
+                    other => Err(self.err(format!("'{other}' is not a formula"))),
+                }
+            }
+        }
+    }
+
+    // term := literal | var | key | path | ident [ "(" args ")" ] | principal-chain
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let tok = self
+            .next()
+            .ok_or_else(|| ParseError::new(0, "unexpected end of input in term"))?;
+        let base: Term = match tok {
+            Token::Int(i) => return Ok(Term::Int(i)),
+            Token::Str(s) => return Ok(Term::Str(s)),
+            Token::Var(v) => Term::Var(v),
+            Token::Key(k) => Term::Prin(Principal::Key(k)),
+            Token::Path(p) => Term::Sym(p),
+            Token::Ident(name) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Token::RParen)) {
+                        loop {
+                            args.push(self.term()?);
+                            match self.peek() {
+                                Some(Token::Comma) => {
+                                    self.pos += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen, "')' closing argument list")?;
+                    return Ok(Term::App(name, args));
+                }
+                Term::Sym(name)
+            }
+            other => {
+                return Err(self.err(format!("unexpected token {other:?} in term")));
+            }
+        };
+        // Subprincipal chain: base.comp.comp…
+        if matches!(self.peek(), Some(Token::Dot)) {
+            let mut p = term_to_principal(&base)
+                .ok_or_else(|| self.err(format!("'{base}' cannot start a principal chain")))?;
+            while matches!(self.peek(), Some(Token::Dot)) {
+                self.pos += 1;
+                let comp = match self.next() {
+                    Some(Token::Ident(c)) => c,
+                    Some(Token::Path(c)) => c,
+                    Some(Token::Int(i)) => i.to_string(),
+                    _ => return Err(self.err("expected subprincipal component after '.'")),
+                };
+                p = p.sub(comp);
+            }
+            return Ok(Term::Prin(p));
+        }
+        Ok(base)
+    }
+}
+
+/// Interpret a term as a principal where sensible.
+pub(crate) fn term_to_principal(t: &Term) -> Option<Principal> {
+    match t {
+        Term::Sym(s) | Term::Str(s) => Some(Principal::Name(s.clone())),
+        Term::Var(v) => Some(Principal::Var(v.clone())),
+        Term::Prin(p) => Some(p.clone()),
+        _ => None,
+    }
+}
+
+/// Parse a NAL formula from its concrete syntax.
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty input"));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let f = p.formula()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+/// Parse a principal expression (e.g. `NK.labelstore./proc/ipd/12`).
+pub fn parse_principal(input: &str) -> Result<Principal, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty input"));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.term()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after principal"));
+    }
+    term_to_principal(&t).ok_or_else(|| ParseError::new(0, format!("'{t}' is not a principal")))
+}
+
+/// Parse a term.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty input"));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.term()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after term"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+
+    fn roundtrip(s: &str) {
+        let f = parse(s).unwrap();
+        let printed = f.to_string();
+        let f2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(f, f2, "round-trip mismatch for {s:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        for s in [
+            "TypeChecker says isTypeSafe(PGM)",
+            "Company says isTrustworthy(Client) and Nexus says /proc/ipd/12 speaksfor Client",
+            "Nexus says /proc/ipd/30 speaksfor IPCAnalyzer",
+            "/proc/ipd/30 says not hasPath(/proc/ipd/12, Filesystem)",
+            "Server says NTP speaksfor Server on TimeNow",
+            "Owner says TimeNow < 20110319",
+            "Filesystem says NTP speaksfor Filesystem on TimeNow and NTP says TimeNow < 20110319",
+            "$X says openFile(filename) and SafetyCertifier says safe($X)",
+            "A says Valid(S) -> S",
+            "FS says /proc/ipd/6 speaksfor FS./dir/file",
+            "name.webserver says user = alice",
+            "name.python says inFriends(alice, bob)",
+        ] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let f = parse("a and b or c and d").unwrap();
+        match f {
+            Formula::Or(l, r) => {
+                assert!(matches!(*l, Formula::And(..)));
+                assert!(matches!(*r, Formula::And(..)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_is_right_associative_and_lowest() {
+        let f = parse("a -> b -> c").unwrap();
+        match f {
+            Formula::Implies(_, r) => assert!(matches!(*r, Formula::Implies(..))),
+            other => panic!("{other:?}"),
+        }
+        let g = parse("a and b -> c").unwrap();
+        assert!(matches!(g, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn says_is_right_associative() {
+        let f = parse("A says B says p").unwrap();
+        assert_eq!(f.to_string(), "A says B says p");
+        if let Formula::Says(a, inner) = &f {
+            assert_eq!(a, &Principal::name("A"));
+            assert!(matches!(inner.as_ref(), Formula::Says(..)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn says_scopes_tighter_than_and() {
+        let f = parse("A says p and B says q").unwrap();
+        assert!(matches!(f, Formula::And(..)));
+    }
+
+    #[test]
+    fn says_with_parenthesized_body() {
+        let f = parse("A says (p and q)").unwrap();
+        if let Formula::Says(_, body) = &f {
+            assert!(matches!(body.as_ref(), Formula::And(..)));
+        } else {
+            panic!();
+        }
+        roundtrip("A says (p and q)");
+    }
+
+    #[test]
+    fn negation_inside_says() {
+        let f = parse("/proc/ipd/30 says not hasPath(/proc/ipd/12, Nameserver)").unwrap();
+        if let Formula::Says(p, body) = &f {
+            assert_eq!(p, &Principal::name("/proc/ipd/30"));
+            assert!(matches!(body.as_ref(), Formula::Not(..)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn subprincipals_parse() {
+        let p = parse_principal("HW.kernel.process23").unwrap();
+        assert_eq!(p.depth(), 2);
+        let q = parse_principal("FS./dir/file").unwrap();
+        assert_eq!(q, Principal::name("FS").sub("/dir/file"));
+        let r = parse_principal("key:ab12.labelstore").unwrap();
+        assert_eq!(r, Principal::key("ab12").sub("labelstore"));
+    }
+
+    #[test]
+    fn comparison_forms() {
+        roundtrip("TimeNow < 20110319");
+        roundtrip("x <= 5");
+        roundtrip("user = alice");
+        roundtrip("a != b");
+        roundtrip("quota(alice) >= 80");
+        let f = parse("quota(alice) < 80").unwrap();
+        assert!(matches!(f, Formula::Cmp(CmpOp::Lt, Term::App(..), Term::Int(80))));
+    }
+
+    #[test]
+    fn scoped_delegation_multi() {
+        let f = parse("A speaksfor B on TimeNow TimeZone").unwrap();
+        if let Formula::SpeaksFor { scope: Some(s), .. } = &f {
+            assert_eq!(s.len(), 2);
+        } else {
+            panic!();
+        }
+        roundtrip("A speaksfor B on TimeNow TimeZone");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("and").is_err());
+        assert!(parse("a says").is_err());
+        assert!(parse("a speaksfor").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("5 says x").is_err());
+        assert!(parse("a speaksfor b on").is_err());
+        assert!(parse("f(a,").is_err());
+    }
+
+    #[test]
+    fn string_and_int_terms() {
+        roundtrip("openFile(\"/etc/passwd\")");
+        roundtrip("count = 42");
+        roundtrip("temp = -3");
+    }
+
+    #[test]
+    fn unicode_syntax_accepted() {
+        let f = parse("A says p ∧ B says ¬q").unwrap();
+        assert!(matches!(f, Formula::And(..)));
+        let g = parse("A says Valid(S) ⇒ S").unwrap();
+        assert!(matches!(g, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn variables_in_goals() {
+        let f = parse("$X says openFile($F)").unwrap();
+        assert_eq!(f.vars(), vec!["X", "F"]);
+    }
+}

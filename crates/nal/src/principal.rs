@@ -1,0 +1,180 @@
+//! Principals: the entities to which NAL attributes beliefs.
+//!
+//! A principal is an atomic name (`NTP`, `/proc/ipd/12`), a key
+//! (`key:ab12…`), a goal-formula variable (`$X`, instantiated by the
+//! guard at evaluation time), or a *subprincipal* `A.τ` of another
+//! principal. By definition `A speaksfor A.τ`: the parent can always
+//! speak for entities it implements (§2.1 of the paper — processes are
+//! subprincipals of the kernel, the kernel of the hardware platform).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A NAL principal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Principal {
+    /// Atomic named principal, e.g. `NTP`, `Alice`, `/proc/ipd/12`.
+    Name(String),
+    /// Key-identified principal (hex digest of a public key).
+    Key(String),
+    /// Goal-formula variable, instantiated by the guard (`$X`).
+    Var(String),
+    /// Subprincipal `parent.component`, e.g. `Nexus.process23` or
+    /// `FS./dir/file`.
+    Sub(Box<Principal>, String),
+}
+
+impl Principal {
+    /// Atomic named principal.
+    pub fn name(n: impl Into<String>) -> Self {
+        Principal::Name(n.into())
+    }
+
+    /// Key-identified principal from a hex string.
+    pub fn key(hex: impl Into<String>) -> Self {
+        Principal::Key(hex.into())
+    }
+
+    /// Goal variable (`$X`).
+    pub fn var(v: impl Into<String>) -> Self {
+        Principal::Var(v.into())
+    }
+
+    /// The subprincipal `self.component`.
+    pub fn sub(&self, component: impl Into<String>) -> Self {
+        Principal::Sub(Box::new(self.clone()), component.into())
+    }
+
+    /// True if `self` is an ancestor (proper prefix) of `other` in the
+    /// subprincipal hierarchy; i.e. `self speaksfor other` holds
+    /// axiomatically.
+    pub fn is_ancestor_of(&self, other: &Principal) -> bool {
+        let mut cur = other;
+        while let Principal::Sub(parent, _) = cur {
+            if parent.as_ref() == self {
+                return true;
+            }
+            cur = parent;
+        }
+        false
+    }
+
+    /// The root of the subprincipal chain (`HW` for `HW.kernel.p23`).
+    pub fn root(&self) -> &Principal {
+        match self {
+            Principal::Sub(parent, _) => parent.root(),
+            other => other,
+        }
+    }
+
+    /// Chain of components from the root, e.g. `["kernel", "p23"]`.
+    pub fn components(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Principal::Sub(parent, c) = cur {
+            out.push(c.as_str());
+            cur = parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Depth of the subprincipal chain (0 for atomic principals).
+    pub fn depth(&self) -> usize {
+        match self {
+            Principal::Sub(parent, _) => 1 + parent.depth(),
+            _ => 0,
+        }
+    }
+
+    /// True if this principal (or any ancestor) is a variable, meaning
+    /// it must be instantiated before the formula is checkable.
+    pub fn has_var(&self) -> bool {
+        match self {
+            Principal::Var(_) => true,
+            Principal::Sub(parent, _) => parent.has_var(),
+            _ => false,
+        }
+    }
+
+    /// Collect variable names into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Principal::Var(v) => out.push(v.clone()),
+            Principal::Sub(parent, _) => parent.collect_vars(out),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Principal::Name(n) => write!(f, "{n}"),
+            Principal::Key(k) => write!(f, "key:{k}"),
+            Principal::Var(v) => write!(f, "${v}"),
+            Principal::Sub(parent, c) => write!(f, "{parent}.{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subprincipal_chain() {
+        let hw = Principal::name("HW");
+        let kernel = hw.sub("kernel");
+        let p23 = kernel.sub("process23");
+        assert_eq!(p23.to_string(), "HW.kernel.process23");
+        assert_eq!(p23.root(), &hw);
+        assert_eq!(p23.components(), vec!["kernel", "process23"]);
+        assert_eq!(p23.depth(), 2);
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let hw = Principal::name("HW");
+        let kernel = hw.sub("kernel");
+        let p23 = kernel.sub("process23");
+        assert!(hw.is_ancestor_of(&kernel));
+        assert!(hw.is_ancestor_of(&p23));
+        assert!(kernel.is_ancestor_of(&p23));
+        assert!(!p23.is_ancestor_of(&kernel));
+        assert!(!kernel.is_ancestor_of(&kernel), "not a proper prefix");
+        let other = Principal::name("Other");
+        assert!(!other.is_ancestor_of(&p23));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Principal::name("/proc/ipd/12").to_string(), "/proc/ipd/12");
+        assert_eq!(Principal::key("ab12").to_string(), "key:ab12");
+        assert_eq!(Principal::var("X").to_string(), "$X");
+        let fs_file = Principal::name("FS").sub("/dir/file");
+        assert_eq!(fs_file.to_string(), "FS./dir/file");
+    }
+
+    #[test]
+    fn var_detection() {
+        let p = Principal::var("X").sub("child");
+        assert!(p.has_var());
+        let mut vars = Vec::new();
+        p.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["X"]);
+        assert!(!Principal::name("A").has_var());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        // Ord is required for canonical serialization of credential sets.
+        let mut v = vec![
+            Principal::name("B"),
+            Principal::name("A"),
+            Principal::name("A").sub("x"),
+        ];
+        v.sort();
+        assert_eq!(v[0], Principal::name("A"));
+    }
+}

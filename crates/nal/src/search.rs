@@ -1,0 +1,735 @@
+//! Bounded backward-chaining proof search.
+//!
+//! Guards only *check* proofs; constructing them is the client's
+//! problem (§2.6). This module is the client-side helper: given the
+//! labels in hand (plus any statements an authority is expected to
+//! vouch for), it searches for a proof of a goal formula.
+//!
+//! The search is sound (anything it returns passes [`crate::check`];
+//! the tests enforce this) but deliberately incomplete: NAL derivation
+//! is undecidable, so the prover bounds recursion depth and explores a
+//! practical fragment — conjunctions, disjunctions, implications,
+//! negation-as-refutation, literal comparisons, `says` via unit /
+//! distribution / delegation chains (including subprincipal axioms and
+//! scoped delegation), and `speaksfor` via reflexivity, subprincipal
+//! chains, and transitive closure over delegation credentials.
+
+use crate::check::{normalize, Assumptions};
+use crate::formula::Formula;
+use crate::principal::Principal;
+use crate::proof::Proof;
+use crate::term::Term;
+use std::collections::{HashSet, VecDeque};
+
+/// Prover limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ProverConfig {
+    /// Maximum backward-chaining depth.
+    pub max_depth: usize,
+    /// Maximum number of subgoals explored.
+    pub max_subgoals: usize,
+}
+
+impl Default for ProverConfig {
+    fn default() -> Self {
+        ProverConfig {
+            max_depth: 24,
+            max_subgoals: 4096,
+        }
+    }
+}
+
+struct Search<'a> {
+    credentials: &'a [Formula],
+    cfg: ProverConfig,
+    subgoals: usize,
+    hypotheses: Vec<Formula>,
+    /// Delegation edges derivable by the handoff rule from
+    /// credentials of the form `S says (A speaksfor B)` where S is B
+    /// or an ancestor of B: (from, to, scope, proof).
+    handoff_edges: Vec<(Principal, Principal, Option<std::collections::BTreeSet<String>>, Proof)>,
+}
+
+/// Proof that `from speaksfor from.⋯.to` via chained subprincipal
+/// axioms; `None` if `to` is not a proper descendant of `from`.
+fn subprin_chain(from: &Principal, to: &Principal) -> Option<Proof> {
+    if !from.is_ancestor_of(to) {
+        return None;
+    }
+    let comps = to.components();
+    let skip = from.components().len();
+    let mut cur = from.clone();
+    let mut proof: Option<Proof> = None;
+    for c in comps.iter().skip(skip) {
+        let step = Proof::SubPrin(cur.clone(), c.to_string());
+        cur = cur.sub(c.to_string());
+        proof = Some(match proof {
+            None => step,
+            Some(prev) => Proof::SpeaksForTrans(Box::new(prev), Box::new(step)),
+        });
+    }
+    proof
+}
+
+fn compute_handoff_edges(
+    credentials: &[Formula],
+) -> Vec<(Principal, Principal, Option<std::collections::BTreeSet<String>>, Proof)> {
+    let mut out = Vec::new();
+    for c in credentials {
+        if let Formula::Says(speaker, inner) = c {
+            if let Formula::SpeaksFor { from, to, scope } = inner.as_ref() {
+                if speaker == to {
+                    // B says (A sf B) ⇒ A sf B.
+                    out.push((
+                        from.clone(),
+                        to.clone(),
+                        scope.clone(),
+                        Proof::Handoff(Box::new(Proof::assume(c.clone()))),
+                    ));
+                } else if speaker.is_ancestor_of(to) {
+                    // S says (A sf S.x): push the statement into S.x's
+                    // worldview via the subprincipal axiom, then hand
+                    // off.
+                    if let Some(chain) = subprin_chain(speaker, to) {
+                        let pushed = Proof::SpeaksForElim(
+                            Box::new(chain),
+                            Box::new(Proof::assume(c.clone())),
+                        );
+                        out.push((
+                            from.clone(),
+                            to.clone(),
+                            scope.clone(),
+                            Proof::Handoff(Box::new(pushed)),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Attempt to construct a proof of `goal` from `credentials`.
+///
+/// Returns `None` when the bounded search fails; this does *not* mean
+/// the goal is underivable.
+pub fn prove(goal: &Formula, credentials: &[Formula], cfg: ProverConfig) -> Option<Proof> {
+    let mut s = Search {
+        credentials,
+        cfg,
+        subgoals: 0,
+        hypotheses: Vec::new(),
+        handoff_edges: compute_handoff_edges(credentials),
+    };
+    let proof = s.solve(goal, cfg.max_depth)?;
+    // Never hand back a proof that the checker would reject.
+    let asm = Assumptions::from_iter(credentials.iter());
+    match crate::check::check(&proof, &asm) {
+        Ok(c) if normalize(&c) == normalize(goal) => Some(proof),
+        _ => None,
+    }
+}
+
+impl<'a> Search<'a> {
+    fn budget(&mut self) -> bool {
+        self.subgoals += 1;
+        self.subgoals <= self.cfg.max_subgoals
+    }
+
+    fn credential_matches(&self, goal: &Formula) -> Option<Proof> {
+        let ng = normalize(goal);
+        self.credentials
+            .iter()
+            .find(|c| normalize(c) == ng)
+            .map(|c| Proof::assume(c.clone()))
+    }
+
+    fn hypothesis_matches(&self, goal: &Formula) -> Option<Proof> {
+        let ng = normalize(goal);
+        self.hypotheses
+            .iter()
+            .find(|h| normalize(h) == ng)
+            .map(|h| Proof::Hypo(h.clone()))
+    }
+
+    fn solve(&mut self, goal: &Formula, depth: usize) -> Option<Proof> {
+        if !self.budget() || goal.vars().len() > 0 {
+            return None;
+        }
+        if let Some(p) = self.credential_matches(goal) {
+            return Some(p);
+        }
+        if let Some(p) = self.hypothesis_matches(goal) {
+            return Some(p);
+        }
+        if depth == 0 {
+            return None;
+        }
+        match goal {
+            Formula::True => Some(Proof::TrueIntro),
+            Formula::False => None,
+            Formula::And(a, b) => {
+                let pa = self.solve(a, depth - 1)?;
+                let pb = self.solve(b, depth - 1)?;
+                Some(Proof::AndIntro(Box::new(pa), Box::new(pb)))
+            }
+            Formula::Or(a, b) => {
+                if let Some(pa) = self.solve(a, depth - 1) {
+                    return Some(Proof::OrIntroL(Box::new(pa), b.as_ref().clone()));
+                }
+                self.solve(b, depth - 1)
+                    .map(|pb| Proof::OrIntroR(a.as_ref().clone(), Box::new(pb)))
+            }
+            Formula::Implies(a, b) => {
+                self.hypotheses.push(a.as_ref().clone());
+                let body = self.solve(b, depth - 1);
+                self.hypotheses.pop();
+                body.map(|p| Proof::ImpliesIntro {
+                    hypo: a.as_ref().clone(),
+                    body: Box::new(p),
+                })
+            }
+            Formula::Not(a) => {
+                self.hypotheses.push(a.as_ref().clone());
+                let body = self.solve(&Formula::False, depth - 1);
+                self.hypotheses.pop();
+                body.map(|p| Proof::NotIntro {
+                    hypo: a.as_ref().clone(),
+                    body: Box::new(p),
+                })
+            }
+            Formula::Cmp(op, x, y) => match (x, y) {
+                (Term::Int(_), Term::Int(_)) | (Term::Str(_), Term::Str(_)) => {
+                    let proof = Proof::CmpEval(*op, x.clone(), y.clone());
+                    crate::check::check(&proof, &Assumptions::new())
+                        .ok()
+                        .map(|_| proof)
+                }
+                _ => None,
+            },
+            Formula::Says(p, s) => self.solve_says(p, s, depth),
+            Formula::SpeaksFor { from, to, scope } => {
+                self.solve_speaksfor(from, to, scope.as_ref(), goal)
+            }
+            Formula::Pred(..) => None,
+        }
+    }
+
+    fn solve_says(&mut self, p: &Principal, s: &Formula, depth: usize) -> Option<Proof> {
+        // Delegation: a credential Q says s with a speaksfor path Q → p.
+        let ns = normalize(s);
+        let speakers: Vec<(Principal, Formula)> = self
+            .credentials
+            .iter()
+            .filter_map(|c| match c {
+                Formula::Says(q, inner) if normalize(inner) == ns => {
+                    Some((q.clone(), c.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        for (q, cred) in speakers {
+            if let Some(chain) = self.delegation_chain(&q, p, s) {
+                let mut proof = Proof::assume(cred);
+                for edge in chain {
+                    proof = Proof::SpeaksForElim(Box::new(edge), Box::new(proof));
+                }
+                return Some(proof);
+            }
+        }
+        // Distribution: credential p says (x -> s); prove p says x.
+        let candidates: Vec<(Formula, Formula)> = self
+            .credentials
+            .iter()
+            .filter_map(|c| match c {
+                Formula::Says(q, inner) if q == p => match normalize(inner) {
+                    Formula::Implies(x, b) if *b == ns => {
+                        Some((c.clone(), (*x).clone()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        for (cred, x) in candidates {
+            if let Some(arg) = self.solve(&Formula::Says(p.clone(), Box::new(x)), depth - 1) {
+                return Some(Proof::SaysApp(Box::new(Proof::assume(cred)), Box::new(arg)));
+            }
+        }
+        // Unit: prove s outright, then lift.
+        self.solve(s, depth - 1)
+            .map(|body| Proof::SaysIntro(p.clone(), Box::new(body)))
+    }
+
+    /// Find a proof chain establishing that statements of `stmt`'s shape
+    /// transfer from `from` to `to`; returns the list of speaksfor
+    /// proofs to apply (innermost first).
+    fn delegation_chain(
+        &mut self,
+        from: &Principal,
+        to: &Principal,
+        stmt: &Formula,
+    ) -> Option<Vec<Proof>> {
+        if from == to {
+            return Some(vec![]);
+        }
+        // BFS over the delegation graph. Edges:
+        //  - credentials `A speaksfor B [on σ]` where σ covers stmt,
+        //  - subprincipal steps X → X.τ along the path toward `to`.
+        #[derive(Clone)]
+        struct Node {
+            principal: Principal,
+            path: Vec<Proof>,
+        }
+        let mut seen: HashSet<Principal> = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(from.clone());
+        queue.push_back(Node {
+            principal: from.clone(),
+            path: vec![],
+        });
+        let mut steps = 0;
+        while let Some(node) = queue.pop_front() {
+            steps += 1;
+            if steps > 512 {
+                return None;
+            }
+            // Credential edges.
+            for c in self.credentials {
+                if let Formula::SpeaksFor {
+                    from: a,
+                    to: b,
+                    scope,
+                } = c
+                {
+                    if a == &node.principal && !seen.contains(b) {
+                        let covered = match scope {
+                            None => true,
+                            Some(s) => stmt.within_scope(s),
+                        };
+                        if covered {
+                            let mut path = node.path.clone();
+                            path.push(Proof::assume(c.clone()));
+                            if b == to {
+                                return Some(path);
+                            }
+                            seen.insert(b.clone());
+                            queue.push_back(Node {
+                                principal: b.clone(),
+                                path,
+                            });
+                        }
+                    }
+                }
+            }
+            // Handoff edges: `S says (A sf B)` with S speaking for B.
+            for (a, b, scope, proof) in &self.handoff_edges {
+                if a == &node.principal && !seen.contains(b) {
+                    let covered = match scope {
+                        None => true,
+                        Some(s) => stmt.within_scope(s),
+                    };
+                    if covered {
+                        let mut path = node.path.clone();
+                        path.push(proof.clone());
+                        if b == to {
+                            return Some(path);
+                        }
+                        seen.insert(b.clone());
+                        queue.push_back(Node {
+                            principal: b.clone(),
+                            path,
+                        });
+                    }
+                }
+            }
+            // Subprincipal edge toward the target.
+            if node.principal.is_ancestor_of(to) || &node.principal == to {
+                // Walk one component toward `to`.
+                let target_comps = to.components();
+                let have = node.principal.components().len();
+                let root_matches = node.principal.root() == to.root();
+                if root_matches && have < target_comps.len() {
+                    let next = target_comps[have].to_string();
+                    let child = node.principal.sub(next.clone());
+                    if !seen.contains(&child) {
+                        let mut path = node.path.clone();
+                        path.push(Proof::SubPrin(node.principal.clone(), next));
+                        if &child == to {
+                            return Some(path);
+                        }
+                        seen.insert(child.clone());
+                        queue.push_back(Node {
+                            principal: child,
+                            path,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn solve_speaksfor(
+        &mut self,
+        from: &Principal,
+        to: &Principal,
+        scope: Option<&std::collections::BTreeSet<String>>,
+        goal: &Formula,
+    ) -> Option<Proof> {
+        if scope.is_some() {
+            // Scoped speaksfor goals: exact credential match (handled
+            // by the caller) or an exactly-matching handoff edge —
+            // synthesizing others would need scope-weakening rules we
+            // don't admit.
+            let want_scope = scope.cloned();
+            return self
+                .handoff_edges
+                .iter()
+                .find(|(a, b, s, _)| a == from && b == to && s == &want_scope)
+                .map(|(_, _, _, p)| p.clone());
+        }
+        if from == to {
+            return Some(Proof::SpeaksForRefl(from.clone()));
+        }
+        if from.is_ancestor_of(to) {
+            // Chain of SubPrin + Trans along the component path.
+            let comps = to.components();
+            let skip = from.components().len();
+            let mut cur = from.clone();
+            let mut proof: Option<Proof> = None;
+            for c in comps.iter().skip(skip) {
+                let step = Proof::SubPrin(cur.clone(), c.to_string());
+                cur = cur.sub(c.to_string());
+                proof = Some(match proof {
+                    None => step,
+                    Some(prev) => Proof::SpeaksForTrans(Box::new(prev), Box::new(step)),
+                });
+            }
+            return proof;
+        }
+        // Transitive closure over unscoped credential edges.
+        let probe = Formula::True; // unscoped edges only: within_scope unused
+        let chain = self.delegation_chain_unscoped(from, to, &probe)?;
+        let mut iter = chain.into_iter();
+        let first = iter.next()?;
+        let mut proof = first;
+        for step in iter {
+            proof = Proof::SpeaksForTrans(Box::new(proof), Box::new(step));
+        }
+        // Sanity: conclusion should match the goal.
+        let asm = Assumptions::from_iter(self.credentials.iter());
+        match crate::check::check(&proof, &asm) {
+            Ok(c) if normalize(&c) == normalize(goal) => Some(proof),
+            _ => None,
+        }
+    }
+
+    /// Like `delegation_chain` but restricted to unscoped edges (for
+    /// proving bare `speaksfor` goals via transitivity).
+    fn delegation_chain_unscoped(
+        &mut self,
+        from: &Principal,
+        to: &Principal,
+        _probe: &Formula,
+    ) -> Option<Vec<Proof>> {
+        #[derive(Clone)]
+        struct Node {
+            principal: Principal,
+            path: Vec<Proof>,
+        }
+        let mut seen: HashSet<Principal> = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(from.clone());
+        queue.push_back(Node {
+            principal: from.clone(),
+            path: vec![],
+        });
+        while let Some(node) = queue.pop_front() {
+            for c in self.credentials {
+                if let Formula::SpeaksFor {
+                    from: a,
+                    to: b,
+                    scope: None,
+                } = c
+                {
+                    if a == &node.principal && !seen.contains(b) {
+                        let mut path = node.path.clone();
+                        path.push(Proof::assume(c.clone()));
+                        if b == to {
+                            return Some(path);
+                        }
+                        seen.insert(b.clone());
+                        queue.push_back(Node {
+                            principal: b.clone(),
+                            path,
+                        });
+                    }
+                }
+            }
+            // Unscoped handoff edges.
+            for (a, b, scope, proof) in &self.handoff_edges {
+                if scope.is_none() && a == &node.principal && !seen.contains(b) {
+                    let mut path = node.path.clone();
+                    path.push(proof.clone());
+                    if b == to {
+                        return Some(path);
+                    }
+                    seen.insert(b.clone());
+                    queue.push_back(Node {
+                        principal: b.clone(),
+                        path,
+                    });
+                }
+            }
+            // Subprincipal edges toward target.
+            if node.principal.is_ancestor_of(to) {
+                let target_comps = to.components();
+                let have = node.principal.components().len();
+                if node.principal.root() == to.root() && have < target_comps.len() {
+                    let next = target_comps[have].to_string();
+                    let child = node.principal.sub(next.clone());
+                    if !seen.contains(&child) {
+                        let mut path = node.path.clone();
+                        path.push(Proof::SubPrin(node.principal.clone(), next));
+                        if &child == to {
+                            return Some(path);
+                        }
+                        seen.insert(child.clone());
+                        queue.push_back(Node {
+                            principal: child,
+                            path,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn creds(labels: &[&str]) -> Vec<Formula> {
+        labels.iter().map(|s| parse(s).unwrap()).collect()
+    }
+
+    fn prove_ok(goal: &str, labels: &[&str]) -> Proof {
+        let g = parse(goal).unwrap();
+        let cs = creds(labels);
+        let proof = prove(&g, &cs, ProverConfig::default())
+            .unwrap_or_else(|| panic!("no proof found for {goal}"));
+        let asm = Assumptions::from_iter(cs.iter());
+        let concl = check(&proof, &asm).expect("prover returned invalid proof");
+        assert_eq!(normalize(&concl), normalize(&g));
+        proof
+    }
+
+    fn prove_fails(goal: &str, labels: &[&str]) {
+        let g = parse(goal).unwrap();
+        let cs = creds(labels);
+        assert!(
+            prove(&g, &cs, ProverConfig::default()).is_none(),
+            "unexpected proof for {goal}"
+        );
+    }
+
+    #[test]
+    fn direct_credential() {
+        prove_ok("A says p", &["A says p"]);
+    }
+
+    #[test]
+    fn conjunction_of_credentials() {
+        prove_ok("A says p and B says q", &["A says p", "B says q"]);
+    }
+
+    #[test]
+    fn disjunction_left_right() {
+        prove_ok("A says p or B says q", &["A says p"]);
+        prove_ok("A says p or B says q", &["B says q"]);
+        prove_fails("A says p or B says q", &["C says r"]);
+    }
+
+    #[test]
+    fn implication_goal() {
+        prove_ok("p -> p", &[]);
+        prove_ok("p -> (q -> p)", &[]);
+    }
+
+    #[test]
+    fn comparison_evaluation() {
+        prove_ok("3 < 5", &[]);
+        prove_fails("5 < 3", &[]);
+    }
+
+    #[test]
+    fn delegation_single_hop() {
+        prove_ok("B says p", &["A speaksfor B", "A says p"]);
+    }
+
+    #[test]
+    fn delegation_two_hops() {
+        prove_ok(
+            "C says p",
+            &["A speaksfor B", "B speaksfor C", "A says p"],
+        );
+    }
+
+    #[test]
+    fn scoped_delegation_respected() {
+        prove_ok(
+            "Owner says TimeNow < 20110319",
+            &["NTP speaksfor Owner on TimeNow", "NTP says TimeNow < 20110319"],
+        );
+        prove_fails(
+            "Owner says isTypeSafe(PGM)",
+            &["NTP speaksfor Owner on TimeNow", "NTP says isTypeSafe(PGM)"],
+        );
+    }
+
+    #[test]
+    fn subprincipal_statements_flow_down() {
+        prove_ok("NK.p23 says p", &["NK says p"]);
+    }
+
+    #[test]
+    fn speaksfor_goal_via_transitivity() {
+        prove_ok("A speaksfor C", &["A speaksfor B", "B speaksfor C"]);
+        prove_fails("C speaksfor A", &["A speaksfor B", "B speaksfor C"]);
+    }
+
+    #[test]
+    fn speaksfor_goal_reflexive_and_subprincipal() {
+        prove_ok("A speaksfor A", &[]);
+        prove_ok("NK speaksfor NK.p23.thread1", &[]);
+        prove_fails("NK.p23 speaksfor NK", &[]);
+    }
+
+    #[test]
+    fn says_distribution() {
+        prove_ok(
+            "A says q",
+            &["A says (p -> q)", "A says p"],
+        );
+    }
+
+    #[test]
+    fn says_unit_lifting() {
+        // 3 < 5 is provable outright, so A says 3 < 5 follows by unit.
+        prove_ok("A says 3 < 5", &[]);
+    }
+
+    #[test]
+    fn revocation_pattern() {
+        prove_ok(
+            "A says S",
+            &["A says (Valid(S) -> S)", "A says Valid(S)"],
+        );
+    }
+
+    #[test]
+    fn paper_goal_formula_end_to_end() {
+        // Instantiated goal from §2.5:
+        //   Owner says TimeNow < Mar19
+        //   ∧ X says openFile(filename)     [X := /proc/ipd/12]
+        //   ∧ SafetyCertifier says safe(X)
+        let goal = "Owner says TimeNow < 20110319 \
+                    and /proc/ipd/12 says openFile(secret) \
+                    and SafetyCertifier says safe(/proc/ipd/12)";
+        prove_ok(
+            goal,
+            &[
+                "NTP speaksfor Owner on TimeNow",
+                "NTP says TimeNow < 20110319",
+                "/proc/ipd/12 says openFile(secret)",
+                "SafetyCertifier says safe(/proc/ipd/12)",
+            ],
+        );
+    }
+
+    #[test]
+    fn no_proof_from_unrelated_false() {
+        // Locality: A says false must not leak into B's worldview.
+        prove_fails("B says g", &["A says false"]);
+    }
+
+    #[test]
+    fn deep_delegation_chain() {
+        let mut labels: Vec<String> = Vec::new();
+        for i in 0..10 {
+            labels.push(format!("P{} speaksfor P{}", i, i + 1));
+        }
+        labels.push("P0 says p".to_string());
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        prove_ok("P10 says p", &refs);
+    }
+
+    #[test]
+    fn negation_goal_via_refutation() {
+        // ¬p from credential p → false.
+        prove_ok("not p", &["p -> false"]);
+    }
+
+    #[test]
+    fn handoff_direct() {
+        // B itself delegates: B says (A sf B) ⇒ A sf B.
+        prove_ok("A speaksfor B", &["B says (A speaksfor B)"]);
+        prove_ok("B says p", &["B says (A speaksfor B)", "A says p"]);
+    }
+
+    #[test]
+    fn handoff_via_resource_manager() {
+        // §2.6: when /proc/ipd/6 creates /dir/file, the fileserver
+        // deposits `FS says /proc/ipd/6 speaksfor FS./dir/file`.
+        // The owner can then discharge the default policy
+        // `FS./dir/file says <op>` with its own statement.
+        prove_ok(
+            "FS./dir/file says write",
+            &[
+                "FS says (/proc/ipd/6 speaksfor FS./dir/file)",
+                "/proc/ipd/6 says write",
+            ],
+        );
+        // An unrelated process cannot.
+        prove_fails(
+            "FS./dir/file says write",
+            &[
+                "FS says (/proc/ipd/6 speaksfor FS./dir/file)",
+                "/proc/ipd/66 says write",
+            ],
+        );
+    }
+
+    #[test]
+    fn handoff_requires_authority_over_target() {
+        // C may not hand off B's authority.
+        prove_fails("A speaksfor B", &["C says (A speaksfor B)"]);
+    }
+
+    #[test]
+    fn scoped_handoff() {
+        prove_ok(
+            "NTP speaksfor Server on TimeNow",
+            &["Server says (NTP speaksfor Server on TimeNow)"],
+        );
+        prove_ok(
+            "Server says TimeNow < 5",
+            &[
+                "Server says (NTP speaksfor Server on TimeNow)",
+                "NTP says TimeNow < 5",
+            ],
+        );
+        prove_fails(
+            "Server says other(x)",
+            &[
+                "Server says (NTP speaksfor Server on TimeNow)",
+                "NTP says other(x)",
+            ],
+        );
+    }
+}

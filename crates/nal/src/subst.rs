@@ -1,0 +1,159 @@
+//! Substitution of goal variables.
+//!
+//! Goal formulas contain variables (the paper's calligraphic
+//! identifiers, written `$X` here) that the guard instantiates at
+//! evaluation time with the access-control subject, operation, object,
+//! or other request parameters.
+
+use crate::formula::Formula;
+use crate::principal::Principal;
+use crate::term::Term;
+use std::collections::BTreeMap;
+
+/// A mapping from variable names to terms. Variables in principal
+/// position require the replacement to be (convertible to) a
+/// principal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<String, Term>,
+}
+
+impl Subst {
+    /// Empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `var` to a term.
+    pub fn bind(mut self, var: impl Into<String>, t: impl Into<Term>) -> Self {
+        self.map.insert(var.into(), t.into());
+        self
+    }
+
+    /// Bind `var` to a principal.
+    pub fn bind_principal(self, var: impl Into<String>, p: Principal) -> Self {
+        self.bind(var, Term::Prin(p))
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Look up a variable, coercing to a principal when possible:
+    /// a `Term::Prin` yields its principal, a symbol yields a named
+    /// principal.
+    pub fn get_principal(&self, var: &str) -> Option<Principal> {
+        match self.map.get(var)? {
+            Term::Prin(p) => Some(p.clone()),
+            Term::Sym(s) | Term::Str(s) => Some(Principal::Name(s.clone())),
+            _ => None,
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Apply to a term.
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::Prin(p) => Term::Prin(self.apply_principal(p)),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| self.apply_term(a)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Apply to a principal. A variable bound to a non-principal term
+    /// is left in place (the formula stays non-ground and the checker
+    /// will reject it, which is the safe failure mode).
+    pub fn apply_principal(&self, p: &Principal) -> Principal {
+        match p {
+            Principal::Var(v) => self.get_principal(v).unwrap_or_else(|| p.clone()),
+            Principal::Sub(parent, c) => {
+                Principal::Sub(Box::new(self.apply_principal(parent)), c.clone())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Apply to a formula.
+    pub fn apply(&self, f: &Formula) -> Formula {
+        match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(name, args) => Formula::Pred(
+                name.clone(),
+                args.iter().map(|a| self.apply_term(a)).collect(),
+            ),
+            Formula::Cmp(op, a, b) => {
+                Formula::Cmp(*op, self.apply_term(a), self.apply_term(b))
+            }
+            Formula::Says(p, s) => {
+                Formula::Says(self.apply_principal(p), Box::new(self.apply(s)))
+            }
+            Formula::SpeaksFor { from, to, scope } => Formula::SpeaksFor {
+                from: self.apply_principal(from),
+                to: self.apply_principal(to),
+                scope: scope.clone(),
+            },
+            Formula::And(a, b) => Formula::And(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Formula::Or(a, b) => Formula::Or(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(self.apply(a)), Box::new(self.apply(b)))
+            }
+            Formula::Not(a) => Formula::Not(Box::new(self.apply(a))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn substitutes_term_and_principal_vars() {
+        let goal = parse("$X says openFile($F) and SafetyCertifier says safe($X)").unwrap();
+        let s = Subst::new()
+            .bind_principal("X", Principal::name("/proc/ipd/12"))
+            .bind("F", Term::str("/secret.txt"));
+        let inst = s.apply(&goal);
+        assert_eq!(
+            inst.to_string(),
+            "/proc/ipd/12 says openFile(\"/secret.txt\") and SafetyCertifier says safe(/proc/ipd/12)"
+        );
+        assert!(inst.is_ground());
+    }
+
+    #[test]
+    fn unbound_vars_left_in_place() {
+        let goal = parse("$X says go").unwrap();
+        let inst = Subst::new().apply(&goal);
+        assert!(!inst.is_ground());
+    }
+
+    #[test]
+    fn principal_coercion_from_symbol() {
+        let s = Subst::new().bind("X", Term::sym("alice"));
+        assert_eq!(s.get_principal("X"), Some(Principal::name("alice")));
+        let s2 = Subst::new().bind("X", Term::int(3));
+        assert_eq!(s2.get_principal("X"), None);
+    }
+
+    #[test]
+    fn nested_subprincipal_substitution() {
+        let goal = parse("$K.labelstore says ok").unwrap();
+        let s = Subst::new().bind_principal("K", Principal::name("NK"));
+        assert_eq!(s.apply(&goal).to_string(), "NK.labelstore says ok");
+    }
+}

@@ -1,0 +1,243 @@
+//! Worldview semantics.
+//!
+//! Each NAL principal has a *worldview*: the set of formulas that
+//! principal believes (§2.1). `P says S` means "S is in the worldview
+//! of P". This module implements a finite model of worldviews used for
+//! two purposes:
+//!
+//! 1. **Cross-validation in tests** — the proof checker and the model
+//!    must agree on the simple fragment both cover (soundness spot
+//!    check).
+//! 2. **Authorities** — an authority process (§2.7) decides, on each
+//!    query, whether it currently believes a statement; a `Worldview`
+//!    over its live state is a convenient way to implement that.
+
+use crate::check::normalize;
+use crate::formula::Formula;
+use crate::principal::Principal;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A finite collection of base beliefs, closed under delegation.
+#[derive(Debug, Clone, Default)]
+pub struct Worldview {
+    /// Base statements `P says S`, stored per principal (normalized).
+    beliefs: HashMap<Principal, HashSet<Formula>>,
+    /// Delegation edges `from speaksfor to [on scope]`.
+    delegations: Vec<(Principal, Principal, Option<BTreeSet<String>>)>,
+}
+
+impl Worldview {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a base belief `p says s`.
+    pub fn believe(&mut self, p: &Principal, s: &Formula) {
+        self.beliefs
+            .entry(p.clone())
+            .or_default()
+            .insert(normalize(s));
+    }
+
+    /// Record a delegation `from speaksfor to [on scope]`.
+    pub fn delegate(
+        &mut self,
+        from: &Principal,
+        to: &Principal,
+        scope: Option<BTreeSet<String>>,
+    ) {
+        self.delegations
+            .push((from.clone(), to.clone(), scope));
+    }
+
+    /// Ingest a label: `P says S` becomes a belief; a `speaksfor`
+    /// formula becomes a delegation edge; conjunctions are split.
+    pub fn ingest(&mut self, label: &Formula) {
+        match label {
+            Formula::And(a, b) => {
+                self.ingest(a);
+                self.ingest(b);
+            }
+            Formula::Says(p, s) => {
+                // Handoff: a delegation of the speaker's own authority
+                // (or a subprincipal's) takes effect as an edge.
+                if let Formula::SpeaksFor { from, to, scope } = s.as_ref() {
+                    if p == to || p.is_ancestor_of(to) {
+                        self.delegate(from, to, scope.clone());
+                    }
+                }
+                self.believe(p, s)
+            }
+            Formula::SpeaksFor { from, to, scope } => {
+                self.delegate(from, to, scope.clone())
+            }
+            _ => {}
+        }
+    }
+
+    /// Does `p`'s worldview contain `s`? Considers base beliefs, the
+    /// delegation closure (including the subprincipal axiom), and
+    /// splits conjunctions.
+    pub fn holds(&self, p: &Principal, s: &Formula) -> bool {
+        if let Formula::And(a, b) = s {
+            return self.holds(p, a) && self.holds(p, b);
+        }
+        let ns = normalize(s);
+        // Which principals' statements flow into p's worldview?
+        let sources = self.speakers_for(p, &ns);
+        for q in sources {
+            if let Some(set) = self.beliefs.get(&q) {
+                if set.contains(&ns) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// All principals Q such that `Q speaksfor p` holds for statements
+    /// shaped like `stmt` (via delegation credentials and the
+    /// subprincipal axiom), including `p` itself.
+    fn speakers_for(&self, p: &Principal, stmt: &Formula) -> HashSet<Principal> {
+        let mut out: HashSet<Principal> = HashSet::new();
+        let mut frontier = vec![p.clone()];
+        out.insert(p.clone());
+        // Ancestors speak for p (subprincipal axiom).
+        let mut cur = p.clone();
+        while let Principal::Sub(parent, _) = &cur {
+            let parent = parent.as_ref().clone();
+            if out.insert(parent.clone()) {
+                frontier.push(parent.clone());
+            }
+            cur = parent;
+        }
+        // Reverse-closure over delegation edges.
+        while let Some(target) = frontier.pop() {
+            for (from, to, scope) in &self.delegations {
+                if to == &target {
+                    let covered = match scope {
+                        None => true,
+                        Some(s) => stmt.within_scope(s),
+                    };
+                    if covered && out.insert(from.clone()) {
+                        frontier.push(from.clone());
+                        // Ancestors of `from` speak for `from` too.
+                        let mut cur = from.clone();
+                        while let Principal::Sub(parent, _) = &cur {
+                            let parent = parent.as_ref().clone();
+                            if out.insert(parent.clone()) {
+                                frontier.push(parent.clone());
+                            }
+                            cur = parent;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::search::{prove, ProverConfig};
+
+    fn p(n: &str) -> Principal {
+        Principal::name(n)
+    }
+
+    #[test]
+    fn base_beliefs() {
+        let mut w = Worldview::new();
+        w.ingest(&parse("A says p").unwrap());
+        assert!(w.holds(&p("A"), &parse("p").unwrap()));
+        assert!(!w.holds(&p("B"), &parse("p").unwrap()));
+    }
+
+    #[test]
+    fn delegation_closure() {
+        let mut w = Worldview::new();
+        w.ingest(&parse("A speaksfor B").unwrap());
+        w.ingest(&parse("B speaksfor C").unwrap());
+        w.ingest(&parse("A says p").unwrap());
+        assert!(w.holds(&p("B"), &parse("p").unwrap()));
+        assert!(w.holds(&p("C"), &parse("p").unwrap()));
+        assert!(!w.holds(&p("A"), &parse("q").unwrap()));
+    }
+
+    #[test]
+    fn scoped_delegation_in_model() {
+        let mut w = Worldview::new();
+        w.ingest(&parse("NTP speaksfor Owner on TimeNow").unwrap());
+        w.ingest(&parse("NTP says TimeNow < 20110319").unwrap());
+        w.ingest(&parse("NTP says isTypeSafe(PGM)").unwrap());
+        assert!(w.holds(&p("Owner"), &parse("TimeNow < 20110319").unwrap()));
+        assert!(!w.holds(&p("Owner"), &parse("isTypeSafe(PGM)").unwrap()));
+    }
+
+    #[test]
+    fn subprincipal_axiom_in_model() {
+        let mut w = Worldview::new();
+        w.ingest(&parse("NK says p").unwrap());
+        let p23 = p("NK").sub("p23");
+        assert!(w.holds(&p23, &parse("p").unwrap()));
+        // But not the other way.
+        let mut w2 = Worldview::new();
+        w2.ingest(&parse("NK.p23 says p").unwrap());
+        assert!(!w2.holds(&p("NK"), &parse("p").unwrap()));
+    }
+
+    #[test]
+    fn conjunction_split() {
+        let mut w = Worldview::new();
+        w.ingest(&parse("A says p and A says q").unwrap());
+        assert!(w.holds(&p("A"), &parse("p").unwrap()));
+        assert!(w.holds(&p("A"), &parse("q").unwrap()));
+    }
+
+    #[test]
+    fn model_agrees_with_prover_on_delegation_fragment() {
+        // For a family of delegation scenarios, the prover finds a
+        // proof exactly when the model says the statement holds.
+        let scenarios: Vec<(Vec<&str>, &str, &str, bool)> = vec![
+            (vec!["A says p"], "A", "p", true),
+            (vec!["A says p"], "B", "p", false),
+            (vec!["A speaksfor B", "A says p"], "B", "p", true),
+            (vec!["B speaksfor A", "A says p"], "B", "p", false),
+            (
+                vec!["A speaksfor B", "B speaksfor C", "A says p"],
+                "C",
+                "p",
+                true,
+            ),
+            (
+                vec!["NTP speaksfor O on TimeNow", "NTP says TimeNow < 5"],
+                "O",
+                "TimeNow < 5",
+                true,
+            ),
+            (
+                vec!["NTP speaksfor O on TimeNow", "NTP says other(x)"],
+                "O",
+                "other(x)",
+                false,
+            ),
+        ];
+        for (labels, speaker, stmt, expected) in scenarios {
+            let mut w = Worldview::new();
+            let creds: Vec<Formula> =
+                labels.iter().map(|l| parse(l).unwrap()).collect();
+            for c in &creds {
+                w.ingest(c);
+            }
+            let goal = parse(&format!("{speaker} says {stmt}")).unwrap();
+            let model = w.holds(&p(speaker), &parse(stmt).unwrap());
+            let proof = prove(&goal, &creds, ProverConfig::default()).is_some();
+            assert_eq!(model, expected, "model mismatch for {labels:?} ⊢ {goal}");
+            assert_eq!(proof, expected, "prover mismatch for {labels:?} ⊢ {goal}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for NAL: parser round-trips, normalization,
+//! and prover/checker agreement on randomly generated inputs.
+
+use nexus_nal::check::{check, normalize, Assumptions};
+use nexus_nal::{parse, prove, CmpOp, Formula, Principal, Proof, ProverConfig, Term};
+use proptest::prelude::*;
+
+const KEYWORDS: &[&str] = &[
+    "says", "speaksfor", "on", "and", "or", "not", "implies", "true", "false", "key",
+];
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("identifiers must not be keywords", |s| {
+        !KEYWORDS.contains(&s.as_str())
+    })
+}
+
+fn arb_principal() -> impl Strategy<Value = Principal> {
+    let base = prop_oneof![
+        arb_ident().prop_map(Principal::Name),
+        "[0-9a-f]{8}".prop_map(Principal::Key),
+    ];
+    (base, proptest::collection::vec(arb_ident(), 0..3)).prop_map(|(b, comps)| {
+        comps.into_iter().fold(b, |p, c| p.sub(c))
+    })
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Term::Int),
+        "[a-zA-Z0-9 _/.-]{0,12}".prop_map(Term::Str),
+        arb_ident().prop_map(Term::Sym),
+        // Bare named principals collapse to symbols in concrete
+        // syntax (Term::canon), so generate only structured ones here.
+        arb_principal().prop_map(|p| match p {
+            Principal::Name(n) => Term::Sym(n),
+            other => Term::Prin(other),
+        }),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        (arb_ident(), proptest::collection::vec(inner, 0..3))
+            .prop_map(|(f, args)| Term::App(f, args))
+    })
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+    ]
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (arb_ident(), proptest::collection::vec(arb_term(), 0..3))
+            .prop_map(|(n, args)| Formula::Pred(n, args)),
+        (arb_cmp_op(), arb_term(), arb_term())
+            .prop_map(|(op, a, b)| Formula::Cmp(op, a, b)),
+        (arb_principal(), arb_principal()).prop_map(|(a, b)| Formula::speaksfor(a, b)),
+        (
+            arb_principal(),
+            arb_principal(),
+            proptest::collection::btree_set("[A-Z][a-zA-Z]{0,5}", 1..3)
+        )
+            .prop_map(|(a, b, s)| Formula::SpeaksFor {
+                from: a,
+                to: b,
+                scope: Some(s)
+            }),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (arb_principal(), inner.clone())
+                .prop_map(|(p, f)| Formula::Says(p, Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pretty-printer and parser are mutually inverse.
+    #[test]
+    fn parser_roundtrip(f in arb_formula()) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// Normalization is idempotent and preserves `equivalent`.
+    #[test]
+    fn normalize_idempotent(f in arb_formula()) {
+        let n1 = normalize(&f);
+        let n2 = normalize(&n1);
+        prop_assert_eq!(&n1, &n2);
+        prop_assert!(f.equivalent(&f));
+    }
+
+    /// Whatever the prover returns, the checker accepts with the same
+    /// conclusion (prover soundness relative to the checker).
+    #[test]
+    fn prover_is_sound(
+        creds in proptest::collection::vec(arb_formula(), 0..6),
+        goal in arb_formula(),
+    ) {
+        if let Some(proof) = prove(&goal, &creds, ProverConfig::default()) {
+            let asm = Assumptions::from_iter(creds.iter());
+            let concl = check(&proof, &asm).expect("prover emitted invalid proof");
+            prop_assert_eq!(normalize(&concl), normalize(&goal));
+        }
+    }
+
+    /// A goal that is itself a supplied credential is always provable.
+    #[test]
+    fn credentials_prove_themselves(f in arb_formula()) {
+        if f.is_ground() {
+            let creds = vec![f.clone()];
+            let proof = prove(&f, &creds, ProverConfig::default());
+            prop_assert!(proof.is_some());
+        }
+    }
+
+    /// Proof serialization round-trips through JSON.
+    #[test]
+    fn proof_serde_roundtrip(f in arb_formula()) {
+        let p = Proof::assume(f);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Proof = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// Substitution never reintroduces variables on ground formulas.
+    #[test]
+    fn ground_formulas_stay_ground(f in arb_formula()) {
+        prop_assert!(f.is_ground());
+        let s = nexus_nal::Subst::new().bind("X", Term::Int(1));
+        prop_assert!(s.apply(&f).is_ground());
+    }
+}

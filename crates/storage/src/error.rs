@@ -1,0 +1,63 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors from attested-storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Simulated power failure: the device stopped accepting writes.
+    PowerFailure,
+    /// Named file not present on the device.
+    NoSuchFile(String),
+    /// Integrity check failed: on-disk data does not match the hash
+    /// tree (tampering or corruption).
+    IntegrityViolation(String),
+    /// Boot must abort: neither state file matches a DIR — the disk
+    /// was modified while the kernel was dormant (§3.3).
+    BootAbort,
+    /// VDIR id not allocated.
+    NoSuchVdir(u32),
+    /// VKEY id not allocated.
+    NoSuchVkey(u32),
+    /// Key type mismatch (e.g. sign with an encryption key).
+    WrongKeyKind,
+    /// Wrapped key failed to unwrap (wrong wrapping key or tampered).
+    UnwrapFailed,
+    /// SSR not found.
+    NoSuchSsr(String),
+    /// Block index out of range.
+    BadBlock(usize),
+    /// Underlying TPM refused (not owned / PCR mismatch).
+    Tpm(String),
+    /// Serialization failure.
+    Encoding(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PowerFailure => write!(f, "simulated power failure"),
+            StorageError::NoSuchFile(n) => write!(f, "no such file: {n}"),
+            StorageError::IntegrityViolation(m) => write!(f, "integrity violation: {m}"),
+            StorageError::BootAbort => {
+                write!(f, "boot aborted: on-disk state matches no integrity register")
+            }
+            StorageError::NoSuchVdir(i) => write!(f, "no such VDIR: {i}"),
+            StorageError::NoSuchVkey(i) => write!(f, "no such VKEY: {i}"),
+            StorageError::WrongKeyKind => write!(f, "operation not supported by this key kind"),
+            StorageError::UnwrapFailed => write!(f, "failed to unwrap key"),
+            StorageError::NoSuchSsr(n) => write!(f, "no such SSR: {n}"),
+            StorageError::BadBlock(i) => write!(f, "block index {i} out of range"),
+            StorageError::Tpm(m) => write!(f, "TPM: {m}"),
+            StorageError::Encoding(m) => write!(f, "encoding: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<nexus_tpm::TpmError> for StorageError {
+    fn from(e: nexus_tpm::TpmError) -> Self {
+        StorageError::Tpm(e.to_string())
+    }
+}

@@ -1,0 +1,40 @@
+//! # Attested storage (§3.3)
+//!
+//! Data confidentiality and integrity across reboots, rooted in the
+//! TPM's tiny secure storage. The TPM offers only two integrity
+//! registers (v1.1 DIRs) or a few KB of NVRAM (v1.2) — far too little
+//! to store application state — so the Nexus *virtualizes* it:
+//!
+//! * [`merkle`] — Merkle hash trees decouple hashing cost from file
+//!   size and let single blocks be verified (demand paging).
+//! * [`vdir`] — **Virtual Data Integrity Registers**: an unlimited
+//!   number of 32-byte integrity slots, kept in a kernel hash tree
+//!   whose root lives in the real TPM DIRs via a 4-step
+//!   crash-consistent update protocol. Replayed or modified on-disk
+//!   state is caught at boot by a root-hash mismatch.
+//! * [`vkey`] — **Virtual Keys**: unlimited signing/encryption keys,
+//!   persisted by sealing to the TPM (PCR-bound, so only the same
+//!   measured kernel can recover them).
+//! * [`ssr`] — **Secure Storage Regions**: integrity-protected,
+//!   optionally encrypted (counter-mode AES, per-block) persistent
+//!   stores built on VDIRs; tamper- and replay-proof even on remote
+//!   or untrusted disks.
+//! * [`disk`] — the block/file device abstraction, with fault
+//!   injection for crash-consistency tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod error;
+pub mod merkle;
+pub mod ssr;
+pub mod vdir;
+pub mod vkey;
+
+pub use disk::{Disk, RamDisk};
+pub use error::StorageError;
+pub use merkle::MerkleTree;
+pub use ssr::{SsrConfig, SsrManager};
+pub use vdir::{VdirId, VdirTable, STATE_CURRENT, STATE_NEW};
+pub use vkey::{VkeyId, VkeyTable, WrappedKey};

@@ -1,0 +1,244 @@
+//! Merkle hash trees (§3.3).
+//!
+//! "A Merkle hash tree divides a file into small blocks whose hashes
+//! form the leaves of a binary tree […] resulting in a single root
+//! hash that protects the entire file" — and, crucially, lets the
+//! Nexus "retrieve and verify only the relevant blocks", enabling
+//! demand paging of SSR contents.
+
+use nexus_tpm::{hash_concat, Digest};
+
+/// A binary Merkle tree over leaf digests.
+///
+/// Levels are stored bottom-up: `levels[0]` are the leaves,
+/// `levels.last()` is the single root. An odd node at the end of a
+/// level is promoted by hashing alone (domain-separated from pairs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Digest>>,
+}
+
+fn parent_pair(a: &Digest, b: &Digest) -> Digest {
+    hash_concat(&[b"node", &a.0, &b.0])
+}
+
+fn parent_single(a: &Digest) -> Digest {
+    hash_concat(&[b"lone", &a.0])
+}
+
+impl MerkleTree {
+    /// Build from leaf digests. An empty tree has a well-defined
+    /// sentinel root.
+    pub fn from_leaves(leaves: Vec<Digest>) -> Self {
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                next.push(match pair {
+                    [a, b] => parent_pair(a, b),
+                    [a] => parent_single(a),
+                    _ => unreachable!("chunks(2)"),
+                });
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Build over data blocks (hashing each).
+    pub fn from_blocks<B: AsRef<[u8]>>(blocks: &[B]) -> Self {
+        Self::from_leaves(blocks.iter().map(|b| nexus_tpm::hash(b.as_ref())).collect())
+    }
+
+    /// The root digest (sentinel for an empty tree).
+    pub fn root(&self) -> Digest {
+        match self.levels.last() {
+            Some(level) if !level.is_empty() => level[0],
+            _ => hash_concat(&[b"empty-merkle"]),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// True if no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replace leaf `i` and recompute only the path to the root —
+    /// O(log n) hashes, the property that decouples update cost from
+    /// file size.
+    pub fn update(&mut self, i: usize, leaf: Digest) -> Option<Digest> {
+        if i >= self.len() {
+            return None;
+        }
+        self.levels[0][i] = leaf;
+        let mut idx = i;
+        for level in 0..self.levels.len() - 1 {
+            let parent_idx = idx / 2;
+            let left = idx & !1;
+            let parent = if left + 1 < self.levels[level].len() {
+                parent_pair(&self.levels[level][left], &self.levels[level][left + 1])
+            } else {
+                parent_single(&self.levels[level][left])
+            };
+            self.levels[level + 1][parent_idx] = parent;
+            idx = parent_idx;
+        }
+        Some(self.root())
+    }
+
+    /// Append a leaf (rebuilds affected spine; amortized O(log n) but
+    /// implemented simply as a rebuild of the right edge).
+    pub fn push(&mut self, leaf: Digest) {
+        let mut leaves = self.levels[0].clone();
+        leaves.push(leaf);
+        *self = Self::from_leaves(leaves);
+    }
+
+    /// Inclusion proof for leaf `i`: sibling digests from leaf to
+    /// root, each tagged with whether the sibling is on the left.
+    pub fn proof(&self, i: usize) -> Option<Vec<(Digest, bool)>> {
+        if i >= self.len() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut idx = i;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = idx ^ 1;
+            if sibling < level.len() {
+                out.push((level[sibling], sibling < idx));
+            } else {
+                // Lone node: no sibling at this level; mark with a
+                // sentinel entry? — encode as promotion step, which
+                // the verifier reproduces by position. We push nothing
+                // and let verify() recompute via parent_single.
+                out.push((Digest::ZERO, false));
+            }
+            idx /= 2;
+        }
+        Some(out)
+    }
+
+    /// Verify an inclusion proof against a root.
+    pub fn verify(root: &Digest, leaf: &Digest, index: usize, proof: &[(Digest, bool)]) -> bool {
+        let mut acc = *leaf;
+        let mut idx = index;
+        for (sibling, sibling_left) in proof {
+            acc = if *sibling == Digest::ZERO && idx % 2 == 0 {
+                // Promotion of a lone node.
+                parent_single(&acc)
+            } else if *sibling_left {
+                parent_pair(sibling, &acc)
+            } else {
+                parent_pair(&acc, sibling)
+            };
+            idx /= 2;
+        }
+        &acc == root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| nexus_tpm::hash(&[i as u8])).collect()
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        for n in [1usize, 2, 3, 4, 5, 8, 9, 33] {
+            let base = MerkleTree::from_leaves(leaves(n));
+            for i in 0..n {
+                let mut t = base.clone();
+                t.update(i, nexus_tpm::hash(b"tampered"));
+                assert_ne!(t.root(), base.root(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_matches_rebuild() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut incremental = MerkleTree::from_leaves(leaves(n));
+            for i in 0..n {
+                let new_leaf = nexus_tpm::hash(&[0xa0, i as u8]);
+                incremental.update(i, new_leaf);
+                let mut fresh = leaves(n);
+                for j in 0..=i {
+                    fresh[j] = nexus_tpm::hash(&[0xa0, j as u8]);
+                }
+                let rebuilt = MerkleTree::from_leaves(fresh);
+                assert_eq!(incremental.root(), rebuilt.root(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proofs_verify_and_reject_tampering() {
+        for n in [1usize, 2, 3, 4, 7, 8, 9] {
+            let ls = leaves(n);
+            let t = MerkleTree::from_leaves(ls.clone());
+            let root = t.root();
+            for i in 0..n {
+                let proof = t.proof(i).unwrap();
+                assert!(
+                    MerkleTree::verify(&root, &ls[i], i, &proof),
+                    "valid proof must verify (n={n} i={i})"
+                );
+                let wrong = nexus_tpm::hash(b"other");
+                assert!(
+                    !MerkleTree::verify(&root, &wrong, i, &proof),
+                    "wrong leaf must fail (n={n} i={i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_for_wrong_index_fails() {
+        let ls = leaves(4);
+        let t = MerkleTree::from_leaves(ls.clone());
+        let proof = t.proof(1).unwrap();
+        assert!(!MerkleTree::verify(&t.root(), &ls[0], 0, &proof));
+    }
+
+    #[test]
+    fn empty_and_push() {
+        let mut t = MerkleTree::from_leaves(vec![]);
+        assert!(t.is_empty());
+        let e = t.root();
+        t.push(nexus_tpm::hash(b"a"));
+        assert_eq!(t.len(), 1);
+        assert_ne!(t.root(), e);
+        t.push(nexus_tpm::hash(b"b"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.root(),
+            MerkleTree::from_blocks(&[b"a", b"b"]).root()
+        );
+    }
+
+    #[test]
+    fn out_of_range_ops() {
+        let mut t = MerkleTree::from_leaves(leaves(3));
+        assert!(t.update(3, Digest::ZERO).is_none());
+        assert!(t.proof(3).is_none());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let l = nexus_tpm::hash(b"only");
+        let t = MerkleTree::from_leaves(vec![l]);
+        assert_eq!(t.root(), l, "single leaf is its own root");
+        let proof = t.proof(0).unwrap();
+        assert!(proof.is_empty());
+        assert!(MerkleTree::verify(&t.root(), &l, 0, &proof));
+    }
+}

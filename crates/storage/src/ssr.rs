@@ -1,0 +1,550 @@
+//! Secure Storage Regions (§3.3).
+//!
+//! An SSR is an integrity-protected, optionally encrypted, persistent
+//! data store kept on *untrusted* secondary storage. Integrity comes
+//! from a per-SSR Merkle tree whose root lives in a VDIR (and thus,
+//! transitively, in the TPM's hardware registers): replaying an old
+//! disk image or modifying dormant data produces a root mismatch.
+//! Confidentiality uses counter-mode AES with a per-(block, version)
+//! IV, so blocks are encrypted independently — updating one plaintext
+//! block never forces re-encryption of its successors, and single
+//! blocks can be demand-paged and verified in isolation.
+
+use crate::disk::Disk;
+use crate::error::StorageError;
+use crate::merkle::MerkleTree;
+use crate::vdir::{VdirId, VdirTable};
+use crate::vkey::{VkeyId, VkeyTable};
+use nexus_tpm::{Digest, Tpm};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Path of the (untrusted, self-verifying) SSR metadata file.
+const META_FILE: &str = "ssr/meta";
+
+/// Per-SSR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsrConfig {
+    /// Block size in bytes. The paper's evaluation uses 1 kB blocks
+    /// (small files pay a padding penalty — visible in Figure 8's
+    /// hashing curve).
+    pub block_size: usize,
+    /// Encrypt blocks with this symmetric VKEY (None = integrity
+    /// only).
+    pub encrypt_with: Option<VkeyId>,
+}
+
+impl Default for SsrConfig {
+    fn default() -> Self {
+        SsrConfig {
+            block_size: 1024,
+            encrypt_with: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SsrMeta {
+    vdir: VdirId,
+    cfg: SsrConfig,
+    nonce_base: [u8; 8],
+    /// Leaf digests of the (ciphertext) blocks. Untrusted on disk;
+    /// validated against the VDIR root at open.
+    leaves: Vec<Digest>,
+    /// Per-block write version, part of the CTR IV so rewriting a
+    /// block never reuses a keystream.
+    versions: Vec<u64>,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct MetaTable {
+    ssrs: BTreeMap<String, SsrMeta>,
+}
+
+/// Manager for all SSRs on one device.
+#[derive(Debug, Default)]
+pub struct SsrManager {
+    meta: MetaTable,
+}
+
+type Aes256Ctr = ctr::Ctr64BE<aes::Aes256>;
+use aes::cipher::{KeyIvInit, StreamCipher};
+
+fn block_iv(nonce_base: &[u8; 8], index: usize, version: u64) -> [u8; 16] {
+    let mut iv = [0u8; 16];
+    iv[..8].copy_from_slice(nonce_base);
+    iv[8..12].copy_from_slice(&(index as u32).to_le_bytes());
+    iv[12..16].copy_from_slice(&(version as u32).to_le_bytes());
+    iv
+}
+
+fn block_file(name: &str, index: usize) -> String {
+    format!("ssr/{name}/{index}")
+}
+
+impl SsrManager {
+    /// Fresh manager (first boot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an SSR.
+    pub fn create(
+        &mut self,
+        name: &str,
+        cfg: SsrConfig,
+        vdirs: &mut VdirTable,
+        tpm: &mut Tpm,
+    ) -> Result<(), StorageError> {
+        if self.meta.ssrs.contains_key(name) {
+            return Err(StorageError::Encoding(format!("SSR {name} exists")));
+        }
+        let vdir = vdirs.create();
+        let mut nonce_base = [0u8; 8];
+        tpm.get_random(&mut nonce_base);
+        let meta = SsrMeta {
+            vdir,
+            cfg,
+            nonce_base,
+            leaves: Vec::new(),
+            versions: Vec::new(),
+        };
+        vdirs.write(vdir, MerkleTree::from_leaves(vec![]).root())?;
+        self.meta.ssrs.insert(name.to_string(), meta);
+        Ok(())
+    }
+
+    /// Destroy an SSR and its blocks.
+    pub fn destroy(
+        &mut self,
+        name: &str,
+        disk: &mut dyn Disk,
+        vdirs: &mut VdirTable,
+    ) -> Result<(), StorageError> {
+        let meta = self
+            .meta
+            .ssrs
+            .remove(name)
+            .ok_or_else(|| StorageError::NoSuchSsr(name.to_string()))?;
+        for i in 0..meta.leaves.len() {
+            disk.delete_file(&block_file(name, i))?;
+        }
+        vdirs.destroy(meta.vdir)?;
+        Ok(())
+    }
+
+    fn meta_of(&self, name: &str) -> Result<&SsrMeta, StorageError> {
+        self.meta
+            .ssrs
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchSsr(name.to_string()))
+    }
+
+    /// Number of blocks in an SSR.
+    pub fn block_count(&self, name: &str) -> Result<usize, StorageError> {
+        Ok(self.meta_of(name)?.leaves.len())
+    }
+
+    /// Write block `index` (padding to the block size; indices may
+    /// extend the region by exactly one block at a time).
+    pub fn write_block(
+        &mut self,
+        name: &str,
+        index: usize,
+        data: &[u8],
+        disk: &mut dyn Disk,
+        vdirs: &mut VdirTable,
+        vkeys: &VkeyTable,
+    ) -> Result<(), StorageError> {
+        self.write_block_inner(name, index, data, disk, vkeys)?;
+        self.reanchor(name, vdirs)
+    }
+
+    fn write_block_inner(
+        &mut self,
+        name: &str,
+        index: usize,
+        data: &[u8],
+        disk: &mut dyn Disk,
+        vkeys: &VkeyTable,
+    ) -> Result<(), StorageError> {
+        let meta = self
+            .meta
+            .ssrs
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchSsr(name.to_string()))?;
+        if index > meta.leaves.len() {
+            return Err(StorageError::BadBlock(index));
+        }
+        let mut block = data.to_vec();
+        block.resize(meta.cfg.block_size, 0);
+        let version = if index < meta.versions.len() {
+            meta.versions[index] + 1
+        } else {
+            0
+        };
+        if let Some(key) = meta.cfg.encrypt_with {
+            let iv = block_iv(&meta.nonce_base, index, version);
+            let k = vkeys.symmetric_key(key)?;
+            let mut cipher = Aes256Ctr::new((&k).into(), (&iv).into());
+            cipher.apply_keystream(&mut block);
+        }
+        let leaf = nexus_tpm::hash(&block);
+        disk.write_file(&block_file(name, index), &block)?;
+        if index == meta.leaves.len() {
+            meta.leaves.push(leaf);
+            meta.versions.push(version);
+        } else {
+            meta.leaves[index] = leaf;
+            meta.versions[index] = version;
+        }
+        Ok(())
+    }
+
+    /// Recompute and anchor the Merkle root for `name` in its VDIR.
+    fn reanchor(
+        &self,
+        name: &str,
+        vdirs: &mut VdirTable,
+    ) -> Result<(), StorageError> {
+        let meta = self.meta_of(name)?;
+        let root = MerkleTree::from_leaves(meta.leaves.clone()).root();
+        vdirs.write(meta.vdir, root)
+    }
+
+    /// Verify that the metadata's leaves match the VDIR anchor.
+    fn verify_anchor(&self, name: &str, vdirs: &VdirTable) -> Result<(), StorageError> {
+        let meta = self.meta_of(name)?;
+        let tree = MerkleTree::from_leaves(meta.leaves.clone());
+        if tree.root() != vdirs.read(meta.vdir)? {
+            return Err(StorageError::IntegrityViolation(format!(
+                "SSR {name}: metadata does not match VDIR root"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read and verify block `index` — demand paging: only this block
+    /// is read and hashed; the remaining leaves come from metadata and
+    /// are anchored by the VDIR root.
+    pub fn read_block(
+        &self,
+        name: &str,
+        index: usize,
+        disk: &dyn Disk,
+        vdirs: &VdirTable,
+        vkeys: &VkeyTable,
+    ) -> Result<Vec<u8>, StorageError> {
+        self.verify_anchor(name, vdirs)?;
+        self.read_block_inner(name, index, disk, vkeys)
+    }
+
+    /// Block read without the anchor check (callers must have
+    /// verified the anchor for this SSR already).
+    fn read_block_inner(
+        &self,
+        name: &str,
+        index: usize,
+        disk: &dyn Disk,
+        vkeys: &VkeyTable,
+    ) -> Result<Vec<u8>, StorageError> {
+        let meta = self.meta_of(name)?;
+        if index >= meta.leaves.len() {
+            return Err(StorageError::BadBlock(index));
+        }
+        let mut block = disk.read_file(&block_file(name, index))?;
+        if nexus_tpm::hash(&block) != meta.leaves[index] {
+            return Err(StorageError::IntegrityViolation(format!(
+                "SSR {name} block {index}: on-disk data does not match hash tree"
+            )));
+        }
+        if let Some(key) = meta.cfg.encrypt_with {
+            let iv = block_iv(&meta.nonce_base, index, meta.versions[index]);
+            let k = vkeys.symmetric_key(key)?;
+            let mut cipher = Aes256Ctr::new((&k).into(), (&iv).into());
+            cipher.apply_keystream(&mut block);
+        }
+        Ok(block)
+    }
+
+    /// Write a whole byte string (padding the tail block).
+    pub fn write_all(
+        &mut self,
+        name: &str,
+        data: &[u8],
+        disk: &mut dyn Disk,
+        vdirs: &mut VdirTable,
+        vkeys: &VkeyTable,
+    ) -> Result<(), StorageError> {
+        let bs = self.meta_of(name)?.cfg.block_size;
+        let blocks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[]]
+        } else {
+            data.chunks(bs).collect()
+        };
+        for (i, chunk) in blocks.iter().enumerate() {
+            self.write_block_inner(name, i, chunk, disk, vkeys)?;
+        }
+        self.reanchor(name, vdirs)
+    }
+
+    /// Read the whole region (including tail padding).
+    pub fn read_all(
+        &self,
+        name: &str,
+        disk: &dyn Disk,
+        vdirs: &VdirTable,
+        vkeys: &VkeyTable,
+    ) -> Result<Vec<u8>, StorageError> {
+        self.verify_anchor(name, vdirs)?;
+        let n = self.block_count(name)?;
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.extend_from_slice(&self.read_block_inner(name, i, disk, vkeys)?);
+        }
+        Ok(out)
+    }
+
+    /// Persist manager metadata (untrusted cache; the VDIRs anchor it)
+    /// and flush the VDIR table through the 4-step protocol.
+    pub fn sync(
+        &self,
+        disk: &mut dyn Disk,
+        vdirs: &VdirTable,
+        tpm: &mut Tpm,
+    ) -> Result<(), StorageError> {
+        let bytes = serde_json::to_vec(&self.meta)
+            .map_err(|e| StorageError::Encoding(e.to_string()))?;
+        disk.write_file(META_FILE, &bytes)?;
+        vdirs.flush(disk, tpm)
+    }
+
+    /// Re-open after a reboot: load metadata and verify every SSR's
+    /// Merkle root against its VDIR (recovered separately through
+    /// [`VdirTable::recover`]). Tampered or replayed metadata fails
+    /// here.
+    pub fn open(disk: &dyn Disk, vdirs: &VdirTable) -> Result<SsrManager, StorageError> {
+        let bytes = disk.read_file(META_FILE)?;
+        let meta: MetaTable =
+            serde_json::from_slice(&bytes).map_err(|e| StorageError::Encoding(e.to_string()))?;
+        for (name, m) in &meta.ssrs {
+            let root = MerkleTree::from_leaves(m.leaves.clone()).root();
+            if vdirs.read(m.vdir)? != root {
+                return Err(StorageError::IntegrityViolation(format!(
+                    "SSR {name}: recovered metadata does not match VDIR"
+                )));
+            }
+        }
+        Ok(SsrManager { meta })
+    }
+
+    /// Names of all SSRs.
+    pub fn names(&self) -> Vec<String> {
+        self.meta.ssrs.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::RamDisk;
+
+    struct World {
+        disk: RamDisk,
+        tpm: Tpm,
+        vdirs: VdirTable,
+        vkeys: VkeyTable,
+        ssrs: SsrManager,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut tpm = Tpm::new_with_seed(seed);
+        tpm.pcrs_mut().extend(4, b"nexus");
+        tpm.take_ownership().unwrap();
+        let mut disk = RamDisk::new();
+        let vdirs = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+        World {
+            disk,
+            tpm,
+            vdirs,
+            vkeys: VkeyTable::new(),
+            ssrs: SsrManager::new(),
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_plain() {
+        let mut w = world(1);
+        w.ssrs
+            .create("tokens", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        let data = vec![0x5au8; 3000];
+        w.ssrs
+            .write_all("tokens", &data, &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        let back = w.ssrs.read_all("tokens", &w.disk, &w.vdirs, &w.vkeys).unwrap();
+        assert_eq!(&back[..3000], &data[..]);
+        assert_eq!(back.len(), 3072, "padded to block size");
+    }
+
+    #[test]
+    fn encrypted_blocks_are_ciphertext_on_disk() {
+        let mut w = world(2);
+        let key = w.vkeys.create_symmetric(&mut w.tpm);
+        let cfg = SsrConfig {
+            block_size: 64,
+            encrypt_with: Some(key),
+        };
+        w.ssrs.create("secret", cfg, &mut w.vdirs, &mut w.tpm).unwrap();
+        let plaintext = b"attack at dawn";
+        w.ssrs
+            .write_block("secret", 0, plaintext, &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        let on_disk = w.disk.read_file("ssr/secret/0").unwrap();
+        assert!(!on_disk.windows(plaintext.len()).any(|win| win == plaintext));
+        let back = w
+            .ssrs
+            .read_block("secret", 0, &w.disk, &w.vdirs, &w.vkeys)
+            .unwrap();
+        assert_eq!(&back[..plaintext.len()], plaintext);
+    }
+
+    #[test]
+    fn rewriting_a_block_changes_its_iv() {
+        // CTR keystream reuse would leak plaintext XOR; versions
+        // prevent it: same plaintext, same block, different ciphertext.
+        let mut w = world(3);
+        let key = w.vkeys.create_symmetric(&mut w.tpm);
+        let cfg = SsrConfig {
+            block_size: 32,
+            encrypt_with: Some(key),
+        };
+        w.ssrs.create("s", cfg, &mut w.vdirs, &mut w.tpm).unwrap();
+        w.ssrs
+            .write_block("s", 0, b"same", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        let ct1 = w.disk.read_file("ssr/s/0").unwrap();
+        w.ssrs
+            .write_block("s", 0, b"same", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        let ct2 = w.disk.read_file("ssr/s/0").unwrap();
+        assert_ne!(ct1, ct2);
+    }
+
+    #[test]
+    fn tampered_block_detected() {
+        let mut w = world(4);
+        w.ssrs
+            .create("t", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        w.ssrs
+            .write_block("t", 0, b"data", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        w.disk.corrupt("ssr/t/0", 0).unwrap();
+        assert!(matches!(
+            w.ssrs.read_block("t", 0, &w.disk, &w.vdirs, &w.vkeys),
+            Err(StorageError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn replayed_block_detected() {
+        let mut w = world(5);
+        w.ssrs
+            .create("r", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        w.ssrs
+            .write_block("r", 0, b"v1", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        let old = w.disk.snapshot();
+        w.ssrs
+            .write_block("r", 0, b"v2", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        // Replay just the data file: hash-tree mismatch.
+        w.disk
+            .write_file("ssr/r/0", old.get("ssr/r/0").unwrap())
+            .unwrap();
+        assert!(matches!(
+            w.ssrs.read_block("r", 0, &w.disk, &w.vdirs, &w.vkeys),
+            Err(StorageError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn survives_reboot_via_sync_and_open() {
+        let mut w = world(6);
+        w.ssrs
+            .create("persist", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        w.ssrs
+            .write_all("persist", b"important", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        w.ssrs.sync(&mut w.disk, &w.vdirs, &mut w.tpm).unwrap();
+
+        // Reboot.
+        w.tpm.power_cycle();
+        w.tpm.pcrs_mut().extend(4, b"nexus");
+        let vdirs = VdirTable::recover(&w.disk, &w.tpm).unwrap();
+        let ssrs = SsrManager::open(&w.disk, &vdirs).unwrap();
+        let data = ssrs.read_all("persist", &w.disk, &vdirs, &w.vkeys).unwrap();
+        assert_eq!(&data[..9], b"important");
+    }
+
+    #[test]
+    fn full_disk_replay_detected_at_boot() {
+        let mut w = world(7);
+        w.ssrs
+            .create("x", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        w.ssrs
+            .write_all("x", b"v1", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        w.ssrs.sync(&mut w.disk, &w.vdirs, &mut w.tpm).unwrap();
+        let old_image = w.disk.snapshot();
+
+        w.ssrs
+            .write_all("x", b"v2", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        w.ssrs.sync(&mut w.disk, &w.vdirs, &mut w.tpm).unwrap();
+
+        // Re-image the disk wholesale; the hardware DIRs still hold
+        // the v2 root, so VDIR recovery aborts.
+        w.disk.restore(old_image);
+        w.tpm.power_cycle();
+        w.tpm.pcrs_mut().extend(4, b"nexus");
+        assert_eq!(
+            VdirTable::recover(&w.disk, &w.tpm).unwrap_err(),
+            StorageError::BootAbort
+        );
+    }
+
+    #[test]
+    fn destroy_removes_blocks() {
+        let mut w = world(8);
+        w.ssrs
+            .create("d", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        w.ssrs
+            .write_all("d", b"bye", &mut w.disk, &mut w.vdirs, &w.vkeys)
+            .unwrap();
+        w.ssrs.destroy("d", &mut w.disk, &mut w.vdirs).unwrap();
+        assert!(!w.disk.exists("ssr/d/0"));
+        assert!(matches!(
+            w.ssrs.read_block("d", 0, &w.disk, &w.vdirs, &w.vkeys),
+            Err(StorageError::NoSuchSsr(_))
+        ));
+    }
+
+    #[test]
+    fn sparse_extension_rejected() {
+        let mut w = world(9);
+        w.ssrs
+            .create("s", SsrConfig::default(), &mut w.vdirs, &mut w.tpm)
+            .unwrap();
+        assert!(matches!(
+            w.ssrs
+                .write_block("s", 5, b"x", &mut w.disk, &mut w.vdirs, &w.vkeys),
+            Err(StorageError::BadBlock(5))
+        ));
+    }
+}

@@ -1,0 +1,321 @@
+//! Virtual Data Integrity Registers (§3.3).
+//!
+//! The TPM provides just two hardware DIRs. The Nexus multiplexes them
+//! into an arbitrary number of *VDIRs* by keeping all VDIR values in a
+//! kernel table whose digest is stored in the hardware registers. The
+//! table is persisted to two state files on (untrusted) secondary
+//! storage with a 4-step protocol that survives asynchronous power
+//! failure:
+//!
+//! 1. write the new table to `/proc/state/new`,
+//! 2. write the new root hash into DIRnew,
+//! 3. write the new root hash into DIRcur,
+//! 4. write the new table to `/proc/state/current`.
+//!
+//! On boot both files are read and hashed against the two DIRs: if
+//! only one matches, that file holds the state; if both match, `new`
+//! is the latest; if neither matches, the disk was modified while the
+//! kernel was dormant and **boot aborts**.
+
+use crate::disk::Disk;
+use crate::error::StorageError;
+use nexus_tpm::{Digest, Tpm};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Handle to a VDIR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VdirId(pub u32);
+
+/// Hardware register indices.
+const DIR_NEW: usize = 0;
+const DIR_CUR: usize = 1;
+
+/// On-disk path of the current-state file.
+pub const STATE_CURRENT: &str = "/proc/state/current";
+/// On-disk path of the new-state file.
+pub const STATE_NEW: &str = "/proc/state/new";
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+struct TableState {
+    vdirs: BTreeMap<u32, Digest>,
+    next: u32,
+}
+
+/// The kernel's VDIR table.
+#[derive(Debug, Default)]
+pub struct VdirTable {
+    state: TableState,
+}
+
+impl VdirTable {
+    /// Fresh, empty table (first boot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a VDIR initialized to the zero digest.
+    pub fn create(&mut self) -> VdirId {
+        let id = self.state.next;
+        self.state.next += 1;
+        self.state.vdirs.insert(id, Digest::ZERO);
+        VdirId(id)
+    }
+
+    /// Read a VDIR.
+    pub fn read(&self, id: VdirId) -> Result<Digest, StorageError> {
+        self.state
+            .vdirs
+            .get(&id.0)
+            .copied()
+            .ok_or(StorageError::NoSuchVdir(id.0))
+    }
+
+    /// Write a VDIR **in memory**. Durability requires
+    /// [`VdirTable::flush`].
+    pub fn write(&mut self, id: VdirId, value: Digest) -> Result<(), StorageError> {
+        match self.state.vdirs.get_mut(&id.0) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(StorageError::NoSuchVdir(id.0)),
+        }
+    }
+
+    /// Destroy a VDIR.
+    pub fn destroy(&mut self, id: VdirId) -> Result<(), StorageError> {
+        self.state
+            .vdirs
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(StorageError::NoSuchVdir(id.0))
+    }
+
+    /// Number of allocated VDIRs.
+    pub fn len(&self) -> usize {
+        self.state.vdirs.len()
+    }
+
+    /// True if none allocated.
+    pub fn is_empty(&self) -> bool {
+        self.state.vdirs.is_empty()
+    }
+
+    fn encode(&self) -> Result<Vec<u8>, StorageError> {
+        serde_json::to_vec(&self.state).map_err(|e| StorageError::Encoding(e.to_string()))
+    }
+
+    fn decode(bytes: &[u8]) -> Result<TableState, StorageError> {
+        serde_json::from_slice(bytes).map_err(|e| StorageError::Encoding(e.to_string()))
+    }
+
+    /// The 4-step crash-consistent flush. A success return means all
+    /// four steps completed; any error leaves a recoverable prefix on
+    /// disk and in the DIRs.
+    pub fn flush(&self, disk: &mut dyn Disk, tpm: &mut Tpm) -> Result<(), StorageError> {
+        let bytes = self.encode()?;
+        let root = nexus_tpm::hash(&bytes);
+        disk.write_file(STATE_NEW, &bytes)?; // (1)
+        tpm.write_dir(DIR_NEW, root)?; // (2)
+        tpm.write_dir(DIR_CUR, root)?; // (3)
+        disk.write_file(STATE_CURRENT, &bytes)?; // (4)
+        Ok(())
+    }
+
+    /// First-boot initialization: flush the empty table so subsequent
+    /// recoveries have a consistent baseline.
+    pub fn init_first_boot(disk: &mut dyn Disk, tpm: &mut Tpm) -> Result<VdirTable, StorageError> {
+        let table = VdirTable::new();
+        table.flush(disk, tpm)?;
+        Ok(table)
+    }
+
+    /// Boot-time recovery (§3.3). Reads both state files, checks their
+    /// hashes against the DIRs, and returns the latest consistent
+    /// table — or [`StorageError::BootAbort`] if the on-disk state was
+    /// modified while the kernel was dormant.
+    pub fn recover(disk: &dyn Disk, tpm: &Tpm) -> Result<VdirTable, StorageError> {
+        let dir_new = tpm.read_dir(DIR_NEW)?;
+        let dir_cur = tpm.read_dir(DIR_CUR)?;
+        let file_new = disk.read_file(STATE_NEW).ok();
+        let file_cur = disk.read_file(STATE_CURRENT).ok();
+        let new_matches = file_new
+            .as_deref()
+            .map(|b| nexus_tpm::hash(b) == dir_new)
+            .unwrap_or(false);
+        let cur_matches = file_cur
+            .as_deref()
+            .map(|b| nexus_tpm::hash(b) == dir_cur)
+            .unwrap_or(false);
+        let bytes = match (new_matches, cur_matches) {
+            // Both match: `new` contains the latest state.
+            (true, _) => file_new.expect("checked"),
+            (false, true) => file_cur.expect("checked"),
+            (false, false) => return Err(StorageError::BootAbort),
+        };
+        Ok(VdirTable {
+            state: Self::decode(&bytes)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::RamDisk;
+
+    fn booted_tpm(seed: u64) -> Tpm {
+        let mut t = Tpm::new_with_seed(seed);
+        t.pcrs_mut().extend(4, b"nexus");
+        t.take_ownership().unwrap();
+        t
+    }
+
+    fn reboot(tpm: &mut Tpm) {
+        tpm.power_cycle();
+        tpm.pcrs_mut().extend(4, b"nexus");
+    }
+
+    #[test]
+    fn create_read_write_destroy() {
+        let mut t = VdirTable::new();
+        let id = t.create();
+        assert_eq!(t.read(id).unwrap(), Digest::ZERO);
+        let d = nexus_tpm::hash(b"root");
+        t.write(id, d).unwrap();
+        assert_eq!(t.read(id).unwrap(), d);
+        t.destroy(id).unwrap();
+        assert!(matches!(t.read(id), Err(StorageError::NoSuchVdir(_))));
+    }
+
+    #[test]
+    fn flush_and_recover_round_trip() {
+        let mut disk = RamDisk::new();
+        let mut tpm = booted_tpm(1);
+        let mut table = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+        let id = table.create();
+        table.write(id, nexus_tpm::hash(b"v1")).unwrap();
+        table.flush(&mut disk, &mut tpm).unwrap();
+
+        reboot(&mut tpm);
+        let recovered = VdirTable::recover(&disk, &tpm).unwrap();
+        assert_eq!(recovered.read(id).unwrap(), nexus_tpm::hash(b"v1"));
+    }
+
+    /// Cut power at every step boundary of the 4-step protocol and
+    /// verify the table recovers to either the old or the new state —
+    /// never aborts, never yields a third state.
+    #[test]
+    fn crash_at_every_step_is_recoverable() {
+        // Step boundaries: the flush performs disk writes at steps 1
+        // and 4, TPM writes at 2 and 3. We model crashes after k disk
+        // writes for k=0,1 combined with TPM progress implicitly: a
+        // disk failure at step 1 stops the protocol before any DIR
+        // write; a failure at step 4 leaves both DIRs updated.
+        for fail_at_write in [0u64, 1] {
+            let mut disk = RamDisk::new();
+            let mut tpm = booted_tpm(10 + fail_at_write);
+            let mut table = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+            let id = table.create();
+            table.write(id, nexus_tpm::hash(b"old")).unwrap();
+            table.flush(&mut disk, &mut tpm).unwrap();
+
+            // Attempt an update that dies mid-protocol.
+            table.write(id, nexus_tpm::hash(b"new")).unwrap();
+            disk.fail_after(fail_at_write);
+            let err = table.flush(&mut disk, &mut tpm);
+            assert_eq!(err, Err(StorageError::PowerFailure));
+            disk.clear_fault();
+
+            reboot(&mut tpm);
+            let recovered = VdirTable::recover(&disk, &tpm).unwrap();
+            let got = recovered.read(id).unwrap();
+            assert!(
+                got == nexus_tpm::hash(b"old") || got == nexus_tpm::hash(b"new"),
+                "fail_at={fail_at_write}: recovered to neither old nor new"
+            );
+            // Specifically: dying before step 2 keeps the old state;
+            // dying after step 2 commits the new state.
+            if fail_at_write == 0 {
+                assert_eq!(got, nexus_tpm::hash(b"old"));
+            } else {
+                assert_eq!(got, nexus_tpm::hash(b"new"));
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_disk_aborts_boot() {
+        let mut disk = RamDisk::new();
+        let mut tpm = booted_tpm(2);
+        let mut table = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+        let id = table.create();
+        table.write(id, nexus_tpm::hash(b"v1")).unwrap();
+        table.flush(&mut disk, &mut tpm).unwrap();
+
+        disk.corrupt(STATE_CURRENT, 3).unwrap();
+        disk.corrupt(STATE_NEW, 3).unwrap();
+        reboot(&mut tpm);
+        assert_eq!(
+            VdirTable::recover(&disk, &tpm).unwrap_err(),
+            StorageError::BootAbort
+        );
+    }
+
+    #[test]
+    fn replayed_disk_image_aborts_boot() {
+        // The attack the DIRs exist to stop: re-image the disk with an
+        // older (validly signed!) state.
+        let mut disk = RamDisk::new();
+        let mut tpm = booted_tpm(3);
+        let mut table = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+        let id = table.create();
+        table.write(id, nexus_tpm::hash(b"v1")).unwrap();
+        table.flush(&mut disk, &mut tpm).unwrap();
+        let old_image = disk.snapshot();
+
+        table.write(id, nexus_tpm::hash(b"v2")).unwrap();
+        table.flush(&mut disk, &mut tpm).unwrap();
+
+        // Replay the old image.
+        disk.restore(old_image);
+        reboot(&mut tpm);
+        assert_eq!(
+            VdirTable::recover(&disk, &tpm).unwrap_err(),
+            StorageError::BootAbort
+        );
+    }
+
+    #[test]
+    fn one_corrupted_file_still_recovers() {
+        let mut disk = RamDisk::new();
+        let mut tpm = booted_tpm(4);
+        let mut table = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+        let id = table.create();
+        table.write(id, nexus_tpm::hash(b"v1")).unwrap();
+        table.flush(&mut disk, &mut tpm).unwrap();
+
+        disk.corrupt(STATE_CURRENT, 0).unwrap();
+        reboot(&mut tpm);
+        let recovered = VdirTable::recover(&disk, &tpm).unwrap();
+        assert_eq!(recovered.read(id).unwrap(), nexus_tpm::hash(b"v1"));
+    }
+
+    #[test]
+    fn modified_kernel_cannot_recover() {
+        // DIR access is PCR-gated: a different kernel measurement
+        // cannot even read the registers.
+        let mut disk = RamDisk::new();
+        let mut tpm = booted_tpm(5);
+        let table = VdirTable::init_first_boot(&mut disk, &mut tpm).unwrap();
+        table.flush(&mut disk, &mut tpm).unwrap();
+
+        tpm.power_cycle();
+        tpm.pcrs_mut().extend(4, b"evil-nexus");
+        assert!(matches!(
+            VdirTable::recover(&disk, &tpm),
+            Err(StorageError::Tpm(_))
+        ));
+    }
+}

@@ -1,0 +1,354 @@
+//! Virtual Keys (§3.3).
+//!
+//! The TPM's key storage is as limited as its data registers, so the
+//! Nexus virtualizes it: VKEYs live in protected kernel memory and
+//! support creation, destruction, externalization (optionally wrapped
+//! under another VKEY), internalization, and the usual cryptographic
+//! operations for their kind. The whole table persists across reboots
+//! by sealing to the TPM, so only the same measured kernel recovers
+//! the keys.
+//!
+//! Because every VKEY operation can be guarded by a goal formula,
+//! policies like group signatures fall out: a `sign` goal dischargeable
+//! by group members, a different `externalize` goal for key managers.
+
+use crate::error::StorageError;
+use aes::cipher::{KeyIvInit, StreamCipher};
+use ed25519_dalek::{Signature, Signer, SigningKey, Verifier, VerifyingKey};
+use nexus_tpm::{PcrSelection, SealedBlob, Tpm};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+type Aes256Ctr = ctr::Ctr64BE<aes::Aes256>;
+
+/// Handle to a VKEY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VkeyId(pub u32);
+
+/// Key material, by kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Material {
+    /// Ed25519 signing key (32-byte seed).
+    Signing([u8; 32]),
+    /// AES-256 symmetric key.
+    Symmetric([u8; 32]),
+}
+
+/// An externalized VKEY, encrypted under another VKEY.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WrappedKey {
+    nonce: [u8; 16],
+    ciphertext: Vec<u8>,
+    tag: nexus_tpm::Digest,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+struct TableState {
+    keys: BTreeMap<u32, Material>,
+    next: u32,
+    counter: u64,
+}
+
+/// The kernel's VKEY table.
+#[derive(Debug, Default)]
+pub struct VkeyTable {
+    state: TableState,
+}
+
+impl VkeyTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_bytes(&mut self, tpm: &mut Tpm) -> [u8; 32] {
+        let mut b = [0u8; 32];
+        tpm.get_random(&mut b);
+        b
+    }
+
+    /// Create a signing VKEY.
+    pub fn create_signing(&mut self, tpm: &mut Tpm) -> VkeyId {
+        let seed = self.fresh_bytes(tpm);
+        self.insert(Material::Signing(seed))
+    }
+
+    /// Create a symmetric (encryption) VKEY.
+    pub fn create_symmetric(&mut self, tpm: &mut Tpm) -> VkeyId {
+        let key = self.fresh_bytes(tpm);
+        self.insert(Material::Symmetric(key))
+    }
+
+    fn insert(&mut self, m: Material) -> VkeyId {
+        let id = self.state.next;
+        self.state.next += 1;
+        self.state.keys.insert(id, m);
+        VkeyId(id)
+    }
+
+    fn get(&self, id: VkeyId) -> Result<&Material, StorageError> {
+        self.state.keys.get(&id.0).ok_or(StorageError::NoSuchVkey(id.0))
+    }
+
+    /// Destroy a VKEY.
+    pub fn destroy(&mut self, id: VkeyId) -> Result<(), StorageError> {
+        self.state
+            .keys
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(StorageError::NoSuchVkey(id.0))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.state.keys.len()
+    }
+
+    /// True if no keys.
+    pub fn is_empty(&self) -> bool {
+        self.state.keys.is_empty()
+    }
+
+    // ---- signing keys ----
+
+    /// Sign with a signing VKEY.
+    pub fn sign(&self, id: VkeyId, message: &[u8]) -> Result<Vec<u8>, StorageError> {
+        match self.get(id)? {
+            Material::Signing(seed) => {
+                let sk = SigningKey::from_bytes(seed);
+                Ok(sk.sign(message).to_bytes().to_vec())
+            }
+            _ => Err(StorageError::WrongKeyKind),
+        }
+    }
+
+    /// Public half of a signing VKEY.
+    pub fn public_key(&self, id: VkeyId) -> Result<VerifyingKey, StorageError> {
+        match self.get(id)? {
+            Material::Signing(seed) => Ok(SigningKey::from_bytes(seed).verifying_key()),
+            _ => Err(StorageError::WrongKeyKind),
+        }
+    }
+
+    /// Verify a signature made by a signing VKEY.
+    pub fn verify(&self, id: VkeyId, message: &[u8], sig: &[u8]) -> Result<bool, StorageError> {
+        let vk = self.public_key(id)?;
+        Ok(Signature::from_slice(sig)
+            .map(|s| vk.verify(message, &s).is_ok())
+            .unwrap_or(false))
+    }
+
+    // ---- symmetric keys ----
+
+    /// Raw key bytes of a symmetric VKEY (used by the SSR layer for
+    /// counter-mode block encryption).
+    pub fn symmetric_key(&self, id: VkeyId) -> Result<[u8; 32], StorageError> {
+        match self.get(id)? {
+            Material::Symmetric(k) => Ok(*k),
+            _ => Err(StorageError::WrongKeyKind),
+        }
+    }
+
+    /// Encrypt (AES-256-CTR) with a symmetric VKEY.
+    pub fn encrypt(
+        &self,
+        id: VkeyId,
+        nonce: &[u8; 16],
+        data: &[u8],
+    ) -> Result<Vec<u8>, StorageError> {
+        let key = self.symmetric_key(id)?;
+        let mut out = data.to_vec();
+        let mut cipher = Aes256Ctr::new((&key).into(), nonce.into());
+        cipher.apply_keystream(&mut out);
+        Ok(out)
+    }
+
+    /// Decrypt with a symmetric VKEY (CTR: same as encrypt).
+    pub fn decrypt(
+        &self,
+        id: VkeyId,
+        nonce: &[u8; 16],
+        data: &[u8],
+    ) -> Result<Vec<u8>, StorageError> {
+        self.encrypt(id, nonce, data)
+    }
+
+    // ---- externalization ----
+
+    /// Externalize `id`, wrapped under symmetric VKEY `wrap_with`.
+    pub fn externalize(
+        &mut self,
+        id: VkeyId,
+        wrap_with: VkeyId,
+        tpm: &mut Tpm,
+    ) -> Result<WrappedKey, StorageError> {
+        let material =
+            serde_json::to_vec(self.get(id)?).map_err(|e| StorageError::Encoding(e.to_string()))?;
+        let wrap_key = self.symmetric_key(wrap_with)?;
+        let mut nonce = [0u8; 16];
+        tpm.get_random(&mut nonce);
+        let mut ciphertext = material;
+        let mut cipher = Aes256Ctr::new((&wrap_key).into(), (&nonce).into());
+        cipher.apply_keystream(&mut ciphertext);
+        let tag = nexus_tpm::hash_concat(&[b"vkey-wrap", &wrap_key, &nonce, &ciphertext]);
+        Ok(WrappedKey {
+            nonce,
+            ciphertext,
+            tag,
+        })
+    }
+
+    /// Internalize a wrapped key using `unwrap_with`.
+    pub fn internalize(
+        &mut self,
+        wrapped: &WrappedKey,
+        unwrap_with: VkeyId,
+    ) -> Result<VkeyId, StorageError> {
+        let wrap_key = self.symmetric_key(unwrap_with)?;
+        let expect = nexus_tpm::hash_concat(&[
+            b"vkey-wrap",
+            &wrap_key,
+            &wrapped.nonce,
+            &wrapped.ciphertext,
+        ]);
+        if expect != wrapped.tag {
+            return Err(StorageError::UnwrapFailed);
+        }
+        let mut plain = wrapped.ciphertext.clone();
+        let mut cipher = Aes256Ctr::new((&wrap_key).into(), (&wrapped.nonce).into());
+        cipher.apply_keystream(&mut plain);
+        let material: Material =
+            serde_json::from_slice(&plain).map_err(|_| StorageError::UnwrapFailed)?;
+        Ok(self.insert(material))
+    }
+
+    // ---- persistence ----
+
+    /// Seal the whole table to the TPM (PCR-bound): only the same
+    /// measured kernel can restore it.
+    pub fn persist(&self, tpm: &mut Tpm) -> Result<SealedBlob, StorageError> {
+        let bytes =
+            serde_json::to_vec(&self.state).map_err(|e| StorageError::Encoding(e.to_string()))?;
+        Ok(tpm.seal(&PcrSelection::boot_chain(), &bytes)?)
+    }
+
+    /// Restore a previously persisted table.
+    pub fn restore(tpm: &Tpm, blob: &SealedBlob) -> Result<VkeyTable, StorageError> {
+        let bytes = tpm.unseal(blob)?;
+        let state =
+            serde_json::from_slice(&bytes).map_err(|e| StorageError::Encoding(e.to_string()))?;
+        Ok(VkeyTable { state })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted(seed: u64) -> Tpm {
+        let mut t = Tpm::new_with_seed(seed);
+        t.pcrs_mut().extend(4, b"nexus");
+        t.take_ownership().unwrap();
+        t
+    }
+
+    #[test]
+    fn signing_round_trip() {
+        let mut tpm = booted(1);
+        let mut vk = VkeyTable::new();
+        let id = vk.create_signing(&mut tpm);
+        let sig = vk.sign(id, b"msg").unwrap();
+        assert!(vk.verify(id, b"msg", &sig).unwrap());
+        assert!(!vk.verify(id, b"other", &sig).unwrap());
+    }
+
+    #[test]
+    fn symmetric_round_trip() {
+        let mut tpm = booted(2);
+        let mut vk = VkeyTable::new();
+        let id = vk.create_symmetric(&mut tpm);
+        let nonce = [3u8; 16];
+        let ct = vk.encrypt(id, &nonce, b"plaintext").unwrap();
+        assert_ne!(ct, b"plaintext");
+        assert_eq!(vk.decrypt(id, &nonce, &ct).unwrap(), b"plaintext");
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut tpm = booted(3);
+        let mut vk = VkeyTable::new();
+        let s = vk.create_signing(&mut tpm);
+        let e = vk.create_symmetric(&mut tpm);
+        assert_eq!(vk.encrypt(s, &[0; 16], b"x"), Err(StorageError::WrongKeyKind));
+        assert_eq!(vk.sign(e, b"x"), Err(StorageError::WrongKeyKind));
+    }
+
+    #[test]
+    fn destroy_and_missing() {
+        let mut tpm = booted(4);
+        let mut vk = VkeyTable::new();
+        let id = vk.create_signing(&mut tpm);
+        vk.destroy(id).unwrap();
+        assert_eq!(vk.sign(id, b"x"), Err(StorageError::NoSuchVkey(id.0)));
+        assert_eq!(vk.destroy(id), Err(StorageError::NoSuchVkey(id.0)));
+    }
+
+    #[test]
+    fn externalize_internalize_round_trip() {
+        let mut tpm = booted(5);
+        let mut vk = VkeyTable::new();
+        let signer = vk.create_signing(&mut tpm);
+        let wrapper = vk.create_symmetric(&mut tpm);
+        let sig_before = vk.sign(signer, b"m").unwrap();
+
+        let wrapped = vk.externalize(signer, wrapper, &mut tpm).unwrap();
+        let back = vk.internalize(&wrapped, wrapper).unwrap();
+        let sig_after = vk.sign(back, b"m").unwrap();
+        assert_eq!(sig_before, sig_after, "same key material restored");
+    }
+
+    #[test]
+    fn internalize_with_wrong_key_fails() {
+        let mut tpm = booted(6);
+        let mut vk = VkeyTable::new();
+        let signer = vk.create_signing(&mut tpm);
+        let w1 = vk.create_symmetric(&mut tpm);
+        let w2 = vk.create_symmetric(&mut tpm);
+        let wrapped = vk.externalize(signer, w1, &mut tpm).unwrap();
+        assert_eq!(vk.internalize(&wrapped, w2), Err(StorageError::UnwrapFailed));
+    }
+
+    #[test]
+    fn tampered_wrap_fails() {
+        let mut tpm = booted(7);
+        let mut vk = VkeyTable::new();
+        let signer = vk.create_signing(&mut tpm);
+        let w = vk.create_symmetric(&mut tpm);
+        let mut wrapped = vk.externalize(signer, w, &mut tpm).unwrap();
+        wrapped.ciphertext[0] ^= 1;
+        assert_eq!(vk.internalize(&wrapped, w), Err(StorageError::UnwrapFailed));
+    }
+
+    #[test]
+    fn persistence_survives_same_kernel_reboot_only() {
+        let mut tpm = booted(8);
+        let mut vk = VkeyTable::new();
+        let id = vk.create_signing(&mut tpm);
+        let pk = vk.public_key(id).unwrap();
+        let blob = vk.persist(&mut tpm).unwrap();
+
+        // Same kernel: restores.
+        tpm.power_cycle();
+        tpm.pcrs_mut().extend(4, b"nexus");
+        let restored = VkeyTable::restore(&tpm, &blob).unwrap();
+        assert_eq!(restored.public_key(id).unwrap(), pk);
+
+        // Modified kernel: unseal fails.
+        tpm.power_cycle();
+        tpm.pcrs_mut().extend(4, b"evil");
+        assert!(matches!(
+            VkeyTable::restore(&tpm, &blob),
+            Err(StorageError::Tpm(_))
+        ));
+    }
+}

@@ -1,0 +1,496 @@
+//! The TPM device: ownership, keys, DIRs, NVRAM, counters.
+
+use crate::error::TpmError;
+use crate::pcr::{Digest, PcrBank, PcrSelection};
+use crate::quote::{AikCert, KeyAttestation, Quote};
+use crate::seal::{seal_with_key, unseal_with_key, SealedBlob};
+use ed25519_dalek::{Signer, SigningKey, VerifyingKey};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+
+/// Number of data integrity registers. TPM v1.1 provides exactly two
+/// (the paper's DIRcur / DIRnew), which is what forces the
+/// Merkle-tree virtualization in `nexus-storage`.
+pub const DIR_COUNT: usize = 2;
+
+/// Total NVRAM capacity in bytes (TPM v1.2 provides "only a finite
+/// amount of secure NVRAM", §3.3 — small enough that secure storage
+/// must be virtualized in software).
+pub const NVRAM_CAPACITY: usize = 2048;
+
+#[derive(Debug, Clone)]
+struct NvArea {
+    data: Vec<u8>,
+    policy: Option<(PcrSelection, Digest)>,
+}
+
+/// The software TPM.
+///
+/// One `Tpm` models one motherboard-soldered chip: the endorsement key
+/// is fixed at construction ("manufacture"); everything else is state
+/// that accumulates across [`Tpm::take_ownership`] and power cycles
+/// (PCRs reset on [`Tpm::power_cycle`], owned state persists).
+pub struct Tpm {
+    rng: StdRng,
+    pcrs: PcrBank,
+    ek: SigningKey,
+    owned: Option<Owned>,
+    dirs: [Digest; DIR_COUNT],
+    /// Policy gating DIR access: set at take_ownership to the then-
+    /// current boot-chain composite, so only the same measured kernel
+    /// can read or write DIRs.
+    dir_policy: Option<(PcrSelection, Digest)>,
+    nvram: HashMap<u32, NvArea>,
+    counters: HashMap<u32, u64>,
+}
+
+struct Owned {
+    /// Storage root key seed: all sealing keys derive from this.
+    srk_seed: [u8; 32],
+    aik: SigningKey,
+    aik_cert: AikCert,
+}
+
+impl Tpm {
+    /// A freshly manufactured TPM with an OS-provided entropy seed.
+    pub fn new() -> Self {
+        let mut seed = [0u8; 32];
+        rand::thread_rng().fill_bytes(&mut seed);
+        Self::from_seed_bytes(seed)
+    }
+
+    /// Deterministic TPM for tests and reproducible benchmarks.
+    pub fn new_with_seed(seed: u64) -> Self {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        Self::from_seed_bytes(bytes)
+    }
+
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut rng = StdRng::from_seed(seed);
+        let ek = SigningKey::generate(&mut rng);
+        Tpm {
+            rng,
+            pcrs: PcrBank::new(),
+            ek,
+            owned: None,
+            dirs: [Digest::ZERO; DIR_COUNT],
+            dir_policy: None,
+            nvram: HashMap::new(),
+            counters: HashMap::new(),
+        }
+    }
+
+    /// The PCR bank (read-only).
+    pub fn pcrs(&self) -> &PcrBank {
+        &self.pcrs
+    }
+
+    /// The PCR bank (mutable — the platform extends measurements
+    /// through this during boot).
+    pub fn pcrs_mut(&mut self) -> &mut PcrBank {
+        &mut self.pcrs
+    }
+
+    /// Endorsement public key (identifies the chip; privacy-sensitive,
+    /// see the Nexus Privacy Authority discussion in §3.4).
+    pub fn ek_public(&self) -> VerifyingKey {
+        self.ek.verifying_key()
+    }
+
+    /// Has ownership been taken?
+    pub fn is_owned(&self) -> bool {
+        self.owned.is_some()
+    }
+
+    /// Take ownership: generate the storage root key and an AIK
+    /// certified by the EK, and bind DIR access to the current
+    /// boot-chain composite. Performed by the Nexus on first boot
+    /// (§3.4).
+    pub fn take_ownership(&mut self) -> Result<(), TpmError> {
+        if self.owned.is_some() {
+            return Err(TpmError::AlreadyOwned);
+        }
+        let mut srk_seed = [0u8; 32];
+        self.rng.fill_bytes(&mut srk_seed);
+        let aik = SigningKey::generate(&mut self.rng);
+        let aik_cert = AikCert::sign(&self.ek, aik.verifying_key().to_bytes());
+        self.owned = Some(Owned {
+            srk_seed,
+            aik,
+            aik_cert,
+        });
+        let sel = PcrSelection::boot_chain();
+        let comp = self.pcrs.composite(&sel);
+        self.dir_policy = Some((sel, comp));
+        Ok(())
+    }
+
+    /// Clear ownership (TPM_ForceClear): wipes SRK-derived secrets,
+    /// DIRs, NVRAM, and counters. Sealed blobs become permanently
+    /// undecryptable.
+    pub fn force_clear(&mut self) {
+        self.owned = None;
+        self.dirs = [Digest::ZERO; DIR_COUNT];
+        self.dir_policy = None;
+        self.nvram.clear();
+        self.counters.clear();
+    }
+
+    /// Power cycle: PCRs reset to power-on values; owned state, DIRs,
+    /// NVRAM, and counters persist (they are non-volatile).
+    pub fn power_cycle(&mut self) {
+        self.pcrs = PcrBank::new();
+    }
+
+    fn owned(&self) -> Result<&Owned, TpmError> {
+        self.owned.as_ref().ok_or(TpmError::NotOwned)
+    }
+
+    // ---- sealing ----
+
+    /// Seal `data` to the current values of `selection`.
+    pub fn seal(&mut self, selection: &PcrSelection, data: &[u8]) -> Result<SealedBlob, TpmError> {
+        let composite = self.pcrs.composite(selection);
+        let mut nonce = [0u8; 16];
+        self.rng.fill_bytes(&mut nonce);
+        let owned = self.owned()?;
+        Ok(seal_with_key(
+            &owned.srk_seed,
+            selection.clone(),
+            composite,
+            nonce,
+            data,
+        ))
+    }
+
+    /// Unseal a blob; fails unless the current PCR state matches the
+    /// state at seal time.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
+        let owned = self.owned()?;
+        let current = self.pcrs.composite(&blob.selection);
+        unseal_with_key(&owned.srk_seed, &current, blob)
+    }
+
+    // ---- DIRs ----
+
+    fn check_dir_policy(&self) -> Result<(), TpmError> {
+        match &self.dir_policy {
+            None => Ok(()),
+            Some((sel, expect)) => {
+                if &self.pcrs.composite(sel) == expect {
+                    Ok(())
+                } else {
+                    Err(TpmError::PcrMismatch)
+                }
+            }
+        }
+    }
+
+    /// Write data integrity register `idx`. Requires ownership and a
+    /// PCR state matching the policy established at take-ownership.
+    pub fn write_dir(&mut self, idx: usize, value: Digest) -> Result<(), TpmError> {
+        self.owned()?;
+        self.check_dir_policy()?;
+        let slot = self.dirs.get_mut(idx).ok_or(TpmError::BadIndex(idx))?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Read data integrity register `idx` under the same policy.
+    pub fn read_dir(&self, idx: usize) -> Result<Digest, TpmError> {
+        self.owned()?;
+        self.check_dir_policy()?;
+        self.dirs.get(idx).copied().ok_or(TpmError::BadIndex(idx))
+    }
+
+    // ---- NVRAM ----
+
+    fn nvram_used(&self) -> usize {
+        self.nvram.values().map(|a| a.data.len()).sum()
+    }
+
+    /// Define an NVRAM area of `size` bytes, optionally gated on the
+    /// current composite of a PCR selection.
+    pub fn nv_define(
+        &mut self,
+        index: u32,
+        size: usize,
+        policy_selection: Option<&PcrSelection>,
+    ) -> Result<(), TpmError> {
+        self.owned()?;
+        if self.nvram.contains_key(&index) {
+            return Err(TpmError::NvAreaExists(index));
+        }
+        let used = self.nvram_used();
+        if used + size > NVRAM_CAPACITY {
+            return Err(TpmError::NvCapacityExceeded {
+                requested: size,
+                available: NVRAM_CAPACITY - used,
+            });
+        }
+        let policy = policy_selection.map(|sel| (sel.clone(), self.pcrs.composite(sel)));
+        self.nvram.insert(
+            index,
+            NvArea {
+                data: vec![0u8; size],
+                policy,
+            },
+        );
+        Ok(())
+    }
+
+    fn nv_check(&self, area: &NvArea) -> Result<(), TpmError> {
+        if let Some((sel, expect)) = &area.policy {
+            if &self.pcrs.composite(sel) != expect {
+                return Err(TpmError::PcrMismatch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Write an NVRAM area (whole-area writes only, like TPM 1.2's
+    /// fixed-size areas).
+    pub fn nv_write(&mut self, index: u32, data: &[u8]) -> Result<(), TpmError> {
+        self.owned()?;
+        let area = self.nvram.get(&index).ok_or(TpmError::NvAreaMissing(index))?;
+        self.nv_check(area)?;
+        if area.data.len() != data.len() {
+            return Err(TpmError::NvSizeMismatch);
+        }
+        self.nvram.get_mut(&index).expect("checked").data.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read an NVRAM area.
+    pub fn nv_read(&self, index: u32) -> Result<Vec<u8>, TpmError> {
+        self.owned()?;
+        let area = self.nvram.get(&index).ok_or(TpmError::NvAreaMissing(index))?;
+        self.nv_check(area)?;
+        Ok(area.data.clone())
+    }
+
+    /// Remove an NVRAM area.
+    pub fn nv_undefine(&mut self, index: u32) -> Result<(), TpmError> {
+        self.owned()?;
+        self.nvram
+            .remove(&index)
+            .map(|_| ())
+            .ok_or(TpmError::NvAreaMissing(index))
+    }
+
+    // ---- monotonic counters ----
+
+    /// Create a monotonic counter starting at 0.
+    pub fn counter_create(&mut self, id: u32) -> Result<(), TpmError> {
+        self.owned()?;
+        self.counters.entry(id).or_insert(0);
+        Ok(())
+    }
+
+    /// Increment and return the new value. Monotonicity is the whole
+    /// contract: there is no decrement or reset short of force-clear.
+    pub fn counter_increment(&mut self, id: u32) -> Result<u64, TpmError> {
+        self.owned()?;
+        let c = self
+            .counters
+            .get_mut(&id)
+            .ok_or(TpmError::CounterMissing(id))?;
+        *c += 1;
+        Ok(*c)
+    }
+
+    /// Read a counter.
+    pub fn counter_read(&self, id: u32) -> Result<u64, TpmError> {
+        self.owned()?;
+        self.counters
+            .get(&id)
+            .copied()
+            .ok_or(TpmError::CounterMissing(id))
+    }
+
+    // ---- attestation ----
+
+    /// Produce a quote over `selection`, freshened with `nonce`.
+    pub fn quote(&self, selection: &PcrSelection, nonce: [u8; 16]) -> Result<Quote, TpmError> {
+        let owned = self.owned()?;
+        let composite = self.pcrs.composite(selection);
+        let msg = Quote::message(selection, &composite, &nonce);
+        let signature = owned.aik.sign(&msg).to_bytes().to_vec();
+        Ok(Quote {
+            selection: selection.clone(),
+            composite,
+            nonce,
+            signature,
+        })
+    }
+
+    /// The AIK certificate chaining to the EK.
+    pub fn aik_cert(&self) -> Result<AikCert, TpmError> {
+        Ok(self.owned()?.aik_cert.clone())
+    }
+
+    /// Certify that `subject_pub` was presented on this platform under
+    /// the current composite of `selection` — used to bind the Nexus
+    /// key NK to a measured kernel.
+    pub fn certify_key(
+        &self,
+        subject_pub: [u8; 32],
+        selection: &PcrSelection,
+    ) -> Result<KeyAttestation, TpmError> {
+        let owned = self.owned()?;
+        let composite = self.pcrs.composite(selection);
+        let msg = KeyAttestation::message(&subject_pub, &composite, selection);
+        let signature = owned.aik.sign(&msg).to_bytes().to_vec();
+        Ok(KeyAttestation {
+            subject_pub,
+            composite,
+            selection: selection.clone(),
+            signature,
+        })
+    }
+
+    /// Deterministic randomness source rooted in the device (for
+    /// callers that need nonces).
+    pub fn get_random(&mut self, out: &mut [u8]) {
+        self.rng.fill_bytes(out);
+    }
+}
+
+impl Default for Tpm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned_tpm(seed: u64) -> Tpm {
+        let mut t = Tpm::new_with_seed(seed);
+        t.pcrs_mut().extend(0, b"bios");
+        t.pcrs_mut().extend(4, b"kernel");
+        t.take_ownership().unwrap();
+        t
+    }
+
+    #[test]
+    fn ownership_lifecycle() {
+        let mut t = Tpm::new_with_seed(1);
+        assert!(!t.is_owned());
+        assert_eq!(t.read_dir(0), Err(TpmError::NotOwned));
+        t.take_ownership().unwrap();
+        assert!(t.is_owned());
+        assert_eq!(t.take_ownership(), Err(TpmError::AlreadyOwned));
+        t.force_clear();
+        assert!(!t.is_owned());
+        t.take_ownership().unwrap();
+    }
+
+    #[test]
+    fn seal_bound_to_pcrs_across_power_cycle() {
+        let mut t = owned_tpm(1);
+        let sel = PcrSelection::boot_chain();
+        let blob = t.seal(&sel, b"vdir-state").unwrap();
+        assert_eq!(t.unseal(&blob).unwrap(), b"vdir-state");
+
+        // Reboot with the same measurements: unseal works.
+        t.power_cycle();
+        t.pcrs_mut().extend(0, b"bios");
+        t.pcrs_mut().extend(4, b"kernel");
+        assert_eq!(t.unseal(&blob).unwrap(), b"vdir-state");
+
+        // Reboot with a modified kernel: unseal fails.
+        t.power_cycle();
+        t.pcrs_mut().extend(0, b"bios");
+        t.pcrs_mut().extend(4, b"evil-kernel");
+        assert_eq!(t.unseal(&blob), Err(TpmError::PcrMismatch));
+    }
+
+    #[test]
+    fn dirs_write_read_and_policy() {
+        let mut t = owned_tpm(2);
+        let d = crate::hash(b"root-hash");
+        t.write_dir(0, d).unwrap();
+        t.write_dir(1, d).unwrap();
+        assert_eq!(t.read_dir(0).unwrap(), d);
+        assert_eq!(t.write_dir(5, d), Err(TpmError::BadIndex(5)));
+
+        // A differently-measured boot cannot touch the DIRs.
+        t.power_cycle();
+        t.pcrs_mut().extend(0, b"bios");
+        t.pcrs_mut().extend(4, b"evil-kernel");
+        assert_eq!(t.read_dir(0), Err(TpmError::PcrMismatch));
+        assert_eq!(t.write_dir(0, Digest::ZERO), Err(TpmError::PcrMismatch));
+
+        // The right kernel regains access.
+        t.power_cycle();
+        t.pcrs_mut().extend(0, b"bios");
+        t.pcrs_mut().extend(4, b"kernel");
+        assert_eq!(t.read_dir(0).unwrap(), d);
+    }
+
+    #[test]
+    fn nvram_define_write_read() {
+        let mut t = owned_tpm(3);
+        t.nv_define(1, 64, None).unwrap();
+        assert_eq!(t.nv_define(1, 64, None), Err(TpmError::NvAreaExists(1)));
+        let data = vec![0xabu8; 64];
+        t.nv_write(1, &data).unwrap();
+        assert_eq!(t.nv_read(1).unwrap(), data);
+        assert_eq!(t.nv_write(1, &[0u8; 32]), Err(TpmError::NvSizeMismatch));
+        t.nv_undefine(1).unwrap();
+        assert_eq!(t.nv_read(1), Err(TpmError::NvAreaMissing(1)));
+    }
+
+    #[test]
+    fn nvram_capacity_is_finite() {
+        let mut t = owned_tpm(4);
+        t.nv_define(1, NVRAM_CAPACITY, None).unwrap();
+        let err = t.nv_define(2, 1, None);
+        assert!(matches!(err, Err(TpmError::NvCapacityExceeded { .. })));
+    }
+
+    #[test]
+    fn nvram_pcr_policy_enforced() {
+        let mut t = owned_tpm(5);
+        let sel = PcrSelection::of(&[4]);
+        t.nv_define(7, 16, Some(&sel)).unwrap();
+        t.nv_write(7, &[1u8; 16]).unwrap();
+        t.pcrs_mut().extend(4, b"more-measurements");
+        assert_eq!(t.nv_read(7), Err(TpmError::PcrMismatch));
+    }
+
+    #[test]
+    fn monotonic_counters() {
+        let mut t = owned_tpm(6);
+        t.counter_create(9).unwrap();
+        assert_eq!(t.counter_read(9).unwrap(), 0);
+        assert_eq!(t.counter_increment(9).unwrap(), 1);
+        assert_eq!(t.counter_increment(9).unwrap(), 2);
+        assert_eq!(t.counter_read(9).unwrap(), 2);
+        assert_eq!(t.counter_increment(42), Err(TpmError::CounterMissing(42)));
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        let a = Tpm::new_with_seed(7);
+        let b = Tpm::new_with_seed(7);
+        assert_eq!(a.ek_public(), b.ek_public());
+        let c = Tpm::new_with_seed(8);
+        assert_ne!(a.ek_public(), c.ek_public());
+    }
+
+    #[test]
+    fn dirs_survive_power_cycle() {
+        let mut t = owned_tpm(9);
+        let d = crate::hash(b"x");
+        t.write_dir(0, d).unwrap();
+        t.power_cycle();
+        t.pcrs_mut().extend(0, b"bios");
+        t.pcrs_mut().extend(4, b"kernel");
+        assert_eq!(t.read_dir(0).unwrap(), d);
+    }
+}

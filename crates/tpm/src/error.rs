@@ -1,0 +1,63 @@
+//! TPM error type.
+
+use std::fmt;
+
+/// Errors returned by TPM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpmError {
+    /// Operation requires ownership to have been taken.
+    NotOwned,
+    /// `take_ownership` called twice.
+    AlreadyOwned,
+    /// PCR / DIR / NVRAM / counter index out of range.
+    BadIndex(usize),
+    /// Current PCR state does not satisfy the policy bound to the
+    /// resource (sealed blob, DIR, NVRAM area).
+    PcrMismatch,
+    /// Sealed blob failed its integrity check (tampered or truncated).
+    IntegrityFailure,
+    /// Malformed blob.
+    BadBlob(String),
+    /// NVRAM index already defined.
+    NvAreaExists(u32),
+    /// NVRAM index not defined.
+    NvAreaMissing(u32),
+    /// NVRAM capacity exhausted — the motivation for virtualizing
+    /// secure storage in software (§3.3).
+    NvCapacityExceeded {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// Write exceeds the defined NVRAM area size.
+    NvSizeMismatch,
+    /// Monotonic counter not found.
+    CounterMissing(u32),
+    /// Signature verification failed.
+    BadSignature,
+}
+
+impl fmt::Display for TpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpmError::NotOwned => write!(f, "TPM ownership has not been taken"),
+            TpmError::AlreadyOwned => write!(f, "TPM ownership already taken"),
+            TpmError::BadIndex(i) => write!(f, "index {i} out of range"),
+            TpmError::PcrMismatch => write!(f, "PCR state does not satisfy policy"),
+            TpmError::IntegrityFailure => write!(f, "integrity check failed"),
+            TpmError::BadBlob(m) => write!(f, "malformed blob: {m}"),
+            TpmError::NvAreaExists(i) => write!(f, "NVRAM area {i} already defined"),
+            TpmError::NvAreaMissing(i) => write!(f, "NVRAM area {i} not defined"),
+            TpmError::NvCapacityExceeded { requested, available } => write!(
+                f,
+                "NVRAM capacity exceeded: requested {requested}, available {available}"
+            ),
+            TpmError::NvSizeMismatch => write!(f, "write size does not match NVRAM area"),
+            TpmError::CounterMissing(i) => write!(f, "monotonic counter {i} not found"),
+            TpmError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for TpmError {}

@@ -1,0 +1,186 @@
+//! Quotes and key certification: the TPM as the root of credential
+//! chains.
+//!
+//! Externalized Nexus labels are signed by the kernel's Nexus key
+//! (NK), which is certified by the TPM's attestation identity key
+//! (AIK) together with the PCR composite current when NK was created;
+//! the AIK in turn carries a certificate from the endorsement key
+//! (EK) burned in at manufacture (§2.4). Verifying the chain
+//! establishes, informally, "TPM says kernel says …".
+
+use crate::pcr::{Digest, PcrSelection};
+use ed25519_dalek::{Signature, Signer, SigningKey, Verifier, VerifyingKey};
+use serde::{Deserialize, Serialize};
+
+/// A TPM quote: a signed statement of the current PCR composite,
+/// freshened by a caller-supplied nonce.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quote {
+    /// The selection quoted over.
+    pub selection: PcrSelection,
+    /// The composite digest at quote time.
+    pub composite: Digest,
+    /// Anti-replay nonce supplied by the verifier.
+    pub nonce: [u8; 16],
+    /// AIK signature over the above.
+    pub signature: Vec<u8>,
+}
+
+impl Quote {
+    pub(crate) fn message(selection: &PcrSelection, composite: &Digest, nonce: &[u8; 16]) -> Vec<u8> {
+        let mut m = b"nexus-tpm-quote".to_vec();
+        m.push(selection.len() as u8);
+        for i in selection.iter() {
+            m.push(i as u8);
+        }
+        m.extend_from_slice(&composite.0);
+        m.extend_from_slice(nonce);
+        m
+    }
+
+    /// Verify against the AIK public key.
+    pub fn verify(&self, aik: &VerifyingKey) -> bool {
+        let msg = Self::message(&self.selection, &self.composite, &self.nonce);
+        Signature::from_slice(&self.signature)
+            .map(|sig| aik.verify(&msg, &sig).is_ok())
+            .unwrap_or(false)
+    }
+}
+
+/// Certificate binding an AIK to the device's endorsement key.
+/// (In deployments where TPM identity must stay private, a privacy
+/// authority / trust broker would sit between EK and AIK — §3.4.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AikCert {
+    /// The AIK public key bytes.
+    pub aik_pub: [u8; 32],
+    /// EK signature over the AIK public key.
+    pub signature: Vec<u8>,
+}
+
+impl AikCert {
+    pub(crate) fn message(aik_pub: &[u8; 32]) -> Vec<u8> {
+        let mut m = b"nexus-tpm-aik-cert".to_vec();
+        m.extend_from_slice(aik_pub);
+        m
+    }
+
+    pub(crate) fn sign(ek: &SigningKey, aik_pub: [u8; 32]) -> AikCert {
+        let sig = ek.sign(&Self::message(&aik_pub));
+        AikCert {
+            aik_pub,
+            signature: sig.to_bytes().to_vec(),
+        }
+    }
+
+    /// Verify against the endorsement public key.
+    pub fn verify(&self, ek: &VerifyingKey) -> bool {
+        Signature::from_slice(&self.signature)
+            .map(|sig| ek.verify(&Self::message(&self.aik_pub), &sig).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// The certified AIK as a verifying key.
+    pub fn aik(&self) -> Option<VerifyingKey> {
+        VerifyingKey::from_bytes(&self.aik_pub).ok()
+    }
+}
+
+/// Attestation that a (software-held) key was created on this platform
+/// under a particular PCR composite — how the Nexus key NK is bound to
+/// a specific kernel image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyAttestation {
+    /// The certified public key bytes.
+    pub subject_pub: [u8; 32],
+    /// Composite at certification time.
+    pub composite: Digest,
+    /// Selection the composite covers.
+    pub selection: PcrSelection,
+    /// AIK signature.
+    pub signature: Vec<u8>,
+}
+
+impl KeyAttestation {
+    pub(crate) fn message(
+        subject_pub: &[u8; 32],
+        composite: &Digest,
+        selection: &PcrSelection,
+    ) -> Vec<u8> {
+        let mut m = b"nexus-tpm-key-attest".to_vec();
+        m.extend_from_slice(subject_pub);
+        m.extend_from_slice(&composite.0);
+        m.push(selection.len() as u8);
+        for i in selection.iter() {
+            m.push(i as u8);
+        }
+        m
+    }
+
+    /// Verify against the AIK.
+    pub fn verify(&self, aik: &VerifyingKey) -> bool {
+        let msg = Self::message(&self.subject_pub, &self.composite, &self.selection);
+        Signature::from_slice(&self.signature)
+            .map(|sig| aik.verify(&msg, &sig).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// The certified subject key.
+    pub fn subject(&self) -> Option<VerifyingKey> {
+        VerifyingKey::from_bytes(&self.subject_pub).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Tpm;
+
+    #[test]
+    fn quote_verifies_and_detects_tamper() {
+        let mut tpm = Tpm::new_with_seed(1);
+        tpm.pcrs_mut().extend(0, b"bios");
+        tpm.take_ownership().unwrap();
+        let nonce = [5u8; 16];
+        let q = tpm.quote(&PcrSelection::boot_chain(), nonce).unwrap();
+        let aik = tpm.aik_cert().unwrap().aik().unwrap();
+        assert!(q.verify(&aik));
+
+        let mut forged = q.clone();
+        forged.composite = Digest([1u8; 32]);
+        assert!(!forged.verify(&aik));
+
+        let mut replayed = q;
+        replayed.nonce = [6u8; 16];
+        assert!(!replayed.verify(&aik));
+    }
+
+    #[test]
+    fn aik_cert_chains_to_ek() {
+        let mut tpm = Tpm::new_with_seed(2);
+        tpm.take_ownership().unwrap();
+        let cert = tpm.aik_cert().unwrap();
+        assert!(cert.verify(&tpm.ek_public()));
+        // Wrong EK rejects.
+        let other = Tpm::new_with_seed(3);
+        assert!(!cert.verify(&other.ek_public()));
+    }
+
+    #[test]
+    fn key_attestation_binds_composite() {
+        let mut tpm = Tpm::new_with_seed(4);
+        tpm.pcrs_mut().extend(0, b"kernel");
+        tpm.take_ownership().unwrap();
+        let subject = [9u8; 32];
+        // Use a real key so VerifyingKey::from_bytes succeeds.
+        let sk = ed25519_dalek::SigningKey::from_bytes(&subject);
+        let att = tpm
+            .certify_key(sk.verifying_key().to_bytes(), &PcrSelection::boot_chain())
+            .unwrap();
+        let aik = tpm.aik_cert().unwrap().aik().unwrap();
+        assert!(att.verify(&aik));
+        let mut forged = att;
+        forged.composite = Digest([0u8; 32]);
+        assert!(!forged.verify(&aik));
+    }
+}

@@ -1,0 +1,180 @@
+//! Sealing: encrypting data so it can only be recovered on the same
+//! platform in the same (PCR-measured) software configuration.
+//!
+//! The Nexus seals its VDIR/VKEY state to the boot-time PCR values;
+//! an attacker who boots a modified kernel gets different PCRs and the
+//! unseal fails (§3.4).
+
+use crate::error::TpmError;
+use crate::pcr::{Digest, PcrSelection, DIGEST_LEN};
+use aes::cipher::{KeyIvInit, StreamCipher};
+use serde::{Deserialize, Serialize};
+use sha2::{Digest as Sha2Digest, Sha256};
+
+type Aes256Ctr = ctr::Ctr64BE<aes::Aes256>;
+
+/// A blob produced by [`crate::Tpm::seal`]. Contains everything needed
+/// to unseal *except* the SRK secret and the matching PCR state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealedBlob {
+    /// PCR selection the data is bound to.
+    pub selection: PcrSelection,
+    /// Composite digest the selection must evaluate to at unseal time.
+    pub composite: Digest,
+    /// Random nonce (CTR IV).
+    pub nonce: [u8; 16],
+    /// Ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// Integrity tag over (key, nonce, composite, ciphertext).
+    pub tag: Digest,
+}
+
+/// Derive the sealing key from the SRK seed and the composite the
+/// blob is bound to. Binding the key itself to the composite means a
+/// mismatched platform cannot even derive the right key.
+pub(crate) fn derive_seal_key(srk_seed: &[u8; 32], composite: &Digest) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"nexus-tpm-seal-key");
+    h.update(srk_seed);
+    h.update(composite.0);
+    let out = h.finalize();
+    let mut k = [0u8; 32];
+    k.copy_from_slice(&out);
+    k
+}
+
+pub(crate) fn compute_tag(
+    key: &[u8; 32],
+    nonce: &[u8; 16],
+    composite: &Digest,
+    ciphertext: &[u8],
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"nexus-tpm-seal-tag");
+    h.update(key);
+    h.update(nonce);
+    h.update(composite.0);
+    h.update((ciphertext.len() as u64).to_le_bytes());
+    h.update(ciphertext);
+    let out = h.finalize();
+    let mut d = [0u8; DIGEST_LEN];
+    d.copy_from_slice(&out);
+    Digest(d)
+}
+
+pub(crate) fn seal_with_key(
+    srk_seed: &[u8; 32],
+    selection: PcrSelection,
+    composite: Digest,
+    nonce: [u8; 16],
+    plaintext: &[u8],
+) -> SealedBlob {
+    let key = derive_seal_key(srk_seed, &composite);
+    let mut ciphertext = plaintext.to_vec();
+    let mut cipher = Aes256Ctr::new((&key).into(), (&nonce).into());
+    cipher.apply_keystream(&mut ciphertext);
+    let tag = compute_tag(&key, &nonce, &composite, &ciphertext);
+    SealedBlob {
+        selection,
+        composite,
+        nonce,
+        ciphertext,
+        tag,
+    }
+}
+
+pub(crate) fn unseal_with_key(
+    srk_seed: &[u8; 32],
+    current_composite: &Digest,
+    blob: &SealedBlob,
+) -> Result<Vec<u8>, TpmError> {
+    if current_composite != &blob.composite {
+        return Err(TpmError::PcrMismatch);
+    }
+    let key = derive_seal_key(srk_seed, &blob.composite);
+    let expect = compute_tag(&key, &blob.nonce, &blob.composite, &blob.ciphertext);
+    if expect != blob.tag {
+        return Err(TpmError::IntegrityFailure);
+    }
+    let mut plaintext = blob.ciphertext.clone();
+    let mut cipher = Aes256Ctr::new((&key).into(), (&blob.nonce).into());
+    cipher.apply_keystream(&mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn composite_of(byte: u8) -> Digest {
+        Digest([byte; DIGEST_LEN])
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let seed = [7u8; 32];
+        let comp = composite_of(1);
+        let blob = seal_with_key(&seed, PcrSelection::boot_chain(), comp, [9u8; 16], b"secret");
+        let out = unseal_with_key(&seed, &comp, &blob).unwrap();
+        assert_eq!(out, b"secret");
+    }
+
+    #[test]
+    fn unseal_fails_on_wrong_composite() {
+        let seed = [7u8; 32];
+        let blob = seal_with_key(
+            &seed,
+            PcrSelection::boot_chain(),
+            composite_of(1),
+            [9u8; 16],
+            b"secret",
+        );
+        assert_eq!(
+            unseal_with_key(&seed, &composite_of(2), &blob),
+            Err(TpmError::PcrMismatch)
+        );
+    }
+
+    #[test]
+    fn unseal_fails_on_tampered_ciphertext() {
+        let seed = [7u8; 32];
+        let comp = composite_of(1);
+        let mut blob =
+            seal_with_key(&seed, PcrSelection::boot_chain(), comp, [9u8; 16], b"secret");
+        blob.ciphertext[0] ^= 1;
+        assert_eq!(
+            unseal_with_key(&seed, &comp, &blob),
+            Err(TpmError::IntegrityFailure)
+        );
+    }
+
+    #[test]
+    fn unseal_fails_on_forged_composite_field() {
+        // Attacker rewrites the blob's composite to match a hostile
+        // platform: the key derivation differs, so the tag check fails.
+        let seed = [7u8; 32];
+        let comp = composite_of(1);
+        let mut blob =
+            seal_with_key(&seed, PcrSelection::boot_chain(), comp, [9u8; 16], b"secret");
+        blob.composite = composite_of(2);
+        assert_eq!(
+            unseal_with_key(&seed, &composite_of(2), &blob),
+            Err(TpmError::IntegrityFailure)
+        );
+    }
+
+    #[test]
+    fn different_seeds_cannot_unseal() {
+        let comp = composite_of(1);
+        let blob = seal_with_key(&[7u8; 32], PcrSelection::boot_chain(), comp, [9u8; 16], b"s");
+        assert!(unseal_with_key(&[8u8; 32], &comp, &blob).is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_round_trips() {
+        let seed = [0u8; 32];
+        let comp = composite_of(0);
+        let blob = seal_with_key(&seed, PcrSelection::none(), comp, [0u8; 16], b"");
+        assert_eq!(unseal_with_key(&seed, &comp, &blob).unwrap(), b"");
+    }
+}

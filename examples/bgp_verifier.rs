@@ -1,0 +1,56 @@
+//! The BGP protocol verifier (§4): synthetic trust for a legacy
+//! speaker, no TPMs on routers required.
+//!
+//! Run with: `cargo run -p nexus-apps --example bgp_verifier`
+
+use nexus_apps::bgp::{BgpMessage, BgpVerifier};
+
+fn main() {
+    let mut verifier = BgpVerifier::new(65001, vec!["192.168.0.0/16".to_string()]);
+
+    // The legacy speaker receives routes from peers; the verifier
+    // observes them as a proxy.
+    verifier.observe_incoming(&BgpMessage::Advertise {
+        prefix: "10.0.0.0/8".into(),
+        as_path: vec![65002, 65003],
+    });
+    println!("observed: 10.0.0.0/8 via [65002, 65003]");
+
+    // Legitimate forwarding extends the received path.
+    let ok = BgpMessage::Advertise {
+        prefix: "10.0.0.0/8".into(),
+        as_path: vec![65001, 65002, 65003],
+    };
+    assert!(verifier.check_outgoing(&ok).is_ok());
+    println!("forwarded with our hop prepended: allowed");
+
+    // A compromised speaker tries to attract traffic with a
+    // fabricated short route.
+    let evil = BgpMessage::Advertise {
+        prefix: "10.0.0.0/8".into(),
+        as_path: vec![65001],
+    };
+    match verifier.check_outgoing(&evil) {
+        Err(v) => println!("fabrication blocked: {v}"),
+        Ok(()) => unreachable!(),
+    }
+
+    // Or to originate someone else's prefix.
+    let hijack = BgpMessage::Advertise {
+        prefix: "8.8.8.0/24".into(),
+        as_path: vec![65001],
+    };
+    match verifier.check_outgoing(&hijack) {
+        Err(v) => println!("hijack blocked: {v}"),
+        Ok(()) => unreachable!(),
+    }
+
+    // Owned prefixes originate freely.
+    let own = BgpMessage::Advertise {
+        prefix: "192.168.0.0/16".into(),
+        as_path: vec![65001],
+    };
+    assert!(verifier.check_outgoing(&own).is_ok());
+    println!("own prefix originated: allowed");
+    println!("violations logged: {}", verifier.violations.len());
+}

@@ -1,0 +1,50 @@
+//! Fauxbook end to end (§4.1): deploy the three-tier stack, sign up
+//! users, make friends, and watch the privacy guarantees hold against
+//! both strangers and the developers' own code.
+//!
+//! Run with: `cargo run -p nexus-apps --example fauxbook_demo`
+
+use nexus_apps::fauxbook::{Fauxbook, WallPolicy, DEFAULT_TENANT};
+
+fn main() {
+    // Deployment runs the labeling functions over the tenant code.
+    let mut fb = Fauxbook::deploy(DEFAULT_TENANT).expect("deploy");
+    println!("attestation labels (the privacy-policy bundle):");
+    for label in fb.attestation_labels() {
+        println!("  {label}");
+    }
+
+    // Malicious tenants never deploy.
+    match Fauxbook::deploy("import os\nstore_post(post)\n") {
+        Err(e) => println!("\nmalicious tenant rejected at deploy time: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    fb.signup("alice", WallPolicy::Friends).unwrap();
+    fb.signup("bob", WallPolicy::Friends).unwrap();
+    fb.signup("mallory", WallPolicy::Friends).unwrap();
+    let alice = fb.login("alice").unwrap();
+    let bob = fb.login("bob").unwrap();
+    let mallory = fb.login("mallory").unwrap();
+
+    fb.post(alice, "off to the lake this weekend").unwrap();
+    fb.add_friend(alice, "bob").unwrap();
+
+    println!("\nbob (friend) sees: {:?}", fb.view_wall(bob, "alice").unwrap());
+    println!(
+        "mallory (stranger) gets: {}",
+        fb.view_wall(mallory, "alice").unwrap_err()
+    );
+
+    // Developers' code cannot read the data it shuffles around.
+    let err = fb
+        .tenant_tries_to_read("x = getattr(post, 'bytes')")
+        .unwrap_err();
+    println!("tenant reflection attack: {err}");
+
+    // And the cloud provider's scheduler reservation is attestable.
+    println!(
+        "fauxbook's attested CPU share: {:.0}%",
+        fb.attested_share("fauxbook").unwrap() * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! The movie player (§4): any binary may stream, as long as an IPC
+//! connectivity analysis proves it cannot leak the content.
+//!
+//! Run with: `cargo run -p nexus-apps --example movie_player`
+
+use nexus_apps::movie_player::{MovieService, StreamDecision};
+use nexus_kernel::{BootImages, Nexus, NexusConfig};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    let mut nexus = Nexus::boot(
+        Tpm::new(),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .expect("boot");
+    nexus.spawn("fileserver", b"fs-image");
+    nexus.spawn("netdriver", b"net-image");
+    // Note: the player is some unknown binary — no whitelist anywhere.
+    let player = nexus.spawn("vlc-nightly-custom-build", b"whatever-binary");
+    let analyzer = nexus.spawn("ipc-analyzer", b"analyzer-image");
+
+    let clock = Arc::new(Mutex::new(20110301i64));
+    let mut service = MovieService::new(20110319, clock.clone());
+
+    match service.request_stream(&nexus, player, analyzer) {
+        StreamDecision::Granted => {
+            println!("stream granted: the analyzer proved confinement, hash never divulged")
+        }
+        StreamDecision::Denied(r) => println!("denied: {r}"),
+    }
+
+    // The player opens a channel to the network driver — next request
+    // is denied because the *property* no longer holds.
+    let net = nexus
+        .ipds()
+        .pids()
+        .into_iter()
+        .find(|&p| nexus.ipds().get(p).unwrap().name == "netdriver")
+        .unwrap();
+    let port = nexus.create_port(net).unwrap();
+    nexus.ipc_send(player, port, b"leak!".to_vec()).unwrap();
+    match service.request_stream(&nexus, player, analyzer) {
+        StreamDecision::Denied(r) => println!("after opening a net channel: denied ({r})"),
+        StreamDecision::Granted => unreachable!("leaky player must be denied"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: boot a Nexus, make statements, set a goal, and watch
+//! the guard check a proof.
+//!
+//! Run with: `cargo run -p nexus-apps --example quickstart`
+
+use nexus_core::ResourceId;
+use nexus_kernel::{BootImages, Nexus, NexusConfig, SysRet, Syscall};
+use nexus_nal::parse;
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+
+fn main() {
+    // 1. Measured boot: BIOS, loader, and kernel hashes land in the
+    //    TPM's PCRs; first boot takes ownership.
+    let mut nexus = Nexus::boot(
+        Tpm::new(),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .expect("boot");
+    println!("booted (first boot: {})", nexus.first_boot());
+
+    // 2. Processes are subprincipals of the kernel.
+    let alice = nexus.spawn("alice-app", b"alice-binary");
+    let bob = nexus.spawn("bob-app", b"bob-binary");
+    println!("alice is {}", nexus.principal(alice).unwrap());
+
+    // 3. `say` creates unforgeable labels — no cryptography involved.
+    let h = nexus.sys_say(alice, "isTypeSafe(myPlugin)").unwrap();
+    println!("alice said: {}", nexus.labels_of(alice).unwrap()[0]);
+
+    // 4. Externalize to a TPM-rooted certificate for remote parties.
+    let cert = nexus.externalize(alice, h).unwrap();
+    println!(
+        "externalized: {} bytes, speaker chain rooted in the EK",
+        cert.encoded_len()
+    );
+
+    // 5. Files get goal formulas; the default policy admits only the
+    //    owner.
+    nexus.fs_create(alice, "/alice/notes").unwrap();
+    let fd = match nexus.syscall(alice, Syscall::Open("/alice/notes".into())) {
+        Ok(SysRet::Int(fd)) => fd,
+        other => panic!("open failed: {other:?}"),
+    };
+    nexus
+        .syscall(alice, Syscall::Write(fd, b"my notes".to_vec()))
+        .unwrap();
+    println!("alice wrote her file");
+    assert!(
+        nexus.syscall(bob, Syscall::Open("/alice/notes".into())).is_err(),
+        "bob is denied by the default policy"
+    );
+    println!("bob was denied by the default policy");
+
+    // 6. Alice grants bob access with an explicit goal formula.
+    let bob_principal = nexus.principal(bob).unwrap();
+    nexus
+        .sys_setgoal(
+            alice,
+            ResourceId::file("/alice/notes"),
+            "open",
+            parse(&format!("{bob_principal} says open or {} says open", nexus.principal(alice).unwrap())).unwrap(),
+        )
+        .unwrap();
+    assert!(nexus.syscall(bob, Syscall::Open("/alice/notes".into())).is_ok());
+    println!("after setgoal, bob's own request discharges the goal");
+
+    // 7. The decision cache makes repeat authorizations nearly free.
+    for _ in 0..1000 {
+        nexus.syscall(bob, Syscall::Open("/alice/notes".into())).unwrap();
+    }
+    let stats = nexus.decision_cache_stats();
+    println!(
+        "decision cache: {} hits, {} misses, {} guard upcalls total",
+        stats.hits,
+        stats.misses,
+        nexus.guard_upcalls()
+    );
+}

@@ -1,0 +1,83 @@
+//! The paper's running example (§2): a file that may be read only
+//! before a deadline, by processes that provably cannot leak it.
+//!
+//! Run with: `cargo run -p nexus-apps --example time_sensitive_file`
+
+use nexus_core::{AuthorityKind, FnAuthority, ResourceId};
+use nexus_kernel::{BootImages, Nexus, NexusConfig, Syscall};
+use nexus_nal::{parse, Formula, Principal, Proof};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    let mut nexus = Nexus::boot(
+        Tpm::new(),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .expect("boot");
+
+    let reader = nexus.spawn("reader", b"reader-binary");
+    let owner = nexus.spawn("owner", b"owner-binary");
+    nexus.fs_create(owner, "/sensitive").unwrap();
+
+    // A trustworthy clock refuses to sign labels — it answers
+    // validity queries instead (§2.7).
+    let clock = Arc::new(Mutex::new(20110301i64));
+    let c = clock.clone();
+    nexus.register_authority(
+        Principal::name("NTP"),
+        Arc::new(FnAuthority(move |s: &Formula| {
+            if let Formula::Cmp(op, a, b) = s {
+                if let (nexus_nal::Term::Sym(n), nexus_nal::Term::Int(bound)) = (&a.canon(), b) {
+                    if n == "TimeNow" {
+                        return op.eval(&*c.lock(), bound);
+                    }
+                }
+            }
+            false
+        })),
+        AuthorityKind::External,
+    );
+
+    // Goal: deadline not passed AND the reader itself asks.
+    let reader_principal = nexus.principal(reader).unwrap();
+    nexus
+        .sys_setgoal(
+            owner,
+            ResourceId::file("/sensitive"),
+            "open",
+            parse(&format!(
+                "NTP says TimeNow < 20110319 and {reader_principal} says open"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+
+    // The reader installs its proof: the time conjunct is authority-
+    // backed, the request conjunct is its own statement.
+    let proof = Proof::AndIntro(
+        Box::new(Proof::assume(parse("NTP says TimeNow < 20110319").unwrap())),
+        Box::new(Proof::assume(
+            parse(&format!("{reader_principal} says open")).unwrap(),
+        )),
+    );
+    println!("proof audit trail:\n{}", proof.render_audit());
+    nexus
+        .sys_set_proof(reader, "open", &ResourceId::file("/sensitive"), proof)
+        .unwrap();
+
+    // Before the deadline: access granted (and NOT cached — the
+    // decision depends on an authority).
+    assert!(nexus.syscall(reader, Syscall::Open("/sensitive".into())).is_ok());
+    println!("before the deadline: open succeeds");
+
+    // The deadline passes. The very next request fails: no revocation
+    // infrastructure, the authority simply answers differently.
+    *clock.lock() = 20110401;
+    assert!(nexus.syscall(reader, Syscall::Open("/sensitive".into())).is_err());
+    println!("after the deadline: open denied, nothing was revoked");
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration: the full authorization pipeline from NAL
+//! parsing through labels, goals, proofs, guards, caches, and
+//! certificates.
+
+use nexus_core::ResourceId;
+use nexus_kernel::{BootImages, Nexus, NexusConfig, Syscall};
+use nexus_nal::{parse, prove, Proof, ProverConfig};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+
+fn boot(seed: u64) -> Nexus {
+    Nexus::boot(
+        Tpm::new_with_seed(seed),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn delegation_chain_across_processes() {
+    // A three-party flow: a certifier vouches for a plugin, the
+    // platform trusts the certifier for safety statements, and the
+    // file owner admits anything the platform calls safe.
+    let mut nexus = boot(1);
+    let owner = nexus.spawn("owner", b"owner");
+    let certifier = nexus.spawn("certifier", b"certifier");
+    let plugin = nexus.spawn("plugin", b"plugin");
+
+    nexus.fs_create(owner, "/protected").unwrap();
+    let certifier_p = nexus.principal(certifier).unwrap();
+    let plugin_p = nexus.principal(plugin).unwrap();
+
+    // Owner's policy: the certifier must call the requester safe.
+    nexus
+        .sys_setgoal(
+            owner,
+            ResourceId::file("/protected"),
+            "open",
+            parse(&format!("{certifier_p} says safe({plugin_p})")).unwrap(),
+        )
+        .unwrap();
+
+    // Certifier says the plugin is safe; the label is transferred to
+    // the plugin's labelstore (credentials travel with the client).
+    let h = nexus
+        .sys_say(certifier, &format!("safe({plugin_p})"))
+        .unwrap();
+    nexus.transfer_label(certifier, h, plugin).unwrap();
+
+    // Auto-prove finds the single-assumption proof.
+    assert!(nexus.syscall(plugin, Syscall::Open("/protected".into())).is_ok());
+
+    // A different process with no credential is denied.
+    let other = nexus.spawn("other", b"other");
+    assert!(nexus.syscall(other, Syscall::Open("/protected".into())).is_err());
+}
+
+#[test]
+fn prover_constructed_proof_passes_kernel_guard() {
+    let mut nexus = boot(2);
+    let owner = nexus.spawn("owner", b"owner");
+    let client = nexus.spawn("client", b"client");
+    nexus.fs_create(owner, "/f").unwrap();
+    let client_p = nexus.principal(client).unwrap();
+
+    // Policy with delegation: the client's manager can vouch.
+    nexus
+        .sys_setgoal(
+            owner,
+            ResourceId::file("/f"),
+            "open",
+            parse("Manager says ok(request)").unwrap(),
+        )
+        .unwrap();
+    // The manager delegates to the client for `ok` statements, by
+    // handoff, and the client says ok itself.
+    nexus
+        .kernel_label(
+            client,
+            nexus_nal::Principal::name("Manager"),
+            parse(&format!("{client_p} speaksfor Manager on ok")).unwrap(),
+        )
+        .unwrap();
+    let h = nexus.sys_say(client, "ok(request)").unwrap();
+    let _ = h;
+
+    // The client constructs the proof explicitly with the prover and
+    // installs it.
+    let labels = nexus.labels_of(client).unwrap();
+    let goal = parse("Manager says ok(request)").unwrap();
+    let proof = prove(&goal, &labels, ProverConfig::default())
+        .expect("prover must find the delegation proof");
+    nexus
+        .sys_set_proof(client, "open", &ResourceId::file("/f"), proof)
+        .unwrap();
+    assert!(nexus.syscall(client, Syscall::Open("/f".into())).is_ok());
+}
+
+#[test]
+fn certificates_carry_trust_across_machines() {
+    // Machine A: a type checker labels a program.
+    let mut machine_a = boot(3);
+    let checker = machine_a.spawn("typechecker", b"tc");
+    let h = machine_a.sys_say(checker, "isTypeSafe(PGM)").unwrap();
+    let cert = machine_a.externalize(checker, h).unwrap();
+    let ek_a = machine_a.tpm.ek_public();
+
+    // Machine B: a store trusts machine A's TPM and admits the
+    // statement, fully qualified.
+    let mut machine_b = boot(4);
+    let store = machine_b.spawn("objectstore", b"store");
+    machine_b.import_cert(store, &cert, &ek_a).unwrap();
+    let labels = machine_b.labels_of(store).unwrap();
+    assert_eq!(labels.len(), 1);
+    let label = labels[0].to_string();
+    assert!(label.contains("isTypeSafe(PGM)"));
+    assert!(label.starts_with("key:"), "attribution via NK chain: {label}");
+
+    // A tampered certificate is rejected.
+    let mut bad = cert.clone();
+    bad.statement = "isTypeSafe(EVIL)".into();
+    assert!(machine_b.import_cert(store, &bad, &ek_a).is_err());
+}
+
+#[test]
+fn decision_cache_interacts_with_goal_and_proof_updates() {
+    let mut nexus = boot(5);
+    let pid = nexus.spawn("app", b"app");
+    nexus.fs_create(pid, "/f").unwrap();
+    // Warm.
+    for _ in 0..10 {
+        nexus.syscall(pid, Syscall::Open("/f".into())).unwrap();
+    }
+    let h1 = nexus.decision_cache_stats().hits;
+    assert!(h1 >= 8);
+
+    // Proof update invalidates exactly the entry; access still works
+    // (auto-prove) and re-warms.
+    nexus
+        .sys_set_proof(
+            pid,
+            "open",
+            &ResourceId::file("/f"),
+            Proof::assume(parse("Nobody says nothing").unwrap()),
+        )
+        .unwrap();
+    // The bogus stored proof now fails: missing credential.
+    assert!(nexus.syscall(pid, Syscall::Open("/f".into())).is_err());
+    nexus.sys_clear_proof(pid, "open", &ResourceId::file("/f")).unwrap();
+    assert!(nexus.syscall(pid, Syscall::Open("/f".into())).is_ok());
+}
+
+#[test]
+fn no_goal_no_superuser_lockout_is_real() {
+    let mut nexus = boot(6);
+    let pid = nexus.spawn("app", b"app");
+    nexus.fs_create(pid, "/f").unwrap();
+    nexus
+        .sys_setgoal(pid, ResourceId::file("/f"), "setgoal", nexus_nal::Formula::False)
+        .unwrap();
+    // Even the owner can no longer change goals on this file.
+    assert!(nexus
+        .sys_setgoal(pid, ResourceId::file("/f"), "open", nexus_nal::Formula::True)
+        .is_err());
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the full Fauxbook stack — kernel, sandbox,
+//! cobufs, authorities, and the social graph.
+
+use nexus_apps::fauxbook::{Fauxbook, FauxbookError, WallPolicy, DEFAULT_TENANT};
+
+#[test]
+fn end_to_end_social_network() {
+    let mut fb = Fauxbook::deploy(DEFAULT_TENANT).unwrap();
+    for user in ["alice", "bob", "carol", "dave"] {
+        fb.signup(user, WallPolicy::Friends).unwrap();
+    }
+    let alice = fb.login("alice").unwrap();
+    let bob = fb.login("bob").unwrap();
+    let carol = fb.login("carol").unwrap();
+
+    fb.post(alice, "post one. ").unwrap();
+    fb.post(alice, "post two.").unwrap();
+    fb.add_friend(alice, "bob").unwrap();
+
+    // Owner and friend see the wall; a stranger does not.
+    assert_eq!(fb.view_wall(alice, "alice").unwrap(), "post one. post two.");
+    assert_eq!(fb.view_wall(bob, "alice").unwrap(), "post one. post two.");
+    assert!(matches!(
+        fb.view_wall(carol, "alice"),
+        Err(FauxbookError::Denied(_))
+    ));
+
+    // Friendship is mutual here: alice can read bob too.
+    fb.post(bob, "bob's post").unwrap();
+    assert_eq!(fb.view_wall(alice, "bob").unwrap(), "bob's post");
+}
+
+#[test]
+fn guarantees_enumerated_in_attestations() {
+    let fb = Fauxbook::deploy(DEFAULT_TENANT).unwrap();
+    let labels: Vec<String> = fb
+        .attestation_labels()
+        .iter()
+        .map(|l| l.to_string())
+        .collect();
+    // The privacy-policy bundle covers all three tiers.
+    assert!(labels.iter().any(|l| l.contains("importsWhitelisted")));
+    assert!(labels.iter().any(|l| l.contains("cobufConfined")));
+    assert!(labels.iter().any(|l| l.contains("ddrmConfined")));
+    assert!(labels.iter().any(|l| l.contains("syscallsRelinquished")));
+}
+
+#[test]
+fn developer_cannot_exfiltrate() {
+    let mut fb = Fauxbook::deploy(DEFAULT_TENANT).unwrap();
+    fb.signup("alice", WallPolicy::Private).unwrap();
+    let s = fb.login("alice").unwrap();
+    fb.post(s, "super secret").unwrap();
+
+    // Every known exfiltration avenue fails:
+    // 1. no byte-reading builtin,
+    assert!(fb.tenant_tries_to_read("x = read_bytes(post)").is_err());
+    // 2. reflection rewritten,
+    assert!(fb.tenant_tries_to_read("x = eval('leak')").is_err());
+    // 3. forbidden imports rejected,
+    assert!(matches!(
+        fb.tenant_tries_to_read("import socket"),
+        Err(FauxbookError::TenantRejected(_))
+    ));
+}
+
+#[test]
+fn sessions_bind_owners() {
+    let mut fb = Fauxbook::deploy(DEFAULT_TENANT).unwrap();
+    fb.signup("alice", WallPolicy::Friends).unwrap();
+    fb.signup("eve", WallPolicy::Friends).unwrap();
+    let alice = fb.login("alice").unwrap();
+    let eve = fb.login("eve").unwrap();
+    fb.post(alice, "mine").unwrap();
+    // Eve's session cannot impersonate alice: her view request is
+    // evaluated with her own session authority answer.
+    assert!(fb.view_wall(eve, "alice").is_err());
+}
+
+#[test]
+fn scheduler_reservation_attested() {
+    let fb = Fauxbook::deploy(DEFAULT_TENANT).unwrap();
+    // The deployment contracts 3:1 between fauxbook and the other
+    // tenant; the introspected share backs the SLA label.
+    assert!((fb.attested_share("fauxbook").unwrap() - 0.75).abs() < 1e-9);
+    assert!((fb.attested_share("other-tenant").unwrap() - 0.25).abs() < 1e-9);
+}
