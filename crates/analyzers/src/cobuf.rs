@@ -192,9 +192,7 @@ mod tests {
         let bob_post = store.ingest(p("bob"), b"bob's post".to_vec());
         // alice's wall wants bob's post: allowed only if alice
         // speaksfor bob (they are friends).
-        let friends = |dst: &Principal, src: &Principal| {
-            dst == &p("alice") && src == &p("bob")
-        };
+        let friends = |dst: &Principal, src: &Principal| dst == &p("alice") && src == &p("bob");
         assert!(store.concat(p("alice"), &[bob_post], &friends).is_ok());
         let strangers = |_: &Principal, _: &Principal| false;
         let err = store.concat(p("carol"), &[bob_post], &strangers);

@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn live_kernel_analysis_and_labels() {
-        let mut nexus = nexus_kernel::Nexus::boot(
+        let nexus = nexus_kernel::Nexus::boot(
             Tpm::new_with_seed(31),
             RamDisk::new(),
             &BootImages::standard(),
@@ -138,7 +138,9 @@ mod tests {
         // The player talks only to a helper; the helper talks to no
         // one sensitive.
         let helper_port = nexus.create_port(helper).unwrap();
-        nexus.ipc_send(player, helper_port, b"frame".to_vec()).unwrap();
+        nexus
+            .ipc_send(player, helper_port, b"frame".to_vec())
+            .unwrap();
 
         let analyzer_pid = nexus.spawn("ipc-analyzer", b"analyzer");
         let analyzer = IpcAnalyzer::new(nexus.principal(analyzer_pid).unwrap());
@@ -161,8 +163,7 @@ mod tests {
         nexus.ipc_send(player, fs_port, b"leak".to_vec()).unwrap();
         let report2 = analyzer.analyze(&nexus);
         assert!(report2.has_path(player, fs_srv));
-        let labels2 =
-            analyzer.labels_for(&report2, player, &[(fs_srv, "Filesystem")]);
+        let labels2 = analyzer.labels_for(&report2, player, &[(fs_srv, "Filesystem")]);
         assert!(!labels2[0].to_string().contains("not "));
     }
 }

@@ -195,7 +195,9 @@ mod tests {
         let mut v = BgpVerifier::new(65001, vec![]);
         v.observe_incoming(&adv("10.0.0.0/8", &[65002, 65003]));
         // Forwarding with our AS prepended: 3 hops ≥ 2 + 1.
-        assert!(v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65002, 65003])).is_ok());
+        assert!(v
+            .check_outgoing(&adv("10.0.0.0/8", &[65001, 65002, 65003]))
+            .is_ok());
     }
 
     #[test]
@@ -204,7 +206,14 @@ mod tests {
         v.observe_incoming(&adv("10.0.0.0/8", &[65002, 65003, 65004]));
         // Claiming a 2-hop route when the shortest received is 3.
         let err = v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65004]));
-        assert!(matches!(err, Err(Violation::FabricatedRoute { claimed: 2, shortest_received: 3, .. })));
+        assert!(matches!(
+            err,
+            Err(Violation::FabricatedRoute {
+                claimed: 2,
+                shortest_received: 3,
+                ..
+            })
+        ));
         assert_eq!(v.violations.len(), 1);
     }
 
@@ -255,7 +264,9 @@ mod tests {
             prefix: "10.0.0.0/8".into(),
         });
         // After withdrawal, forwarding it again is an unknown prefix.
-        assert!(v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65002])).is_err());
+        assert!(v
+            .check_outgoing(&adv("10.0.0.0/8", &[65001, 65002]))
+            .is_err());
     }
 
     #[test]
@@ -264,6 +275,8 @@ mod tests {
         v.observe_incoming(&adv("10.0.0.0/8", &[65002, 65003, 65004]));
         v.observe_incoming(&adv("10.0.0.0/8", &[65005]));
         // Now 2 hops ≥ 1 + 1 is fine.
-        assert!(v.check_outgoing(&adv("10.0.0.0/8", &[65001, 65005])).is_ok());
+        assert!(v
+            .check_outgoing(&adv("10.0.0.0/8", &[65001, 65005]))
+            .is_ok());
     }
 }

@@ -245,7 +245,12 @@ mod tests {
     fn honest_edit_is_compliant() {
         let src = gradient(64, 64);
         let mut session = CertiPics::open(src.clone());
-        session.apply(Transform::Crop { x: 8, y: 8, w: 32, h: 32 });
+        session.apply(Transform::Crop {
+            x: 8,
+            y: 8,
+            w: 32,
+            h: 32,
+        });
         session.apply(Transform::Resize { w: 16, h: 16 });
         session.apply(Transform::Brighten { delta: 20 });
         assert_eq!(
@@ -292,7 +297,13 @@ mod tests {
     #[test]
     fn transforms_behave() {
         let src = gradient(10, 10);
-        let cropped = Transform::Crop { x: 0, y: 0, w: 5, h: 5 }.apply(&src);
+        let cropped = Transform::Crop {
+            x: 0,
+            y: 0,
+            w: 5,
+            h: 5,
+        }
+        .apply(&src);
         assert_eq!((cropped.width, cropped.height), (5, 5));
         let resized = Transform::Resize { w: 20, h: 20 }.apply(&src);
         assert_eq!(resized.pixels.len(), 400);

@@ -24,7 +24,9 @@ use nexus_analyzers::pylite::{
     self, check_import_whitelist, find_reflection, rewrite_reflection, Program, PyValue,
 };
 use nexus_analyzers::CobufId;
-use nexus_core::{AccessRequest, AuthorityKind, AuthorityRegistry, FnAuthority, Guard, OpName, ResourceId};
+use nexus_core::{
+    AccessRequest, AuthorityKind, AuthorityRegistry, FnAuthority, Guard, OpName, ResourceId,
+};
 use nexus_kernel::{BootImages, EchoPath, EchoWorld, MonitorLevel, Nexus, NexusConfig};
 use nexus_nal::{parse, Formula, Principal, Proof};
 use nexus_storage::RamDisk;
@@ -122,7 +124,7 @@ impl Fauxbook {
     /// at the privacy-policy URL are collected in
     /// [`Fauxbook::attestation_labels`].
     pub fn deploy(tenant_source: &str) -> Result<Fauxbook, FauxbookError> {
-        let mut nexus = Nexus::boot(
+        let nexus = Nexus::boot(
             Tpm::new_with_seed(0xfb00),
             RamDisk::new(),
             &BootImages::standard(),
@@ -131,28 +133,31 @@ impl Fauxbook {
         .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
 
         // --- tiers ---
-        let echo = EchoWorld::new(&mut nexus, EchoPath::UserDriver)
+        let echo = EchoWorld::new(&nexus, EchoPath::UserDriver)
             .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
         let driver_pid = nexus.spawn("nic-driver-fb", b"nic-driver");
         let webserver_pid = nexus.spawn("lighttpd", b"lighttpd-image");
         let framework_pid = nexus.spawn("web-framework", b"framework-image");
         // DDRM on the driver path (synthetic basis).
-        echo.install_monitor(&mut nexus, MonitorLevel::Kernel)
+        echo.install_monitor(&nexus, MonitorLevel::Kernel)
             .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
         // The web server relinquishes everything but IPC after init.
         for call in ["open", "read", "write"] {
             nexus
-                .relinquish(webserver_pid, match call {
-                    "open" => "open",
-                    "read" => "read",
-                    _ => "write",
-                })
+                .relinquish(
+                    webserver_pid,
+                    match call {
+                        "open" => "open",
+                        "read" => "read",
+                        _ => "write",
+                    },
+                )
                 .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
         }
 
         // --- labeling functions over the tenant code ---
-        let parsed =
-            pylite::parse(tenant_source).map_err(|e| FauxbookError::TenantRejected(e.to_string()))?;
+        let parsed = pylite::parse(tenant_source)
+            .map_err(|e| FauxbookError::TenantRejected(e.to_string()))?;
         check_import_whitelist(&parsed, TENANT_WHITELIST)
             .map_err(|e| FauxbookError::TenantRejected(e.to_string()))?;
         let reflections = find_reflection(&parsed);
@@ -170,13 +175,11 @@ impl Fauxbook {
             parse("Nexus says syscallsRelinquished(webserver)").unwrap(),
         ];
         if !reflections.is_empty() {
-            attestations.push(
-                parse(&format!("{fw} says reflectionNeutralized(tenant)")).unwrap(),
-            );
+            attestations.push(parse(&format!("{fw} says reflectionNeutralized(tenant)")).unwrap());
         }
         // Resource attestation: register tenants on the scheduler.
-        nexus.sched.set_weight("fauxbook", 3);
-        nexus.sched.set_weight("other-tenant", 1);
+        nexus.sched().set_weight("fauxbook", 3);
+        nexus.sched().set_weight("other-tenant", 1);
 
         let state = Arc::new(Mutex::new(SharedState {
             sessions: HashMap::new(),
@@ -185,7 +188,7 @@ impl Fauxbook {
         }));
 
         // --- embedded authorities (§4.1's two authorities) ---
-        let mut authorities = AuthorityRegistry::new();
+        let authorities = AuthorityRegistry::new();
         let session_state = state.clone();
         authorities.register(
             Principal::name("name").sub("webserver"),
@@ -303,7 +306,10 @@ impl Fauxbook {
         }
         {
             let mut st = self.state.lock();
-            st.friends.get_mut(&user).expect("user exists").insert(friend.to_string());
+            st.friends
+                .get_mut(&user)
+                .expect("user exists")
+                .insert(friend.to_string());
             st.friends
                 .get_mut(friend)
                 .expect("friend exists")
@@ -331,7 +337,7 @@ impl Fauxbook {
         let user = self.user_of(session)?;
         // The packet traverses driver → web server (both confined).
         self.echo
-            .echo(&mut self.nexus, content.as_bytes())
+            .echo(&self.nexus, content.as_bytes())
             .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
         // Owner attribution happens here, in the web server layer —
         // tenant code cannot forge it.
@@ -360,7 +366,10 @@ impl Fauxbook {
         let handle = stored
             .lock()
             .ok_or_else(|| FauxbookError::Tenant("tenant did not store the post".into()))?;
-        self.walls.get_mut(&user).expect("user exists").push(CobufId(handle));
+        self.walls
+            .get_mut(&user)
+            .expect("user exists")
+            .push(CobufId(handle));
         Ok(())
     }
 
@@ -397,10 +406,7 @@ impl Fauxbook {
                 let friend =
                     parse(&format!("name.python says inFriends({whose}, {viewer})")).unwrap();
                 if viewer == whose {
-                    Some(Proof::OrIntroL(
-                        Box::new(Proof::assume(own)),
-                        friend,
-                    ))
+                    Some(Proof::OrIntroL(Box::new(Proof::assume(own)), friend))
                 } else {
                     Some(Proof::OrIntroR(own, Box::new(Proof::assume(friend))))
                 }
@@ -469,7 +475,7 @@ impl Fauxbook {
     /// Resource attestation: the share of CPU the scheduler grants a
     /// tenant, read through introspection (§4.1).
     pub fn attested_share(&self, tenant: &str) -> Option<f64> {
-        self.nexus.sched.share(tenant)
+        self.nexus.sched().share(tenant)
     }
 }
 

@@ -7,7 +7,9 @@
 //! the analysis may play — the player's hash is never divulged.
 
 use nexus_analyzers::IpcAnalyzer;
-use nexus_core::{AccessRequest, AuthorityKind, AuthorityRegistry, FnAuthority, Guard, OpName, ResourceId};
+use nexus_core::{
+    AccessRequest, AuthorityKind, AuthorityRegistry, FnAuthority, Guard, OpName, ResourceId,
+};
 use nexus_kernel::Nexus;
 use nexus_nal::{parse, prove, Formula, Principal, ProverConfig};
 use parking_lot::Mutex;
@@ -34,14 +36,13 @@ pub enum StreamDecision {
 impl MovieService {
     /// Build the service with a shared simulated clock.
     pub fn new(deadline: i64, clock: Arc<Mutex<i64>>) -> Self {
-        let mut authorities = AuthorityRegistry::new();
+        let authorities = AuthorityRegistry::new();
         let c = clock.clone();
         authorities.register(
             Principal::name("NTP"),
             Arc::new(FnAuthority(move |s: &Formula| {
                 if let Formula::Cmp(op, a, b) = s {
-                    if let (nexus_nal::Term::Sym(n), nexus_nal::Term::Int(bound)) =
-                        (&a.canon(), b)
+                    if let (nexus_nal::Term::Sym(n), nexus_nal::Term::Int(bound)) = (&a.canon(), b)
                     {
                         if n == "TimeNow" {
                             return op.eval(&*c.lock(), bound);
@@ -125,9 +126,7 @@ impl MovieService {
 
         let goal = self.goal(player, &analyzer_principal);
         let Some(proof) = prove(&goal, &assumptions, ProverConfig::default()) else {
-            return StreamDecision::Denied(
-                "could not assemble proof from analyzer labels".into(),
-            );
+            return StreamDecision::Denied("could not assemble proof from analyzer labels".into());
         };
         let subject = Principal::name(format!("/proc/ipd/{player}"));
         let op = OpName::from("stream");
@@ -161,7 +160,7 @@ mod tests {
     use nexus_tpm::Tpm;
 
     fn world() -> (Nexus, u64, u64) {
-        let mut nexus = Nexus::boot(
+        let nexus = Nexus::boot(
             Tpm::new_with_seed(0x3071e),
             RamDisk::new(),
             &BootImages::standard(),
@@ -188,7 +187,7 @@ mod tests {
 
     #[test]
     fn leaky_player_denied() {
-        let (mut nexus, player, analyzer) = world();
+        let (nexus, player, analyzer) = world();
         // The player opens a channel toward the file server.
         let fs_pid = nexus
             .ipds()

@@ -65,7 +65,9 @@ impl SpamClassifier {
         if let Some(cert) = attestation {
             if let Ok(label) = cert.verify(sender_ek) {
                 let stmt = label.statement.to_string();
-                if let Some(n) = stmt.strip_prefix("keypresses = ").and_then(|s| s.parse::<u64>().ok())
+                if let Some(n) = stmt
+                    .strip_prefix("keypresses = ")
+                    .and_then(|s| s.parse::<u64>().ok())
                 {
                     if n >= self.min_presses {
                         score -= 0.45;
@@ -105,7 +107,7 @@ mod tests {
             kbd.keypress(c);
         }
         let cert = kbd.attest(&mut nexus).unwrap();
-        let ek = nexus.tpm.ek_public();
+        let ek = nexus.tpm().ek_public();
         let clf = SpamClassifier { min_presses: 10 };
         let with = clf.score("here is my trip report", Some(&cert), &ek);
         let without = clf.score("here is my trip report", None, &ek);
@@ -118,7 +120,7 @@ mod tests {
         let mut nexus = booted();
         let kbd = KeyboardDriver::install(&mut nexus);
         let cert = kbd.attest(&mut nexus).unwrap(); // 0 presses
-        let ek = nexus.tpm.ek_public();
+        let ek = nexus.tpm().ek_public();
         let clf = SpamClassifier { min_presses: 10 };
         let s = clf.score("WIN BIG FREE $$$", Some(&cert), &ek);
         assert!(s >= 0.8);
@@ -133,7 +135,7 @@ mod tests {
         }
         let mut cert = kbd.attest(&mut nexus).unwrap();
         cert.statement = "keypresses = 99999".into();
-        let ek = nexus.tpm.ek_public();
+        let ek = nexus.tpm().ek_public();
         let clf = SpamClassifier { min_presses: 10 };
         let honest = clf.score("hi", None, &ek);
         let forged = clf.score("hi", Some(&cert), &ek);

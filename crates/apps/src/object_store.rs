@@ -135,9 +135,7 @@ impl ObjectStore {
         let want = parse(&format!("{producer} says isTypeSafe({invariant})"))
             .map_err(|e| ValidationError(e.to_string()))?;
         if !producer_labels.iter().any(|l| l == &want) {
-            return Err(ValidationError(format!(
-                "producer lacks label: {want}"
-            )));
+            return Err(ValidationError(format!("producer lacks label: {want}")));
         }
         let objects: Vec<TypedObject> =
             serde_json::from_slice(bytes).map_err(|e| ValidationError(e.to_string()))?;
@@ -203,13 +201,9 @@ mod tests {
         let bytes = ObjectStore::serialize(&sample(100));
         let producer = Principal::name("JVM-7");
         let labels = vec![parse("JVM-7 says isTypeSafe(com_example_batch)").unwrap()];
-        let (objs, stats) = ObjectStore::deserialize_attested(
-            &bytes,
-            &labels,
-            &producer,
-            "com_example_batch",
-        )
-        .unwrap();
+        let (objs, stats) =
+            ObjectStore::deserialize_attested(&bytes, &labels, &producer, "com_example_batch")
+                .unwrap();
         assert_eq!(objs.len(), 100);
         assert_eq!(stats.checks, 0, "attestation obviates per-field checks");
     }

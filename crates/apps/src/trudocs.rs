@@ -137,7 +137,7 @@ impl TruDocs {
             if seg.is_empty() {
                 return Some(start);
             }
-            (start..src.len().checked_sub(seg.len() - 1).unwrap_or(0)).find(|&base| {
+            (start..src.len().saturating_sub(seg.len() - 1)).find(|&base| {
                 seg.iter().enumerate().all(|(k, w)| {
                     let s = src[base + k];
                     s == *w || (ci && s.eq_ignore_ascii_case(w))
@@ -167,11 +167,10 @@ impl TruDocs {
             }
         }
         self.issued += 1;
-        Ok(Formula::speaksfor(
-            Principal::name(excerpt_name),
-            Principal::name(doc_name),
+        Ok(
+            Formula::speaksfor(Principal::name(excerpt_name), Principal::name(doc_name))
+                .says(Principal::name("TruDocs")),
         )
-        .says(Principal::name("TruDocs")))
     }
 }
 
@@ -187,19 +186,26 @@ mod tests {
     fn faithful_excerpt_certified() {
         let mut td = TruDocs::new(UsePolicy::default());
         let label = td
-            .certify(SRC, "The committee found that the program was effective", "report", "quote1")
+            .certify(
+                SRC,
+                "The committee found that the program was effective",
+                "report",
+                "quote1",
+            )
             .unwrap();
-        assert_eq!(
-            label.to_string(),
-            "TruDocs says quote1 speaksfor report"
-        );
+        assert_eq!(label.to_string(), "TruDocs says quote1 speaksfor report");
     }
 
     #[test]
     fn ellipsis_spans_gaps() {
         let mut td = TruDocs::new(UsePolicy::default());
         assert!(td
-            .certify(SRC, "The committee found ... requires further review", "r", "q")
+            .certify(
+                SRC,
+                "The committee found ... requires further review",
+                "r",
+                "q"
+            )
             .is_ok());
     }
 

@@ -11,11 +11,9 @@ fn bench(c: &mut Criterion) {
         for n in [5usize, 10, 20] {
             let (proof, creds, _) = build(family, n);
             let asm = Assumptions::from_iter(creds.iter());
-            g.bench_with_input(
-                BenchmarkId::new(family.name(), n),
-                &n,
-                |b, _| b.iter(|| check(&proof, &asm).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(family.name(), n), &n, |b, _| {
+                b.iter(|| check(&proof, &asm).unwrap())
+            });
         }
     }
     g.finish();

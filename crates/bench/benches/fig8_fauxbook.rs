@@ -10,8 +10,18 @@ fn bench(c: &mut Criterion) {
     let scenarios: &[(&str, AcMode, MonMode, StoreMode)] = &[
         ("none", AcMode::None, MonMode::None, StoreMode::None),
         ("static_ac", AcMode::Static, MonMode::None, StoreMode::None),
-        ("dynamic_ac", AcMode::Dynamic, MonMode::None, StoreMode::None),
-        ("user_monitor", AcMode::None, MonMode::UserUncached, StoreMode::None),
+        (
+            "dynamic_ac",
+            AcMode::Dynamic,
+            MonMode::None,
+            StoreMode::None,
+        ),
+        (
+            "user_monitor",
+            AcMode::None,
+            MonMode::UserUncached,
+            StoreMode::None,
+        ),
         ("hash", AcMode::None, MonMode::None, StoreMode::Hash),
         ("decrypt", AcMode::None, MonMode::None, StoreMode::Decrypt),
     ];

@@ -6,11 +6,27 @@
 use nexus_bench::{fig4, fig5, fig6, fig7, fig8, table1};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let (iters, pkts, reqs) = if quick { (300, 2_000, 50) } else { (2_000, 20_000, 300) };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = match args.as_slice() {
+        [] => false,
+        [a] if a == "quick" => true,
+        other => {
+            eprintln!("unknown argument(s): {other:?}");
+            eprintln!("usage: reproduce [quick]");
+            std::process::exit(2);
+        }
+    };
+    let (iters, pkts, reqs) = if quick {
+        (300, 2_000, 50)
+    } else {
+        (2_000, 20_000, 300)
+    };
 
     println!("=== Table 1: system call overhead (ns/call) ===");
-    println!("{:<14} {:>12} {:>12} {:>12}", "call", "Nexus bare", "Nexus", "direct");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "call", "Nexus bare", "Nexus", "direct"
+    );
     for row in table1::run(iters) {
         println!(
             "{:<14} {:>12.0} {:>12.0} {:>12.0}",
@@ -21,7 +37,10 @@ fn main() {
     println!("\n=== Figure 4: authorization cost (ns/call) ===");
     println!("{:<12} {:>14} {:>14}", "case", "kernel cache", "no cache");
     for p in fig4::run(iters) {
-        println!("{:<12} {:>14.0} {:>14.0}", p.case, p.cached_ns, p.uncached_ns);
+        println!(
+            "{:<12} {:>14.0} {:>14.0}",
+            p.case, p.cached_ns, p.uncached_ns
+        );
     }
 
     println!("\n=== Figure 5: proof evaluation cost (ns/check) ===");

@@ -21,7 +21,9 @@ fn dir_sloc(dir: &Path) -> usize {
     let mut total = 0;
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&d) else { continue };
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
         for e in entries.flatten() {
             let p = e.path();
             if p.is_dir() {
@@ -47,7 +49,10 @@ fn main() {
         ("bench harness", "crates/bench/src", true),
     ];
     println!("=== Table 2: lines of code per component ===");
-    println!("{:<30} {:>8}   († optional / outside TCB)", "component", "lines");
+    println!(
+        "{:<30} {:>8}   († optional / outside TCB)",
+        "component", "lines"
+    );
     let mut tcb = 0usize;
     let mut total = 0usize;
     for (name, rel, optional) in components {

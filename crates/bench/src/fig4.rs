@@ -30,7 +30,7 @@ fn setup(case: &str, cache: bool) -> (Nexus, u64, ResourceId) {
     // Set up with defaults (auto-prove lets the owner discharge the
     // setgoal default policy); switch to the measured configuration
     // at the end.
-    let mut nexus = boot_with(NexusConfig::default());
+    let nexus = boot_with(NexusConfig::default());
     let pid = nexus.spawn("bench", b"img");
     let object = ResourceId::new("bench", "object");
     nexus.grant_ownership(pid, &object).unwrap();
@@ -132,7 +132,7 @@ fn setup(case: &str, cache: bool) -> (Nexus, u64, ResourceId) {
 }
 
 fn measure_case(case: &'static str, cache: bool, iters: u64) -> f64 {
-    let (mut nexus, pid, object) = setup(case, cache);
+    let (nexus, pid, object) = setup(case, cache);
     if case == "system call" {
         return time_ns(iters, || {
             nexus.syscall(pid, Syscall::Null).unwrap();
@@ -195,7 +195,7 @@ mod tests {
             ("embed auth", true),
             ("auth", true),
         ] {
-            let (mut nexus, pid, object) = setup(case, true);
+            let (nexus, pid, object) = setup(case, true);
             assert_eq!(
                 nexus.authorize(pid, "op", &object).unwrap(),
                 expect,

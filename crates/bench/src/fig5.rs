@@ -95,7 +95,7 @@ pub fn measure(family: Family, n: usize, iters: u64) -> Point {
     let op = OpName::from("op");
     let object = ResourceId::new("bench", "obj");
     let full_ns = time_ns(iters, || {
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = AccessRequest {
             subject: &subject,
             operation: &op,

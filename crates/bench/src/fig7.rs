@@ -56,7 +56,7 @@ pub struct Point {
 
 /// Measure one configuration at one packet size.
 pub fn measure(config: Config, pkt_size: usize, packets: u64) -> Point {
-    let mut nexus = boot_with(NexusConfig::default());
+    let nexus = boot_with(NexusConfig::default());
     let (path, monitor, caching) = match config {
         Config::KernInt => (EchoPath::KernelInterrupt, None, true),
         Config::UserInt => (EchoPath::UserInterrupt, None, true),
@@ -67,19 +67,19 @@ pub fn measure(config: Config, pkt_size: usize, packets: u64) -> Point {
         Config::URefMin => (EchoPath::UserDriver, Some(MonitorLevel::User), true),
         Config::URefMax => (EchoPath::UserDriver, Some(MonitorLevel::User), false),
     };
-    nexus.redirector.caching_enabled = caching;
-    let mut world = EchoWorld::new(&mut nexus, path).expect("echo world");
+    nexus.redirector().set_caching(caching);
+    let mut world = EchoWorld::new(&nexus, path).expect("echo world");
     if let Some(level) = monitor {
-        world.install_monitor(&mut nexus, level).expect("monitor");
+        world.install_monitor(&nexus, level).expect("monitor");
     }
     let frame = vec![0x5au8; pkt_size];
     // Warm-up.
     for _ in 0..32 {
-        world.echo(&mut nexus, &frame).expect("echo");
+        world.echo(&nexus, &frame).expect("echo");
     }
     let start = std::time::Instant::now();
     for _ in 0..packets {
-        world.echo(&mut nexus, &frame).expect("echo");
+        world.echo(&nexus, &frame).expect("echo");
     }
     let secs = start.elapsed().as_secs_f64();
     Point {

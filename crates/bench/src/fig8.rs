@@ -86,7 +86,7 @@ impl WebBench {
     ) -> WebBench {
         // Defaults during setup (auto-prove discharges setgoal);
         // measurement config applied at the end.
-        let mut nexus = boot_with(NexusConfig::default());
+        let nexus = boot_with(NexusConfig::default());
         let pid = nexus.spawn("www", b"www-image");
         let path = "/www/index".to_string();
         let object = ResourceId::file(&path);
@@ -101,7 +101,7 @@ impl WebBench {
             }
             StoreMode::Hash | StoreMode::Decrypt => {
                 let encrypt = if store == StoreMode::Decrypt {
-                    Some(nexus.vkeys.create_symmetric(&mut nexus.tpm))
+                    Some(nexus.vkeys().create_symmetric(&mut nexus.tpm()))
                 } else {
                     None
                 };
@@ -109,16 +109,12 @@ impl WebBench {
                     block_size: 1024,
                     encrypt_with: encrypt,
                 };
-                let Nexus {
-                    ref mut ssrs,
-                    ref mut vdirs,
-                    ref mut disk,
-                    ref mut tpm,
-                    ref vkeys,
-                    ..
-                } = nexus;
-                ssrs.create("www", ssr_cfg, vdirs, tpm).unwrap();
-                ssrs.write_all("www", &body, disk, vdirs, vkeys).unwrap();
+                let mut ssrs = nexus.ssrs();
+                let mut vdirs = nexus.vdirs();
+                ssrs.create("www", ssr_cfg, &mut vdirs, &mut nexus.tpm())
+                    .unwrap();
+                ssrs.write_all("www", &body, &mut *nexus.disk(), &mut vdirs, &nexus.vkeys())
+                    .unwrap();
                 Some("www")
             }
         };
@@ -171,8 +167,9 @@ impl WebBench {
                 nexus
                     .interpose(pid, port, Box::new(PassMonitor), level)
                     .unwrap();
-                nexus.redirector.caching_enabled =
-                    matches!(mon, MonMode::KernelCached | MonMode::UserCached);
+                nexus
+                    .redirector()
+                    .set_caching(matches!(mon, MonMode::KernelCached | MonMode::UserCached));
                 Some(port)
             }
         };
@@ -216,14 +213,16 @@ impl WebBench {
         let body = match self.ssr {
             None => self.nexus.fs_raw().read_all(&self.path).expect("read"),
             Some(name) => {
-                let Nexus {
-                    ref ssrs,
-                    ref vdirs,
-                    ref disk,
-                    ref vkeys,
-                    ..
-                } = self.nexus;
-                ssrs.read_all(name, disk, vdirs, vkeys).expect("ssr read")
+                let ssrs = self.nexus.ssrs();
+                let body = ssrs
+                    .read_all(
+                        name,
+                        &*self.nexus.disk(),
+                        &self.nexus.vdirs(),
+                        &self.nexus.vkeys(),
+                    )
+                    .expect("ssr read");
+                body
             }
         };
         // Dynamic content: the PyLite handler assembles the page.
@@ -287,7 +286,10 @@ pub const SIZES: [usize; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 /// The full sweep.
 pub fn run(reqs: u64) -> Vec<Point> {
     let mut out = Vec::new();
-    for (kind, kname) in [(ServerKind::StaticFiles, "static"), (ServerKind::Python, "www")] {
+    for (kind, kname) in [
+        (ServerKind::StaticFiles, "static"),
+        (ServerKind::Python, "www"),
+    ] {
         for size in SIZES {
             // Column 1: access control.
             for (ac, vname) in [

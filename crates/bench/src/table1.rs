@@ -15,7 +15,7 @@ pub struct Row {
 }
 
 fn prep(cfg: NexusConfig) -> (Nexus, u64, u64) {
-    let mut nexus = boot_with(cfg);
+    let nexus = boot_with(cfg);
     let parent = nexus.spawn("bench-parent", b"img");
     let pid = nexus.spawn_child(parent, "bench", b"img").unwrap();
     nexus.fs_create(pid, "/bench").unwrap();
@@ -65,7 +65,9 @@ fn measure(nexus: &mut Nexus, pid: u64, which: &str, iters: u64) -> f64 {
                 _ => unreachable!(),
             };
             time_ns(iters, || {
-                nexus.syscall(pid, Syscall::Write(fd, vec![0u8; 64])).unwrap();
+                nexus
+                    .syscall(pid, Syscall::Write(fd, vec![0u8; 64]))
+                    .unwrap();
             })
         }
         other => panic!("unknown call {other}"),
@@ -87,7 +89,7 @@ fn measure_direct(nexus: &mut Nexus, pid: u64, parent: u64, which: &str, iters: 
             let _ = std::hint::black_box(std::time::SystemTime::now());
         }),
         "yield" => time_ns(iters, || {
-            nexus.sched.next();
+            nexus.sched().next();
         }),
         "open" => time_ns(iters, || {
             let fd = nexus.fs_raw().open("/bench").unwrap();

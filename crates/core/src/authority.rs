@@ -13,6 +13,7 @@
 //! `A says (Valid(S) → S)` with an authority for `A says Valid(S)`.
 
 use nexus_nal::{Formula, Principal};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,10 +54,12 @@ struct Registered {
 /// The kernel's table of registered authorities, keyed by the
 /// principal whose statements they vouch for (the paper binds
 /// authorities to attested IPC ports; the port-to-principal label is
-/// the kernel's).
+/// the kernel's). Internally synchronized: registration is rare,
+/// queries are the hot path, so the map sits behind a reader-writer
+/// lock and all operations take `&self`.
 #[derive(Default)]
 pub struct AuthorityRegistry {
-    map: HashMap<Principal, Registered>,
+    map: RwLock<HashMap<Principal, Registered>>,
     queries: AtomicU64,
 }
 
@@ -69,35 +72,40 @@ impl AuthorityRegistry {
     /// Register an authority for `principal`'s statements
     /// (the `auth add` control operation of Figure 6).
     pub fn register(
-        &mut self,
+        &self,
         principal: Principal,
         authority: Arc<dyn Authority>,
         kind: AuthorityKind,
     ) {
-        self.map.insert(principal, Registered { authority, kind });
+        self.map
+            .write()
+            .insert(principal, Registered { authority, kind });
     }
 
     /// Remove an authority.
-    pub fn unregister(&mut self, principal: &Principal) -> bool {
-        self.map.remove(principal).is_some()
+    pub fn unregister(&self, principal: &Principal) -> bool {
+        self.map.write().remove(principal).is_some()
     }
 
     /// Is any authority registered for this principal?
     pub fn has(&self, principal: &Principal) -> bool {
-        self.map.contains_key(principal)
+        self.map.read().contains_key(principal)
     }
 
     /// The kind of the registered authority, if any.
     pub fn kind(&self, principal: &Principal) -> Option<AuthorityKind> {
-        self.map.get(principal).map(|r| r.kind)
+        self.map.read().get(principal).map(|r| r.kind)
     }
 
     /// Query: does `principal` currently believe `statement`?
     /// Returns `None` if no authority is registered for `principal`.
+    ///
+    /// The authority runs *outside* the registry lock: a slow
+    /// external authority must not serialize unrelated checks.
     pub fn query(&self, principal: &Principal, statement: &Formula) -> Option<bool> {
-        let reg = self.map.get(principal)?;
+        let authority = Arc::clone(&self.map.read().get(principal)?.authority);
         self.queries.fetch_add(1, Ordering::Relaxed);
-        Some(reg.authority.check(statement))
+        Some(authority.check(statement))
     }
 
     /// Total number of authority queries (statistics).
@@ -121,7 +129,7 @@ mod tests {
 
     #[test]
     fn registry_lookup_and_query() {
-        let mut reg = AuthorityRegistry::new();
+        let reg = AuthorityRegistry::new();
         let ntp = Principal::name("NTP");
         reg.register(
             ntp.clone(),
@@ -147,8 +155,14 @@ mod tests {
         );
         assert!(reg.has(&ntp));
         assert_eq!(reg.kind(&ntp), Some(AuthorityKind::External));
-        assert_eq!(reg.query(&ntp, &parse("TimeNow < 20110319").unwrap()), Some(true));
-        assert_eq!(reg.query(&ntp, &parse("TimeNow < 20110201").unwrap()), Some(false));
+        assert_eq!(
+            reg.query(&ntp, &parse("TimeNow < 20110319").unwrap()),
+            Some(true)
+        );
+        assert_eq!(
+            reg.query(&ntp, &parse("TimeNow < 20110201").unwrap()),
+            Some(false)
+        );
         assert_eq!(
             reg.query(&Principal::name("Nobody"), &parse("x").unwrap()),
             None
@@ -162,7 +176,7 @@ mod tests {
         // stale credentials anywhere.
         let quota = Arc::new(Mutex::new(50u64));
         let q = quota.clone();
-        let mut reg = AuthorityRegistry::new();
+        let reg = AuthorityRegistry::new();
         let fs = Principal::name("Filesystem");
         reg.register(
             fs.clone(),
@@ -179,9 +193,13 @@ mod tests {
 
     #[test]
     fn unregister_removes() {
-        let mut reg = AuthorityRegistry::new();
+        let reg = AuthorityRegistry::new();
         let p = Principal::name("X");
-        reg.register(p.clone(), Arc::new(FnAuthority(|_| true)), AuthorityKind::Embedded);
+        reg.register(
+            p.clone(),
+            Arc::new(FnAuthority(|_| true)),
+            AuthorityKind::Embedded,
+        );
         assert!(reg.unregister(&p));
         assert!(!reg.has(&p));
         assert!(!reg.unregister(&p));

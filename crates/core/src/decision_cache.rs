@@ -12,11 +12,19 @@
 //! subregion rather than the whole cache; a proof update clears a
 //! single entry. Subregion size is configurable and trades off
 //! invalidation cost against collision rate.
+//!
+//! The cache is internally synchronized so the kernel can consult it
+//! from many threads through `&self`: each subregion is its own
+//! mutex-protected shard (a lookup and an invalidation touching
+//! different (operation, object) pairs never contend), statistics are
+//! atomics, and only `resize` takes the table-wide write lock.
 
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::Principal;
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The access-control tuple the cache is indexed by.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -67,27 +75,58 @@ pub struct DecisionCacheStats {
     pub collisions: u64,
 }
 
-/// The decision cache: a direct-mapped table partitioned into
-/// subregions.
-#[derive(Debug)]
-pub struct DecisionCache {
-    slots: Vec<Option<Slot>>,
+/// The sharded slot array: one mutex-protected shard per subregion.
+struct Table {
+    shards: Vec<Mutex<Vec<Option<Slot>>>>,
     subregion_slots: usize,
-    subregions: usize,
-    stats: DecisionCacheStats,
+}
+
+impl Table {
+    fn new(cfg: DecisionCacheConfig) -> Self {
+        let subregion_slots = cfg.subregion_slots.max(1);
+        let subregions = cfg
+            .total_slots
+            .max(subregion_slots)
+            .div_ceil(subregion_slots);
+        Table {
+            shards: (0..subregions)
+                .map(|_| Mutex::new(vec![None; subregion_slots]))
+                .collect(),
+            subregion_slots,
+        }
+    }
+
+    fn subregion_of(&self, operation: &OpName, object: &ResourceId) -> usize {
+        (DecisionCache::hash64(&(operation, object)) as usize) % self.shards.len()
+    }
+
+    /// (shard index, slot-within-shard) for a key.
+    fn position_of(&self, key: &CacheKey) -> (usize, usize) {
+        let sub = self.subregion_of(&key.operation, &key.object);
+        let within = (DecisionCache::hash64(&key.subject) as usize) % self.subregion_slots;
+        (sub, within)
+    }
+}
+
+/// The decision cache: a direct-mapped table partitioned into
+/// per-subregion shards, safe to share across threads.
+pub struct DecisionCache {
+    table: RwLock<Table>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl DecisionCache {
     /// Build with the given configuration.
     pub fn new(cfg: DecisionCacheConfig) -> Self {
-        let subregion_slots = cfg.subregion_slots.max(1);
-        let subregions = (cfg.total_slots.max(subregion_slots) + subregion_slots - 1)
-            / subregion_slots;
         DecisionCache {
-            slots: vec![None; subregions * subregion_slots],
-            subregion_slots,
-            subregions,
-            stats: DecisionCacheStats::default(),
+            table: RwLock::new(Table::new(cfg)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -97,93 +136,115 @@ impl DecisionCache {
         h.finish()
     }
 
-    /// Subregion index: depends only on (operation, object), so a
-    /// `setgoal` on that pair invalidates exactly one subregion.
-    fn subregion_of(&self, operation: &OpName, object: &ResourceId) -> usize {
-        (Self::hash64(&(operation, object)) as usize) % self.subregions
-    }
-
-    fn slot_of(&self, key: &CacheKey) -> usize {
-        let sub = self.subregion_of(&key.operation, &key.object);
-        let within = (Self::hash64(&key.subject) as usize) % self.subregion_slots;
-        sub * self.subregion_slots + within
-    }
-
     /// Look up a cached decision.
-    pub fn lookup(&mut self, key: &CacheKey) -> Option<bool> {
-        let idx = self.slot_of(key);
-        match &self.slots[idx] {
+    pub fn lookup(&self, key: &CacheKey) -> Option<bool> {
+        let table = self.table.read();
+        let (sub, within) = table.position_of(key);
+        let shard = table.shards[sub].lock();
+        match &shard[within] {
             Some(slot) if &slot.key == key => {
-                self.stats.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(slot.allow)
             }
             _ => {
-                self.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     /// Insert a (cacheable) decision.
-    pub fn insert(&mut self, key: CacheKey, allow: bool) {
-        let idx = self.slot_of(&key);
-        if let Some(existing) = &self.slots[idx] {
+    pub fn insert(&self, key: CacheKey, allow: bool) {
+        self.insert_if(key, allow, || true);
+    }
+
+    /// Insert a decision only if `valid` still holds *inside* the
+    /// shard lock. This closes the lost-invalidation race: an
+    /// invalidation (e.g. `setgoal`) that bumped its epoch before the
+    /// insert either already cleared the shard (then `valid` observes
+    /// the bump and the insert is skipped) or is still waiting on the
+    /// shard lock (then it clears this entry right after). Returns
+    /// whether the entry was stored.
+    pub fn insert_if(&self, key: CacheKey, allow: bool, valid: impl FnOnce() -> bool) -> bool {
+        let table = self.table.read();
+        let (sub, within) = table.position_of(&key);
+        let mut shard = table.shards[sub].lock();
+        if !valid() {
+            return false;
+        }
+        if let Some(existing) = &shard[within] {
             if existing.key != key {
-                self.stats.collisions += 1;
+                self.collisions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.slots[idx] = Some(Slot { key, allow });
+        shard[within] = Some(Slot { key, allow });
+        true
     }
 
     /// Invalidate the single entry for `key` — a proof update (§2.8:
     /// "On a proof update, the kernel clears a single entry").
-    pub fn invalidate_entry(&mut self, key: &CacheKey) {
-        let idx = self.slot_of(key);
-        if let Some(slot) = &self.slots[idx] {
+    pub fn invalidate_entry(&self, key: &CacheKey) {
+        let table = self.table.read();
+        let (sub, within) = table.position_of(key);
+        let mut shard = table.shards[sub].lock();
+        if let Some(slot) = &shard[within] {
             if &slot.key == key {
-                self.slots[idx] = None;
-                self.stats.invalidations += 1;
+                shard[within] = None;
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     /// Invalidate the whole subregion for (operation, object) — a
     /// `setgoal` may affect many subjects, but they all hash into one
-    /// subregion.
-    pub fn invalidate_subregion(&mut self, operation: &OpName, object: &ResourceId) {
-        let sub = self.subregion_of(operation, object);
-        let base = sub * self.subregion_slots;
-        for slot in &mut self.slots[base..base + self.subregion_slots] {
+    /// subregion, so the invalidation takes exactly one shard lock.
+    pub fn invalidate_subregion(&self, operation: &OpName, object: &ResourceId) {
+        let table = self.table.read();
+        let sub = table.subregion_of(operation, object);
+        let mut shard = table.shards[sub].lock();
+        for slot in shard.iter_mut() {
             if slot.is_some() {
                 *slot = None;
-                self.stats.invalidations += 1;
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Drop everything (used on resize; the cache is soft state).
-    pub fn clear(&mut self) {
-        for slot in &mut self.slots {
-            *slot = None;
+    /// Drop everything (the cache is soft state).
+    pub fn clear(&self) {
+        let table = self.table.read();
+        for shard in &table.shards {
+            for slot in shard.lock().iter_mut() {
+                *slot = None;
+            }
         }
     }
 
     /// Resize at runtime (§2.8: "the cache can be resized at
-    /// runtime"). Contents are discarded — it is a cache.
-    pub fn resize(&mut self, cfg: DecisionCacheConfig) {
-        let stats = self.stats;
-        *self = DecisionCache::new(cfg);
-        self.stats = stats;
+    /// runtime"). Contents are discarded — it is a cache; statistics
+    /// survive.
+    pub fn resize(&self, cfg: DecisionCacheConfig) {
+        *self.table.write() = Table::new(cfg);
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> DecisionCacheStats {
-        self.stats
+        DecisionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        let table = self.table.read();
+        table
+            .shards
+            .iter()
+            .map(|s| s.lock().iter().filter(|slot| slot.is_some()).count())
+            .sum()
     }
 
     /// True if no live entries.
@@ -193,7 +254,13 @@ impl DecisionCache {
 
     /// Number of subregions (for ablation benchmarks).
     pub fn subregion_count(&self) -> usize {
-        self.subregions
+        self.table.read().shards.len()
+    }
+
+    /// Subregion index of an (operation, object) pair (test support:
+    /// lets tests detect accidental subregion sharing).
+    pub fn subregion_of(&self, operation: &OpName, object: &ResourceId) -> usize {
+        self.table.read().subregion_of(operation, object)
     }
 }
 
@@ -206,6 +273,7 @@ impl Default for DecisionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn key(s: &str, op: &str, obj: &str) -> CacheKey {
         CacheKey {
@@ -217,7 +285,7 @@ mod tests {
 
     #[test]
     fn insert_lookup_roundtrip() {
-        let mut c = DecisionCache::default();
+        let c = DecisionCache::default();
         let k = key("alice", "read", "file:/x");
         assert_eq!(c.lookup(&k), None);
         c.insert(k.clone(), true);
@@ -228,7 +296,7 @@ mod tests {
 
     #[test]
     fn entry_invalidation_clears_one() {
-        let mut c = DecisionCache::default();
+        let c = DecisionCache::default();
         let k1 = key("alice", "read", "file:/x");
         let k2 = key("bob", "read", "file:/x");
         c.insert(k1.clone(), true);
@@ -240,7 +308,7 @@ mod tests {
 
     #[test]
     fn subregion_invalidation_clears_all_subjects_of_pair() {
-        let mut c = DecisionCache::default();
+        let c = DecisionCache::default();
         // Many subjects on one (op, object): all land in one subregion.
         let subjects: Vec<CacheKey> = (0..10)
             .map(|i| key(&format!("user{i}"), "read", "file:/shared"))
@@ -268,7 +336,7 @@ mod tests {
 
     #[test]
     fn collisions_are_counted_and_displace() {
-        let mut c = DecisionCache::new(DecisionCacheConfig {
+        let c = DecisionCache::new(DecisionCacheConfig {
             total_slots: 4,
             subregion_slots: 2,
         });
@@ -282,7 +350,7 @@ mod tests {
 
     #[test]
     fn resize_preserves_stats_but_drops_entries() {
-        let mut c = DecisionCache::default();
+        let c = DecisionCache::default();
         let k = key("a", "op", "o");
         c.insert(k.clone(), true);
         c.lookup(&k);
@@ -297,7 +365,7 @@ mod tests {
 
     #[test]
     fn negative_decisions_cacheable_too() {
-        let mut c = DecisionCache::default();
+        let c = DecisionCache::default();
         let k = key("mallory", "write", "file:/x");
         c.insert(k.clone(), false);
         assert_eq!(c.lookup(&k), Some(false));
@@ -305,10 +373,77 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut c = DecisionCache::default();
+        let c = DecisionCache::default();
         c.insert(key("a", "r", "o"), true);
         assert!(!c.is_empty());
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Arc::new(DecisionCache::default());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let k = key(&format!("user{t}"), "read", &format!("file:/t{t}/f{i}"));
+                    c.insert(k.clone(), true);
+                    // Another thread's insert may displace this slot
+                    // (direct-mapped table, hash collisions are legal)
+                    // — but a lookup must never return a *wrong*
+                    // decision, only a hit-with-our-value or a miss.
+                    assert_ne!(c.lookup(&k), Some(false));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every loop iteration did exactly one lookup.
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 200);
+    }
+
+    #[test]
+    fn concurrent_subregion_invalidation_never_yields_stale_hits() {
+        // Writers keep inserting allow=true for one (op, object) pair
+        // while an invalidator clears the subregion; afterwards a
+        // final invalidation must leave no entry behind.
+        let c = Arc::new(DecisionCache::default());
+        let op = OpName::from("read");
+        let obj = ResourceId("file:/hot".into());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    c.insert(key(&format!("u{t}-{i}"), "read", "file:/hot"), true);
+                }
+            }));
+        }
+        {
+            let c = Arc::clone(&c);
+            let op = op.clone();
+            let obj = obj.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    c.invalidate_subregion(&op, &obj);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.invalidate_subregion(&op, &obj);
+        for t in 0..4 {
+            for i in 0..500 {
+                assert_eq!(
+                    c.lookup(&key(&format!("u{t}-{i}"), "read", "file:/hot")),
+                    None
+                );
+            }
+        }
     }
 }

@@ -13,7 +13,9 @@
 
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::{Formula, Principal};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A goal plus its vectoring information.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,11 +31,14 @@ pub struct GoalEntry {
     pub epoch: u64,
 }
 
-/// The kernel's table of goal formulas.
+/// The kernel's table of goal formulas. Internally synchronized:
+/// `setgoal` is a control operation, goal lookup is on every
+/// authorization, so the table sits behind a reader-writer lock and
+/// all operations take `&self`.
 #[derive(Debug, Default)]
 pub struct GoalStore {
-    goals: HashMap<(ResourceId, OpName), GoalEntry>,
-    epoch: u64,
+    goals: RwLock<HashMap<(ResourceId, OpName), GoalEntry>>,
+    epoch: AtomicU64,
 }
 
 impl GoalStore {
@@ -44,38 +49,43 @@ impl GoalStore {
 
     /// The `setgoal` system call. Returns the new epoch.
     pub fn set_goal(
-        &mut self,
+        &self,
         resource: ResourceId,
         op: OpName,
         formula: Formula,
         guard_port: Option<u64>,
     ) -> u64 {
-        self.epoch += 1;
-        self.goals.insert(
+        // Take the write lock first so the epoch order matches the
+        // table order observed by readers.
+        let mut goals = self.goals.write();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        goals.insert(
             (resource, op),
             GoalEntry {
                 formula,
                 guard_port,
-                epoch: self.epoch,
+                epoch,
             },
         );
-        self.epoch
+        epoch
     }
 
     /// Remove a goal (`goal clr` in Figure 6). Returns the new epoch,
     /// or `None` if there was nothing to clear.
-    pub fn clear_goal(&mut self, resource: &ResourceId, op: &OpName) -> Option<u64> {
-        self.goals
+    pub fn clear_goal(&self, resource: &ResourceId, op: &OpName) -> Option<u64> {
+        let mut goals = self.goals.write();
+        goals
             .remove(&(resource.clone(), op.clone()))
-            .map(|_| {
-                self.epoch += 1;
-                self.epoch
-            })
+            .map(|_| self.epoch.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// Look up the goal for an (operation, resource) pair.
-    pub fn get(&self, resource: &ResourceId, op: &OpName) -> Option<&GoalEntry> {
-        self.goals.get(&(resource.clone(), op.clone()))
+    /// Look up the goal for an (operation, resource) pair (cloned out
+    /// of the store, so no lock is held while the guard runs).
+    pub fn get(&self, resource: &ResourceId, op: &OpName) -> Option<GoalEntry> {
+        self.goals
+            .read()
+            .get(&(resource.clone(), op.clone()))
+            .cloned()
     }
 
     /// The effective goal: the stored formula, or the default policy
@@ -87,7 +97,7 @@ impl GoalStore {
         op: &OpName,
     ) -> Formula {
         match self.get(resource, op) {
-            Some(entry) => entry.formula.clone(),
+            Some(entry) => entry.formula,
             None => Self::default_goal(resource_manager, resource, op),
         }
     }
@@ -104,17 +114,17 @@ impl GoalStore {
 
     /// Number of goals set.
     pub fn len(&self) -> usize {
-        self.goals.len()
+        self.goals.read().len()
     }
 
     /// True if no goals set.
     pub fn is_empty(&self) -> bool {
-        self.goals.is_empty()
+        self.goals.read().is_empty()
     }
 
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Relaxed)
     }
 }
 
@@ -125,7 +135,7 @@ mod tests {
 
     #[test]
     fn set_get_clear() {
-        let mut gs = GoalStore::new();
+        let gs = GoalStore::new();
         let r = ResourceId::file("/secret");
         let op = OpName::from("read");
         let f = parse("Owner says TimeNow < 20110319").unwrap();
@@ -148,7 +158,7 @@ mod tests {
 
     #[test]
     fn effective_goal_falls_back_to_default() {
-        let mut gs = GoalStore::new();
+        let gs = GoalStore::new();
         let fs = Principal::name("FS");
         let r = ResourceId::file("/f");
         let op = OpName::from("read");
@@ -161,7 +171,7 @@ mod tests {
 
     #[test]
     fn per_operation_goals_are_independent() {
-        let mut gs = GoalStore::new();
+        let gs = GoalStore::new();
         let r = ResourceId::vkey(1);
         // Group signatures (§3.3): different goals for sign vs
         // externalize on the same key.
@@ -188,14 +198,12 @@ mod tests {
         // Footnote 2: a bad application can set an unsatisfiable goal
         // on its own resource. The goalstore does not prevent this —
         // there is no superuser.
-        let mut gs = GoalStore::new();
+        let gs = GoalStore::new();
         let r = ResourceId::file("/mine");
-        gs.set_goal(
-            r.clone(),
-            OpName::from("read"),
-            Formula::False,
-            None,
+        gs.set_goal(r.clone(), OpName::from("read"), Formula::False, None);
+        assert_eq!(
+            gs.get(&r, &OpName::from("read")).unwrap().formula,
+            Formula::False
         );
-        assert_eq!(gs.get(&r, &OpName::from("read")).unwrap().formula, Formula::False);
     }
 }

@@ -20,8 +20,10 @@ use crate::error::CoreError;
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::check::{check, normalize, Assumptions};
 use nexus_nal::{CheckError, Formula, Principal, Proof, Subst, Term};
+use parking_lot::Mutex;
 use sha2::{Digest as _, Sha256};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A guarded access request.
 #[derive(Debug, Clone)]
@@ -136,14 +138,27 @@ struct CachedCheck {
     owner: Principal,
 }
 
-/// The guard.
-pub struct Guard {
-    cfg: GuardCacheConfig,
-    cache: HashMap<(u64, u64), CachedCheck>,
+/// The guard's memoization state, updated as one unit under a lock.
+#[derive(Default)]
+struct GuardCache {
+    entries: HashMap<(u64, u64), CachedCheck>,
     /// Insertion order per owning root principal, for preferential
     /// eviction.
     order: HashMap<Principal, VecDeque<(u64, u64)>>,
-    stats: GuardStats,
+}
+
+/// The guard. Internally synchronized: `check` takes `&self`, so one
+/// guard can serve concurrent requests (the memo cache is a mutex,
+/// statistics are atomics, and everything else is immutable
+/// configuration).
+pub struct Guard {
+    cfg: GuardCacheConfig,
+    cache: Mutex<GuardCache>,
+    checks: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    authority_queries: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Guard {
@@ -156,9 +171,12 @@ impl Guard {
     pub fn with_config(cfg: GuardCacheConfig) -> Self {
         Guard {
             cfg,
-            cache: HashMap::new(),
-            order: HashMap::new(),
-            stats: GuardStats::default(),
+            cache: Mutex::new(GuardCache::default()),
+            checks: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            authority_queries: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -177,12 +195,12 @@ impl Guard {
     /// `authorities` supplies the registry used to validate leaves
     /// that reference dynamic state.
     pub fn check(
-        &mut self,
+        &self,
         req: &AccessRequest<'_>,
         goal: &Formula,
         authorities: &AuthorityRegistry,
     ) -> Decision {
-        self.stats.checks += 1;
+        self.checks.fetch_add(1, Ordering::Relaxed);
         let goal = Self::instantiate_goal(goal, req);
         // Trivial goals need no proof: `true` is the "default ALLOW"
         // policy of Figure 4's `no goal` case.
@@ -228,7 +246,7 @@ impl Guard {
             // registered authority for P.
             if let Formula::Says(p, s) = leaf {
                 if let Some(answer) = authorities.query(p, s) {
-                    self.stats.authority_queries += 1;
+                    self.authority_queries.fetch_add(1, Ordering::Relaxed);
                     cacheable = false; // dynamic state ⇒ uncacheable
                     if answer {
                         continue;
@@ -245,19 +263,22 @@ impl Guard {
     /// never changes, so the (proof, goal-independent) result and the
     /// leaf list are cached keyed by proof digest.
     fn check_structure(
-        &mut self,
+        &self,
         proof: &Proof,
         _goal: &Formula,
         subject: &Principal,
     ) -> (Result<Formula, CheckError>, Vec<Formula>) {
         let key = (Self::digest_proof(proof), 0u64);
-        if let Some(hit) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
+        if let Some(hit) = self.cache.lock().entries.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return (hit.result.clone(), hit.leaves.clone());
         }
-        self.stats.cache_misses += 1;
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         // Validate rule applications with the proof's own leaves
-        // admitted; credential presence is checked separately.
+        // admitted; credential presence is checked separately. The
+        // lock is *not* held across the check itself — concurrent
+        // checks of the same fresh proof just both do the work and
+        // insert identical entries.
         let leaves: Vec<Formula> = proof.leaves().into_iter().cloned().collect();
         let asm = Assumptions::from_iter(leaves.iter());
         let result = check(proof, &asm);
@@ -280,57 +301,71 @@ impl Guard {
         u64::from_le_bytes(out[..8].try_into().expect("sha256 is 32 bytes"))
     }
 
-    fn insert_cached(&mut self, key: (u64, u64), value: CachedCheck) {
+    fn insert_cached(&self, key: (u64, u64), value: CachedCheck) {
         let owner = value.owner.clone();
+        let mut cache = self.cache.lock();
+        // Concurrent misses on the same fresh proof race to insert
+        // the same memo; the loser must not push a duplicate key into
+        // the eviction queue (it would corrupt quota accounting).
+        if cache.entries.contains_key(&key) {
+            return;
+        }
         // Per-principal quota: evict the same principal's oldest.
-        let own_queue_len = self.order.get(&owner).map(|q| q.len()).unwrap_or(0);
+        let own_queue_len = cache.order.get(&owner).map(|q| q.len()).unwrap_or(0);
         if own_queue_len >= self.cfg.per_principal_quota {
-            self.evict_from(&owner.clone());
-        } else if self.cache.len() >= self.cfg.capacity {
+            self.evict_from(&mut cache, &owner);
+        } else if cache.entries.len() >= self.cfg.capacity {
             // Prefer evicting the requesting principal's own entries
             // (§2.9), falling back to the heaviest user.
             if own_queue_len > 0 {
-                self.evict_from(&owner.clone());
-            } else if let Some(heaviest) = self
+                self.evict_from(&mut cache, &owner);
+            } else if let Some(heaviest) = cache
                 .order
                 .iter()
                 .max_by_key(|(_, q)| q.len())
                 .map(|(p, _)| p.clone())
             {
-                self.evict_from(&heaviest);
+                self.evict_from(&mut cache, &heaviest);
             }
         }
-        self.order.entry(owner).or_default().push_back(key);
-        self.cache.insert(key, value);
+        cache.order.entry(owner).or_default().push_back(key);
+        cache.entries.insert(key, value);
     }
 
-    fn evict_from(&mut self, owner: &Principal) {
-        if let Some(queue) = self.order.get_mut(owner) {
+    fn evict_from(&self, cache: &mut GuardCache, owner: &Principal) {
+        if let Some(queue) = cache.order.get_mut(owner) {
             if let Some(old) = queue.pop_front() {
-                self.cache.remove(&old);
-                self.stats.evictions += 1;
+                cache.entries.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
             if queue.is_empty() {
-                self.order.remove(owner);
+                cache.order.remove(owner);
             }
         }
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> GuardStats {
-        self.stats
+        GuardStats {
+            checks: self.checks.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            authority_queries: self.authority_queries.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Current number of memoized checks.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.cache.lock().entries.len()
     }
 
     /// Drop all memoized state (it is soft state; correctness is
     /// unaffected, §2.9).
-    pub fn flush_cache(&mut self) {
-        self.cache.clear();
-        self.order.clear();
+    pub fn flush_cache(&self) {
+        let mut cache = self.cache.lock();
+        cache.entries.clear();
+        cache.order.clear();
     }
 }
 
@@ -347,7 +382,7 @@ pub fn check_once(
     goal: &Formula,
     authorities: &AuthorityRegistry,
 ) -> Result<Decision, CoreError> {
-    let mut g = Guard::with_config(GuardCacheConfig {
+    let g = Guard::with_config(GuardCacheConfig {
         capacity: 1,
         per_principal_quota: 1,
     });
@@ -392,7 +427,7 @@ mod tests {
         let labels = vec![parse("Owner says ok").unwrap()];
         let goal = parse("Owner says ok").unwrap();
         let proof = prove(&goal, &labels, ProverConfig::default()).unwrap();
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &labels);
         let d = guard.check(&req, &goal, &AuthorityRegistry::new());
         assert!(d.allow);
@@ -404,7 +439,7 @@ mod tests {
         let s = subject();
         let (op, obj) = req_parts();
         let goal = parse("Owner says ok").unwrap();
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, None, &[]);
         let d = guard.check(&req, &goal, &AuthorityRegistry::new());
         assert!(!d.allow);
@@ -415,7 +450,7 @@ mod tests {
     fn true_goal_allows_without_proof() {
         let s = subject();
         let (op, obj) = req_parts();
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, None, &[]);
         let d = guard.check(&req, &Formula::True, &AuthorityRegistry::new());
         assert!(d.allow);
@@ -430,7 +465,7 @@ mod tests {
         // AndElimL applied to a non-conjunction.
         let bad = Proof::AndElimL(Box::new(Proof::assume(parse("Owner says ok").unwrap())));
         let labels = vec![parse("Owner says ok").unwrap()];
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&bad), &labels);
         let d = guard.check(&req, &goal, &AuthorityRegistry::new());
         assert!(!d.allow);
@@ -444,7 +479,7 @@ mod tests {
         let goal = parse("Owner says ok").unwrap();
         let labels = vec![parse("Owner says other").unwrap()];
         let proof = Proof::assume(parse("Owner says other").unwrap());
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &labels);
         let d = guard.check(&req, &goal, &AuthorityRegistry::new());
         assert!(!d.allow);
@@ -458,7 +493,7 @@ mod tests {
         let goal = parse("Owner says ok").unwrap();
         let proof = Proof::assume(parse("Owner says ok").unwrap());
         // Proof references a label the client does not hold.
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &[]);
         let d = guard.check(&req, &goal, &AuthorityRegistry::new());
         assert!(!d.allow);
@@ -471,7 +506,7 @@ mod tests {
         let (op, obj) = req_parts();
         let goal = parse("NTP says TimeNow < 20110319").unwrap();
         let proof = Proof::assume(goal.clone());
-        let mut reg = AuthorityRegistry::new();
+        let reg = AuthorityRegistry::new();
         reg.register(
             Principal::name("NTP"),
             Arc::new(FnAuthority(|s: &Formula| {
@@ -479,7 +514,7 @@ mod tests {
             })),
             AuthorityKind::External,
         );
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &[]);
         let d = guard.check(&req, &goal, &reg);
         assert!(d.allow);
@@ -492,13 +527,13 @@ mod tests {
         let (op, obj) = req_parts();
         let goal = parse("NTP says TimeNow < 20110319").unwrap();
         let proof = Proof::assume(goal.clone());
-        let mut reg = AuthorityRegistry::new();
+        let reg = AuthorityRegistry::new();
         reg.register(
             Principal::name("NTP"),
             Arc::new(FnAuthority(|_| false)),
             AuthorityKind::External,
         );
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &[]);
         let d = guard.check(&req, &goal, &reg);
         assert!(!d.allow);
@@ -513,7 +548,7 @@ mod tests {
         let goal = parse("$subject says openFile($object)").unwrap();
         let labels = vec![parse("/proc/ipd/12 says openFile(file:/secret)").unwrap()];
         let proof = Proof::assume(labels[0].clone());
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &labels);
         let d = guard.check(&req, &goal, &AuthorityRegistry::new());
         assert!(d.allow, "reason: {:?}", d.reason);
@@ -532,7 +567,7 @@ mod tests {
         let goal = parse("Owner says ok").unwrap();
         let labels = vec![goal.clone()];
         let proof = Proof::assume(goal.clone());
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &labels);
         guard.check(&req, &goal, &AuthorityRegistry::new());
         guard.check(&req, &goal, &AuthorityRegistry::new());
@@ -552,7 +587,7 @@ mod tests {
         let goal = parse("Owner says ok").unwrap();
         let labels = vec![goal.clone()];
         let proof = Proof::assume(goal.clone());
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &labels);
         assert!(guard.check(&req, &goal, &AuthorityRegistry::new()).allow);
         let req2 = build_req(&s, &op, &obj, Some(&proof), &[]);
@@ -567,7 +602,7 @@ mod tests {
             capacity: 8,
             per_principal_quota: 2,
         };
-        let mut guard = Guard::with_config(cfg);
+        let guard = Guard::with_config(cfg);
         let (op, obj) = req_parts();
         let reg = AuthorityRegistry::new();
         // One principal floods the cache with distinct proofs.
@@ -592,7 +627,7 @@ mod tests {
         let goal = parse("Owner says ok").unwrap();
         let labels = vec![goal.clone()];
         let proof = Proof::assume(goal.clone());
-        let mut guard = Guard::new();
+        let guard = Guard::new();
         let req = build_req(&s, &op, &obj, Some(&proof), &labels);
         assert!(guard.check(&req, &goal, &AuthorityRegistry::new()).allow);
         guard.flush_cache();

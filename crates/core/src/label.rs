@@ -55,11 +55,7 @@ impl LabelStore {
     /// that a process speaks only in its own name — or that of its
     /// subprincipals (a process may mint statements for objects it
     /// implements, just as the filesystem speaks for `FS./dir/file`).
-    pub fn say(
-        &mut self,
-        caller: &Principal,
-        statement: &str,
-    ) -> Result<LabelHandle, CoreError> {
+    pub fn say(&mut self, caller: &Principal, statement: &str) -> Result<LabelHandle, CoreError> {
         let f = parse(statement)?;
         self.say_parsed(caller, caller.clone(), f)
     }
@@ -151,11 +147,8 @@ impl LabelStore {
     /// All label formulas in the store — what gets handed to the guard
     /// as the credential set.
     pub fn formulas(&self) -> Vec<Formula> {
-        let mut v: Vec<(u64, Formula)> = self
-            .labels
-            .iter()
-            .map(|(h, l)| (*h, l.formula()))
-            .collect();
+        let mut v: Vec<(u64, Formula)> =
+            self.labels.iter().map(|(h, l)| (*h, l.formula())).collect();
         v.sort_by_key(|(h, _)| *h);
         v.into_iter().map(|(_, f)| f).collect()
     }

@@ -30,6 +30,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `CoreError` embeds the offending formulas/proof context so denials
+// are auditable; error paths are cold, so the large variants are a
+// deliberate trade.
+#![allow(clippy::result_large_err)]
 
 pub mod authority;
 pub mod credential;

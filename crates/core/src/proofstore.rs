@@ -9,12 +9,19 @@
 use crate::decision_cache::CacheKey;
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::{Principal, Proof};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Proofs keyed by access-control tuple.
+/// Proofs keyed by access-control tuple. Internally synchronized so
+/// the kernel can install and fetch proofs through `&self` from many
+/// threads.
 #[derive(Debug, Default)]
 pub struct ProofStore {
-    proofs: HashMap<CacheKey, Proof>,
+    proofs: RwLock<HashMap<CacheKey, Proof>>,
+    /// Bumped on every update — consumed by the kernel to detect
+    /// concurrent proof changes when filling the decision cache.
+    epoch: AtomicU64,
 }
 
 impl ProofStore {
@@ -26,7 +33,7 @@ impl ProofStore {
     /// Install (or replace) the proof for a tuple. Returns the cache
     /// key so the caller can invalidate the decision cache.
     pub fn set_proof(
-        &mut self,
+        &self,
         subject: Principal,
         operation: OpName,
         object: ResourceId,
@@ -37,13 +44,15 @@ impl ProofStore {
             operation,
             object,
         };
-        self.proofs.insert(key.clone(), proof);
+        let mut proofs = self.proofs.write();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        proofs.insert(key.clone(), proof);
         key
     }
 
     /// Remove the proof for a tuple.
     pub fn clear_proof(
-        &mut self,
+        &self,
         subject: &Principal,
         operation: &OpName,
         object: &ResourceId,
@@ -53,32 +62,42 @@ impl ProofStore {
             operation: operation.clone(),
             object: object.clone(),
         };
-        self.proofs.remove(&key).map(|_| key)
+        let mut proofs = self.proofs.write();
+        proofs.remove(&key).map(|_| {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+            key
+        })
     }
 
-    /// Fetch the stored proof.
+    /// Update epoch (monotonic; bumped on every set/clear).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Fetch the stored proof (cloned out of the store, so no lock is
+    /// held while the guard checks it).
     pub fn get(
         &self,
         subject: &Principal,
         operation: &OpName,
         object: &ResourceId,
-    ) -> Option<&Proof> {
+    ) -> Option<Proof> {
         let key = CacheKey {
             subject: subject.clone(),
             operation: operation.clone(),
             object: object.clone(),
         };
-        self.proofs.get(&key)
+        self.proofs.read().get(&key).cloned()
     }
 
     /// Number of stored proofs.
     pub fn len(&self) -> usize {
-        self.proofs.len()
+        self.proofs.read().len()
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.proofs.is_empty()
+        self.proofs.read().is_empty()
     }
 }
 
@@ -89,13 +108,13 @@ mod tests {
 
     #[test]
     fn set_get_clear() {
-        let mut ps = ProofStore::new();
+        let ps = ProofStore::new();
         let subject = Principal::name("alice");
         let op = OpName::from("read");
         let obj = ResourceId::file("/x");
         let proof = Proof::assume(parse("A says p").unwrap());
         ps.set_proof(subject.clone(), op.clone(), obj.clone(), proof.clone());
-        assert_eq!(ps.get(&subject, &op, &obj), Some(&proof));
+        assert_eq!(ps.get(&subject, &op, &obj), Some(proof.clone()));
         assert!(ps.clear_proof(&subject, &op, &obj).is_some());
         assert!(ps.get(&subject, &op, &obj).is_none());
         assert!(ps.clear_proof(&subject, &op, &obj).is_none());
@@ -103,7 +122,7 @@ mod tests {
 
     #[test]
     fn proofs_are_per_tuple() {
-        let mut ps = ProofStore::new();
+        let ps = ProofStore::new();
         let a = Principal::name("a");
         let b = Principal::name("b");
         let op = OpName::from("read");
@@ -112,8 +131,8 @@ mod tests {
         let pb = Proof::assume(parse("B says q").unwrap());
         ps.set_proof(a.clone(), op.clone(), obj.clone(), pa.clone());
         ps.set_proof(b.clone(), op.clone(), obj.clone(), pb.clone());
-        assert_eq!(ps.get(&a, &op, &obj), Some(&pa));
-        assert_eq!(ps.get(&b, &op, &obj), Some(&pb));
+        assert_eq!(ps.get(&a, &op, &obj), Some(pa.clone()));
+        assert_eq!(ps.get(&b, &op, &obj), Some(pb.clone()));
         assert_eq!(ps.len(), 2);
     }
 }

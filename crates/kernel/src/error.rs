@@ -21,6 +21,10 @@ pub enum KernelError {
         /// The monitor that blocked it.
         monitor: String,
     },
+    /// Interposition machinery failed (e.g. call marshaling): the
+    /// call must fail rather than reach monitors with a bogus
+    /// payload.
+    Interpose(String),
     /// No such file or directory.
     NoSuchFile(String),
     /// File already exists.
@@ -47,6 +51,7 @@ impl fmt::Display for KernelError {
             KernelError::WouldBlock => write!(f, "operation would block"),
             KernelError::AccessDenied { reason } => write!(f, "access denied: {reason}"),
             KernelError::Blocked { monitor } => write!(f, "blocked by monitor {monitor}"),
+            KernelError::Interpose(m) => write!(f, "interposition failure: {m}"),
             KernelError::NoSuchFile(p) => write!(f, "no such file: {p}"),
             KernelError::FileExists(p) => write!(f, "file exists: {p}"),
             KernelError::BadFd(fd) => write!(f, "bad file descriptor: {fd}"),

@@ -78,7 +78,10 @@ impl RamFs {
 
     /// Close a descriptor.
     pub fn close(&mut self, fd: u64) -> Result<(), KernelError> {
-        self.fds.remove(&fd).map(|_| ()).ok_or(KernelError::BadFd(fd))
+        self.fds
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(KernelError::BadFd(fd))
     }
 
     /// Path behind a descriptor.
@@ -197,7 +200,10 @@ mod tests {
     fn create_duplicate_rejected() {
         let mut fs = RamFs::new();
         fs.create("/a", 1).unwrap();
-        assert!(matches!(fs.create("/a", 2), Err(KernelError::FileExists(_))));
+        assert!(matches!(
+            fs.create("/a", 2),
+            Err(KernelError::FileExists(_))
+        ));
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! with its environment. Interpositioning composes: multiple monitors
 //! stack on one channel, and `interpose` itself can be monitored.
 
+use crate::error::KernelError;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A call crossing an interposed channel.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,7 +64,10 @@ pub enum MonitorLevel {
 }
 
 struct Installed {
-    interceptor: Box<dyn Interceptor>,
+    /// Each monitor carries its own lock: the chain is traversed
+    /// under a read lock, and stateful monitors (`on_call` takes
+    /// `&mut self`) serialize only on themselves.
+    interceptor: Mutex<Box<dyn Interceptor>>,
     level: MonitorLevel,
 }
 
@@ -78,111 +84,152 @@ pub enum ChainOutcome {
 }
 
 /// The kernel's redirector table: per-channel monitor chains plus a
-/// verdict cache.
-#[derive(Default)]
+/// verdict cache. Internally synchronized — `dispatch` takes `&self`
+/// so interposed channels can carry traffic from many threads; the
+/// chain map is read-mostly (a reader-writer lock), each monitor has
+/// its own lock, and the verdict cache is a mutex.
 pub struct Redirector {
-    chains: HashMap<u64, Vec<Installed>>,
+    chains: RwLock<HashMap<u64, Vec<Installed>>>,
     /// Verdict cache keyed by (port, subject, operation, object) —
     /// only consulted/filled when every monitor on the chain is
     /// cacheable. This is the decision caching whose effect Figure 7
     /// measures (`min` vs `max`).
-    cache: HashMap<(u64, u64, String, String), ChainOutcome>,
+    cache: Mutex<HashMap<(u64, u64, String, String), ChainOutcome>>,
     /// Global switch for the verdict cache.
-    pub caching_enabled: bool,
-    hits: u64,
-    invocations: u64,
+    caching_enabled: AtomicBool,
+    hits: AtomicU64,
+    invocations: AtomicU64,
+}
+
+impl Default for Redirector {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Redirector {
     /// Empty table with caching enabled.
     pub fn new() -> Self {
         Redirector {
-            caching_enabled: true,
-            ..Default::default()
+            chains: RwLock::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            caching_enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
         }
+    }
+
+    /// Enable or disable the verdict cache (benchmark ablations).
+    pub fn set_caching(&self, enabled: bool) {
+        self.caching_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Is the verdict cache enabled?
+    pub fn caching_enabled(&self) -> bool {
+        self.caching_enabled.load(Ordering::Relaxed)
     }
 
     /// The `interpose` system call: append a monitor to a channel's
     /// chain. (Authorization — the consent goal formula — is enforced
     /// by the caller in `Nexus::interpose`.)
-    pub fn install(&mut self, port: u64, interceptor: Box<dyn Interceptor>, level: MonitorLevel) {
+    pub fn install(&self, port: u64, interceptor: Box<dyn Interceptor>, level: MonitorLevel) {
         self.chains
+            .write()
             .entry(port)
             .or_default()
-            .push(Installed { interceptor, level });
+            .push(Installed {
+                interceptor: Mutex::new(interceptor),
+                level,
+            });
         // New monitor: previous verdicts no longer valid for the port.
-        self.cache.retain(|(p, _, _, _), _| *p != port);
+        self.cache.lock().retain(|(p, _, _, _), _| *p != port);
     }
 
     /// Remove all monitors from a channel.
-    pub fn clear(&mut self, port: u64) {
-        self.chains.remove(&port);
-        self.cache.retain(|(p, _, _, _), _| *p != port);
+    pub fn clear(&self, port: u64) {
+        self.chains.write().remove(&port);
+        self.cache.lock().retain(|(p, _, _, _), _| *p != port);
     }
 
     /// Is the channel interposed?
     pub fn is_interposed(&self, port: u64) -> bool {
-        self.chains.get(&port).map(|c| !c.is_empty()).unwrap_or(false)
+        self.chains
+            .read()
+            .get(&port)
+            .map(|c| !c.is_empty())
+            .unwrap_or(false)
     }
 
     /// Run the chain for `port` over `call`. Marshaling: each
     /// kernel-mode switch re-encodes the call; user-level monitors
-    /// round-trip the encoding once more.
-    pub fn dispatch(&mut self, port: u64, call: &mut IpcCall) -> ChainOutcome {
-        let chain = match self.chains.get_mut(&port) {
+    /// round-trip the encoding once more. A marshaling failure is an
+    /// error — monitors must never see an empty or stale payload, or
+    /// a call could slip past its monitor with a bogus encoding.
+    pub fn dispatch(&self, port: u64, call: &mut IpcCall) -> Result<ChainOutcome, KernelError> {
+        let chains = self.chains.read();
+        let chain = match chains.get(&port) {
             Some(c) if !c.is_empty() => c,
-            _ => return ChainOutcome::Proceed,
+            _ => return Ok(ChainOutcome::Proceed),
         };
-        self.invocations += 1;
-        let all_cacheable = chain.iter().all(|i| i.interceptor.cacheable());
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        // Re-queried on every dispatch (not snapshotted at install):
+        // a stateful monitor may stop being cacheable over its life.
+        let caching =
+            self.caching_enabled() && chain.iter().all(|i| i.interceptor.lock().cacheable());
         let key = (
             port,
             call.subject,
             call.operation.clone(),
             call.object.clone(),
         );
-        if self.caching_enabled && all_cacheable {
-            if let Some(outcome) = self.cache.get(&key) {
-                self.hits += 1;
-                return outcome.clone();
+        if caching {
+            if let Some(outcome) = self.cache.lock().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(outcome.clone());
             }
         }
-        for installed in chain.iter_mut() {
+        for installed in chain.iter() {
             // Parameter marshaling at the kernel-mode switch; user
             // monitors marshal across their own address space too.
-            let encoded = serde_json::to_vec(&*call).unwrap_or_default();
+            let encoded = serde_json::to_vec(&*call)
+                .map_err(|e| KernelError::Interpose(format!("marshal call: {e}")))?;
             if installed.level == MonitorLevel::User {
-                let copy: IpcCall = serde_json::from_slice(&encoded).unwrap_or_else(|_| call.clone());
+                let copy: IpcCall = serde_json::from_slice(&encoded)
+                    .map_err(|e| KernelError::Interpose(format!("unmarshal call: {e}")))?;
                 *call = copy;
             }
-            if installed.interceptor.on_call(call) == Verdict::Block {
+            let mut interceptor = installed.interceptor.lock();
+            if interceptor.on_call(call) == Verdict::Block {
                 let outcome = ChainOutcome::Blocked {
-                    monitor: installed.interceptor.name().to_string(),
+                    monitor: interceptor.name().to_string(),
                 };
-                if self.caching_enabled && all_cacheable {
-                    self.cache.insert(key, outcome.clone());
+                if caching {
+                    self.cache.lock().insert(key, outcome.clone());
                 }
-                return outcome;
+                return Ok(outcome);
             }
         }
-        if self.caching_enabled && all_cacheable {
-            self.cache.insert(key, ChainOutcome::Proceed);
+        if caching {
+            self.cache.lock().insert(key, ChainOutcome::Proceed);
         }
-        ChainOutcome::Proceed
+        Ok(ChainOutcome::Proceed)
     }
 
     /// Run the return path for `port`.
-    pub fn dispatch_return(&mut self, port: u64, call: &IpcCall, response: &mut Vec<u8>) {
-        if let Some(chain) = self.chains.get_mut(&port) {
-            for installed in chain.iter_mut().rev() {
-                installed.interceptor.on_return(call, response);
+    pub fn dispatch_return(&self, port: u64, call: &IpcCall, response: &mut Vec<u8>) {
+        if let Some(chain) = self.chains.read().get(&port) {
+            for installed in chain.iter().rev() {
+                installed.interceptor.lock().on_return(call, response);
             }
         }
     }
 
     /// (cache hits, total interposed dispatches).
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.invocations)
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.invocations.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -234,28 +281,38 @@ mod tests {
 
     #[test]
     fn uninterposed_channels_pass_through() {
-        let mut r = Redirector::new();
-        assert_eq!(r.dispatch(1, &mut call("write")), ChainOutcome::Proceed);
+        let r = Redirector::new();
+        assert_eq!(
+            r.dispatch(1, &mut call("write")).unwrap(),
+            ChainOutcome::Proceed
+        );
         assert!(!r.is_interposed(1));
     }
 
     #[test]
     fn monitor_blocks_matching_calls() {
-        let mut r = Redirector::new();
-        r.install(1, Box::new(BlockWrites { cacheable: false }), MonitorLevel::Kernel);
-        assert_eq!(r.dispatch(1, &mut call("read")), ChainOutcome::Proceed);
+        let r = Redirector::new();
+        r.install(
+            1,
+            Box::new(BlockWrites { cacheable: false }),
+            MonitorLevel::Kernel,
+        );
+        assert_eq!(
+            r.dispatch(1, &mut call("read")).unwrap(),
+            ChainOutcome::Proceed
+        );
         assert!(matches!(
-            r.dispatch(1, &mut call("write")),
+            r.dispatch(1, &mut call("write")).unwrap(),
             ChainOutcome::Blocked { .. }
         ));
     }
 
     #[test]
     fn monitors_can_rewrite_arguments_and_returns() {
-        let mut r = Redirector::new();
+        let r = Redirector::new();
         r.install(1, Box::new(Uppercase), MonitorLevel::Kernel);
         let mut c = call("read");
-        r.dispatch(1, &mut c);
+        r.dispatch(1, &mut c).unwrap();
         assert_eq!(c.args, b"HELLO");
         let mut resp = b"ok".to_vec();
         r.dispatch_return(1, &c, &mut resp);
@@ -264,21 +321,32 @@ mod tests {
 
     #[test]
     fn chains_compose_in_order() {
-        let mut r = Redirector::new();
+        let r = Redirector::new();
         r.install(1, Box::new(Uppercase), MonitorLevel::Kernel);
-        r.install(1, Box::new(BlockWrites { cacheable: false }), MonitorLevel::Kernel);
+        r.install(
+            1,
+            Box::new(BlockWrites { cacheable: false }),
+            MonitorLevel::Kernel,
+        );
         // Uppercase runs, then BlockWrites blocks.
         let mut c = call("write");
-        assert!(matches!(r.dispatch(1, &mut c), ChainOutcome::Blocked { .. }));
+        assert!(matches!(
+            r.dispatch(1, &mut c).unwrap(),
+            ChainOutcome::Blocked { .. }
+        ));
         assert_eq!(c.args, b"HELLO", "earlier monitor already ran");
     }
 
     #[test]
     fn cacheable_verdicts_are_cached() {
-        let mut r = Redirector::new();
-        r.install(1, Box::new(BlockWrites { cacheable: true }), MonitorLevel::Kernel);
+        let r = Redirector::new();
+        r.install(
+            1,
+            Box::new(BlockWrites { cacheable: true }),
+            MonitorLevel::Kernel,
+        );
         for _ in 0..5 {
-            r.dispatch(1, &mut call("read"));
+            r.dispatch(1, &mut call("read")).unwrap();
         }
         let (hits, total) = r.stats();
         assert_eq!(total, 5);
@@ -287,36 +355,48 @@ mod tests {
 
     #[test]
     fn non_cacheable_monitors_rerun() {
-        let mut r = Redirector::new();
-        r.install(1, Box::new(BlockWrites { cacheable: false }), MonitorLevel::Kernel);
+        let r = Redirector::new();
+        r.install(
+            1,
+            Box::new(BlockWrites { cacheable: false }),
+            MonitorLevel::Kernel,
+        );
         for _ in 0..5 {
-            r.dispatch(1, &mut call("read"));
+            r.dispatch(1, &mut call("read")).unwrap();
         }
         assert_eq!(r.stats().0, 0);
     }
 
     #[test]
     fn caching_can_be_disabled() {
-        let mut r = Redirector::new();
-        r.caching_enabled = false;
-        r.install(1, Box::new(BlockWrites { cacheable: true }), MonitorLevel::Kernel);
+        let r = Redirector::new();
+        r.set_caching(false);
+        r.install(
+            1,
+            Box::new(BlockWrites { cacheable: true }),
+            MonitorLevel::Kernel,
+        );
         for _ in 0..5 {
-            r.dispatch(1, &mut call("read"));
+            r.dispatch(1, &mut call("read")).unwrap();
         }
         assert_eq!(r.stats().0, 0);
     }
 
     #[test]
     fn install_invalidates_port_cache() {
-        let mut r = Redirector::new();
-        r.install(1, Box::new(BlockWrites { cacheable: true }), MonitorLevel::Kernel);
-        r.dispatch(1, &mut call("write"));
+        let r = Redirector::new();
+        r.install(
+            1,
+            Box::new(BlockWrites { cacheable: true }),
+            MonitorLevel::Kernel,
+        );
+        r.dispatch(1, &mut call("write")).unwrap();
         // Installing another monitor resets cached verdicts.
         r.install(1, Box::new(Uppercase), MonitorLevel::Kernel);
         // Uppercase is not cacheable -> chain not cacheable; verdict
         // still computed fresh (and correct).
         assert!(matches!(
-            r.dispatch(1, &mut call("write")),
+            r.dispatch(1, &mut call("write")).unwrap(),
             ChainOutcome::Blocked { .. }
         ));
     }

@@ -5,6 +5,26 @@
 //! (2) looked up in the kernel decision cache, (3) on a miss, sent to
 //! the guard with the stored or supplied proof and the subject's
 //! labels, and (4) permitted iff the proof discharges the goal.
+//!
+//! ## Concurrency
+//!
+//! The kernel is shared: every system-call entry point takes `&self`,
+//! so an `Arc<Nexus>` serves syscalls from many threads at once.
+//! The authorization hot path (decision cache → guard → goal store →
+//! authority registry) is internally synchronized by those components
+//! themselves (sharded/atomic state in `nexus-core`); the remaining
+//! subsystems sit behind their own locks here. Lock discipline: locks
+//! are leaf-scoped — no method holds one subsystem's lock while
+//! acquiring another's, except `transfer_label` (one table, one
+//! lock) and `fs_server_hop` (holds the IPC lock across the modeled
+//! client-server round trip so concurrent hops cannot steal each
+//! other's replies).
+//!
+//! Decision-cache fills validate the goal/proof epochs *inside* the
+//! cache's shard lock (`DecisionCache::insert_if`), so a concurrent
+//! `setgoal`'s invalidation can never be overwritten by a stale
+//! decision — the invalidation either observes the fill and clears
+//! it, or the fill observes the epoch bump and aborts.
 
 use crate::error::KernelError;
 use crate::fs::{RamFs, FS_PRINCIPAL};
@@ -14,12 +34,14 @@ use crate::ipd::IpdTable;
 use crate::sched::StrideScheduler;
 use nexus_core::{
     AccessRequest, Authority, AuthorityKind, AuthorityRegistry, CacheKey, Certificate,
-    DecisionCache, DecisionCacheConfig, GoalStore, Guard, KernelSigner, Label, LabelHandle,
-    OpName, ProofStore, ResourceId,
+    DecisionCache, DecisionCacheConfig, GoalStore, Guard, KernelSigner, Label, LabelHandle, OpName,
+    ProofStore, ResourceId,
 };
 use nexus_nal::{prove, Formula, Principal, Proof, ProverConfig, Term};
 use nexus_storage::{RamDisk, SsrManager, StorageError, VdirTable, VkeyTable};
 use nexus_tpm::Tpm;
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The measured boot chain (§3.4): firmware, boot loader, kernel.
@@ -123,39 +145,46 @@ pub enum SysRet {
 /// Port number of the syscall channel in the redirector table.
 pub const SYSCALL_CHANNEL: u64 = 0;
 
-/// The kernel.
+/// The kernel. `Send + Sync`: share it as `Arc<Nexus>` and call
+/// system calls from as many threads as you like.
 pub struct Nexus {
-    /// The platform TPM.
-    pub tpm: Tpm,
-    /// The kernel's signing identity (NK / NBK).
-    pub signer: KernelSigner,
+    /// The platform TPM (serialized like the real single-chip device).
+    tpm: Mutex<Tpm>,
+    /// The kernel's signing identity (NK / NBK); immutable after boot.
+    signer: KernelSigner,
     /// Secondary storage.
-    pub disk: RamDisk,
+    disk: Mutex<RamDisk>,
     /// Virtual data integrity registers.
-    pub vdirs: VdirTable,
+    vdirs: Mutex<VdirTable>,
     /// Virtual keys.
-    pub vkeys: VkeyTable,
+    vkeys: Mutex<VkeyTable>,
     /// Secure storage regions.
-    pub ssrs: SsrManager,
+    ssrs: Mutex<SsrManager>,
     /// IPC ports.
-    pub ipc: IpcTable,
-    /// Interposition table.
-    pub redirector: Redirector,
+    ipc: Mutex<IpcTable>,
+    /// Interposition table (internally synchronized).
+    redirector: Redirector,
     /// Proportional-share scheduler.
-    pub sched: StrideScheduler,
-    ipds: IpdTable,
+    sched: Mutex<StrideScheduler>,
+    ipds: RwLock<IpdTable>,
     goals: GoalStore,
     proofs: ProofStore,
     dcache: DecisionCache,
     guard: Guard,
     authorities: AuthorityRegistry,
-    fs: RamFs,
-    cfg: NexusConfig,
-    clock: u64,
+    fs: Mutex<RamFs>,
+    cfg: RwLock<NexusConfig>,
+    clock: AtomicU64,
+    /// Bumped whenever a label is *removed* from a labelstore
+    /// (additions can only turn uncached denies into allows, but a
+    /// removal can falsify a cached allow whose credential matching
+    /// relied on the departed label — and the decision cache has no
+    /// per-label invalidation hook).
+    label_removal_epoch: AtomicU64,
     first_boot: bool,
     fs_port: u64,
     fs_reply_port: u64,
-    guard_upcalls: u64,
+    guard_upcalls: AtomicU64,
 }
 
 impl Nexus {
@@ -179,8 +208,7 @@ impl Nexus {
             VdirTable::init_first_boot(&mut disk, &mut tpm)
                 .map_err(|e| KernelError::BootFailure(e.to_string()))?
         } else {
-            VdirTable::recover(&disk, &tpm)
-                .map_err(|e| KernelError::BootFailure(e.to_string()))?
+            VdirTable::recover(&disk, &tpm).map_err(|e| KernelError::BootFailure(e.to_string()))?
         };
         let ssrs = match SsrManager::open(&disk, &vdirs) {
             Ok(s) => s,
@@ -193,28 +221,29 @@ impl Nexus {
         let (fs_port, _) = ipc.create_port(0);
         let (fs_reply_port, _) = ipc.create_port(0);
         Ok(Nexus {
-            tpm,
+            tpm: Mutex::new(tpm),
             signer,
-            disk,
-            vdirs,
-            vkeys: VkeyTable::new(),
-            ssrs,
-            ipc,
+            disk: Mutex::new(disk),
+            vdirs: Mutex::new(vdirs),
+            vkeys: Mutex::new(VkeyTable::new()),
+            ssrs: Mutex::new(ssrs),
+            ipc: Mutex::new(ipc),
             redirector: Redirector::new(),
-            sched: StrideScheduler::new(),
-            ipds: IpdTable::new(),
+            sched: Mutex::new(StrideScheduler::new()),
+            ipds: RwLock::new(IpdTable::new()),
             goals: GoalStore::new(),
             proofs: ProofStore::new(),
             dcache: DecisionCache::new(DecisionCacheConfig::default()),
             guard: Guard::new(),
             authorities: AuthorityRegistry::new(),
-            fs: RamFs::new(),
-            cfg,
-            clock: 0,
+            fs: Mutex::new(RamFs::new()),
+            cfg: RwLock::new(cfg),
+            clock: AtomicU64::new(0),
+            label_removal_epoch: AtomicU64::new(0),
             first_boot,
             fs_port,
             fs_reply_port,
-            guard_upcalls: 0,
+            guard_upcalls: AtomicU64::new(0),
         })
     }
 
@@ -233,59 +262,114 @@ impl Nexus {
         self.first_boot
     }
 
-    /// Current configuration.
+    /// Current configuration (a copy).
     pub fn config(&self) -> NexusConfig {
-        self.cfg
+        *self.cfg.read()
     }
 
     /// Mutate configuration (benchmark harness).
-    pub fn set_config(&mut self, cfg: NexusConfig) {
-        self.cfg = cfg;
+    pub fn set_config(&self, cfg: NexusConfig) {
+        *self.cfg.write() = cfg;
+    }
+
+    // ---- subsystem access ----
+
+    /// The platform TPM.
+    pub fn tpm(&self) -> MutexGuard<'_, Tpm> {
+        self.tpm.lock()
+    }
+
+    /// The kernel's signing identity.
+    pub fn signer(&self) -> &KernelSigner {
+        &self.signer
+    }
+
+    /// Secondary storage.
+    pub fn disk(&self) -> MutexGuard<'_, RamDisk> {
+        self.disk.lock()
+    }
+
+    /// Virtual data integrity registers.
+    pub fn vdirs(&self) -> MutexGuard<'_, VdirTable> {
+        self.vdirs.lock()
+    }
+
+    /// Virtual keys.
+    pub fn vkeys(&self) -> MutexGuard<'_, VkeyTable> {
+        self.vkeys.lock()
+    }
+
+    /// Secure storage regions.
+    pub fn ssrs(&self) -> MutexGuard<'_, SsrManager> {
+        self.ssrs.lock()
+    }
+
+    /// The IPC port table.
+    pub fn ipc(&self) -> MutexGuard<'_, IpcTable> {
+        self.ipc.lock()
+    }
+
+    /// The interposition table (internally synchronized — no guard).
+    pub fn redirector(&self) -> &Redirector {
+        &self.redirector
+    }
+
+    /// The proportional-share scheduler.
+    pub fn sched(&self) -> MutexGuard<'_, StrideScheduler> {
+        self.sched.lock()
+    }
+
+    /// Tear down the kernel, returning the non-volatile hardware
+    /// state (TPM and disk) — what survives to the next boot.
+    pub fn shutdown(self) -> (Tpm, RamDisk) {
+        (self.tpm.into_inner(), self.disk.into_inner())
     }
 
     // ---- processes ----
 
     /// Spawn a top-level process. (Scheduler weights are assigned
     /// separately — tenants register via [`Nexus::sched`].)
-    pub fn spawn(&mut self, name: &str, image: &[u8]) -> u64 {
-        self.ipds.spawn(name, 0, image)
+    pub fn spawn(&self, name: &str, image: &[u8]) -> u64 {
+        self.ipds.write().spawn(name, 0, image)
     }
 
     /// Spawn a child process.
-    pub fn spawn_child(&mut self, parent: u64, name: &str, image: &[u8]) -> Result<u64, KernelError> {
-        self.ipds.get(parent)?;
-        Ok(self.ipds.spawn(name, parent, image))
+    pub fn spawn_child(&self, parent: u64, name: &str, image: &[u8]) -> Result<u64, KernelError> {
+        let mut ipds = self.ipds.write();
+        ipds.get(parent)?;
+        Ok(ipds.spawn(name, parent, image))
     }
 
     /// The principal a pid's statements are attributed to.
     pub fn principal(&self, pid: u64) -> Result<Principal, KernelError> {
-        Ok(self.ipds.get(pid)?.principal())
+        Ok(self.ipds.read().get(pid)?.principal())
     }
 
     /// Launch-time hash of a process image.
     pub fn launch_hash(&self, pid: u64) -> Result<nexus_tpm::Digest, KernelError> {
-        Ok(self.ipds.get(pid)?.launch_hash)
+        Ok(self.ipds.read().get(pid)?.launch_hash)
     }
 
-    /// Process table access (read-only).
-    pub fn ipds(&self) -> &IpdTable {
-        &self.ipds
+    /// Process table access (read-locked).
+    pub fn ipds(&self) -> RwLockReadGuard<'_, IpdTable> {
+        self.ipds.read()
     }
 
     /// Relinquish a system call permanently (§4.1: the web server
     /// drops everything but IPC after initialization).
-    pub fn relinquish(&mut self, pid: u64, syscall: &'static str) -> Result<(), KernelError> {
-        self.ipds.get_mut(pid)?.relinquished.insert(syscall);
+    pub fn relinquish(&self, pid: u64, syscall: &'static str) -> Result<(), KernelError> {
+        self.ipds.write().get_mut(pid)?.relinquished.insert(syscall);
         Ok(())
     }
 
     // ---- labels ----
 
     /// The `say` system call.
-    pub fn sys_say(&mut self, pid: u64, statement: &str) -> Result<LabelHandle, KernelError> {
+    pub fn sys_say(&self, pid: u64, statement: &str) -> Result<LabelHandle, KernelError> {
         let caller = self.principal(pid)?;
         Ok(self
             .ipds
+            .write()
             .get_mut(pid)?
             .labelstore
             .say(&caller, statement)?)
@@ -293,9 +377,15 @@ impl Nexus {
 
     /// Deposit a kernel-vouched label into a process's labelstore
     /// (e.g. port bindings, ownership transfers).
-    pub fn kernel_label(&mut self, pid: u64, speaker: Principal, statement: Formula) -> Result<LabelHandle, KernelError> {
+    pub fn kernel_label(
+        &self,
+        pid: u64,
+        speaker: Principal,
+        statement: Formula,
+    ) -> Result<LabelHandle, KernelError> {
         Ok(self
             .ipds
+            .write()
             .get_mut(pid)?
             .labelstore
             .insert(Label { speaker, statement }))
@@ -303,34 +393,54 @@ impl Nexus {
 
     /// All label formulas a process holds.
     pub fn labels_of(&self, pid: u64) -> Result<Vec<Formula>, KernelError> {
-        Ok(self.ipds.get(pid)?.labelstore.formulas())
+        Ok(self.ipds.read().get(pid)?.labelstore.formulas())
     }
 
     /// Externalize a label into a TPM-rooted certificate (§2.4).
     pub fn externalize(&self, pid: u64, h: LabelHandle) -> Result<Certificate, KernelError> {
-        Ok(self.ipds.get(pid)?.labelstore.externalize(h, &self.signer)?)
+        Ok(self
+            .ipds
+            .read()
+            .get(pid)?
+            .labelstore
+            .externalize(h, &self.signer)?)
     }
 
     /// Import a certificate into a process's labelstore, verifying the
     /// chain against a trusted endorsement key.
     pub fn import_cert(
-        &mut self,
+        &self,
         pid: u64,
         cert: &Certificate,
         trusted_ek: &ed25519_dalek::VerifyingKey,
     ) -> Result<LabelHandle, KernelError> {
-        Ok(self.ipds.get_mut(pid)?.labelstore.import(cert, trusted_ek)?)
+        Ok(self
+            .ipds
+            .write()
+            .get_mut(pid)?
+            .labelstore
+            .import(cert, trusted_ek)?)
     }
 
-    /// Transfer a label between processes' labelstores.
+    /// Transfer a label between processes' labelstores (atomic: both
+    /// stores update under one table lock). Because `from` loses a
+    /// credential, cached decisions that may have depended on it are
+    /// dropped: the removal epoch is bumped (aborting racing cache
+    /// fills) and the decision cache cleared.
     pub fn transfer_label(
-        &mut self,
+        &self,
         from: u64,
         h: LabelHandle,
         to: u64,
     ) -> Result<LabelHandle, KernelError> {
-        let label = self.ipds.get_mut(from)?.labelstore.delete(h)?;
-        Ok(self.ipds.get_mut(to)?.labelstore.insert(label))
+        let handle = {
+            let mut ipds = self.ipds.write();
+            let label = ipds.get_mut(from)?.labelstore.delete(h)?;
+            ipds.get_mut(to)?.labelstore.insert(label)
+        };
+        self.label_removal_epoch.fetch_add(1, Ordering::Relaxed);
+        self.dcache.clear();
+        Ok(handle)
     }
 
     // ---- goals, proofs, authorities ----
@@ -345,7 +455,11 @@ impl Nexus {
 
     /// Grant `pid` ownership of `object`: the resource manager says
     /// the process speaks for the object (§2.6).
-    pub fn grant_ownership(&mut self, pid: u64, object: &ResourceId) -> Result<LabelHandle, KernelError> {
+    pub fn grant_ownership(
+        &self,
+        pid: u64,
+        object: &ResourceId,
+    ) -> Result<LabelHandle, KernelError> {
         let manager = Self::manager_of(object);
         let subject = self.principal(pid)?;
         let stmt = Formula::speaksfor(subject, manager.sub(object.0.clone()));
@@ -356,7 +470,7 @@ impl Nexus {
     /// `setgoal` goal (default: owner only), then installed; the
     /// decision-cache subregion for (op, object) is invalidated.
     pub fn sys_setgoal(
-        &mut self,
+        &self,
         pid: u64,
         object: ResourceId,
         op: &str,
@@ -368,14 +482,16 @@ impl Nexus {
             });
         }
         let opn = OpName::from(op);
-        let epoch = self.goals.set_goal(object.clone(), opn.clone(), formula, None);
+        let epoch = self
+            .goals
+            .set_goal(object.clone(), opn.clone(), formula, None);
         self.dcache.invalidate_subregion(&opn, &object);
         Ok(epoch)
     }
 
     /// Clear a goal (authorized like `setgoal`).
     pub fn sys_clear_goal(
-        &mut self,
+        &self,
         pid: u64,
         object: &ResourceId,
         op: &str,
@@ -394,7 +510,7 @@ impl Nexus {
     /// Install a proof for (subject, op, object); invalidates exactly
     /// that decision-cache entry (§2.8).
     pub fn sys_set_proof(
-        &mut self,
+        &self,
         pid: u64,
         op: &str,
         object: &ResourceId,
@@ -410,16 +526,13 @@ impl Nexus {
 
     /// Remove a stored proof; invalidates its decision-cache entry.
     pub fn sys_clear_proof(
-        &mut self,
+        &self,
         pid: u64,
         op: &str,
         object: &ResourceId,
     ) -> Result<(), KernelError> {
         let subject = self.principal(pid)?;
-        if let Some(key) = self
-            .proofs
-            .clear_proof(&subject, &OpName::from(op), object)
-        {
+        if let Some(key) = self.proofs.clear_proof(&subject, &OpName::from(op), object) {
             self.dcache.invalidate_entry(&key);
         }
         Ok(())
@@ -427,7 +540,7 @@ impl Nexus {
 
     /// Register an authority for a principal's statements.
     pub fn register_authority(
-        &mut self,
+        &self,
         principal: Principal,
         authority: Arc<dyn Authority>,
         kind: AuthorityKind,
@@ -439,18 +552,19 @@ impl Nexus {
 
     /// Authorize `pid` performing `op` on `object` using the stored
     /// proof (or auto-proving from held labels when configured).
-    pub fn authorize(&mut self, pid: u64, op: &str, object: &ResourceId) -> Result<bool, KernelError> {
+    pub fn authorize(&self, pid: u64, op: &str, object: &ResourceId) -> Result<bool, KernelError> {
         self.authorize_with(pid, op, object, None)
     }
 
     /// Authorize with an explicitly supplied proof.
     pub fn authorize_with(
-        &mut self,
+        &self,
         pid: u64,
         op: &str,
         object: &ResourceId,
         inline_proof: Option<&Proof>,
     ) -> Result<bool, KernelError> {
+        let cfg = self.config();
         let subject = self.principal(pid)?;
         let opn = OpName::from(op);
         let key = CacheKey {
@@ -458,35 +572,41 @@ impl Nexus {
             operation: opn.clone(),
             object: object.clone(),
         };
-        if self.cfg.decision_cache {
+        if cfg.decision_cache {
             if let Some(allow) = self.dcache.lookup(&key) {
                 return Ok(allow);
             }
         }
-        self.guard_upcalls += 1;
+        // Epochs observed *before* evaluating: if any of these move
+        // while the guard runs, the decision may be stale and must not
+        // be cached (insert_if re-checks under the shard lock).
+        let goal_epoch = self.goals.epoch();
+        let proof_epoch = self.proofs.epoch();
+        let label_epoch = self.label_removal_epoch.load(Ordering::Relaxed);
+        self.guard_upcalls.fetch_add(1, Ordering::Relaxed);
         let goal = self
             .goals
             .effective_goal(&Self::manager_of(object), object, &opn);
         // The subject's credentials: its labelstore plus the request
         // itself, which arrived over the attested syscall channel and
         // is therefore an utterance the kernel can vouch for.
-        let mut labels = self.ipds.get(pid)?.labelstore.formulas();
+        let mut labels = self.ipds.read().get(pid)?.labelstore.formulas();
         labels.push(Formula::pred(op, vec![]).says(subject.clone()));
-        labels.push(
-            Formula::pred(op, vec![Term::sym(object.0.clone())]).says(subject.clone()),
-        );
-        let stored = self.proofs.get(&subject, &opn, object).cloned();
+        labels.push(Formula::pred(op, vec![Term::sym(object.0.clone())]).says(subject.clone()));
+        let stored = self.proofs.get(&subject, &opn, object);
         // Auto-proving makes the outcome depend on the subject's label
-        // set, which has no cache-invalidation hook — so decisions on
-        // that path must not be cached (the guard's cacheability bit
-        // covers only proof/goal dependence).
-        let auto_attempted = inline_proof.is_none() && stored.is_none() && self.cfg.auto_prove;
+        // set. Cached allows on that path stay valid because labels
+        // only ever *leave* a store via `transfer_label`, which bumps
+        // the removal epoch and clears the cache; auto-proved denies
+        // are never cached (a later `say` could make them allowed,
+        // with no invalidation hook for additions).
+        let auto_attempted = inline_proof.is_none() && stored.is_none() && cfg.auto_prove;
         let auto;
         let proof_ref: Option<&Proof> = match inline_proof {
             Some(p) => Some(p),
             None => match &stored {
                 Some(p) => Some(p),
-                None if self.cfg.auto_prove => {
+                None if cfg.auto_prove => {
                     let probe = AccessRequest {
                         subject: &subject,
                         operation: &opn,
@@ -510,8 +630,12 @@ impl Nexus {
         };
         let decision = self.guard.check(&req, &goal, &self.authorities);
         let cacheable = decision.cacheable && (!auto_attempted || decision.allow);
-        if self.cfg.decision_cache && cacheable {
-            self.dcache.insert(key, decision.allow);
+        if cfg.decision_cache && cacheable {
+            self.dcache.insert_if(key, decision.allow, || {
+                self.goals.epoch() == goal_epoch
+                    && self.proofs.epoch() == proof_epoch
+                    && self.label_removal_epoch.load(Ordering::Relaxed) == label_epoch
+            });
         }
         Ok(decision.allow)
     }
@@ -529,13 +653,13 @@ impl Nexus {
     /// Number of guard upcalls (decision-cache misses that reached the
     /// guard).
     pub fn guard_upcalls(&self) -> u64 {
-        self.guard_upcalls
+        self.guard_upcalls.load(Ordering::Relaxed)
     }
 
     // ---- system calls ----
 
     fn require_allowed(&self, pid: u64, name: &'static str) -> Result<(), KernelError> {
-        if self.ipds.get(pid)?.relinquished.contains(name) {
+        if self.ipds.read().get(pid)?.relinquished.contains(name) {
             return Err(KernelError::SyscallRevoked(name));
         }
         Ok(())
@@ -543,9 +667,10 @@ impl Nexus {
 
     /// Dispatch a system call for `pid`, running the redirector chain
     /// when syscall interposition is enabled.
-    pub fn syscall(&mut self, pid: u64, call: Syscall) -> Result<SysRet, KernelError> {
+    pub fn syscall(&self, pid: u64, call: Syscall) -> Result<SysRet, KernelError> {
         self.require_allowed(pid, call.name())?;
-        if self.cfg.interpose_syscalls {
+        let cfg = self.config();
+        if cfg.interpose_syscalls {
             let mut ipc_call = IpcCall {
                 subject: pid,
                 operation: call.name().to_string(),
@@ -553,58 +678,57 @@ impl Nexus {
                 args: Vec::new(),
             };
             if let ChainOutcome::Blocked { monitor } =
-                self.redirector.dispatch(SYSCALL_CHANNEL, &mut ipc_call)
+                self.redirector.dispatch(SYSCALL_CHANNEL, &mut ipc_call)?
             {
                 return Err(KernelError::Blocked { monitor });
             }
         }
         match call {
             Syscall::Null => Ok(SysRet::Unit),
-            Syscall::GetPpid => Ok(SysRet::Int(self.ipds.ppid(pid)?)),
+            Syscall::GetPpid => Ok(SysRet::Int(self.ipds.read().ppid(pid)?)),
             Syscall::GetTimeOfDay => {
-                self.clock += 1;
-                Ok(SysRet::Int(self.clock))
+                Ok(SysRet::Int(self.clock.fetch_add(1, Ordering::Relaxed) + 1))
             }
             Syscall::Yield => {
-                self.sched.next();
+                self.sched.lock().next();
                 Ok(SysRet::Unit)
             }
             Syscall::Open(path) => {
                 let object = ResourceId::file(&path);
-                if self.cfg.authorize_fs && !self.authorize(pid, "open", &object)? {
+                if cfg.authorize_fs && !self.authorize(pid, "open", &object)? {
                     return Err(KernelError::AccessDenied {
                         reason: format!("open {path}"),
                     });
                 }
                 self.fs_server_hop(pid, b"open")?;
-                Ok(SysRet::Int(self.fs.open(&path)?))
+                Ok(SysRet::Int(self.fs.lock().open(&path)?))
             }
             Syscall::Close(fd) => {
                 self.fs_server_hop(pid, b"close")?;
-                self.fs.close(fd)?;
+                self.fs.lock().close(fd)?;
                 Ok(SysRet::Unit)
             }
             Syscall::Read(fd, n) => {
-                let path = self.fs.path_of(fd)?.to_string();
+                let path = self.fs.lock().path_of(fd)?.to_string();
                 let object = ResourceId::file(&path);
-                if self.cfg.authorize_fs && !self.authorize(pid, "read", &object)? {
+                if cfg.authorize_fs && !self.authorize(pid, "read", &object)? {
                     return Err(KernelError::AccessDenied {
                         reason: format!("read {path}"),
                     });
                 }
                 self.fs_server_hop(pid, b"read")?;
-                Ok(SysRet::Data(self.fs.read(fd, n)?))
+                Ok(SysRet::Data(self.fs.lock().read(fd, n)?))
             }
             Syscall::Write(fd, data) => {
-                let path = self.fs.path_of(fd)?.to_string();
+                let path = self.fs.lock().path_of(fd)?.to_string();
                 let object = ResourceId::file(&path);
-                if self.cfg.authorize_fs && !self.authorize(pid, "write", &object)? {
+                if cfg.authorize_fs && !self.authorize(pid, "write", &object)? {
                     return Err(KernelError::AccessDenied {
                         reason: format!("write {path}"),
                     });
                 }
                 self.fs_server_hop(pid, b"write")?;
-                Ok(SysRet::Int(self.fs.write(fd, &data)? as u64))
+                Ok(SysRet::Int(self.fs.lock().write(fd, &data)? as u64))
             }
         }
     }
@@ -612,11 +736,14 @@ impl Nexus {
     /// Model the client-server microkernel round trip to the
     /// user-level file server: request and reply each cross an IPC
     /// port (the cost that makes Table 1's file rows 2–3× Linux).
-    fn fs_server_hop(&mut self, pid: u64, op: &[u8]) -> Result<(), KernelError> {
-        self.ipc.send(pid, self.fs_port, op.to_vec())?;
-        let _ = self.ipc.recv(self.fs_port)?;
-        self.ipc.send(0, self.fs_reply_port, b"ok".to_vec())?;
-        let _ = self.ipc.recv(self.fs_reply_port)?;
+    /// The IPC lock is held across the hop so concurrent hops pair
+    /// their own requests with their own replies.
+    fn fs_server_hop(&self, pid: u64, op: &[u8]) -> Result<(), KernelError> {
+        let mut ipc = self.ipc.lock();
+        ipc.send(pid, self.fs_port, op.to_vec())?;
+        let _ = ipc.recv(self.fs_port)?;
+        ipc.send(0, self.fs_reply_port, b"ok".to_vec())?;
+        let _ = ipc.recv(self.fs_reply_port)?;
         Ok(())
     }
 
@@ -624,47 +751,47 @@ impl Nexus {
 
     /// Create a file: the file server executes it and deposits the
     /// ownership label in the creator's labelstore (§2.6).
-    pub fn fs_create(&mut self, pid: u64, path: &str) -> Result<(), KernelError> {
-        self.fs.create(path, pid)?;
+    pub fn fs_create(&self, pid: u64, path: &str) -> Result<(), KernelError> {
+        self.fs.lock().create(path, pid)?;
         let object = ResourceId::file(path);
         self.grant_ownership(pid, &object)?;
         Ok(())
     }
 
     /// Direct whole-file read (used by services; still authorized).
-    pub fn fs_read_all(&mut self, pid: u64, path: &str) -> Result<Vec<u8>, KernelError> {
+    pub fn fs_read_all(&self, pid: u64, path: &str) -> Result<Vec<u8>, KernelError> {
         let object = ResourceId::file(path);
-        if self.cfg.authorize_fs && !self.authorize(pid, "read", &object)? {
+        if self.config().authorize_fs && !self.authorize(pid, "read", &object)? {
             return Err(KernelError::AccessDenied {
                 reason: format!("read {path}"),
             });
         }
-        self.fs.read_all(path)
+        self.fs.lock().read_all(path)
     }
 
     /// Direct whole-file write (authorized).
-    pub fn fs_write_all(&mut self, pid: u64, path: &str, data: &[u8]) -> Result<(), KernelError> {
+    pub fn fs_write_all(&self, pid: u64, path: &str, data: &[u8]) -> Result<(), KernelError> {
         let object = ResourceId::file(path);
-        if self.cfg.authorize_fs && !self.authorize(pid, "write", &object)? {
+        if self.config().authorize_fs && !self.authorize(pid, "write", &object)? {
             return Err(KernelError::AccessDenied {
                 reason: format!("write {path}"),
             });
         }
-        self.fs.write_all(path, data)
+        self.fs.lock().write_all(path, data)
     }
 
     /// Raw filesystem access for resource managers (bypasses goals —
     /// kernel-internal use only).
-    pub fn fs_raw(&mut self) -> &mut RamFs {
-        &mut self.fs
+    pub fn fs_raw(&self) -> MutexGuard<'_, RamFs> {
+        self.fs.lock()
     }
 
     // ---- IPC ----
 
     /// Create a port for `pid`; the kernel's binding label lands in
     /// the owner's labelstore.
-    pub fn create_port(&mut self, pid: u64) -> Result<u64, KernelError> {
-        let (id, label) = self.ipc.create_port(pid);
+    pub fn create_port(&self, pid: u64) -> Result<u64, KernelError> {
+        let (id, label) = self.ipc.lock().create_port(pid);
         if let Formula::Says(speaker, stmt) = label {
             self.kernel_label(pid, speaker, *stmt)?;
         }
@@ -672,34 +799,35 @@ impl Nexus {
     }
 
     /// Send on a port, traversing any interposed monitors.
-    pub fn ipc_send(&mut self, pid: u64, port: u64, msg: Vec<u8>) -> Result<(), KernelError> {
+    pub fn ipc_send(&self, pid: u64, port: u64, msg: Vec<u8>) -> Result<(), KernelError> {
         let mut call = IpcCall {
             subject: pid,
             operation: "send".into(),
             object: format!("ipc:{port}"),
             args: msg,
         };
-        if let ChainOutcome::Blocked { monitor } = self.redirector.dispatch(port, &mut call) {
+        if let ChainOutcome::Blocked { monitor } = self.redirector.dispatch(port, &mut call)? {
             return Err(KernelError::Blocked { monitor });
         }
-        self.ipc.send(pid, port, call.args)
+        self.ipc.lock().send(pid, port, call.args)
     }
 
     /// Receive on an owned port.
-    pub fn ipc_recv(&mut self, pid: u64, port: u64) -> Result<(u64, Vec<u8>), KernelError> {
-        if self.ipc.owner_of(port)? != pid {
+    pub fn ipc_recv(&self, pid: u64, port: u64) -> Result<(u64, Vec<u8>), KernelError> {
+        let mut ipc = self.ipc.lock();
+        if ipc.owner_of(port)? != pid {
             return Err(KernelError::AccessDenied {
                 reason: format!("pid {pid} does not own port {port}"),
             });
         }
-        self.ipc.recv(port)
+        ipc.recv(port)
     }
 
     /// The `interpose` system call: install a reference monitor on a
     /// channel. Interposition is subject to consent — authorized
     /// against the channel's `interpose` goal (default: port owner).
     pub fn interpose(
-        &mut self,
+        &self,
         pid: u64,
         port: u64,
         interceptor: Box<dyn Interceptor>,
@@ -712,7 +840,7 @@ impl Nexus {
         let owner = if port == SYSCALL_CHANNEL {
             0
         } else {
-            self.ipc.owner_of(port)?
+            self.ipc.lock().owner_of(port)?
         };
         let authorized = if owner == pid || pid == 0 {
             true
@@ -732,8 +860,9 @@ impl Nexus {
 
     /// Publish an application key=value binding under
     /// `/proc/app/<pid>/<key>`.
-    pub fn publish(&mut self, pid: u64, key: &str, value: &str) -> Result<(), KernelError> {
+    pub fn publish(&self, pid: u64, key: &str, value: &str) -> Result<(), KernelError> {
         self.ipds
+            .write()
             .get_mut(pid)?
             .published
             .insert(key.to_string(), value.to_string());
@@ -747,14 +876,18 @@ impl Nexus {
         match parts.as_slice() {
             ["proc", "ipds"] => Ok(self
                 .ipds
+                .read()
                 .pids()
                 .iter()
                 .map(|p| p.to_string())
                 .collect::<Vec<_>>()
                 .join(",")),
             ["proc", "ipd", pid, field] => {
-                let pid: u64 = pid.parse().map_err(|_| KernelError::NoSuchNode(path.into()))?;
-                let ipd = self.ipds.get(pid)?;
+                let pid: u64 = pid
+                    .parse()
+                    .map_err(|_| KernelError::NoSuchNode(path.into()))?;
+                let ipds = self.ipds.read();
+                let ipd = ipds.get(pid)?;
                 match *field {
                     "name" => Ok(format!("name={}", ipd.name)),
                     "parent" => Ok(format!("parent={}", ipd.parent)),
@@ -764,37 +897,42 @@ impl Nexus {
             }
             ["proc", "ipc", "edges"] => Ok(self
                 .ipc
+                .lock()
                 .edges()
                 .iter()
                 .map(|(a, b)| format!("{a}->{b}"))
                 .collect::<Vec<_>>()
                 .join(",")),
             ["proc", "ipc", port, "owner"] => {
-                let port: u64 =
-                    port.parse().map_err(|_| KernelError::NoSuchNode(path.into()))?;
-                Ok(format!("owner={}", self.ipc.owner_of(port)?))
+                let port: u64 = port
+                    .parse()
+                    .map_err(|_| KernelError::NoSuchNode(path.into()))?;
+                Ok(format!("owner={}", self.ipc.lock().owner_of(port)?))
             }
-            ["proc", "sched", client, field] => match *field {
-                "weight" => self
-                    .sched
-                    .weight(client)
-                    .map(|w| format!("weight={w}"))
-                    .ok_or_else(|| KernelError::NoSuchNode(path.into())),
-                "usage" => self
-                    .sched
-                    .usage(client)
-                    .map(|u| format!("usage={u}"))
-                    .ok_or_else(|| KernelError::NoSuchNode(path.into())),
-                "share" => self
-                    .sched
-                    .share(client)
-                    .map(|s| format!("share={s:.4}"))
-                    .ok_or_else(|| KernelError::NoSuchNode(path.into())),
-                _ => Err(KernelError::NoSuchNode(path.into())),
-            },
+            ["proc", "sched", client, field] => {
+                let sched = self.sched.lock();
+                match *field {
+                    "weight" => sched
+                        .weight(client)
+                        .map(|w| format!("weight={w}"))
+                        .ok_or_else(|| KernelError::NoSuchNode(path.into())),
+                    "usage" => sched
+                        .usage(client)
+                        .map(|u| format!("usage={u}"))
+                        .ok_or_else(|| KernelError::NoSuchNode(path.into())),
+                    "share" => sched
+                        .share(client)
+                        .map(|s| format!("share={s:.4}"))
+                        .ok_or_else(|| KernelError::NoSuchNode(path.into())),
+                    _ => Err(KernelError::NoSuchNode(path.into())),
+                }
+            }
             ["proc", "app", pid, key] => {
-                let pid: u64 = pid.parse().map_err(|_| KernelError::NoSuchNode(path.into()))?;
+                let pid: u64 = pid
+                    .parse()
+                    .map_err(|_| KernelError::NoSuchNode(path.into()))?;
                 self.ipds
+                    .read()
                     .get(pid)?
                     .published
                     .get(*key)
@@ -807,11 +945,7 @@ impl Nexus {
 
     /// Goal-guarded introspection read: sensitive nodes carry goal
     /// formulas like any other resource.
-    pub fn introspect_read_authorized(
-        &mut self,
-        pid: u64,
-        path: &str,
-    ) -> Result<String, KernelError> {
+    pub fn introspect_read_authorized(&self, pid: u64, path: &str) -> Result<String, KernelError> {
         let object = ResourceId::new("proc", path);
         if self.goals.get(&object, &OpName::from("read")).is_some()
             && !self.authorize(pid, "read", &object)?
@@ -826,7 +960,7 @@ impl Nexus {
     /// The raw IPC connectivity graph (pid → pid edges) for labeling
     /// functions like the IPC analyzer.
     pub fn ipc_graph(&self) -> Vec<(u64, u64)> {
-        self.ipc.edges().to_vec()
+        self.ipc.lock().edges().to_vec()
     }
 
     /// Goal store epoch (diagnostics).

@@ -7,9 +7,9 @@
 //! and finally device-driver reference monitors (DDRMs, [56]) in the
 //! kernel or in user space, with and without verdict caching.
 
+use crate::error::KernelError;
 use crate::interpose::{Interceptor, IpcCall, MonitorLevel, Verdict};
 use crate::nexus::Nexus;
-use crate::error::KernelError;
 use std::collections::VecDeque;
 
 /// A simulated NIC: receive and transmit rings.
@@ -99,7 +99,7 @@ impl EchoWorld {
     /// Build the echo topology on a booted kernel: a driver IPD, an
     /// echo-server IPD, and their ports. Installing a monitor is a
     /// separate step ([`EchoWorld::install_monitor`]).
-    pub fn new(nexus: &mut Nexus, path: EchoPath) -> Result<EchoWorld, KernelError> {
+    pub fn new(nexus: &Nexus, path: EchoPath) -> Result<EchoWorld, KernelError> {
         let driver_pid = nexus.spawn("nic-driver", b"nic-driver-image");
         let server_pid = nexus.spawn("udp-echo", b"udp-echo-image");
         let driver_port = nexus.create_port(driver_pid)?;
@@ -115,11 +115,7 @@ impl EchoWorld {
     }
 
     /// Install a DDRM on the server-bound channel at the given level.
-    pub fn install_monitor(
-        &self,
-        nexus: &mut Nexus,
-        level: MonitorLevel,
-    ) -> Result<(), KernelError> {
+    pub fn install_monitor(&self, nexus: &Nexus, level: MonitorLevel) -> Result<(), KernelError> {
         let ddrm = Ddrm {
             allowed_ops: vec!["send".into()],
             allowed_object: format!("ipc:{}", self.server_port),
@@ -134,7 +130,7 @@ impl EchoWorld {
 
     /// Process one packet through the configured path, returning the
     /// echo. This is the unit of work Figure 7 rates in packets/s.
-    pub fn echo(&mut self, nexus: &mut Nexus, frame: &[u8]) -> Result<Vec<u8>, KernelError> {
+    pub fn echo(&mut self, nexus: &Nexus, frame: &[u8]) -> Result<Vec<u8>, KernelError> {
         self.nic.inject(frame.to_vec());
         let pkt = self.nic.rx.pop_front().expect("just injected");
         let reply = match self.path {
@@ -199,28 +195,28 @@ mod tests {
             EchoPath::KernelDriver,
             EchoPath::UserDriver,
         ] {
-            let mut nexus = boot();
-            let mut world = EchoWorld::new(&mut nexus, path).unwrap();
+            let nexus = boot();
+            let mut world = EchoWorld::new(&nexus, path).unwrap();
             let frame = vec![0xabu8; 100];
-            let reply = world.echo(&mut nexus, &frame).unwrap();
+            let reply = world.echo(&nexus, &frame).unwrap();
             assert_eq!(reply, frame, "{path:?}");
         }
     }
 
     #[test]
     fn ddrm_allows_echo_traffic() {
-        let mut nexus = boot();
-        let mut world = EchoWorld::new(&mut nexus, EchoPath::UserDriver).unwrap();
-        world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
-        let reply = world.echo(&mut nexus, &[1, 2, 3]).unwrap();
+        let nexus = boot();
+        let mut world = EchoWorld::new(&nexus, EchoPath::UserDriver).unwrap();
+        world.install_monitor(&nexus, MonitorLevel::Kernel).unwrap();
+        let reply = world.echo(&nexus, &[1, 2, 3]).unwrap();
         assert_eq!(reply, vec![1, 2, 3]);
     }
 
     #[test]
     fn ddrm_blocks_offpath_traffic() {
-        let mut nexus = boot();
-        let world = EchoWorld::new(&mut nexus, EchoPath::UserDriver).unwrap();
-        world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
+        let nexus = boot();
+        let world = EchoWorld::new(&nexus, EchoPath::UserDriver).unwrap();
+        world.install_monitor(&nexus, MonitorLevel::Kernel).unwrap();
         // The driver tries to exfiltrate to a foreign port — but the
         // monitor is on the server port, so simulate a disallowed op
         // there: a "recv"-flavored send is not in allowed_ops… instead
@@ -232,7 +228,10 @@ mod tests {
             object: format!("ipc:{}", world.server_port()),
             args: vec![],
         };
-        let outcome = nexus.redirector.dispatch(world.server_port(), &mut call);
+        let outcome = nexus
+            .redirector()
+            .dispatch(world.server_port(), &mut call)
+            .unwrap();
         assert!(matches!(
             outcome,
             crate::interpose::ChainOutcome::Blocked { .. }
@@ -241,13 +240,13 @@ mod tests {
 
     #[test]
     fn monitored_path_hits_cache() {
-        let mut nexus = boot();
-        let mut world = EchoWorld::new(&mut nexus, EchoPath::KernelDriver).unwrap();
-        world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
+        let nexus = boot();
+        let mut world = EchoWorld::new(&nexus, EchoPath::KernelDriver).unwrap();
+        world.install_monitor(&nexus, MonitorLevel::Kernel).unwrap();
         for _ in 0..10 {
-            world.echo(&mut nexus, &[0u8; 100]).unwrap();
+            world.echo(&nexus, &[0u8; 100]).unwrap();
         }
-        let (hits, total) = nexus.redirector.stats();
+        let (hits, total) = nexus.redirector().stats();
         assert!(total >= 10);
         assert!(hits >= 9, "verdicts should be cached, hits={hits}");
     }

@@ -39,12 +39,7 @@ impl StrideScheduler {
         let stride = STRIDE_ONE / weight;
         // New clients start at the current minimum pass so they don't
         // monopolize the CPU catching up.
-        let min_pass = self
-            .clients
-            .values()
-            .map(|c| c.pass)
-            .min()
-            .unwrap_or(0);
+        let min_pass = self.clients.values().map(|c| c.pass).min().unwrap_or(0);
         let entry = self.clients.entry(name.to_string()).or_insert(Client {
             weight,
             stride,
@@ -61,7 +56,10 @@ impl StrideScheduler {
     }
 
     /// Dispatch the next quantum: the client with the minimum pass
-    /// runs and its pass advances by its stride.
+    /// runs and its pass advances by its stride. (Deliberately named
+    /// like — but not implementing — `Iterator::next`: dispatching a
+    /// quantum mutates scheduler state and is not iteration.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<String> {
         let name = self
             .clients

@@ -1,8 +1,8 @@
 //! Kernel-level tests: boot, the authorization path of Figure 1,
 //! system calls, and introspection.
 
-use nexus_kernel::{BootImages, Nexus, NexusConfig, SysRet, Syscall};
 use nexus_core::{AuthorityKind, FnAuthority, ResourceId};
+use nexus_kernel::{BootImages, Nexus, NexusConfig, SysRet, Syscall};
 use nexus_nal::{parse, Formula, Principal};
 use nexus_storage::RamDisk;
 use nexus_tpm::Tpm;
@@ -22,13 +22,13 @@ fn boot() -> Nexus {
 fn first_boot_takes_ownership() {
     let nexus = boot();
     assert!(nexus.first_boot());
-    assert!(nexus.tpm.is_owned());
+    assert!(nexus.tpm().is_owned());
 }
 
 #[test]
 fn reboot_recovers_state() {
     let nexus = boot();
-    let (tpm, disk) = (nexus.tpm, nexus.disk);
+    let (tpm, disk) = nexus.shutdown();
     let nexus2 = Nexus::boot(tpm, disk, &BootImages::standard(), NexusConfig::default()).unwrap();
     assert!(!nexus2.first_boot());
 }
@@ -36,7 +36,7 @@ fn reboot_recovers_state() {
 #[test]
 fn modified_kernel_image_cannot_recover() {
     let nexus = boot();
-    let (tpm, disk) = (nexus.tpm, nexus.disk);
+    let (tpm, disk) = nexus.shutdown();
     let evil = BootImages {
         kernel: b"evil-kernel".to_vec(),
         ..BootImages::standard()
@@ -47,7 +47,7 @@ fn modified_kernel_image_cannot_recover() {
 
 #[test]
 fn basic_syscalls() {
-    let mut nexus = boot();
+    let nexus = boot();
     let parent = nexus.spawn("parent", b"img");
     let child = nexus.spawn_child(parent, "child", b"img").unwrap();
     assert_eq!(nexus.syscall(child, Syscall::Null).unwrap(), SysRet::Unit);
@@ -67,7 +67,7 @@ fn basic_syscalls() {
 
 #[test]
 fn relinquished_syscalls_fail() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("ws", b"webserver");
     nexus.relinquish(pid, "open").unwrap();
     assert!(nexus.syscall(pid, Syscall::Open("/x".into())).is_err());
@@ -77,7 +77,7 @@ fn relinquished_syscalls_fail() {
 
 #[test]
 fn file_owner_can_use_own_file_via_default_policy() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("app", b"img");
     nexus.fs_create(pid, "/mine").unwrap();
     // Default policy: FS.file:/mine says <op>; the ownership label
@@ -100,7 +100,7 @@ fn file_owner_can_use_own_file_via_default_policy() {
 
 #[test]
 fn stranger_denied_by_default_policy() {
-    let mut nexus = boot();
+    let nexus = boot();
     let owner = nexus.spawn("owner", b"img");
     let stranger = nexus.spawn("stranger", b"img");
     nexus.fs_create(owner, "/secret").unwrap();
@@ -111,7 +111,7 @@ fn stranger_denied_by_default_policy() {
 
 #[test]
 fn owner_can_setgoal_and_grant_access() {
-    let mut nexus = boot();
+    let nexus = boot();
     let owner = nexus.spawn("owner", b"img");
     let friend = nexus.spawn("friend", b"img");
     nexus.fs_create(owner, "/shared").unwrap();
@@ -121,15 +121,19 @@ fn owner_can_setgoal_and_grant_access() {
     nexus
         .sys_setgoal(owner, ResourceId::file("/shared"), "open", goal)
         .unwrap();
-    assert!(nexus.syscall(friend, Syscall::Open("/shared".into())).is_ok());
+    assert!(nexus
+        .syscall(friend, Syscall::Open("/shared".into()))
+        .is_ok());
     // A third process is still shut out.
     let other = nexus.spawn("other", b"img");
-    assert!(nexus.syscall(other, Syscall::Open("/shared".into())).is_err());
+    assert!(nexus
+        .syscall(other, Syscall::Open("/shared".into()))
+        .is_err());
 }
 
 #[test]
 fn stranger_cannot_setgoal_on_others_file() {
-    let mut nexus = boot();
+    let nexus = boot();
     let owner = nexus.spawn("owner", b"img");
     let mallory = nexus.spawn("mallory", b"img");
     nexus.fs_create(owner, "/f").unwrap();
@@ -141,7 +145,7 @@ fn stranger_cannot_setgoal_on_others_file() {
 fn lockout_without_superuser_is_possible() {
     // Footnote 2: the owner can set an unsatisfiable goal and lock
     // out everyone — including themselves. There is no superuser.
-    let mut nexus = boot();
+    let nexus = boot();
     let owner = nexus.spawn("owner", b"img");
     nexus.fs_create(owner, "/oops").unwrap();
     nexus
@@ -152,7 +156,7 @@ fn lockout_without_superuser_is_possible() {
 
 #[test]
 fn decision_cache_reduces_guard_upcalls() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("app", b"img");
     nexus.fs_create(pid, "/f").unwrap();
     for _ in 0..50 {
@@ -168,7 +172,7 @@ fn decision_cache_reduces_guard_upcalls() {
 
 #[test]
 fn setgoal_invalidates_cached_decisions() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("app", b"img");
     nexus.fs_create(pid, "/f").unwrap();
     // Warm the cache with an allow.
@@ -186,7 +190,7 @@ fn setgoal_invalidates_cached_decisions() {
 
 #[test]
 fn authority_backed_goal_tracks_live_state() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("app", b"img");
     nexus.fs_create(pid, "/timed").unwrap();
     // Clock authority (embedded): time is mutable state.
@@ -228,7 +232,7 @@ fn authority_backed_goal_tracks_live_state() {
 
 #[test]
 fn introspection_views_live_state() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("worker", b"image-bytes");
     assert!(nexus
         .introspect_read(&format!("/proc/ipd/{pid}/name"))
@@ -241,10 +245,12 @@ fn introspection_views_live_state() {
             .unwrap(),
         "modules=mod1,mod2"
     );
-    nexus.sched.set_weight("tenant-a", 3);
-    nexus.sched.set_weight("tenant-b", 1);
+    nexus.sched().set_weight("tenant-a", 3);
+    nexus.sched().set_weight("tenant-b", 1);
     assert_eq!(
-        nexus.introspect_read("/proc/sched/tenant-a/weight").unwrap(),
+        nexus
+            .introspect_read("/proc/sched/tenant-a/weight")
+            .unwrap(),
         "weight=3"
     );
     assert!(nexus
@@ -256,7 +262,7 @@ fn introspection_views_live_state() {
 
 #[test]
 fn ipc_graph_reflects_sends() {
-    let mut nexus = boot();
+    let nexus = boot();
     let a = nexus.spawn("a", b"");
     let b = nexus.spawn("b", b"");
     let port = nexus.create_port(b).unwrap();
@@ -271,20 +277,17 @@ fn ipc_graph_reflects_sends() {
 
 #[test]
 fn port_binding_label_deposited() {
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("svc", b"");
     let port = nexus.create_port(pid).unwrap();
     let labels = nexus.labels_of(pid).unwrap();
-    let expect = parse(&format!(
-        "Nexus says IPC.{port} speaksfor /proc/ipd/{pid}"
-    ))
-    .unwrap();
+    let expect = parse(&format!("Nexus says IPC.{port} speaksfor /proc/ipd/{pid}")).unwrap();
     assert!(labels.contains(&expect));
 }
 
 #[test]
 fn recv_requires_ownership() {
-    let mut nexus = boot();
+    let nexus = boot();
     let a = nexus.spawn("a", b"");
     let b = nexus.spawn("b", b"");
     let port = nexus.create_port(b).unwrap();
@@ -297,13 +300,13 @@ fn recv_requires_ownership() {
 fn externalize_and_import_across_kernels() {
     // A label minted on one Nexus is verified on another machine
     // holding the first machine's EK.
-    let mut nexus_a = boot();
+    let nexus_a = boot();
     let pid = nexus_a.spawn("prover", b"img");
     let h = nexus_a.sys_say(pid, "isTypeSafe(PGM)").unwrap();
     let cert = nexus_a.externalize(pid, h).unwrap();
-    let ek_a = nexus_a.tpm.ek_public();
+    let ek_a = nexus_a.tpm().ek_public();
 
-    let mut nexus_b = Nexus::boot(
+    let nexus_b = Nexus::boot(
         Tpm::new_with_seed(9),
         RamDisk::new(),
         &BootImages::standard(),
@@ -337,10 +340,15 @@ fn interposed_syscalls_can_be_blocked() {
             }
         }
     }
-    let mut nexus = boot();
+    let nexus = boot();
     let pid = nexus.spawn("app", b"");
     nexus
-        .interpose(0, nexus_kernel::SYSCALL_CHANNEL, Box::new(DenyYield), nexus_kernel::MonitorLevel::Kernel)
+        .interpose(
+            0,
+            nexus_kernel::SYSCALL_CHANNEL,
+            Box::new(DenyYield),
+            nexus_kernel::MonitorLevel::Kernel,
+        )
         .unwrap();
     assert!(matches!(
         nexus.syscall(pid, Syscall::Yield),
@@ -351,10 +359,10 @@ fn interposed_syscalls_can_be_blocked() {
 
 #[test]
 fn goal_guarded_introspection() {
-    let mut nexus = boot();
+    let nexus = boot();
     let owner = nexus.spawn("tenant-a", b"");
     let snoop = nexus.spawn("tenant-b", b"");
-    nexus.sched.set_weight("tenant-a", 2);
+    nexus.sched().set_weight("tenant-a", 2);
     // Guard the tenant's weight file so only the tenant reads it
     // (§4.1: "goal statements ensure that file is not readable by
     // other tenants").
@@ -372,4 +380,28 @@ fn goal_guarded_introspection() {
         .unwrap();
     assert!(nexus.introspect_read_authorized(owner, path).is_ok());
     assert!(nexus.introspect_read_authorized(snoop, path).is_err());
+}
+
+#[test]
+fn transferred_away_label_invalidates_cached_allow() {
+    // A cached allow whose auto-constructed proof rested on an
+    // ownership label must not survive the label leaving the
+    // subject's labelstore via transfer_label.
+    let nexus = boot();
+    let a = nexus.spawn("a", b"img-a");
+    let b = nexus.spawn("b", b"img-b");
+    let object = ResourceId::file("/owned");
+    let h = nexus.grant_ownership(a, &object).unwrap();
+    // Auto-proved from the ownership label and cached.
+    assert!(nexus.authorize(a, "read", &object).unwrap());
+    assert!(nexus.authorize(a, "read", &object).unwrap());
+    assert!(nexus.decision_cache_stats().hits >= 1);
+
+    nexus.transfer_label(a, h, b).unwrap();
+    assert!(
+        !nexus.authorize(a, "read", &object).unwrap(),
+        "allow cached from a departed credential must not be served"
+    );
+    // The label's statement names `a`, so `b` gains nothing from it.
+    assert!(!nexus.authorize(b, "read", &object).unwrap());
 }

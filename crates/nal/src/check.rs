@@ -36,9 +36,7 @@ pub fn normalize(f: &Formula) -> Formula {
         Formula::Says(p, s) => Formula::Says(p.clone(), Box::new(normalize(s))),
         Formula::And(a, b) => Formula::And(Box::new(normalize(a)), Box::new(normalize(b))),
         Formula::Or(a, b) => Formula::Or(Box::new(normalize(a)), Box::new(normalize(b))),
-        Formula::Implies(a, b) => {
-            Formula::Implies(Box::new(normalize(a)), Box::new(normalize(b)))
-        }
+        Formula::Implies(a, b) => Formula::Implies(Box::new(normalize(a)), Box::new(normalize(b))),
         Formula::Not(a) => Formula::Implies(Box::new(normalize(a)), Box::new(Formula::False)),
     }
 }
@@ -56,7 +54,10 @@ impl Assumptions {
         Self::default()
     }
 
-    /// Build from an iterator of formulas.
+    /// Build from an iterator of formulas. (Deliberately an inherent
+    /// method, not `FromIterator`: callers pass `&Formula`s and get
+    /// normalized admission, which `collect()` would obscure.)
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<'a, I: IntoIterator<Item = &'a Formula>>(it: I) -> Self {
         let mut a = Self::new();
         for f in it {
@@ -88,6 +89,10 @@ impl Assumptions {
 
 /// Check `proof` against `assumptions`; on success return the proved
 /// formula (the conclusion at the root).
+// `CheckError` embeds the offending formulas for auditability; the
+// error path is cold (denials clone once), so the large variant is a
+// deliberate trade.
+#[allow(clippy::result_large_err)]
 pub fn check(proof: &Proof, assumptions: &Assumptions) -> Result<Formula, CheckError> {
     check_with_hypotheses(proof, assumptions, &mut Vec::new())
 }
@@ -95,6 +100,7 @@ pub fn check(proof: &Proof, assumptions: &Assumptions) -> Result<Formula, CheckE
 /// Check a proof in a context of already-introduced hypotheses. Guards
 /// use the plain [`check`]; this entry point exists for checking proof
 /// fragments (lemmas) inside the guard cache.
+#[allow(clippy::result_large_err)]
 pub fn check_with_hypotheses(
     proof: &Proof,
     assumptions: &Assumptions,
@@ -107,6 +113,7 @@ pub fn check_with_hypotheses(
     chk(proof, assumptions, hypotheses)
 }
 
+#[allow(clippy::result_large_err)]
 fn require_ground(f: &Formula) -> Result<(), CheckError> {
     if f.is_ground() {
         Ok(())
@@ -122,11 +129,8 @@ fn mismatch(rule: &'static str, detail: impl Into<String>) -> CheckError {
     }
 }
 
-fn chk(
-    proof: &Proof,
-    asm: &Assumptions,
-    hypos: &mut Vec<Formula>,
-) -> Result<Formula, CheckError> {
+#[allow(clippy::result_large_err)]
+fn chk(proof: &Proof, asm: &Assumptions, hypos: &mut Vec<Formula>) -> Result<Formula, CheckError> {
     match proof {
         Proof::Assume(f) => {
             require_ground(f)?;
@@ -138,7 +142,7 @@ fn chk(
         }
         Proof::Hypo(f) => {
             let nf = normalize(f);
-            if hypos.iter().any(|h| *h == nf) {
+            if hypos.contains(&nf) {
                 Ok(f.clone())
             } else {
                 Err(CheckError::UndischargedHypothesis(f.clone()))
@@ -179,7 +183,10 @@ fn chk(
             let (da, db) = match d {
                 Formula::Or(a, b) => (*a, *b),
                 other => {
-                    return Err(mismatch("or-elim", format!("premise is {other}, not a disjunction")))
+                    return Err(mismatch(
+                        "or-elim",
+                        format!("premise is {other}, not a disjunction"),
+                    ))
                 }
             };
             if normalize(left_hypo) != normalize(&da) {
@@ -224,7 +231,10 @@ fn chk(
             hypos.pop();
             match normalize(&c?) {
                 Formula::False => Ok(hypo.clone().not()),
-                other => Err(mismatch("not-intro", format!("body proves {other}, not false"))),
+                other => Err(mismatch(
+                    "not-intro",
+                    format!("body proves {other}, not false"),
+                )),
             }
         }
         Proof::ImpliesElim(pf, pa) => {
@@ -241,14 +251,20 @@ fn chk(
                         ))
                     }
                 }
-                other => Err(mismatch("implies-elim", format!("premise {other} is not an implication"))),
+                other => Err(mismatch(
+                    "implies-elim",
+                    format!("premise {other} is not an implication"),
+                )),
             }
         }
         Proof::FalseElim(p, goal) => {
             require_ground(goal)?;
             match normalize(&chk(p, asm, hypos)?) {
                 Formula::False => Ok(goal.clone()),
-                other => Err(mismatch("false-elim", format!("premise is {other}, not false"))),
+                other => Err(mismatch(
+                    "false-elim",
+                    format!("premise is {other}, not false"),
+                )),
             }
         }
         Proof::DoubleNegIntro(p) => {
@@ -284,13 +300,19 @@ fn chk(
             let (p1, inner) = match normalize(&f) {
                 Formula::Says(p, inner) => (p, *inner),
                 other => {
-                    return Err(mismatch("says-app", format!("first premise {other} is not a says")))
+                    return Err(mismatch(
+                        "says-app",
+                        format!("first premise {other} is not a says"),
+                    ))
                 }
             };
             let (p2, arg) = match normalize(&a) {
                 Formula::Says(p, inner) => (p, *inner),
                 other => {
-                    return Err(mismatch("says-app", format!("second premise {other} is not a says")))
+                    return Err(mismatch(
+                        "says-app",
+                        format!("second premise {other} is not a says"),
+                    ))
                 }
             };
             if p1 != p2 {
@@ -364,7 +386,10 @@ fn chk(
         }
         Proof::SpeaksForRefl(p) => {
             if p.has_var() {
-                return Err(CheckError::NonGround(Formula::speaksfor(p.clone(), p.clone())));
+                return Err(CheckError::NonGround(Formula::speaksfor(
+                    p.clone(),
+                    p.clone(),
+                )));
             }
             Ok(Formula::speaksfor(p.clone(), p.clone()))
         }
@@ -408,11 +433,13 @@ fn chk(
                     let scope: Option<BTreeSet<String>> = match (s1, s2) {
                         (None, None) => None,
                         (Some(s), None) | (None, Some(s)) => Some(s),
-                        (Some(s1), Some(s2)) => {
-                            Some(s1.intersection(&s2).cloned().collect())
-                        }
+                        (Some(s1), Some(s2)) => Some(s1.intersection(&s2).cloned().collect()),
                     };
-                    Ok(Formula::SpeaksFor { from: a, to: c, scope })
+                    Ok(Formula::SpeaksFor {
+                        from: a,
+                        to: c,
+                        scope,
+                    })
                 }
                 (f1, f2) => Err(mismatch(
                     "speaksfor-trans",
@@ -440,7 +467,10 @@ mod tests {
         let ok = Proof::assume(parse("A says p").unwrap());
         assert_eq!(check(&ok, &a).unwrap(), parse("A says p").unwrap());
         let bad = Proof::assume(parse("A says q").unwrap());
-        assert!(matches!(check(&bad, &a), Err(CheckError::UnknownAssumption(_))));
+        assert!(matches!(
+            check(&bad, &a),
+            Err(CheckError::UnknownAssumption(_))
+        ));
     }
 
     #[test]
@@ -588,7 +618,11 @@ mod tests {
         );
         assert!(check(&s, &Assumptions::new()).is_ok());
         // Symbols are not evaluable.
-        let sym = Proof::CmpEval(crate::formula::CmpOp::Lt, Term::sym("TimeNow"), Term::int(7));
+        let sym = Proof::CmpEval(
+            crate::formula::CmpOp::Lt,
+            Term::sym("TimeNow"),
+            Term::int(7),
+        );
         assert!(matches!(
             check(&sym, &Assumptions::new()),
             Err(CheckError::NotEvaluable(_))
@@ -669,7 +703,9 @@ mod tests {
             "NTP says isTypeSafe(PGM)",
         ]);
         let ok = Proof::SpeaksForElim(
-            Box::new(Proof::assume(parse("NTP speaksfor Server on TimeNow").unwrap())),
+            Box::new(Proof::assume(
+                parse("NTP speaksfor Server on TimeNow").unwrap(),
+            )),
             Box::new(Proof::assume(parse("NTP says TimeNow < 20110319").unwrap())),
         );
         assert_eq!(
@@ -678,10 +714,15 @@ mod tests {
         );
         // Out-of-scope statement must be rejected.
         let bad = Proof::SpeaksForElim(
-            Box::new(Proof::assume(parse("NTP speaksfor Server on TimeNow").unwrap())),
+            Box::new(Proof::assume(
+                parse("NTP speaksfor Server on TimeNow").unwrap(),
+            )),
             Box::new(Proof::assume(parse("NTP says isTypeSafe(PGM)").unwrap())),
         );
-        assert!(matches!(check(&bad, &a), Err(CheckError::ScopeViolation { .. })));
+        assert!(matches!(
+            check(&bad, &a),
+            Err(CheckError::ScopeViolation { .. })
+        ));
     }
 
     #[test]
@@ -702,7 +743,9 @@ mod tests {
             "B speaksfor C on TimeNow",
         ]);
         let proof = Proof::SpeaksForTrans(
-            Box::new(Proof::assume(parse("A speaksfor B on TimeNow TimeZone").unwrap())),
+            Box::new(Proof::assume(
+                parse("A speaksfor B on TimeNow TimeZone").unwrap(),
+            )),
             Box::new(Proof::assume(parse("B speaksfor C on TimeNow").unwrap())),
         );
         let c = check(&proof, &a).unwrap();
@@ -748,7 +791,9 @@ mod tests {
             "NTP says TimeNow < 20110319",
         ]);
         let proof = Proof::SpeaksForElim(
-            Box::new(Proof::assume(parse("NTP speaksfor Owner on TimeNow").unwrap())),
+            Box::new(Proof::assume(
+                parse("NTP speaksfor Owner on TimeNow").unwrap(),
+            )),
             Box::new(Proof::assume(parse("NTP says TimeNow < 20110319").unwrap())),
         );
         assert_eq!(

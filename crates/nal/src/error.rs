@@ -73,7 +73,10 @@ impl fmt::Display for CheckError {
             }
             CheckError::NotEvaluable(s) => write!(f, "comparison not evaluable: {s}"),
             CheckError::ScopeViolation { statement, scope } => {
-                write!(f, "statement {statement} outside delegation scope {scope:?}")
+                write!(
+                    f,
+                    "statement {statement} outside delegation scope {scope:?}"
+                )
             }
             CheckError::NonGround(s) => write!(f, "proof not ground: {s}"),
             CheckError::TooLarge(n) => write!(f, "proof too large: {n} nodes"),

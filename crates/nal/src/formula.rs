@@ -150,7 +150,9 @@ impl Formula {
         Formula::Implies(Box::new(self), Box::new(other))
     }
 
-    /// `¬self`.
+    /// `¬self`. (Deliberately shadows the `std::ops::Not` name: this
+    /// is the formula constructor DSL, `!f` is not implemented.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Formula::Not(Box::new(self))
     }
@@ -411,7 +413,8 @@ mod tests {
             .and(Formula::pred("b", vec![]))
             .or(Formula::pred("c", vec![]));
         assert_eq!(f.to_string(), "a and b or c");
-        let g = Formula::pred("a", vec![]).and(Formula::pred("b", vec![]).or(Formula::pred("c", vec![])));
+        let g = Formula::pred("a", vec![])
+            .and(Formula::pred("b", vec![]).or(Formula::pred("c", vec![])));
         assert_eq!(g.to_string(), "a and (b or c)");
     }
 
@@ -478,8 +481,7 @@ mod tests {
 
     #[test]
     fn vars_and_groundness() {
-        let f = Formula::pred("openFile", vec![Term::var("F")])
-            .says(Principal::var("X"));
+        let f = Formula::pred("openFile", vec![Term::var("F")]).says(Principal::var("X"));
         assert_eq!(f.vars(), vec!["X", "F"]);
         assert!(!f.is_ground());
         assert!(Formula::True.is_ground());

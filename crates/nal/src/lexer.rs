@@ -95,70 +95,118 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: start });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: start });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: start });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: start });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '∧' => {
-                out.push(Spanned { token: Token::And, offset: start });
+                out.push(Spanned {
+                    token: Token::And,
+                    offset: start,
+                });
                 i += 1;
             }
             '∨' => {
-                out.push(Spanned { token: Token::Or, offset: start });
+                out.push(Spanned {
+                    token: Token::Or,
+                    offset: start,
+                });
                 i += 1;
             }
             '¬' => {
-                out.push(Spanned { token: Token::Not, offset: start });
+                out.push(Spanned {
+                    token: Token::Not,
+                    offset: start,
+                });
                 i += 1;
             }
             '⇒' | '→' => {
-                out.push(Spanned { token: Token::Implies, offset: start });
+                out.push(Spanned {
+                    token: Token::Implies,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Spanned { token: Token::Le, offset: start });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Spanned { token: Token::Ge, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if i + 1 < n && bytes[i + 1] == '>' {
-                    out.push(Spanned { token: Token::Implies, offset: start });
+                    out.push(Spanned {
+                        token: Token::Implies,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Spanned { token: Token::Eq, offset: start });
+                    out.push(Spanned {
+                        token: Token::Eq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Eq, offset: start });
+                    out.push(Spanned {
+                        token: Token::Eq,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(start, "unexpected '!'"));
@@ -166,7 +214,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '-' => {
                 if i + 1 < n && bytes[i + 1] == '>' {
-                    out.push(Spanned { token: Token::Implies, offset: start });
+                    out.push(Spanned {
+                        token: Token::Implies,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < n && bytes[i + 1].is_ascii_digit() {
                     let mut j = i + 1;
@@ -177,7 +228,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     let v = text
                         .parse::<i64>()
                         .map_err(|e| ParseError::new(start, format!("bad integer: {e}")))?;
-                    out.push(Spanned { token: Token::Int(v), offset: start });
+                    out.push(Spanned {
+                        token: Token::Int(v),
+                        offset: start,
+                    });
                     i = j;
                 } else {
                     return Err(ParseError::new(start, "unexpected '-'"));
@@ -186,7 +240,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             '/' => {
                 // `/\` is conjunction; otherwise a path.
                 if i + 1 < n && bytes[i + 1] == '\\' {
-                    out.push(Spanned { token: Token::And, offset: start });
+                    out.push(Spanned {
+                        token: Token::And,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     let mut j = i;
@@ -199,13 +256,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     // Dot token). We keep dots inside the path: Nexus
                     // paths are opaque strings.
                     let text: String = bytes[i..j].iter().collect();
-                    out.push(Spanned { token: Token::Path(text), offset: start });
+                    out.push(Spanned {
+                        token: Token::Path(text),
+                        offset: start,
+                    });
                     i = j;
                 }
             }
             '\\' => {
                 if i + 1 < n && bytes[i + 1] == '/' {
-                    out.push(Spanned { token: Token::Or, offset: start });
+                    out.push(Spanned {
+                        token: Token::Or,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(start, "unexpected '\\'"));
@@ -220,7 +283,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     return Err(ParseError::new(start, "empty variable name after '$'"));
                 }
                 let text: String = bytes[i + 1..j].iter().collect();
-                out.push(Spanned { token: Token::Var(text), offset: start });
+                out.push(Spanned {
+                    token: Token::Var(text),
+                    offset: start,
+                });
                 i = j;
             }
             '"' => {
@@ -254,7 +320,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 if !closed {
                     return Err(ParseError::new(start, "unterminated string literal"));
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
                 i = j;
             }
             d if d.is_ascii_digit() => {
@@ -266,7 +335,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 let v = text
                     .parse::<i64>()
                     .map_err(|e| ParseError::new(start, format!("bad integer: {e}")))?;
-                out.push(Spanned { token: Token::Int(v), offset: start });
+                out.push(Spanned {
+                    token: Token::Int(v),
+                    offset: start,
+                });
                 i = j;
             }
             c if is_ident_start(c) => {
@@ -295,7 +367,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         if hex.is_empty() {
                             return Err(ParseError::new(start, "empty key after 'key:'"));
                         }
-                        out.push(Spanned { token: Token::Key(hex), offset: start });
+                        out.push(Spanned {
+                            token: Token::Key(hex),
+                            offset: start,
+                        });
                         i = k;
                         continue;
                     }
@@ -318,11 +393,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         Token::Ident(text)
                     }
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
-                return Err(ParseError::new(start, format!("unexpected character {other:?}")));
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character {other:?}"),
+                ));
             }
         }
     }
@@ -363,8 +444,14 @@ mod tests {
 
     #[test]
     fn unicode_connectives() {
-        assert_eq!(toks("a ∧ b"), vec![
-            Token::Ident("a".into()), Token::And, Token::Ident("b".into())]);
+        assert_eq!(
+            toks("a ∧ b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::And,
+                Token::Ident("b".into())
+            ]
+        );
         assert_eq!(toks("a ∨ b")[1], Token::Or);
         assert_eq!(toks("¬a")[0], Token::Not);
         assert_eq!(toks("a ⇒ b")[1], Token::Implies);
@@ -398,10 +485,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            toks(r#""a\"b\n""#)[0],
-            Token::Str("a\"b\n".into())
-        );
+        assert_eq!(toks(r#""a\"b\n""#)[0], Token::Str("a\"b\n".into()));
     }
 
     #[test]

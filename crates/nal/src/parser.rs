@@ -131,7 +131,9 @@ impl Parser {
                 })?;
                 let to_term = self.term()?;
                 let to = term_to_principal(&to_term).ok_or_else(|| {
-                    self.err(format!("'{to_term}' cannot be a principal after 'speaksfor'"))
+                    self.err(format!(
+                        "'{to_term}' cannot be a principal after 'speaksfor'"
+                    ))
                 })?;
                 if matches!(self.peek(), Some(Token::On)) {
                     self.pos += 1;
@@ -392,7 +394,10 @@ mod tests {
         roundtrip("a != b");
         roundtrip("quota(alice) >= 80");
         let f = parse("quota(alice) < 80").unwrap();
-        assert!(matches!(f, Formula::Cmp(CmpOp::Lt, Term::App(..), Term::Int(80))));
+        assert!(matches!(
+            f,
+            Formula::Cmp(CmpOp::Lt, Term::App(..), Term::Int(80))
+        ));
     }
 
     #[test]

@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn ordering_is_stable() {
         // Ord is required for canonical serialization of credential sets.
-        let mut v = vec![
+        let mut v = [
             Principal::name("B"),
             Principal::name("A"),
             Principal::name("A").sub("x"),

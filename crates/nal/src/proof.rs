@@ -255,12 +255,8 @@ impl Proof {
             Proof::CmpEval(op, a, b) => {
                 out.push_str(&format!("evaluate: {a} {} {b}\n", op.symbol()))
             }
-            Proof::SubPrin(p, c) => {
-                out.push_str(&format!("axiom: {p} speaksfor {p}.{c}\n"))
-            }
-            Proof::SpeaksForRefl(p) => {
-                out.push_str(&format!("axiom: {p} speaksfor {p}\n"))
-            }
+            Proof::SubPrin(p, c) => out.push_str(&format!("axiom: {p} speaksfor {p}.{c}\n")),
+            Proof::SpeaksForRefl(p) => out.push_str(&format!("axiom: {p} speaksfor {p}\n")),
             other => {
                 out.push_str(other.rule_name());
                 out.push('\n');

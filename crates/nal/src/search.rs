@@ -47,7 +47,12 @@ struct Search<'a> {
     /// Delegation edges derivable by the handoff rule from
     /// credentials of the form `S says (A speaksfor B)` where S is B
     /// or an ancestor of B: (from, to, scope, proof).
-    handoff_edges: Vec<(Principal, Principal, Option<std::collections::BTreeSet<String>>, Proof)>,
+    handoff_edges: Vec<(
+        Principal,
+        Principal,
+        Option<std::collections::BTreeSet<String>>,
+        Proof,
+    )>,
 }
 
 /// Proof that `from speaksfor from.⋯.to` via chained subprincipal
@@ -73,7 +78,12 @@ fn subprin_chain(from: &Principal, to: &Principal) -> Option<Proof> {
 
 fn compute_handoff_edges(
     credentials: &[Formula],
-) -> Vec<(Principal, Principal, Option<std::collections::BTreeSet<String>>, Proof)> {
+) -> Vec<(
+    Principal,
+    Principal,
+    Option<std::collections::BTreeSet<String>>,
+    Proof,
+)> {
     let mut out = Vec::new();
     for c in credentials {
         if let Formula::Says(speaker, inner) = c {
@@ -153,7 +163,7 @@ impl<'a> Search<'a> {
     }
 
     fn solve(&mut self, goal: &Formula, depth: usize) -> Option<Proof> {
-        if !self.budget() || goal.vars().len() > 0 {
+        if !self.budget() || !goal.vars().is_empty() {
             return None;
         }
         if let Some(p) = self.credential_matches(goal) {
@@ -222,9 +232,7 @@ impl<'a> Search<'a> {
             .credentials
             .iter()
             .filter_map(|c| match c {
-                Formula::Says(q, inner) if normalize(inner) == ns => {
-                    Some((q.clone(), c.clone()))
-                }
+                Formula::Says(q, inner) if normalize(inner) == ns => Some((q.clone(), c.clone())),
                 _ => None,
             })
             .collect();
@@ -243,9 +251,7 @@ impl<'a> Search<'a> {
             .iter()
             .filter_map(|c| match c {
                 Formula::Says(q, inner) if q == p => match normalize(inner) {
-                    Formula::Implies(x, b) if *b == ns => {
-                        Some((c.clone(), (*x).clone()))
-                    }
+                    Formula::Implies(x, b) if *b == ns => Some((c.clone(), (*x).clone())),
                     _ => None,
                 },
                 _ => None,
@@ -574,17 +580,17 @@ mod tests {
 
     #[test]
     fn delegation_two_hops() {
-        prove_ok(
-            "C says p",
-            &["A speaksfor B", "B speaksfor C", "A says p"],
-        );
+        prove_ok("C says p", &["A speaksfor B", "B speaksfor C", "A says p"]);
     }
 
     #[test]
     fn scoped_delegation_respected() {
         prove_ok(
             "Owner says TimeNow < 20110319",
-            &["NTP speaksfor Owner on TimeNow", "NTP says TimeNow < 20110319"],
+            &[
+                "NTP speaksfor Owner on TimeNow",
+                "NTP says TimeNow < 20110319",
+            ],
         );
         prove_fails(
             "Owner says isTypeSafe(PGM)",
@@ -612,10 +618,7 @@ mod tests {
 
     #[test]
     fn says_distribution() {
-        prove_ok(
-            "A says q",
-            &["A says (p -> q)", "A says p"],
-        );
+        prove_ok("A says q", &["A says (p -> q)", "A says p"]);
     }
 
     #[test]
@@ -626,10 +629,7 @@ mod tests {
 
     #[test]
     fn revocation_pattern() {
-        prove_ok(
-            "A says S",
-            &["A says (Valid(S) -> S)", "A says Valid(S)"],
-        );
+        prove_ok("A says S", &["A says (Valid(S) -> S)", "A says Valid(S)"]);
     }
 
     #[test]

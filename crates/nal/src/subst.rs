@@ -95,12 +95,8 @@ impl Subst {
                 name.clone(),
                 args.iter().map(|a| self.apply_term(a)).collect(),
             ),
-            Formula::Cmp(op, a, b) => {
-                Formula::Cmp(*op, self.apply_term(a), self.apply_term(b))
-            }
-            Formula::Says(p, s) => {
-                Formula::Says(self.apply_principal(p), Box::new(self.apply(s)))
-            }
+            Formula::Cmp(op, a, b) => Formula::Cmp(*op, self.apply_term(a), self.apply_term(b)),
+            Formula::Says(p, s) => Formula::Says(self.apply_principal(p), Box::new(self.apply(s))),
             Formula::SpeaksFor { from, to, scope } => Formula::SpeaksFor {
                 from: self.apply_principal(from),
                 to: self.apply_principal(to),

@@ -90,9 +90,7 @@ impl Term {
     pub fn canon(&self) -> Term {
         match self {
             Term::Prin(Principal::Name(n)) => Term::Sym(n.clone()),
-            Term::App(f, args) => {
-                Term::App(f.clone(), args.iter().map(Term::canon).collect())
-            }
+            Term::App(f, args) => Term::App(f.clone(), args.iter().map(Term::canon).collect()),
             other => other.clone(),
         }
     }

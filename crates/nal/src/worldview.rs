@@ -41,14 +41,8 @@ impl Worldview {
     }
 
     /// Record a delegation `from speaksfor to [on scope]`.
-    pub fn delegate(
-        &mut self,
-        from: &Principal,
-        to: &Principal,
-        scope: Option<BTreeSet<String>>,
-    ) {
-        self.delegations
-            .push((from.clone(), to.clone(), scope));
+    pub fn delegate(&mut self, from: &Principal, to: &Principal, scope: Option<BTreeSet<String>>) {
+        self.delegations.push((from.clone(), to.clone(), scope));
     }
 
     /// Ingest a label: `P says S` becomes a belief; a `speaksfor`
@@ -69,9 +63,7 @@ impl Worldview {
                 }
                 self.believe(p, s)
             }
-            Formula::SpeaksFor { from, to, scope } => {
-                self.delegate(from, to, scope.clone())
-            }
+            Formula::SpeaksFor { from, to, scope } => self.delegate(from, to, scope.clone()),
             _ => {}
         }
     }
@@ -228,8 +220,7 @@ mod tests {
         ];
         for (labels, speaker, stmt, expected) in scenarios {
             let mut w = Worldview::new();
-            let creds: Vec<Formula> =
-                labels.iter().map(|l| parse(l).unwrap()).collect();
+            let creds: Vec<Formula> = labels.iter().map(|l| parse(l).unwrap()).collect();
             for c in &creds {
                 w.ingest(c);
             }

@@ -139,7 +139,10 @@ mod tests {
         assert!(d.exists("/a"));
         d.delete_file("/a").unwrap();
         assert!(!d.exists("/a"));
-        assert!(matches!(d.read_file("/a"), Err(StorageError::NoSuchFile(_))));
+        assert!(matches!(
+            d.read_file("/a"),
+            Err(StorageError::NoSuchFile(_))
+        ));
     }
 
     #[test]

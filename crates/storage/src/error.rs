@@ -40,7 +40,10 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchFile(n) => write!(f, "no such file: {n}"),
             StorageError::IntegrityViolation(m) => write!(f, "integrity violation: {m}"),
             StorageError::BootAbort => {
-                write!(f, "boot aborted: on-disk state matches no integrity register")
+                write!(
+                    f,
+                    "boot aborted: on-disk state matches no integrity register"
+                )
             }
             StorageError::NoSuchVdir(i) => write!(f, "no such VDIR: {i}"),
             StorageError::NoSuchVkey(i) => write!(f, "no such VKEY: {i}"),

@@ -129,7 +129,7 @@ impl MerkleTree {
         let mut acc = *leaf;
         let mut idx = index;
         for (sibling, sibling_left) in proof {
-            acc = if *sibling == Digest::ZERO && idx % 2 == 0 {
+            acc = if *sibling == Digest::ZERO && idx.is_multiple_of(2) {
                 // Promotion of a lone node.
                 parent_single(&acc)
             } else if *sibling_left {
@@ -171,8 +171,8 @@ mod tests {
                 let new_leaf = nexus_tpm::hash(&[0xa0, i as u8]);
                 incremental.update(i, new_leaf);
                 let mut fresh = leaves(n);
-                for j in 0..=i {
-                    fresh[j] = nexus_tpm::hash(&[0xa0, j as u8]);
+                for (j, leaf) in fresh.iter_mut().enumerate().take(i + 1) {
+                    *leaf = nexus_tpm::hash(&[0xa0, j as u8]);
                 }
                 let rebuilt = MerkleTree::from_leaves(fresh);
                 assert_eq!(incremental.root(), rebuilt.root(), "n={n} i={i}");
@@ -186,10 +186,10 @@ mod tests {
             let ls = leaves(n);
             let t = MerkleTree::from_leaves(ls.clone());
             let root = t.root();
-            for i in 0..n {
+            for (i, leaf) in ls.iter().enumerate() {
                 let proof = t.proof(i).unwrap();
                 assert!(
-                    MerkleTree::verify(&root, &ls[i], i, &proof),
+                    MerkleTree::verify(&root, leaf, i, &proof),
                     "valid proof must verify (n={n} i={i})"
                 );
                 let wrong = nexus_tpm::hash(b"other");
@@ -219,10 +219,7 @@ mod tests {
         assert_ne!(t.root(), e);
         t.push(nexus_tpm::hash(b"b"));
         assert_eq!(t.len(), 2);
-        assert_eq!(
-            t.root(),
-            MerkleTree::from_blocks(&[b"a", b"b"]).root()
-        );
+        assert_eq!(t.root(), MerkleTree::from_blocks(&[b"a", b"b"]).root());
     }
 
     #[test]

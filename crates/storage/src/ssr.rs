@@ -186,7 +186,7 @@ impl SsrManager {
         if let Some(key) = meta.cfg.encrypt_with {
             let iv = block_iv(&meta.nonce_base, index, version);
             let k = vkeys.symmetric_key(key)?;
-            let mut cipher = Aes256Ctr::new((&k).into(), (&iv).into());
+            let mut cipher = Aes256Ctr::new(&k, &iv);
             cipher.apply_keystream(&mut block);
         }
         let leaf = nexus_tpm::hash(&block);
@@ -202,11 +202,7 @@ impl SsrManager {
     }
 
     /// Recompute and anchor the Merkle root for `name` in its VDIR.
-    fn reanchor(
-        &self,
-        name: &str,
-        vdirs: &mut VdirTable,
-    ) -> Result<(), StorageError> {
+    fn reanchor(&self, name: &str, vdirs: &mut VdirTable) -> Result<(), StorageError> {
         let meta = self.meta_of(name)?;
         let root = MerkleTree::from_leaves(meta.leaves.clone()).root();
         vdirs.write(meta.vdir, root)
@@ -261,7 +257,7 @@ impl SsrManager {
         if let Some(key) = meta.cfg.encrypt_with {
             let iv = block_iv(&meta.nonce_base, index, meta.versions[index]);
             let k = vkeys.symmetric_key(key)?;
-            let mut cipher = Aes256Ctr::new((&k).into(), (&iv).into());
+            let mut cipher = Aes256Ctr::new(&k, &iv);
             cipher.apply_keystream(&mut block);
         }
         Ok(block)
@@ -313,8 +309,8 @@ impl SsrManager {
         vdirs: &VdirTable,
         tpm: &mut Tpm,
     ) -> Result<(), StorageError> {
-        let bytes = serde_json::to_vec(&self.meta)
-            .map_err(|e| StorageError::Encoding(e.to_string()))?;
+        let bytes =
+            serde_json::to_vec(&self.meta).map_err(|e| StorageError::Encoding(e.to_string()))?;
         disk.write_file(META_FILE, &bytes)?;
         vdirs.flush(disk, tpm)
     }
@@ -382,7 +378,10 @@ mod tests {
         w.ssrs
             .write_all("tokens", &data, &mut w.disk, &mut w.vdirs, &w.vkeys)
             .unwrap();
-        let back = w.ssrs.read_all("tokens", &w.disk, &w.vdirs, &w.vkeys).unwrap();
+        let back = w
+            .ssrs
+            .read_all("tokens", &w.disk, &w.vdirs, &w.vkeys)
+            .unwrap();
         assert_eq!(&back[..3000], &data[..]);
         assert_eq!(back.len(), 3072, "padded to block size");
     }
@@ -395,7 +394,9 @@ mod tests {
             block_size: 64,
             encrypt_with: Some(key),
         };
-        w.ssrs.create("secret", cfg, &mut w.vdirs, &mut w.tpm).unwrap();
+        w.ssrs
+            .create("secret", cfg, &mut w.vdirs, &mut w.tpm)
+            .unwrap();
         let plaintext = b"attack at dawn";
         w.ssrs
             .write_block("secret", 0, plaintext, &mut w.disk, &mut w.vdirs, &w.vkeys)

@@ -87,7 +87,10 @@ impl VkeyTable {
     }
 
     fn get(&self, id: VkeyId) -> Result<&Material, StorageError> {
-        self.state.keys.get(&id.0).ok_or(StorageError::NoSuchVkey(id.0))
+        self.state
+            .keys
+            .get(&id.0)
+            .ok_or(StorageError::NoSuchVkey(id.0))
     }
 
     /// Destroy a VKEY.
@@ -158,7 +161,7 @@ impl VkeyTable {
     ) -> Result<Vec<u8>, StorageError> {
         let key = self.symmetric_key(id)?;
         let mut out = data.to_vec();
-        let mut cipher = Aes256Ctr::new((&key).into(), nonce.into());
+        let mut cipher = Aes256Ctr::new(&key, nonce);
         cipher.apply_keystream(&mut out);
         Ok(out)
     }
@@ -188,7 +191,7 @@ impl VkeyTable {
         let mut nonce = [0u8; 16];
         tpm.get_random(&mut nonce);
         let mut ciphertext = material;
-        let mut cipher = Aes256Ctr::new((&wrap_key).into(), (&nonce).into());
+        let mut cipher = Aes256Ctr::new(&wrap_key, &nonce);
         cipher.apply_keystream(&mut ciphertext);
         let tag = nexus_tpm::hash_concat(&[b"vkey-wrap", &wrap_key, &nonce, &ciphertext]);
         Ok(WrappedKey {
@@ -205,17 +208,13 @@ impl VkeyTable {
         unwrap_with: VkeyId,
     ) -> Result<VkeyId, StorageError> {
         let wrap_key = self.symmetric_key(unwrap_with)?;
-        let expect = nexus_tpm::hash_concat(&[
-            b"vkey-wrap",
-            &wrap_key,
-            &wrapped.nonce,
-            &wrapped.ciphertext,
-        ]);
+        let expect =
+            nexus_tpm::hash_concat(&[b"vkey-wrap", &wrap_key, &wrapped.nonce, &wrapped.ciphertext]);
         if expect != wrapped.tag {
             return Err(StorageError::UnwrapFailed);
         }
         let mut plain = wrapped.ciphertext.clone();
-        let mut cipher = Aes256Ctr::new((&wrap_key).into(), (&wrapped.nonce).into());
+        let mut cipher = Aes256Ctr::new(&wrap_key, &wrapped.nonce);
         cipher.apply_keystream(&mut plain);
         let material: Material =
             serde_json::from_slice(&plain).map_err(|_| StorageError::UnwrapFailed)?;
@@ -279,7 +278,10 @@ mod tests {
         let mut vk = VkeyTable::new();
         let s = vk.create_signing(&mut tpm);
         let e = vk.create_symmetric(&mut tpm);
-        assert_eq!(vk.encrypt(s, &[0; 16], b"x"), Err(StorageError::WrongKeyKind));
+        assert_eq!(
+            vk.encrypt(s, &[0; 16], b"x"),
+            Err(StorageError::WrongKeyKind)
+        );
         assert_eq!(vk.sign(e, b"x"), Err(StorageError::WrongKeyKind));
     }
 
@@ -315,7 +317,10 @@ mod tests {
         let w1 = vk.create_symmetric(&mut tpm);
         let w2 = vk.create_symmetric(&mut tpm);
         let wrapped = vk.externalize(signer, w1, &mut tpm).unwrap();
-        assert_eq!(vk.internalize(&wrapped, w2), Err(StorageError::UnwrapFailed));
+        assert_eq!(
+            vk.internalize(&wrapped, w2),
+            Err(StorageError::UnwrapFailed)
+        );
     }
 
     #[test]

@@ -55,12 +55,21 @@ struct Owned {
 impl Tpm {
     /// A freshly manufactured TPM with an OS-provided entropy seed.
     pub fn new() -> Self {
+        Self::new_from_rng(&mut rand::thread_rng())
+    }
+
+    /// A freshly manufactured TPM drawing its entropy from the given
+    /// RNG — inject a seeded generator to make boot measurements,
+    /// key generation, and nonces fully deterministic in tests and
+    /// benchmarks.
+    pub fn new_from_rng<R: RngCore>(rng: &mut R) -> Self {
         let mut seed = [0u8; 32];
-        rand::thread_rng().fill_bytes(&mut seed);
+        rng.fill_bytes(&mut seed);
         Self::from_seed_bytes(seed)
     }
 
-    /// Deterministic TPM for tests and reproducible benchmarks.
+    /// Deterministic TPM for tests and reproducible benchmarks
+    /// (shorthand for [`Tpm::new_from_rng`] over a seeded `StdRng`).
     pub fn new_with_seed(seed: u64) -> Self {
         let mut bytes = [0u8; 32];
         bytes[..8].copy_from_slice(&seed.to_le_bytes());
@@ -254,19 +263,29 @@ impl Tpm {
     /// fixed-size areas).
     pub fn nv_write(&mut self, index: u32, data: &[u8]) -> Result<(), TpmError> {
         self.owned()?;
-        let area = self.nvram.get(&index).ok_or(TpmError::NvAreaMissing(index))?;
+        let area = self
+            .nvram
+            .get(&index)
+            .ok_or(TpmError::NvAreaMissing(index))?;
         self.nv_check(area)?;
         if area.data.len() != data.len() {
             return Err(TpmError::NvSizeMismatch);
         }
-        self.nvram.get_mut(&index).expect("checked").data.copy_from_slice(data);
+        self.nvram
+            .get_mut(&index)
+            .expect("checked")
+            .data
+            .copy_from_slice(data);
         Ok(())
     }
 
     /// Read an NVRAM area.
     pub fn nv_read(&self, index: u32) -> Result<Vec<u8>, TpmError> {
         self.owned()?;
-        let area = self.nvram.get(&index).ok_or(TpmError::NvAreaMissing(index))?;
+        let area = self
+            .nvram
+            .get(&index)
+            .ok_or(TpmError::NvAreaMissing(index))?;
         self.nv_check(area)?;
         Ok(area.data.clone())
     }
@@ -481,6 +500,24 @@ mod tests {
         assert_eq!(a.ek_public(), b.ek_public());
         let c = Tpm::new_with_seed(8);
         assert_ne!(a.ek_public(), c.ek_public());
+    }
+
+    #[test]
+    fn injected_rng_is_deterministic_end_to_end() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut t = Tpm::new_from_rng(&mut rng);
+            t.pcrs_mut().extend(0, b"bios");
+            t.take_ownership().unwrap();
+            let mut nonce = [0u8; 16];
+            t.get_random(&mut nonce);
+            (t.ek_public(), nonce)
+        };
+        let (ek1, n1) = mk();
+        let (ek2, n2) = mk();
+        assert_eq!(ek1, ek2, "same injected RNG must yield the same EK");
+        assert_eq!(n1, n2, "device randomness must be reproducible too");
     }
 
     #[test]

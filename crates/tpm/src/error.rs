@@ -49,7 +49,10 @@ impl fmt::Display for TpmError {
             TpmError::BadBlob(m) => write!(f, "malformed blob: {m}"),
             TpmError::NvAreaExists(i) => write!(f, "NVRAM area {i} already defined"),
             TpmError::NvAreaMissing(i) => write!(f, "NVRAM area {i} not defined"),
-            TpmError::NvCapacityExceeded { requested, available } => write!(
+            TpmError::NvCapacityExceeded {
+                requested,
+                available,
+            } => write!(
                 f,
                 "NVRAM capacity exceeded: requested {requested}, available {available}"
             ),

@@ -27,7 +27,11 @@ pub struct Quote {
 }
 
 impl Quote {
-    pub(crate) fn message(selection: &PcrSelection, composite: &Digest, nonce: &[u8; 16]) -> Vec<u8> {
+    pub(crate) fn message(
+        selection: &PcrSelection,
+        composite: &Digest,
+        nonce: &[u8; 16],
+    ) -> Vec<u8> {
         let mut m = b"nexus-tpm-quote".to_vec();
         m.push(selection.len() as u8);
         for i in selection.iter() {

@@ -71,7 +71,7 @@ pub(crate) fn seal_with_key(
 ) -> SealedBlob {
     let key = derive_seal_key(srk_seed, &composite);
     let mut ciphertext = plaintext.to_vec();
-    let mut cipher = Aes256Ctr::new((&key).into(), (&nonce).into());
+    let mut cipher = Aes256Ctr::new(&key, &nonce);
     cipher.apply_keystream(&mut ciphertext);
     let tag = compute_tag(&key, &nonce, &composite, &ciphertext);
     SealedBlob {
@@ -97,7 +97,7 @@ pub(crate) fn unseal_with_key(
         return Err(TpmError::IntegrityFailure);
     }
     let mut plaintext = blob.ciphertext.clone();
-    let mut cipher = Aes256Ctr::new((&key).into(), (&blob.nonce).into());
+    let mut cipher = Aes256Ctr::new(&key, &blob.nonce);
     cipher.apply_keystream(&mut plaintext);
     Ok(plaintext)
 }
@@ -114,7 +114,13 @@ mod tests {
     fn seal_unseal_round_trip() {
         let seed = [7u8; 32];
         let comp = composite_of(1);
-        let blob = seal_with_key(&seed, PcrSelection::boot_chain(), comp, [9u8; 16], b"secret");
+        let blob = seal_with_key(
+            &seed,
+            PcrSelection::boot_chain(),
+            comp,
+            [9u8; 16],
+            b"secret",
+        );
         let out = unseal_with_key(&seed, &comp, &blob).unwrap();
         assert_eq!(out, b"secret");
     }
@@ -139,8 +145,13 @@ mod tests {
     fn unseal_fails_on_tampered_ciphertext() {
         let seed = [7u8; 32];
         let comp = composite_of(1);
-        let mut blob =
-            seal_with_key(&seed, PcrSelection::boot_chain(), comp, [9u8; 16], b"secret");
+        let mut blob = seal_with_key(
+            &seed,
+            PcrSelection::boot_chain(),
+            comp,
+            [9u8; 16],
+            b"secret",
+        );
         blob.ciphertext[0] ^= 1;
         assert_eq!(
             unseal_with_key(&seed, &comp, &blob),
@@ -154,8 +165,13 @@ mod tests {
         // platform: the key derivation differs, so the tag check fails.
         let seed = [7u8; 32];
         let comp = composite_of(1);
-        let mut blob =
-            seal_with_key(&seed, PcrSelection::boot_chain(), comp, [9u8; 16], b"secret");
+        let mut blob = seal_with_key(
+            &seed,
+            PcrSelection::boot_chain(),
+            comp,
+            [9u8; 16],
+            b"secret",
+        );
         blob.composite = composite_of(2);
         assert_eq!(
             unseal_with_key(&seed, &composite_of(2), &blob),
@@ -166,7 +182,13 @@ mod tests {
     #[test]
     fn different_seeds_cannot_unseal() {
         let comp = composite_of(1);
-        let blob = seal_with_key(&[7u8; 32], PcrSelection::boot_chain(), comp, [9u8; 16], b"s");
+        let blob = seal_with_key(
+            &[7u8; 32],
+            PcrSelection::boot_chain(),
+            comp,
+            [9u8; 16],
+            b"s",
+        );
         assert!(unseal_with_key(&[8u8; 32], &comp, &blob).is_err());
     }
 

@@ -30,7 +30,10 @@ fn main() {
     fb.post(alice, "off to the lake this weekend").unwrap();
     fb.add_friend(alice, "bob").unwrap();
 
-    println!("\nbob (friend) sees: {:?}", fb.view_wall(bob, "alice").unwrap());
+    println!(
+        "\nbob (friend) sees: {:?}",
+        fb.view_wall(bob, "alice").unwrap()
+    );
     println!(
         "mallory (stranger) gets: {}",
         fb.view_wall(mallory, "alice").unwrap_err()

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn main() {
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new(),
         RamDisk::new(),
         &BootImages::standard(),

@@ -12,7 +12,7 @@ use nexus_tpm::Tpm;
 fn main() {
     // 1. Measured boot: BIOS, loader, and kernel hashes land in the
     //    TPM's PCRs; first boot takes ownership.
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new(),
         RamDisk::new(),
         &BootImages::standard(),
@@ -49,7 +49,9 @@ fn main() {
         .unwrap();
     println!("alice wrote her file");
     assert!(
-        nexus.syscall(bob, Syscall::Open("/alice/notes".into())).is_err(),
+        nexus
+            .syscall(bob, Syscall::Open("/alice/notes".into()))
+            .is_err(),
         "bob is denied by the default policy"
     );
     println!("bob was denied by the default policy");
@@ -61,15 +63,23 @@ fn main() {
             alice,
             ResourceId::file("/alice/notes"),
             "open",
-            parse(&format!("{bob_principal} says open or {} says open", nexus.principal(alice).unwrap())).unwrap(),
+            parse(&format!(
+                "{bob_principal} says open or {} says open",
+                nexus.principal(alice).unwrap()
+            ))
+            .unwrap(),
         )
         .unwrap();
-    assert!(nexus.syscall(bob, Syscall::Open("/alice/notes".into())).is_ok());
+    assert!(nexus
+        .syscall(bob, Syscall::Open("/alice/notes".into()))
+        .is_ok());
     println!("after setgoal, bob's own request discharges the goal");
 
     // 7. The decision cache makes repeat authorizations nearly free.
     for _ in 0..1000 {
-        nexus.syscall(bob, Syscall::Open("/alice/notes".into())).unwrap();
+        nexus
+            .syscall(bob, Syscall::Open("/alice/notes".into()))
+            .unwrap();
     }
     let stats = nexus.decision_cache_stats();
     println!(

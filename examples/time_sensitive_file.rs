@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn main() {
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new(),
         RamDisk::new(),
         &BootImages::standard(),
@@ -72,12 +72,16 @@ fn main() {
 
     // Before the deadline: access granted (and NOT cached — the
     // decision depends on an authority).
-    assert!(nexus.syscall(reader, Syscall::Open("/sensitive".into())).is_ok());
+    assert!(nexus
+        .syscall(reader, Syscall::Open("/sensitive".into()))
+        .is_ok());
     println!("before the deadline: open succeeds");
 
     // The deadline passes. The very next request fails: no revocation
     // infrastructure, the authority simply answers differently.
     *clock.lock() = 20110401;
-    assert!(nexus.syscall(reader, Syscall::Open("/sensitive".into())).is_err());
+    assert!(nexus
+        .syscall(reader, Syscall::Open("/sensitive".into()))
+        .is_err());
     println!("after the deadline: open denied, nothing was revoked");
 }

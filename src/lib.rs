@@ -1,0 +1,14 @@
+//! Umbrella crate for the logical-attestation reproduction (Sirer et
+//! al., SOSP 2011). It owns the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) and re-exports the
+//! component crates under one roof.
+
+#![forbid(unsafe_code)]
+
+pub use nexus_analyzers as analyzers;
+pub use nexus_apps as apps;
+pub use nexus_core as core;
+pub use nexus_kernel as kernel;
+pub use nexus_nal as nal;
+pub use nexus_storage as storage;
+pub use nexus_tpm as tpm;

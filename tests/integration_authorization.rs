@@ -23,7 +23,7 @@ fn delegation_chain_across_processes() {
     // A three-party flow: a certifier vouches for a plugin, the
     // platform trusts the certifier for safety statements, and the
     // file owner admits anything the platform calls safe.
-    let mut nexus = boot(1);
+    let nexus = boot(1);
     let owner = nexus.spawn("owner", b"owner");
     let certifier = nexus.spawn("certifier", b"certifier");
     let plugin = nexus.spawn("plugin", b"plugin");
@@ -50,16 +50,20 @@ fn delegation_chain_across_processes() {
     nexus.transfer_label(certifier, h, plugin).unwrap();
 
     // Auto-prove finds the single-assumption proof.
-    assert!(nexus.syscall(plugin, Syscall::Open("/protected".into())).is_ok());
+    assert!(nexus
+        .syscall(plugin, Syscall::Open("/protected".into()))
+        .is_ok());
 
     // A different process with no credential is denied.
     let other = nexus.spawn("other", b"other");
-    assert!(nexus.syscall(other, Syscall::Open("/protected".into())).is_err());
+    assert!(nexus
+        .syscall(other, Syscall::Open("/protected".into()))
+        .is_err());
 }
 
 #[test]
 fn prover_constructed_proof_passes_kernel_guard() {
-    let mut nexus = boot(2);
+    let nexus = boot(2);
     let owner = nexus.spawn("owner", b"owner");
     let client = nexus.spawn("client", b"client");
     nexus.fs_create(owner, "/f").unwrap();
@@ -101,22 +105,25 @@ fn prover_constructed_proof_passes_kernel_guard() {
 #[test]
 fn certificates_carry_trust_across_machines() {
     // Machine A: a type checker labels a program.
-    let mut machine_a = boot(3);
+    let machine_a = boot(3);
     let checker = machine_a.spawn("typechecker", b"tc");
     let h = machine_a.sys_say(checker, "isTypeSafe(PGM)").unwrap();
     let cert = machine_a.externalize(checker, h).unwrap();
-    let ek_a = machine_a.tpm.ek_public();
+    let ek_a = machine_a.tpm().ek_public();
 
     // Machine B: a store trusts machine A's TPM and admits the
     // statement, fully qualified.
-    let mut machine_b = boot(4);
+    let machine_b = boot(4);
     let store = machine_b.spawn("objectstore", b"store");
     machine_b.import_cert(store, &cert, &ek_a).unwrap();
     let labels = machine_b.labels_of(store).unwrap();
     assert_eq!(labels.len(), 1);
     let label = labels[0].to_string();
     assert!(label.contains("isTypeSafe(PGM)"));
-    assert!(label.starts_with("key:"), "attribution via NK chain: {label}");
+    assert!(
+        label.starts_with("key:"),
+        "attribution via NK chain: {label}"
+    );
 
     // A tampered certificate is rejected.
     let mut bad = cert.clone();
@@ -126,7 +133,7 @@ fn certificates_carry_trust_across_machines() {
 
 #[test]
 fn decision_cache_interacts_with_goal_and_proof_updates() {
-    let mut nexus = boot(5);
+    let nexus = boot(5);
     let pid = nexus.spawn("app", b"app");
     nexus.fs_create(pid, "/f").unwrap();
     // Warm.
@@ -148,20 +155,32 @@ fn decision_cache_interacts_with_goal_and_proof_updates() {
         .unwrap();
     // The bogus stored proof now fails: missing credential.
     assert!(nexus.syscall(pid, Syscall::Open("/f".into())).is_err());
-    nexus.sys_clear_proof(pid, "open", &ResourceId::file("/f")).unwrap();
+    nexus
+        .sys_clear_proof(pid, "open", &ResourceId::file("/f"))
+        .unwrap();
     assert!(nexus.syscall(pid, Syscall::Open("/f".into())).is_ok());
 }
 
 #[test]
 fn no_goal_no_superuser_lockout_is_real() {
-    let mut nexus = boot(6);
+    let nexus = boot(6);
     let pid = nexus.spawn("app", b"app");
     nexus.fs_create(pid, "/f").unwrap();
     nexus
-        .sys_setgoal(pid, ResourceId::file("/f"), "setgoal", nexus_nal::Formula::False)
+        .sys_setgoal(
+            pid,
+            ResourceId::file("/f"),
+            "setgoal",
+            nexus_nal::Formula::False,
+        )
         .unwrap();
     // Even the owner can no longer change goals on this file.
     assert!(nexus
-        .sys_setgoal(pid, ResourceId::file("/f"), "open", nexus_nal::Formula::True)
+        .sys_setgoal(
+            pid,
+            ResourceId::file("/f"),
+            "open",
+            nexus_nal::Formula::True
+        )
         .is_err());
 }

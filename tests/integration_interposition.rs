@@ -50,7 +50,7 @@ impl Interceptor for SizeCap {
 
 #[test]
 fn monitors_rewrite_and_block_composably() {
-    let mut nexus = boot(1);
+    let nexus = boot(1);
     let a = nexus.spawn("sender", b"s");
     let b = nexus.spawn("receiver", b"r");
     let port = nexus.create_port(b).unwrap();
@@ -61,7 +61,9 @@ fn monitors_rewrite_and_block_composably() {
         .interpose(b, port, Box::new(SizeCap(64)), MonitorLevel::Kernel)
         .unwrap();
 
-    nexus.ipc_send(a, port, b"the SECRET plan".to_vec()).unwrap();
+    nexus
+        .ipc_send(a, port, b"the SECRET plan".to_vec())
+        .unwrap();
     let (_, msg) = nexus.ipc_recv(b, port).unwrap();
     assert_eq!(msg, b"the ****** plan", "first monitor rewrote the payload");
 
@@ -74,7 +76,7 @@ fn monitors_rewrite_and_block_composably() {
 
 #[test]
 fn consent_required_for_interposition() {
-    let mut nexus = boot(2);
+    let nexus = boot(2);
     let owner = nexus.spawn("owner", b"o");
     let snoop = nexus.spawn("snoop", b"s");
     let port = nexus.create_port(owner).unwrap();
@@ -90,16 +92,16 @@ fn consent_required_for_interposition() {
 
 #[test]
 fn ddrm_confines_driver_and_analyzer_confirms() {
-    let mut nexus = boot(3);
-    let mut world = EchoWorld::new(&mut nexus, EchoPath::UserDriver).unwrap();
-    world.install_monitor(&mut nexus, MonitorLevel::Kernel).unwrap();
+    let nexus = boot(3);
+    let mut world = EchoWorld::new(&nexus, EchoPath::UserDriver).unwrap();
+    world.install_monitor(&nexus, MonitorLevel::Kernel).unwrap();
 
     // Traffic flows.
     for _ in 0..50 {
-        assert_eq!(world.echo(&mut nexus, &[7u8; 64]).unwrap(), vec![7u8; 64]);
+        assert_eq!(world.echo(&nexus, &[7u8; 64]).unwrap(), vec![7u8; 64]);
     }
     // The redirector cached its verdicts.
-    let (hits, total) = nexus.redirector.stats();
+    let (hits, total) = nexus.redirector().stats();
     assert!(hits > 0 && total > 0);
 
     // Off-policy operations on the monitored channel are blocked.
@@ -110,7 +112,10 @@ fn ddrm_confines_driver_and_analyzer_confirms() {
         args: vec![],
     };
     assert!(matches!(
-        nexus.redirector.dispatch(world.server_port(), &mut call),
+        nexus
+            .redirector()
+            .dispatch(world.server_port(), &mut call)
+            .unwrap(),
         ChainOutcome::Blocked { .. }
     ));
 
@@ -137,7 +142,7 @@ fn syscall_interposition_upper_bound_behaviour() {
             Verdict::Block
         }
     }
-    let mut nexus = boot(4);
+    let nexus = boot(4);
     let pid = nexus.spawn("app", b"a");
     nexus
         .interpose(

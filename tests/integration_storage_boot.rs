@@ -11,7 +11,7 @@ fn cfg() -> NexusConfig {
 
 #[test]
 fn ssr_data_survives_reboot() {
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new_with_seed(41),
         RamDisk::new(),
         &BootImages::standard(),
@@ -19,33 +19,36 @@ fn ssr_data_survives_reboot() {
     )
     .unwrap();
     {
-        let Nexus {
-            ref mut ssrs,
-            ref mut vdirs,
-            ref mut disk,
-            ref mut tpm,
-            ref vkeys,
-            ..
-        } = nexus;
-        ssrs.create("cookies", SsrConfig::default(), vdirs, tpm).unwrap();
-        ssrs.write_all("cookies", b"session-token-xyz", disk, vdirs, vkeys)
+        let mut ssrs = nexus.ssrs();
+        let mut vdirs = nexus.vdirs();
+        let mut disk = nexus.disk();
+        let mut tpm = nexus.tpm();
+        ssrs.create("cookies", SsrConfig::default(), &mut vdirs, &mut tpm)
             .unwrap();
-        ssrs.sync(disk, vdirs, tpm).unwrap();
+        ssrs.write_all(
+            "cookies",
+            b"session-token-xyz",
+            &mut *disk,
+            &mut vdirs,
+            &nexus.vkeys(),
+        )
+        .unwrap();
+        ssrs.sync(&mut *disk, &vdirs, &mut tpm).unwrap();
     }
     // Reboot the same kernel on the same TPM and disk.
-    let (tpm, disk) = (nexus.tpm, nexus.disk);
+    let (tpm, disk) = nexus.shutdown();
     let nexus2 = Nexus::boot(tpm, disk, &BootImages::standard(), cfg()).unwrap();
     assert!(!nexus2.first_boot());
     let data = nexus2
-        .ssrs
-        .read_all("cookies", &nexus2.disk, &nexus2.vdirs, &nexus2.vkeys)
+        .ssrs()
+        .read_all("cookies", &*nexus2.disk(), &nexus2.vdirs(), &nexus2.vkeys())
         .unwrap();
     assert_eq!(&data[..17], b"session-token-xyz");
 }
 
 #[test]
 fn replayed_disk_blocks_boot() {
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new_with_seed(42),
         RamDisk::new(),
         &BootImages::standard(),
@@ -53,24 +56,24 @@ fn replayed_disk_blocks_boot() {
     )
     .unwrap();
     let snapshot = {
-        let Nexus {
-            ref mut ssrs,
-            ref mut vdirs,
-            ref mut disk,
-            ref mut tpm,
-            ref vkeys,
-            ..
-        } = nexus;
-        ssrs.create("counter", SsrConfig::default(), vdirs, tpm).unwrap();
-        ssrs.write_all("counter", b"balance=100", disk, vdirs, vkeys).unwrap();
-        ssrs.sync(disk, vdirs, tpm).unwrap();
+        let mut ssrs = nexus.ssrs();
+        let mut vdirs = nexus.vdirs();
+        let mut disk = nexus.disk();
+        let mut tpm = nexus.tpm();
+        let vkeys = nexus.vkeys();
+        ssrs.create("counter", SsrConfig::default(), &mut vdirs, &mut tpm)
+            .unwrap();
+        ssrs.write_all("counter", b"balance=100", &mut *disk, &mut vdirs, &vkeys)
+            .unwrap();
+        ssrs.sync(&mut *disk, &vdirs, &mut tpm).unwrap();
         let snap = disk.snapshot();
-        ssrs.write_all("counter", b"balance=000", disk, vdirs, vkeys).unwrap();
-        ssrs.sync(disk, vdirs, tpm).unwrap();
+        ssrs.write_all("counter", b"balance=000", &mut *disk, &mut vdirs, &vkeys)
+            .unwrap();
+        ssrs.sync(&mut *disk, &vdirs, &mut tpm).unwrap();
         snap
     };
     // Attacker re-images the disk with the old (richer) state.
-    let (tpm, mut disk) = (nexus.tpm, nexus.disk);
+    let (tpm, mut disk) = nexus.shutdown();
     disk.restore(snapshot);
     let err = Nexus::boot(tpm, disk, &BootImages::standard(), cfg());
     assert!(err.is_err(), "replayed disk must abort boot");
@@ -78,7 +81,7 @@ fn replayed_disk_blocks_boot() {
 
 #[test]
 fn different_kernel_cannot_unseal_state() {
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new_with_seed(43),
         RamDisk::new(),
         &BootImages::standard(),
@@ -86,61 +89,56 @@ fn different_kernel_cannot_unseal_state() {
     )
     .unwrap();
     {
-        let Nexus {
-            ref mut ssrs,
-            ref mut vdirs,
-            ref mut disk,
-            ref mut tpm,
-            ..
-        } = nexus;
-        let _ = ssrs;
-        VdirTable::recover(disk, tpm).ok(); // touch nothing, just prove access works
-        let _ = vdirs;
+        let disk = nexus.disk();
+        let tpm = nexus.tpm();
+        VdirTable::recover(&*disk, &tpm).ok(); // touch nothing, just prove access works
     }
-    let (tpm, disk) = (nexus.tpm, nexus.disk);
+    let (tpm, disk) = nexus.shutdown();
     let evil_images = BootImages {
         kernel: b"patched-kernel-with-backdoor".to_vec(),
         ..BootImages::standard()
     };
     let err = Nexus::boot(tpm, disk, &evil_images, cfg());
-    assert!(err.is_err(), "different measurements must not recover state");
+    assert!(
+        err.is_err(),
+        "different measurements must not recover state"
+    );
 }
 
 #[test]
 fn encrypted_ssr_round_trip_through_kernel() {
-    let mut nexus = Nexus::boot(
+    let nexus = Nexus::boot(
         Tpm::new_with_seed(44),
         RamDisk::new(),
         &BootImages::standard(),
         cfg(),
     )
     .unwrap();
-    let key = nexus.vkeys.create_symmetric(&mut nexus.tpm);
-    let Nexus {
-        ref mut ssrs,
-        ref mut vdirs,
-        ref mut disk,
-        ref mut tpm,
-        ref vkeys,
-        ..
-    } = nexus;
+    let key = nexus.vkeys().create_symmetric(&mut nexus.tpm());
+    let mut ssrs = nexus.ssrs();
+    let mut vdirs = nexus.vdirs();
+    let mut disk = nexus.disk();
+    let vkeys = nexus.vkeys();
     ssrs.create(
         "hipaa-records",
         SsrConfig {
             block_size: 256,
             encrypt_with: Some(key),
         },
-        vdirs,
-        tpm,
+        &mut vdirs,
+        &mut nexus.tpm(),
     )
     .unwrap();
     let record = b"patient: X, diagnosis: Y";
-    ssrs.write_all("hipaa-records", record, disk, vdirs, vkeys).unwrap();
+    ssrs.write_all("hipaa-records", record, &mut *disk, &mut vdirs, &vkeys)
+        .unwrap();
     // Ciphertext on disk.
     let on_disk = disk.read_file("ssr/hipaa-records/0").unwrap();
     assert!(!on_disk.windows(record.len()).any(|w| w == record));
     // Plaintext through the API.
-    let back = ssrs.read_all("hipaa-records", disk, vdirs, vkeys).unwrap();
+    let back = ssrs
+        .read_all("hipaa-records", &*disk, &vdirs, &vkeys)
+        .unwrap();
     assert_eq!(&back[..record.len()], record);
 }
 

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `aes` crate: the marker type and the
+//! `cipher` traits the workspace imports. The actual keystream is
+//! produced by the sibling `ctr` stand-in (SHA-256 in counter mode
+//! rather than real AES — same interface, same xor-stream structure).
+
+#![forbid(unsafe_code)]
+
+/// Marker for AES-256 (the only cipher the workspace instantiates).
+#[derive(Debug, Clone, Copy)]
+pub struct Aes256;
+
+/// The subset of the `cipher` crate's traits used by callers.
+pub mod cipher {
+    /// Construction from a key and an IV/nonce.
+    pub trait KeyIvInit: Sized {
+        /// Build the cipher from a 256-bit key and 128-bit IV.
+        fn new(key: &[u8; 32], iv: &[u8; 16]) -> Self;
+    }
+
+    /// XOR a keystream over a buffer in place.
+    pub trait StreamCipher {
+        /// Apply the keystream to `buf` (encrypts or decrypts).
+        fn apply_keystream(&mut self, buf: &mut [u8]);
+    }
+}

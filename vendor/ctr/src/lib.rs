@@ -1,0 +1,102 @@
+//! Offline stand-in for the `ctr` crate: a counter-mode stream
+//! cipher whose block function is SHA-256(key ‖ iv ‖ counter) instead
+//! of AES. Structurally identical to real CTR mode — deterministic
+//! keystream from (key, iv), xor-applied, position-tracking across
+//! calls — which is all the sealed-storage and SSR code relies on.
+
+#![forbid(unsafe_code)]
+
+use aes::cipher::{KeyIvInit, StreamCipher};
+use sha2::{Digest as _, Sha256};
+use std::marker::PhantomData;
+
+/// Counter-mode stream over block cipher `C` (big-endian 64-bit
+/// counter in the real crate; here `C` only selects the marker type).
+#[derive(Debug, Clone)]
+pub struct Ctr64BE<C> {
+    key: [u8; 32],
+    iv: [u8; 16],
+    /// Absolute keystream byte offset (streaming across calls).
+    offset: u64,
+    _cipher: PhantomData<C>,
+}
+
+impl<C> Ctr64BE<C> {
+    fn keystream_block(&self, block_index: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"ctr64be-stub-v1");
+        h.update(self.key);
+        h.update(self.iv);
+        h.update(block_index.to_be_bytes());
+        h.finalize()
+    }
+}
+
+impl<C> KeyIvInit for Ctr64BE<C> {
+    fn new(key: &[u8; 32], iv: &[u8; 16]) -> Self {
+        Ctr64BE {
+            key: *key,
+            iv: *iv,
+            offset: 0,
+            _cipher: PhantomData,
+        }
+    }
+}
+
+impl<C> StreamCipher for Ctr64BE<C> {
+    fn apply_keystream(&mut self, buf: &mut [u8]) {
+        let mut index = self.offset / 32;
+        let mut block = self.keystream_block(index);
+        for byte in buf.iter_mut() {
+            let current = self.offset / 32;
+            if current != index {
+                index = current;
+                block = self.keystream_block(index);
+            }
+            *byte ^= block[(self.offset % 32) as usize];
+            self.offset += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = Ctr64BE<aes::Aes256>;
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = [1u8; 32];
+        let iv = [2u8; 16];
+        let mut data = b"attack at dawn".to_vec();
+        let original = data.clone();
+        C::new(&key, &iv).apply_keystream(&mut data);
+        assert_ne!(data, original);
+        C::new(&key, &iv).apply_keystream(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = [3u8; 32];
+        let iv = [4u8; 16];
+        let mut oneshot = vec![0u8; 100];
+        C::new(&key, &iv).apply_keystream(&mut oneshot);
+        let mut streamed = vec![0u8; 100];
+        let mut c = C::new(&key, &iv);
+        c.apply_keystream(&mut streamed[..37]);
+        c.apply_keystream(&mut streamed[37..]);
+        assert_eq!(oneshot, streamed);
+    }
+
+    #[test]
+    fn different_iv_different_stream() {
+        let key = [5u8; 32];
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        C::new(&key, &[0u8; 16]).apply_keystream(&mut a);
+        C::new(&key, &[1u8; 16]).apply_keystream(&mut b);
+        assert_ne!(a, b);
+    }
+}

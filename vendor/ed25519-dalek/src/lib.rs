@@ -1,0 +1,188 @@
+//! Offline stand-in for `ed25519-dalek`.
+//!
+//! No curve arithmetic: a "public key" is a 32-byte value derived
+//! from the signing seed by SHA-256, and a "signature" over a message
+//! is SHA-256 keyed by that value. Everything the simulation relies
+//! on holds — signatures are deterministic, bound to (key, message),
+//! detect any tampering, and keys round-trip through their byte
+//! encodings — but, unlike real Ed25519, anyone holding the public
+//! key bytes could forge (verification recomputes the tag from
+//! public material). The threat models exercised by the workspace's
+//! tests (bit flips, wrong keys, replayed state) never do.
+
+#![forbid(unsafe_code)]
+
+use sha2::{Digest as _, Sha256};
+
+/// Length of a public key encoding.
+pub const PUBLIC_KEY_LENGTH: usize = 32;
+/// Length of a signature encoding.
+pub const SIGNATURE_LENGTH: usize = 64;
+
+/// Error type for malformed keys/signatures and failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "signature error")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A signature (64 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature([u8; SIGNATURE_LENGTH]);
+
+impl Signature {
+    /// Parse from a byte slice; must be exactly 64 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Result<Signature, SignatureError> {
+        <[u8; SIGNATURE_LENGTH]>::try_from(bytes)
+            .map(Signature)
+            .map_err(|_| SignatureError)
+    }
+
+    /// The raw signature bytes.
+    pub fn to_bytes(&self) -> [u8; SIGNATURE_LENGTH] {
+        self.0
+    }
+}
+
+/// Objects that can sign messages.
+pub trait Signer {
+    /// Sign `msg`.
+    fn sign(&self, msg: &[u8]) -> Signature;
+}
+
+/// Objects that can verify signatures.
+pub trait Verifier {
+    /// Verify `signature` over `msg`.
+    fn verify(&self, msg: &[u8], signature: &Signature) -> Result<(), SignatureError>;
+}
+
+fn tag(key: &[u8; 32], msg: &[u8]) -> [u8; SIGNATURE_LENGTH] {
+    let mut h = Sha256::new();
+    h.update(b"ed25519-stub-sign-v1");
+    h.update(key);
+    h.update((msg.len() as u64).to_le_bytes());
+    h.update(msg);
+    let first = h.finalize();
+    let second = Sha256::digest(first);
+    let mut out = [0u8; SIGNATURE_LENGTH];
+    out[..32].copy_from_slice(&first);
+    out[32..].copy_from_slice(&second);
+    out
+}
+
+/// A verifying (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey([u8; PUBLIC_KEY_LENGTH]);
+
+impl VerifyingKey {
+    /// Parse from its 32-byte encoding.
+    pub fn from_bytes(bytes: &[u8; PUBLIC_KEY_LENGTH]) -> Result<VerifyingKey, SignatureError> {
+        Ok(VerifyingKey(*bytes))
+    }
+
+    /// The 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; PUBLIC_KEY_LENGTH] {
+        self.0
+    }
+
+    /// Borrow the 32-byte encoding.
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LENGTH] {
+        &self.0
+    }
+}
+
+impl Verifier for VerifyingKey {
+    fn verify(&self, msg: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        if tag(&self.0, msg) == signature.0 {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+/// A signing (secret) key.
+#[derive(Debug, Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    public: [u8; PUBLIC_KEY_LENGTH],
+}
+
+impl SigningKey {
+    /// Derive a key pair deterministically from a 32-byte seed.
+    pub fn from_bytes(seed: &[u8; 32]) -> SigningKey {
+        let mut h = Sha256::new();
+        h.update(b"ed25519-stub-pub-v1");
+        h.update(seed);
+        SigningKey {
+            seed: *seed,
+            public: h.finalize(),
+        }
+    }
+
+    /// Generate a fresh key pair from the given RNG.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SigningKey::from_bytes(&seed)
+    }
+
+    /// The seed bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey(self.public)
+    }
+}
+
+impl Signer for SigningKey {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(tag(&self.public, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SigningKey::from_bytes(&[7u8; 32]);
+        let sig = sk.sign(b"hello");
+        assert!(sk.verifying_key().verify(b"hello", &sig).is_ok());
+        assert!(sk.verifying_key().verify(b"hellO", &sig).is_err());
+    }
+
+    #[test]
+    fn keys_roundtrip_through_bytes() {
+        let sk = SigningKey::from_bytes(&[9u8; 32]);
+        let vk = VerifyingKey::from_bytes(&sk.verifying_key().to_bytes()).unwrap();
+        let sig = Signature::from_slice(&sk.sign(b"m").to_bytes()).unwrap();
+        assert!(vk.verify(b"m", &sig).is_ok());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_cross_verify() {
+        let a = SigningKey::from_bytes(&[1u8; 32]);
+        let b = SigningKey::from_bytes(&[2u8; 32]);
+        let sig = a.sign(b"msg");
+        assert!(b.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_bytes(&[3u8; 32]);
+        let mut bytes = sk.sign(b"msg").to_bytes();
+        bytes[0] ^= 1;
+        let sig = Signature::from_slice(&bytes).unwrap();
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so the item
+//! is parsed directly from the `proc_macro` token stream and the impl
+//! is emitted as source text. Supported shapes — everything this
+//! workspace derives on — are non-generic structs (named, tuple,
+//! unit) and enums whose variants are unit, tuple, or struct-like.
+//! Serde attributes (`#[serde(...)]`) and generics are rejected with
+//! a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the local `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive the local `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- token-stream parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic type `{name}`");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive on `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) => {
+                        let text = g.stream().to_string();
+                        if text.starts_with("serde") {
+                            panic!("derive stand-in does not support #[serde(...)] attributes");
+                        }
+                    }
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `a: T, b: U, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => {
+                names.push(i.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field name, got {other:?}"),
+                }
+                skip_type_until_comma(&mut toks);
+            }
+            other => panic!("expected field name, got {other:?}"),
+        }
+    }
+    names
+}
+
+/// Consume type tokens up to (and including) the next top-level `,`.
+/// Angle brackets are plain punctuation in token streams, so nesting
+/// depth is tracked by hand.
+fn skip_type_until_comma(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0usize;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut toks);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("derive stand-in does not support explicit discriminants");
+        }
+        match toks.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("expected `,` after variant, got {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn str_value(s: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from({s:?}))")
+}
+
+/// `(pattern bindings, serialized payload)` for a variant's fields.
+fn variant_payload(fields: &Fields) -> (String, String) {
+    match fields {
+        Fields::Unit => (String::new(), String::new()),
+        Fields::Tuple(1) => (
+            "(x0)".to_string(),
+            "::serde::Serialize::to_value(x0)".to_string(),
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            (
+                format!("({})", binds.join(", ")),
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::to_value({f}))", str_value(f)))
+                .collect();
+            (
+                format!("{{ {} }}", names.join(", ")),
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({}, ::serde::Serialize::to_value(&self.{f}))",
+                                str_value(f)
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let (pat, payload) = variant_payload(&v.fields);
+                    let vname = &v.name;
+                    if matches!(v.fields, Fields::Unit) {
+                        format!("{name}::{vname} => {},", str_value(vname))
+                    } else {
+                        format!(
+                            "{name}::{vname}{pat} => ::serde::Value::Map(::std::vec![({}, {payload})]),",
+                            str_value(vname)
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Construction expression for fields read out of `src`.
+fn fields_from_value(type_path: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => type_path.to_string(),
+        Fields::Tuple(1) => format!("{type_path}(::serde::Deserialize::from_value({src})?)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = ::serde::seq_items({src}, {n})?; {type_path}({}) }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field({src}, {f:?})?)?")
+                })
+                .collect();
+            format!("{type_path} {{ {} }}", inits.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({})",
+                fields_from_value(name, fields, "v")
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({}),",
+                        v.name,
+                        fields_from_value(&format!("{name}::{}", v.name), &v.fields, "payload")
+                    )
+                })
+                .collect();
+            let body = format!(
+                "if let ::serde::Value::Str(s) = v {{\n\
+                   return match s.as_str() {{\n\
+                     {}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{s}}` of {name}\"))),\n\
+                   }};\n\
+                 }}\n\
+                 let (tag, payload) = ::serde::enum_parts(v)?;\n\
+                 let _ = payload;\n\
+                 match tag {{\n\
+                   {}\n\
+                   _ => ::std::result::Result::Err(::serde::Error::msg(\
+                       ::std::format!(\"unknown variant `{{tag}}` of {name}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
