@@ -1,0 +1,66 @@
+//! # `nexus-authzd` — the asynchronous authorization pipeline
+//!
+//! The paper's guard evaluates proofs synchronously on the syscall
+//! path, so a slow authority (a userspace decider, a TPM-backed
+//! credential) stalls the caller. This crate moves `Guard::check` off
+//! the syscall thread: callers submit [`AuthzRequest`]s to a
+//! [`GuardPool`] of worker threads and receive an [`AuthzTicket`]
+//! they can poll, block on, or attach a callback to. The kernel only
+//! *admits* decisions; it no longer *computes* them inline.
+//!
+//! ```text
+//!  syscall threads                 GuardPool (N workers)
+//!  ───────────────                 ─────────────────────
+//!  submit(req) ──► MPMC queue ──► pop + coalesce by (op, object)
+//!       │                              │
+//!       ▼                              ▼
+//!  AuthzTicket ◄── complete ◄── BatchExecutor::execute_batch
+//!  (poll / wait / callback)      (goal fetched & normalized once
+//!                                 per batch; epoch-fenced by the
+//!                                 kernel so no stale allow lands)
+//! ```
+//!
+//! The crate is deliberately kernel-agnostic: evaluation is behind the
+//! [`BatchExecutor`] trait, so the pool can be unit-tested with a toy
+//! executor and the kernel plugs in the real guard path. Everything is
+//! hand-rolled on `std::sync` (no tokio — the build is offline): the
+//! submission queue is a mutex-protected deque with a condvar, MPMC by
+//! construction since any worker may pop any entry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod ticket;
+
+pub use pool::{BatchExecutor, GuardPool, GuardPoolConfig, PoolStats};
+pub use ticket::{AuthzOutcome, AuthzTicket};
+
+use nexus_core::{OpName, ResourceId};
+use nexus_nal::Proof;
+
+/// A request for authorization, queued for off-thread evaluation.
+#[derive(Debug, Clone)]
+pub struct AuthzRequest {
+    /// The requesting process.
+    pub pid: u64,
+    /// The operation being attempted.
+    pub op: OpName,
+    /// The resource operated on.
+    pub object: ResourceId,
+    /// An explicitly supplied proof (otherwise the executor falls
+    /// back to the stored proof or auto-proving, like the sync path).
+    pub proof: Option<Proof>,
+}
+
+/// The coalescing key: requests sharing a goal — same (operation,
+/// object-subregion) pair — are batched so goal instantiation and NAL
+/// normalization are amortized once per batch.
+pub type BatchKey = (OpName, ResourceId);
+
+impl AuthzRequest {
+    /// The batch this request coalesces into.
+    pub fn key(&self) -> BatchKey {
+        (self.op.clone(), self.object.clone())
+    }
+}

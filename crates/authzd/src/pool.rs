@@ -1,0 +1,682 @@
+//! The guard pool: N hand-rolled worker threads pulling from an MPMC
+//! submission queue, coalescing requests that share a goal into
+//! batches, and completing tickets.
+//!
+//! Coalescing is the point: requests for the same `(op, object)` pair
+//! evaluate against the same goal formula, so the executor fetches,
+//! instantiates, and normalizes that goal once per *batch* instead of
+//! once per *request* (§2.9's guard-cache insight applied across
+//! concurrent requests instead of across time).
+
+use crate::ticket::{AuthzOutcome, AuthzTicket, TicketInner};
+use crate::{AuthzRequest, BatchKey};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How a batch of coalesced requests is evaluated. Implemented by the
+/// kernel (the real guard path) and by test doubles.
+pub trait BatchExecutor: Send + Sync {
+    /// Evaluate a batch sharing one [`BatchKey`]; must return exactly
+    /// one outcome per request, in order. The executor owns epoch
+    /// fencing: if goals/proofs/labels moved while the batch was in
+    /// flight, it must re-evaluate rather than let a stale allow
+    /// escape.
+    fn execute_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome>;
+}
+
+/// Priority for queue ordering: higher runs first. The kernel wires
+/// this to per-IPD scheduler weights so heavyweight tenants' batches
+/// are picked up before lightweights' when the queue backs up.
+pub type Prioritizer = Arc<dyn Fn(&AuthzRequest) -> u64 + Send + Sync>;
+
+/// Pool configuration.
+#[derive(Clone)]
+pub struct GuardPoolConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Optional request prioritizer (None = FIFO).
+    pub prioritizer: Option<Prioritizer>,
+}
+
+impl Default for GuardPoolConfig {
+    fn default() -> Self {
+        GuardPoolConfig {
+            workers: 4,
+            max_batch: 64,
+            prioritizer: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for GuardPoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardPoolConfig")
+            .field("workers", &self.workers)
+            .field("max_batch", &self.max_batch)
+            .field("prioritizer", &self.prioritizer.is_some())
+            .finish()
+    }
+}
+
+/// Pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed (including faults).
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests that rode along in a batch after the first (i.e. the
+    /// per-batch overhead they did *not* pay).
+    pub coalesced: u64,
+    /// Largest batch observed.
+    pub max_batch_seen: u64,
+}
+
+struct Pending {
+    req: AuthzRequest,
+    ticket: Arc<TicketInner>,
+    /// Computed once at submit time (outside the queue lock) so the
+    /// pop-side scan is a plain integer comparison.
+    priority: u64,
+}
+
+#[derive(Default)]
+struct Queue {
+    entries: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Wakes workers on submit/shutdown.
+    work: Condvar,
+    /// Wakes `quiesce` waiters on completion.
+    drained: Condvar,
+    cfg_max_batch: usize,
+    prioritizer: Option<Prioritizer>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    max_batch_seen: AtomicU64,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    /// Mark `n` requests finished and wake any quiesce waiters.
+    fn note_completed(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::SeqCst);
+        // The waiter re-checks counters under the queue lock; taking
+        // it here orders the notification after the waiter's check.
+        let _guard = self.queue.lock().expect("authzd queue");
+        self.drained.notify_all();
+    }
+}
+
+/// The asynchronous authorization pipeline.
+pub struct GuardPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl GuardPool {
+    /// Spawn `cfg.workers` worker threads over `executor`.
+    pub fn new(cfg: GuardPoolConfig, executor: Arc<dyn BatchExecutor>) -> GuardPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            cfg_max_batch: cfg.max_batch.max(1),
+            prioritizer: cfg.prioritizer.clone(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let executor = Arc::clone(&executor);
+                std::thread::Builder::new()
+                    .name(format!("authzd-worker-{i}"))
+                    .spawn(move || worker_loop(shared, executor))
+                    .expect("spawn authzd worker")
+            })
+            .collect();
+        GuardPool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a request; returns immediately with its ticket. After
+    /// shutdown the ticket resolves to a fault.
+    pub fn submit(&self, req: AuthzRequest) -> AuthzTicket {
+        self.try_submit(req).unwrap_or_else(|| {
+            AuthzTicket::ready(AuthzOutcome::Fault("authzd pool is shut down".into()))
+        })
+    }
+
+    /// Submit a request unless the pool is shut down (`None`), so the
+    /// caller can evaluate it some other way — the kernel falls back
+    /// to the inline guard path. The priority (if a prioritizer is
+    /// configured) is computed here, on the submitting thread, before
+    /// the queue lock is taken — workers never run caller code while
+    /// holding the queue mutex.
+    pub fn try_submit(&self, req: AuthzRequest) -> Option<AuthzTicket> {
+        let priority = match &self.shared.prioritizer {
+            Some(pri) => pri(&req),
+            None => 0,
+        };
+        let inner = TicketInner::new();
+        let ticket = AuthzTicket::from_inner(Arc::clone(&inner));
+        {
+            let mut queue = self.shared.queue.lock().expect("authzd queue");
+            if queue.shutdown {
+                return None;
+            }
+            self.shared.submitted.fetch_add(1, Ordering::SeqCst);
+            queue.entries.push_back(Pending {
+                req,
+                ticket: inner,
+                priority,
+            });
+        }
+        self.shared.work.notify_one();
+        Some(ticket)
+    }
+
+    /// Wait until every request submitted before this call has
+    /// completed. This is the invalidation fence: `setgoal` calls it
+    /// after bumping the goal epoch so that any batch evaluated under
+    /// the old goal has re-validated (and, if stale, re-evaluated)
+    /// before the syscall returns.
+    pub fn quiesce(&self) {
+        let target = self.shared.submitted.load(Ordering::SeqCst);
+        let mut queue = self.shared.queue.lock().expect("authzd queue");
+        while self.shared.completed.load(Ordering::SeqCst) < target {
+            queue = self.shared.drained.wait(queue).expect("authzd quiesce");
+        }
+        drop(queue);
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            submitted: self.shared.submitted.load(Ordering::SeqCst),
+            completed: self.shared.completed.load(Ordering::SeqCst),
+            batches: self.shared.batches.load(Ordering::SeqCst),
+            coalesced: self.shared.coalesced.load(Ordering::SeqCst),
+            max_batch_seen: self.shared.max_batch_seen.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stop accepting work, fault out everything still queued, and
+    /// join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        let leftovers: Vec<Pending> = {
+            let mut queue = self.shared.queue.lock().expect("authzd queue");
+            queue.shutdown = true;
+            self.shared.stopping.store(true, Ordering::SeqCst);
+            queue.entries.drain(..).collect()
+        };
+        self.shared.work.notify_all();
+        let n = leftovers.len() as u64;
+        for p in leftovers {
+            p.ticket
+                .complete(AuthzOutcome::Fault("authzd pool shut down".into()));
+        }
+        if n > 0 {
+            self.shared.note_completed(n);
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("authzd workers")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GuardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pop the next batch: pick the highest-priority entry (FIFO when no
+/// prioritizer), then drain every queued request sharing its key, up
+/// to `max_batch`. Returns `None` on shutdown.
+fn pop_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
+    let mut queue = shared.queue.lock().expect("authzd queue");
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) || queue.shutdown {
+            return None;
+        }
+        if queue.entries.is_empty() {
+            queue = shared.work.wait(queue).expect("authzd worker wait");
+            continue;
+        }
+        let lead_idx = if shared.prioritizer.is_none() {
+            0
+        } else {
+            // Priorities were computed at submit time: this scan is a
+            // plain integer max. Highest priority wins; FIFO among
+            // equals (the *earlier* index wins, hence the reversed
+            // index comparison).
+            queue
+                .entries
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| a.priority.cmp(&b.priority).then(ib.cmp(ia)))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        let lead = queue.entries.remove(lead_idx).expect("index in bounds");
+        let key = lead.req.key();
+        let mut batch = vec![lead];
+        let mut i = 0;
+        while i < queue.entries.len() && batch.len() < shared.cfg_max_batch {
+            // Compare by reference — no per-entry key clones while the
+            // queue mutex is held.
+            let entry = &queue.entries[i].req;
+            if entry.op == key.0 && entry.object == key.1 {
+                batch.push(queue.entries.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        return Some((key, batch));
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, executor: Arc<dyn BatchExecutor>) {
+    while let Some((key, batch)) = pop_batch(&shared) {
+        // Move the owned requests out — the executor borrows them, no
+        // proof-tree clones on the worker hot path.
+        let (reqs, tickets): (Vec<AuthzRequest>, Vec<Arc<TicketInner>>) =
+            batch.into_iter().map(|p| (p.req, p.ticket)).unzip();
+        let outcomes = executor.execute_batch(&key, &reqs);
+        debug_assert_eq!(outcomes.len(), reqs.len(), "executor contract");
+        shared.batches.fetch_add(1, Ordering::SeqCst);
+        shared
+            .coalesced
+            .fetch_add(reqs.len().saturating_sub(1) as u64, Ordering::SeqCst);
+        shared
+            .max_batch_seen
+            .fetch_max(reqs.len() as u64, Ordering::SeqCst);
+        let n = tickets.len() as u64;
+        let mut outcomes = outcomes.into_iter();
+        for ticket in tickets {
+            let outcome = outcomes
+                .next()
+                .unwrap_or_else(|| AuthzOutcome::Fault("executor returned short batch".into()));
+            ticket.complete(outcome);
+        }
+        shared.note_completed(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_core::{OpName, ResourceId};
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn req(pid: u64, op: &str, obj: &str) -> AuthzRequest {
+        AuthzRequest {
+            pid,
+            op: OpName::from(op),
+            object: ResourceId(obj.to_string()),
+            proof: None,
+        }
+    }
+
+    /// Allows even pids, denies odd; records batch sizes.
+    struct ParityExecutor {
+        batches: Mutex<Vec<usize>>,
+        delay: Duration,
+    }
+
+    impl ParityExecutor {
+        fn new(delay: Duration) -> Self {
+            ParityExecutor {
+                batches: Mutex::new(Vec::new()),
+                delay,
+            }
+        }
+    }
+
+    impl BatchExecutor for ParityExecutor {
+        fn execute_batch(&self, _key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            self.batches.lock().unwrap().push(reqs.len());
+            reqs.iter()
+                .map(|r| {
+                    if r.pid % 2 == 0 {
+                        AuthzOutcome::Allow
+                    } else {
+                        AuthzOutcome::Deny
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let pool = GuardPool::new(
+            GuardPoolConfig::default(),
+            Arc::new(ParityExecutor::new(Duration::ZERO)),
+        );
+        assert_eq!(
+            pool.submit(req(2, "read", "file:/a")).wait(),
+            AuthzOutcome::Allow
+        );
+        assert_eq!(
+            pool.submit(req(3, "read", "file:/a")).wait(),
+            AuthzOutcome::Deny
+        );
+    }
+
+    #[test]
+    fn poll_and_callback_paths() {
+        let pool = GuardPool::new(
+            GuardPoolConfig::default(),
+            Arc::new(ParityExecutor::new(Duration::from_millis(20))),
+        );
+        let t = pool.submit(req(4, "read", "file:/a"));
+        // Likely still pending thanks to the executor delay; either
+        // way, poll must never return a wrong verdict.
+        if let Some(o) = t.try_outcome() {
+            assert_eq!(o, AuthzOutcome::Allow);
+        }
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        t.on_complete(move |o| {
+            assert!(o.is_allow());
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(t.wait(), AuthzOutcome::Allow);
+        // Callback attached after completion runs immediately.
+        let fired3 = Arc::clone(&fired);
+        t.on_complete(move |_| {
+            fired3.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn wait_timeout_observes_pending_then_done() {
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Arc::new(ParityExecutor::new(Duration::from_millis(50))),
+        );
+        let t = pool.submit(req(2, "read", "file:/a"));
+        // Immediately after submit the worker is still sleeping.
+        assert_eq!(t.wait_timeout(Duration::from_millis(1)), None);
+        assert_eq!(
+            t.wait_timeout(Duration::from_secs(10)),
+            Some(AuthzOutcome::Allow)
+        );
+    }
+
+    #[test]
+    fn same_key_requests_coalesce() {
+        // One worker, slow executor: while the first batch runs, the
+        // rest of the submissions pile up and must coalesce.
+        let exec = Arc::new(ParityExecutor::new(Duration::from_millis(10)));
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 64,
+                prioritizer: None,
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let tickets: Vec<AuthzTicket> = (0..20)
+            .map(|pid| pool.submit(req(pid, "read", "file:/hot")))
+            .collect();
+        for (pid, t) in tickets.iter().enumerate() {
+            let expect = if pid % 2 == 0 {
+                AuthzOutcome::Allow
+            } else {
+                AuthzOutcome::Deny
+            };
+            assert_eq!(t.wait(), expect, "pid {pid}");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 20);
+        assert!(
+            stats.batches < 20,
+            "20 same-key requests through 1 slow worker must coalesce, got {} batches",
+            stats.batches
+        );
+        assert!(stats.max_batch_seen >= 2);
+        assert_eq!(stats.coalesced, 20 - stats.batches);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let exec = Arc::new(ParityExecutor::new(Duration::from_millis(5)));
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 64,
+                prioritizer: None,
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let tickets: Vec<AuthzTicket> = (0..8)
+            .map(|pid| pool.submit(req(pid, "read", &format!("file:/{pid}"))))
+            .collect();
+        for t in &tickets {
+            let _ = t.wait();
+        }
+        let sizes = exec.batches.lock().unwrap().clone();
+        assert!(sizes.iter().all(|&s| s == 1), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn max_batch_caps_coalescing() {
+        let exec = Arc::new(ParityExecutor::new(Duration::from_millis(10)));
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 4,
+                prioritizer: None,
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let tickets: Vec<AuthzTicket> = (0..16)
+            .map(|pid| pool.submit(req(pid, "read", "file:/hot")))
+            .collect();
+        for t in &tickets {
+            let _ = t.wait();
+        }
+        let sizes = exec.batches.lock().unwrap().clone();
+        assert!(sizes.iter().all(|&s| s <= 4), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn per_key_fifo_order_is_preserved() {
+        // Order within a key must be submission order even under
+        // coalescing: the executor sees pids in ascending order.
+        struct OrderCheck {
+            seen: Mutex<Vec<u64>>,
+        }
+        impl BatchExecutor for OrderCheck {
+            fn execute_batch(&self, _k: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+                std::thread::sleep(Duration::from_millis(5));
+                let mut seen = self.seen.lock().unwrap();
+                for r in reqs {
+                    seen.push(r.pid);
+                }
+                vec![AuthzOutcome::Allow; reqs.len()]
+            }
+        }
+        let exec = Arc::new(OrderCheck {
+            seen: Mutex::new(Vec::new()),
+        });
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 64,
+                prioritizer: None,
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let tickets: Vec<AuthzTicket> = (0..32)
+            .map(|pid| pool.submit(req(pid, "read", "file:/hot")))
+            .collect();
+        for t in &tickets {
+            let _ = t.wait();
+        }
+        let seen = exec.seen.lock().unwrap().clone();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "per-key order must be FIFO: {seen:?}");
+    }
+
+    #[test]
+    fn prioritizer_orders_backlog() {
+        // One worker, pinned by a slow first batch; the backlog then
+        // drains highest-priority-first (priority = pid here).
+        struct Recorder {
+            seen: Mutex<Vec<u64>>,
+        }
+        impl BatchExecutor for Recorder {
+            fn execute_batch(&self, _k: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+                std::thread::sleep(Duration::from_millis(15));
+                self.seen.lock().unwrap().extend(reqs.iter().map(|r| r.pid));
+                vec![AuthzOutcome::Allow; reqs.len()]
+            }
+        }
+        let exec = Arc::new(Recorder {
+            seen: Mutex::new(Vec::new()),
+        });
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                prioritizer: Some(Arc::new(|r: &AuthzRequest| r.pid)),
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        // Distinct keys so nothing coalesces; the plug request keeps
+        // the worker busy while the rest queue up.
+        let plug = pool.submit(req(0, "read", "file:/plug"));
+        std::thread::sleep(Duration::from_millis(5));
+        let tickets: Vec<AuthzTicket> = (1..=4)
+            .map(|pid| pool.submit(req(pid, "read", &format!("file:/{pid}"))))
+            .collect();
+        let _ = plug.wait();
+        for t in &tickets {
+            let _ = t.wait();
+        }
+        let seen = exec.seen.lock().unwrap().clone();
+        assert_eq!(seen[0], 0, "plug ran first");
+        assert_eq!(&seen[1..], &[4, 3, 2, 1], "backlog must drain by priority");
+    }
+
+    #[test]
+    fn quiesce_waits_for_in_flight_work() {
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::new(ParityExecutor::new(Duration::from_millis(10))),
+        );
+        let tickets: Vec<AuthzTicket> = (0..8)
+            .map(|pid| pool.submit(req(pid, "read", &format!("file:/{pid}"))))
+            .collect();
+        pool.quiesce();
+        for t in &tickets {
+            assert!(
+                t.try_outcome().is_some(),
+                "quiesce returned with work in flight"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_faults_queued_requests_and_rejects_new_ones() {
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                prioritizer: None,
+            },
+            Arc::new(ParityExecutor::new(Duration::from_millis(30))),
+        );
+        let running = pool.submit(req(0, "read", "file:/a"));
+        std::thread::sleep(Duration::from_millis(5));
+        let queued = pool.submit(req(2, "read", "file:/b"));
+        pool.shutdown();
+        // The in-flight one finished; the queued one faulted.
+        assert_eq!(running.wait(), AuthzOutcome::Allow);
+        assert!(matches!(queued.wait(), AuthzOutcome::Fault(_)));
+        // New submissions fault immediately.
+        assert!(matches!(
+            pool.submit(req(4, "read", "file:/c")).wait(),
+            AuthzOutcome::Fault(_)
+        ));
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 2, "post-shutdown submit not counted");
+        assert_eq!(stats.completed, 2);
+        // Shutdown is idempotent.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = Arc::new(GuardPool::new(
+            GuardPoolConfig {
+                workers: 4,
+                max_batch: 16,
+                prioritizer: None,
+            },
+            Arc::new(ParityExecutor::new(Duration::ZERO)),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let pid = t * 1000 + i;
+                    let expect = if pid % 2 == 0 {
+                        AuthzOutcome::Allow
+                    } else {
+                        AuthzOutcome::Deny
+                    };
+                    let obj = format!("file:/{}", i % 4);
+                    assert_eq!(pool.submit(req(pid, "read", &obj)).wait(), expect);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 8 * 500);
+        assert_eq!(stats.completed, 8 * 500);
+    }
+}

@@ -1,0 +1,157 @@
+//! Completion tickets: the request/response membrane between syscall
+//! threads and the guard pool (the completion-driven shape BRB uses
+//! for its request/response membranes, here without any network).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The pipeline's verdict on one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthzOutcome {
+    /// The guard discharged the goal.
+    Allow,
+    /// The guard refused (missing/unsound proof, missing credential,
+    /// authority denial, …).
+    Deny,
+    /// The request could not be evaluated (kernel gone, pool shut
+    /// down, no such process). Carries the error text. The kernel's
+    /// sync path treats a fault as "pipeline unavailable" and falls
+    /// back to inline evaluation; ticket holders decide for
+    /// themselves.
+    Fault(String),
+}
+
+impl AuthzOutcome {
+    /// True only for [`AuthzOutcome::Allow`].
+    pub fn is_allow(&self) -> bool {
+        matches!(self, AuthzOutcome::Allow)
+    }
+}
+
+type Callback = Box<dyn FnOnce(&AuthzOutcome) + Send + 'static>;
+
+enum State {
+    Pending(Vec<Callback>),
+    Done(AuthzOutcome),
+}
+
+pub(crate) struct TicketInner {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl TicketInner {
+    pub(crate) fn new() -> Arc<TicketInner> {
+        Arc::new(TicketInner {
+            state: Mutex::new(State::Pending(Vec::new())),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Resolve the ticket. Idempotent: the first completion wins.
+    /// Callbacks run on the completing thread, outside the lock.
+    pub(crate) fn complete(&self, outcome: AuthzOutcome) {
+        let callbacks = {
+            let mut state = self.state.lock().expect("ticket lock");
+            match &mut *state {
+                State::Done(_) => return,
+                State::Pending(cbs) => {
+                    let cbs = std::mem::take(cbs);
+                    *state = State::Done(outcome.clone());
+                    cbs
+                }
+            }
+        };
+        self.cond.notify_all();
+        for cb in callbacks {
+            cb(&outcome);
+        }
+    }
+}
+
+/// A handle to an in-flight authorization: poll it, block on it, or
+/// attach a completion callback. Cloned handles observe the same
+/// completion.
+#[derive(Clone)]
+pub struct AuthzTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl AuthzTicket {
+    pub(crate) fn from_inner(inner: Arc<TicketInner>) -> AuthzTicket {
+        AuthzTicket { inner }
+    }
+
+    /// An already-resolved ticket (used when a decision-cache hit
+    /// short-circuits the pipeline).
+    pub fn ready(outcome: AuthzOutcome) -> AuthzTicket {
+        let inner = TicketInner::new();
+        inner.complete(outcome);
+        AuthzTicket { inner }
+    }
+
+    /// Poll: `Some(outcome)` once resolved, `None` while in flight.
+    pub fn try_outcome(&self) -> Option<AuthzOutcome> {
+        match &*self.inner.state.lock().expect("ticket lock") {
+            State::Done(o) => Some(o.clone()),
+            State::Pending(_) => None,
+        }
+    }
+
+    /// Block until the ticket resolves.
+    pub fn wait(&self) -> AuthzOutcome {
+        let mut state = self.inner.state.lock().expect("ticket lock");
+        loop {
+            match &*state {
+                State::Done(o) => return o.clone(),
+                State::Pending(_) => {
+                    state = self.inner.cond.wait(state).expect("ticket wait");
+                }
+            }
+        }
+    }
+
+    /// Block up to `timeout`; `None` if the ticket is still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<AuthzOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("ticket lock");
+        loop {
+            match &*state {
+                State::Done(o) => return Some(o.clone()),
+                State::Pending(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (s, _) = self
+                        .inner
+                        .cond
+                        .wait_timeout(state, deadline - now)
+                        .expect("ticket wait");
+                    state = s;
+                }
+            }
+        }
+    }
+
+    /// Attach a completion callback. Runs on the completing worker
+    /// thread — or immediately on this thread if already resolved —
+    /// so callbacks must not block or re-enter kernel mutators.
+    pub fn on_complete(&self, cb: impl FnOnce(&AuthzOutcome) + Send + 'static) {
+        let mut cb = Some(cb);
+        let run_now = {
+            let mut state = self.inner.state.lock().expect("ticket lock");
+            match &mut *state {
+                State::Done(o) => Some(o.clone()),
+                State::Pending(cbs) => {
+                    let cb = cb.take().expect("callback taken once");
+                    cbs.push(Box::new(cb));
+                    None
+                }
+            }
+        };
+        if let Some(outcome) = run_now {
+            (cb.take().expect("callback taken once"))(&outcome);
+        }
+    }
+}

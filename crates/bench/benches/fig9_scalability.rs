@@ -1,0 +1,16 @@
+//! Criterion bench for Figure 9: sync vs async-batched authorization
+//! throughput on a shared kernel.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexus_bench::fig9;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_scalability");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("curve_1_to_8_threads", |b| {
+        b.iter(|| std::hint::black_box(fig9::run(200)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,18 +1,66 @@
 //! Regenerate every table and figure of the paper's evaluation (§5)
-//! and print them in the paper's layout.
+//! — plus the beyond-the-paper Figure 9 scalability curve — and print
+//! them in the paper's layout.
 //!
-//! Usage: `cargo run --release -p nexus-bench --bin reproduce [quick]`
+//! Usage: `cargo run --release -p nexus-bench --bin reproduce [quick|fig9]`
+//!
+//! `fig9` runs only the scalability bench (full iteration counts).
 
-use nexus_bench::{fig4, fig5, fig6, fig7, fig8, table1};
+use nexus_bench::{fig4, fig5, fig6, fig7, fig8, fig9, table1};
+
+fn print_fig9(iters: u64) {
+    println!("\n=== Figure 9: authorization scalability (ops/s, shared Arc<Nexus>) ===");
+    println!(
+        "{:<8} {:>14} {:>14} {:>8}",
+        "threads", "sync inline", "async batched", "ratio"
+    );
+    for p in fig9::run(iters) {
+        println!(
+            "{:<8} {:>14.0} {:>14.0} {:>7.2}x",
+            p.threads,
+            p.sync_ops_per_s,
+            p.async_ops_per_s,
+            p.async_ops_per_s / p.sync_ops_per_s
+        );
+    }
+    println!("(cache-miss-heavy: decision cache off, 32-disjunct ground goal)");
+}
+
+fn print_fig4_assoc(rounds: u64) {
+    println!("\n=== Figure 4 (ablation): decision-cache hit rate vs associativity ===");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "config", "hits", "misses", "rate"
+    );
+    for p in fig4::associativity(rounds) {
+        let name = if p.ways == 1 {
+            "direct-mapped"
+        } else {
+            "2-way"
+        };
+        println!(
+            "{:<14} {:>10} {:>10} {:>9.1}%",
+            name,
+            p.hits,
+            p.misses,
+            100.0 * p.hit_rate()
+        );
+    }
+    println!("(Fauxbook hot-follower wall-polling pattern, 64-slot cache)");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = match args.as_slice() {
         [] => false,
         [a] if a == "quick" => true,
+        [a] if a == "fig9" => {
+            print_fig9(2_000);
+            return;
+        }
         other => {
             eprintln!("unknown argument(s): {other:?}");
-            eprintln!("usage: reproduce [quick]");
+            eprintln!("usage: reproduce [quick|fig9]");
             std::process::exit(2);
         }
     };
@@ -112,5 +160,8 @@ fn main() {
             }
         }
     }
+    print_fig4_assoc(if quick { 48 } else { 256 });
+    print_fig9(if quick { 300 } else { 2_000 });
+
     println!("\n(see EXPERIMENTS.md for paper-vs-measured discussion)");
 }

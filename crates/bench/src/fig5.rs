@@ -147,6 +147,7 @@ mod tests {
 
     #[test]
     fn cost_grows_with_length() {
+        let _serial = crate::timing_guard();
         let short = measure(Family::Delegate, 2, 200);
         let long = measure(Family::Delegate, 20, 200);
         assert!(
@@ -159,12 +160,14 @@ mod tests {
 
     #[test]
     fn full_costs_more_than_eval() {
+        let _serial = crate::timing_guard();
         let p = measure(Family::Boolean, 10, 200);
         assert!(p.full_ns > p.eval_ns);
     }
 
     #[test]
     fn practical_proofs_check_fast() {
+        let _serial = crate::timing_guard();
         // Paper: "the proof checker executes all proofs shorter than
         // 15 steps in less than 1ms".
         let p = measure(Family::Delegate, 15, 100);

@@ -112,6 +112,7 @@ mod tests {
 
     #[test]
     fn crypto_is_orders_of_magnitude_slower() {
+        let _serial = crate::timing_guard();
         let pts = run(300);
         let by = |n: &str| pts.iter().find(|p| p.op == n).unwrap().ns;
         let pid = by("cred add (pid)");

@@ -110,6 +110,7 @@ mod tests {
 
     #[test]
     fn interrupt_paths_beat_ipc_paths() {
+        let _serial = crate::timing_guard();
         let kern_int = pps(Config::KernInt);
         let user_drv = pps(Config::UserDrv);
         assert!(
@@ -120,6 +121,7 @@ mod tests {
 
     #[test]
     fn caching_recovers_monitoring_overhead() {
+        let _serial = crate::timing_guard();
         let min = pps(Config::URefMin);
         let max = pps(Config::URefMax);
         assert!(
@@ -130,6 +132,7 @@ mod tests {
 
     #[test]
     fn user_monitor_costs_more_than_kernel_monitor_uncached() {
+        let _serial = crate::timing_guard();
         let kref = pps(Config::KRefMax);
         let uref = pps(Config::URefMax);
         assert!(

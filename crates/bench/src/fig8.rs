@@ -364,6 +364,7 @@ mod tests {
 
     #[test]
     fn static_ac_is_cheap_dynamic_costs() {
+        let _serial = crate::timing_guard();
         let none = measure(
             ServerKind::StaticFiles,
             AcMode::None,
@@ -388,6 +389,7 @@ mod tests {
 
     #[test]
     fn encryption_costs_most_at_large_sizes() {
+        let _serial = crate::timing_guard();
         let plain = measure(
             ServerKind::StaticFiles,
             AcMode::None,

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 pub mod table1;
 
 use nexus_kernel::{BootImages, Nexus, NexusConfig};
@@ -36,4 +37,14 @@ pub fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> f64 {
         f();
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Serializes the timing-sensitive unit tests in this crate: relative
+/// performance assertions (and the fig9 multi-thread runs that would
+/// perturb them) take this lock so the default parallel test harness
+/// cannot run them on top of each other.
+#[cfg(test)]
+pub(crate) fn timing_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }

@@ -156,6 +156,7 @@ mod tests {
 
     #[test]
     fn shapes_hold() {
+        let _serial = crate::timing_guard();
         let rows = run(200);
         let by_name = |n: &str| rows.iter().find(|r| r.call == n).unwrap().clone();
         // Interposition adds cost to the null call.

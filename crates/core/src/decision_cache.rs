@@ -45,6 +45,13 @@ pub struct DecisionCacheConfig {
     pub total_slots: usize,
     /// Slots per (operation, object) subregion.
     pub subregion_slots: usize,
+    /// Set associativity *within* a subregion: 1 is the paper's
+    /// direct-mapped table (a colliding subject displaces on insert);
+    /// 2 gives each subject-hash set two ways with least-recently-hit
+    /// eviction, trading a slightly dearer probe for fewer conflict
+    /// displacements (the ROADMAP's Figure-4 hit-rate experiment).
+    /// Clamped to `1..=subregion_slots`.
+    pub ways: usize,
 }
 
 impl Default for DecisionCacheConfig {
@@ -52,6 +59,7 @@ impl Default for DecisionCacheConfig {
         DecisionCacheConfig {
             total_slots: 4096,
             subregion_slots: 16,
+            ways: 1,
         }
     }
 }
@@ -60,6 +68,8 @@ impl Default for DecisionCacheConfig {
 struct Slot {
     key: CacheKey,
     allow: bool,
+    /// Last-touched stamp (global counter) for within-set eviction.
+    stamp: u64,
 }
 
 /// Statistics counters.
@@ -79,11 +89,13 @@ pub struct DecisionCacheStats {
 struct Table {
     shards: Vec<Mutex<Vec<Option<Slot>>>>,
     subregion_slots: usize,
+    ways: usize,
 }
 
 impl Table {
     fn new(cfg: DecisionCacheConfig) -> Self {
         let subregion_slots = cfg.subregion_slots.max(1);
+        let ways = cfg.ways.clamp(1, subregion_slots);
         let subregions = cfg
             .total_slots
             .max(subregion_slots)
@@ -93,6 +105,7 @@ impl Table {
                 .map(|_| Mutex::new(vec![None; subregion_slots]))
                 .collect(),
             subregion_slots,
+            ways,
         }
     }
 
@@ -100,11 +113,13 @@ impl Table {
         (DecisionCache::hash64(&(operation, object)) as usize) % self.shards.len()
     }
 
-    /// (shard index, slot-within-shard) for a key.
+    /// (shard index, first slot of the subject's set) for a key; the
+    /// set spans `self.ways` consecutive slots.
     fn position_of(&self, key: &CacheKey) -> (usize, usize) {
         let sub = self.subregion_of(&key.operation, &key.object);
-        let within = (DecisionCache::hash64(&key.subject) as usize) % self.subregion_slots;
-        (sub, within)
+        let sets = self.subregion_slots / self.ways;
+        let set = (DecisionCache::hash64(&key.subject) as usize) % sets.max(1);
+        (sub, set * self.ways)
     }
 }
 
@@ -116,6 +131,8 @@ pub struct DecisionCache {
     misses: AtomicU64,
     invalidations: AtomicU64,
     collisions: AtomicU64,
+    /// Monotonic touch stamp for within-set LRU (associative mode).
+    clock: AtomicU64,
 }
 
 impl DecisionCache {
@@ -127,6 +144,7 @@ impl DecisionCache {
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -139,18 +157,21 @@ impl DecisionCache {
     /// Look up a cached decision.
     pub fn lookup(&self, key: &CacheKey) -> Option<bool> {
         let table = self.table.read();
-        let (sub, within) = table.position_of(key);
-        let shard = table.shards[sub].lock();
-        match &shard[within] {
-            Some(slot) if &slot.key == key => {
+        let (sub, base) = table.position_of(key);
+        let mut shard = table.shards[sub].lock();
+        for slot in shard[base..base + table.ways].iter_mut().flatten() {
+            if &slot.key == key {
+                // Stamps only matter for within-set eviction; keep the
+                // direct-mapped hot path free of the shared counter.
+                if table.ways > 1 {
+                    slot.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                }
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(slot.allow)
-            }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some(slot.allow);
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Insert a (cacheable) decision.
@@ -167,17 +188,35 @@ impl DecisionCache {
     /// whether the entry was stored.
     pub fn insert_if(&self, key: CacheKey, allow: bool, valid: impl FnOnce() -> bool) -> bool {
         let table = self.table.read();
-        let (sub, within) = table.position_of(&key);
+        let (sub, base) = table.position_of(&key);
         let mut shard = table.shards[sub].lock();
         if !valid() {
             return false;
         }
-        if let Some(existing) = &shard[within] {
-            if existing.key != key {
+        let stamp = if table.ways > 1 {
+            self.clock.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        let set = &mut shard[base..base + table.ways];
+        // Same key or an empty way: no displacement.
+        let victim = match set
+            .iter()
+            .position(|s| matches!(s, Some(slot) if slot.key == key))
+            .or_else(|| set.iter().position(|s| s.is_none()))
+        {
+            Some(i) => i,
+            None => {
+                // Full set: displace the least-recently-touched way.
                 self.collisions.fetch_add(1, Ordering::Relaxed);
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_ref().map(|slot| slot.stamp).unwrap_or(0))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
             }
-        }
-        shard[within] = Some(Slot { key, allow });
+        };
+        set[victim] = Some(Slot { key, allow, stamp });
         true
     }
 
@@ -185,11 +224,11 @@ impl DecisionCache {
     /// "On a proof update, the kernel clears a single entry").
     pub fn invalidate_entry(&self, key: &CacheKey) {
         let table = self.table.read();
-        let (sub, within) = table.position_of(key);
+        let (sub, base) = table.position_of(key);
         let mut shard = table.shards[sub].lock();
-        if let Some(slot) = &shard[within] {
-            if &slot.key == key {
-                shard[within] = None;
+        for s in shard[base..base + table.ways].iter_mut() {
+            if matches!(s, Some(slot) if &slot.key == key) {
+                *s = None;
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -261,6 +300,11 @@ impl DecisionCache {
     /// lets tests detect accidental subregion sharing).
     pub fn subregion_of(&self, operation: &OpName, object: &ResourceId) -> usize {
         self.table.read().subregion_of(operation, object)
+    }
+
+    /// Current set associativity (after clamping).
+    pub fn ways(&self) -> usize {
+        self.table.read().ways
     }
 }
 
@@ -339,6 +383,7 @@ mod tests {
         let c = DecisionCache::new(DecisionCacheConfig {
             total_slots: 4,
             subregion_slots: 2,
+            ways: 1,
         });
         // With 2 subregions × 2 slots, collisions are guaranteed.
         for i in 0..32 {
@@ -358,9 +403,93 @@ mod tests {
         c.resize(DecisionCacheConfig {
             total_slots: 64,
             subregion_slots: 8,
+            ways: 1,
         });
         assert_eq!(c.stats().hits, hits);
         assert_eq!(c.lookup(&k), None);
+    }
+
+    #[test]
+    fn two_way_set_keeps_conflicting_pair_resident() {
+        // Two subjects that collide in a 1-set subregion: the
+        // direct-mapped table thrashes (each insert displaces the
+        // other), the 2-way set holds both.
+        let direct = DecisionCache::new(DecisionCacheConfig {
+            total_slots: 2,
+            subregion_slots: 2,
+            ways: 1,
+        });
+        let assoc = DecisionCache::new(DecisionCacheConfig {
+            total_slots: 2,
+            subregion_slots: 2,
+            ways: 2,
+        });
+        // Find two subjects that land in the same way-1 slot of the
+        // same subregion (guaranteed to exist quickly: 1 subregion
+        // here, 2 slots).
+        let base = key("s0", "read", "file:/x");
+        let (sub0, slot0) = {
+            let t = direct.table.read();
+            t.position_of(&base)
+        };
+        let rival = (1..64)
+            .map(|i| key(&format!("s{i}"), "read", "file:/x"))
+            .find(|k| {
+                let t = direct.table.read();
+                t.position_of(k) == (sub0, slot0)
+            })
+            .expect("a colliding subject exists among 63 candidates");
+
+        for c in [&direct, &assoc] {
+            c.insert(base.clone(), true);
+            c.insert(rival.clone(), false);
+        }
+        // Direct-mapped: the rival displaced the base entry.
+        assert_eq!(direct.lookup(&base), None);
+        assert_eq!(direct.lookup(&rival), Some(false));
+        assert!(direct.stats().collisions > 0);
+        // Two-way: both resident.
+        assert_eq!(assoc.lookup(&base), Some(true));
+        assert_eq!(assoc.lookup(&rival), Some(false));
+        assert_eq!(assoc.stats().collisions, 0);
+        assert_eq!(assoc.ways(), 2);
+    }
+
+    #[test]
+    fn two_way_evicts_least_recently_touched() {
+        // One subregion, one 2-way set: with three colliding keys the
+        // set must evict the least-recently-touched way.
+        let c = DecisionCache::new(DecisionCacheConfig {
+            total_slots: 2,
+            subregion_slots: 2,
+            ways: 2,
+        });
+        let keys: Vec<CacheKey> = (0..3).map(|i| key(&format!("s{i}"), "r", "o")).collect();
+        c.insert(keys[0].clone(), true);
+        c.insert(keys[1].clone(), true);
+        // Touch keys[0] so keys[1] is the LRU way.
+        assert_eq!(c.lookup(&keys[0]), Some(true));
+        c.insert(keys[2].clone(), true);
+        assert_eq!(
+            c.lookup(&keys[0]),
+            Some(true),
+            "recently touched must survive"
+        );
+        assert_eq!(c.lookup(&keys[1]), None, "LRU way must be evicted");
+        assert_eq!(c.lookup(&keys[2]), Some(true));
+    }
+
+    #[test]
+    fn ways_clamped_to_subregion() {
+        let c = DecisionCache::new(DecisionCacheConfig {
+            total_slots: 8,
+            subregion_slots: 4,
+            ways: 64,
+        });
+        assert_eq!(c.ways(), 4);
+        let k = key("a", "r", "o");
+        c.insert(k.clone(), true);
+        assert_eq!(c.lookup(&k), Some(true));
     }
 
     #[test]

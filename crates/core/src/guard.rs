@@ -126,12 +126,17 @@ pub struct GuardStats {
     pub authority_queries: u64,
     /// Entries evicted from the guard cache.
     pub evictions: u64,
+    /// Checks served through [`Guard::check_batch`] that shared an
+    /// amortized goal normalization with the rest of their batch.
+    pub batched: u64,
 }
 
 #[derive(Clone)]
 struct CachedCheck {
-    /// Structural check outcome.
-    result: Result<Formula, CheckError>,
+    /// Structural check outcome; on success carries the conclusion
+    /// and its normalization (normalizing is allocation-heavy, so it
+    /// is memoized alongside soundness).
+    result: Result<(Formula, Formula), CheckError>,
     /// The proof's credential leaves (cloned out so credential
     /// matching can run without re-walking the proof).
     leaves: Vec<Formula>,
@@ -159,6 +164,7 @@ pub struct Guard {
     cache_misses: AtomicU64,
     authority_queries: AtomicU64,
     evictions: AtomicU64,
+    batched: AtomicU64,
 }
 
 impl Guard {
@@ -177,6 +183,7 @@ impl Guard {
             cache_misses: AtomicU64::new(0),
             authority_queries: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
         }
     }
 
@@ -200,11 +207,50 @@ impl Guard {
         goal: &Formula,
         authorities: &AuthorityRegistry,
     ) -> Decision {
-        self.checks.fetch_add(1, Ordering::Relaxed);
         let goal = Self::instantiate_goal(goal, req);
+        let norm_goal = normalize(&goal);
+        self.check_instantiated(req, &goal, &norm_goal, authorities)
+    }
+
+    /// Evaluate a whole batch of requests that share one goal formula
+    /// (the async pipeline's coalesced batches): when the goal is
+    /// ground — mentions none of `$subject`/`$operation`/`$object` —
+    /// instantiation is the identity and its NAL normalization is
+    /// computed once for the batch instead of once per request.
+    /// Non-ground goals fall back to per-request evaluation.
+    pub fn check_batch(
+        &self,
+        reqs: &[AccessRequest<'_>],
+        goal: &Formula,
+        authorities: &AuthorityRegistry,
+    ) -> Vec<Decision> {
+        if goal.is_ground() && reqs.len() > 1 {
+            let norm_goal = normalize(goal);
+            self.batched.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+            reqs.iter()
+                .map(|req| self.check_instantiated(req, goal, &norm_goal, authorities))
+                .collect()
+        } else {
+            reqs.iter()
+                .map(|req| self.check(req, goal, authorities))
+                .collect()
+        }
+    }
+
+    /// The shared evaluation core: `goal` is already instantiated for
+    /// the request and `norm_goal` is its normalization (amortized by
+    /// [`Guard::check_batch`]).
+    fn check_instantiated(
+        &self,
+        req: &AccessRequest<'_>,
+        goal: &Formula,
+        norm_goal: &Formula,
+        authorities: &AuthorityRegistry,
+    ) -> Decision {
+        self.checks.fetch_add(1, Ordering::Relaxed);
         // Trivial goals need no proof: `true` is the "default ALLOW"
         // policy of Figure 4's `no goal` case.
-        if normalize(&goal) == Formula::True {
+        if *norm_goal == Formula::True {
             return Decision::allow(true);
         }
         let proof = match req.proof {
@@ -215,22 +261,23 @@ impl Guard {
             None => return Decision::deny(true, DenyReason::NoProof),
         };
 
-        // 1. Structural check (memoized).
-        let (result, leaves) = self.check_structure(proof, &goal, req.subject);
-        let concl = match result {
+        // 1. Structural check (memoized, including the conclusion's
+        //    normalization).
+        let (result, leaves) = self.check_structure(proof, req.subject);
+        let (concl, norm_concl) = match result {
             Ok(c) => c,
             // Unsoundness is a property of the proof alone: cacheable
             // (a proof update invalidates the entry).
             Err(e) => return Decision::deny(true, DenyReason::Unsound(e)),
         };
-        if normalize(&concl) != normalize(&goal) {
+        if norm_concl != *norm_goal {
             // Depends only on (proof, goal): cacheable — setgoal
             // invalidates the subregion, proof update the entry.
             return Decision::deny(
                 true,
                 DenyReason::WrongConclusion {
                     proved: Box::new(concl),
-                    goal: Box::new(goal),
+                    goal: Box::new(goal.clone()),
                 },
             );
         }
@@ -260,14 +307,14 @@ impl Guard {
     }
 
     /// Structural proof check with memoization. Soundness of a proof
-    /// never changes, so the (proof, goal-independent) result and the
-    /// leaf list are cached keyed by proof digest.
+    /// never changes, so the (proof, goal-independent) result — the
+    /// conclusion plus its normalization — and the leaf list are
+    /// cached keyed by proof digest.
     fn check_structure(
         &self,
         proof: &Proof,
-        _goal: &Formula,
         subject: &Principal,
-    ) -> (Result<Formula, CheckError>, Vec<Formula>) {
+    ) -> (Result<(Formula, Formula), CheckError>, Vec<Formula>) {
         let key = (Self::digest_proof(proof), 0u64);
         if let Some(hit) = self.cache.lock().entries.get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -281,7 +328,10 @@ impl Guard {
         // insert identical entries.
         let leaves: Vec<Formula> = proof.leaves().into_iter().cloned().collect();
         let asm = Assumptions::from_iter(leaves.iter());
-        let result = check(proof, &asm);
+        let result = check(proof, &asm).map(|concl| {
+            let norm = normalize(&concl);
+            (concl, norm)
+        });
         self.insert_cached(
             key,
             CachedCheck {
@@ -352,6 +402,7 @@ impl Guard {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             authority_queries: self.authority_queries.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
         }
     }
 
@@ -618,6 +669,73 @@ mod tests {
         // flooder at 2 entries.
         assert!(guard.cache_len() <= 2, "len={}", guard.cache_len());
         assert!(guard.stats().evictions >= 4);
+    }
+
+    #[test]
+    fn batch_agrees_with_single_checks_on_ground_goal() {
+        let guard = Guard::new();
+        let reg = AuthorityRegistry::new();
+        let (op, obj) = req_parts();
+        let goal = parse("Owner says ok").unwrap();
+        let proof = Proof::assume(goal.clone());
+        let holder = Principal::name("holder");
+        let empty_handed = Principal::name("empty");
+        let labels = vec![goal.clone()];
+        let no_labels: Vec<Formula> = Vec::new();
+        let reqs = vec![
+            build_req(&holder, &op, &obj, Some(&proof), &labels),
+            build_req(&empty_handed, &op, &obj, Some(&proof), &no_labels),
+            build_req(&holder, &op, &obj, None, &labels),
+        ];
+        let batch = guard.check_batch(&reqs, &goal, &reg);
+        let singles: Vec<Decision> = reqs.iter().map(|r| guard.check(r, &goal, &reg)).collect();
+        assert_eq!(batch, singles);
+        assert!(batch[0].allow);
+        assert!(!batch[1].allow);
+        assert_eq!(batch[2].reason, Some(DenyReason::NoProof));
+        assert_eq!(guard.stats().batched, 3, "ground goal must amortize");
+    }
+
+    #[test]
+    fn batch_with_goal_variables_falls_back_per_request() {
+        let guard = Guard::new();
+        let reg = AuthorityRegistry::new();
+        let (op, obj) = req_parts();
+        let goal = parse("$subject says read(file:/secret)").unwrap();
+        let alice = Principal::name("alice");
+        let bob = Principal::name("bob");
+        let alice_labels = vec![parse("alice says read(file:/secret)").unwrap()];
+        let alice_proof = Proof::assume(alice_labels[0].clone());
+        let reqs = vec![
+            build_req(&alice, &op, &obj, Some(&alice_proof), &alice_labels),
+            build_req(&bob, &op, &obj, Some(&alice_proof), &alice_labels),
+        ];
+        let batch = guard.check_batch(&reqs, &goal, &reg);
+        assert!(batch[0].allow, "reason: {:?}", batch[0].reason);
+        assert!(!batch[1].allow, "bob must not ride alice's instantiation");
+        assert_eq!(
+            guard.stats().batched,
+            0,
+            "non-ground goals are not amortized"
+        );
+    }
+
+    #[test]
+    fn batch_true_goal_allows_everything() {
+        let guard = Guard::new();
+        let reg = AuthorityRegistry::new();
+        let (op, obj) = req_parts();
+        let s1 = Principal::name("a");
+        let s2 = Principal::name("b");
+        let reqs = vec![
+            build_req(&s1, &op, &obj, None, &[]),
+            build_req(&s2, &op, &obj, None, &[]),
+        ];
+        for d in guard.check_batch(&reqs, &Formula::True, &reg) {
+            assert!(d.allow);
+            assert!(d.cacheable);
+        }
+        assert_eq!(guard.stats().checks, 2);
     }
 
     #[test]

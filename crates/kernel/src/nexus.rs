@@ -32,6 +32,10 @@ use crate::interpose::{ChainOutcome, Interceptor, IpcCall, MonitorLevel, Redirec
 use crate::ipc::IpcTable;
 use crate::ipd::IpdTable;
 use crate::sched::StrideScheduler;
+use nexus_authzd::{
+    AuthzOutcome, AuthzRequest, AuthzTicket, BatchExecutor, BatchKey, GuardPool, GuardPoolConfig,
+    PoolStats,
+};
 use nexus_core::{
     AccessRequest, Authority, AuthorityKind, AuthorityRegistry, CacheKey, Certificate,
     DecisionCache, DecisionCacheConfig, GoalStore, Guard, KernelSigner, Label, LabelHandle, OpName,
@@ -42,7 +46,7 @@ use nexus_storage::{RamDisk, SsrManager, StorageError, VdirTable, VkeyTable};
 use nexus_tpm::Tpm;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// The measured boot chain (§3.4): firmware, boot loader, kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,8 +168,10 @@ pub struct Nexus {
     ipc: Mutex<IpcTable>,
     /// Interposition table (internally synchronized).
     redirector: Redirector,
-    /// Proportional-share scheduler.
-    sched: Mutex<StrideScheduler>,
+    /// Proportional-share scheduler (internally synchronized).
+    sched: StrideScheduler,
+    /// The asynchronous authorization pipeline, once started.
+    authzd: RwLock<Option<Arc<GuardPool>>>,
     ipds: RwLock<IpdTable>,
     goals: GoalStore,
     proofs: ProofStore,
@@ -229,7 +235,8 @@ impl Nexus {
             ssrs: Mutex::new(ssrs),
             ipc: Mutex::new(ipc),
             redirector: Redirector::new(),
-            sched: Mutex::new(StrideScheduler::new()),
+            sched: StrideScheduler::new(),
+            authzd: RwLock::new(None),
             ipds: RwLock::new(IpdTable::new()),
             goals: GoalStore::new(),
             proofs: ProofStore::new(),
@@ -314,14 +321,16 @@ impl Nexus {
         &self.redirector
     }
 
-    /// The proportional-share scheduler.
-    pub fn sched(&self) -> MutexGuard<'_, StrideScheduler> {
-        self.sched.lock()
+    /// The proportional-share scheduler (internally synchronized —
+    /// no guard).
+    pub fn sched(&self) -> &StrideScheduler {
+        &self.sched
     }
 
     /// Tear down the kernel, returning the non-volatile hardware
     /// state (TPM and disk) — what survives to the next boot.
     pub fn shutdown(self) -> (Tpm, RamDisk) {
+        self.stop_authz_pipeline();
         (self.tpm.into_inner(), self.disk.into_inner())
     }
 
@@ -440,6 +449,7 @@ impl Nexus {
         };
         self.label_removal_epoch.fetch_add(1, Ordering::Relaxed);
         self.dcache.clear();
+        self.fence_in_flight_authz();
         Ok(handle)
     }
 
@@ -486,6 +496,7 @@ impl Nexus {
             .goals
             .set_goal(object.clone(), opn.clone(), formula, None);
         self.dcache.invalidate_subregion(&opn, &object);
+        self.fence_in_flight_authz();
         Ok(epoch)
     }
 
@@ -504,6 +515,7 @@ impl Nexus {
         let opn = OpName::from(op);
         self.goals.clear_goal(object, &opn);
         self.dcache.invalidate_subregion(&opn, object);
+        self.fence_in_flight_authz();
         Ok(())
     }
 
@@ -552,6 +564,11 @@ impl Nexus {
 
     /// Authorize `pid` performing `op` on `object` using the stored
     /// proof (or auto-proving from held labels when configured).
+    ///
+    /// When the asynchronous pipeline is running, a decision-cache
+    /// miss is submitted to the [`GuardPool`] and this call blocks on
+    /// the ticket — same verdict, but the guard runs off-thread and
+    /// coalesces with concurrent requests for the same goal.
     pub fn authorize(&self, pid: u64, op: &str, object: &ResourceId) -> Result<bool, KernelError> {
         self.authorize_with(pid, op, object, None)
     }
@@ -565,35 +582,162 @@ impl Nexus {
         inline_proof: Option<&Proof>,
     ) -> Result<bool, KernelError> {
         let cfg = self.config();
-        let subject = self.principal(pid)?;
         let opn = OpName::from(op);
-        let key = CacheKey {
-            subject: subject.clone(),
-            operation: opn.clone(),
-            object: object.clone(),
-        };
-        if cfg.decision_cache {
-            if let Some(allow) = self.dcache.lookup(&key) {
-                return Ok(allow);
+        match self.route_authz(pid, &opn, object, inline_proof, &cfg)? {
+            AuthzRoute::Cached(allow) => Ok(allow),
+            AuthzRoute::Submitted(ticket) => match ticket.wait() {
+                AuthzOutcome::Allow => Ok(true),
+                AuthzOutcome::Deny => Ok(false),
+                // A fault (pool raced a shutdown mid-flight, or
+                // pathological epoch churn starved the batch) degrades
+                // to the inline path rather than surfacing an error
+                // for an evaluable request.
+                AuthzOutcome::Fault(_) => {
+                    let subject = self.principal(pid)?;
+                    self.authorize_inline(pid, subject, &opn, object, inline_proof, &cfg)
+                }
+            },
+            AuthzRoute::Evaluate(subject) => {
+                self.authorize_inline(pid, subject, &opn, object, inline_proof, &cfg)
             }
         }
+    }
+
+    /// Begin an asynchronous authorization: returns a ticket to poll,
+    /// block on, or attach a callback to. Decision-cache hits resolve
+    /// the ticket immediately; without a running pipeline the guard
+    /// runs inline and the ticket comes back already resolved.
+    pub fn authorize_async(
+        &self,
+        pid: u64,
+        op: &str,
+        object: &ResourceId,
+    ) -> Result<AuthzTicket, KernelError> {
+        self.authorize_async_with(pid, op, object, None)
+    }
+
+    /// Asynchronous authorization with an explicitly supplied proof.
+    pub fn authorize_async_with(
+        &self,
+        pid: u64,
+        op: &str,
+        object: &ResourceId,
+        inline_proof: Option<&Proof>,
+    ) -> Result<AuthzTicket, KernelError> {
+        let cfg = self.config();
+        let opn = OpName::from(op);
+        match self.route_authz(pid, &opn, object, inline_proof, &cfg)? {
+            AuthzRoute::Cached(allow) => Ok(AuthzTicket::ready(outcome_of(allow))),
+            AuthzRoute::Submitted(ticket) => Ok(ticket),
+            AuthzRoute::Evaluate(subject) => {
+                let allow =
+                    self.authorize_inline(pid, subject, &opn, object, inline_proof, &cfg)?;
+                Ok(AuthzTicket::ready(outcome_of(allow)))
+            }
+        }
+    }
+
+    /// The shared front half of both authorization entry points:
+    /// resolve the subject, probe the decision cache, and submit to
+    /// the pipeline when it is running. `Evaluate` means the caller
+    /// must run the guard inline (no pipeline, or it raced a
+    /// shutdown).
+    fn route_authz(
+        &self,
+        pid: u64,
+        opn: &OpName,
+        object: &ResourceId,
+        inline_proof: Option<&Proof>,
+        cfg: &NexusConfig,
+    ) -> Result<AuthzRoute, KernelError> {
+        let subject = self.principal(pid)?;
+        if cfg.decision_cache {
+            let key = CacheKey {
+                subject: subject.clone(),
+                operation: opn.clone(),
+                object: object.clone(),
+            };
+            if let Some(allow) = self.dcache.lookup(&key) {
+                return Ok(AuthzRoute::Cached(allow));
+            }
+        }
+        if let Some(pool) = self.authz_pool() {
+            if let Some(ticket) = pool.try_submit(AuthzRequest {
+                pid,
+                op: opn.clone(),
+                object: object.clone(),
+                proof: inline_proof.cloned(),
+            }) {
+                return Ok(AuthzRoute::Submitted(ticket));
+            }
+        }
+        Ok(AuthzRoute::Evaluate(subject))
+    }
+
+    /// The inline (caller-thread) authorization path: a single
+    /// request evaluated under a fresh epoch snapshot. `subject` is
+    /// the already-resolved principal of `pid`.
+    fn authorize_inline(
+        &self,
+        pid: u64,
+        subject: Principal,
+        opn: &OpName,
+        object: &ResourceId,
+        inline_proof: Option<&Proof>,
+        cfg: &NexusConfig,
+    ) -> Result<bool, KernelError> {
         // Epochs observed *before* evaluating: if any of these move
         // while the guard runs, the decision may be stale and must not
         // be cached (insert_if re-checks under the shard lock).
-        let goal_epoch = self.goals.epoch();
-        let proof_epoch = self.proofs.epoch();
-        let label_epoch = self.label_removal_epoch.load(Ordering::Relaxed);
+        let snap = self.epoch_snapshot();
         self.guard_upcalls.fetch_add(1, Ordering::Relaxed);
         let goal = self
             .goals
-            .effective_goal(&Self::manager_of(object), object, &opn);
+            .effective_goal(&Self::manager_of(object), object, opn);
+        let prep = self.prepare_request(pid, subject, opn, object, inline_proof, &goal, cfg)?;
+        let req = AccessRequest {
+            subject: &prep.subject,
+            operation: opn,
+            object,
+            proof: prep.proof.as_ref(),
+            labels: &prep.labels,
+        };
+        let decision = self.guard.check(&req, &goal, &self.authorities);
+        let cacheable = decision.cacheable && (!prep.auto_attempted || decision.allow);
+        if cfg.decision_cache && cacheable {
+            let key = CacheKey {
+                subject: prep.subject.clone(),
+                operation: opn.clone(),
+                object: object.clone(),
+            };
+            self.dcache
+                .insert_if(key, decision.allow, || self.epoch_snapshot() == snap);
+        }
+        Ok(decision.allow)
+    }
+
+    /// Assemble everything request-specific the guard needs: the
+    /// subject's credentials and the proof to check (inline, stored,
+    /// or auto-proved from held labels). `subject` must be `pid`'s
+    /// principal, resolved by the caller.
+    #[allow(clippy::too_many_arguments)] // private hot-path helper; a params struct would just rename the same seven values
+    fn prepare_request(
+        &self,
+        pid: u64,
+        subject: Principal,
+        opn: &OpName,
+        object: &ResourceId,
+        inline_proof: Option<&Proof>,
+        goal: &Formula,
+        cfg: &NexusConfig,
+    ) -> Result<PreparedRequest, KernelError> {
         // The subject's credentials: its labelstore plus the request
         // itself, which arrived over the attested syscall channel and
         // is therefore an utterance the kernel can vouch for.
         let mut labels = self.ipds.read().get(pid)?.labelstore.formulas();
-        labels.push(Formula::pred(op, vec![]).says(subject.clone()));
-        labels.push(Formula::pred(op, vec![Term::sym(object.0.clone())]).says(subject.clone()));
-        let stored = self.proofs.get(&subject, &opn, object);
+        labels.push(Formula::pred(&opn.0, vec![]).says(subject.clone()));
+        labels.push(Formula::pred(&opn.0, vec![Term::sym(object.0.clone())]).says(subject.clone()));
+        let stored = self.proofs.get(&subject, opn, object);
         // Auto-proving makes the outcome depend on the subject's label
         // set. Cached allows on that path stay valid because labels
         // only ever *leave* a store via `transfer_label`, which bumps
@@ -601,43 +745,195 @@ impl Nexus {
         // are never cached (a later `say` could make them allowed,
         // with no invalidation hook for additions).
         let auto_attempted = inline_proof.is_none() && stored.is_none() && cfg.auto_prove;
-        let auto;
-        let proof_ref: Option<&Proof> = match inline_proof {
-            Some(p) => Some(p),
-            None => match &stored {
+        let proof = match inline_proof {
+            Some(p) => Some(p.clone()),
+            None => match stored {
                 Some(p) => Some(p),
                 None if cfg.auto_prove => {
                     let probe = AccessRequest {
                         subject: &subject,
-                        operation: &opn,
+                        operation: opn,
                         object,
                         proof: None,
                         labels: &labels,
                     };
-                    let inst = Guard::instantiate_goal(&goal, &probe);
-                    auto = prove(&inst, &labels, ProverConfig::default());
-                    auto.as_ref()
+                    let inst = Guard::instantiate_goal(goal, &probe);
+                    prove(&inst, &labels, ProverConfig::default())
                 }
                 None => None,
             },
         };
-        let req = AccessRequest {
-            subject: &subject,
-            operation: &opn,
-            object,
-            proof: proof_ref,
-            labels: &labels,
-        };
-        let decision = self.guard.check(&req, &goal, &self.authorities);
-        let cacheable = decision.cacheable && (!auto_attempted || decision.allow);
-        if cfg.decision_cache && cacheable {
-            self.dcache.insert_if(key, decision.allow, || {
-                self.goals.epoch() == goal_epoch
-                    && self.proofs.epoch() == proof_epoch
-                    && self.label_removal_epoch.load(Ordering::Relaxed) == label_epoch
-            });
+        Ok(PreparedRequest {
+            subject,
+            labels,
+            proof,
+            auto_attempted,
+        })
+    }
+
+    /// The (goal, proof, label-removal) epoch triple the staleness
+    /// fences compare.
+    fn epoch_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.goals.epoch(),
+            self.proofs.epoch(),
+            self.label_removal_epoch.load(Ordering::Relaxed),
+        )
+    }
+
+    // ---- the asynchronous pipeline (ISSUE 2) ----
+
+    /// Start the asynchronous authorization pipeline: a [`GuardPool`]
+    /// whose workers evaluate coalesced batches against this kernel.
+    /// Idempotent — returns the running pool if already started. When
+    /// `cfg` carries no prioritizer, batches are ordered by the
+    /// requesting IPD's proportional-share weight (heavier tenants
+    /// drain first once the queue backs up).
+    pub fn start_authz_pipeline(self: &Arc<Self>, cfg: GuardPoolConfig) -> Arc<GuardPool> {
+        let mut slot = self.authzd.write();
+        if let Some(pool) = &*slot {
+            return Arc::clone(pool);
         }
-        Ok(decision.allow)
+        let kernel = Arc::downgrade(self);
+        let prioritizer = cfg.prioritizer.clone().or_else(|| {
+            let weak: Weak<Nexus> = Arc::downgrade(self);
+            Some(Arc::new(move |req: &AuthzRequest| {
+                let Some(kernel) = weak.upgrade() else {
+                    return 0;
+                };
+                // Cheap early-out for the common no-tenant case; the
+                // IPD name is borrowed under the read lock rather
+                // than cloned (sched locks are leaf-scoped, so
+                // holding the ipds read lock across the weight lookup
+                // is safe).
+                if kernel.sched.is_idle() {
+                    return 0;
+                }
+                let ipds = kernel.ipds.read();
+                match ipds.get(req.pid) {
+                    Ok(ipd) => kernel.sched.weight(&ipd.name).unwrap_or(0),
+                    Err(_) => 0,
+                }
+            }) as nexus_authzd::pool::Prioritizer)
+        });
+        let pool = Arc::new(GuardPool::new(
+            GuardPoolConfig { prioritizer, ..cfg },
+            Arc::new(NexusExecutor { kernel }),
+        ));
+        *slot = Some(Arc::clone(&pool));
+        pool
+    }
+
+    /// Stop the pipeline (if running), faulting queued requests and
+    /// joining the workers. Subsequent authorizations run inline.
+    pub fn stop_authz_pipeline(&self) {
+        let pool = self.authzd.write().take();
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
+    }
+
+    /// The running pipeline, if any.
+    fn authz_pool(&self) -> Option<Arc<GuardPool>> {
+        self.authzd.read().clone()
+    }
+
+    /// Pipeline statistics, if the pipeline is running.
+    pub fn authz_stats(&self) -> Option<PoolStats> {
+        self.authz_pool().map(|p| p.stats())
+    }
+
+    /// The invalidation fence: wait until every authorization
+    /// submitted to the pipeline before this point has completed.
+    /// Called after `setgoal`/`transfer_label` bump their epochs, so
+    /// that by the time the invalidating syscall returns, any batch
+    /// evaluated under the old goal has re-validated its epochs (and
+    /// re-evaluated if stale) — no stale allow can complete later.
+    fn fence_in_flight_authz(&self) {
+        if let Some(pool) = self.authz_pool() {
+            pool.quiesce();
+        }
+    }
+
+    /// Evaluate one coalesced batch (all requests share `key`'s
+    /// (operation, object) pair and therefore its goal). The goal is
+    /// fetched once; `Guard::check_batch` amortizes its normalization
+    /// across the batch; the epoch fence re-evaluates the whole batch
+    /// if goals/proofs/labels moved while the guard ran.
+    fn evaluate_authz_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+        let (opn, object) = key;
+        let cfg = self.config();
+        // Bounded only to rule out livelock under pathological epoch
+        // churn; in that case the batch *faults* rather than letting a
+        // possibly-stale allow escape.
+        const MAX_FENCE_RETRIES: usize = 32;
+        for _ in 0..=MAX_FENCE_RETRIES {
+            let snap = self.epoch_snapshot();
+            let goal = self
+                .goals
+                .effective_goal(&Self::manager_of(object), object, opn);
+            let prepared: Vec<Result<PreparedRequest, KernelError>> = reqs
+                .iter()
+                .map(|r| {
+                    let subject = self.principal(r.pid)?;
+                    self.prepare_request(r.pid, subject, opn, object, r.proof.as_ref(), &goal, &cfg)
+                })
+                .collect();
+            let ok_indices: Vec<usize> = prepared
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.is_ok().then_some(i))
+                .collect();
+            let access: Vec<AccessRequest<'_>> = ok_indices
+                .iter()
+                .map(|&i| {
+                    let p = prepared[i].as_ref().expect("filtered to Ok");
+                    AccessRequest {
+                        subject: &p.subject,
+                        operation: opn,
+                        object,
+                        proof: p.proof.as_ref(),
+                        labels: &p.labels,
+                    }
+                })
+                .collect();
+            self.guard_upcalls
+                .fetch_add(access.len() as u64, Ordering::Relaxed);
+            let decisions = self.guard.check_batch(&access, &goal, &self.authorities);
+            if self.epoch_snapshot() != snap {
+                // A setgoal/set_proof/transfer_label raced the batch:
+                // the decisions may rest on dead state. Re-evaluate.
+                continue;
+            }
+            let mut outcomes: Vec<Option<AuthzOutcome>> = vec![None; reqs.len()];
+            for (&i, decision) in ok_indices.iter().zip(&decisions) {
+                let p = prepared[i].as_ref().expect("filtered to Ok");
+                let cacheable = decision.cacheable && (!p.auto_attempted || decision.allow);
+                if cfg.decision_cache && cacheable {
+                    let ck = CacheKey {
+                        subject: p.subject.clone(),
+                        operation: opn.clone(),
+                        object: object.clone(),
+                    };
+                    self.dcache
+                        .insert_if(ck, decision.allow, || self.epoch_snapshot() == snap);
+                }
+                outcomes[i] = Some(outcome_of(decision.allow));
+            }
+            for (i, p) in prepared.iter().enumerate() {
+                if let Err(e) = p {
+                    outcomes[i] = Some(AuthzOutcome::Fault(e.to_string()));
+                }
+            }
+            return outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolved"))
+                .collect();
+        }
+        vec![
+            AuthzOutcome::Fault("authorization batch could not reach a stable epoch".into());
+            reqs.len()
+        ]
     }
 
     /// Decision-cache statistics.
@@ -690,7 +986,7 @@ impl Nexus {
                 Ok(SysRet::Int(self.clock.fetch_add(1, Ordering::Relaxed) + 1))
             }
             Syscall::Yield => {
-                self.sched.lock().next();
+                self.sched.next();
                 Ok(SysRet::Unit)
             }
             Syscall::Open(path) => {
@@ -910,7 +1206,7 @@ impl Nexus {
                 Ok(format!("owner={}", self.ipc.lock().owner_of(port)?))
             }
             ["proc", "sched", client, field] => {
-                let sched = self.sched.lock();
+                let sched = &self.sched;
                 match *field {
                     "weight" => sched
                         .weight(client)
@@ -966,5 +1262,54 @@ impl Nexus {
     /// Goal store epoch (diagnostics).
     pub fn goal_epoch(&self) -> u64 {
         self.goals.epoch()
+    }
+
+    /// Resize the kernel decision cache at runtime (§2.8) — used by
+    /// the associativity ablation (Figure 4 hit-rate deltas).
+    pub fn resize_decision_cache(&self, cfg: DecisionCacheConfig) {
+        self.dcache.resize(cfg);
+    }
+}
+
+/// Where [`Nexus::route_authz`] sent a request.
+enum AuthzRoute {
+    /// The decision cache answered.
+    Cached(bool),
+    /// Submitted to the running pipeline.
+    Submitted(AuthzTicket),
+    /// Caller evaluates inline with this already-resolved subject.
+    Evaluate(Principal),
+}
+
+/// Everything request-specific the guard consumes, assembled once per
+/// request per evaluation attempt.
+struct PreparedRequest {
+    subject: Principal,
+    labels: Vec<Formula>,
+    proof: Option<Proof>,
+    auto_attempted: bool,
+}
+
+fn outcome_of(allow: bool) -> AuthzOutcome {
+    if allow {
+        AuthzOutcome::Allow
+    } else {
+        AuthzOutcome::Deny
+    }
+}
+
+/// The pipeline's view of the kernel: holds a weak reference so the
+/// pool never keeps a torn-down kernel alive; batches arriving after
+/// teardown fault instead of evaluating.
+struct NexusExecutor {
+    kernel: Weak<Nexus>,
+}
+
+impl BatchExecutor for NexusExecutor {
+    fn execute_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.evaluate_authz_batch(key, reqs),
+            None => vec![AuthzOutcome::Fault("kernel torn down".into()); reqs.len()],
+        }
     }
 }

@@ -6,8 +6,15 @@
 //! labeling function can vouch that a tenant actually receives its
 //! contracted fraction of the CPU. This turns an SLA from an
 //! end-to-end measurement problem into a checkable label.
+//!
+//! Internally synchronized (the PR-1 kernel convention): every method
+//! takes `&self`, so the scheduler can be consulted concurrently —
+//! e.g. by the authorization pipeline's batch prioritizer reading
+//! per-IPD weights while the dispatcher advances passes.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::fmt;
 
 const STRIDE_ONE: u64 = 1 << 20;
 
@@ -20,11 +27,26 @@ struct Client {
     usage: u64,
 }
 
-/// A stride scheduler over named clients (tenants).
 #[derive(Debug, Default)]
-pub struct StrideScheduler {
+struct Inner {
     clients: HashMap<String, Client>,
     quanta: u64,
+}
+
+/// A stride scheduler over named clients (tenants).
+#[derive(Default)]
+pub struct StrideScheduler {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for StrideScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("StrideScheduler")
+            .field("clients", &inner.clients)
+            .field("quanta", &inner.quanta)
+            .finish()
+    }
 }
 
 impl StrideScheduler {
@@ -34,13 +56,14 @@ impl StrideScheduler {
     }
 
     /// Add (or re-weight) a client. Weight must be ≥ 1.
-    pub fn set_weight(&mut self, name: &str, weight: u64) {
+    pub fn set_weight(&self, name: &str, weight: u64) {
         let weight = weight.max(1);
         let stride = STRIDE_ONE / weight;
+        let mut inner = self.inner.lock();
         // New clients start at the current minimum pass so they don't
         // monopolize the CPU catching up.
-        let min_pass = self.clients.values().map(|c| c.pass).min().unwrap_or(0);
-        let entry = self.clients.entry(name.to_string()).or_insert(Client {
+        let min_pass = inner.clients.values().map(|c| c.pass).min().unwrap_or(0);
+        let entry = inner.clients.entry(name.to_string()).or_insert(Client {
             weight,
             stride,
             pass: min_pass,
@@ -51,8 +74,8 @@ impl StrideScheduler {
     }
 
     /// Remove a client.
-    pub fn remove(&mut self, name: &str) -> bool {
-        self.clients.remove(name).is_some()
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.lock().clients.remove(name).is_some()
     }
 
     /// Dispatch the next quantum: the client with the minimum pass
@@ -60,34 +83,36 @@ impl StrideScheduler {
     /// like — but not implementing — `Iterator::next`: dispatching a
     /// quantum mutates scheduler state and is not iteration.)
     #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<String> {
-        let name = self
+    pub fn next(&self) -> Option<String> {
+        let mut inner = self.inner.lock();
+        let name = inner
             .clients
             .iter()
             .min_by_key(|(n, c)| (c.pass, n.as_str().to_string()))
             .map(|(n, _)| n.clone())?;
-        let c = self.clients.get_mut(&name).expect("chosen above");
+        let c = inner.clients.get_mut(&name).expect("chosen above");
         c.pass += c.stride;
         c.usage += 1;
-        self.quanta += 1;
+        inner.quanta += 1;
         Some(name)
     }
 
     /// A client's weight.
     pub fn weight(&self, name: &str) -> Option<u64> {
-        self.clients.get(name).map(|c| c.weight)
+        self.inner.lock().clients.get(name).map(|c| c.weight)
     }
 
     /// A client's received quanta.
     pub fn usage(&self, name: &str) -> Option<u64> {
-        self.clients.get(name).map(|c| c.usage)
+        self.inner.lock().clients.get(name).map(|c| c.usage)
     }
 
     /// The fraction of total weight assigned to `name` — what the
     /// resource-attestation labeling function reads out.
     pub fn share(&self, name: &str) -> Option<f64> {
-        let total: u64 = self.clients.values().map(|c| c.weight).sum();
-        let w = self.weight(name)?;
+        let inner = self.inner.lock();
+        let total: u64 = inner.clients.values().map(|c| c.weight).sum();
+        let w = inner.clients.get(name).map(|c| c.weight)?;
         if total == 0 {
             return None;
         }
@@ -96,14 +121,20 @@ impl StrideScheduler {
 
     /// All client names, sorted.
     pub fn clients(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.clients.keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.lock().clients.keys().cloned().collect();
         v.sort();
         v
     }
 
+    /// True if no clients are registered (lets hot paths skip weight
+    /// lookups entirely when proportional share is unused).
+    pub fn is_idle(&self) -> bool {
+        self.inner.lock().clients.is_empty()
+    }
+
     /// Total quanta dispatched.
     pub fn total_quanta(&self) -> u64 {
-        self.quanta
+        self.inner.lock().quanta
     }
 }
 
@@ -113,7 +144,7 @@ mod tests {
 
     #[test]
     fn proportional_allocation() {
-        let mut s = StrideScheduler::new();
+        let s = StrideScheduler::new();
         s.set_weight("a", 3);
         s.set_weight("b", 1);
         for _ in 0..4000 {
@@ -130,7 +161,7 @@ mod tests {
 
     #[test]
     fn shares_reflect_weights() {
-        let mut s = StrideScheduler::new();
+        let s = StrideScheduler::new();
         s.set_weight("a", 1);
         s.set_weight("b", 1);
         s.set_weight("c", 2);
@@ -140,7 +171,7 @@ mod tests {
 
     #[test]
     fn late_joiner_not_starved_nor_dominant() {
-        let mut s = StrideScheduler::new();
+        let s = StrideScheduler::new();
         s.set_weight("a", 1);
         for _ in 0..1000 {
             s.next();
@@ -158,13 +189,14 @@ mod tests {
 
     #[test]
     fn empty_scheduler_idles() {
-        let mut s = StrideScheduler::new();
+        let s = StrideScheduler::new();
+        assert!(s.is_idle());
         assert_eq!(s.next(), None);
     }
 
     #[test]
     fn reweight_takes_effect() {
-        let mut s = StrideScheduler::new();
+        let s = StrideScheduler::new();
         s.set_weight("a", 1);
         s.set_weight("b", 1);
         for _ in 0..100 {
@@ -184,10 +216,32 @@ mod tests {
 
     #[test]
     fn remove_client() {
-        let mut s = StrideScheduler::new();
+        let s = StrideScheduler::new();
         s.set_weight("a", 1);
         assert!(s.remove("a"));
         assert!(!s.remove("a"));
         assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn shared_dispatch_across_threads() {
+        // &self dispatch: total quanta add up when many threads pull.
+        let s = std::sync::Arc::new(StrideScheduler::new());
+        s.set_weight("a", 2);
+        s.set_weight("b", 1);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..300 {
+                    s.next();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total_quanta(), 4 * 300);
+        assert_eq!(s.usage("a").unwrap() + s.usage("b").unwrap(), 4 * 300);
     }
 }

@@ -1,0 +1,289 @@
+//! Kernel-level tests of the asynchronous authorization pipeline:
+//! sync-over-pipeline equivalence, ticket semantics, invalidation
+//! fencing, and teardown.
+
+use nexus_core::ResourceId;
+use nexus_kernel::{AuthzOutcome, GuardPoolConfig, Nexus};
+use nexus_nal::{parse, Formula, Principal, Proof};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn booted() -> Arc<Nexus> {
+    Arc::new(Nexus::boot_default().unwrap())
+}
+
+/// A world with one file, an allow-anyone read goal, and one reader.
+fn reader_world(nexus: &Arc<Nexus>) -> (u64, ResourceId) {
+    let owner = nexus.spawn("owner", b"img");
+    nexus.fs_create(owner, "/data").unwrap();
+    let object = ResourceId::file("/data");
+    nexus
+        .sys_setgoal(
+            owner,
+            object.clone(),
+            "read",
+            parse("$subject says read(file:/data)").unwrap(),
+        )
+        .unwrap();
+    (owner, object)
+}
+
+#[test]
+fn pipeline_sync_path_agrees_with_inline() {
+    let nexus = booted();
+    let (_owner, object) = reader_world(&nexus);
+    // Non-owner subjects on both paths: `read` is allowed by the
+    // goal's `$subject says read(...)` shape, `unheard_op` falls to
+    // the owner-only default goal and is denied.
+    let inline_pid = nexus.spawn("inline", b"img");
+    let inline_allow = nexus.authorize(inline_pid, "read", &object).unwrap();
+    let inline_deny = nexus.authorize(inline_pid, "unheard_op", &object).unwrap();
+    assert!(inline_allow);
+    assert!(!inline_deny);
+
+    let pool = nexus.start_authz_pipeline(GuardPoolConfig::default());
+    // Fresh subject so the decision cache can't answer for us.
+    let fresh = nexus.spawn("fresh", b"img");
+    assert_eq!(
+        nexus.authorize(fresh, "read", &object).unwrap(),
+        inline_allow
+    );
+    assert_eq!(
+        nexus.authorize(fresh, "unheard_op", &object).unwrap(),
+        inline_deny
+    );
+    // The completion counter is bumped *after* tickets resolve (the
+    // order the quiesce fence needs), so settle before comparing.
+    pool.quiesce();
+    let stats = nexus.authz_stats().expect("pipeline running");
+    assert!(stats.submitted >= 2, "misses must route through the pool");
+    assert_eq!(stats.submitted, stats.completed);
+}
+
+#[test]
+fn async_ticket_poll_wait_and_callback() {
+    let nexus = booted();
+    let (_, object) = reader_world(&nexus);
+    nexus.start_authz_pipeline(GuardPoolConfig::default());
+    let pid = nexus.spawn("reader", b"img");
+
+    let ticket = nexus.authorize_async(pid, "read", &object).unwrap();
+    let fired = Arc::new(AtomicBool::new(false));
+    let fired2 = Arc::clone(&fired);
+    ticket.on_complete(move |o| {
+        assert!(o.is_allow());
+        fired2.store(true, Ordering::SeqCst);
+    });
+    assert_eq!(ticket.wait(), AuthzOutcome::Allow);
+    assert!(fired.load(Ordering::SeqCst));
+    // A second authorization for the same tuple hits the decision
+    // cache and comes back already resolved.
+    let cached = nexus.authorize_async(pid, "read", &object).unwrap();
+    assert_eq!(cached.try_outcome(), Some(AuthzOutcome::Allow));
+}
+
+#[test]
+fn async_ticket_without_pipeline_resolves_inline() {
+    let nexus = booted();
+    let (_, object) = reader_world(&nexus);
+    let pid = nexus.spawn("reader", b"img");
+    let ticket = nexus.authorize_async(pid, "read", &object).unwrap();
+    assert_eq!(ticket.try_outcome(), Some(AuthzOutcome::Allow));
+}
+
+#[test]
+fn async_unknown_pid_is_a_kernel_error() {
+    let nexus = booted();
+    let (_, object) = reader_world(&nexus);
+    nexus.start_authz_pipeline(GuardPoolConfig::default());
+    assert!(nexus.authorize_async(9999, "read", &object).is_err());
+    assert!(nexus.authorize(9999, "read", &object).is_err());
+}
+
+#[test]
+fn setgoal_fences_in_flight_tickets() {
+    // After sys_setgoal(False) *returns*, no previously submitted
+    // ticket may complete with a stale allow: the quiesce fence keeps
+    // the syscall open until in-flight batches have re-validated.
+    let nexus = booted();
+    let (owner, object) = reader_world(&nexus);
+    nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    for round in 0..50 {
+        let pids: Vec<u64> = (0..4)
+            .map(|i| nexus.spawn(&format!("r{round}-{i}"), b"img"))
+            .collect();
+        let tickets: Vec<_> = pids
+            .iter()
+            .map(|&pid| nexus.authorize_async(pid, "read", &object).unwrap())
+            .collect();
+        nexus
+            .sys_setgoal(owner, object.clone(), "read", Formula::False)
+            .unwrap();
+        // The fence has run: every ticket still unresolved was
+        // re-evaluated under *some* current goal; and any allow must
+        // have been decided before the flip — by now all are done.
+        for t in &tickets {
+            assert!(
+                t.try_outcome().is_some(),
+                "fence returned with a ticket still in flight"
+            );
+        }
+        // New submissions must see the false goal.
+        let probe = nexus.spawn(&format!("probe{round}"), b"img");
+        let t = nexus.authorize_async(probe, "read", &object).unwrap();
+        assert_eq!(t.wait(), AuthzOutcome::Deny, "stale allow after setgoal");
+        nexus
+            .sys_setgoal(
+                owner,
+                object.clone(),
+                "read",
+                parse("$subject says read(file:/data)").unwrap(),
+            )
+            .unwrap();
+    }
+}
+
+#[test]
+fn stored_and_inline_proofs_flow_through_pipeline() {
+    let nexus = booted();
+    let owner = nexus.spawn("owner", b"img");
+    nexus.fs_create(owner, "/vault").unwrap();
+    let object = ResourceId::file("/vault");
+    let goal = parse("Owner says ok").unwrap();
+    nexus
+        .sys_setgoal(owner, object.clone(), "read", goal.clone())
+        .unwrap();
+    nexus.start_authz_pipeline(GuardPoolConfig::default());
+
+    let pid = nexus.spawn("client", b"img");
+    // No credential, no proof: deny.
+    assert!(!nexus.authorize(pid, "read", &object).unwrap());
+    // Inline proof without the credential: still deny.
+    let proof = Proof::assume(goal.clone());
+    assert!(!nexus
+        .authorize_with(pid, "read", &object, Some(&proof))
+        .unwrap());
+    // Grant the credential; inline proof now passes.
+    nexus
+        .kernel_label(pid, Principal::name("Owner"), parse("ok").unwrap())
+        .unwrap();
+    assert!(nexus
+        .authorize_with(pid, "read", &object, Some(&proof))
+        .unwrap());
+    // Stored proof passes too (fresh subject dodges the decision
+    // cache entry the inline call may have filled).
+    let pid2 = nexus.spawn("client2", b"img");
+    nexus
+        .kernel_label(pid2, Principal::name("Owner"), parse("ok").unwrap())
+        .unwrap();
+    nexus
+        .sys_set_proof(pid2, "read", &object, proof.clone())
+        .unwrap();
+    assert!(nexus.authorize(pid2, "read", &object).unwrap());
+}
+
+#[test]
+fn coalescing_batches_share_guard_work() {
+    let nexus = booted();
+    let (owner, object) = reader_world(&nexus);
+    // Ground goal so batches amortize (no $subject variable): anyone
+    // holding the Gate credential may read.
+    nexus
+        .sys_setgoal(
+            owner,
+            object.clone(),
+            "read",
+            parse("Gate says open").unwrap(),
+        )
+        .unwrap();
+    // One slow-ish worker forces queue build-up → coalescing.
+    let pool = nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 1,
+        max_batch: 64,
+        prioritizer: None,
+    });
+    let pids: Vec<u64> = (0..16)
+        .map(|i| {
+            let pid = nexus.spawn(&format!("c{i}"), b"img");
+            nexus
+                .kernel_label(pid, Principal::name("Gate"), parse("open").unwrap())
+                .unwrap();
+            pid
+        })
+        .collect();
+    let tickets: Vec<_> = pids
+        .iter()
+        .map(|&pid| nexus.authorize_async(pid, "read", &object).unwrap())
+        .collect();
+    for t in &tickets {
+        assert_eq!(t.wait(), AuthzOutcome::Allow);
+    }
+    pool.quiesce();
+    let stats = nexus.authz_stats().unwrap();
+    assert_eq!(stats.completed, stats.submitted);
+    assert!(
+        stats.max_batch_seen >= 2 || stats.batches as usize >= tickets.len(),
+        "either batches coalesced or the worker kept up one-by-one: {stats:?}"
+    );
+}
+
+#[test]
+fn stop_pipeline_reverts_to_inline() {
+    let nexus = booted();
+    let (_, object) = reader_world(&nexus);
+    nexus.start_authz_pipeline(GuardPoolConfig::default());
+    let pid = nexus.spawn("reader", b"img");
+    assert!(nexus.authorize(pid, "read", &object).unwrap());
+    nexus.stop_authz_pipeline();
+    assert!(nexus.authz_stats().is_none());
+    // Fresh subject: must evaluate inline, not fault.
+    let pid2 = nexus.spawn("reader2", b"img");
+    assert!(nexus.authorize(pid2, "read", &object).unwrap());
+}
+
+#[test]
+fn start_is_idempotent() {
+    let nexus = booted();
+    let p1 = nexus.start_authz_pipeline(GuardPoolConfig::default());
+    let p2 = nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    assert!(Arc::ptr_eq(&p1, &p2));
+}
+
+#[test]
+fn heavier_tenants_drain_first_under_backlog() {
+    // The default prioritizer consults per-IPD stride weights.
+    let nexus = booted();
+    let (_, object) = reader_world(&nexus);
+    let heavy = nexus.spawn("tenant-heavy", b"img");
+    let light = nexus.spawn("tenant-light", b"img");
+    nexus.sched().set_weight("tenant-heavy", 8);
+    nexus.sched().set_weight("tenant-light", 1);
+    // A single worker plus a plug request lets a backlog form.
+    let pool = nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 1,
+        max_batch: 1,
+        prioritizer: None,
+    });
+    let plug_pid = nexus.spawn("plug", b"img");
+    let plug = nexus.authorize_async(plug_pid, "read", &object).unwrap();
+    // Submit light first, heavy second — distinct ops so they can't
+    // coalesce; completion order should favor the heavy tenant. This
+    // is inherently timing-dependent, so assert only the invariant
+    // that both complete and the scheduler was consulted (weights
+    // exist); the authzd unit tests pin the ordering deterministically.
+    let t_light = nexus.authorize_async(light, "op_a", &object).unwrap();
+    let t_heavy = nexus.authorize_async(heavy, "op_b", &object).unwrap();
+    let _ = plug.wait();
+    let _ = t_light.wait();
+    let _ = t_heavy.wait();
+    assert_eq!(nexus.sched().weight("tenant-heavy"), Some(8));
+    pool.quiesce();
+    let stats = nexus.authz_stats().unwrap();
+    assert_eq!(stats.completed, stats.submitted);
+}

@@ -5,7 +5,8 @@
 //! `proptest` crate these properties run over a seeded, hand-rolled
 //! generator (splitmix64). Coverage is the same shape — hundreds of
 //! structurally random formulas per property — and failures print the
-//! offending seed/case for reproduction.
+//! offending seed/case for reproduction, minimized by halve-and-retry
+//! shrinking on the generation depth (see [`check_shrunk`]).
 
 use nexus_nal::check::{check, normalize, Assumptions};
 use nexus_nal::{parse, prove, CmpOp, Formula, Principal, Proof, ProverConfig, Term};
@@ -171,15 +172,45 @@ impl Gen {
     }
 }
 
+/// Minimal shrinking for the hand-rolled generator (ROADMAP item):
+/// when a property fails at the full generation depth, retry the same
+/// seed at halved depths (`d/2`, `d/4`, …) and report the *smallest*
+/// depth that still fails — smaller depth ⇒ structurally smaller
+/// formula ⇒ a friendlier reproduction. The panic message carries the
+/// seed and the minimal failing depth so the case can be replayed.
+fn check_shrunk(case: u64, max_depth: u64, prop: impl Fn(u64, u64) -> Result<(), String>) {
+    let Err(original) = prop(case, max_depth) else {
+        return;
+    };
+    let mut min_depth = max_depth;
+    let mut min_failure = original;
+    let mut depth = max_depth / 2;
+    // Halve-and-retry: keep shrinking while the property still fails;
+    // the first passing depth means the previous one was minimal.
+    while let Err(failure) = prop(case, depth) {
+        min_depth = depth;
+        min_failure = failure;
+        if depth == 0 {
+            break;
+        }
+        depth /= 2;
+    }
+    panic!("case {case} failed (minimal depth {min_depth} of {max_depth}): {min_failure}");
+}
+
 /// The pretty-printer and parser are mutually inverse.
 #[test]
 fn parser_roundtrip() {
     for case in 0..CASES {
-        let f = Gen::new(case).formula(4);
-        let printed = f.to_string();
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("case {case}: failed to reparse {printed:?}: {e}"));
-        assert_eq!(f, reparsed, "case {case}: {printed}");
+        check_shrunk(case, 4, |seed, depth| {
+            let f = Gen::new(seed).formula(depth);
+            let printed = f.to_string();
+            let reparsed =
+                parse(&printed).map_err(|e| format!("failed to reparse {printed:?}: {e}"))?;
+            (f == reparsed)
+                .then_some(())
+                .ok_or_else(|| format!("roundtrip changed {printed}"))
+        });
     }
 }
 
@@ -187,11 +218,17 @@ fn parser_roundtrip() {
 #[test]
 fn normalize_idempotent() {
     for case in 0..CASES {
-        let f = Gen::new(case ^ 0x1111).formula(4);
-        let n1 = normalize(&f);
-        let n2 = normalize(&n1);
-        assert_eq!(n1, n2, "case {case}");
-        assert!(f.equivalent(&f), "case {case}");
+        check_shrunk(case ^ 0x1111, 4, |seed, depth| {
+            let f = Gen::new(seed).formula(depth);
+            let n1 = normalize(&f);
+            let n2 = normalize(&n1);
+            if n1 != n2 {
+                return Err(format!("normalize not idempotent on {f}"));
+            }
+            f.equivalent(&f)
+                .then_some(())
+                .ok_or_else(|| format!("{f} not equivalent to itself"))
+        });
     }
 }
 
@@ -200,15 +237,20 @@ fn normalize_idempotent() {
 #[test]
 fn prover_is_sound() {
     for case in 0..CASES {
-        let mut g = Gen::new(case ^ 0x2222);
-        let creds: Vec<Formula> = (0..g.below(6)).map(|_| g.formula(3)).collect();
-        let goal = g.formula(3);
-        if let Some(proof) = prove(&goal, &creds, ProverConfig::default()) {
-            let asm = Assumptions::from_iter(creds.iter());
-            let concl = check(&proof, &asm)
-                .unwrap_or_else(|e| panic!("case {case}: prover emitted invalid proof: {e:?}"));
-            assert_eq!(normalize(&concl), normalize(&goal), "case {case}");
-        }
+        check_shrunk(case ^ 0x2222, 3, |seed, depth| {
+            let mut g = Gen::new(seed);
+            let creds: Vec<Formula> = (0..g.below(6)).map(|_| g.formula(depth)).collect();
+            let goal = g.formula(depth);
+            if let Some(proof) = prove(&goal, &creds, ProverConfig::default()) {
+                let asm = Assumptions::from_iter(creds.iter());
+                let concl =
+                    check(&proof, &asm).map_err(|e| format!("invalid proof emitted: {e:?}"))?;
+                if normalize(&concl) != normalize(&goal) {
+                    return Err(format!("proved {concl} instead of {goal}"));
+                }
+            }
+            Ok(())
+        });
     }
 }
 
@@ -216,12 +258,16 @@ fn prover_is_sound() {
 #[test]
 fn credentials_prove_themselves() {
     for case in 0..CASES {
-        let f = Gen::new(case ^ 0x3333).formula(3);
-        if f.is_ground() {
-            let creds = vec![f.clone()];
-            let proof = prove(&f, &creds, ProverConfig::default());
-            assert!(proof.is_some(), "case {case}: {f}");
-        }
+        check_shrunk(case ^ 0x3333, 3, |seed, depth| {
+            let f = Gen::new(seed).formula(depth);
+            if f.is_ground() {
+                let creds = vec![f.clone()];
+                if prove(&f, &creds, ProverConfig::default()).is_none() {
+                    return Err(format!("could not prove own credential {f}"));
+                }
+            }
+            Ok(())
+        });
     }
 }
 
@@ -229,11 +275,15 @@ fn credentials_prove_themselves() {
 #[test]
 fn proof_serde_roundtrip() {
     for case in 0..CASES {
-        let f = Gen::new(case ^ 0x4444).formula(4);
-        let p = Proof::assume(f);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Proof = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back, "case {case}");
+        check_shrunk(case ^ 0x4444, 4, |seed, depth| {
+            let f = Gen::new(seed).formula(depth);
+            let p = Proof::assume(f);
+            let json = serde_json::to_string(&p).map_err(|e| e.to_string())?;
+            let back: Proof = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+            (p == back)
+                .then_some(())
+                .ok_or_else(|| "serde roundtrip changed proof".to_string())
+        });
     }
 }
 
@@ -241,9 +291,39 @@ fn proof_serde_roundtrip() {
 #[test]
 fn ground_formulas_stay_ground() {
     for case in 0..CASES {
-        let f = Gen::new(case ^ 0x5555).formula(4);
-        assert!(f.is_ground(), "case {case}");
-        let s = nexus_nal::Subst::new().bind("X", Term::Int(1));
-        assert!(s.apply(&f).is_ground(), "case {case}");
+        check_shrunk(case ^ 0x5555, 4, |seed, depth| {
+            let f = Gen::new(seed).formula(depth);
+            if !f.is_ground() {
+                return Err(format!("generator produced non-ground {f}"));
+            }
+            let s = nexus_nal::Subst::new().bind("X", Term::Int(1));
+            s.apply(&f)
+                .is_ground()
+                .then_some(())
+                .ok_or_else(|| format!("substitution un-grounded {f}"))
+        });
     }
+}
+
+/// The shrinker itself: a property that fails exactly above a depth
+/// threshold must be reported at the smallest still-failing depth.
+#[test]
+fn shrinking_reports_minimal_depth() {
+    let caught = std::panic::catch_unwind(|| {
+        check_shrunk(7, 8, |_seed, depth| {
+            if depth >= 2 {
+                Err(format!("too deep: {depth}"))
+            } else {
+                Ok(())
+            }
+        });
+    });
+    let msg = *caught
+        .expect_err("property fails at depth 8, harness must panic")
+        .downcast::<String>()
+        .expect("panic payload is the formatted message");
+    assert!(
+        msg.contains("minimal depth 2 of 8"),
+        "halve-and-retry must land on depth 2 (8→4→2→1 passes), got: {msg}"
+    );
 }

@@ -1,17 +1,21 @@
 //! Multi-threaded stress of the shared authorization path.
 //!
-//! N reader threads hammer `Arc<Nexus>` with authorized file reads
-//! while an invalidator thread flips the file's `read` goal between
-//! an always-satisfiable formula and `false` via `setgoal`. The
-//! serializability obligation (in the spirit of Amir et al.,
-//! "Deciding Serializability in Network Systems"): once a `setgoal`
-//! has returned, no decision under the *previous* goal may be served
-//! — a stale decision-cache fill racing the invalidation would be a
-//! lost invalidation, observable below as an allow after the goal
-//! became `false`.
+//! N reader threads hammer `Arc<Nexus>` with authorized file reads —
+//! half inline through `authorize`, half as `authorize_async` tickets
+//! over the `nexus-authzd` pipeline — while an invalidator thread
+//! flips the file's `read` goal between an always-satisfiable formula
+//! and `false` via `setgoal`. The serializability obligation (in the
+//! spirit of Amir et al., "Deciding Serializability in Network
+//! Systems"): once a `setgoal` has returned, no decision under the
+//! *previous* goal may be served — a stale decision-cache fill racing
+//! the invalidation, or an in-flight pipeline batch completing after
+//! the invalidation fence, would be a lost invalidation, observable
+//! below as an allow after the goal became `false`.
 
 use nexus_core::ResourceId;
-use nexus_kernel::{BootImages, Nexus, NexusConfig, SysRet, Syscall};
+use nexus_kernel::{
+    AuthzOutcome, BootImages, GuardPoolConfig, Nexus, NexusConfig, SysRet, Syscall,
+};
 use nexus_nal::Formula;
 use nexus_storage::RamDisk;
 use nexus_tpm::Tpm;
@@ -66,6 +70,11 @@ fn concurrent_reads_with_goal_invalidation() {
             nexus_nal::parse("$subject says open(file:/shared)").unwrap(),
         )
         .unwrap();
+    // Half the readers authorize through the async pipeline.
+    let pool = nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 4,
+        ..Default::default()
+    });
 
     let reader_pids: Vec<u64> = (0..READERS)
         .map(|i| nexus.spawn(&format!("reader{i}"), b"reader-image"))
@@ -82,12 +91,16 @@ fn concurrent_reads_with_goal_invalidation() {
     let lost_invalidations = Arc::new(AtomicU64::new(0));
 
     let mut handles = Vec::new();
-    for &pid in &reader_pids {
+    for (i, &pid) in reader_pids.iter().enumerate() {
         let nexus = Arc::clone(&nexus);
         let calls = Arc::clone(&authorize_calls);
         let rounds = Arc::clone(&reader_rounds);
         let object = object.clone();
         let stop = Arc::clone(&stop);
+        // Even-index readers block on completion tickets; odd-index
+        // readers take the classic sync entry point (which itself
+        // rides the pipeline on a cache miss).
+        let use_tickets = i % 2 == 0;
         handles.push(std::thread::spawn(move || {
             let mut allows = 0u64;
             let mut denies = 0u64;
@@ -99,7 +112,16 @@ fn concurrent_reads_with_goal_invalidation() {
                 // The goal flips concurrently, so either verdict is
                 // legal *here*; the invalidator thread checks the
                 // post-setgoal obligation.
-                if nexus.authorize(pid, "read", &object).unwrap() {
+                let allowed = if use_tickets {
+                    match nexus.authorize_async(pid, "read", &object).unwrap().wait() {
+                        AuthzOutcome::Allow => true,
+                        AuthzOutcome::Deny => false,
+                        AuthzOutcome::Fault(m) => panic!("pipeline fault mid-run: {m}"),
+                    }
+                } else {
+                    nexus.authorize(pid, "read", &object).unwrap()
+                };
+                if allowed {
                     allows += 1;
                     // An allowed read must actually succeed end-to-end
                     // unless the goal flipped between the two calls.
@@ -164,6 +186,21 @@ fn concurrent_reads_with_goal_invalidation() {
                         lost.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                // The same obligation through tickets: a ticket
+                // obtained after setgoal returned must never complete
+                // with an allow under the dead goal.
+                let tickets: Vec<_> = reader_pids
+                    .iter()
+                    .map(|&pid| {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        nexus.authorize_async(pid, "read", &object).unwrap()
+                    })
+                    .collect();
+                for t in tickets {
+                    if t.wait().is_allow() {
+                        lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 calls.fetch_add(1, Ordering::Relaxed);
                 nexus
                     .sys_setgoal(owner, object.clone(), "read", allow_goal())
@@ -193,6 +230,11 @@ fn concurrent_reads_with_goal_invalidation() {
         0,
         "an allow was served after its goal was set to false — lost invalidation"
     );
+    // The pipeline drained everything it accepted.
+    pool.quiesce();
+    let pool_stats = nexus.authz_stats().expect("pipeline running");
+    assert_eq!(pool_stats.submitted, pool_stats.completed);
+    nexus.stop_authz_pipeline();
     // Work actually interleaved both ways: the invalidator held each
     // false-goal window open until reader rounds completed inside it.
     assert!(total_allows > 0, "readers never saw the satisfiable goal");
