@@ -9,23 +9,43 @@
 //! *admits* decisions; it no longer *computes* them inline.
 //!
 //! ```text
-//!  syscall threads                 GuardPool (N workers)
-//!  ───────────────                 ─────────────────────
-//!  submit(req) ──► MPMC queue ──► pop + coalesce by (op, object)
-//!       │                              │
-//!       ▼                              ▼
-//!  AuthzTicket ◄── complete ◄── BatchExecutor::execute_batch
-//!  (poll / wait / callback)      (goal fetched & normalized once
-//!                                 per batch; epoch-fenced by the
-//!                                 kernel so no stale allow lands)
+//!  syscall threads              GuardPool
+//!  ───────────────              ─────────
+//!  submit(req) ──► admission ──► embedded lane ──► N workers ─┐
+//!       │          (high-water   external lane ──► M workers ─┤ pop + coalesce
+//!       │           mark:                (AuthorityKind::     │ by (op, object)
+//!       │           Reject/Block)         External batches)   ▼
+//!       ▼                                            BatchExecutor::execute_batch
+//!  AuthzTicket ◄───────────── complete ◄─────────── (goal fetched & normalized
+//!  (poll / wait / callback,                          once per batch; epoch-fenced
+//!   panics isolated)                                 so no stale allow lands)
 //! ```
+//!
+//! Two liveness properties are load-bearing (the guard mediates every
+//! syscall, so the pipeline must never wedge):
+//!
+//! * **Bounded admission** — each lane's queue has a high-water mark
+//!   ([`GuardPoolConfig::max_queued`]); past it, submission either
+//!   faults immediately ([`OverflowPolicy::Reject`] — the kernel's
+//!   sync path treats the fault as "fall back to inline evaluation")
+//!   or blocks the submitter until space frees
+//!   ([`OverflowPolicy::Block`], for async callers that opt in).
+//!   No request ever waits unboundedly in the queue.
+//! * **Authority isolation** — requests whose evaluation may query an
+//!   external (`nexus-core` `AuthorityKind::External`) authority,
+//!   classified by the kernel before submission via
+//!   [`AuthzRequest::external`], run on a separate, smaller worker
+//!   pool, so one stuck external authority can occupy at most
+//!   [`GuardPoolConfig::external_workers`] threads while
+//!   embedded-authority traffic keeps flowing. (This crate stays
+//!   kernel-agnostic and only sees the boolean classification.)
 //!
 //! The crate is deliberately kernel-agnostic: evaluation is behind the
 //! [`BatchExecutor`] trait, so the pool can be unit-tested with a toy
 //! executor and the kernel plugs in the real guard path. Everything is
 //! hand-rolled on `std::sync` (no tokio — the build is offline): the
-//! submission queue is a mutex-protected deque with a condvar, MPMC by
-//! construction since any worker may pop any entry.
+//! submission queues are mutex-protected deques with condvars, MPMC by
+//! construction since any worker of a lane may pop any entry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +53,7 @@
 pub mod pool;
 pub mod ticket;
 
-pub use pool::{BatchExecutor, GuardPool, GuardPoolConfig, PoolStats};
+pub use pool::{BatchExecutor, GuardPool, GuardPoolConfig, OverflowPolicy, PoolStats};
 pub use ticket::{AuthzOutcome, AuthzTicket};
 
 use nexus_core::{OpName, ResourceId};
@@ -51,6 +71,14 @@ pub struct AuthzRequest {
     /// An explicitly supplied proof (otherwise the executor falls
     /// back to the stored proof or auto-proving, like the sync path).
     pub proof: Option<Proof>,
+    /// True when evaluating this request may consult an external
+    /// (IPC-backed) authority. Classified by the submitter *before*
+    /// evaluation — the kernel walks the goal formula and the leaves
+    /// of the proof that will be checked (supplied or stored) for
+    /// principals with a registered external authority — and routes
+    /// the request to the dedicated external worker lane so a stuck
+    /// authority cannot occupy the whole pool.
+    pub external: bool,
 }
 
 /// The coalescing key: requests sharing a goal — same (operation,

@@ -1,16 +1,22 @@
-//! The guard pool: N hand-rolled worker threads pulling from an MPMC
-//! submission queue, coalescing requests that share a goal into
-//! batches, and completing tickets.
+//! The guard pool: worker threads pulling from MPMC submission
+//! queues, coalescing requests that share a goal into batches, and
+//! completing tickets.
 //!
 //! Coalescing is the point: requests for the same `(op, object)` pair
 //! evaluate against the same goal formula, so the executor fetches,
 //! instantiates, and normalizes that goal once per *batch* instead of
 //! once per *request* (§2.9's guard-cache insight applied across
 //! concurrent requests instead of across time).
+//!
+//! Admission is bounded and authorities are isolated: see the crate
+//! docs for the two liveness properties ([`GuardPoolConfig::max_queued`]
+//! with [`OverflowPolicy`], and the external lane sized by
+//! [`GuardPoolConfig::external_workers`]).
 
 use crate::ticket::{AuthzOutcome, AuthzTicket, TicketInner};
 use crate::{AuthzRequest, BatchKey};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -31,15 +37,42 @@ pub trait BatchExecutor: Send + Sync {
 /// are picked up before lightweights' when the queue backs up.
 pub type Prioritizer = Arc<dyn Fn(&AuthzRequest) -> u64 + Send + Sync>;
 
+/// What happens to a submission that finds its lane's queue at the
+/// high-water mark ([`GuardPoolConfig::max_queued`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Resolve the ticket immediately to [`AuthzOutcome::Fault`]. The
+    /// kernel's sync path treats the fault as "pipeline unavailable"
+    /// and evaluates inline, so overload sheds to the caller's own
+    /// thread instead of growing the queue without bound.
+    Reject,
+    /// Block the submitting thread until a worker drains the lane
+    /// below the mark (or the pool shuts down). For async callers
+    /// that prefer back-pressure over faults.
+    Block,
+}
+
 /// Pool configuration.
 #[derive(Clone)]
 pub struct GuardPoolConfig {
-    /// Number of worker threads.
+    /// Number of worker threads on the embedded lane.
     pub workers: usize,
     /// Maximum requests coalesced into one batch.
     pub max_batch: usize,
     /// Optional request prioritizer (None = FIFO).
     pub prioritizer: Option<Prioritizer>,
+    /// High-water mark per lane: a submission that would leave more
+    /// than this many requests queued in its lane triggers the
+    /// overflow policy. `usize::MAX` restores unbounded queues.
+    pub max_queued: usize,
+    /// What to do with a submission past the high-water mark.
+    pub overflow: OverflowPolicy,
+    /// Workers dedicated to requests classified as external-authority
+    /// -touching ([`AuthzRequest::external`]). `0` disables the lane:
+    /// external requests then share the embedded queue and a stuck
+    /// authority can wedge the whole pool (the pre-back-pressure
+    /// behavior, kept reachable for comparison benchmarks).
+    pub external_workers: usize,
 }
 
 impl Default for GuardPoolConfig {
@@ -48,6 +81,9 @@ impl Default for GuardPoolConfig {
             workers: 4,
             max_batch: 64,
             prioritizer: None,
+            max_queued: 4096,
+            overflow: OverflowPolicy::Reject,
+            external_workers: 1,
         }
     }
 }
@@ -58,6 +94,9 @@ impl std::fmt::Debug for GuardPoolConfig {
             .field("workers", &self.workers)
             .field("max_batch", &self.max_batch)
             .field("prioritizer", &self.prioritizer.is_some())
+            .field("max_queued", &self.max_queued)
+            .field("overflow", &self.overflow)
+            .field("external_workers", &self.external_workers)
             .finish()
     }
 }
@@ -65,9 +104,9 @@ impl std::fmt::Debug for GuardPoolConfig {
 /// Pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Requests submitted.
+    /// Requests submitted (admitted into a queue).
     pub submitted: u64,
-    /// Requests completed (including faults).
+    /// Requests completed (including faults of admitted requests).
     pub completed: u64,
     /// Batches executed.
     pub batches: u64,
@@ -76,6 +115,19 @@ pub struct PoolStats {
     pub coalesced: u64,
     /// Largest batch observed.
     pub max_batch_seen: u64,
+    /// Submissions refused at the high-water mark under
+    /// [`OverflowPolicy::Reject`] (resolved to faults, never queued;
+    /// not counted in `submitted`).
+    pub rejected: u64,
+    /// Batches executed on the external-authority lane.
+    pub external_batches: u64,
+    /// Ticket callbacks that panicked on a worker thread (caught;
+    /// the worker survived).
+    pub callback_panics: u64,
+    /// Batches whose executor panicked (caught; the batch faulted and
+    /// the worker survived — an unwinding worker would strand every
+    /// ticket queued behind it and wedge the quiesce fence).
+    pub executor_panics: u64,
 }
 
 struct Pending {
@@ -86,25 +138,69 @@ struct Pending {
     priority: u64,
 }
 
+/// Which worker class serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Embedded,
+    External,
+}
+
 #[derive(Default)]
 struct Queue {
-    entries: VecDeque<Pending>,
+    embedded: VecDeque<Pending>,
+    external: VecDeque<Pending>,
     shutdown: bool,
 }
 
+impl Queue {
+    fn lane(&self, lane: Lane) -> &VecDeque<Pending> {
+        match lane {
+            Lane::Embedded => &self.embedded,
+            Lane::External => &self.external,
+        }
+    }
+
+    fn lane_mut(&mut self, lane: Lane) -> &mut VecDeque<Pending> {
+        match lane {
+            Lane::Embedded => &mut self.embedded,
+            Lane::External => &mut self.external,
+        }
+    }
+}
+
+/// How many queued entries one `pop_batch` may examine while holding
+/// the queue mutex (for both the priority scan and batch assembly).
+/// Deep backlogs otherwise turn every pop into an O(backlog) critical
+/// section that starves submitters blocked on the same mutex; the cap
+/// bounds submit latency at the cost of priority ordering and
+/// coalescing being exact only within the window — an admission-order
+/// approximation, not a correctness property.
+const SCAN_WINDOW: usize = 128;
+
 struct Shared {
     queue: Mutex<Queue>,
-    /// Wakes workers on submit/shutdown.
+    /// Wakes embedded-lane workers on submit/shutdown.
     work: Condvar,
+    /// Wakes external-lane workers on submit/shutdown.
+    ext_work: Condvar,
+    /// Wakes [`OverflowPolicy::Block`] submitters when a lane drains.
+    space: Condvar,
     /// Wakes `quiesce` waiters on completion.
     drained: Condvar,
     cfg_max_batch: usize,
+    max_queued: usize,
+    overflow: OverflowPolicy,
+    external_workers: usize,
     prioritizer: Option<Prioritizer>,
     submitted: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     coalesced: AtomicU64,
     max_batch_seen: AtomicU64,
+    rejected: AtomicU64,
+    external_batches: AtomicU64,
+    callback_panics: AtomicU64,
+    executor_panics: AtomicU64,
     stopping: AtomicBool,
 }
 
@@ -126,30 +222,46 @@ pub struct GuardPool {
 }
 
 impl GuardPool {
-    /// Spawn `cfg.workers` worker threads over `executor`.
+    /// Spawn `cfg.workers` embedded-lane workers (plus
+    /// `cfg.external_workers` external-lane workers) over `executor`.
     pub fn new(cfg: GuardPoolConfig, executor: Arc<dyn BatchExecutor>) -> GuardPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
             work: Condvar::new(),
+            ext_work: Condvar::new(),
+            space: Condvar::new(),
             drained: Condvar::new(),
             cfg_max_batch: cfg.max_batch.max(1),
+            max_queued: cfg.max_queued.max(1),
+            overflow: cfg.overflow,
+            external_workers: cfg.external_workers,
             prioritizer: cfg.prioritizer.clone(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            external_batches: AtomicU64::new(0),
+            callback_panics: AtomicU64::new(0),
+            executor_panics: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
         });
+        let spawn = |lane: Lane, i: usize| {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            let prefix = match lane {
+                Lane::Embedded => "authzd-worker",
+                Lane::External => "authzd-ext",
+            };
+            std::thread::Builder::new()
+                .name(format!("{prefix}-{i}"))
+                .spawn(move || worker_loop(shared, executor, lane))
+                .expect("spawn authzd worker")
+        };
         let workers = (0..cfg.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let executor = Arc::clone(&executor);
-                std::thread::Builder::new()
-                    .name(format!("authzd-worker-{i}"))
-                    .spawn(move || worker_loop(shared, executor))
-                    .expect("spawn authzd worker")
-            })
+            .map(|i| spawn(Lane::Embedded, i))
+            .chain((0..cfg.external_workers).map(|i| spawn(Lane::External, i)))
             .collect();
         GuardPool {
             shared,
@@ -171,34 +283,72 @@ impl GuardPool {
     /// configured) is computed here, on the submitting thread, before
     /// the queue lock is taken — workers never run caller code while
     /// holding the queue mutex.
+    ///
+    /// Admission is bounded: a submission that finds its lane at the
+    /// high-water mark is rejected (ticket already resolved to
+    /// [`AuthzOutcome::Fault`]) or blocks until space frees, per
+    /// [`GuardPoolConfig::overflow`]. External-classified requests go
+    /// to the external lane when one is configured.
     pub fn try_submit(&self, req: AuthzRequest) -> Option<AuthzTicket> {
-        let priority = match &self.shared.prioritizer {
+        let shared = &self.shared;
+        let lane = if req.external && shared.external_workers > 0 {
+            Lane::External
+        } else {
+            Lane::Embedded
+        };
+        let priority = match &shared.prioritizer {
             Some(pri) => pri(&req),
             None => 0,
         };
+        let mut queue = shared.queue.lock().expect("authzd queue");
+        if queue.shutdown {
+            return None;
+        }
+        while queue.lane(lane).len() >= shared.max_queued {
+            match shared.overflow {
+                OverflowPolicy::Reject => {
+                    shared.rejected.fetch_add(1, Ordering::SeqCst);
+                    return Some(AuthzTicket::ready(AuthzOutcome::Fault(format!(
+                        "authzd {} queue at high-water mark ({})",
+                        match lane {
+                            Lane::Embedded => "embedded",
+                            Lane::External => "external",
+                        },
+                        shared.max_queued
+                    ))));
+                }
+                OverflowPolicy::Block => {
+                    queue = shared.space.wait(queue).expect("authzd space wait");
+                    if queue.shutdown {
+                        return None;
+                    }
+                }
+            }
+        }
         let inner = TicketInner::new();
         let ticket = AuthzTicket::from_inner(Arc::clone(&inner));
-        {
-            let mut queue = self.shared.queue.lock().expect("authzd queue");
-            if queue.shutdown {
-                return None;
-            }
-            self.shared.submitted.fetch_add(1, Ordering::SeqCst);
-            queue.entries.push_back(Pending {
-                req,
-                ticket: inner,
-                priority,
-            });
+        shared.submitted.fetch_add(1, Ordering::SeqCst);
+        queue.lane_mut(lane).push_back(Pending {
+            req,
+            ticket: inner,
+            priority,
+        });
+        drop(queue);
+        match lane {
+            Lane::Embedded => shared.work.notify_one(),
+            Lane::External => shared.ext_work.notify_one(),
         }
-        self.shared.work.notify_one();
         Some(ticket)
     }
 
     /// Wait until every request submitted before this call has
-    /// completed. This is the invalidation fence: `setgoal` calls it
-    /// after bumping the goal epoch so that any batch evaluated under
-    /// the old goal has re-validated (and, if stale, re-evaluated)
-    /// before the syscall returns.
+    /// completed — on *both* lanes (the counters are pool-global, so
+    /// a fence covers in-flight external batches too). This is the
+    /// invalidation fence: `setgoal` calls it after bumping the goal
+    /// epoch so that any batch evaluated under the old goal has
+    /// re-validated (and, if stale, re-evaluated) before the syscall
+    /// returns. Rejected submissions were never admitted and are not
+    /// waited for.
     pub fn quiesce(&self) {
         let target = self.shared.submitted.load(Ordering::SeqCst);
         let mut queue = self.shared.queue.lock().expect("authzd queue");
@@ -216,23 +366,39 @@ impl GuardPool {
             batches: self.shared.batches.load(Ordering::SeqCst),
             coalesced: self.shared.coalesced.load(Ordering::SeqCst),
             max_batch_seen: self.shared.max_batch_seen.load(Ordering::SeqCst),
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+            external_batches: self.shared.external_batches.load(Ordering::SeqCst),
+            callback_panics: self.shared.callback_panics.load(Ordering::SeqCst),
+            executor_panics: self.shared.executor_panics.load(Ordering::SeqCst),
         }
     }
 
-    /// Stop accepting work, fault out everything still queued, and
-    /// join the workers. Idempotent.
+    /// Stop accepting work, fault out everything still queued on both
+    /// lanes, release blocked submitters, and join the workers.
+    /// Idempotent.
     pub fn shutdown(&self) {
         let leftovers: Vec<Pending> = {
             let mut queue = self.shared.queue.lock().expect("authzd queue");
             queue.shutdown = true;
             self.shared.stopping.store(true, Ordering::SeqCst);
-            queue.entries.drain(..).collect()
+            let mut drained: Vec<Pending> = queue.embedded.drain(..).collect();
+            drained.extend(queue.external.drain(..));
+            drained
         };
         self.shared.work.notify_all();
+        self.shared.ext_work.notify_all();
+        self.shared.space.notify_all();
         let n = leftovers.len() as u64;
+        let mut panics = 0u64;
         for p in leftovers {
-            p.ticket
+            panics += p
+                .ticket
                 .complete(AuthzOutcome::Fault("authzd pool shut down".into()));
+        }
+        if panics > 0 {
+            self.shared
+                .callback_panics
+                .fetch_add(panics, Ordering::SeqCst);
         }
         if n > 0 {
             self.shared.note_completed(n);
@@ -255,61 +421,93 @@ impl Drop for GuardPool {
     }
 }
 
-/// Pop the next batch: pick the highest-priority entry (FIFO when no
-/// prioritizer), then drain every queued request sharing its key, up
-/// to `max_batch`. Returns `None` on shutdown.
-fn pop_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
+/// Pop the next batch from `lane`: pick the highest-priority entry
+/// within the scan window (FIFO when no prioritizer), then drain
+/// queued requests sharing its key, up to `max_batch`, examining at
+/// most [`SCAN_WINDOW`] entries while the queue mutex is held.
+/// Returns `None` on shutdown.
+fn pop_batch(shared: &Shared, lane: Lane) -> Option<(BatchKey, Vec<Pending>)> {
     let mut queue = shared.queue.lock().expect("authzd queue");
     loop {
         if shared.stopping.load(Ordering::SeqCst) || queue.shutdown {
             return None;
         }
-        if queue.entries.is_empty() {
-            queue = shared.work.wait(queue).expect("authzd worker wait");
+        if queue.lane(lane).is_empty() {
+            let cv = match lane {
+                Lane::Embedded => &shared.work,
+                Lane::External => &shared.ext_work,
+            };
+            queue = cv.wait(queue).expect("authzd worker wait");
             continue;
         }
+        let entries = queue.lane_mut(lane);
+        let window = entries.len().min(SCAN_WINDOW);
         let lead_idx = if shared.prioritizer.is_none() {
             0
         } else {
             // Priorities were computed at submit time: this scan is a
-            // plain integer max. Highest priority wins; FIFO among
-            // equals (the *earlier* index wins, hence the reversed
-            // index comparison).
-            queue
-                .entries
+            // plain integer max over the window. Highest priority
+            // wins; FIFO among equals (the *earlier* index wins,
+            // hence the reversed index comparison).
+            entries
                 .iter()
+                .take(window)
                 .enumerate()
                 .max_by(|(ia, a), (ib, b)| a.priority.cmp(&b.priority).then(ib.cmp(ia)))
                 .map(|(i, _)| i)
                 .unwrap_or(0)
         };
-        let lead = queue.entries.remove(lead_idx).expect("index in bounds");
+        let lead = entries.remove(lead_idx).expect("index in bounds");
         let key = lead.req.key();
         let mut batch = vec![lead];
         let mut i = 0;
-        while i < queue.entries.len() && batch.len() < shared.cfg_max_batch {
+        // Assembly budget: every examined entry (matched or not)
+        // spends one unit, so the critical section stays O(window)
+        // even against a deep backlog of same-key requests.
+        let mut budget = SCAN_WINDOW;
+        while i < entries.len() && budget > 0 && batch.len() < shared.cfg_max_batch {
+            budget -= 1;
             // Compare by reference — no per-entry key clones while the
             // queue mutex is held.
-            let entry = &queue.entries[i].req;
+            let entry = &entries[i].req;
             if entry.op == key.0 && entry.object == key.1 {
-                batch.push(queue.entries.remove(i).expect("index in bounds"));
+                batch.push(entries.remove(i).expect("index in bounds"));
             } else {
                 i += 1;
             }
+        }
+        drop(queue);
+        // The lane just lost at least one entry: admit any submitter
+        // blocked at the high-water mark.
+        if shared.overflow == OverflowPolicy::Block {
+            shared.space.notify_all();
         }
         return Some((key, batch));
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, executor: Arc<dyn BatchExecutor>) {
-    while let Some((key, batch)) = pop_batch(&shared) {
+fn worker_loop(shared: Arc<Shared>, executor: Arc<dyn BatchExecutor>, lane: Lane) {
+    while let Some((key, batch)) = pop_batch(&shared, lane) {
         // Move the owned requests out — the executor borrows them, no
         // proof-tree clones on the worker hot path.
         let (reqs, tickets): (Vec<AuthzRequest>, Vec<Arc<TicketInner>>) =
             batch.into_iter().map(|p| (p.req, p.ticket)).unzip();
-        let outcomes = executor.execute_batch(&key, &reqs);
+        // A panicking executor must not unwind through (and kill)
+        // this worker: the batch faults instead — the kernel's sync
+        // path falls back inline on a fault — and the tickets queued
+        // behind it keep draining. AssertUnwindSafe: the executor is
+        // behind an Arc and owns its own synchronization; the batch's
+        // tickets are completed below either way.
+        let outcomes = catch_unwind(AssertUnwindSafe(|| executor.execute_batch(&key, &reqs)))
+            .unwrap_or_else(|_| {
+                shared.executor_panics.fetch_add(1, Ordering::SeqCst);
+                vec![AuthzOutcome::Fault("authz batch executor panicked".into()); reqs.len()]
+            });
         debug_assert_eq!(outcomes.len(), reqs.len(), "executor contract");
         shared.batches.fetch_add(1, Ordering::SeqCst);
+        if lane == Lane::External {
+            shared.external_batches.fetch_add(1, Ordering::SeqCst);
+        }
         shared
             .coalesced
             .fetch_add(reqs.len().saturating_sub(1) as u64, Ordering::SeqCst);
@@ -318,11 +516,18 @@ fn worker_loop(shared: Arc<Shared>, executor: Arc<dyn BatchExecutor>) {
             .fetch_max(reqs.len() as u64, Ordering::SeqCst);
         let n = tickets.len() as u64;
         let mut outcomes = outcomes.into_iter();
+        let mut panics = 0u64;
         for ticket in tickets {
             let outcome = outcomes
                 .next()
                 .unwrap_or_else(|| AuthzOutcome::Fault("executor returned short batch".into()));
-            ticket.complete(outcome);
+            // A panicking user callback is caught inside `complete`;
+            // this worker must survive it (with workers == 1 an
+            // unwind here would wedge the whole pipeline).
+            panics += ticket.complete(outcome);
+        }
+        if panics > 0 {
+            shared.callback_panics.fetch_add(panics, Ordering::SeqCst);
         }
         shared.note_completed(n);
     }
@@ -333,7 +538,7 @@ mod tests {
     use super::*;
     use nexus_core::{OpName, ResourceId};
     use std::sync::atomic::AtomicUsize;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn req(pid: u64, op: &str, obj: &str) -> AuthzRequest {
         AuthzRequest {
@@ -341,6 +546,14 @@ mod tests {
             op: OpName::from(op),
             object: ResourceId(obj.to_string()),
             proof: None,
+            external: false,
+        }
+    }
+
+    fn ext_req(pid: u64, op: &str, obj: &str) -> AuthzRequest {
+        AuthzRequest {
+            external: true,
+            ..req(pid, op, obj)
         }
     }
 
@@ -374,6 +587,60 @@ mod tests {
                     }
                 })
                 .collect()
+        }
+    }
+
+    /// Holds every batch at a gate until released; allows everything.
+    struct GateExecutor {
+        gate: Arc<AtomicBool>,
+        entered: AtomicUsize,
+    }
+
+    impl GateExecutor {
+        fn new() -> Arc<Self> {
+            Arc::new(GateExecutor {
+                gate: Arc::new(AtomicBool::new(false)),
+                entered: AtomicUsize::new(0),
+            })
+        }
+
+        fn release(&self) {
+            self.gate.store(true, Ordering::SeqCst);
+        }
+
+        /// Spin until `n` batches have reached the gate.
+        fn await_entered(&self, n: usize) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while self.entered.load(Ordering::SeqCst) < n {
+                assert!(Instant::now() < deadline, "executor never entered");
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    impl BatchExecutor for GateExecutor {
+        fn execute_batch(&self, _key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            while !self.gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            vec![AuthzOutcome::Allow; reqs.len()]
+        }
+    }
+
+    /// Like [`GateExecutor`], but only external-classified batches
+    /// block; embedded batches pass straight through.
+    struct ExternalGateExecutor {
+        inner: Arc<GateExecutor>,
+    }
+
+    impl BatchExecutor for ExternalGateExecutor {
+        fn execute_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+            if reqs.iter().any(|r| r.external) {
+                self.inner.execute_batch(key, reqs)
+            } else {
+                vec![AuthzOutcome::Allow; reqs.len()]
+            }
         }
     }
 
@@ -447,7 +714,7 @@ mod tests {
             GuardPoolConfig {
                 workers: 1,
                 max_batch: 64,
-                prioritizer: None,
+                ..Default::default()
             },
             Arc::clone(&exec) as Arc<dyn BatchExecutor>,
         );
@@ -462,6 +729,8 @@ mod tests {
             };
             assert_eq!(t.wait(), expect, "pid {pid}");
         }
+        // Counters are bumped just after tickets resolve: settle first.
+        pool.quiesce();
         let stats = pool.stats();
         assert_eq!(stats.completed, 20);
         assert!(
@@ -480,7 +749,7 @@ mod tests {
             GuardPoolConfig {
                 workers: 1,
                 max_batch: 64,
-                prioritizer: None,
+                ..Default::default()
             },
             Arc::clone(&exec) as Arc<dyn BatchExecutor>,
         );
@@ -501,7 +770,7 @@ mod tests {
             GuardPoolConfig {
                 workers: 1,
                 max_batch: 4,
-                prioritizer: None,
+                ..Default::default()
             },
             Arc::clone(&exec) as Arc<dyn BatchExecutor>,
         );
@@ -539,7 +808,7 @@ mod tests {
             GuardPoolConfig {
                 workers: 1,
                 max_batch: 64,
-                prioritizer: None,
+                ..Default::default()
             },
             Arc::clone(&exec) as Arc<dyn BatchExecutor>,
         );
@@ -577,6 +846,7 @@ mod tests {
                 workers: 1,
                 max_batch: 1,
                 prioritizer: Some(Arc::new(|r: &AuthzRequest| r.pid)),
+                ..Default::default()
             },
             Arc::clone(&exec) as Arc<dyn BatchExecutor>,
         );
@@ -594,6 +864,30 @@ mod tests {
         let seen = exec.seen.lock().unwrap().clone();
         assert_eq!(seen[0], 0, "plug ran first");
         assert_eq!(&seen[1..], &[4, 3, 2, 1], "backlog must drain by priority");
+
+        // Submit latency must stay bounded under a *deep* backlog:
+        // pop_batch's scans are capped at SCAN_WINDOW, so a pop's
+        // critical section — and therefore a submitter's wait on the
+        // queue mutex — cannot grow with queue depth. Plug the worker
+        // again, pile up a deep same-key backlog (the worst case for
+        // the assembly scan), and time fresh submissions racing the
+        // worker's pops.
+        let plug2 = pool.submit(req(0, "read", "file:/plug2"));
+        let _ = plug2;
+        for i in 0..10_000u64 {
+            let _ = pool.submit(req(i, "read", "file:/deep"));
+        }
+        let start = Instant::now();
+        for i in 0..500u64 {
+            let _ = pool.submit(req(i, "probe", &format!("file:/probe{i}")));
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "500 submits under a 10k backlog took {elapsed:?} — pop_batch is starving submitters"
+        );
+        // Shutdown faults the backlog (we only asserted latency).
+        pool.shutdown();
     }
 
     #[test]
@@ -623,7 +917,7 @@ mod tests {
             GuardPoolConfig {
                 workers: 1,
                 max_batch: 1,
-                prioritizer: None,
+                ..Default::default()
             },
             Arc::new(ParityExecutor::new(Duration::from_millis(30))),
         );
@@ -652,7 +946,7 @@ mod tests {
             GuardPoolConfig {
                 workers: 4,
                 max_batch: 16,
-                prioritizer: None,
+                ..Default::default()
             },
             Arc::new(ParityExecutor::new(Duration::ZERO)),
         ));
@@ -675,8 +969,274 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // `wait` returns when the ticket resolves, which happens just
+        // *before* the worker bumps the completion counter (the order
+        // the quiesce fence needs); settle before comparing counters.
+        pool.quiesce();
         let stats = pool.stats();
         assert_eq!(stats.submitted, 8 * 500);
         assert_eq!(stats.completed, 8 * 500);
+    }
+
+    #[test]
+    fn panicking_callback_does_not_kill_the_worker() {
+        // Regression: a panicking on_complete used to unwind through
+        // worker_loop; with workers == 1 that deadlocked the pool.
+        let exec = GateExecutor::new();
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let t = pool.submit(req(2, "read", "file:/a"));
+        exec.await_entered(1); // the batch is held at the gate...
+        t.on_complete(|_| panic!("user callback exploding on the worker thread"));
+        exec.release(); // ...so the callback is guaranteed to run on the worker.
+        assert_eq!(t.wait(), AuthzOutcome::Allow);
+        // The sole worker survived: subsequent work still completes.
+        assert_eq!(
+            pool.submit(req(4, "read", "file:/b")).wait(),
+            AuthzOutcome::Allow
+        );
+        assert_eq!(pool.stats().callback_panics, 1);
+    }
+
+    #[test]
+    fn panicking_executor_faults_the_batch_and_spares_the_worker() {
+        // Same bug class one layer down: an executor panic (e.g. a
+        // poisoned lock inside guard evaluation) must not kill the
+        // worker — the batch faults and the lane keeps draining.
+        struct Grenade;
+        impl BatchExecutor for Grenade {
+            fn execute_batch(&self, _k: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+                if reqs.iter().any(|r| r.pid == 13) {
+                    panic!("executor exploding mid-batch");
+                }
+                vec![AuthzOutcome::Allow; reqs.len()]
+            }
+        }
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::new(Grenade),
+        );
+        assert!(matches!(
+            pool.submit(req(13, "read", "file:/boom")).wait(),
+            AuthzOutcome::Fault(_)
+        ));
+        // The sole worker survived and the quiesce fence still works.
+        assert_eq!(
+            pool.submit(req(2, "read", "file:/ok")).wait(),
+            AuthzOutcome::Allow
+        );
+        pool.quiesce();
+        let stats = pool.stats();
+        assert_eq!(stats.executor_panics, 1);
+        assert_eq!(stats.submitted, stats.completed);
+    }
+
+    #[test]
+    fn ready_tickets_serve_all_accessors() {
+        // The allocation-free resolved representation must behave
+        // exactly like a completed shared ticket.
+        let t = AuthzTicket::ready(AuthzOutcome::Allow);
+        assert_eq!(t.try_outcome(), Some(AuthzOutcome::Allow));
+        assert_eq!(t.wait(), AuthzOutcome::Allow);
+        assert_eq!(t.wait_timeout(Duration::ZERO), Some(AuthzOutcome::Allow));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        t.on_complete(move |o| {
+            assert!(o.is_allow());
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let clone = t.clone();
+        assert_eq!(clone.wait(), AuthzOutcome::Allow);
+    }
+
+    #[test]
+    fn reject_policy_faults_at_high_water() {
+        let exec = GateExecutor::new();
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queued: 2,
+                overflow: OverflowPolicy::Reject,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let in_flight = pool.submit(req(0, "read", "file:/0"));
+        exec.await_entered(1); // worker occupied, queue empty
+        let q1 = pool.submit(req(2, "read", "file:/1"));
+        let q2 = pool.submit(req(4, "read", "file:/2"));
+        // Queue is now at the mark: the next submission faults
+        // immediately instead of growing the backlog.
+        let over = pool.submit(req(6, "read", "file:/3"));
+        assert!(
+            matches!(over.try_outcome(), Some(AuthzOutcome::Fault(_))),
+            "over-high-water submission must fault without waiting"
+        );
+        assert_eq!(pool.stats().rejected, 1);
+        exec.release();
+        assert_eq!(in_flight.wait(), AuthzOutcome::Allow);
+        assert_eq!(q1.wait(), AuthzOutcome::Allow);
+        assert_eq!(q2.wait(), AuthzOutcome::Allow);
+        // Rejected requests are not admitted, so quiesce does not
+        // wait for them and the counters reconcile.
+        pool.quiesce();
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn block_policy_holds_submitter_until_space_frees() {
+        let exec = GateExecutor::new();
+        let pool = Arc::new(GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queued: 1,
+                overflow: OverflowPolicy::Block,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        ));
+        let in_flight = pool.submit(req(0, "read", "file:/0"));
+        exec.await_entered(1);
+        let queued = pool.submit(req(2, "read", "file:/1")); // lane now full
+        let blocked_done = Arc::new(AtomicBool::new(false));
+        let submitter = {
+            let pool = Arc::clone(&pool);
+            let done = Arc::clone(&blocked_done);
+            std::thread::spawn(move || {
+                let t = pool.submit(req(4, "read", "file:/2"));
+                done.store(true, Ordering::SeqCst);
+                t.wait()
+            })
+        };
+        // The submitter must be parked on the space condvar, not
+        // faulted and not admitted.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !blocked_done.load(Ordering::SeqCst),
+            "Block-policy submitter returned while the lane was full"
+        );
+        assert_eq!(pool.stats().rejected, 0);
+        exec.release();
+        assert_eq!(submitter.join().unwrap(), AuthzOutcome::Allow);
+        assert_eq!(in_flight.wait(), AuthzOutcome::Allow);
+        assert_eq!(queued.wait(), AuthzOutcome::Allow);
+    }
+
+    #[test]
+    fn blocked_submitter_released_by_shutdown() {
+        let exec = GateExecutor::new();
+        let pool = Arc::new(GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queued: 1,
+                overflow: OverflowPolicy::Block,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        ));
+        let _in_flight = pool.submit(req(0, "read", "file:/0"));
+        exec.await_entered(1);
+        let _queued = pool.submit(req(2, "read", "file:/1"));
+        let submitter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.submit(req(4, "read", "file:/2")).wait())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        exec.release(); // shutdown joins workers; don't leave them gated
+        pool.shutdown();
+        // The blocked submitter observed the shutdown and faulted
+        // rather than hanging forever.
+        assert!(matches!(submitter.join().unwrap(), AuthzOutcome::Fault(_)));
+    }
+
+    #[test]
+    fn stuck_external_batch_leaves_embedded_lane_flowing() {
+        // One stuck external authority may occupy at most the
+        // external workers: embedded traffic must keep completing
+        // while the external lane is wedged, and external overflow
+        // must fault instead of backing up forever.
+        let gate = GateExecutor::new();
+        let exec = Arc::new(ExternalGateExecutor {
+            inner: Arc::clone(&gate),
+        });
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 2,
+                max_batch: 1,
+                max_queued: 2,
+                overflow: OverflowPolicy::Reject,
+                external_workers: 1,
+                ..Default::default()
+            },
+            exec as Arc<dyn BatchExecutor>,
+        );
+        let stuck = pool.submit(ext_req(0, "poke", "svc:/stale"));
+        gate.await_entered(1); // the external worker is now wedged
+        let ext_queued: Vec<AuthzTicket> = (1..=2)
+            .map(|i| pool.submit(ext_req(i * 2, "poke", &format!("svc:/s{i}"))))
+            .collect();
+        // External lane at its mark: further external work faults...
+        let overflow = pool.submit(ext_req(8, "poke", "svc:/s3"));
+        assert!(matches!(
+            overflow.try_outcome(),
+            Some(AuthzOutcome::Fault(_))
+        ));
+        // ...while embedded traffic flows freely the whole time.
+        for pid in 0..20u64 {
+            assert_eq!(
+                pool.submit(req(pid * 2, "read", &format!("file:/{pid}")))
+                    .wait(),
+                AuthzOutcome::Allow,
+                "embedded request starved by a stuck external authority"
+            );
+        }
+        gate.release();
+        assert_eq!(stuck.wait(), AuthzOutcome::Allow);
+        for t in &ext_queued {
+            assert_eq!(t.wait(), AuthzOutcome::Allow);
+        }
+        let stats = pool.stats();
+        assert!(stats.external_batches >= 1, "{stats:?}");
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn external_requests_share_embedded_lane_when_lane_disabled() {
+        // external_workers == 0 is the legacy topology: external
+        // requests ride the embedded queue (and can wedge it — that
+        // is what the back-pressure bench demonstrates).
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::new(ParityExecutor::new(Duration::ZERO)),
+        );
+        assert_eq!(
+            pool.submit(ext_req(2, "poke", "svc:/x")).wait(),
+            AuthzOutcome::Allow
+        );
+        assert_eq!(pool.stats().external_batches, 0);
     }
 }

@@ -2,6 +2,7 @@
 //! threads and the guard pool (the completion-driven shape BRB uses
 //! for its request/response membranes, here without any network).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -14,10 +15,10 @@ pub enum AuthzOutcome {
     /// authority denial, …).
     Deny,
     /// The request could not be evaluated (kernel gone, pool shut
-    /// down, no such process). Carries the error text. The kernel's
-    /// sync path treats a fault as "pipeline unavailable" and falls
-    /// back to inline evaluation; ticket holders decide for
-    /// themselves.
+    /// down, submission queue at its high-water mark, no such
+    /// process). Carries the error text. The kernel's sync path treats
+    /// a fault as "pipeline unavailable" and falls back to inline
+    /// evaluation; ticket holders decide for themselves.
     Fault(String),
 }
 
@@ -49,12 +50,16 @@ impl TicketInner {
     }
 
     /// Resolve the ticket. Idempotent: the first completion wins.
-    /// Callbacks run on the completing thread, outside the lock.
-    pub(crate) fn complete(&self, outcome: AuthzOutcome) {
+    /// Callbacks run on the completing thread, outside the lock, each
+    /// isolated by `catch_unwind`: a panicking user callback must not
+    /// unwind into (and kill) the pool worker that completed the
+    /// ticket. Returns how many callbacks panicked so the pool can
+    /// count them.
+    pub(crate) fn complete(&self, outcome: AuthzOutcome) -> u64 {
         let callbacks = {
             let mut state = self.state.lock().expect("ticket lock");
             match &mut *state {
-                State::Done(_) => return,
+                State::Done(_) => return 0,
                 State::Pending(cbs) => {
                     let cbs = std::mem::take(cbs);
                     *state = State::Done(outcome.clone());
@@ -63,10 +68,29 @@ impl TicketInner {
             }
         };
         self.cond.notify_all();
+        let mut panics = 0u64;
         for cb in callbacks {
-            cb(&outcome);
+            // AssertUnwindSafe: the callback is consumed either way,
+            // and the ticket state was finalized above, so a panic
+            // cannot leave shared state half-updated.
+            if catch_unwind(AssertUnwindSafe(|| cb(&outcome))).is_err() {
+                panics += 1;
+            }
         }
+        panics
     }
+}
+
+/// How a ticket is represented: resolved-at-birth tickets (decision
+/// cache hits, admission rejections) carry their outcome inline and
+/// never allocate synchronization state.
+#[derive(Clone)]
+enum Repr {
+    /// Resolved before the handle was ever shared: no lock, no
+    /// condvar, no `Arc` — a cache hit costs one enum move.
+    Ready(AuthzOutcome),
+    /// In flight (or resolved later) through the pool.
+    Shared(Arc<TicketInner>),
 }
 
 /// A handle to an in-flight authorization: poll it, block on it, or
@@ -74,38 +98,50 @@ impl TicketInner {
 /// completion.
 #[derive(Clone)]
 pub struct AuthzTicket {
-    inner: Arc<TicketInner>,
+    repr: Repr,
 }
 
 impl AuthzTicket {
     pub(crate) fn from_inner(inner: Arc<TicketInner>) -> AuthzTicket {
-        AuthzTicket { inner }
+        AuthzTicket {
+            repr: Repr::Shared(inner),
+        }
     }
 
     /// An already-resolved ticket (used when a decision-cache hit
-    /// short-circuits the pipeline).
+    /// short-circuits the pipeline, or admission control rejects the
+    /// request). Allocation-free: the outcome is stored inline, so
+    /// the hot cache-hit path pays for no mutex or condvar it will
+    /// never use.
     pub fn ready(outcome: AuthzOutcome) -> AuthzTicket {
-        let inner = TicketInner::new();
-        inner.complete(outcome);
-        AuthzTicket { inner }
+        AuthzTicket {
+            repr: Repr::Ready(outcome),
+        }
     }
 
     /// Poll: `Some(outcome)` once resolved, `None` while in flight.
     pub fn try_outcome(&self) -> Option<AuthzOutcome> {
-        match &*self.inner.state.lock().expect("ticket lock") {
-            State::Done(o) => Some(o.clone()),
-            State::Pending(_) => None,
+        match &self.repr {
+            Repr::Ready(o) => Some(o.clone()),
+            Repr::Shared(inner) => match &*inner.state.lock().expect("ticket lock") {
+                State::Done(o) => Some(o.clone()),
+                State::Pending(_) => None,
+            },
         }
     }
 
     /// Block until the ticket resolves.
     pub fn wait(&self) -> AuthzOutcome {
-        let mut state = self.inner.state.lock().expect("ticket lock");
+        let inner = match &self.repr {
+            Repr::Ready(o) => return o.clone(),
+            Repr::Shared(inner) => inner,
+        };
+        let mut state = inner.state.lock().expect("ticket lock");
         loop {
             match &*state {
                 State::Done(o) => return o.clone(),
                 State::Pending(_) => {
-                    state = self.inner.cond.wait(state).expect("ticket wait");
+                    state = inner.cond.wait(state).expect("ticket wait");
                 }
             }
         }
@@ -113,8 +149,12 @@ impl AuthzTicket {
 
     /// Block up to `timeout`; `None` if the ticket is still pending.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<AuthzOutcome> {
+        let inner = match &self.repr {
+            Repr::Ready(o) => return Some(o.clone()),
+            Repr::Shared(inner) => inner,
+        };
         let deadline = Instant::now() + timeout;
-        let mut state = self.inner.state.lock().expect("ticket lock");
+        let mut state = inner.state.lock().expect("ticket lock");
         loop {
             match &*state {
                 State::Done(o) => return Some(o.clone()),
@@ -123,8 +163,7 @@ impl AuthzTicket {
                     if now >= deadline {
                         return None;
                     }
-                    let (s, _) = self
-                        .inner
+                    let (s, _) = inner
                         .cond
                         .wait_timeout(state, deadline - now)
                         .expect("ticket wait");
@@ -136,11 +175,21 @@ impl AuthzTicket {
 
     /// Attach a completion callback. Runs on the completing worker
     /// thread — or immediately on this thread if already resolved —
-    /// so callbacks must not block or re-enter kernel mutators.
+    /// so callbacks must not block or re-enter kernel mutators. A
+    /// callback that panics on a worker thread is caught there (the
+    /// worker stays alive); one that panics on the immediate path
+    /// unwinds into the caller, whose panic it rightfully is.
     pub fn on_complete(&self, cb: impl FnOnce(&AuthzOutcome) + Send + 'static) {
+        let inner = match &self.repr {
+            Repr::Ready(o) => {
+                cb(o);
+                return;
+            }
+            Repr::Shared(inner) => inner,
+        };
         let mut cb = Some(cb);
         let run_now = {
-            let mut state = self.inner.state.lock().expect("ticket lock");
+            let mut state = inner.state.lock().expect("ticket lock");
             match &mut *state {
                 State::Done(o) => Some(o.clone()),
                 State::Pending(cbs) => {

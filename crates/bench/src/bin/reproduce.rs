@@ -2,9 +2,12 @@
 //! — plus the beyond-the-paper Figure 9 scalability curve — and print
 //! them in the paper's layout.
 //!
-//! Usage: `cargo run --release -p nexus-bench --bin reproduce [quick|fig9]`
+//! Usage:
+//! `cargo run --release -p nexus-bench --bin reproduce [quick|fig9|fig9-bp]`
 //!
-//! `fig9` runs only the scalability bench (full iteration counts).
+//! `fig9` runs only the scalability bench (full iteration counts);
+//! `fig9-bp` runs only its back-pressure mode (stuck external
+//! authority vs. bounded admission + authority isolation).
 
 use nexus_bench::{fig4, fig5, fig6, fig7, fig8, fig9, table1};
 
@@ -24,6 +27,28 @@ fn print_fig9(iters: u64) {
         );
     }
     println!("(cache-miss-heavy: decision cache off, 32-disjunct ground goal)");
+}
+
+fn print_fig9_bp(window_ms: u64) {
+    println!("\n=== Figure 9 (back-pressure): one stuck external authority ===");
+    println!(
+        "{:<10} {:>16} {:>14} {:>10}",
+        "config", "embedded ops/s", "ext submitted", "rejected"
+    );
+    let pts = fig9::run_back_pressure(window_ms);
+    for p in &pts {
+        println!(
+            "{:<10} {:>16.0} {:>14} {:>10}",
+            p.mode, p.embedded_ops_per_s, p.external_submitted, p.rejected
+        );
+    }
+    let baseline = pts.iter().find(|p| p.mode == "baseline").unwrap();
+    let isolated = pts.iter().find(|p| p.mode == "isolated").unwrap();
+    let degradation = 100.0 * (1.0 - isolated.embedded_ops_per_s / baseline.embedded_ops_per_s);
+    println!(
+        "(isolated embedded degradation vs baseline: {degradation:.1}% — acceptance bound < 20%; \
+         rejected submissions faulted immediately to the inline path)"
+    );
 }
 
 fn print_fig4_assoc(rounds: u64) {
@@ -56,11 +81,16 @@ fn main() {
         [a] if a == "quick" => true,
         [a] if a == "fig9" => {
             print_fig9(2_000);
+            print_fig9_bp(1_500);
+            return;
+        }
+        [a] if a == "fig9-bp" => {
+            print_fig9_bp(1_500);
             return;
         }
         other => {
             eprintln!("unknown argument(s): {other:?}");
-            eprintln!("usage: reproduce [quick|fig9]");
+            eprintln!("usage: reproduce [quick|fig9|fig9-bp]");
             std::process::exit(2);
         }
     };
@@ -162,6 +192,7 @@ fn main() {
     }
     print_fig4_assoc(if quick { 48 } else { 256 });
     print_fig9(if quick { 300 } else { 2_000 });
+    print_fig9_bp(if quick { 500 } else { 1_500 });
 
     println!("\n(see EXPERIMENTS.md for paper-vs-measured discussion)");
 }

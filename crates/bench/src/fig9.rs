@@ -19,10 +19,12 @@
 //! paper's "slow goal" scenario where batching should pay.
 
 use crate::boot_with;
-use nexus_core::ResourceId;
-use nexus_kernel::{GuardPoolConfig, Nexus, NexusConfig};
+use nexus_core::{AuthorityKind, FnAuthority, ResourceId};
+use nexus_kernel::{GuardPoolConfig, Nexus, NexusConfig, OverflowPolicy};
 use nexus_nal::{parse, Formula, Principal, Proof};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// Thread counts on the x-axis.
 pub const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -151,7 +153,7 @@ pub fn measure(threads: usize, iters: u64) -> Point {
     nexus.start_authz_pipeline(GuardPoolConfig {
         workers: threads,
         max_batch: 64,
-        prioritizer: None,
+        ..Default::default()
     });
     async_body(&nexus, pids[0], &object, 16);
     let async_ops_per_s = run_threads(&nexus, &pids, &object, iters, async_body);
@@ -167,6 +169,229 @@ pub fn measure(threads: usize, iters: u64) -> Point {
 /// The full curve.
 pub fn run(iters: u64) -> Vec<Point> {
     THREADS.iter().map(|&t| measure(t, iters)).collect()
+}
+
+// ---- back-pressure mode ----
+//
+// The guard mediates every syscall, so a slow or stuck external
+// authority must never be able to wedge the whole authorization path.
+// This mode wedges one: an NTP-style freshness authority that stops
+// answering for the duration of the measurement window, while hammer
+// threads flood the pipeline with requests whose goal depends on it
+// and embedded threads measure ordinary (label-backed) authorization
+// throughput. Three configurations:
+//
+// * `baseline`  — bounded pool, no external load (the reference);
+// * `isolated`  — bounded pool + dedicated external lane, under load:
+//                 the stuck authority occupies only the external
+//                 worker, the external queue fills to its high-water
+//                 mark and further external submissions fault
+//                 (Reject), and embedded throughput must stay within
+//                 20% of baseline;
+// * `legacy`    — the pre-back-pressure topology (unbounded queue, no
+//                 external lane): the stuck batches occupy every
+//                 worker and embedded throughput collapses.
+
+/// Embedded measurement threads / pool workers.
+const BP_THREADS: usize = 4;
+/// Hammer threads flooding the external authority.
+const BP_HAMMER_THREADS: usize = 2;
+/// External submissions per hammer thread (spread over distinct
+/// objects so legacy-mode batches land on every worker).
+const BP_HAMMER_REQS: usize = 400;
+/// Distinct external objects.
+const BP_EXT_OBJECTS: usize = 8;
+/// External-lane high-water mark in the bounded configurations.
+const BP_MAX_QUEUED: usize = 256;
+
+/// One back-pressure configuration's measurement.
+#[derive(Debug, Clone)]
+pub struct BackPressurePoint {
+    /// `baseline`, `isolated`, or `legacy`.
+    pub mode: &'static str,
+    /// Embedded-authority (label-backed) authorization throughput.
+    pub embedded_ops_per_s: f64,
+    /// External-authority requests submitted by the hammer.
+    pub external_submitted: u64,
+    /// Submissions refused at the high-water mark (Reject policy) —
+    /// each resolved to a fault immediately instead of waiting behind
+    /// the stuck authority.
+    pub rejected: u64,
+}
+
+/// The bounded + isolated pipeline configuration under test.
+fn bp_isolated_cfg() -> GuardPoolConfig {
+    GuardPoolConfig {
+        workers: BP_THREADS,
+        max_batch: 64,
+        prioritizer: None,
+        max_queued: BP_MAX_QUEUED,
+        overflow: OverflowPolicy::Reject,
+        external_workers: 1,
+    }
+}
+
+/// The PR-2 topology: unbounded queue, no external lane.
+fn bp_legacy_cfg() -> GuardPoolConfig {
+    GuardPoolConfig {
+        workers: BP_THREADS,
+        max_batch: 64,
+        prioritizer: None,
+        max_queued: usize::MAX,
+        overflow: OverflowPolicy::Reject,
+        external_workers: 0,
+    }
+}
+
+/// A world with the fig9 embedded workload plus `BP_EXT_OBJECTS`
+/// resources whose goal depends on the `Stale` external authority —
+/// which answers nothing until `release` is set.
+#[allow(clippy::type_complexity)]
+fn bp_setup() -> (
+    Arc<Nexus>,
+    Vec<u64>,
+    ResourceId,
+    Vec<(u64, ResourceId)>,
+    Arc<AtomicBool>,
+) {
+    let nexus = boot_with(NexusConfig::default());
+    let object = ResourceId::new("bench", "fig9");
+    let owner = nexus.spawn("owner", b"img");
+    nexus.grant_ownership(owner, &object).unwrap();
+    nexus
+        .sys_setgoal(owner, object.clone(), "op", wide_goal())
+        .unwrap();
+    let pids: Vec<u64> = (0..BP_THREADS)
+        .map(|t| {
+            let pid = nexus.spawn(&format!("bp-{t}"), b"img");
+            nexus
+                .kernel_label(pid, Principal::name("Gate"), parse("g0").unwrap())
+                .unwrap();
+            nexus
+                .sys_set_proof(pid, "op", &object, wide_proof())
+                .unwrap();
+            pid
+        })
+        .collect();
+    let stale_goal = parse("Stale says fresh").unwrap();
+    let ext: Vec<(u64, ResourceId)> = (0..BP_EXT_OBJECTS)
+        .map(|i| {
+            let obj = ResourceId::new("bench", format!("ext{i}"));
+            nexus.grant_ownership(owner, &obj).unwrap();
+            nexus
+                .sys_setgoal(owner, obj.clone(), "op", stale_goal.clone())
+                .unwrap();
+            let pid = nexus.spawn(&format!("ext-{i}"), b"img");
+            nexus
+                .sys_set_proof(pid, "op", &obj, Proof::assume(stale_goal.clone()))
+                .unwrap();
+            (pid, obj)
+        })
+        .collect();
+    let release = Arc::new(AtomicBool::new(false));
+    let gate = Arc::clone(&release);
+    nexus.register_authority(
+        Principal::name("Stale"),
+        Arc::new(FnAuthority(move |_s: &Formula| {
+            // A stuck freshness service: answers nothing until the
+            // measurement window closes, then says yes.
+            while !gate.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            true
+        })),
+        AuthorityKind::External,
+    );
+    // Miss-heavy regime, same as the scalability curve.
+    nexus.set_config(NexusConfig {
+        decision_cache: false,
+        auto_prove: false,
+        ..NexusConfig::default()
+    });
+    (Arc::new(nexus), pids, object, ext, release)
+}
+
+/// Measure one configuration for `window`: embedded threads count
+/// completed authorizations until the deadline while (optionally)
+/// hammer threads flood the stuck external authority.
+fn bp_measure(
+    mode: &'static str,
+    cfg: GuardPoolConfig,
+    hammer: bool,
+    window: Duration,
+) -> BackPressurePoint {
+    let (nexus, pids, object, ext, release) = bp_setup();
+    nexus.start_authz_pipeline(cfg);
+    let deadline = Instant::now() + window;
+    let external_submitted = Arc::new(AtomicU64::new(0));
+
+    let mut embedded = Vec::new();
+    for &pid in &pids {
+        let nexus = Arc::clone(&nexus);
+        let object = object.clone();
+        embedded.push(std::thread::spawn(move || {
+            let mut ops = 0u64;
+            while Instant::now() < deadline {
+                // Sync path: rides the pipeline, falls back inline on
+                // a fault — exactly what a syscall does.
+                assert!(nexus.authorize(pid, "op", &object).unwrap());
+                ops += 1;
+            }
+            ops
+        }));
+    }
+    let mut hammers = Vec::new();
+    if hammer {
+        for h in 0..BP_HAMMER_THREADS {
+            let nexus = Arc::clone(&nexus);
+            let ext = ext.clone();
+            let submitted = Arc::clone(&external_submitted);
+            hammers.push(std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..BP_HAMMER_REQS {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    let (pid, obj) = &ext[(h + i) % ext.len()];
+                    tickets.push(nexus.authorize_async(*pid, "op", obj).unwrap());
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                }
+                // Tickets resolve once the authority un-sticks (or
+                // instantly, as faults, past the high-water mark).
+                for t in tickets {
+                    let _ = t.wait();
+                }
+            }));
+        }
+    }
+    let now = Instant::now();
+    if deadline > now {
+        std::thread::sleep(deadline - now);
+    }
+    release.store(true, Ordering::Relaxed);
+    let embedded_ops: u64 = embedded.into_iter().map(|h| h.join().unwrap()).sum();
+    for h in hammers {
+        h.join().unwrap();
+    }
+    let stats = nexus.authz_stats().expect("pipeline running");
+    nexus.stop_authz_pipeline();
+    BackPressurePoint {
+        mode,
+        embedded_ops_per_s: embedded_ops as f64 / window.as_secs_f64(),
+        external_submitted: external_submitted.load(Ordering::Relaxed),
+        rejected: stats.rejected,
+    }
+}
+
+/// Run the three configurations (baseline / isolated / legacy) with a
+/// `window_ms`-long measurement window each.
+pub fn run_back_pressure(window_ms: u64) -> Vec<BackPressurePoint> {
+    let window = Duration::from_millis(window_ms);
+    vec![
+        bp_measure("baseline", bp_isolated_cfg(), false, window),
+        bp_measure("isolated", bp_isolated_cfg(), true, window),
+        bp_measure("legacy", bp_legacy_cfg(), true, window),
+    ]
 }
 
 #[cfg(test)]
@@ -204,13 +429,41 @@ mod tests {
     }
 
     #[test]
+    fn back_pressure_isolates_the_stuck_external_authority() {
+        let _serial = crate::timing_guard();
+        let pts = run_back_pressure(300);
+        let find = |m: &str| pts.iter().find(|p| p.mode == m).unwrap().clone();
+        let (baseline, isolated, legacy) = (find("baseline"), find("isolated"), find("legacy"));
+        // The acceptance criterion proper (< 20% degradation) is
+        // asserted on the `reproduce` run with a longer window; under
+        // the noisy test harness allow a wide margin — but isolation
+        // must clearly hold where the legacy topology clearly wedges.
+        assert!(
+            isolated.embedded_ops_per_s >= 0.35 * baseline.embedded_ops_per_s,
+            "stuck external authority starved embedded traffic: isolated {:.0}/s vs baseline {:.0}/s",
+            isolated.embedded_ops_per_s,
+            baseline.embedded_ops_per_s
+        );
+        assert!(
+            isolated.rejected > 0,
+            "hammer never hit the high-water mark: {isolated:?}"
+        );
+        assert!(
+            legacy.embedded_ops_per_s < 0.5 * isolated.embedded_ops_per_s,
+            "legacy topology should collapse under the stuck authority: legacy {:.0}/s vs isolated {:.0}/s",
+            legacy.embedded_ops_per_s,
+            isolated.embedded_ops_per_s
+        );
+    }
+
+    #[test]
     fn pipeline_actually_batches_this_workload() {
         let _serial = crate::timing_guard();
         let (nexus, pids, object) = setup(4);
         let pool = nexus.start_authz_pipeline(GuardPoolConfig {
             workers: 1,
             max_batch: 64,
-            prioritizer: None,
+            ..Default::default()
         });
         let tickets: Vec<_> = (0..64)
             .map(|i| {

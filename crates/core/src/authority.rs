@@ -15,7 +15,7 @@
 use nexus_nal::{Formula, Principal};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Whether the authority runs inside the guard process (embedded) or
@@ -61,6 +61,11 @@ struct Registered {
 pub struct AuthorityRegistry {
     map: RwLock<HashMap<Principal, Registered>>,
     queries: AtomicU64,
+    /// Count of registered [`AuthorityKind::External`] authorities,
+    /// kept denormalized so the pipeline's per-submission external
+    /// classification ([`AuthorityRegistry::mentions_external`]) can
+    /// bail with one atomic load in the common no-externals case.
+    externals: AtomicUsize,
 }
 
 impl AuthorityRegistry {
@@ -77,14 +82,68 @@ impl AuthorityRegistry {
         authority: Arc<dyn Authority>,
         kind: AuthorityKind,
     ) {
-        self.map
-            .write()
-            .insert(principal, Registered { authority, kind });
+        let mut map = self.map.write();
+        let old = map.insert(principal, Registered { authority, kind });
+        // Adjust the external count under the write lock so a racing
+        // re-registration cannot double-count.
+        if old.map(|r| r.kind) == Some(AuthorityKind::External) {
+            self.externals.fetch_sub(1, Ordering::Relaxed);
+        }
+        if kind == AuthorityKind::External {
+            self.externals.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Remove an authority.
     pub fn unregister(&self, principal: &Principal) -> bool {
-        self.map.write().remove(principal).is_some()
+        let mut map = self.map.write();
+        match map.remove(principal) {
+            Some(r) => {
+                if r.kind == AuthorityKind::External {
+                    self.externals.fetch_sub(1, Ordering::Relaxed);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is any [`AuthorityKind::External`] authority registered? One
+    /// atomic load — the guard pool's submission path calls this per
+    /// decision-cache miss.
+    pub fn has_external(&self) -> bool {
+        self.externals.load(Ordering::Relaxed) > 0
+    }
+
+    /// Conservative pre-evaluation classification: could evaluating a
+    /// request under `formula` (a goal, or a proof leaf) consult an
+    /// external authority? True when any principal mentioned in the
+    /// formula — as a `says` speaker or a `speaksfor` party — has a
+    /// registered external authority. Used by the kernel to route
+    /// requests to the pipeline's dedicated external lane *before*
+    /// evaluation; a misclassification costs placement (which lane
+    /// runs the batch), never correctness.
+    pub fn mentions_external(&self, formula: &Formula) -> bool {
+        if !self.has_external() {
+            return false;
+        }
+        let map = self.map.read();
+        fn walk(map: &HashMap<Principal, Registered>, f: &Formula) -> bool {
+            let is_ext = |p: &Principal| {
+                map.get(p)
+                    .is_some_and(|r| r.kind == AuthorityKind::External)
+            };
+            match f {
+                Formula::Says(p, inner) => is_ext(p) || walk(map, inner),
+                Formula::SpeaksFor { from, to, .. } => is_ext(from) || is_ext(to),
+                Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                    walk(map, a) || walk(map, b)
+                }
+                Formula::Not(a) => walk(map, a),
+                Formula::True | Formula::False | Formula::Pred(..) | Formula::Cmp(..) => false,
+            }
+        }
+        walk(&map, formula)
     }
 
     /// Is any authority registered for this principal?
@@ -189,6 +248,49 @@ mod tests {
         assert_eq!(reg.query(&fs, &stmt), Some(true));
         *quota.lock() = 90;
         assert_eq!(reg.query(&fs, &stmt), Some(false));
+    }
+
+    #[test]
+    fn external_classification_walks_formulas() {
+        let reg = AuthorityRegistry::new();
+        assert!(!reg.has_external());
+        // With no externals registered, classification is a constant
+        // `false` regardless of the formula.
+        assert!(!reg.mentions_external(&parse("NTP says TimeNow < 5").unwrap()));
+        reg.register(
+            Principal::name("Embedded"),
+            Arc::new(FnAuthority(|_| true)),
+            AuthorityKind::Embedded,
+        );
+        assert!(!reg.has_external());
+        reg.register(
+            Principal::name("NTP"),
+            Arc::new(FnAuthority(|_| true)),
+            AuthorityKind::External,
+        );
+        assert!(reg.has_external());
+        assert!(reg.mentions_external(&parse("NTP says TimeNow < 5").unwrap()));
+        assert!(reg.mentions_external(&parse("x or NTP says fresh").unwrap()));
+        assert!(reg.mentions_external(&parse("a says (NTP says fresh)").unwrap()));
+        // Embedded authorities and unregistered principals don't
+        // classify as external.
+        assert!(!reg.mentions_external(&parse("Embedded says ok").unwrap()));
+        assert!(!reg.mentions_external(&parse("Nobody says ok and y").unwrap()));
+        // Re-registration flips the count both ways; unregister
+        // clears it.
+        reg.register(
+            Principal::name("NTP"),
+            Arc::new(FnAuthority(|_| true)),
+            AuthorityKind::Embedded,
+        );
+        assert!(!reg.has_external());
+        reg.register(
+            Principal::name("NTP"),
+            Arc::new(FnAuthority(|_| true)),
+            AuthorityKind::External,
+        );
+        assert!(reg.unregister(&Principal::name("NTP")));
+        assert!(!reg.has_external());
     }
 
     #[test]

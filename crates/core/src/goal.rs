@@ -102,6 +102,26 @@ impl GoalStore {
         }
     }
 
+    /// Apply `f` to the effective goal *without cloning it out* of
+    /// the store: the read lock is held for the duration of `f`, so
+    /// keep it cheap and lock-free (the pipeline's external-authority
+    /// classification walks the formula here once per submission —
+    /// cloning a wide goal per request would re-introduce exactly the
+    /// per-request cost batching amortizes away).
+    pub fn inspect_effective<R>(
+        &self,
+        resource_manager: &Principal,
+        resource: &ResourceId,
+        op: &OpName,
+        f: impl FnOnce(&Formula) -> R,
+    ) -> R {
+        let goals = self.goals.read();
+        match goals.get(&(resource.clone(), op.clone())) {
+            Some(entry) => f(&entry.formula),
+            None => f(&Self::default_goal(resource_manager, resource, op)),
+        }
+    }
+
     /// The bootstrap default policy (§2.6).
     pub fn default_goal(
         resource_manager: &Principal,

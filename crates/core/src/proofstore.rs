@@ -90,6 +90,26 @@ impl ProofStore {
         self.proofs.read().get(&key).cloned()
     }
 
+    /// Apply `f` to the stored proof for a tuple *without cloning it
+    /// out* (the read lock is held for the duration of `f`, so keep
+    /// it cheap and lock-free). `None` when no proof is stored. Used
+    /// by the pipeline's external-authority classification, which
+    /// only needs to scan the proof's leaves.
+    pub fn inspect<R>(
+        &self,
+        subject: &Principal,
+        operation: &OpName,
+        object: &ResourceId,
+        f: impl FnOnce(&Proof) -> R,
+    ) -> Option<R> {
+        let key = CacheKey {
+            subject: subject.clone(),
+            operation: operation.clone(),
+            object: object.clone(),
+        };
+        self.proofs.read().get(&key).map(f)
+    }
+
     /// Number of stored proofs.
     pub fn len(&self) -> usize {
         self.proofs.read().len()

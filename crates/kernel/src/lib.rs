@@ -41,6 +41,6 @@ pub use interpose::{ChainOutcome, Interceptor, IpcCall, MonitorLevel, Redirector
 pub use ipc::IpcTable;
 pub use ipd::{Ipd, IpdTable};
 pub use nexus::{BootImages, Nexus, NexusConfig, SysRet, Syscall, SYSCALL_CHANNEL};
-pub use nexus_authzd::{AuthzOutcome, AuthzTicket, GuardPoolConfig, PoolStats};
+pub use nexus_authzd::{AuthzOutcome, AuthzTicket, GuardPoolConfig, OverflowPolicy, PoolStats};
 pub use nic::{Ddrm, EchoPath, EchoWorld, NicDevice};
 pub use sched::StrideScheduler;

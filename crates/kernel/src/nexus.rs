@@ -16,9 +16,12 @@
 //! subsystems sit behind their own locks here. Lock discipline: locks
 //! are leaf-scoped — no method holds one subsystem's lock while
 //! acquiring another's, except `transfer_label` (one table, one
-//! lock) and `fs_server_hop` (holds the IPC lock across the modeled
+//! lock), `fs_server_hop` (holds the IPC lock across the modeled
 //! client-server round trip so concurrent hops cannot steal each
-//! other's replies).
+//! other's replies), and `classify_external` (inspects the goal/proof
+//! stores in place under their *read* locks while querying the
+//! authority registry's read lock — a one-way read-only nesting; the
+//! registry never acquires store locks, so no cycle is possible).
 //!
 //! Decision-cache fills validate the goal/proof epochs *inside* the
 //! cache's shard lock (`DecisionCache::insert_if`), so a concurrent
@@ -606,7 +609,12 @@ impl Nexus {
     /// Begin an asynchronous authorization: returns a ticket to poll,
     /// block on, or attach a callback to. Decision-cache hits resolve
     /// the ticket immediately; without a running pipeline the guard
-    /// runs inline and the ticket comes back already resolved.
+    /// runs inline and the ticket comes back already resolved. A
+    /// submission refused at the pipeline's high-water mark (under
+    /// `OverflowPolicy::Reject`) surfaces as a ticket already
+    /// resolved to [`AuthzOutcome::Fault`] — the caller decides
+    /// whether to retry, degrade, or evaluate by other means; it is
+    /// never parked behind an unbounded queue.
     pub fn authorize_async(
         &self,
         pid: u64,
@@ -667,11 +675,58 @@ impl Nexus {
                 op: opn.clone(),
                 object: object.clone(),
                 proof: inline_proof.cloned(),
+                external: self.classify_external(&subject, opn, object, inline_proof),
             }) {
                 return Ok(AuthzRoute::Submitted(ticket));
             }
         }
         Ok(AuthzRoute::Evaluate(subject))
+    }
+
+    /// Classify a request *before* evaluation: could checking it
+    /// consult an external (IPC-backed) authority? The pipeline
+    /// routes external-touching requests to its dedicated (smaller)
+    /// worker lane so one stuck authority — an NTP-style freshness
+    /// service that stops answering — can occupy at most that lane
+    /// while embedded-authority traffic keeps flowing.
+    ///
+    /// The classification is a conservative approximation over the
+    /// effective goal formula plus the leaves of the proof that will
+    /// be checked — supplied or stored (an auto-proved proof is not
+    /// anticipated here; auto-proving only assembles held labels, and
+    /// a label-backed leaf is satisfied before the guard ever falls
+    /// back to an authority query). Goal and stored proof are
+    /// *inspected in place* under their stores' read locks rather
+    /// than cloned — this runs once per submission. Misclassification
+    /// affects only which lane runs the batch, never the verdict.
+    /// With no external authorities registered the whole check is one
+    /// atomic load.
+    fn classify_external(
+        &self,
+        subject: &Principal,
+        opn: &OpName,
+        object: &ResourceId,
+        inline_proof: Option<&Proof>,
+    ) -> bool {
+        if !self.authorities.has_external() {
+            return false;
+        }
+        let leaves_external = |p: &Proof| {
+            p.leaves()
+                .iter()
+                .any(|leaf| self.authorities.mentions_external(leaf))
+        };
+        self.goals
+            .inspect_effective(&Self::manager_of(object), object, opn, |goal| {
+                self.authorities.mentions_external(goal)
+            })
+            || match inline_proof {
+                Some(p) => leaves_external(p),
+                None => self
+                    .proofs
+                    .inspect(subject, opn, object, leaves_external)
+                    .unwrap_or(false),
+            }
     }
 
     /// The inline (caller-thread) authorization path: a single
@@ -789,6 +844,15 @@ impl Nexus {
     /// `cfg` carries no prioritizer, batches are ordered by the
     /// requesting IPD's proportional-share weight (heavier tenants
     /// drain first once the queue backs up).
+    ///
+    /// Admission is bounded by `cfg.max_queued` + `cfg.overflow`: a
+    /// submission past the high-water mark faults (the sync
+    /// [`Nexus::authorize`] then evaluates inline — overload sheds to
+    /// the caller's thread; [`Nexus::authorize_async`] surfaces the
+    /// fault on the ticket) or blocks, per policy. Requests whose
+    /// goal mentions an externally-backed authority run on the
+    /// dedicated `cfg.external_workers` lane so a stuck authority
+    /// cannot wedge the whole pool.
     pub fn start_authz_pipeline(self: &Arc<Self>, cfg: GuardPoolConfig) -> Arc<GuardPool> {
         let mut slot = self.authzd.write();
         if let Some(pool) = &*slot {
@@ -844,11 +908,14 @@ impl Nexus {
     }
 
     /// The invalidation fence: wait until every authorization
-    /// submitted to the pipeline before this point has completed.
-    /// Called after `setgoal`/`transfer_label` bump their epochs, so
-    /// that by the time the invalidating syscall returns, any batch
-    /// evaluated under the old goal has re-validated its epochs (and
-    /// re-evaluated if stale) — no stale allow can complete later.
+    /// submitted to the pipeline before this point has completed —
+    /// the pool's quiesce counters span both the embedded and the
+    /// external worker lanes, so the fence covers in-flight external
+    /// batches too. Called after `setgoal`/`transfer_label` bump
+    /// their epochs, so that by the time the invalidating syscall
+    /// returns, any batch evaluated under the old goal has
+    /// re-validated its epochs (and re-evaluated if stale) — no stale
+    /// allow can complete later.
     fn fence_in_flight_authz(&self) {
         if let Some(pool) = self.authz_pool() {
             pool.quiesce();

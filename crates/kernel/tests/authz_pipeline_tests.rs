@@ -1,12 +1,14 @@
 //! Kernel-level tests of the asynchronous authorization pipeline:
 //! sync-over-pipeline equivalence, ticket semantics, invalidation
-//! fencing, and teardown.
+//! fencing, bounded admission, external-authority isolation, and
+//! teardown.
 
-use nexus_core::ResourceId;
-use nexus_kernel::{AuthzOutcome, GuardPoolConfig, Nexus};
+use nexus_core::{AuthorityKind, FnAuthority, ResourceId};
+use nexus_kernel::{AuthzOutcome, GuardPoolConfig, Nexus, OverflowPolicy};
 use nexus_nal::{parse, Formula, Principal, Proof};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn booted() -> Arc<Nexus> {
     Arc::new(Nexus::boot_default().unwrap())
@@ -203,7 +205,7 @@ fn coalescing_batches_share_guard_work() {
     let pool = nexus.start_authz_pipeline(GuardPoolConfig {
         workers: 1,
         max_batch: 64,
-        prioritizer: None,
+        ..Default::default()
     });
     let pids: Vec<u64> = (0..16)
         .map(|i| {
@@ -228,6 +230,191 @@ fn coalescing_batches_share_guard_work() {
         stats.max_batch_seen >= 2 || stats.batches as usize >= tickets.len(),
         "either batches coalesced or the worker kept up one-by-one: {stats:?}"
     );
+}
+
+/// A resource whose `poke` goal depends on the `Stale` external
+/// authority, which answers nothing until `release` is set (and
+/// counts how many queries reached it). Returns the object plus a
+/// supply of subjects holding a stored proof that leans on the
+/// authority.
+#[allow(clippy::type_complexity)]
+fn stuck_authority_world(
+    nexus: &Arc<Nexus>,
+    owner: u64,
+    subjects: usize,
+) -> (ResourceId, Vec<u64>, Arc<AtomicBool>, Arc<AtomicU64>) {
+    let ext = ResourceId::new("svc", "stale");
+    nexus.grant_ownership(owner, &ext).unwrap();
+    let stale_goal = parse("Stale says fresh").unwrap();
+    nexus
+        .sys_setgoal(owner, ext.clone(), "poke", stale_goal.clone())
+        .unwrap();
+    let release = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicU64::new(0));
+    let gate = Arc::clone(&release);
+    let count = Arc::clone(&entered);
+    nexus.register_authority(
+        Principal::name("Stale"),
+        Arc::new(FnAuthority(move |_s: &Formula| {
+            count.fetch_add(1, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            true
+        })),
+        AuthorityKind::External,
+    );
+    let pids = (0..subjects)
+        .map(|i| {
+            let pid = nexus.spawn(&format!("ext{i}"), b"img");
+            nexus
+                .sys_set_proof(pid, "poke", &ext, Proof::assume(stale_goal.clone()))
+                .unwrap();
+            pid
+        })
+        .collect();
+    (ext, pids, release, entered)
+}
+
+fn spin_until(deadline_secs: u64, what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(deadline_secs);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting: {what}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn stuck_external_authority_saturates_only_the_external_pool() {
+    let nexus = booted();
+    let (owner, object) = reader_world(&nexus);
+    let (ext, ext_pids, release, entered) = stuck_authority_world(&nexus, owner, 7);
+    nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 2,
+        max_batch: 1,
+        max_queued: 4,
+        overflow: OverflowPolicy::Reject,
+        external_workers: 1,
+        prioritizer: None,
+    });
+    // The first external request wedges the (sole) external worker…
+    let stuck = nexus.authorize_async(ext_pids[0], "poke", &ext).unwrap();
+    spin_until(10, "external worker at the gate", || {
+        entered.load(Ordering::SeqCst) >= 1
+    });
+    // …the next four fill the external lane to its high-water mark…
+    let queued: Vec<_> = ext_pids[1..5]
+        .iter()
+        .map(|&pid| nexus.authorize_async(pid, "poke", &ext).unwrap())
+        .collect();
+    // …and further external work faults immediately (bounded wait:
+    // the ticket never sits behind the stuck authority).
+    for &pid in &ext_pids[5..] {
+        let t = nexus.authorize_async(pid, "poke", &ext).unwrap();
+        assert!(
+            matches!(t.try_outcome(), Some(AuthzOutcome::Fault(_))),
+            "over-high-water external submission must fault, not wait"
+        );
+    }
+    // Embedded-authority traffic keeps flowing the whole time.
+    for i in 0..10 {
+        let pid = nexus.spawn(&format!("emb{i}"), b"img");
+        assert!(
+            nexus.authorize(pid, "read", &object).unwrap(),
+            "embedded authorization starved by a stuck external authority"
+        );
+    }
+    let stats = nexus.authz_stats().unwrap();
+    assert_eq!(stats.rejected, 2, "{stats:?}");
+    assert_eq!(
+        entered.load(Ordering::SeqCst),
+        1,
+        "only the external lane may touch the stuck authority"
+    );
+    // Un-stick: everything admitted completes with an allow.
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(stuck.wait(), AuthzOutcome::Allow);
+    for t in &queued {
+        assert_eq!(t.wait(), AuthzOutcome::Allow);
+    }
+    let stats = nexus.authz_stats().unwrap();
+    assert!(stats.external_batches >= 5, "{stats:?}");
+    nexus.stop_authz_pipeline();
+}
+
+#[test]
+fn stored_proof_leaning_on_external_authority_routes_to_external_lane() {
+    // The goal itself never mentions the external principal — only
+    // the *stored* proof's leaves do. Classification must still send
+    // the request to the external lane, or a stuck authority would
+    // wedge embedded workers through exactly this path. (The proof
+    // proves the wrong conclusion, so the verdict is a deny — the
+    // classifier cares about leaves, not validity.)
+    let nexus = booted();
+    let owner = nexus.spawn("owner", b"img");
+    let obj = ResourceId::new("svc", "mixed");
+    nexus.grant_ownership(owner, &obj).unwrap();
+    nexus
+        .sys_setgoal(owner, obj.clone(), "poke", parse("Gate says open").unwrap())
+        .unwrap();
+    nexus.register_authority(
+        Principal::name("Stale"),
+        Arc::new(FnAuthority(|_s: &Formula| true)),
+        AuthorityKind::External,
+    );
+    nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 1,
+        external_workers: 1,
+        ..Default::default()
+    });
+    let pid = nexus.spawn("subj", b"img");
+    nexus
+        .sys_set_proof(
+            pid,
+            "poke",
+            &obj,
+            Proof::assume(parse("Stale says fresh").unwrap()),
+        )
+        .unwrap();
+    let t = nexus.authorize_async(pid, "poke", &obj).unwrap();
+    assert_eq!(t.wait(), AuthzOutcome::Deny, "wrong conclusion must deny");
+    let stats = nexus.authz_stats().unwrap();
+    assert!(
+        stats.external_batches >= 1,
+        "stored-proof external leaves must route to the external lane: {stats:?}"
+    );
+    nexus.stop_authz_pipeline();
+}
+
+#[test]
+fn panicking_ticket_callback_leaves_the_pipeline_live() {
+    // Regression: a panicking on_complete used to unwind through the
+    // completing worker and kill it. The stuck authority holds the
+    // ticket pending, so the callback is guaranteed to run on the
+    // worker thread (not inline on this one).
+    let nexus = booted();
+    let (owner, object) = reader_world(&nexus);
+    let (ext, ext_pids, release, entered) = stuck_authority_world(&nexus, owner, 2);
+    nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 1,
+        external_workers: 1,
+        ..Default::default()
+    });
+    let t = nexus.authorize_async(ext_pids[0], "poke", &ext).unwrap();
+    spin_until(10, "external worker at the gate", || {
+        entered.load(Ordering::SeqCst) >= 1
+    });
+    t.on_complete(|_| panic!("user callback exploding on the worker"));
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(t.wait(), AuthzOutcome::Allow);
+    // Both lanes survived the panic and still complete work.
+    let t2 = nexus.authorize_async(ext_pids[1], "poke", &ext).unwrap();
+    assert_eq!(t2.wait(), AuthzOutcome::Allow);
+    let pid = nexus.spawn("after", b"img");
+    assert!(nexus.authorize(pid, "read", &object).unwrap());
+    let stats = nexus.authz_stats().unwrap();
+    assert_eq!(stats.callback_panics, 1, "{stats:?}");
+    nexus.stop_authz_pipeline();
 }
 
 #[test]
@@ -268,7 +455,7 @@ fn heavier_tenants_drain_first_under_backlog() {
     let pool = nexus.start_authz_pipeline(GuardPoolConfig {
         workers: 1,
         max_batch: 1,
-        prioritizer: None,
+        ..Default::default()
     });
     let plug_pid = nexus.spawn("plug", b"img");
     let plug = nexus.authorize_async(plug_pid, "read", &object).unwrap();

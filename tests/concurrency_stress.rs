@@ -266,6 +266,77 @@ fn concurrent_reads_with_goal_invalidation() {
 }
 
 #[test]
+fn bounded_admission_under_load_never_wedges_or_lies() {
+    // A deliberately tiny high-water mark under heavy concurrent
+    // submission: sync callers must still get the *correct* verdict
+    // (overflow faults shed them to the inline path), async callers
+    // must resolve promptly as either the correct verdict or a fault
+    // — never a wrong answer, never an unbounded wait.
+    use nexus_kernel::OverflowPolicy;
+    let nexus = Arc::new(Nexus::boot_default().unwrap());
+    let owner = nexus.spawn("owner", b"img");
+    nexus.fs_create(owner, "/b").unwrap();
+    let object = ResourceId::file("/b");
+    nexus
+        .sys_setgoal(
+            owner,
+            object.clone(),
+            "read",
+            nexus_nal::parse("$subject says read(file:/b)").unwrap(),
+        )
+        .unwrap();
+    let pool = nexus.start_authz_pipeline(GuardPoolConfig {
+        workers: 2,
+        max_batch: 8,
+        max_queued: 2,
+        overflow: OverflowPolicy::Reject,
+        external_workers: 1,
+        prioritizer: None,
+    });
+    // Fresh subjects each round dodge the decision cache, keeping the
+    // submission queue under genuine pressure.
+    let faults = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..8usize {
+        let nexus = Arc::clone(&nexus);
+        let object = object.clone();
+        let faults = Arc::clone(&faults);
+        let use_tickets = t % 2 == 0;
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200 {
+                let pid = nexus.spawn(&format!("b{t}-{i}"), b"img");
+                if use_tickets {
+                    match nexus.authorize_async(pid, "read", &object).unwrap().wait() {
+                        AuthzOutcome::Allow => {}
+                        AuthzOutcome::Deny => panic!("satisfiable goal denied"),
+                        AuthzOutcome::Fault(_) => {
+                            faults.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                } else {
+                    // The sync path must absorb rejection by falling
+                    // back inline: always the true verdict.
+                    assert!(nexus.authorize(pid, "read", &object).unwrap());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    pool.quiesce();
+    let stats = nexus.authz_stats().expect("pipeline running");
+    assert_eq!(stats.submitted, stats.completed, "{stats:?}");
+    // Everything the pool refused is accounted for: async callers saw
+    // exactly the faults the admission controller issued to them.
+    assert!(
+        faults.load(Ordering::Relaxed) <= stats.rejected,
+        "async fault count exceeds rejections: {stats:?}"
+    );
+    nexus.stop_authz_pipeline();
+}
+
+#[test]
 fn concurrent_say_and_authorize_do_not_deadlock() {
     // Writers mutate labelstores while readers authorize — exercises
     // the IPD table's reader-writer lock from both sides.
