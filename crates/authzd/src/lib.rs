@@ -11,9 +11,9 @@
 //! ```text
 //!  syscall threads              GuardPool
 //!  ───────────────              ─────────
-//!  submit(req) ──► admission ──► embedded lane ──► N workers ─┐
-//!       │          (high-water   external lane ──► M workers ─┤ pop + coalesce
-//!       │           mark:                (AuthorityKind::     │ by (op, object)
+//!  submit(req) ──► admission ──► embedded lane ──► N workers ─┐ pop + coalesce
+//!       │          (high-water   external lane ──► M workers ─┤ by (op, object,
+//!       │           mark:                (AuthorityKind::     │     label shape)
 //!       │           Reject/Block)         External batches)   ▼
 //!       ▼                                            BatchExecutor::execute_batch
 //!  AuthzTicket ◄───────────── complete ◄─────────── (goal fetched & normalized
@@ -79,16 +79,37 @@ pub struct AuthzRequest {
     /// the request to the dedicated external worker lane so a stuck
     /// authority cannot occupy the whole pool.
     pub external: bool,
+    /// The submitter's *label shape*: an order-insensitive fingerprint
+    /// of the requesting process's credential set (the kernel reads
+    /// it off the labelstore, `LabelStore::shape`). Requests
+    /// only coalesce when shapes match, so every batch the executor
+    /// sees shares one (goal, credential-shape) pair and the batch
+    /// prover's frontier sharing is maximal. Purely a batching hint:
+    /// collisions or a constant `0` affect throughput, never verdicts.
+    pub label_shape: u64,
 }
 
 /// The coalescing key: requests sharing a goal — same (operation,
-/// object-subregion) pair — are batched so goal instantiation and NAL
-/// normalization are amortized once per batch.
-pub type BatchKey = (OpName, ResourceId);
+/// object-subregion) pair — *and* the same label shape are batched, so
+/// goal instantiation, NAL normalization, and (for auto-proved
+/// requests) the proof-search frontier are amortized once per batch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// The operation all batch members attempt.
+    pub op: OpName,
+    /// The resource they attempt it on.
+    pub object: ResourceId,
+    /// The shared label-shape fingerprint ([`AuthzRequest::label_shape`]).
+    pub label_shape: u64,
+}
 
 impl AuthzRequest {
     /// The batch this request coalesces into.
     pub fn key(&self) -> BatchKey {
-        (self.op.clone(), self.object.clone())
+        BatchKey {
+            op: self.op.clone(),
+            object: self.object.clone(),
+            label_shape: self.label_shape,
+        }
     }
 }

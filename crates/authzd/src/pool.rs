@@ -6,7 +6,12 @@
 //! evaluate against the same goal formula, so the executor fetches,
 //! instantiates, and normalizes that goal once per *batch* instead of
 //! once per *request* (§2.9's guard-cache insight applied across
-//! concurrent requests instead of across time).
+//! concurrent requests instead of across time). Batches additionally
+//! coalesce on the requests' *label shape* — a fingerprint of the
+//! submitting process's credential set — so the executor's batch
+//! prover sees maximal frontier sharing: every member of a batch
+//! shares one (goal, credential-shape) pair and auto-proved requests
+//! ride one proof search ([`PoolStats::prover_memo_hits`]).
 //!
 //! Admission is bounded and authorities are isolated: see the crate
 //! docs for the two liveness properties ([`GuardPoolConfig::max_queued`]
@@ -30,6 +35,14 @@ pub trait BatchExecutor: Send + Sync {
     /// flight, it must re-evaluate rather than let a stale allow
     /// escape.
     fn execute_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome>;
+
+    /// Cumulative (hits, misses) of the executor's batch-prover memo,
+    /// surfaced in [`PoolStats::prover_memo_hits`] /
+    /// [`PoolStats::prover_memo_misses`]. Executors without a prover
+    /// (test doubles) keep the default `(0, 0)`.
+    fn prover_memo_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Priority for queue ordering: higher runs first. The kernel wires
@@ -128,6 +141,11 @@ pub struct PoolStats {
     /// the worker survived — an unwinding worker would strand every
     /// ticket queued behind it and wedge the quiesce fence).
     pub executor_panics: u64,
+    /// Prover-memo subgoal hits reported by the executor (auto-proved
+    /// requests whose derivations were spliced instead of searched).
+    pub prover_memo_hits: u64,
+    /// Prover-memo subgoal misses reported by the executor.
+    pub prover_memo_misses: u64,
 }
 
 struct Pending {
@@ -216,8 +234,39 @@ impl Shared {
 }
 
 /// The asynchronous authorization pipeline.
+///
+/// ```
+/// use nexus_authzd::{
+///     AuthzOutcome, AuthzRequest, BatchExecutor, BatchKey, GuardPool, GuardPoolConfig,
+/// };
+/// use nexus_core::{OpName, ResourceId};
+/// use std::sync::Arc;
+///
+/// // The pool is kernel-agnostic: evaluation hides behind a
+/// // BatchExecutor. This toy one allows everything.
+/// struct AllowAll;
+/// impl BatchExecutor for AllowAll {
+///     fn execute_batch(&self, _key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+///         vec![AuthzOutcome::Allow; reqs.len()]
+///     }
+/// }
+///
+/// let pool = GuardPool::new(GuardPoolConfig::default(), Arc::new(AllowAll));
+/// let ticket = pool.submit(AuthzRequest {
+///     pid: 7,
+///     op: OpName::from("read"),
+///     object: ResourceId::file("/tmp/x"),
+///     proof: None,
+///     external: false,
+///     label_shape: 0,
+/// });
+/// assert!(ticket.wait().is_allow());
+/// pool.shutdown();
+/// ```
 pub struct GuardPool {
     shared: Arc<Shared>,
+    /// Kept for [`BatchExecutor::prover_memo_stats`] polling.
+    executor: Arc<dyn BatchExecutor>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -265,6 +314,7 @@ impl GuardPool {
             .collect();
         GuardPool {
             shared,
+            executor,
             workers: Mutex::new(workers),
         }
     }
@@ -360,7 +410,10 @@ impl GuardPool {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> PoolStats {
+        let (prover_memo_hits, prover_memo_misses) = self.executor.prover_memo_stats();
         PoolStats {
+            prover_memo_hits,
+            prover_memo_misses,
             submitted: self.shared.submitted.load(Ordering::SeqCst),
             completed: self.shared.completed.load(Ordering::SeqCst),
             batches: self.shared.batches.load(Ordering::SeqCst),
@@ -470,7 +523,10 @@ fn pop_batch(shared: &Shared, lane: Lane) -> Option<(BatchKey, Vec<Pending>)> {
             // Compare by reference — no per-entry key clones while the
             // queue mutex is held.
             let entry = &entries[i].req;
-            if entry.op == key.0 && entry.object == key.1 {
+            if entry.op == key.op
+                && entry.object == key.object
+                && entry.label_shape == key.label_shape
+            {
                 batch.push(entries.remove(i).expect("index in bounds"));
             } else {
                 i += 1;
@@ -547,6 +603,7 @@ mod tests {
             object: ResourceId(obj.to_string()),
             proof: None,
             external: false,
+            label_shape: 0,
         }
     }
 
@@ -740,6 +797,63 @@ mod tests {
         );
         assert!(stats.max_batch_seen >= 2);
         assert_eq!(stats.coalesced, 20 - stats.batches);
+    }
+
+    #[test]
+    fn distinct_label_shapes_do_not_coalesce() {
+        // Same (op, object) but different credential shapes: the batch
+        // prover could not share a frontier across them, so they must
+        // land in separate batches.
+        let exec = Arc::new(ParityExecutor::new(Duration::from_millis(5)));
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 64,
+                ..Default::default()
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let tickets: Vec<AuthzTicket> = (0..8)
+            .map(|pid| {
+                pool.submit(AuthzRequest {
+                    label_shape: pid % 2,
+                    ..req(pid, "read", "file:/hot")
+                })
+            })
+            .collect();
+        for t in &tickets {
+            let _ = t.wait();
+        }
+        pool.quiesce();
+        let stats = pool.stats();
+        assert!(
+            stats.batches >= 2,
+            "two shapes cannot share one batch: {stats:?}"
+        );
+        // And the default executor reports no prover memo activity.
+        assert_eq!(stats.prover_memo_hits, 0);
+        assert_eq!(stats.prover_memo_misses, 0);
+    }
+
+    #[test]
+    fn executor_prover_stats_surface_in_pool_stats() {
+        struct CountingExecutor;
+        impl BatchExecutor for CountingExecutor {
+            fn execute_batch(&self, _k: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
+                vec![AuthzOutcome::Allow; reqs.len()]
+            }
+            fn prover_memo_stats(&self) -> (u64, u64) {
+                (42, 7)
+            }
+        }
+        let pool = GuardPool::new(GuardPoolConfig::default(), Arc::new(CountingExecutor));
+        assert_eq!(
+            pool.submit(req(0, "read", "file:/a")).wait(),
+            AuthzOutcome::Allow
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.prover_memo_hits, 42);
+        assert_eq!(stats.prover_memo_misses, 7);
     }
 
     #[test]

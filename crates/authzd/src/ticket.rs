@@ -96,6 +96,20 @@ enum Repr {
 /// A handle to an in-flight authorization: poll it, block on it, or
 /// attach a completion callback. Cloned handles observe the same
 /// completion.
+///
+/// ```
+/// use nexus_authzd::{AuthzOutcome, AuthzTicket};
+///
+/// // Decision-cache hits and rejected admissions hand back tickets
+/// // that are already resolved (allocation-free inline repr); every
+/// // accessor behaves exactly like a completed in-flight ticket.
+/// let ticket = AuthzTicket::ready(AuthzOutcome::Allow);
+/// assert_eq!(ticket.try_outcome(), Some(AuthzOutcome::Allow));
+/// assert!(ticket.wait().is_allow());
+/// ticket.on_complete(|outcome| assert!(outcome.is_allow()));
+/// let clone = ticket.clone();
+/// assert!(clone.wait().is_allow());
+/// ```
 #[derive(Clone)]
 pub struct AuthzTicket {
     repr: Repr,

@@ -3,11 +3,13 @@
 //! them in the paper's layout.
 //!
 //! Usage:
-//! `cargo run --release -p nexus-bench --bin reproduce [quick|fig9|fig9-bp]`
+//! `cargo run --release -p nexus-bench --bin reproduce [quick|fig9|fig9-bp|fig9-prover]`
 //!
 //! `fig9` runs only the scalability bench (full iteration counts);
 //! `fig9-bp` runs only its back-pressure mode (stuck external
-//! authority vs. bounded admission + authority isolation).
+//! authority vs. bounded admission + authority isolation);
+//! `fig9-prover` runs only the batch-aware prover comparison
+//! (per-request vs frontier-sharing proof search).
 
 use nexus_bench::{fig4, fig5, fig6, fig7, fig8, fig9, table1};
 
@@ -51,6 +53,35 @@ fn print_fig9_bp(window_ms: u64) {
     );
 }
 
+fn print_fig9_prover(iters: u64) {
+    println!("\n=== Figure 9 (prover): batch-aware proof search ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "mode", "ops/s", "memo hits", "hit rate", "share rate", "avg batch"
+    );
+    let pts = fig9::run_prover(iters);
+    for p in &pts {
+        println!(
+            "{:<12} {:>12.0} {:>12} {:>11.1}% {:>11.1}% {:>10.1}",
+            p.mode,
+            p.ops_per_s,
+            p.memo_hits,
+            100.0 * p.memo_hit_rate(),
+            100.0 * p.share_rate(),
+            p.avg_batch
+        );
+    }
+    let per_request = pts.iter().find(|p| p.mode == "per-request").unwrap();
+    let batch_aware = pts.iter().find(|p| p.mode == "batch-aware").unwrap();
+    println!(
+        "(batch-aware / per-request: {:.2}x — acceptance bound ≥ 1.3x at batch sizes ≥ 4; \
+         proof-heavy auto-prove workload, {}-hop delegation chain × {} conjuncts)",
+        batch_aware.ops_per_s / per_request.ops_per_s,
+        fig9::PROVER_CHAIN_LEN,
+        fig9::PROVER_GOAL_WIDTH
+    );
+}
+
 fn print_fig4_assoc(rounds: u64) {
     println!("\n=== Figure 4 (ablation): decision-cache hit rate vs associativity ===");
     println!(
@@ -82,15 +113,20 @@ fn main() {
         [a] if a == "fig9" => {
             print_fig9(2_000);
             print_fig9_bp(1_500);
+            print_fig9_prover(600);
             return;
         }
         [a] if a == "fig9-bp" => {
             print_fig9_bp(1_500);
             return;
         }
+        [a] if a == "fig9-prover" => {
+            print_fig9_prover(600);
+            return;
+        }
         other => {
             eprintln!("unknown argument(s): {other:?}");
-            eprintln!("usage: reproduce [quick|fig9|fig9-bp]");
+            eprintln!("usage: reproduce [quick|fig9|fig9-bp|fig9-prover]");
             std::process::exit(2);
         }
     };
@@ -193,6 +229,7 @@ fn main() {
     print_fig4_assoc(if quick { 48 } else { 256 });
     print_fig9(if quick { 300 } else { 2_000 });
     print_fig9_bp(if quick { 500 } else { 1_500 });
+    print_fig9_prover(if quick { 100 } else { 600 });
 
     println!("\n(see EXPERIMENTS.md for paper-vs-measured discussion)");
 }

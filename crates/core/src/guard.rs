@@ -19,7 +19,9 @@ use crate::authority::AuthorityRegistry;
 use crate::error::CoreError;
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::check::{check, normalize, Assumptions};
-use nexus_nal::{CheckError, Formula, Principal, Proof, Subst, Term};
+use nexus_nal::{
+    BatchGoal, CheckError, Formula, Principal, Proof, ProofSearch, ProverConfig, Subst, Term,
+};
 use parking_lot::Mutex;
 use sha2::{Digest as _, Sha256};
 use std::collections::{HashMap, VecDeque};
@@ -131,6 +133,37 @@ pub struct GuardStats {
     pub batched: u64,
 }
 
+/// Statistics of the guard's batch-prover session (the auto-prove
+/// path for requests arriving without a stored or supplied proof).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Subgoals answered from the prover memo instead of searched.
+    pub memo_hits: u64,
+    /// Memoizable subgoals that had to be searched.
+    pub memo_misses: u64,
+    /// Frontier-sharing groups formed across batches (one proof
+    /// search per group).
+    pub batch_groups: u64,
+    /// Batch members whose entire proof was spliced from their
+    /// group leader's search.
+    pub batch_shared: u64,
+    /// Session flushes forced by epoch movement (credential/label
+    /// movement invalidates the memo exactly like the decision cache).
+    pub flushes: u64,
+    /// Auto-prove goals that yielded a proof.
+    pub proved: u64,
+    /// Auto-prove goals the bounded search gave up on.
+    pub failed: u64,
+}
+
+/// The guard's persistent [`ProofSearch`] session: one memo table
+/// shared by every auto-proving batch, dropped whenever the observed
+/// epoch moves.
+struct ProverSession {
+    epoch: u64,
+    search: ProofSearch,
+}
+
 #[derive(Clone)]
 struct CachedCheck {
     /// Structural check outcome; on success carries the conclusion
@@ -165,6 +198,14 @@ pub struct Guard {
     authority_queries: AtomicU64,
     evictions: AtomicU64,
     batched: AtomicU64,
+    prover: Mutex<Option<ProverSession>>,
+    prover_hits: AtomicU64,
+    prover_misses: AtomicU64,
+    prover_groups: AtomicU64,
+    prover_shared: AtomicU64,
+    prover_flushes: AtomicU64,
+    prover_proved: AtomicU64,
+    prover_failed: AtomicU64,
 }
 
 impl Guard {
@@ -184,6 +225,14 @@ impl Guard {
             authority_queries: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             batched: AtomicU64::new(0),
+            prover: Mutex::new(None),
+            prover_hits: AtomicU64::new(0),
+            prover_misses: AtomicU64::new(0),
+            prover_groups: AtomicU64::new(0),
+            prover_shared: AtomicU64::new(0),
+            prover_flushes: AtomicU64::new(0),
+            prover_proved: AtomicU64::new(0),
+            prover_failed: AtomicU64::new(0),
         }
     }
 
@@ -392,6 +441,102 @@ impl Guard {
                 cache.order.remove(owner);
             }
         }
+    }
+
+    /// Auto-prove a batch of (goal, credentials) pairs — requests that
+    /// arrived without a stored or supplied proof — through the
+    /// guard's persistent [`ProofSearch`] session, so identical
+    /// subgoal derivations across (and beyond) the batch are computed
+    /// once and spliced into each request's proof.
+    ///
+    /// `epoch` is the caller's credential/label-movement epoch: when
+    /// it differs from the one the session last observed, the memo
+    /// table is flushed before proving — the prover-cache analog of
+    /// the decision cache's epoch-validated fills. (Reuse is already
+    /// fingerprint- and leaf-guarded inside the session; the flush
+    /// additionally guarantees nothing from a dead epoch is ever
+    /// consulted.) A `cfg` differing from the session's current one
+    /// also resets the session, so changed limits always take effect.
+    /// Returns one optional proof per input, in order.
+    ///
+    /// Concurrency: the session sits behind one mutex held for the
+    /// whole batch search, so concurrent auto-proving serializes —
+    /// a deliberate trade. The memo makes every post-first search of
+    /// a (goal, credential) shape near-free, the decision-cache and
+    /// stored-/supplied-proof paths never take this lock, and the
+    /// search is budget-bounded ([`ProverConfig::max_subgoals`]), so
+    /// the wait is bounded too. Workloads dominated by *distinct*
+    /// proof searches can opt out per kernel config
+    /// (`NexusConfig::batch_prover = false` restores the lock-free
+    /// one-shot prover).
+    pub fn prove_batch(
+        &self,
+        epoch: u64,
+        goals: &[BatchGoal<'_>],
+        cfg: ProverConfig,
+    ) -> Vec<Option<Proof>> {
+        let mut slot = self.prover.lock();
+        let session = match slot.as_mut() {
+            Some(s) if s.epoch == epoch && s.search.config() == cfg => s,
+            Some(s) => {
+                // Epoch moved (credentials migrated) or the caller
+                // changed the search limits: start a fresh memo either
+                // way — stale entries must not serve the new epoch,
+                // and old entries may reflect old limits.
+                if s.epoch != epoch {
+                    self.prover_flushes.fetch_add(1, Ordering::Relaxed);
+                }
+                s.epoch = epoch;
+                s.search = ProofSearch::new(cfg);
+                s
+            }
+            None => {
+                *slot = Some(ProverSession {
+                    epoch,
+                    search: ProofSearch::new(cfg),
+                });
+                slot.as_mut().expect("just installed")
+            }
+        };
+        let before = session.search.stats();
+        let out = session.search.prove_batch(goals);
+        let after = session.search.stats();
+        self.prover_hits
+            .fetch_add(after.memo_hits - before.memo_hits, Ordering::Relaxed);
+        self.prover_misses
+            .fetch_add(after.memo_misses - before.memo_misses, Ordering::Relaxed);
+        self.prover_groups
+            .fetch_add(after.batch_groups - before.batch_groups, Ordering::Relaxed);
+        self.prover_shared
+            .fetch_add(after.batch_shared - before.batch_shared, Ordering::Relaxed);
+        let proved = out.iter().filter(|p| p.is_some()).count() as u64;
+        self.prover_proved.fetch_add(proved, Ordering::Relaxed);
+        self.prover_failed
+            .fetch_add(out.len() as u64 - proved, Ordering::Relaxed);
+        out
+    }
+
+    /// Prover-session statistics snapshot.
+    pub fn prover_stats(&self) -> ProverStats {
+        ProverStats {
+            memo_hits: self.prover_hits.load(Ordering::Relaxed),
+            memo_misses: self.prover_misses.load(Ordering::Relaxed),
+            batch_groups: self.prover_groups.load(Ordering::Relaxed),
+            batch_shared: self.prover_shared.load(Ordering::Relaxed),
+            flushes: self.prover_flushes.load(Ordering::Relaxed),
+            proved: self.prover_proved.load(Ordering::Relaxed),
+            failed: self.prover_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of subgoal entries currently memoized by the prover
+    /// session (0 when no session has started or after a flush).
+    pub fn prover_memo_len(&self) -> usize {
+        self.prover
+            .lock()
+            .as_ref()
+            .map(|s| s.search.memo_len())
+            .unwrap_or(0)
     }
 
     /// Statistics snapshot.
@@ -736,6 +881,106 @@ mod tests {
             assert!(d.cacheable);
         }
         assert_eq!(guard.stats().checks, 2);
+    }
+
+    #[test]
+    fn prove_batch_shares_one_search_across_identical_requests() {
+        let guard = Guard::new();
+        let goal = parse("FileServer says ok").unwrap();
+        let creds = vec![
+            parse("Owner speaksfor FileServer").unwrap(),
+            parse("Owner says ok").unwrap(),
+        ];
+        let batch: Vec<BatchGoal<'_>> = (0..8)
+            .map(|_| BatchGoal {
+                goal: &goal,
+                credentials: &creds,
+            })
+            .collect();
+        let out = guard.prove_batch(1, &batch, ProverConfig::default());
+        assert!(out.iter().all(|p| p.is_some()));
+        let st = guard.prover_stats();
+        assert_eq!(st.batch_groups, 1);
+        assert_eq!(st.batch_shared, 7);
+        assert_eq!(st.proved, 8);
+        // A second batch under the same epoch rides the session memo.
+        let hits_before = st.memo_hits;
+        let out = guard.prove_batch(1, &batch[..2], ProverConfig::default());
+        assert!(out.iter().all(|p| p.is_some()));
+        assert!(guard.prover_stats().memo_hits > hits_before);
+    }
+
+    #[test]
+    fn prover_config_changes_take_effect_within_an_epoch() {
+        let guard = Guard::new();
+        let goal = parse("B says (C says (A says p))").unwrap();
+        let creds = vec![parse("A says p").unwrap()];
+        let shallow = ProverConfig {
+            max_depth: 1,
+            ..ProverConfig::default()
+        };
+        let batch = [BatchGoal {
+            goal: &goal,
+            credentials: &creds,
+        }];
+        assert!(guard.prove_batch(1, &batch, shallow)[0].is_none());
+        // Same epoch, deeper limits: the session must be rebuilt with
+        // the new config (and its shallow refutation dropped).
+        assert!(
+            guard.prove_batch(1, &batch, ProverConfig::default())[0].is_some(),
+            "changed prover limits must take effect"
+        );
+        assert_eq!(
+            guard.prover_stats().flushes,
+            0,
+            "a config change is not an epoch flush"
+        );
+    }
+
+    #[test]
+    fn prover_memo_flushed_when_epoch_moves() {
+        // The prover-cache analog of the decision cache's setgoal
+        // sabotage: a subgoal memoized while a credential was held
+        // must not survive the epoch that saw it move away.
+        let guard = Guard::new();
+        let goal = parse("Owner says ok").unwrap();
+        let held = vec![
+            parse("Gate speaksfor Owner").unwrap(),
+            parse("Gate says ok").unwrap(),
+        ];
+        let out = guard.prove_batch(
+            1,
+            &[BatchGoal {
+                goal: &goal,
+                credentials: &held,
+            }],
+            ProverConfig::default(),
+        );
+        assert!(out[0].is_some());
+        assert!(guard.prover_memo_len() > 0, "session must have memoized");
+        // The credential moves away; the epoch moves with it.
+        let moved = vec![parse("Gate speaksfor Owner").unwrap()];
+        let out = guard.prove_batch(
+            2,
+            &[BatchGoal {
+                goal: &goal,
+                credentials: &moved,
+            }],
+            ProverConfig::default(),
+        );
+        assert!(out[0].is_none(), "stale memoized proof must not be reused");
+        assert_eq!(guard.prover_stats().flushes, 1);
+        // Same epoch again: no further flush, refutation memo answers.
+        let out = guard.prove_batch(
+            2,
+            &[BatchGoal {
+                goal: &goal,
+                credentials: &moved,
+            }],
+            ProverConfig::default(),
+        );
+        assert!(out[0].is_none());
+        assert_eq!(guard.prover_stats().flushes, 1);
     }
 
     #[test]

@@ -42,6 +42,22 @@ impl Label {
 pub struct LabelStore {
     labels: HashMap<u64, Label>,
     next: u64,
+    /// Cached label shape (see [`LabelStore::shape`]): a commutative
+    /// (wrapping-sum) combination of per-label hashes, updated in
+    /// O(1) on every mutation so submission-time reads are one field
+    /// load and `say` stays O(1) in store size.
+    shape: u64,
+}
+
+/// The per-label contribution to a store's shape: a hash of the
+/// normalized formula, combined commutatively so insertion order
+/// never matters and delete exactly cancels insert.
+fn shape_of(label: &Label) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    nexus_nal::check::normalize(&label.formula()).hash(&mut h);
+    h.finish()
 }
 
 impl LabelStore {
@@ -94,6 +110,7 @@ impl LabelStore {
     pub fn insert(&mut self, label: Label) -> LabelHandle {
         let h = self.next;
         self.next += 1;
+        self.shape = self.shape.wrapping_add(shape_of(&label));
         self.labels.insert(h, label);
         LabelHandle(h)
     }
@@ -105,7 +122,12 @@ impl LabelStore {
 
     /// Delete a label.
     pub fn delete(&mut self, h: LabelHandle) -> Result<Label, CoreError> {
-        self.labels.remove(&h.0).ok_or(CoreError::NoSuchLabel(h.0))
+        let label = self
+            .labels
+            .remove(&h.0)
+            .ok_or(CoreError::NoSuchLabel(h.0))?;
+        self.shape = self.shape.wrapping_sub(shape_of(&label));
+        Ok(label)
     }
 
     /// Move a label to another store (e.g. handing a credential to a
@@ -151,6 +173,15 @@ impl LabelStore {
             self.labels.iter().map(|(h, l)| (*h, l.formula())).collect();
         v.sort_by_key(|(h, _)| *h);
         v.into_iter().map(|(_, f)| f).collect()
+    }
+
+    /// The store's *label shape*: an order-insensitive fingerprint of
+    /// the held (normalized) formulas. Two processes holding the same
+    /// credentials shape identically; the async pipeline coalesces on
+    /// it so batches maximize prover frontier sharing. A hint only —
+    /// collisions affect batching, never verdicts.
+    pub fn shape(&self) -> u64 {
+        self.shape
     }
 
     /// Number of labels.
@@ -232,6 +263,33 @@ mod tests {
         let fs = store.formulas();
         assert_eq!(fs[0], parse("A says one").unwrap());
         assert_eq!(fs[1], parse("A says two").unwrap());
+    }
+
+    #[test]
+    fn shape_is_order_insensitive_and_tracks_mutation() {
+        let mut a = LabelStore::new();
+        let mut b = LabelStore::new();
+        assert_eq!(a.shape(), b.shape(), "empty stores shape identically");
+        a.say(&p("A"), "one").unwrap();
+        let ha = a.say(&p("A"), "two").unwrap();
+        b.say(&p("A"), "two").unwrap();
+        let hb = b.say(&p("A"), "one").unwrap();
+        assert_eq!(a.shape(), b.shape(), "insertion order must not matter");
+        a.delete(ha).unwrap();
+        assert_ne!(a.shape(), b.shape());
+        b.delete(hb).unwrap();
+        assert_ne!(a.shape(), b.shape(), "different residues differ");
+        // Delete exactly cancels insert.
+        let before = a.shape();
+        let hx = a.say(&p("A"), "x").unwrap();
+        a.delete(hx).unwrap();
+        assert_eq!(a.shape(), before);
+        // Normalized spellings shape identically.
+        let mut c = LabelStore::new();
+        let mut d = LabelStore::new();
+        c.say(&p("A"), "not x").unwrap();
+        d.say(&p("A"), "x -> false").unwrap();
+        assert_eq!(c.shape(), d.shape());
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub use credential::Certificate;
 pub use decision_cache::{CacheKey, DecisionCache, DecisionCacheConfig};
 pub use error::CoreError;
 pub use goal::{GoalEntry, GoalStore};
-pub use guard::{AccessRequest, Decision, DenyReason, Guard, GuardCacheConfig, GuardStats};
+pub use guard::{
+    AccessRequest, Decision, DenyReason, Guard, GuardCacheConfig, GuardStats, ProverStats,
+};
 pub use label::{Label, LabelHandle, LabelStore};
 pub use proofstore::ProofStore;
 pub use resource::{OpName, ResourceId};

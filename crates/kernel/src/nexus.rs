@@ -44,7 +44,7 @@ use nexus_core::{
     DecisionCache, DecisionCacheConfig, GoalStore, Guard, KernelSigner, Label, LabelHandle, OpName,
     ProofStore, ResourceId,
 };
-use nexus_nal::{prove, Formula, Principal, Proof, ProverConfig, Term};
+use nexus_nal::{prove, BatchGoal, Formula, Principal, Proof, ProverConfig, Term};
 use nexus_storage::{RamDisk, SsrManager, StorageError, VdirTable, VkeyTable};
 use nexus_tpm::Tpm;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
@@ -85,6 +85,12 @@ pub struct NexusConfig {
     /// Let the kernel attempt proof construction from the subject's
     /// labels when no proof is stored or supplied.
     pub auto_prove: bool,
+    /// Route auto-proving through the guard's persistent batch-prover
+    /// session (one `ProofSearch` memo shared by each coalesced batch
+    /// and across batches within a label epoch). Disabling it restores
+    /// the legacy one-shot search per request — kept reachable for the
+    /// `fig9-prover` comparison benchmark.
+    pub batch_prover: bool,
     /// Enforce goal formulas on filesystem operations (Figure 8's
     /// access-control column benchmarks toggle this).
     pub authorize_fs: bool,
@@ -96,6 +102,7 @@ impl Default for NexusConfig {
             interpose_syscalls: true,
             decision_cache: true,
             auto_prove: true,
+            batch_prover: true,
             authorize_fs: true,
         }
     }
@@ -670,12 +677,23 @@ impl Nexus {
             }
         }
         if let Some(pool) = self.authz_pool() {
+            // The label shape is a coalescing hint: requests batch
+            // only with same-shaped credential sets, so the batch
+            // prover's frontier sharing is maximal. One cached field
+            // load under the ipds read lock.
+            let label_shape = self
+                .ipds
+                .read()
+                .get(pid)
+                .map(|ipd| ipd.labelstore.shape())
+                .unwrap_or(0);
             if let Some(ticket) = pool.try_submit(AuthzRequest {
                 pid,
                 op: opn.clone(),
                 object: object.clone(),
                 proof: inline_proof.cloned(),
                 external: self.classify_external(&subject, opn, object, inline_proof),
+                label_shape,
             }) {
                 return Ok(AuthzRoute::Submitted(ticket));
             }
@@ -749,7 +767,9 @@ impl Nexus {
         let goal = self
             .goals
             .effective_goal(&Self::manager_of(object), object, opn);
-        let prep = self.prepare_request(pid, subject, opn, object, inline_proof, &goal, cfg)?;
+        let mut prepared = vec![self.prepare_request(pid, subject, opn, object, inline_proof, cfg)];
+        self.auto_prove_prepared(opn, object, &goal, &mut prepared, cfg);
+        let prep = prepared.pop().expect("one prepared request")?;
         let req = AccessRequest {
             subject: &prep.subject,
             operation: opn,
@@ -772,10 +792,11 @@ impl Nexus {
     }
 
     /// Assemble everything request-specific the guard needs: the
-    /// subject's credentials and the proof to check (inline, stored,
-    /// or auto-proved from held labels). `subject` must be `pid`'s
-    /// principal, resolved by the caller.
-    #[allow(clippy::too_many_arguments)] // private hot-path helper; a params struct would just rename the same seven values
+    /// subject's credentials and the proof to check (inline or
+    /// stored; auto-proving is deferred to
+    /// [`Nexus::auto_prove_prepared`] so batches share one prover
+    /// session). `subject` must be `pid`'s principal, resolved by the
+    /// caller.
     fn prepare_request(
         &self,
         pid: u64,
@@ -783,7 +804,6 @@ impl Nexus {
         opn: &OpName,
         object: &ResourceId,
         inline_proof: Option<&Proof>,
-        goal: &Formula,
         cfg: &NexusConfig,
     ) -> Result<PreparedRequest, KernelError> {
         // The subject's credentials: its labelstore plus the request
@@ -798,25 +818,13 @@ impl Nexus {
         // only ever *leave* a store via `transfer_label`, which bumps
         // the removal epoch and clears the cache; auto-proved denies
         // are never cached (a later `say` could make them allowed,
-        // with no invalidation hook for additions).
+        // with no invalidation hook for additions). The proof itself
+        // is constructed later by [`Nexus::auto_prove_prepared`], so a
+        // batch's searches share one prover session.
         let auto_attempted = inline_proof.is_none() && stored.is_none() && cfg.auto_prove;
         let proof = match inline_proof {
             Some(p) => Some(p.clone()),
-            None => match stored {
-                Some(p) => Some(p),
-                None if cfg.auto_prove => {
-                    let probe = AccessRequest {
-                        subject: &subject,
-                        operation: opn,
-                        object,
-                        proof: None,
-                        labels: &labels,
-                    };
-                    let inst = Guard::instantiate_goal(goal, &probe);
-                    prove(&inst, &labels, ProverConfig::default())
-                }
-                None => None,
-            },
+            None => stored,
         };
         Ok(PreparedRequest {
             subject,
@@ -824,6 +832,85 @@ impl Nexus {
             proof,
             auto_attempted,
         })
+    }
+
+    /// Construct proofs for every prepared request that arrived
+    /// without one (the auto-prove path), routing the whole set
+    /// through the guard's batch prover: one persistent `ProofSearch`
+    /// session whose memo is shared by the batch (and by subsequent
+    /// batches) and flushed whenever the label-removal epoch moves —
+    /// a memoized subgoal can never outlive the credential movement
+    /// that falsified it. `goal` is instantiated per request, since
+    /// `$subject` differs; ground goals instantiate to themselves and
+    /// share one frontier group.
+    ///
+    /// With `cfg.batch_prover` off, falls back to the legacy one-shot
+    /// search per request (the `fig9-prover` baseline).
+    fn auto_prove_prepared(
+        &self,
+        opn: &OpName,
+        object: &ResourceId,
+        goal: &Formula,
+        prepared: &mut [Result<PreparedRequest, KernelError>],
+        cfg: &NexusConfig,
+    ) {
+        let needy: Vec<usize> = prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Ok(p) if p.auto_attempted && p.proof.is_none() => Some(i),
+                _ => None,
+            })
+            .collect();
+        if needy.is_empty() {
+            return;
+        }
+        let insts: Vec<Formula> = needy
+            .iter()
+            .map(|&i| {
+                let p = prepared[i].as_ref().expect("filtered to Ok");
+                let probe = AccessRequest {
+                    subject: &p.subject,
+                    operation: opn,
+                    object,
+                    proof: None,
+                    labels: &p.labels,
+                };
+                Guard::instantiate_goal(goal, &probe)
+            })
+            .collect();
+        let proofs: Vec<Option<Proof>> = if cfg.batch_prover {
+            let goals: Vec<BatchGoal<'_>> = needy
+                .iter()
+                .zip(&insts)
+                .map(|(&i, inst)| BatchGoal {
+                    goal: inst,
+                    credentials: &prepared[i].as_ref().expect("filtered to Ok").labels,
+                })
+                .collect();
+            self.guard
+                .prove_batch(self.prover_epoch(), &goals, ProverConfig::default())
+        } else {
+            needy
+                .iter()
+                .zip(&insts)
+                .map(|(&i, inst)| {
+                    let p = prepared[i].as_ref().expect("filtered to Ok");
+                    prove(inst, &p.labels, ProverConfig::default())
+                })
+                .collect()
+        };
+        for (&i, proof) in needy.iter().zip(proofs) {
+            prepared[i].as_mut().expect("filtered to Ok").proof = proof;
+        }
+    }
+
+    /// The epoch the prover memo lives under: label *removals* are the
+    /// only events that can falsify a memoized derivation (additions
+    /// change the credential fingerprints the memo is keyed by), so
+    /// this is exactly the decision cache's label-removal epoch.
+    fn prover_epoch(&self) -> u64 {
+        self.label_removal_epoch.load(Ordering::Relaxed)
     }
 
     /// The (goal, proof, label-removal) epoch triple the staleness
@@ -923,12 +1010,15 @@ impl Nexus {
     }
 
     /// Evaluate one coalesced batch (all requests share `key`'s
-    /// (operation, object) pair and therefore its goal). The goal is
-    /// fetched once; `Guard::check_batch` amortizes its normalization
-    /// across the batch; the epoch fence re-evaluates the whole batch
-    /// if goals/proofs/labels moved while the guard ran.
+    /// (operation, object, label shape) triple and therefore its
+    /// goal). The goal is fetched once; requests without a proof are
+    /// auto-proved through one shared prover session
+    /// (`Guard::prove_batch`); `Guard::check_batch` amortizes the
+    /// goal's normalization across the batch; the epoch fence
+    /// re-evaluates the whole batch if goals/proofs/labels moved while
+    /// the guard ran.
     fn evaluate_authz_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
-        let (opn, object) = key;
+        let (opn, object) = (&key.op, &key.object);
         let cfg = self.config();
         // Bounded only to rule out livelock under pathological epoch
         // churn; in that case the batch *faults* rather than letting a
@@ -939,13 +1029,14 @@ impl Nexus {
             let goal = self
                 .goals
                 .effective_goal(&Self::manager_of(object), object, opn);
-            let prepared: Vec<Result<PreparedRequest, KernelError>> = reqs
+            let mut prepared: Vec<Result<PreparedRequest, KernelError>> = reqs
                 .iter()
                 .map(|r| {
                     let subject = self.principal(r.pid)?;
-                    self.prepare_request(r.pid, subject, opn, object, r.proof.as_ref(), &goal, &cfg)
+                    self.prepare_request(r.pid, subject, opn, object, r.proof.as_ref(), &cfg)
                 })
                 .collect();
+            self.auto_prove_prepared(opn, object, &goal, &mut prepared, &cfg);
             let ok_indices: Vec<usize> = prepared
                 .iter()
                 .enumerate()
@@ -1011,6 +1102,17 @@ impl Nexus {
     /// Guard statistics.
     pub fn guard_stats(&self) -> nexus_core::GuardStats {
         self.guard.stats()
+    }
+
+    /// Batch-prover session statistics (the auto-prove path's memo).
+    pub fn guard_prover_stats(&self) -> nexus_core::ProverStats {
+        self.guard.prover_stats()
+    }
+
+    /// Number of subgoal entries currently held by the batch-prover
+    /// memo (diagnostics; 0 after an epoch flush).
+    pub fn guard_prover_memo_len(&self) -> usize {
+        self.guard.prover_memo_len()
     }
 
     /// Number of guard upcalls (decision-cache misses that reached the
@@ -1377,6 +1479,16 @@ impl BatchExecutor for NexusExecutor {
         match self.kernel.upgrade() {
             Some(kernel) => kernel.evaluate_authz_batch(key, reqs),
             None => vec![AuthzOutcome::Fault("kernel torn down".into()); reqs.len()],
+        }
+    }
+
+    fn prover_memo_stats(&self) -> (u64, u64) {
+        match self.kernel.upgrade() {
+            Some(kernel) => {
+                let s = kernel.guard.prover_stats();
+                (s.memo_hits, s.memo_misses)
+            }
+            None => (0, 0),
         }
     }
 }

@@ -4,7 +4,7 @@
 //! progressively more of the machinery on the packet path of a
 //! trivial UDP echo server: in-interrupt echo (kernel / user), a
 //! separate server process reached over IPC (kernel / user driver),
-//! and finally device-driver reference monitors (DDRMs, [56]) in the
+//! and finally device-driver reference monitors (DDRMs, \[56\]) in the
 //! kernel or in user space, with and without verdict caching.
 
 use crate::error::KernelError;

@@ -15,15 +15,17 @@
 //! The crate provides:
 //!
 //! * [`Principal`], [`Term`], [`Formula`] — the abstract syntax,
-//! * [`parse`] / [`Formula::to_string`] — a round-trippable concrete
+//! * [`parse`] / `Formula::to_string` — a round-trippable concrete
 //!   syntax used by the `say` system call,
 //! * [`Proof`] — explicit derivation trees,
 //! * [`check`](check::check) — a linear-time proof checker (guards run
 //!   this; proof *search* is undecidable and therefore the client's
 //!   job),
 //! * [`search`](search::prove) — a bounded backward-chaining prover that
-//!   clients use to assemble proofs from their credentials,
-//! * [`Worldview`](worldview::Worldview) — a semantic model used to
+//!   clients use to assemble proofs from their credentials; its
+//!   [`ProofSearch`] session form memoizes proved/refuted subgoals so
+//!   coalesced batches share one search frontier,
+//! * [`Worldview`] — a semantic model used to
 //!   cross-validate the checker in tests.
 //!
 //! ## Concrete syntax
@@ -77,7 +79,9 @@ pub use formula::{CmpOp, Formula};
 pub use parser::{parse, parse_principal, parse_term};
 pub use principal::Principal;
 pub use proof::Proof;
-pub use search::{prove, ProverConfig};
+pub use search::{
+    credential_fingerprint, prove, BatchGoal, ProofSearch, ProverConfig, SearchStats,
+};
 pub use subst::Subst;
 pub use term::Term;
 pub use worldview::Worldview;

@@ -3,7 +3,7 @@
 //! Proof *derivation* in NAL is undecidable, so Nexus places the onus on
 //! the client to construct a proof and present it with each request
 //! (§2.6). The guard then only *checks* the proof — a linear-time
-//! operation implemented in [`crate::check`].
+//! operation implemented in [`crate::check`](fn@crate::check::check).
 //!
 //! Proofs are explicit natural-deduction trees. Leaves are either
 //! credentials ([`Proof::Assume`]) or hypotheses ([`Proof::Hypo`])

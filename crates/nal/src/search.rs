@@ -5,7 +5,7 @@
 //! labels in hand (plus any statements an authority is expected to
 //! vouch for), it searches for a proof of a goal formula.
 //!
-//! The search is sound (anything it returns passes [`crate::check`];
+//! The search is sound (anything it returns passes [`crate::check`](fn@crate::check::check);
 //! the tests enforce this) but deliberately incomplete: NAL derivation
 //! is undecidable, so the prover bounds recursion depth and explores a
 //! practical fragment — conjunctions, disjunctions, implications,
@@ -13,21 +13,45 @@
 //! distribution / delegation chains (including subprincipal axioms and
 //! scoped delegation), and `speaksfor` via reflexivity, subprincipal
 //! chains, and transitive closure over delegation credentials.
+//!
+//! ## Sessions and frontier sharing
+//!
+//! Proof *search* is the expensive, unbounded step — which is exactly
+//! why the architecture moves it out of the guard. A [`ProofSearch`]
+//! session amortizes it further: the session owns a memo table of
+//! proved and refuted subgoals, so a batch of requests with the same
+//! (goal, credential) shape — the async pipeline's coalesced batches —
+//! derives each shared subgoal once and splices the memoized sub-proof
+//! into every request's final [`Proof`]. Sharing can never forge a
+//! proof: a memoized derivation is reused only after every one of its
+//! credential leaves is re-verified against the *requesting* credential
+//! set, and [`ProofSearch::prove`] still validates the assembled proof
+//! with the checker before returning it. Refutations are scoped to the
+//! exact credential fingerprint that produced them (a different label
+//! set gets a fresh search).
+//!
+//! [`prove`] remains the one-shot entry point: it runs a fresh
+//! throwaway session per call.
 
 use crate::check::{normalize, Assumptions};
 use crate::formula::Formula;
 use crate::principal::Principal;
 use crate::proof::Proof;
 use crate::term::Term;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Prover limits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProverConfig {
     /// Maximum backward-chaining depth.
     pub max_depth: usize,
-    /// Maximum number of subgoals explored.
+    /// Maximum number of subgoals explored per [`ProofSearch::prove`]
+    /// call (memo hits count as one subgoal).
     pub max_subgoals: usize,
+    /// Maximum number of memoized subgoal entries a session retains;
+    /// past the cap the search still runs, it just stops recording
+    /// (the memo is soft state).
+    pub max_memo: usize,
 }
 
 impl Default for ProverConfig {
@@ -35,14 +59,266 @@ impl Default for ProverConfig {
         ProverConfig {
             max_depth: 24,
             max_subgoals: 4096,
+            max_memo: 8192,
         }
     }
 }
 
+/// Cumulative statistics of a [`ProofSearch`] session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Subgoals answered from the memo table (proof spliced or
+    /// refutation trusted) instead of searched.
+    pub memo_hits: u64,
+    /// Memoizable subgoals that had to be searched.
+    pub memo_misses: u64,
+    /// Frontier-sharing groups formed by [`ProofSearch::prove_batch`]
+    /// (one search per group).
+    pub batch_groups: u64,
+    /// Batch members beyond the first of their group — requests whose
+    /// entire proof was spliced from the group leader's search.
+    pub batch_shared: u64,
+}
+
+/// One request's (goal, credentials) pair in a prover batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchGoal<'a> {
+    /// The already-instantiated goal formula to prove.
+    pub goal: &'a Formula,
+    /// The credentials (label formulas) this request holds.
+    pub credentials: &'a [Formula],
+}
+
+/// A memoized derivation, shareable across credential sets: the proof
+/// is spliced into a request only when every recorded leaf is among
+/// the *requesting* credentials, so a hit can never smuggle in a
+/// credential the requester does not hold.
+struct SharedEntry {
+    proof: Proof,
+    /// The proof's credential leaves, normalized.
+    leaves: Vec<Formula>,
+}
+
+/// The session-owned memo state shared by every search the session
+/// runs.
+#[derive(Default)]
+struct SessionState {
+    /// Proved subgoals keyed by normalized formula.
+    shared: HashMap<Formula, SharedEntry>,
+    /// Refuted subgoals, keyed by credential-set fingerprint, then
+    /// normalized formula, holding the *largest* remaining depth a
+    /// search failed with (failure at depth d implies failure at any
+    /// depth ≤ d under the same credentials).
+    refuted: HashMap<u128, HashMap<Formula, usize>>,
+    /// Total memoized entries across both tables (cap accounting).
+    entries: usize,
+    stats: SearchStats,
+}
+
+impl SessionState {
+    fn clear(&mut self) {
+        self.shared.clear();
+        self.refuted.clear();
+        self.entries = 0;
+    }
+}
+
+/// A proof-search session: one prover instance whose memo table of
+/// proved/refuted subgoals persists across [`ProofSearch::prove`] and
+/// [`ProofSearch::prove_batch`] calls, so identical subgoal
+/// derivations across a coalesced batch (or across consecutive
+/// batches) are computed once.
+///
+/// The memo is **soft state**: [`ProofSearch::flush`] drops it without
+/// affecting correctness. Holders that cache a session across
+/// credential *movement* (labels revoked or transferred away) must
+/// flush it — reuse is already fingerprint/leaf-guarded, but the flush
+/// keeps the table from serving an epoch that no longer exists (see
+/// `Guard::prove_batch` in `nexus-core`, which flushes exactly like
+/// the kernel decision cache invalidates).
+///
+/// ```
+/// use nexus_nal::{parse, ProofSearch, ProverConfig};
+///
+/// let creds = vec![
+///     parse("Owner speaksfor FileServer").unwrap(),
+///     parse("Owner says ok").unwrap(),
+/// ];
+/// let goal = parse("FileServer says ok").unwrap();
+///
+/// let mut search = ProofSearch::new(ProverConfig::default());
+/// let proof = search.prove(&goal, &creds).expect("delegation chain proves the goal");
+/// assert!(!proof.leaves().is_empty());
+///
+/// // The session memoized the derivation: proving the same goal
+/// // again splices the stored sub-proof instead of re-searching.
+/// search.prove(&goal, &creds).expect("still provable");
+/// assert!(search.stats().memo_hits >= 1);
+/// ```
+pub struct ProofSearch {
+    cfg: ProverConfig,
+    session: SessionState,
+}
+
+impl ProofSearch {
+    /// A fresh session with an empty memo table.
+    pub fn new(cfg: ProverConfig) -> Self {
+        ProofSearch {
+            cfg,
+            session: SessionState::default(),
+        }
+    }
+
+    /// The limits this session searches under.
+    pub fn config(&self) -> ProverConfig {
+        self.cfg
+    }
+
+    /// Attempt to construct a proof of `goal` from `credentials`,
+    /// consulting (and growing) the session memo.
+    ///
+    /// Returns `None` when the bounded search fails; this does *not*
+    /// mean the goal is underivable. Anything returned passes
+    /// [`crate::check`](fn@crate::check::check) against `credentials`.
+    pub fn prove(&mut self, goal: &Formula, credentials: &[Formula]) -> Option<Proof> {
+        let mut norm: Vec<Formula> = credentials.iter().map(normalize).collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let fp = fingerprint_normalized(&norm);
+        self.prove_keyed(goal, credentials, fp)
+    }
+
+    /// Prove a whole batch, sharing the search frontier: members are
+    /// partitioned into groups by (normalized goal, normalized
+    /// credential set); each group is searched **once** and the
+    /// resulting proof spliced into every member. Distinct groups
+    /// still share memoized subgoals through the session table
+    /// (guarded by the leaf check), so e.g. two groups differing only
+    /// in request-specific utterances share the delegation-chain
+    /// derivations underneath.
+    ///
+    /// Returns one entry per input, in order.
+    pub fn prove_batch(&mut self, goals: &[BatchGoal<'_>]) -> Vec<Option<Proof>> {
+        // Grouping compares the actual normalized credential lists —
+        // never just their hashes — so a fingerprint collision cannot
+        // hand one request another's proof.
+        let mut groups: BTreeMap<(Formula, Vec<Formula>), Vec<usize>> = BTreeMap::new();
+        for (i, g) in goals.iter().enumerate() {
+            let mut norm: Vec<Formula> = g.credentials.iter().map(normalize).collect();
+            norm.sort_unstable();
+            norm.dedup();
+            groups.entry((normalize(g.goal), norm)).or_default().push(i);
+        }
+        let mut out: Vec<Option<Proof>> = vec![None; goals.len()];
+        self.session.stats.batch_groups += groups.len() as u64;
+        for ((_, norm_creds), members) in groups {
+            let fp = fingerprint_normalized(&norm_creds);
+            let lead = members[0];
+            let proof = self.prove_keyed(goals[lead].goal, goals[lead].credentials, fp);
+            if proof.is_some() {
+                // Counted only when something was actually spliced: a
+                // failed group search shares the *refutation*, not a
+                // proof.
+                self.session.stats.batch_shared += (members.len() - 1) as u64;
+            }
+            for &i in &members {
+                out[i] = proof.clone();
+            }
+        }
+        out
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SearchStats {
+        self.session.stats
+    }
+
+    /// Number of memoized subgoal entries currently held.
+    pub fn memo_len(&self) -> usize {
+        self.session.entries
+    }
+
+    /// Drop every memoized entry (statistics survive). Soft state:
+    /// subsequent searches just start cold.
+    pub fn flush(&mut self) {
+        self.session.clear();
+    }
+
+    fn prove_keyed(&mut self, goal: &Formula, credentials: &[Formula], fp: u128) -> Option<Proof> {
+        let norm_credentials: Vec<(Formula, Formula)> = credentials
+            .iter()
+            .map(|c| (normalize(c), c.clone()))
+            .collect();
+        let norm_set: HashSet<Formula> = norm_credentials.iter().map(|(n, _)| n.clone()).collect();
+        let mut s = Search {
+            credentials,
+            norm_credentials,
+            norm_set,
+            fp,
+            cfg: self.cfg,
+            subgoals: 0,
+            budget_exhausted: false,
+            hypotheses: Vec::new(),
+            handoff_edges: compute_handoff_edges(credentials),
+            session: &mut self.session,
+        };
+        let proof = s.solve(goal, self.cfg.max_depth)?;
+        // Never hand back a proof that the checker would reject —
+        // memoized splices included.
+        let asm = Assumptions::from_iter(credentials.iter());
+        match crate::check::check(&proof, &asm) {
+            Ok(c) if normalize(&c) == normalize(goal) => Some(proof),
+            _ => None,
+        }
+    }
+}
+
+/// Order-insensitive fingerprint of a credential set (normalized,
+/// sorted, deduplicated). Two credential sets holding the same
+/// formulas — regardless of order or `¬`/`→ false` spelling —
+/// fingerprint identically. [`ProofSearch`] uses it to scope
+/// memoized refutations; it is exported for diagnostics and tests.
+/// (The async pipeline's batch-coalescing hint is a *different*,
+/// incrementally-maintained hash: `LabelStore::shape` in
+/// `nexus-core`.)
+pub fn credential_fingerprint(credentials: &[Formula]) -> u128 {
+    let mut norm: Vec<Formula> = credentials.iter().map(normalize).collect();
+    norm.sort_unstable();
+    norm.dedup();
+    fingerprint_normalized(&norm)
+}
+
+fn fingerprint_normalized(norm: &[Formula]) -> u128 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    // Two independently-seeded 64-bit SipHashes; DefaultHasher::new()
+    // is keyed deterministically, so fingerprints are stable within a
+    // process (all they are ever compared against).
+    let mut hi = DefaultHasher::new();
+    let mut lo = DefaultHasher::new();
+    0xa5a5_5a5au32.hash(&mut hi);
+    0x1234_fedcu32.hash(&mut lo);
+    for f in norm {
+        f.hash(&mut hi);
+        f.hash(&mut lo);
+    }
+    ((hi.finish() as u128) << 64) | hi.finish().wrapping_add(lo.finish()) as u128
+}
+
 struct Search<'a> {
     credentials: &'a [Formula],
+    /// (normalized, original) credential pairs, normalized once per
+    /// search instead of once per subgoal probe.
+    norm_credentials: Vec<(Formula, Formula)>,
+    /// The normalized credentials as a set (memo leaf verification).
+    norm_set: HashSet<Formula>,
+    /// Fingerprint of the credential set (scopes refutation memos).
+    fp: u128,
     cfg: ProverConfig,
     subgoals: usize,
+    /// Set once the subgoal budget trips: failures after this point
+    /// are budget artifacts and must not be memoized as refutations.
+    budget_exhausted: bool,
     hypotheses: Vec<Formula>,
     /// Delegation edges derivable by the handoff rule from
     /// credentials of the form `S says (A speaksfor B)` where S is B
@@ -53,6 +329,7 @@ struct Search<'a> {
         Option<std::collections::BTreeSet<String>>,
         Proof,
     )>,
+    session: &'a mut SessionState,
 }
 
 /// Proof that `from speaksfor from.⋯.to` via chained subprincipal
@@ -119,62 +396,133 @@ fn compute_handoff_edges(
     out
 }
 
-/// Attempt to construct a proof of `goal` from `credentials`.
+/// Attempt to construct a proof of `goal` from `credentials` in a
+/// fresh one-shot [`ProofSearch`] session.
 ///
 /// Returns `None` when the bounded search fails; this does *not* mean
 /// the goal is underivable.
 pub fn prove(goal: &Formula, credentials: &[Formula], cfg: ProverConfig) -> Option<Proof> {
-    let mut s = Search {
-        credentials,
-        cfg,
-        subgoals: 0,
-        hypotheses: Vec::new(),
-        handoff_edges: compute_handoff_edges(credentials),
-    };
-    let proof = s.solve(goal, cfg.max_depth)?;
-    // Never hand back a proof that the checker would reject.
-    let asm = Assumptions::from_iter(credentials.iter());
-    match crate::check::check(&proof, &asm) {
-        Ok(c) if normalize(&c) == normalize(goal) => Some(proof),
-        _ => None,
-    }
+    ProofSearch::new(cfg).prove(goal, credentials)
 }
 
 impl<'a> Search<'a> {
     fn budget(&mut self) -> bool {
         self.subgoals += 1;
-        self.subgoals <= self.cfg.max_subgoals
+        if self.subgoals > self.cfg.max_subgoals {
+            self.budget_exhausted = true;
+            return false;
+        }
+        true
     }
 
-    fn credential_matches(&self, goal: &Formula) -> Option<Proof> {
-        let ng = normalize(goal);
-        self.credentials
+    fn credential_matches(&self, ng: &Formula) -> Option<Proof> {
+        self.norm_credentials
             .iter()
-            .find(|c| normalize(c) == ng)
-            .map(|c| Proof::assume(c.clone()))
+            .find(|(n, _)| n == ng)
+            .map(|(_, c)| Proof::assume(c.clone()))
     }
 
-    fn hypothesis_matches(&self, goal: &Formula) -> Option<Proof> {
-        let ng = normalize(goal);
+    fn hypothesis_matches(&self, ng: &Formula) -> Option<Proof> {
         self.hypotheses
             .iter()
-            .find(|h| normalize(h) == ng)
+            .find(|h| normalize(h) == *ng)
             .map(|h| Proof::Hypo(h.clone()))
+    }
+
+    /// Is this subgoal worth memoizing? Trivial goals are cheaper to
+    /// re-derive than to look up; `Pred` leaves fail immediately.
+    fn memo_worthy(ng: &Formula) -> bool {
+        matches!(
+            ng,
+            Formula::Says(..)
+                | Formula::SpeaksFor { .. }
+                | Formula::And(..)
+                | Formula::Or(..)
+                | Formula::Implies(..)
+        )
     }
 
     fn solve(&mut self, goal: &Formula, depth: usize) -> Option<Proof> {
         if !self.budget() || !goal.vars().is_empty() {
             return None;
         }
-        if let Some(p) = self.credential_matches(goal) {
+        let ng = normalize(goal);
+        if let Some(p) = self.credential_matches(&ng) {
             return Some(p);
         }
-        if let Some(p) = self.hypothesis_matches(goal) {
+        if let Some(p) = self.hypothesis_matches(&ng) {
             return Some(p);
+        }
+        // The memo applies only in an empty hypothesis context:
+        // entries must not capture (or be answered from) derivations
+        // that lean on a hypothesis some other request never
+        // introduced.
+        let memoizable = self.hypotheses.is_empty() && Self::memo_worthy(&ng);
+        if memoizable {
+            if let Some(entry) = self.session.shared.get(&ng) {
+                // Splice only if the requester holds every leaf the
+                // memoized derivation rests on.
+                if entry.leaves.iter().all(|l| self.norm_set.contains(l)) {
+                    self.session.stats.memo_hits += 1;
+                    return Some(entry.proof.clone());
+                }
+            }
+            if let Some(&failed_depth) = self.session.refuted.get(&self.fp).and_then(|m| m.get(&ng))
+            {
+                // A search with at least this much depth already
+                // failed under the identical credential set.
+                if depth <= failed_depth {
+                    self.session.stats.memo_hits += 1;
+                    return None;
+                }
+            }
+            self.session.stats.memo_misses += 1;
         }
         if depth == 0 {
             return None;
         }
+        let result = self.solve_inner(goal, depth);
+        if memoizable && self.session.entries < self.cfg.max_memo {
+            match &result {
+                Some(p) => {
+                    let leaves: Vec<Formula> = p.leaves().into_iter().map(normalize).collect();
+                    if self
+                        .session
+                        .shared
+                        .insert(
+                            ng,
+                            SharedEntry {
+                                proof: p.clone(),
+                                leaves,
+                            },
+                        )
+                        .is_none()
+                    {
+                        self.session.entries += 1;
+                    }
+                }
+                // Budget-starved failures are artifacts of *this*
+                // search, not refutations; never memoize them.
+                None if !self.budget_exhausted => {
+                    let slot = self
+                        .session
+                        .refuted
+                        .entry(self.fp)
+                        .or_default()
+                        .entry(ng)
+                        .or_insert_with(|| {
+                            self.session.entries += 1;
+                            0
+                        });
+                    *slot = (*slot).max(depth);
+                }
+                None => {}
+            }
+        }
+        result
+    }
+
+    fn solve_inner(&mut self, goal: &Formula, depth: usize) -> Option<Proof> {
         match goal {
             Formula::True => Some(Proof::TrueIntro),
             Formula::False => None,
@@ -415,8 +763,7 @@ impl<'a> Search<'a> {
             return proof;
         }
         // Transitive closure over unscoped credential edges.
-        let probe = Formula::True; // unscoped edges only: within_scope unused
-        let chain = self.delegation_chain_unscoped(from, to, &probe)?;
+        let chain = self.delegation_chain_unscoped(from, to)?;
         let mut iter = chain.into_iter();
         let first = iter.next()?;
         let mut proof = first;
@@ -437,7 +784,6 @@ impl<'a> Search<'a> {
         &mut self,
         from: &Principal,
         to: &Principal,
-        _probe: &Formula,
     ) -> Option<Vec<Proof>> {
         #[derive(Clone)]
         struct Node {
@@ -731,5 +1077,184 @@ mod tests {
                 "NTP says other(x)",
             ],
         );
+    }
+
+    // ---- ProofSearch sessions ----
+
+    #[test]
+    fn session_memoizes_proved_goals() {
+        let cs = creds(&["A speaksfor B", "B speaksfor C", "A says p"]);
+        let g = parse("C says p").unwrap();
+        let mut s = ProofSearch::new(ProverConfig::default());
+        let p1 = s.prove(&g, &cs).expect("provable");
+        let misses_after_first = s.stats().memo_misses;
+        assert!(misses_after_first > 0, "first search must populate memo");
+        let p2 = s.prove(&g, &cs).expect("still provable");
+        assert_eq!(p1, p2, "memoized splice must reproduce the derivation");
+        assert!(s.stats().memo_hits >= 1, "{:?}", s.stats());
+        assert_eq!(
+            s.stats().memo_misses,
+            misses_after_first,
+            "second search must be answered entirely from the memo"
+        );
+    }
+
+    #[test]
+    fn session_memoizes_refutations_per_credential_set() {
+        let with = creds(&["A says p"]);
+        let without = creds(&["B says q"]);
+        let g = parse("A says p").unwrap();
+        let mut s = ProofSearch::new(ProverConfig::default());
+        assert!(s.prove(&g, &without).is_none());
+        // The refutation is scoped to `without`'s fingerprint: the
+        // richer credential set must still find the proof.
+        assert!(s.prove(&g, &with).is_some());
+        // And the refutation still answers for the original set.
+        assert!(s.prove(&g, &without).is_none());
+    }
+
+    #[test]
+    fn memoized_subgoal_not_reused_after_credential_movement() {
+        // The prover-cache analog of the setgoal sabotage test: a
+        // subgoal proved while the credential was held must not leak
+        // into a search run after the credential moved away.
+        let before = creds(&["Gate speaksfor Owner", "Gate says ok"]);
+        let after = creds(&["Gate speaksfor Owner"]); // `Gate says ok` transferred away
+        let g = parse("Owner says ok").unwrap();
+        let mut s = ProofSearch::new(ProverConfig::default());
+        let p = s.prove(&g, &before).expect("provable while held");
+        assert!(p
+            .leaves()
+            .iter()
+            .any(|l| normalize(l) == normalize(&parse("Gate says ok").unwrap())));
+        assert!(
+            s.prove(&g, &after).is_none(),
+            "memoized derivation leaked a credential the requester no longer holds"
+        );
+        // Flushing (the epoch-invalidation hook) keeps it that way.
+        s.flush();
+        assert_eq!(s.memo_len(), 0);
+        assert!(s.prove(&g, &after).is_none());
+        assert!(s.prove(&g, &before).is_some(), "cold search still works");
+    }
+
+    #[test]
+    fn shared_memo_only_splices_held_leaves() {
+        // Two requesters share a delegation chain but only one holds
+        // the payload credential: the memoized chain subgoals may be
+        // shared, the payload-dependent proof may not.
+        let rich = creds(&["A speaksfor B", "A says p", "A says q"]);
+        let poor = creds(&["A speaksfor B", "A says p"]);
+        let mut s = ProofSearch::new(ProverConfig::default());
+        assert!(s.prove(&parse("B says q").unwrap(), &rich).is_some());
+        assert!(
+            s.prove(&parse("B says q").unwrap(), &poor).is_none(),
+            "spliced a proof resting on a credential the requester lacks"
+        );
+        assert!(s.prove(&parse("B says p").unwrap(), &poor).is_some());
+    }
+
+    #[test]
+    fn prove_batch_shares_identical_groups() {
+        let shared: Vec<Formula> = creds(&["A speaksfor B", "A says p"]);
+        let g = parse("B says p").unwrap();
+        let batch: Vec<BatchGoal<'_>> = (0..6)
+            .map(|_| BatchGoal {
+                goal: &g,
+                credentials: &shared,
+            })
+            .collect();
+        let mut s = ProofSearch::new(ProverConfig::default());
+        let out = s.prove_batch(&batch);
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|p| p.is_some()));
+        let st = s.stats();
+        assert_eq!(st.batch_groups, 1, "identical members form one group");
+        assert_eq!(st.batch_shared, 5, "five members rode the leader's search");
+        // Every spliced proof checks against the member's credentials.
+        let asm = Assumptions::from_iter(shared.iter());
+        for p in out.into_iter().flatten() {
+            let c = check(&p, &asm).expect("spliced proof must check");
+            assert_eq!(normalize(&c), normalize(&g));
+        }
+    }
+
+    #[test]
+    fn prove_batch_mixed_groups_stay_isolated() {
+        let holder = creds(&["Gate says open"]);
+        let stranger = creds(&["Other says open"]);
+        let g = parse("Gate says open").unwrap();
+        let batch = vec![
+            BatchGoal {
+                goal: &g,
+                credentials: &holder,
+            },
+            BatchGoal {
+                goal: &g,
+                credentials: &stranger,
+            },
+            BatchGoal {
+                goal: &g,
+                credentials: &holder,
+            },
+        ];
+        let mut s = ProofSearch::new(ProverConfig::default());
+        let out = s.prove_batch(&batch);
+        assert!(out[0].is_some());
+        assert!(
+            out[1].is_none(),
+            "stranger must not ride the holders' proof"
+        );
+        assert!(out[2].is_some());
+        assert_eq!(s.stats().batch_groups, 2);
+        assert_eq!(s.stats().batch_shared, 1);
+    }
+
+    #[test]
+    fn fingerprints_are_order_insensitive_and_spelling_insensitive() {
+        let a = creds(&["A says p", "B says q", "not r"]);
+        let b = creds(&["B says q", "r -> false", "A says p"]);
+        assert_eq!(credential_fingerprint(&a), credential_fingerprint(&b));
+        let c = creds(&["A says p"]);
+        assert_ne!(credential_fingerprint(&a), credential_fingerprint(&c));
+    }
+
+    #[test]
+    fn memo_cap_disables_recording_not_search() {
+        let cfg = ProverConfig {
+            max_memo: 0,
+            ..ProverConfig::default()
+        };
+        let cs = creds(&["A speaksfor B", "A says p"]);
+        let g = parse("B says p").unwrap();
+        let mut s = ProofSearch::new(cfg);
+        assert!(s.prove(&g, &cs).is_some());
+        assert_eq!(s.memo_len(), 0, "cap must hold");
+        assert!(s.prove(&g, &cs).is_some(), "search still works uncached");
+    }
+
+    #[test]
+    fn deeper_search_not_blocked_by_shallow_refutation() {
+        // A refutation recorded at depth d must not answer a query
+        // arriving with *more* depth to spend.
+        let cs = creds(&["A says p"]);
+        let g = parse("B says (C says (A says p))").unwrap(); // needs nested SaysIntro
+        let shallow = ProverConfig {
+            max_depth: 1,
+            ..ProverConfig::default()
+        };
+        let mut s = ProofSearch::new(shallow);
+        assert!(s.prove(&g, &cs).is_none(), "depth 1 cannot nest says");
+        // Same session, deeper config would be a different ProofSearch;
+        // simulate by a fresh session sharing nothing — the scoped
+        // refutation in `s` was recorded with its failing depth, so a
+        // deeper search in the same session must re-search. We can't
+        // reconfigure a session, so assert the depth guard directly:
+        // a second shallow query is a memo hit...
+        let hits_before = s.stats().memo_hits;
+        assert!(s.prove(&g, &cs).is_none());
+        assert!(s.stats().memo_hits > hits_before);
+        // ...and a default-depth one-shot search succeeds.
+        assert!(prove(&g, &cs, ProverConfig::default()).is_some());
     }
 }
