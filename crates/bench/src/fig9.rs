@@ -2,8 +2,10 @@
 //! multi-core load.
 //!
 //! The paper's evaluation is single-core; this bench hammers one
-//! shared `Arc<Nexus>` from 1..=8 OS threads through both
-//! authorization paths:
+//! shared `Arc<Nexus>` from 1 up to 64 OS threads (the sweep is
+//! derived from `available_parallelism` and always includes the 2×/4×
+//! oversubscribed points plus 32 and 64) through both authorization
+//! paths:
 //!
 //! * **sync** — every thread runs the guard inline on its own
 //!   (syscall) thread, the paper's architecture;
@@ -17,17 +19,48 @@
 //! regime of many distinct subjects), with a structurally wide ground
 //! goal so per-request normalization is the dominant guard cost — the
 //! paper's "slow goal" scenario where batching should pay.
+//!
+//! The **hit-path** mode ([`run_hits`]) measures the opposite regime —
+//! every request a decision-cache hit, all threads on one cache key —
+//! as an A/B between the seqlock (lock-free) read path and the
+//! pre-ISSUE-6 mutexed baseline (`DecisionCacheConfig::lock_free =
+//! false`): the mutexed curve bends where every thread serializes on
+//! one subregion mutex; the seqlock curve is a handful of atomic
+//! loads and stays flat.
 
 use crate::boot_with;
-use nexus_core::{AuthorityKind, FnAuthority, ResourceId};
+use nexus_core::{AuthorityKind, DecisionCacheConfig, FnAuthority, ResourceId};
 use nexus_kernel::{GuardPoolConfig, Nexus, NexusConfig, OverflowPolicy};
 use nexus_nal::{parse, Formula, Principal, Proof};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-/// Thread counts on the x-axis.
-pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Thread counts on the x-axis: powers of two up to the machine's
+/// `available_parallelism`, the 2× and 4× oversubscribed points, and
+/// always 32 and 64 (the ISSUE-6 acceptance range) — sorted, deduped.
+pub fn thread_counts() -> Vec<usize> {
+    let p = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let mut v = Vec::new();
+    let mut t = 1;
+    while t <= p {
+        v.push(t);
+        t *= 2;
+    }
+    v.extend([p, 2 * p, 4 * p, 32, 64]);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Per-thread iterations for a sweep point, scaled so total work stays
+/// roughly constant as the thread count grows (64 threads would
+/// otherwise take 64× the wall clock of the single-thread point).
+fn per_thread(iters: u64, threads: usize) -> u64 {
+    (iters / threads as u64).max(64)
+}
 
 /// Disjuncts in the goal formula (wide ⇒ expensive to normalize).
 const GOAL_WIDTH: usize = 32;
@@ -102,23 +135,29 @@ fn run_threads(
     body: impl Fn(&Nexus, u64, &ResourceId, u64) + Send + Sync + Copy + 'static,
 ) -> f64 {
     let threads = pids.len();
-    let barrier = Arc::new(Barrier::new(threads + 1));
+    let barrier = Arc::new(Barrier::new(threads));
     let mut handles = Vec::new();
     for &pid in pids {
         let nexus = Arc::clone(nexus);
         let object = object.clone();
         let barrier = Arc::clone(&barrier);
+        // Each worker times its own window; the measured span is
+        // earliest start to latest end across workers. Timing on the
+        // coordinating thread instead would race the scheduler: under
+        // heavy oversubscription the workers can finish most of their
+        // iterations before the coordinator is ever rescheduled to
+        // start (or stop) its clock.
         handles.push(std::thread::spawn(move || {
             barrier.wait();
+            let start = std::time::Instant::now();
             body(&nexus, pid, &object, iters);
+            (start, std::time::Instant::now())
         }));
     }
-    barrier.wait();
-    let start = std::time::Instant::now();
-    for h in handles {
-        h.join().unwrap();
-    }
-    let secs = start.elapsed().as_secs_f64();
+    let windows: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = windows.iter().map(|w| w.0).min().unwrap();
+    let last = windows.iter().map(|w| w.1).max().unwrap();
+    let secs = last.duration_since(first).as_secs_f64();
     (threads as u64 * iters) as f64 / secs
 }
 
@@ -166,9 +205,106 @@ pub fn measure(threads: usize, iters: u64) -> Point {
     }
 }
 
-/// The full curve.
+/// The full curve. `iters` is the single-thread iteration count;
+/// higher thread counts run proportionally fewer per-thread
+/// iterations so every point does comparable total work.
 pub fn run(iters: u64) -> Vec<Point> {
-    THREADS.iter().map(|&t| measure(t, iters)).collect()
+    thread_counts()
+        .into_iter()
+        .map(|t| measure(t, per_thread(iters, t)))
+        .collect()
+}
+
+// ---- hit-path mode (ISSUE 6): seqlock vs mutexed decision cache ----
+
+/// One point on the hit-path A/B curve.
+#[derive(Debug, Clone)]
+pub struct HitPoint {
+    /// OS threads hammering one cached decision.
+    pub threads: usize,
+    /// Hit throughput on the seqlock (lock-free) read path.
+    pub seqlock_ops_per_s: f64,
+    /// Hit throughput on the mutexed baseline read path.
+    pub mutexed_ops_per_s: f64,
+    /// Seqlock probe retries observed during the seqlock run (a
+    /// writer was mid-flight on the probed slot).
+    pub read_retries: u64,
+    /// Bounded-retry exhaustions that fell back to the locked lookup
+    /// during the seqlock run.
+    pub read_fallbacks: u64,
+}
+
+impl HitPoint {
+    /// seqlock / mutexed throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.mutexed_ops_per_s == 0.0 {
+            0.0
+        } else {
+            self.seqlock_ops_per_s / self.mutexed_ops_per_s
+        }
+    }
+}
+
+/// Boot a kernel with one primed, cacheable allow decision, with the
+/// decision cache on the requested read path. Every thread then
+/// authorizes the *same* (subject, op, object) tuple, so the whole
+/// measurement lands on one slot of one subregion — the maximal
+/// contention case for the mutexed baseline, and the paper's "cached
+/// decisions are nearly free" case for the seqlock path.
+fn hit_setup(lock_free: bool) -> (Arc<Nexus>, u64, ResourceId) {
+    let nexus = boot_with(NexusConfig::default());
+    let object = ResourceId::new("bench", "fig9-hit");
+    let owner = nexus.spawn("owner", b"img");
+    nexus.grant_ownership(owner, &object).unwrap();
+    nexus
+        .sys_setgoal(owner, object.clone(), "op", wide_goal())
+        .unwrap();
+    let pid = nexus.spawn("fig9-hit", b"img");
+    nexus
+        .kernel_label(pid, Principal::name("Gate"), parse("g0").unwrap())
+        .unwrap();
+    nexus
+        .sys_set_proof(pid, "op", &object, wide_proof())
+        .unwrap();
+    nexus.set_config(NexusConfig {
+        auto_prove: false,
+        ..NexusConfig::default()
+    });
+    // Select the read path under test (resize drops entries), then
+    // prime the one decision every measurement iteration will hit.
+    nexus.resize_decision_cache(DecisionCacheConfig {
+        lock_free,
+        ..Default::default()
+    });
+    assert!(nexus.authorize(pid, "op", &object).unwrap());
+    (Arc::new(nexus), pid, object)
+}
+
+/// Measure one thread count through both read paths.
+pub fn measure_hits(threads: usize, iters: u64) -> HitPoint {
+    let run_one = |lock_free: bool| {
+        let (nexus, pid, object) = hit_setup(lock_free);
+        let pids = vec![pid; threads];
+        let ops = run_threads(&nexus, &pids, &object, iters, sync_body);
+        (ops, nexus.decision_cache_stats())
+    };
+    let (seqlock_ops_per_s, stats) = run_one(true);
+    let (mutexed_ops_per_s, _) = run_one(false);
+    HitPoint {
+        threads,
+        seqlock_ops_per_s,
+        mutexed_ops_per_s,
+        read_retries: stats.read_retries,
+        read_fallbacks: stats.read_fallbacks,
+    }
+}
+
+/// The full hit-path A/B curve over [`thread_counts`].
+pub fn run_hits(iters: u64) -> Vec<HitPoint> {
+    thread_counts()
+        .into_iter()
+        .map(|t| measure_hits(t, per_thread(iters, t)))
+        .collect()
 }
 
 // ---- back-pressure mode ----
@@ -570,6 +706,34 @@ mod tests {
         let stranger = nexus.spawn("stranger", b"img");
         assert!(!nexus.authorize(stranger, "op", &object).unwrap());
         nexus.stop_authz_pipeline();
+    }
+
+    #[test]
+    fn seqlock_hit_path_stats_and_counts_are_sane() {
+        let _serial = crate::timing_guard();
+        // The acceptance criterion proper (seqlock ≥ mutexed at every
+        // count, ≥ 1.5× at 32+) is asserted on the `reproduce` run;
+        // here assert the harness itself: both paths produce
+        // throughput, the sweep reaches 64 threads, and the seqlock
+        // hit path never falls back to the locked lookup when no
+        // writer is running.
+        let counts = thread_counts();
+        assert_eq!(counts.first(), Some(&1));
+        assert!(counts.contains(&32) && counts.contains(&64));
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "sweep not sorted");
+        let p = measure_hits(4, 400);
+        assert!(p.seqlock_ops_per_s > 0.0 && p.mutexed_ops_per_s > 0.0);
+        assert_eq!(
+            p.read_fallbacks, 0,
+            "hit-only workload with no writers must never exhaust retries"
+        );
+        // Noisy-harness margin, same spirit as the async test below.
+        assert!(
+            p.speedup() >= 0.5,
+            "seqlock {:.0}/s vs mutexed {:.0}/s",
+            p.seqlock_ops_per_s,
+            p.mutexed_ops_per_s
+        );
     }
 
     #[test]

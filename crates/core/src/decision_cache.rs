@@ -13,18 +13,44 @@
 //! single entry. Subregion size is configurable and trades off
 //! invalidation cost against collision rate.
 //!
-//! The cache is internally synchronized so the kernel can consult it
-//! from many threads through `&self`: each subregion is its own
-//! mutex-protected shard (a lookup and an invalidation touching
-//! different (operation, object) pairs never contend), statistics are
-//! atomics, and only `resize` takes the table-wide write lock.
+//! ## The lock-free hit path
+//!
+//! A cache hit is load–compare–return with **zero contention**: each
+//! slot is a *seqlock* — an `AtomicU64` sequence word bracketing an
+//! all-atomic payload (key fingerprint, occupancy/verdict bits). A
+//! reader loads the sequence, the payload, and the sequence again; an
+//! odd or changed sequence means a writer was mid-flight, and the
+//! reader retries (bounded) before falling back to the locked slow
+//! path. Writers — fills and invalidations — are the only lockers:
+//! they serialize on a per-subregion mutex and bump the slot sequence
+//! to odd before touching the payload and back to even after. A torn
+//! read is therefore *detected*, never acted on: it degrades to a
+//! miss and the request simply takes the guard slow path, where the
+//! epoch fences decide afresh. The mutexed read path is kept behind
+//! [`DecisionCacheConfig::lock_free`] as the A/B baseline for the
+//! fig9 hit-path benchmark.
+//!
+//! Slots store a 128-bit keyed fingerprint of the access-control
+//! tuple rather than the tuple itself (heap-backed strings cannot be
+//! read under optimistic concurrency). The two 64-bit halves come
+//! from independently keyed hashers seeded per cache instance at
+//! construction, so cross-tuple collisions are both astronomically
+//! unlikely (≈2⁻¹²⁸ per pair) and not predictable by an adversary.
+//!
+//! Fills are *epoch-validated*: [`DecisionCache::insert_if`] re-checks
+//! the caller's validity predicate inside the subregion writer lock,
+//! so a racing `setgoal` invalidation can never be overwritten by a
+//! stale decision. Statistics are striped across padded cache lines so
+//! the hit counter itself cannot become the contention point.
 
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::Principal;
-use parking_lot::{Mutex, RwLock};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+use crate::snapshot::Snapshot;
 
 /// The access-control tuple the cache is indexed by.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -52,6 +78,11 @@ pub struct DecisionCacheConfig {
     /// displacements (the ROADMAP's Figure-4 hit-rate experiment).
     /// Clamped to `1..=subregion_slots`.
     pub ways: usize,
+    /// Seqlock (lock-free) hit path — the default. `false` routes
+    /// every lookup through the per-subregion mutex instead: the
+    /// pre-seqlock baseline, kept selectable for the fig9 hit-path
+    /// A/B comparison.
+    pub lock_free: bool,
 }
 
 impl Default for DecisionCacheConfig {
@@ -60,16 +91,9 @@ impl Default for DecisionCacheConfig {
             total_slots: 4096,
             subregion_slots: 16,
             ways: 1,
+            lock_free: true,
         }
     }
-}
-
-#[derive(Debug, Clone)]
-struct Slot {
-    key: CacheKey,
-    allow: bool,
-    /// Last-touched stamp (global counter) for within-set eviction.
-    stamp: u64,
 }
 
 /// Statistics counters.
@@ -83,13 +107,64 @@ pub struct DecisionCacheStats {
     pub invalidations: u64,
     /// Insertions that displaced a colliding entry.
     pub collisions: u64,
+    /// Seqlock read attempts that observed a concurrent writer (odd
+    /// or changed sequence) and retried the probe.
+    pub read_retries: u64,
+    /// Lookups that exhausted the bounded retry budget and fell back
+    /// to the locked slow path (still exactly one hit or miss each).
+    pub read_fallbacks: u64,
 }
 
-/// The sharded slot array: one mutex-protected shard per subregion.
+/// Bounded optimistic probe attempts before a lookup falls back to
+/// taking the subregion writer lock. Keeps a pathological writer storm
+/// from livelocking readers: the fallback is always correct, merely
+/// contended.
+const MAX_READ_RETRIES: usize = 8;
+
+/// Slot meta bit: the slot holds a live entry.
+const OCCUPIED: u64 = 1;
+/// Slot meta bit: the cached verdict is "allow".
+const ALLOW: u64 = 2;
+
+/// One seqlock-protected cache slot. The payload is all-atomic (no
+/// heap data), so a racing reader can at worst observe a *stale or
+/// mixed* fingerprint — which the sequence check detects — never
+/// undefined behavior; `nexus-core` stays `forbid(unsafe_code)`.
+#[derive(Default)]
+struct SeqSlot {
+    /// Sequence word: even = stable, odd = writer mid-flight.
+    seq: AtomicU64,
+    /// Keyed 128-bit fingerprint of the access-control tuple.
+    fp_lo: AtomicU64,
+    fp_hi: AtomicU64,
+    /// OCCUPIED | ALLOW bits.
+    meta: AtomicU64,
+    /// Last-touched stamp for within-set eviction. Deliberately
+    /// *outside* the seqlock discipline: it is an eviction hint, and
+    /// hint races are benign — so the ways=1 hit path stays
+    /// write-free and the ways>1 hit path does one relaxed store.
+    stamp: AtomicU64,
+}
+
+/// One subregion: its slots plus the writer lock that serializes
+/// fills and invalidations (readers never take it on the seqlock
+/// path).
+struct Shard {
+    write_lock: Mutex<()>,
+    slots: Vec<SeqSlot>,
+}
+
+/// The slot array. Lives behind a [`Snapshot`] so lookups reach it
+/// without a table-wide reader-writer lock; `resize` publishes a
+/// fresh table.
 struct Table {
-    shards: Vec<Mutex<Vec<Option<Slot>>>>,
+    shards: Vec<Shard>,
     subregion_slots: usize,
     ways: usize,
+    lock_free: bool,
+    /// Independently keyed fingerprint hashers (seeded per table).
+    fp_a: RandomState,
+    fp_b: RandomState,
 }
 
 impl Table {
@@ -102,10 +177,16 @@ impl Table {
             .div_ceil(subregion_slots);
         Table {
             shards: (0..subregions)
-                .map(|_| Mutex::new(vec![None; subregion_slots]))
+                .map(|_| Shard {
+                    write_lock: Mutex::new(()),
+                    slots: (0..subregion_slots).map(|_| SeqSlot::default()).collect(),
+                })
                 .collect(),
             subregion_slots,
             ways,
+            lock_free: cfg.lock_free,
+            fp_a: RandomState::new(),
+            fp_b: RandomState::new(),
         }
     }
 
@@ -121,14 +202,61 @@ impl Table {
         let set = (DecisionCache::hash64(&key.subject) as usize) % sets.max(1);
         (sub, set * self.ways)
     }
+
+    /// The 128-bit keyed fingerprint stored in (and compared against)
+    /// slots in place of the heap-backed tuple.
+    fn fingerprint(&self, key: &CacheKey) -> (u64, u64) {
+        (self.fp_a.hash_one(key), self.fp_b.hash_one(key))
+    }
+}
+
+/// Number of cache-line-padded stripes per statistics counter.
+const STAT_STRIPES: usize = 16;
+
+/// One cache line's worth of counter, so adjacent stripes never share
+/// a line (the satellite fix: an unpadded hit counter ping-pongs one
+/// line across every core at 64 threads).
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A statistics counter striped across padded cache lines; threads
+/// are assigned stripes round-robin, so concurrent bumps (mostly)
+/// land on distinct lines and `sum` folds them on demand.
+#[derive(Default)]
+struct StripedCounter {
+    stripes: [PaddedU64; STAT_STRIPES],
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STAT_STRIPES;
+}
+
+impl StripedCounter {
+    fn add(&self, n: u64) {
+        let i = STRIPE.with(|s| *s);
+        self.stripes[i].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 /// The decision cache: a direct-mapped table partitioned into
-/// per-subregion shards, safe to share across threads.
+/// per-subregion shards with seqlock slots, safe to share across
+/// threads; the hit path takes no locks (see module docs).
 pub struct DecisionCache {
-    table: RwLock<Table>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    table: Snapshot<Table>,
+    hits: StripedCounter,
+    misses: StripedCounter,
+    read_retries: StripedCounter,
+    read_fallbacks: StripedCounter,
     invalidations: AtomicU64,
     collisions: AtomicU64,
     /// Monotonic touch stamp for within-set LRU (associative mode).
@@ -139,9 +267,11 @@ impl DecisionCache {
     /// Build with the given configuration.
     pub fn new(cfg: DecisionCacheConfig) -> Self {
         DecisionCache {
-            table: RwLock::new(Table::new(cfg)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            table: Snapshot::new(Table::new(cfg)),
+            hits: StripedCounter::default(),
+            misses: StripedCounter::default(),
+            read_retries: StripedCounter::default(),
+            read_fallbacks: StripedCounter::default(),
             invalidations: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
             clock: AtomicU64::new(0),
@@ -154,24 +284,130 @@ impl DecisionCache {
         h.finish()
     }
 
-    /// Look up a cached decision.
-    pub fn lookup(&self, key: &CacheKey) -> Option<bool> {
-        let table = self.table.read();
-        let (sub, base) = table.position_of(key);
-        let mut shard = table.shards[sub].lock();
-        for slot in shard[base..base + table.ways].iter_mut().flatten() {
-            if &slot.key == key {
-                // Stamps only matter for within-set eviction; keep the
-                // direct-mapped hot path free of the shared counter.
-                if table.ways > 1 {
-                    slot.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-                }
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(slot.allow);
+    /// One optimistic probe of a slot: `None` means a writer was
+    /// mid-flight (odd or changed sequence) and the caller should
+    /// retry. This is the crossbeam seqlock recipe — acquire the
+    /// sequence, relaxed payload loads, an acquire fence, then
+    /// re-check the sequence — with an all-atomic payload, so a lost
+    /// race is detected rather than undefined.
+    fn read_way(slot: &SeqSlot) -> Option<(u64, u64, u64)> {
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return None;
+        }
+        let lo = slot.fp_lo.load(Ordering::Relaxed);
+        let hi = slot.fp_hi.load(Ordering::Relaxed);
+        let meta = slot.meta.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        let s2 = slot.seq.load(Ordering::Relaxed);
+        (s1 == s2).then_some((lo, hi, meta))
+    }
+
+    /// Rewrite a slot's payload under the seqlock write protocol.
+    /// Caller must hold the shard's writer lock.
+    fn write_way(slot: &SeqSlot, fp: Option<(u64, u64)>, allow: bool, stamp: u64) {
+        let s = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        match fp {
+            Some((lo, hi)) => {
+                slot.fp_lo.store(lo, Ordering::Relaxed);
+                slot.fp_hi.store(hi, Ordering::Relaxed);
+                slot.meta
+                    .store(OCCUPIED | if allow { ALLOW } else { 0 }, Ordering::Relaxed);
+                slot.stamp.store(stamp, Ordering::Relaxed);
+            }
+            None => {
+                slot.meta.store(0, Ordering::Relaxed);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        slot.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Probe a set while holding the shard writer lock (the mutexed
+    /// baseline, and the bounded-retry fallback). Slots with an odd
+    /// sequence are treated as empty — under the lock no legitimate
+    /// writer can be mid-flight, so an odd sequence means torn state
+    /// that must not be trusted.
+    fn probe_locked(
+        &self,
+        t: &Table,
+        shard: &Shard,
+        base: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Option<bool> {
+        for slot in &shard.slots[base..base + t.ways] {
+            if slot.seq.load(Ordering::Relaxed) & 1 != 0 {
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            if meta & OCCUPIED != 0
+                && slot.fp_lo.load(Ordering::Relaxed) == lo
+                && slot.fp_hi.load(Ordering::Relaxed) == hi
+            {
+                if t.ways > 1 {
+                    slot.stamp.store(
+                        self.clock.fetch_add(1, Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
+                }
+                return Some(meta & ALLOW != 0);
+            }
+        }
         None
+    }
+
+    /// Look up a cached decision. On the seqlock path this takes no
+    /// locks: a hit is a handful of atomic loads; a probe raced by a
+    /// writer retries (bounded) and then falls back to the locked
+    /// path. Every call counts exactly one hit or one miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<bool> {
+        self.table.read(|t, _| {
+            let (sub, base) = t.position_of(key);
+            let (lo, hi) = t.fingerprint(key);
+            let shard = &t.shards[sub];
+            if t.lock_free {
+                'attempt: for _ in 0..MAX_READ_RETRIES {
+                    for slot in &shard.slots[base..base + t.ways] {
+                        match Self::read_way(slot) {
+                            Some((slo, shi, meta)) => {
+                                if meta & OCCUPIED != 0 && slo == lo && shi == hi {
+                                    if t.ways > 1 {
+                                        slot.stamp.store(
+                                            self.clock.fetch_add(1, Ordering::Relaxed),
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                    self.hits.add(1);
+                                    return Some(meta & ALLOW != 0);
+                                }
+                            }
+                            // Writer mid-flight: a torn or in-progress
+                            // slot is never acted on — retry the set.
+                            None => {
+                                self.read_retries.add(1);
+                                continue 'attempt;
+                            }
+                        }
+                    }
+                    self.misses.add(1);
+                    return None;
+                }
+                self.read_fallbacks.add(1);
+            }
+            let _g = shard.write_lock.lock();
+            match self.probe_locked(t, shard, base, lo, hi) {
+                Some(allow) => {
+                    self.hits.add(1);
+                    Some(allow)
+                }
+                None => {
+                    self.misses.add(1);
+                    None
+                }
+            }
+        })
     }
 
     /// Insert a (cacheable) decision.
@@ -180,110 +416,143 @@ impl DecisionCache {
     }
 
     /// Insert a decision only if `valid` still holds *inside* the
-    /// shard lock. This closes the lost-invalidation race: an
-    /// invalidation (e.g. `setgoal`) that bumped its epoch before the
-    /// insert either already cleared the shard (then `valid` observes
-    /// the bump and the insert is skipped) or is still waiting on the
-    /// shard lock (then it clears this entry right after). Returns
-    /// whether the entry was stored.
+    /// subregion writer lock. This closes the lost-invalidation race:
+    /// an invalidation (e.g. `setgoal`) that bumped its epoch before
+    /// the insert either already cleared the shard (then `valid`
+    /// observes the bump — the lock acquisition orders it — and the
+    /// insert is skipped) or is still waiting on the writer lock
+    /// (then it clears this entry right after). Returns whether the
+    /// entry was stored.
     pub fn insert_if(&self, key: CacheKey, allow: bool, valid: impl FnOnce() -> bool) -> bool {
-        let table = self.table.read();
-        let (sub, base) = table.position_of(&key);
-        let mut shard = table.shards[sub].lock();
-        if !valid() {
-            return false;
-        }
-        let stamp = if table.ways > 1 {
-            self.clock.fetch_add(1, Ordering::Relaxed)
-        } else {
-            0
-        };
-        let set = &mut shard[base..base + table.ways];
-        // Same key or an empty way: no displacement.
-        let victim = match set
-            .iter()
-            .position(|s| matches!(s, Some(slot) if slot.key == key))
-            .or_else(|| set.iter().position(|s| s.is_none()))
-        {
-            Some(i) => i,
-            None => {
-                // Full set: displace the least-recently-touched way.
-                self.collisions.fetch_add(1, Ordering::Relaxed);
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.as_ref().map(|slot| slot.stamp).unwrap_or(0))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+        self.table.read(|t, _| {
+            let (sub, base) = t.position_of(&key);
+            let (lo, hi) = t.fingerprint(&key);
+            let shard = &t.shards[sub];
+            let _g = shard.write_lock.lock();
+            if !valid() {
+                return false;
             }
-        };
-        set[victim] = Some(Slot { key, allow, stamp });
-        true
+            let stamp = if t.ways > 1 {
+                self.clock.fetch_add(1, Ordering::Relaxed)
+            } else {
+                0
+            };
+            let set = &shard.slots[base..base + t.ways];
+            let matches = |s: &SeqSlot| {
+                s.meta.load(Ordering::Relaxed) & OCCUPIED != 0
+                    && s.fp_lo.load(Ordering::Relaxed) == lo
+                    && s.fp_hi.load(Ordering::Relaxed) == hi
+            };
+            // Same key or an empty way: no displacement.
+            let victim = match set.iter().position(matches).or_else(|| {
+                set.iter()
+                    .position(|s| s.meta.load(Ordering::Relaxed) & OCCUPIED == 0)
+            }) {
+                Some(i) => i,
+                None => {
+                    // Full set: displace the least-recently-touched way.
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                    set.iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.stamp.load(Ordering::Relaxed))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                }
+            };
+            Self::write_way(&set[victim], Some((lo, hi)), allow, stamp);
+            true
+        })
     }
 
     /// Invalidate the single entry for `key` — a proof update (§2.8:
     /// "On a proof update, the kernel clears a single entry").
     pub fn invalidate_entry(&self, key: &CacheKey) {
-        let table = self.table.read();
-        let (sub, base) = table.position_of(key);
-        let mut shard = table.shards[sub].lock();
-        for s in shard[base..base + table.ways].iter_mut() {
-            if matches!(s, Some(slot) if &slot.key == key) {
-                *s = None;
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.table.read(|t, _| {
+            let (sub, base) = t.position_of(key);
+            let (lo, hi) = t.fingerprint(key);
+            let shard = &t.shards[sub];
+            let _g = shard.write_lock.lock();
+            for slot in &shard.slots[base..base + t.ways] {
+                if slot.meta.load(Ordering::Relaxed) & OCCUPIED != 0
+                    && slot.fp_lo.load(Ordering::Relaxed) == lo
+                    && slot.fp_hi.load(Ordering::Relaxed) == hi
+                {
+                    Self::write_way(slot, None, false, 0);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
             }
-        }
+        })
     }
 
     /// Invalidate the whole subregion for (operation, object) — a
     /// `setgoal` may affect many subjects, but they all hash into one
-    /// subregion, so the invalidation takes exactly one shard lock.
+    /// subregion, so the invalidation takes exactly one writer lock.
     pub fn invalidate_subregion(&self, operation: &OpName, object: &ResourceId) {
-        let table = self.table.read();
-        let sub = table.subregion_of(operation, object);
-        let mut shard = table.shards[sub].lock();
-        for slot in shard.iter_mut() {
-            if slot.is_some() {
-                *slot = None;
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.table.read(|t, _| {
+            let sub = t.subregion_of(operation, object);
+            let shard = &t.shards[sub];
+            let _g = shard.write_lock.lock();
+            for slot in &shard.slots {
+                if slot.meta.load(Ordering::Relaxed) & OCCUPIED != 0 {
+                    Self::write_way(slot, None, false, 0);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
             }
-        }
+        })
     }
 
-    /// Drop everything (the cache is soft state).
+    /// Drop everything (the cache is soft state). Each occupied slot
+    /// counts as an invalidation, so clear-based channels such as
+    /// `transfer_label` show up in the stats like subregion
+    /// invalidations do.
     pub fn clear(&self) {
-        let table = self.table.read();
-        for shard in &table.shards {
-            for slot in shard.lock().iter_mut() {
-                *slot = None;
+        self.table.read(|t, _| {
+            for shard in &t.shards {
+                let _g = shard.write_lock.lock();
+                for slot in &shard.slots {
+                    if slot.meta.load(Ordering::Relaxed) & OCCUPIED != 0 {
+                        Self::write_way(slot, None, false, 0);
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
-        }
+        })
     }
 
     /// Resize at runtime (§2.8: "the cache can be resized at
     /// runtime"). Contents are discarded — it is a cache; statistics
-    /// survive.
+    /// survive. A control operation: concurrent lookups may briefly
+    /// keep probing the (about-to-be-dropped) old table; callers that
+    /// pair a resize with invalidation invariants should fence
+    /// in-flight work afterwards, as [`resize_decision_cache`] in the
+    /// kernel does.
+    ///
+    /// [`resize_decision_cache`]: ../../nexus_kernel/struct.Nexus.html#method.resize_decision_cache
     pub fn resize(&self, cfg: DecisionCacheConfig) {
-        *self.table.write() = Table::new(cfg);
+        self.table.publish(Table::new(cfg));
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> DecisionCacheStats {
         DecisionCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.sum(),
+            misses: self.misses.sum(),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
+            read_retries: self.read_retries.sum(),
+            read_fallbacks: self.read_fallbacks.sum(),
         }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        let table = self.table.read();
-        table
-            .shards
-            .iter()
-            .map(|s| s.lock().iter().filter(|slot| slot.is_some()).count())
-            .sum()
+        self.table.read(|t, _| {
+            t.shards
+                .iter()
+                .flat_map(|s| s.slots.iter())
+                .filter(|slot| slot.meta.load(Ordering::Relaxed) & OCCUPIED != 0)
+                .count()
+        })
     }
 
     /// True if no live entries.
@@ -293,18 +562,23 @@ impl DecisionCache {
 
     /// Number of subregions (for ablation benchmarks).
     pub fn subregion_count(&self) -> usize {
-        self.table.read().shards.len()
+        self.table.read(|t, _| t.shards.len())
     }
 
     /// Subregion index of an (operation, object) pair (test support:
     /// lets tests detect accidental subregion sharing).
     pub fn subregion_of(&self, operation: &OpName, object: &ResourceId) -> usize {
-        self.table.read().subregion_of(operation, object)
+        self.table.read(|t, _| t.subregion_of(operation, object))
     }
 
     /// Current set associativity (after clamping).
     pub fn ways(&self) -> usize {
-        self.table.read().ways
+        self.table.read(|t, _| t.ways)
+    }
+
+    /// Whether lookups use the seqlock (lock-free) read path.
+    pub fn lock_free(&self) -> bool {
+        self.table.read(|t, _| t.lock_free)
     }
 }
 
@@ -327,27 +601,40 @@ mod tests {
         }
     }
 
+    /// Both read paths, for tests that must hold on either.
+    fn both_paths() -> [DecisionCache; 2] {
+        [
+            DecisionCache::new(DecisionCacheConfig::default()),
+            DecisionCache::new(DecisionCacheConfig {
+                lock_free: false,
+                ..Default::default()
+            }),
+        ]
+    }
+
     #[test]
     fn insert_lookup_roundtrip() {
-        let c = DecisionCache::default();
-        let k = key("alice", "read", "file:/x");
-        assert_eq!(c.lookup(&k), None);
-        c.insert(k.clone(), true);
-        assert_eq!(c.lookup(&k), Some(true));
-        assert_eq!(c.stats().hits, 1);
-        assert_eq!(c.stats().misses, 1);
+        for c in both_paths() {
+            let k = key("alice", "read", "file:/x");
+            assert_eq!(c.lookup(&k), None);
+            c.insert(k.clone(), true);
+            assert_eq!(c.lookup(&k), Some(true));
+            assert_eq!(c.stats().hits, 1);
+            assert_eq!(c.stats().misses, 1);
+        }
     }
 
     #[test]
     fn entry_invalidation_clears_one() {
-        let c = DecisionCache::default();
-        let k1 = key("alice", "read", "file:/x");
-        let k2 = key("bob", "read", "file:/x");
-        c.insert(k1.clone(), true);
-        c.insert(k2.clone(), false);
-        c.invalidate_entry(&k1);
-        assert_eq!(c.lookup(&k1), None);
-        assert_eq!(c.lookup(&k2), Some(false));
+        for c in both_paths() {
+            let k1 = key("alice", "read", "file:/x");
+            let k2 = key("bob", "read", "file:/x");
+            c.insert(k1.clone(), true);
+            c.insert(k2.clone(), false);
+            c.invalidate_entry(&k1);
+            assert_eq!(c.lookup(&k1), None);
+            assert_eq!(c.lookup(&k2), Some(false));
+        }
     }
 
     #[test]
@@ -384,6 +671,7 @@ mod tests {
             total_slots: 4,
             subregion_slots: 2,
             ways: 1,
+            lock_free: true,
         });
         // With 2 subregions × 2 slots, collisions are guaranteed.
         for i in 0..32 {
@@ -404,9 +692,24 @@ mod tests {
             total_slots: 64,
             subregion_slots: 8,
             ways: 1,
+            lock_free: true,
         });
         assert_eq!(c.stats().hits, hits);
         assert_eq!(c.lookup(&k), None);
+    }
+
+    #[test]
+    fn resize_can_flip_read_paths() {
+        let c = DecisionCache::default();
+        assert!(c.lock_free());
+        c.resize(DecisionCacheConfig {
+            lock_free: false,
+            ..Default::default()
+        });
+        assert!(!c.lock_free());
+        let k = key("a", "op", "o");
+        c.insert(k.clone(), false);
+        assert_eq!(c.lookup(&k), Some(false));
     }
 
     #[test]
@@ -418,26 +721,22 @@ mod tests {
             total_slots: 2,
             subregion_slots: 2,
             ways: 1,
+            lock_free: true,
         });
         let assoc = DecisionCache::new(DecisionCacheConfig {
             total_slots: 2,
             subregion_slots: 2,
             ways: 2,
+            lock_free: true,
         });
         // Find two subjects that land in the same way-1 slot of the
         // same subregion (guaranteed to exist quickly: 1 subregion
         // here, 2 slots).
         let base = key("s0", "read", "file:/x");
-        let (sub0, slot0) = {
-            let t = direct.table.read();
-            t.position_of(&base)
-        };
+        let (sub0, slot0) = direct.table.read(|t, _| t.position_of(&base));
         let rival = (1..64)
             .map(|i| key(&format!("s{i}"), "read", "file:/x"))
-            .find(|k| {
-                let t = direct.table.read();
-                t.position_of(k) == (sub0, slot0)
-            })
+            .find(|k| direct.table.read(|t, _| t.position_of(k)) == (sub0, slot0))
             .expect("a colliding subject exists among 63 candidates");
 
         for c in [&direct, &assoc] {
@@ -463,6 +762,7 @@ mod tests {
             total_slots: 2,
             subregion_slots: 2,
             ways: 2,
+            lock_free: true,
         });
         let keys: Vec<CacheKey> = (0..3).map(|i| key(&format!("s{i}"), "r", "o")).collect();
         c.insert(keys[0].clone(), true);
@@ -485,6 +785,7 @@ mod tests {
             total_slots: 8,
             subregion_slots: 4,
             ways: 64,
+            lock_free: true,
         });
         assert_eq!(c.ways(), 4);
         let k = key("a", "r", "o");
@@ -511,28 +812,30 @@ mod tests {
 
     #[test]
     fn shared_across_threads() {
-        let c = Arc::new(DecisionCache::default());
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..200 {
-                    let k = key(&format!("user{t}"), "read", &format!("file:/t{t}/f{i}"));
-                    c.insert(k.clone(), true);
-                    // Another thread's insert may displace this slot
-                    // (direct-mapped table, hash collisions are legal)
-                    // — but a lookup must never return a *wrong*
-                    // decision, only a hit-with-our-value or a miss.
-                    assert_ne!(c.lookup(&k), Some(false));
-                }
-            }));
+        for c in both_paths() {
+            let c = Arc::new(c);
+            let mut handles = Vec::new();
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let k = key(&format!("user{t}"), "read", &format!("file:/t{t}/f{i}"));
+                        c.insert(k.clone(), true);
+                        // Another thread's insert may displace this slot
+                        // (direct-mapped table, hash collisions are legal)
+                        // — but a lookup must never return a *wrong*
+                        // decision, only a hit-with-our-value or a miss.
+                        assert_ne!(c.lookup(&k), Some(false));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Every loop iteration did exactly one lookup.
+            let s = c.stats();
+            assert_eq!(s.hits + s.misses, 8 * 200);
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        // Every loop iteration did exactly one lookup.
-        let s = c.stats();
-        assert_eq!(s.hits + s.misses, 8 * 200);
     }
 
     #[test]
@@ -574,5 +877,139 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ---- seqlock sabotage tests (ISSUE 6): force the race windows ----
+
+    #[test]
+    fn seqlock_writer_mid_read_degrades_to_miss_never_torn() {
+        // Sabotage: freeze a slot in the "writer mid-flight" state
+        // (odd sequence) with a *scrambled* payload. A reader must
+        // report a miss — never act on the torn verdict — and the
+        // bounded retries must fall back to the locked path.
+        let c = DecisionCache::default();
+        let k = key("alice", "read", "file:/x");
+        c.insert(k.clone(), true);
+        assert_eq!(c.lookup(&k), Some(true));
+        let before = c.stats();
+
+        c.table.read(|t, _| {
+            let (sub, base) = t.position_of(&k);
+            let slot = &t.shards[sub].slots[base];
+            let s = slot.seq.load(Ordering::Relaxed);
+            // Begin a write that never completes: odd sequence, then
+            // scramble the verdict bit mid-payload.
+            slot.seq.store(s + 1, Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            slot.meta.store(meta ^ ALLOW, Ordering::Relaxed);
+
+            // The nested lookup re-enters the table snapshot (slow
+            // path) — the seqlock probe sees the odd sequence, retries
+            // out, and the locked fallback refuses the in-progress
+            // slot: a miss, not a torn (flipped) verdict.
+            assert_eq!(c.lookup(&k), None);
+
+            // Finish the interrupted write, restoring the true verdict.
+            slot.meta.store(meta, Ordering::Relaxed);
+            slot.seq.store(s + 2, Ordering::Release);
+        });
+
+        let after = c.stats();
+        assert!(
+            after.read_retries > before.read_retries,
+            "probe must have observed the in-flight writer: {after:?}"
+        );
+        assert!(
+            after.read_fallbacks > before.read_fallbacks,
+            "bounded retries must have fallen back to the locked path: {after:?}"
+        );
+        assert_eq!(after.misses, before.misses + 1);
+        // Once the writer completes, the entry is visible again.
+        assert_eq!(c.lookup(&k), Some(true));
+    }
+
+    #[test]
+    fn seqlock_validity_revoked_between_read_and_fill_discards_verdict() {
+        // The insert_if discipline: a verdict computed before an epoch
+        // bump must be discarded when the validity predicate — checked
+        // inside the subregion writer lock — no longer holds.
+        let c = DecisionCache::default();
+        let k = key("alice", "read", "file:/x");
+        assert!(!c.insert_if(k.clone(), true, || false), "stale fill stored");
+        assert_eq!(c.lookup(&k), None, "discarded verdict must not hit");
+        assert!(c.insert_if(k.clone(), true, || true));
+        assert_eq!(c.lookup(&k), Some(true));
+    }
+
+    #[test]
+    fn seqlock_concurrent_flips_never_yield_wrong_verdict() {
+        // Writers continuously rewrite two key classes with *opposite*
+        // verdicts while readers hammer lookups: any torn fingerprint
+        // or payload crossing classes would surface as a wrong verdict.
+        let c = Arc::new(DecisionCache::new(DecisionCacheConfig {
+            // Tiny table so keys genuinely collide and displace.
+            total_slots: 8,
+            subregion_slots: 4,
+            ways: 1,
+            lock_free: true,
+        }));
+        let keys: Vec<(CacheKey, bool)> = (0..16)
+            .map(|i| (key(&format!("u{i}"), "read", "file:/hot"), i % 2 == 0))
+            .collect();
+        let mut handles = Vec::new();
+        for w in 0..2 {
+            let c = Arc::clone(&c);
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..2_000 {
+                    let (k, allow) = &keys[(round + w * 7) % keys.len()];
+                    c.insert(k.clone(), *allow);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..10_000 {
+                    let (k, allow) = &keys[round % keys.len()];
+                    if let Some(got) = c.lookup(k) {
+                        assert_eq!(
+                            got, *allow,
+                            "seqlock served a wrong verdict for {k:?} — torn read acted on"
+                        );
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn seqlock_stats_reconcile_under_contention() {
+        // Striped counters must lose nothing: lookups from many
+        // threads each count exactly one hit or miss, with retries and
+        // fallbacks tracked separately.
+        let c = Arc::new(DecisionCache::default());
+        let k = key("hot", "read", "file:/shared");
+        c.insert(k.clone(), true);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            let k = k.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    assert_eq!(c.lookup(&k), Some(true));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 8 * 1_000);
+        assert_eq!(s.misses, 0);
     }
 }

@@ -12,8 +12,8 @@
 //! resource manager that created it.
 
 use crate::resource::{OpName, ResourceId};
+use crate::snapshot::Snapshot;
 use nexus_nal::{Formula, Principal};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -33,11 +33,16 @@ pub struct GoalEntry {
 
 /// The kernel's table of goal formulas. Internally synchronized:
 /// `setgoal` is a control operation, goal lookup is on every
-/// authorization, so the table sits behind a reader-writer lock and
-/// all operations take `&self`.
+/// authorization, so the table sits behind an epoch-stamped
+/// [`Snapshot`] — readers never block behind a `setgoal` in progress;
+/// they observe the last published table and the version it carried.
+/// Writers bump the public epoch *first* (inside the snapshot's writer
+/// lock), then mutate and publish, so the kernel's
+/// validate-after-read check (epoch compare + [`GoalStore::version`]
+/// compare) catches both a completed and an in-flight goal change.
 #[derive(Debug, Default)]
 pub struct GoalStore {
-    goals: RwLock<HashMap<(ResourceId, OpName), GoalEntry>>,
+    goals: Snapshot<HashMap<(ResourceId, OpName), GoalEntry>>,
     epoch: AtomicU64,
 }
 
@@ -55,37 +60,40 @@ impl GoalStore {
         formula: Formula,
         guard_port: Option<u64>,
     ) -> u64 {
-        // Take the write lock first so the epoch order matches the
-        // table order observed by readers.
-        let mut goals = self.goals.write();
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        goals.insert(
-            (resource, op),
-            GoalEntry {
-                formula,
-                guard_port,
-                epoch,
-            },
-        );
-        epoch
+        self.goals.update(|goals| {
+            // Bump the epoch first, inside the snapshot's writer lock:
+            // a reader that captured the old epoch and then observes
+            // the new table fails its epoch compare; one that captured
+            // the new epoch but still read the old (unpublished) table
+            // fails the version compare.
+            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            goals.insert(
+                (resource, op),
+                GoalEntry {
+                    formula,
+                    guard_port,
+                    epoch,
+                },
+            );
+            epoch
+        })
     }
 
     /// Remove a goal (`goal clr` in Figure 6). Returns the new epoch,
     /// or `None` if there was nothing to clear.
     pub fn clear_goal(&self, resource: &ResourceId, op: &OpName) -> Option<u64> {
-        let mut goals = self.goals.write();
-        goals
-            .remove(&(resource.clone(), op.clone()))
-            .map(|_| self.epoch.fetch_add(1, Ordering::Relaxed) + 1)
+        self.goals.update(|goals| {
+            goals
+                .remove(&(resource.clone(), op.clone()))
+                .map(|_| self.epoch.fetch_add(1, Ordering::Relaxed) + 1)
+        })
     }
 
     /// Look up the goal for an (operation, resource) pair (cloned out
     /// of the store, so no lock is held while the guard runs).
     pub fn get(&self, resource: &ResourceId, op: &OpName) -> Option<GoalEntry> {
         self.goals
-            .read()
-            .get(&(resource.clone(), op.clone()))
-            .cloned()
+            .read(|goals, _| goals.get(&(resource.clone(), op.clone())).cloned())
     }
 
     /// The effective goal: the stored formula, or the default policy
@@ -103,11 +111,13 @@ impl GoalStore {
     }
 
     /// Apply `f` to the effective goal *without cloning it out* of
-    /// the store: the read lock is held for the duration of `f`, so
-    /// keep it cheap and lock-free (the pipeline's external-authority
-    /// classification walks the formula here once per submission —
-    /// cloning a wide goal per request would re-introduce exactly the
-    /// per-request cost batching amortizes away).
+    /// the store — and without taking any lock: `f` borrows the
+    /// formula straight out of the current snapshot (the pipeline's
+    /// external-authority classification walks the formula here once
+    /// per submission — cloning a wide goal per request would
+    /// re-introduce exactly the per-request cost batching amortizes
+    /// away, and blocking behind a writer would re-introduce the
+    /// submission-path stall this PR removes).
     pub fn inspect_effective<R>(
         &self,
         resource_manager: &Principal,
@@ -115,11 +125,12 @@ impl GoalStore {
         op: &OpName,
         f: impl FnOnce(&Formula) -> R,
     ) -> R {
-        let goals = self.goals.read();
-        match goals.get(&(resource.clone(), op.clone())) {
-            Some(entry) => f(&entry.formula),
-            None => f(&Self::default_goal(resource_manager, resource, op)),
-        }
+        self.goals.read(
+            |goals, _| match goals.get(&(resource.clone(), op.clone())) {
+                Some(entry) => f(&entry.formula),
+                None => f(&Self::default_goal(resource_manager, resource, op)),
+            },
+        )
     }
 
     /// The bootstrap default policy (§2.6).
@@ -134,17 +145,27 @@ impl GoalStore {
 
     /// Number of goals set.
     pub fn len(&self) -> usize {
-        self.goals.read().len()
+        self.goals.read(|goals, _| goals.len())
     }
 
     /// True if no goals set.
     pub fn is_empty(&self) -> bool {
-        self.goals.read().is_empty()
+        self.len() == 0
     }
 
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot publication version (monotone; moves on every
+    /// `set_goal`/`clear_goal` publish). The kernel's read-stamp
+    /// validation compares this *in addition to* [`GoalStore::epoch`]:
+    /// the epoch catches changes that completed, the version catches a
+    /// writer that had bumped the epoch but not yet published when the
+    /// reader sampled the table.
+    pub fn version(&self) -> u64 {
+        self.goals.version()
     }
 }
 
@@ -211,6 +232,41 @@ mod tests {
             gs.get(&r, &OpName::from("sign")).unwrap().formula,
             gs.get(&r, &OpName::from("externalize")).unwrap().formula
         );
+    }
+
+    #[test]
+    fn seqlock_goal_epoch_bumps_before_publication_is_visible() {
+        // The writer protocol: any reader that observes the new table
+        // must also observe the new epoch (epoch bumped first, inside
+        // the writer lock). Readers hammer (epoch, get, version)
+        // triples while a writer churns goals; an entry's recorded
+        // epoch must never exceed the store epoch sampled *after* it.
+        let gs = std::sync::Arc::new(GoalStore::new());
+        let r = ResourceId::file("/hot");
+        let op = OpName::from("read");
+        let writer = {
+            let gs = std::sync::Arc::clone(&gs);
+            let (r, op) = (r.clone(), op.clone());
+            std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    gs.set_goal(r.clone(), op.clone(), Formula::False, None);
+                }
+            })
+        };
+        let mut last_version = 0;
+        for _ in 0..10_000 {
+            if let Some(entry) = gs.get(&r, &op) {
+                let epoch_after = gs.epoch();
+                assert!(
+                    entry.epoch <= epoch_after,
+                    "published entry carries an epoch the store has not reached"
+                );
+            }
+            let v = gs.version();
+            assert!(v >= last_version, "snapshot version went backwards");
+            last_version = v;
+        }
+        writer.join().unwrap();
     }
 
     #[test]

@@ -13,8 +13,11 @@ use crate::credential::Certificate;
 use crate::error::CoreError;
 use crate::signer::KernelSigner;
 use nexus_nal::{parse, Formula, Principal};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Handle to a label within a labelstore (returned by `say`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -44,9 +47,19 @@ pub struct LabelStore {
     next: u64,
     /// Cached label shape (see [`LabelStore::shape`]): a commutative
     /// (wrapping-sum) combination of per-label hashes, updated in
-    /// O(1) on every mutation so submission-time reads are one field
-    /// load and `say` stays O(1) in store size.
-    shape: u64,
+    /// O(1) on every mutation so submission-time reads are one atomic
+    /// load and `say` stays O(1) in store size. Behind an `Arc` so
+    /// the kernel's hot-path index ([`LabelStore::shape_handle`]) can
+    /// read the live shape without holding whatever lock owns the
+    /// store itself.
+    shape: Arc<AtomicU64>,
+    /// Memoized credential-set snapshot for [`LabelStore::formulas_snapshot`]:
+    /// rebuilt lazily after a mutation, shared by `Arc` so the
+    /// evaluation path clones a pointer, not the formula vector.
+    formulas_cache: Mutex<Option<Arc<Vec<Formula>>>>,
+    /// Bumped on every label mutation; returned alongside the
+    /// snapshot so consumers can validate after reading.
+    formulas_version: AtomicU64,
 }
 
 /// The per-label contribution to a store's shape: a hash of the
@@ -110,9 +123,16 @@ impl LabelStore {
     pub fn insert(&mut self, label: Label) -> LabelHandle {
         let h = self.next;
         self.next += 1;
-        self.shape = self.shape.wrapping_add(shape_of(&label));
+        self.shape.fetch_add(shape_of(&label), Ordering::Relaxed);
         self.labels.insert(h, label);
+        self.invalidate_formulas();
         LabelHandle(h)
+    }
+
+    /// Drop the memoized credential-set snapshot after a mutation.
+    fn invalidate_formulas(&mut self) {
+        self.formulas_version.fetch_add(1, Ordering::Release);
+        *self.formulas_cache.lock() = None;
     }
 
     /// Read a label.
@@ -126,7 +146,8 @@ impl LabelStore {
             .labels
             .remove(&h.0)
             .ok_or(CoreError::NoSuchLabel(h.0))?;
-        self.shape = self.shape.wrapping_sub(shape_of(&label));
+        self.shape.fetch_sub(shape_of(&label), Ordering::Relaxed);
+        self.invalidate_formulas();
         Ok(label)
     }
 
@@ -169,10 +190,30 @@ impl LabelStore {
     /// All label formulas in the store — what gets handed to the guard
     /// as the credential set.
     pub fn formulas(&self) -> Vec<Formula> {
-        let mut v: Vec<(u64, Formula)> =
-            self.labels.iter().map(|(h, l)| (*h, l.formula())).collect();
-        v.sort_by_key(|(h, _)| *h);
-        v.into_iter().map(|(_, f)| f).collect()
+        (*self.formulas_snapshot().0).clone()
+    }
+
+    /// The credential set as a shared, memoized snapshot plus the
+    /// label-mutation version it corresponds to. The first call after
+    /// a mutation rebuilds (and sorts) the vector; subsequent calls
+    /// clone an `Arc`. The evaluation path prepares every request
+    /// through this, so a wide credential set is cloned per *mutation*
+    /// rather than per request.
+    pub fn formulas_snapshot(&self) -> (Arc<Vec<Formula>>, u64) {
+        let version = self.formulas_version.load(Ordering::Acquire);
+        let mut cache = self.formulas_cache.lock();
+        let arc = match &*cache {
+            Some(arc) => Arc::clone(arc),
+            None => {
+                let mut v: Vec<(u64, Formula)> =
+                    self.labels.iter().map(|(h, l)| (*h, l.formula())).collect();
+                v.sort_by_key(|(h, _)| *h);
+                let arc = Arc::new(v.into_iter().map(|(_, f)| f).collect::<Vec<_>>());
+                *cache = Some(Arc::clone(&arc));
+                arc
+            }
+        };
+        (arc, version)
     }
 
     /// The store's *label shape*: an order-insensitive fingerprint of
@@ -181,7 +222,16 @@ impl LabelStore {
     /// it so batches maximize prover frontier sharing. A hint only —
     /// collisions affect batching, never verdicts.
     pub fn shape(&self) -> u64 {
-        self.shape
+        self.shape.load(Ordering::Relaxed)
+    }
+
+    /// A shared handle onto the live shape word, for the kernel's
+    /// submission-path index: the shape can then be read with one
+    /// atomic load, without acquiring the lock that owns the store
+    /// (the ISSUE-6 satellite bugfix — `LabelStore::shape()` used to
+    /// be reached through `ipds.read()` on every submission).
+    pub fn shape_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.shape)
     }
 
     /// Number of labels.
@@ -290,6 +340,38 @@ mod tests {
         c.say(&p("A"), "not x").unwrap();
         d.say(&p("A"), "x -> false").unwrap();
         assert_eq!(c.shape(), d.shape());
+    }
+
+    #[test]
+    fn seqlock_shape_handle_tracks_mutations_without_the_store() {
+        let mut store = LabelStore::new();
+        let handle = store.shape_handle();
+        assert_eq!(handle.load(Ordering::Relaxed), 0);
+        let h = store.say(&p("A"), "x").unwrap();
+        assert_eq!(handle.load(Ordering::Relaxed), store.shape());
+        assert_ne!(handle.load(Ordering::Relaxed), 0);
+        store.delete(h).unwrap();
+        assert_eq!(handle.load(Ordering::Relaxed), 0, "delete cancels insert");
+    }
+
+    #[test]
+    fn seqlock_formulas_snapshot_memoizes_and_invalidates() {
+        let mut store = LabelStore::new();
+        store.say(&p("A"), "one").unwrap();
+        let (s1, v1) = store.formulas_snapshot();
+        let (s2, v2) = store.formulas_snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "unchanged store must share the Arc");
+        assert_eq!(v1, v2);
+        store.say(&p("A"), "two").unwrap();
+        let (s3, v3) = store.formulas_snapshot();
+        assert!(v3 > v2, "mutation must move the version");
+        assert_eq!(s3.len(), 2);
+        assert_eq!(
+            *s1,
+            vec![parse("A says one").unwrap()],
+            "old snapshot intact"
+        );
+        assert_eq!(store.formulas(), *s3);
     }
 
     #[test]

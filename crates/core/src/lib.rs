@@ -45,6 +45,7 @@ pub mod label;
 pub mod proofstore;
 pub mod resource;
 pub mod signer;
+pub mod snapshot;
 
 pub use authority::{Authority, AuthorityKind, AuthorityRegistry, FnAuthority};
 pub use credential::Certificate;
@@ -58,3 +59,4 @@ pub use label::{Label, LabelHandle, LabelStore};
 pub use proofstore::ProofStore;
 pub use resource::{OpName, ResourceId};
 pub use signer::KernelSigner;
+pub use snapshot::Snapshot;

@@ -8,17 +8,24 @@
 
 use crate::decision_cache::CacheKey;
 use crate::resource::{OpName, ResourceId};
+use crate::snapshot::Snapshot;
 use nexus_nal::{Principal, Proof};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Proofs keyed by access-control tuple. Internally synchronized so
 /// the kernel can install and fetch proofs through `&self` from many
-/// threads.
+/// threads. The table sits behind an epoch-stamped [`Snapshot`]
+/// (values are `Arc`ed so re-publication is shallow): fetches on the
+/// authorization path never block behind a `set_proof` in progress.
+/// Writers bump the public epoch first, then mutate and publish, so
+/// the kernel's validate-after-read check (epoch compare +
+/// [`ProofStore::version`] compare) catches both completed and
+/// in-flight proof changes.
 #[derive(Debug, Default)]
 pub struct ProofStore {
-    proofs: RwLock<HashMap<CacheKey, Proof>>,
+    proofs: Snapshot<HashMap<CacheKey, Arc<Proof>>>,
     /// Bumped on every update — consumed by the kernel to detect
     /// concurrent proof changes when filling the decision cache.
     epoch: AtomicU64,
@@ -44,9 +51,11 @@ impl ProofStore {
             operation,
             object,
         };
-        let mut proofs = self.proofs.write();
-        self.epoch.fetch_add(1, Ordering::Relaxed);
-        proofs.insert(key.clone(), proof);
+        self.proofs.update(|proofs| {
+            // Epoch first, inside the writer lock (see struct docs).
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+            proofs.insert(key.clone(), Arc::new(proof));
+        });
         key
     }
 
@@ -62,10 +71,11 @@ impl ProofStore {
             operation: operation.clone(),
             object: object.clone(),
         };
-        let mut proofs = self.proofs.write();
-        proofs.remove(&key).map(|_| {
-            self.epoch.fetch_add(1, Ordering::Relaxed);
-            key
+        self.proofs.update(|proofs| {
+            proofs.remove(&key).map(|_| {
+                self.epoch.fetch_add(1, Ordering::Relaxed);
+                key.clone()
+            })
         })
     }
 
@@ -74,7 +84,16 @@ impl ProofStore {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Fetch the stored proof (cloned out of the store, so no lock is
+    /// Snapshot publication version (monotone; moves on every
+    /// publish). Compared alongside [`ProofStore::epoch`] by the
+    /// kernel's read-stamp validation: the version catches a writer
+    /// that bumped the epoch but had not yet published when the
+    /// reader sampled the table.
+    pub fn version(&self) -> u64 {
+        self.proofs.version()
+    }
+
+    /// Fetch the stored proof (cloned out of the store, so nothing is
     /// held while the guard checks it).
     pub fn get(
         &self,
@@ -87,14 +106,15 @@ impl ProofStore {
             operation: operation.clone(),
             object: object.clone(),
         };
-        self.proofs.read().get(&key).cloned()
+        self.proofs
+            .read(|proofs, _| proofs.get(&key).map(|p| (**p).clone()))
     }
 
     /// Apply `f` to the stored proof for a tuple *without cloning it
-    /// out* (the read lock is held for the duration of `f`, so keep
-    /// it cheap and lock-free). `None` when no proof is stored. Used
-    /// by the pipeline's external-authority classification, which
-    /// only needs to scan the proof's leaves.
+    /// out* — and without taking any lock: `f` borrows the proof
+    /// straight out of the current snapshot. `None` when no proof is
+    /// stored. Used by the pipeline's external-authority
+    /// classification, which only needs to scan the proof's leaves.
     pub fn inspect<R>(
         &self,
         subject: &Principal,
@@ -107,17 +127,17 @@ impl ProofStore {
             operation: operation.clone(),
             object: object.clone(),
         };
-        self.proofs.read().get(&key).map(f)
+        self.proofs.read(|proofs, _| proofs.get(&key).map(|p| f(p)))
     }
 
     /// Number of stored proofs.
     pub fn len(&self) -> usize {
-        self.proofs.read().len()
+        self.proofs.read(|proofs, _| proofs.len())
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.proofs.read().is_empty()
+        self.len() == 0
     }
 }
 
@@ -154,5 +174,37 @@ mod tests {
         assert_eq!(ps.get(&a, &op, &obj), Some(pa.clone()));
         assert_eq!(ps.get(&b, &op, &obj), Some(pb.clone()));
         assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn seqlock_proof_reads_race_installs_without_blocking_or_tearing() {
+        // Readers race a writer that keeps replacing the stored proof
+        // between two well-formed values; a read must return one of
+        // them (or None before the first install) — never a mix — and
+        // any observed install implies the epoch already moved.
+        let ps = std::sync::Arc::new(ProofStore::new());
+        let subject = Principal::name("alice");
+        let op = OpName::from("read");
+        let obj = ResourceId::file("/x");
+        let pa = Proof::assume(parse("A says p").unwrap());
+        let pb = Proof::assume(parse("B says q").unwrap());
+        let writer = {
+            let ps = std::sync::Arc::clone(&ps);
+            let (subject, op, obj) = (subject.clone(), op.clone(), obj.clone());
+            let (pa, pb) = (pa.clone(), pb.clone());
+            std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    let p = if i % 2 == 0 { pa.clone() } else { pb.clone() };
+                    ps.set_proof(subject.clone(), op.clone(), obj.clone(), p);
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            if let Some(got) = ps.get(&subject, &op, &obj) {
+                assert!(got == pa || got == pb, "torn proof read: {got:?}");
+                assert!(ps.epoch() >= 1);
+            }
+        }
+        writer.join().unwrap();
     }
 }

@@ -10,24 +10,34 @@
 //!
 //! The kernel is shared: every system-call entry point takes `&self`,
 //! so an `Arc<Nexus>` serves syscalls from many threads at once.
-//! The authorization hot path (decision cache → guard → goal store →
-//! authority registry) is internally synchronized by those components
-//! themselves (sharded/atomic state in `nexus-core`); the remaining
-//! subsystems sit behind their own locks here. Lock discipline: locks
-//! are leaf-scoped — no method holds one subsystem's lock while
-//! acquiring another's, except `transfer_label` (one table, one
-//! lock), `fs_server_hop` (holds the IPC lock across the modeled
-//! client-server round trip so concurrent hops cannot steal each
-//! other's replies), and `classify_external` (inspects the goal/proof
-//! stores in place under their *read* locks while querying the
-//! authority registry's read lock — a one-way read-only nesting; the
-//! registry never acquires store locks, so no cycle is possible).
+//! The authorization *read* path is lock-free: a decision-cache hit
+//! is a seqlock probe (atomic loads, no lock word), the goal/proof
+//! stores publish epoch-stamped snapshots readers never block on, and
+//! the submission path resolves the subject principal and label shape
+//! through the kernel's own published [`Snapshot`] index (`ipd_hot`)
+//! rather than the IPD table's lock. The remaining subsystems sit
+//! behind their own locks. Lock discipline: locks are leaf-scoped —
+//! no method holds one subsystem's lock while acquiring another's,
+//! except `transfer_label` (one table, one lock) and `fs_server_hop`
+//! (holds the IPC lock across the modeled client-server round trip so
+//! concurrent hops cannot steal each other's replies).
+//! `classify_external` inspects the goal/proof stores' published
+//! snapshots (no lock) while querying the authority registry's read
+//! lock.
 //!
-//! Decision-cache fills validate the goal/proof epochs *inside* the
-//! cache's shard lock (`DecisionCache::insert_if`), so a concurrent
-//! `setgoal`'s invalidation can never be overwritten by a stale
-//! decision — the invalidation either observes the fill and clears
-//! it, or the fill observes the epoch bump and aborts.
+//! Because readers no longer hold locks, consistency is proven *after*
+//! the fact: evaluation captures a `ReadStamp` — the (goal, proof,
+//! label-removal) epoch triple plus the goal/proof snapshot
+//! *publication versions* — before reading any store, and re-validates
+//! it before acting. The epoch half catches writers that completed;
+//! the version half catches a writer that had bumped its epoch but not
+//! yet published when the reader sampled the store (writers bump
+//! first, then publish). Decision-cache fills re-run that validation
+//! *inside* the cache's subregion writer lock
+//! (`DecisionCache::insert_if`), so a concurrent `setgoal`'s
+//! invalidation can never be overwritten by a stale decision — the
+//! invalidation either observes the fill and clears it, or the fill
+//! observes the stamp movement and aborts.
 
 use crate::error::KernelError;
 use crate::fs::{RamFs, FS_PRINCIPAL};
@@ -42,12 +52,13 @@ use nexus_authzd::{
 use nexus_core::{
     AccessRequest, Authority, AuthorityKind, AuthorityRegistry, CacheKey, Certificate,
     DecisionCache, DecisionCacheConfig, GoalStore, Guard, KernelSigner, Label, LabelHandle, OpName,
-    ProofStore, ResourceId,
+    ProofStore, ResourceId, Snapshot,
 };
 use nexus_nal::{prove, BatchGoal, Formula, Principal, Proof, ProverConfig, Term};
 use nexus_storage::{RamDisk, SsrManager, StorageError, VdirTable, VkeyTable};
 use nexus_tpm::Tpm;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -183,6 +194,13 @@ pub struct Nexus {
     /// The asynchronous authorization pipeline, once started.
     authzd: RwLock<Option<Arc<GuardPool>>>,
     ipds: RwLock<IpdTable>,
+    /// Lock-free index over the hot per-process facts the submission
+    /// path needs — principal, scheduler name, live label-shape word —
+    /// published on every spawn so `route_authz` and the pipeline's
+    /// prioritizer never take the `ipds` lock per request. Processes
+    /// are never deleted (there is no kill), so an entry present here
+    /// is authoritative; an absent one falls back to the locked table.
+    ipd_hot: Snapshot<HashMap<u64, IpdHot>>,
     goals: GoalStore,
     proofs: ProofStore,
     dcache: DecisionCache,
@@ -248,6 +266,7 @@ impl Nexus {
             sched: StrideScheduler::new(),
             authzd: RwLock::new(None),
             ipds: RwLock::new(IpdTable::new()),
+            ipd_hot: Snapshot::new(HashMap::new()),
             goals: GoalStore::new(),
             proofs: ProofStore::new(),
             dcache: DecisionCache::new(DecisionCacheConfig::default()),
@@ -349,14 +368,35 @@ impl Nexus {
     /// Spawn a top-level process. (Scheduler weights are assigned
     /// separately — tenants register via [`Nexus::sched`].)
     pub fn spawn(&self, name: &str, image: &[u8]) -> u64 {
-        self.ipds.write().spawn(name, 0, image)
+        let mut ipds = self.ipds.write();
+        let pid = ipds.spawn(name, 0, image);
+        self.publish_ipd_hot(&ipds, pid);
+        pid
     }
 
     /// Spawn a child process.
     pub fn spawn_child(&self, parent: u64, name: &str, image: &[u8]) -> Result<u64, KernelError> {
         let mut ipds = self.ipds.write();
         ipds.get(parent)?;
-        Ok(ipds.spawn(name, parent, image))
+        let pid = ipds.spawn(name, parent, image);
+        self.publish_ipd_hot(&ipds, pid);
+        Ok(pid)
+    }
+
+    /// Publish (or refresh) a pid's entry in the lock-free hot index.
+    /// Called with the `ipds` write lock held; the snapshot's writer
+    /// mutex is leaf-scoped, so the nesting is one-way.
+    fn publish_ipd_hot(&self, ipds: &IpdTable, pid: u64) {
+        if let Ok(ipd) = ipds.get(pid) {
+            let hot = IpdHot {
+                principal: ipd.principal(),
+                name: ipd.name.clone(),
+                shape: ipd.labelstore.shape_handle(),
+            };
+            self.ipd_hot.update(|m| {
+                m.insert(pid, hot.clone());
+            });
+        }
     }
 
     /// The principal a pid's statements are attributed to.
@@ -665,7 +705,26 @@ impl Nexus {
         inline_proof: Option<&Proof>,
         cfg: &NexusConfig,
     ) -> Result<AuthzRoute, KernelError> {
-        let subject = self.principal(pid)?;
+        // The hot-index read resolves the subject principal and the
+        // live label shape with zero locks — the submission path never
+        // waits behind a spawn or a `say`. A pid missing from the
+        // index (spawned through some path that bypassed `spawn`)
+        // falls back to the locked table.
+        let hot = self.ipd_hot.read(|m, _| {
+            m.get(&pid)
+                .map(|h| (h.principal.clone(), h.shape.load(Ordering::Relaxed)))
+        });
+        let (subject, label_shape) = match hot {
+            Some(pair) => pair,
+            None => (
+                self.principal(pid)?,
+                self.ipds
+                    .read()
+                    .get(pid)
+                    .map(|ipd| ipd.labelstore.shape())
+                    .unwrap_or(0),
+            ),
+        };
         if cfg.decision_cache {
             let key = CacheKey {
                 subject: subject.clone(),
@@ -679,14 +738,8 @@ impl Nexus {
         if let Some(pool) = self.authz_pool() {
             // The label shape is a coalescing hint: requests batch
             // only with same-shaped credential sets, so the batch
-            // prover's frontier sharing is maximal. One cached field
-            // load under the ipds read lock.
-            let label_shape = self
-                .ipds
-                .read()
-                .get(pid)
-                .map(|ipd| ipd.labelstore.shape())
-                .unwrap_or(0);
+            // prover's frontier sharing is maximal. One atomic load
+            // off the hot index above.
             if let Some(ticket) = pool.try_submit(AuthzRequest {
                 pid,
                 op: opn.clone(),
@@ -714,8 +767,8 @@ impl Nexus {
     /// anticipated here; auto-proving only assembles held labels, and
     /// a label-backed leaf is satisfied before the guard ever falls
     /// back to an authority query). Goal and stored proof are
-    /// *inspected in place* under their stores' read locks rather
-    /// than cloned — this runs once per submission. Misclassification
+    /// *inspected in place* against the stores' published snapshots —
+    /// no lock, no clone; this runs once per submission. Misclassification
     /// affects only which lane runs the batch, never the verdict.
     /// With no external authorities registered the whole check is one
     /// atomic load.
@@ -759,10 +812,11 @@ impl Nexus {
         inline_proof: Option<&Proof>,
         cfg: &NexusConfig,
     ) -> Result<bool, KernelError> {
-        // Epochs observed *before* evaluating: if any of these move
-        // while the guard runs, the decision may be stale and must not
-        // be cached (insert_if re-checks under the shard lock).
-        let snap = self.epoch_snapshot();
+        // The read stamp is captured *before* any store read: if any
+        // epoch or publication version moves while the guard runs, the
+        // decision may be stale and must not be cached (insert_if
+        // re-validates under the subregion writer lock).
+        let stamp = self.read_stamp();
         self.guard_upcalls.fetch_add(1, Ordering::Relaxed);
         let goal = self
             .goals
@@ -786,7 +840,7 @@ impl Nexus {
                 object: object.clone(),
             };
             self.dcache
-                .insert_if(key, decision.allow, || self.epoch_snapshot() == snap);
+                .insert_if(key, decision.allow, || self.stamp_still_valid(&stamp));
         }
         Ok(decision.allow)
     }
@@ -808,8 +862,13 @@ impl Nexus {
     ) -> Result<PreparedRequest, KernelError> {
         // The subject's credentials: its labelstore plus the request
         // itself, which arrived over the attested syscall channel and
-        // is therefore an utterance the kernel can vouch for.
-        let mut labels = self.ipds.read().get(pid)?.labelstore.formulas();
+        // is therefore an utterance the kernel can vouch for. The
+        // credential set comes from the store's memoized snapshot, so
+        // a wide set is assembled once per label mutation, not once
+        // per request.
+        let creds = self.ipds.read().get(pid)?.labelstore.formulas_snapshot().0;
+        let mut labels = Vec::with_capacity(creds.len() + 2);
+        labels.extend(creds.iter().cloned());
         labels.push(Formula::pred(&opn.0, vec![]).says(subject.clone()));
         labels.push(Formula::pred(&opn.0, vec![Term::sym(object.0.clone())]).says(subject.clone()));
         let stored = self.proofs.get(&subject, opn, object);
@@ -923,6 +982,31 @@ impl Nexus {
         )
     }
 
+    /// Everything a lock-free evaluation must capture *before* its
+    /// first store read in order to prove, afterwards, that nothing
+    /// moved underneath it.
+    fn read_stamp(&self) -> ReadStamp {
+        ReadStamp {
+            epochs: self.epoch_snapshot(),
+            goal_v: self.goals.version(),
+            proof_v: self.proofs.version(),
+        }
+    }
+
+    /// The validate-after-read check. The epoch triple catches writers
+    /// that completed since the stamp; the publication versions catch
+    /// the in-flight case — a writer that bumped its epoch *before*
+    /// the stamp was taken but had not yet published, so the stamped
+    /// epochs look current while the data read afterwards was old.
+    /// Versions are monotone and bumped strictly after their epoch, so
+    /// that writer's publication always moves a version past the
+    /// stamped value.
+    fn stamp_still_valid(&self, stamp: &ReadStamp) -> bool {
+        self.epoch_snapshot() == stamp.epochs
+            && self.goals.version() == stamp.goal_v
+            && self.proofs.version() == stamp.proof_v
+    }
+
     // ---- the asynchronous pipeline (ISSUE 2) ----
 
     /// Start the asynchronous authorization pipeline: a [`GuardPool`]
@@ -953,18 +1037,18 @@ impl Nexus {
                     return 0;
                 };
                 // Cheap early-out for the common no-tenant case; the
-                // IPD name is borrowed under the read lock rather
-                // than cloned (sched locks are leaf-scoped, so
-                // holding the ipds read lock across the weight lookup
-                // is safe).
+                // IPD name is borrowed out of the lock-free hot index
+                // (sched locks are leaf-scoped, so the weight lookup
+                // inside the snapshot read is safe) — the submission
+                // path takes no per-request lock here either.
                 if kernel.sched.is_idle() {
                     return 0;
                 }
-                let ipds = kernel.ipds.read();
-                match ipds.get(req.pid) {
-                    Ok(ipd) => kernel.sched.weight(&ipd.name).unwrap_or(0),
-                    Err(_) => 0,
-                }
+                kernel.ipd_hot.read(|m, _| {
+                    m.get(&req.pid)
+                        .and_then(|h| kernel.sched.weight(&h.name))
+                        .unwrap_or(0)
+                })
             }) as nexus_authzd::pool::Prioritizer)
         });
         let pool = Arc::new(GuardPool::new(
@@ -1025,7 +1109,7 @@ impl Nexus {
         // possibly-stale allow escape.
         const MAX_FENCE_RETRIES: usize = 32;
         for _ in 0..=MAX_FENCE_RETRIES {
-            let snap = self.epoch_snapshot();
+            let stamp = self.read_stamp();
             let goal = self
                 .goals
                 .effective_goal(&Self::manager_of(object), object, opn);
@@ -1058,9 +1142,11 @@ impl Nexus {
             self.guard_upcalls
                 .fetch_add(access.len() as u64, Ordering::Relaxed);
             let decisions = self.guard.check_batch(&access, &goal, &self.authorities);
-            if self.epoch_snapshot() != snap {
-                // A setgoal/set_proof/transfer_label raced the batch:
-                // the decisions may rest on dead state. Re-evaluate.
+            if !self.stamp_still_valid(&stamp) {
+                // A setgoal/set_proof/transfer_label raced the batch
+                // (completed, or bumped-but-unpublished when we
+                // stamped): the decisions may rest on dead state.
+                // Re-evaluate.
                 continue;
             }
             let mut outcomes: Vec<Option<AuthzOutcome>> = vec![None; reqs.len()];
@@ -1074,7 +1160,7 @@ impl Nexus {
                         object: object.clone(),
                     };
                     self.dcache
-                        .insert_if(ck, decision.allow, || self.epoch_snapshot() == snap);
+                        .insert_if(ck, decision.allow, || self.stamp_still_valid(&stamp));
                 }
                 outcomes[i] = Some(outcome_of(decision.allow));
             }
@@ -1434,9 +1520,14 @@ impl Nexus {
     }
 
     /// Resize the kernel decision cache at runtime (§2.8) — used by
-    /// the associativity ablation (Figure 4 hit-rate deltas).
+    /// the associativity ablation (Figure 4 hit-rate deltas) and the
+    /// fig9 A/B harness to flip between the seqlock and mutexed read
+    /// paths. The fence afterwards drains evaluations that may still
+    /// be filling the superseded table, so no decision computed before
+    /// the resize lands unvalidated in the new one.
     pub fn resize_decision_cache(&self, cfg: DecisionCacheConfig) {
         self.dcache.resize(cfg);
+        self.fence_in_flight_authz();
     }
 }
 
@@ -1457,6 +1548,25 @@ struct PreparedRequest {
     labels: Vec<Formula>,
     proof: Option<Proof>,
     auto_attempted: bool,
+}
+
+/// The per-process facts the submission path reads on every request,
+/// published into the `ipd_hot` snapshot at spawn. The shape word is
+/// the labelstore's own live atomic (shared by `Arc`), so `say`/
+/// `transfer_label` update it in place with no republication.
+#[derive(Clone)]
+struct IpdHot {
+    principal: Principal,
+    name: String,
+    shape: Arc<AtomicU64>,
+}
+
+/// What a lock-free evaluation captured before reading the stores;
+/// see [`Nexus::stamp_still_valid`] for how each half is used.
+struct ReadStamp {
+    epochs: (u64, u64, u64),
+    goal_v: u64,
+    proof_v: u64,
 }
 
 fn outcome_of(allow: bool) -> AuthzOutcome {
