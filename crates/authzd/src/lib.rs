@@ -87,6 +87,12 @@ pub struct AuthzRequest {
     /// prover's frontier sharing is maximal. Purely a batching hint:
     /// collisions or a constant `0` affect throughput, never verdicts.
     pub label_shape: u64,
+    /// When the submitter stamped this request (just before
+    /// `try_submit`). Telemetry only: with stage timers configured
+    /// ([`pool::GuardPoolConfig::stage_timers`]) the pool measures the
+    /// submit and end-to-end spans from it. `None` skips per-request
+    /// spans for this request; verdicts are unaffected.
+    pub submitted_at: Option<std::time::Instant>,
 }
 
 /// The coalescing key: requests sharing a goal — same (operation,

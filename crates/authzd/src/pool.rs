@@ -20,11 +20,13 @@
 
 use crate::ticket::{AuthzOutcome, AuthzTicket, TicketInner};
 use crate::{AuthzRequest, BatchKey};
+use nexus_obs::{Stage, StageTimers};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How a batch of coalesced requests is evaluated. Implemented by the
 /// kernel (the real guard path) and by test doubles.
@@ -86,6 +88,12 @@ pub struct GuardPoolConfig {
     /// authority can wedge the whole pool (the pre-back-pressure
     /// behavior, kept reachable for comparison benchmarks).
     pub external_workers: usize,
+    /// Per-stage latency timers, shared (same `Arc`) with the kernel
+    /// so pool-side spans (submit, queue-wait, batch-assembly,
+    /// complete) and kernel-side spans (prove, verify) land in one
+    /// set of histograms. `None` — or a disabled timer set — records
+    /// nothing.
+    pub stage_timers: Option<Arc<StageTimers>>,
 }
 
 impl Default for GuardPoolConfig {
@@ -97,6 +105,7 @@ impl Default for GuardPoolConfig {
             max_queued: 4096,
             overflow: OverflowPolicy::Reject,
             external_workers: 1,
+            stage_timers: None,
         }
     }
 }
@@ -110,6 +119,7 @@ impl std::fmt::Debug for GuardPoolConfig {
             .field("max_queued", &self.max_queued)
             .field("overflow", &self.overflow)
             .field("external_workers", &self.external_workers)
+            .field("stage_timers", &self.stage_timers.is_some())
             .finish()
     }
 }
@@ -146,6 +156,11 @@ pub struct PoolStats {
     pub prover_memo_hits: u64,
     /// Prover-memo subgoal misses reported by the executor.
     pub prover_memo_misses: u64,
+    /// Requests currently queued on the embedded lane (a gauge, not a
+    /// counter: admitted minus popped at snapshot time).
+    pub embedded_depth: u64,
+    /// Requests currently queued on the external lane (gauge).
+    pub external_depth: u64,
 }
 
 struct Pending {
@@ -154,6 +169,9 @@ struct Pending {
     /// Computed once at submit time (outside the queue lock) so the
     /// pop-side scan is a plain integer comparison.
     priority: u64,
+    /// When this entry landed in its queue. `Some` only while stage
+    /// timers are configured and enabled — the queue-wait span.
+    enqueued_at: Option<Instant>,
 }
 
 /// Which worker class serves a request.
@@ -219,10 +237,27 @@ struct Shared {
     external_batches: AtomicU64,
     callback_panics: AtomicU64,
     executor_panics: AtomicU64,
+    /// Per-lane backlog gauges (incremented on push, decremented on
+    /// pop/drain, always under the queue lock).
+    embedded_depth: AtomicU64,
+    external_depth: AtomicU64,
+    stage_timers: Option<Arc<StageTimers>>,
     stopping: AtomicBool,
 }
 
 impl Shared {
+    /// The stage timers, iff configured *and* currently enabled.
+    fn timers(&self) -> Option<&StageTimers> {
+        self.stage_timers.as_deref().filter(|t| t.enabled())
+    }
+
+    fn depth(&self, lane: Lane) -> &AtomicU64 {
+        match lane {
+            Lane::Embedded => &self.embedded_depth,
+            Lane::External => &self.external_depth,
+        }
+    }
+
     /// Mark `n` requests finished and wake any quiesce waiters.
     fn note_completed(&self, n: u64) {
         self.completed.fetch_add(n, Ordering::SeqCst);
@@ -259,6 +294,7 @@ impl Shared {
 ///     proof: None,
 ///     external: false,
 ///     label_shape: 0,
+///     submitted_at: None,
 /// });
 /// assert!(ticket.wait().is_allow());
 /// pool.shutdown();
@@ -294,6 +330,9 @@ impl GuardPool {
             external_batches: AtomicU64::new(0),
             callback_panics: AtomicU64::new(0),
             executor_panics: AtomicU64::new(0),
+            embedded_depth: AtomicU64::new(0),
+            external_depth: AtomicU64::new(0),
+            stage_timers: cfg.stage_timers.clone(),
             stopping: AtomicBool::new(false),
         });
         let spawn = |lane: Lane, i: usize| {
@@ -378,12 +417,20 @@ impl GuardPool {
         let inner = TicketInner::new();
         let ticket = AuthzTicket::from_inner(Arc::clone(&inner));
         shared.submitted.fetch_add(1, Ordering::SeqCst);
+        let submitted_at = req.submitted_at;
+        let enqueued_at = shared.timers().map(|_| Instant::now());
         queue.lane_mut(lane).push_back(Pending {
             req,
             ticket: inner,
             priority,
+            enqueued_at,
         });
+        shared.depth(lane).fetch_add(1, Ordering::Relaxed);
         drop(queue);
+        // Submit span: submitter's stamp → admitted into the queue.
+        if let (Some(timers), Some(now), Some(at)) = (shared.timers(), enqueued_at, submitted_at) {
+            timers.record_duration(Stage::Submit, now.saturating_duration_since(at));
+        }
         match lane {
             Lane::Embedded => shared.work.notify_one(),
             Lane::External => shared.ext_work.notify_one(),
@@ -423,6 +470,8 @@ impl GuardPool {
             external_batches: self.shared.external_batches.load(Ordering::SeqCst),
             callback_panics: self.shared.callback_panics.load(Ordering::SeqCst),
             executor_panics: self.shared.executor_panics.load(Ordering::SeqCst),
+            embedded_depth: self.shared.embedded_depth.load(Ordering::Relaxed),
+            external_depth: self.shared.external_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -434,6 +483,12 @@ impl GuardPool {
             let mut queue = self.shared.queue.lock().expect("authzd queue");
             queue.shutdown = true;
             self.shared.stopping.store(true, Ordering::SeqCst);
+            self.shared
+                .embedded_depth
+                .fetch_sub(queue.embedded.len() as u64, Ordering::Relaxed);
+            self.shared
+                .external_depth
+                .fetch_sub(queue.external.len() as u64, Ordering::Relaxed);
             let mut drained: Vec<Pending> = queue.embedded.drain(..).collect();
             drained.extend(queue.external.drain(..));
             drained
@@ -493,6 +548,7 @@ fn pop_batch(shared: &Shared, lane: Lane) -> Option<(BatchKey, Vec<Pending>)> {
             queue = cv.wait(queue).expect("authzd worker wait");
             continue;
         }
+        let assembly_start = shared.timers().map(|_| Instant::now());
         let entries = queue.lane_mut(lane);
         let window = entries.len().min(SCAN_WINDOW);
         let lead_idx = if shared.prioritizer.is_none() {
@@ -532,11 +588,25 @@ fn pop_batch(shared: &Shared, lane: Lane) -> Option<(BatchKey, Vec<Pending>)> {
                 i += 1;
             }
         }
+        shared
+            .depth(lane)
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
         drop(queue);
         // The lane just lost at least one entry: admit any submitter
         // blocked at the high-water mark.
         if shared.overflow == OverflowPolicy::Block {
             shared.space.notify_all();
+        }
+        // Queue-wait per member (enqueue → this pop), plus one
+        // batch-assembly span for the whole scan.
+        if let (Some(timers), Some(start)) = (shared.timers(), assembly_start) {
+            for p in &batch {
+                if let Some(at) = p.enqueued_at {
+                    timers.record_duration(Stage::QueueWait, start.saturating_duration_since(at));
+                }
+            }
+            let done = Instant::now();
+            timers.record_duration(Stage::BatchAssembly, done.saturating_duration_since(start));
         }
         return Some((key, batch));
     }
@@ -573,7 +643,7 @@ fn worker_loop(shared: Arc<Shared>, executor: Arc<dyn BatchExecutor>, lane: Lane
         let n = tickets.len() as u64;
         let mut outcomes = outcomes.into_iter();
         let mut panics = 0u64;
-        for ticket in tickets {
+        for (i, ticket) in tickets.into_iter().enumerate() {
             let outcome = outcomes
                 .next()
                 .unwrap_or_else(|| AuthzOutcome::Fault("executor returned short batch".into()));
@@ -581,6 +651,11 @@ fn worker_loop(shared: Arc<Shared>, executor: Arc<dyn BatchExecutor>, lane: Lane
             // this worker must survive it (with workers == 1 an
             // unwind here would wedge the whole pipeline).
             panics += ticket.complete(outcome);
+            // End-to-end span: submitter's stamp → verdict delivered.
+            if let (Some(timers), Some(at)) = (shared.timers(), reqs[i].submitted_at) {
+                let span = Instant::now().saturating_duration_since(at);
+                timers.record_duration(Stage::Complete, span);
+            }
         }
         if panics > 0 {
             shared.callback_panics.fetch_add(panics, Ordering::SeqCst);
@@ -604,6 +679,7 @@ mod tests {
             proof: None,
             external: false,
             label_shape: 0,
+            submitted_at: None,
         }
     }
 
@@ -1332,6 +1408,65 @@ mod tests {
         let stats = pool.stats();
         assert!(stats.external_batches >= 1, "{stats:?}");
         assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn depth_gauges_track_per_lane_backlog() {
+        let exec = GateExecutor::new();
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                external_workers: 0,
+                ..Default::default()
+            },
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+        );
+        let in_flight = pool.submit(req(0, "read", "file:/0"));
+        exec.await_entered(1); // worker occupied: everything else queues
+        let queued: Vec<AuthzTicket> = (1..=3)
+            .map(|i| pool.submit(req(i, "read", &format!("file:/{i}"))))
+            .collect();
+        let stats = pool.stats();
+        assert_eq!(stats.embedded_depth, 3, "{stats:?}");
+        assert_eq!(stats.external_depth, 0);
+        exec.release();
+        let _ = in_flight.wait();
+        for t in &queued {
+            let _ = t.wait();
+        }
+        pool.quiesce();
+        assert_eq!(pool.stats().embedded_depth, 0, "gauge must drain to zero");
+    }
+
+    #[test]
+    fn stage_timers_capture_pool_side_spans() {
+        let timers = Arc::new(StageTimers::new(true));
+        let pool = GuardPool::new(
+            GuardPoolConfig {
+                workers: 1,
+                stage_timers: Some(Arc::clone(&timers)),
+                ..Default::default()
+            },
+            Arc::new(ParityExecutor::new(Duration::ZERO)),
+        );
+        let mut r = req(2, "read", "file:/a");
+        r.submitted_at = Some(Instant::now());
+        assert!(pool.submit(r).wait().is_allow());
+        pool.quiesce();
+        // One request → one sample in each pool-side stage histogram
+        // (batch assembly records once per batch).
+        assert_eq!(timers.snapshot(Stage::Submit).count, 1);
+        assert_eq!(timers.snapshot(Stage::QueueWait).count, 1);
+        assert_eq!(timers.snapshot(Stage::BatchAssembly).count, 1);
+        assert_eq!(timers.snapshot(Stage::Complete).count, 1);
+        // Disabled timers record nothing more.
+        timers.set_enabled(false);
+        let mut r = req(4, "read", "file:/a");
+        r.submitted_at = Some(Instant::now());
+        assert!(pool.submit(r).wait().is_allow());
+        pool.quiesce();
+        assert_eq!(timers.snapshot(Stage::Submit).count, 1);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Regenerate every table and figure of the paper's evaluation (§5)
-//! — plus the beyond-the-paper Figure 9 scalability curve — and print
-//! them in the paper's layout.
+//! — plus the beyond-the-paper Figure 9 scalability curve and the
+//! Figure 12 telemetry-overhead A/B — and print them in the paper's
+//! layout.
 //!
 //! Usage:
-//! `cargo run --release -p nexus-bench --bin reproduce [quick|fig9|fig9-hits|fig9-bp|fig9-prover]`
+//! `cargo run --release -p nexus-bench --bin reproduce \
+//!    [quick|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]`
 //!
 //! `fig9` runs only the scalability bench (full iteration counts);
 //! `fig9-hits` runs only its hit-path mode (seqlock vs mutexed
@@ -11,9 +13,16 @@
 //! `fig9-bp` runs only its back-pressure mode (stuck external
 //! authority vs. bounded admission + authority isolation);
 //! `fig9-prover` runs only the batch-aware prover comparison
-//! (per-request vs frontier-sharing proof search).
+//! (per-request vs frontier-sharing proof search); `fig12` runs only
+//! the telemetry-overhead A/B (default telemetry vs
+//! `ObsConfig::disabled` on the primed hit workload).
+//!
+//! `--json <path>` additionally writes machine-readable results to
+//! `path`: for the full and `quick` modes, one document covering every
+//! figure (see `nexus_bench::report`); for single-figure modes, just
+//! that figure's points.
 
-use nexus_bench::{fig4, fig5, fig6, fig7, fig8, fig9, table1};
+use nexus_bench::{fig12, fig4, fig5, fig6, fig7, fig8, fig9, report, table1};
 
 fn print_fig9(iters: u64) {
     println!("\n=== Figure 9: authorization scalability (ops/s, shared Arc<Nexus>) ===");
@@ -132,8 +141,64 @@ fn print_fig4_assoc(rounds: u64) {
     println!("(Fauxbook hot-follower wall-polling pattern, 64-slot cache)");
 }
 
+fn print_fig12(iters: u64, reps: usize) {
+    println!("\n=== Figure 12: telemetry overhead (primed hit path, 1 thread) ===");
+    let r = fig12::run(iters, reps);
+    println!("{:<12} {:>14} {:>16}", "mode", "hit ops/s", "audit events");
+    println!(
+        "{:<12} {:>14.0} {:>16}",
+        "disabled", r.disabled_ops_per_s, 0
+    );
+    println!(
+        "{:<12} {:>14.0} {:>16}",
+        "enabled", r.enabled_ops_per_s, r.audit_recorded
+    );
+    println!(
+        "(telemetry-on overhead: {:.2}% — acceptance bound < 5%; medians of {} \
+         interleaved reps; enabled = stage timers + audit journal + 1-in-64 hit sampling)",
+        r.overhead_pct(),
+        r.reps
+    );
+}
+
+/// Write `json` to `path`, exiting with a message on failure.
+fn write_json(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("machine-readable results written to {path}");
+}
+
+/// Emit a single figure's report document to `path`.
+fn write_single(path: &str, figure: &str, cfg: &report::ReportConfig) {
+    let section = report::section(figure, cfg).expect("known figure");
+    let doc = serde::Value::Map(vec![(serde::Value::Str(figure.to_string()), section)]);
+    write_json(
+        path,
+        &serde_json::to_string(&doc).expect("report serialization is infallible"),
+    );
+}
+
+fn usage() -> ! {
+    eprintln!("usage: reproduce [quick|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--json requires a path");
+                usage();
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
     let quick = match args.as_slice() {
         [] => false,
         [a] if a == "quick" => true,
@@ -142,26 +207,70 @@ fn main() {
             print_fig9_hits(200_000);
             print_fig9_bp(1_500);
             print_fig9_prover(600);
+            if let Some(path) = &json_path {
+                let cfg = report::ReportConfig::full();
+                let doc: Vec<(serde::Value, serde::Value)> =
+                    ["fig9", "fig9_hits", "fig9_bp", "fig9_prover"]
+                        .iter()
+                        .map(|f| {
+                            (
+                                serde::Value::Str((*f).to_string()),
+                                report::section(f, &cfg).expect("known figure"),
+                            )
+                        })
+                        .collect();
+                write_json(
+                    path,
+                    &serde_json::to_string(&serde::Value::Map(doc))
+                        .expect("report serialization is infallible"),
+                );
+            }
             return;
         }
         [a] if a == "fig9-hits" => {
             print_fig9_hits(200_000);
+            if let Some(path) = &json_path {
+                write_single(path, "fig9_hits", &report::ReportConfig::full());
+            }
             return;
         }
         [a] if a == "fig9-bp" => {
             print_fig9_bp(1_500);
+            if let Some(path) = &json_path {
+                write_single(path, "fig9_bp", &report::ReportConfig::full());
+            }
             return;
         }
         [a] if a == "fig9-prover" => {
             print_fig9_prover(600);
+            if let Some(path) = &json_path {
+                write_single(path, "fig9_prover", &report::ReportConfig::full());
+            }
+            return;
+        }
+        [a] if a == "fig12" => {
+            print_fig12(100_000, 5);
+            if let Some(path) = &json_path {
+                write_single(path, "fig12", &report::ReportConfig::full());
+            }
             return;
         }
         other => {
             eprintln!("unknown argument(s): {other:?}");
-            eprintln!("usage: reproduce [quick|fig9|fig9-hits|fig9-bp|fig9-prover]");
-            std::process::exit(2);
+            usage();
         }
     };
+    // With --json, the whole run goes through the report generator (one
+    // pass over every figure) instead of the printed tables.
+    if let Some(path) = &json_path {
+        let cfg = if quick {
+            report::ReportConfig::quick()
+        } else {
+            report::ReportConfig::full()
+        };
+        write_json(path, &report::generate(&cfg));
+        return;
+    }
     let (iters, pkts, reqs) = if quick {
         (300, 2_000, 50)
     } else {
@@ -263,6 +372,9 @@ fn main() {
     print_fig9_hits(if quick { 20_000 } else { 200_000 });
     print_fig9_bp(if quick { 500 } else { 1_500 });
     print_fig9_prover(if quick { 100 } else { 600 });
+    // fig12 keeps full iteration counts even in quick mode: one rep is
+    // ~30 ms, and short runs are too noisy for the 5% overhead bound.
+    print_fig12(100_000, 5);
 
     println!("\n(see EXPERIMENTS.md for paper-vs-measured discussion)");
 }

@@ -364,6 +364,7 @@ fn bp_isolated_cfg() -> GuardPoolConfig {
         max_queued: BP_MAX_QUEUED,
         overflow: OverflowPolicy::Reject,
         external_workers: 1,
+        stage_timers: None,
     }
 }
 
@@ -376,6 +377,7 @@ fn bp_legacy_cfg() -> GuardPoolConfig {
         max_queued: usize::MAX,
         overflow: OverflowPolicy::Reject,
         external_workers: 0,
+        stage_timers: None,
     }
 }
 

@@ -6,12 +6,14 @@
 #![forbid(unsafe_code)]
 #![allow(missing_docs)]
 
+pub mod fig12;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod report;
 pub mod table1;
 
 use nexus_kernel::{BootImages, Nexus, NexusConfig};

@@ -1,0 +1,357 @@
+//! Machine-readable results: every figure's points assembled into one
+//! JSON document (`reproduce --json <path>`), so runs can be diffed,
+//! plotted, and regression-gated without scraping the printed tables.
+//!
+//! The document is a single object with one key per figure; each
+//! figure's value is the same point list the printed table renders,
+//! as an array of objects keyed by the point-struct field names. A
+//! `meta` object records the mode and workload knobs the run used.
+
+use crate::{fig12, fig4, fig5, fig6, fig7, fig8, fig9, table1};
+use serde::Value;
+
+/// Workload sizes for one report run (the `quick`/full split the
+/// printed tables use, plus the fig12 A/B knobs).
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// `"quick"`, `"full"`, or `"smoke"` — recorded in `meta`.
+    pub mode: &'static str,
+    /// Iterations for table1/fig4/fig5/fig6.
+    pub iters: u64,
+    /// Packets per fig7 configuration.
+    pub pkts: u64,
+    /// Requests per fig8 cell.
+    pub reqs: u64,
+    /// Rounds for the fig4 associativity ablation.
+    pub assoc_rounds: u64,
+    /// Iterations for the fig9 scalability curve.
+    pub fig9_iters: u64,
+    /// Iterations for the fig9 hit-path A/B.
+    pub hits_iters: u64,
+    /// Measurement window for the fig9 back-pressure mode.
+    pub bp_window_ms: u64,
+    /// Iterations for the fig9 prover comparison.
+    pub prover_iters: u64,
+    /// Hits per fig12 rep.
+    pub fig12_iters: u64,
+    /// Interleaved fig12 reps per mode.
+    pub fig12_reps: usize,
+}
+
+impl ReportConfig {
+    /// The `reproduce quick` workload sizes.
+    pub fn quick() -> Self {
+        ReportConfig {
+            mode: "quick",
+            iters: 300,
+            pkts: 2_000,
+            reqs: 50,
+            assoc_rounds: 48,
+            fig9_iters: 300,
+            hits_iters: 20_000,
+            bp_window_ms: 500,
+            prover_iters: 100,
+            fig12_iters: 20_000,
+            fig12_reps: 3,
+        }
+    }
+
+    /// The full (no-argument `reproduce`) workload sizes.
+    pub fn full() -> Self {
+        ReportConfig {
+            mode: "full",
+            iters: 2_000,
+            pkts: 20_000,
+            reqs: 300,
+            assoc_rounds: 256,
+            fig9_iters: 2_000,
+            hits_iters: 200_000,
+            bp_window_ms: 1_500,
+            prover_iters: 600,
+            fig12_iters: 100_000,
+            fig12_reps: 5,
+        }
+    }
+
+    /// Minimal sizes for tests: every figure still runs, nothing is
+    /// statistically meaningful.
+    pub fn smoke() -> Self {
+        ReportConfig {
+            mode: "smoke",
+            iters: 5,
+            pkts: 50,
+            reqs: 2,
+            assoc_rounds: 2,
+            fig9_iters: 5,
+            hits_iters: 200,
+            bp_window_ms: 50,
+            prover_iters: 4,
+            fig12_iters: 200,
+            fig12_reps: 1,
+        }
+    }
+}
+
+fn key(k: &str) -> Value {
+    Value::Str(k.to_string())
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (key(k), v)).collect())
+}
+
+fn s(x: &str) -> Value {
+    Value::Str(x.to_string())
+}
+
+fn f(x: f64) -> Value {
+    Value::F64(x)
+}
+
+fn u(x: u64) -> Value {
+    Value::U64(x)
+}
+
+/// Every figure key `generate` emits, in document order.
+pub const FIGURES: [&str; 12] = [
+    "table1",
+    "fig4",
+    "fig4_assoc",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig9_hits",
+    "fig9_bp",
+    "fig9_prover",
+    "fig12",
+];
+
+fn meta(cfg: &ReportConfig) -> Value {
+    obj(vec![
+        ("mode", s(cfg.mode)),
+        ("iters", u(cfg.iters)),
+        ("pkts", u(cfg.pkts)),
+        ("reqs", u(cfg.reqs)),
+    ])
+}
+
+/// Run one figure at `cfg`'s sizes; `None` for an unknown key.
+pub fn section(figure: &str, cfg: &ReportConfig) -> Option<Value> {
+    let v = match figure {
+        "table1" => Value::Seq(
+            table1::run(cfg.iters)
+                .iter()
+                .map(|r| {
+                    obj(vec![
+                        ("call", s(r.call)),
+                        ("bare_ns", f(r.bare_ns)),
+                        ("nexus_ns", f(r.nexus_ns)),
+                        ("direct_ns", f(r.direct_ns)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig4" => Value::Seq(
+            fig4::run(cfg.iters)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("case", s(p.case)),
+                        ("cached_ns", f(p.cached_ns)),
+                        ("uncached_ns", f(p.uncached_ns)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig4_assoc" => Value::Seq(
+            fig4::associativity(cfg.assoc_rounds)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("ways", u(p.ways as u64)),
+                        ("hits", u(p.hits)),
+                        ("misses", u(p.misses)),
+                        ("hit_rate", f(p.hit_rate())),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig5" => Value::Seq(
+            fig5::run(cfg.iters.min(500), 20)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("family", s(p.family)),
+                        ("rules", u(p.rules as u64)),
+                        ("eval_ns", f(p.eval_ns)),
+                        ("full_ns", f(p.full_ns)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig6" => Value::Seq(
+            fig6::run(cfg.iters)
+                .iter()
+                .map(|p| obj(vec![("op", s(p.op)), ("ns", f(p.ns))]))
+                .collect(),
+        ),
+        "fig7" => Value::Seq(
+            fig7::run(cfg.pkts)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("config", s(p.config)),
+                        ("pkt_size", u(p.pkt_size as u64)),
+                        ("pps", f(p.pps)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig8" => Value::Seq(
+            fig8::run(cfg.reqs)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("kind", s(p.kind)),
+                        ("column", s(p.column)),
+                        ("variant", s(p.variant)),
+                        ("size", u(p.size as u64)),
+                        ("rps", f(p.rps)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig9" => Value::Seq(
+            fig9::run(cfg.fig9_iters)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("threads", u(p.threads as u64)),
+                        ("sync_ops_per_s", f(p.sync_ops_per_s)),
+                        ("async_ops_per_s", f(p.async_ops_per_s)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig9_hits" => Value::Seq(
+            fig9::run_hits(cfg.hits_iters)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("threads", u(p.threads as u64)),
+                        ("seqlock_ops_per_s", f(p.seqlock_ops_per_s)),
+                        ("mutexed_ops_per_s", f(p.mutexed_ops_per_s)),
+                        ("read_retries", u(p.read_retries)),
+                        ("read_fallbacks", u(p.read_fallbacks)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig9_bp" => Value::Seq(
+            fig9::run_back_pressure(cfg.bp_window_ms)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("mode", s(p.mode)),
+                        ("embedded_ops_per_s", f(p.embedded_ops_per_s)),
+                        ("external_submitted", u(p.external_submitted)),
+                        ("rejected", u(p.rejected)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig9_prover" => Value::Seq(
+            fig9::run_prover(cfg.prover_iters)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("mode", s(p.mode)),
+                        ("ops_per_s", f(p.ops_per_s)),
+                        ("memo_hits", u(p.memo_hits)),
+                        ("memo_misses", u(p.memo_misses)),
+                        ("proofs", u(p.proofs)),
+                        ("groups", u(p.groups)),
+                        ("avg_batch", f(p.avg_batch)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig12" => {
+            let r = fig12::run(cfg.fig12_iters, cfg.fig12_reps);
+            obj(vec![
+                ("disabled_ops_per_s", f(r.disabled_ops_per_s)),
+                ("enabled_ops_per_s", f(r.enabled_ops_per_s)),
+                ("overhead_pct", f(r.overhead_pct())),
+                ("audit_recorded", u(r.audit_recorded)),
+                ("reps", u(r.reps as u64)),
+            ])
+        }
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Run every figure at `cfg`'s sizes and render the combined JSON
+/// document.
+pub fn generate(cfg: &ReportConfig) -> String {
+    let mut doc: Vec<(Value, Value)> = vec![(key("meta"), meta(cfg))];
+    for fig in FIGURES {
+        doc.push((key(fig), section(fig, cfg).expect("known figure")));
+    }
+
+    serde_json::to_string(&Value::Map(doc)).expect("report serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every figure must appear in the emitted JSON, and the document
+    /// must parse back with the workspace JSON parser.
+    #[test]
+    fn report_json_parses_and_covers_every_figure() {
+        let _guard = crate::timing_guard();
+        let json = generate(&ReportConfig::smoke());
+        let doc: Value = serde_json::from_str(&json).expect("report must be valid JSON");
+        let map = doc.as_map().expect("report must be one object");
+        let keys: Vec<&str> = map.iter().filter_map(|(k, _)| k.as_str()).collect();
+        for expected in [
+            "meta",
+            "table1",
+            "fig4",
+            "fig4_assoc",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig9_hits",
+            "fig9_bp",
+            "fig9_prover",
+            "fig12",
+        ] {
+            assert!(keys.contains(&expected), "report missing {expected}");
+        }
+        // Figure arrays are non-empty objects with the advertised keys.
+        let fig4 = map
+            .iter()
+            .find(|(k, _)| k.as_str() == Some("fig4"))
+            .and_then(|(_, v)| v.as_seq())
+            .expect("fig4 must be an array");
+        assert!(!fig4.is_empty());
+        assert!(fig4[0]
+            .as_map()
+            .is_some_and(|m| m.iter().any(|(k, _)| k.as_str() == Some("cached_ns"))));
+        // fig12 carries the A/B summary.
+        let fig12 = map
+            .iter()
+            .find(|(k, _)| k.as_str() == Some("fig12"))
+            .and_then(|(_, v)| v.as_map())
+            .expect("fig12 must be an object");
+        assert!(fig12
+            .iter()
+            .any(|(k, _)| k.as_str() == Some("overhead_pct")));
+    }
+}

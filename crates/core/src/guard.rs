@@ -20,7 +20,8 @@ use crate::error::CoreError;
 use crate::resource::{OpName, ResourceId};
 use nexus_nal::check::{check, normalize, Assumptions};
 use nexus_nal::{
-    BatchGoal, CheckError, Formula, Principal, Proof, ProofSearch, ProverConfig, Subst, Term,
+    BatchGoal, CheckError, Formula, Principal, Proof, ProofSearch, ProveOutcome, ProverConfig,
+    Subst, Term,
 };
 use parking_lot::Mutex;
 use sha2::{Digest as _, Sha256};
@@ -475,6 +476,22 @@ impl Guard {
         goals: &[BatchGoal<'_>],
         cfg: ProverConfig,
     ) -> Vec<Option<Proof>> {
+        self.prove_batch_explained(epoch, goals, cfg)
+            .into_iter()
+            .map(|o| o.proof)
+            .collect()
+    }
+
+    /// [`prove_batch`](Self::prove_batch), but each failure also
+    /// carries the refuted subgoal the search got stuck on (see
+    /// [`ProveOutcome`]) — the raw material for audit-journal denial
+    /// events.
+    pub fn prove_batch_explained(
+        &self,
+        epoch: u64,
+        goals: &[BatchGoal<'_>],
+        cfg: ProverConfig,
+    ) -> Vec<ProveOutcome> {
         let mut slot = self.prover.lock();
         let session = match slot.as_mut() {
             Some(s) if s.epoch == epoch && s.search.config() == cfg => s,
@@ -499,7 +516,7 @@ impl Guard {
             }
         };
         let before = session.search.stats();
-        let out = session.search.prove_batch(goals);
+        let out = session.search.prove_batch_explained(goals);
         let after = session.search.stats();
         self.prover_hits
             .fetch_add(after.memo_hits - before.memo_hits, Ordering::Relaxed);
@@ -509,7 +526,7 @@ impl Guard {
             .fetch_add(after.batch_groups - before.batch_groups, Ordering::Relaxed);
         self.prover_shared
             .fetch_add(after.batch_shared - before.batch_shared, Ordering::Relaxed);
-        let proved = out.iter().filter(|p| p.is_some()).count() as u64;
+        let proved = out.iter().filter(|p| p.proof.is_some()).count() as u64;
         self.prover_proved.fetch_add(proved, Ordering::Relaxed);
         self.prover_failed
             .fetch_add(out.len() as u64 - proved, Ordering::Relaxed);

@@ -224,12 +224,32 @@ impl Redirector {
         }
     }
 
-    /// (cache hits, total interposed dispatches).
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.invocations.load(Ordering::Relaxed),
-        )
+    /// Verdict-cache statistics snapshot.
+    pub fn stats(&self) -> InterposeStats {
+        InterposeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            invocations: self.invocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Redirector statistics: interposed-dispatch verdict caching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterposeStats {
+    /// Dispatches answered from the verdict cache.
+    pub hits: u64,
+    /// Total dispatches that traversed an interposed channel.
+    pub invocations: u64,
+}
+
+impl InterposeStats {
+    /// Hit fraction (0 when nothing dispatched).
+    pub fn hit_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.invocations as f64
+        }
     }
 }
 
@@ -348,9 +368,10 @@ mod tests {
         for _ in 0..5 {
             r.dispatch(1, &mut call("read")).unwrap();
         }
-        let (hits, total) = r.stats();
-        assert_eq!(total, 5);
-        assert_eq!(hits, 4);
+        let stats = r.stats();
+        assert_eq!(stats.invocations, 5);
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-9);
     }
 
     #[test]
@@ -364,7 +385,7 @@ mod tests {
         for _ in 0..5 {
             r.dispatch(1, &mut call("read")).unwrap();
         }
-        assert_eq!(r.stats().0, 0);
+        assert_eq!(r.stats().hits, 0);
     }
 
     #[test]
@@ -379,7 +400,7 @@ mod tests {
         for _ in 0..5 {
             r.dispatch(1, &mut call("read")).unwrap();
         }
-        assert_eq!(r.stats().0, 0);
+        assert_eq!(r.stats().hits, 0);
     }
 
     #[test]

@@ -37,10 +37,15 @@ pub mod sched;
 
 pub use error::KernelError;
 pub use fs::RamFs;
-pub use interpose::{ChainOutcome, Interceptor, IpcCall, MonitorLevel, Redirector, Verdict};
+pub use interpose::{
+    ChainOutcome, Interceptor, InterposeStats, IpcCall, MonitorLevel, Redirector, Verdict,
+};
 pub use ipc::IpcTable;
 pub use ipd::{Ipd, IpdTable};
 pub use nexus::{BootImages, Nexus, NexusConfig, SysRet, Syscall, SYSCALL_CHANNEL};
 pub use nexus_authzd::{AuthzOutcome, AuthzTicket, GuardPoolConfig, OverflowPolicy, PoolStats};
+pub use nexus_obs::{
+    AuditEvent, AuditPath, AuditVerdict, HistogramSnapshot, ObsConfig, TelemetrySnapshot,
+};
 pub use nic::{Ddrm, EchoPath, EchoWorld, NicDevice};
 pub use sched::StrideScheduler;

@@ -55,12 +55,17 @@ use nexus_core::{
     ProofStore, ResourceId, Snapshot,
 };
 use nexus_nal::{prove, BatchGoal, Formula, Principal, Proof, ProverConfig, Term};
+use nexus_obs::{
+    event as audit_event, AuditEvent, AuditJournal, AuditPath, AuditVerdict, MetricsRegistry,
+    ObsConfig, Sampler, Stage, StageTimers, TelemetrySnapshot,
+};
 use nexus_storage::{RamDisk, SsrManager, StorageError, VdirTable, VkeyTable};
 use nexus_tpm::Tpm;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Instant;
 
 /// The measured boot chain (§3.4): firmware, boot loader, kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +110,10 @@ pub struct NexusConfig {
     /// Enforce goal formulas on filesystem operations (Figure 8's
     /// access-control column benchmarks toggle this).
     pub authorize_fs: bool,
+    /// Telemetry (stage timers, audit journal, cache-hit sampling).
+    /// `enabled` takes effect immediately on [`Nexus::set_config`];
+    /// the capacity/sampling knobs apply at boot.
+    pub obs: ObsConfig,
 }
 
 impl Default for NexusConfig {
@@ -115,6 +124,7 @@ impl Default for NexusConfig {
             auto_prove: true,
             batch_prover: true,
             authorize_fs: true,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -219,6 +229,9 @@ pub struct Nexus {
     fs_port: u64,
     fs_reply_port: u64,
     guard_upcalls: AtomicU64,
+    /// Telemetry composite: stage timers (shared by `Arc` with the
+    /// pipeline), decision audit journal, and the cache-hit sampler.
+    telemetry: KernelTelemetry,
 }
 
 impl Nexus {
@@ -280,6 +293,7 @@ impl Nexus {
             fs_port,
             fs_reply_port,
             guard_upcalls: AtomicU64::new(0),
+            telemetry: KernelTelemetry::new(&cfg.obs),
         })
     }
 
@@ -303,8 +317,12 @@ impl Nexus {
         *self.cfg.read()
     }
 
-    /// Mutate configuration (benchmark harness).
+    /// Mutate configuration (benchmark harness). The telemetry master
+    /// switch propagates immediately — the stage timers' flag is the
+    /// single gate every recording site (kernel- and pool-side)
+    /// checks.
     pub fn set_config(&self, cfg: NexusConfig) {
+        self.telemetry.stages.set_enabled(cfg.obs.enabled);
         *self.cfg.write() = cfg;
     }
 
@@ -725,13 +743,27 @@ impl Nexus {
                     .unwrap_or(0),
             ),
         };
+        let telemetry_on = self.telemetry.enabled();
         if cfg.decision_cache {
             let key = CacheKey {
                 subject: subject.clone(),
                 operation: opn.clone(),
                 object: object.clone(),
             };
+            // Hit-path auditing is *sampled*: the ticked decision —
+            // one striped relaxed fetch_add — happens before the
+            // lookup so only 1-in-2^shift entries ever pay for a
+            // clock read or (on a hit) an event allocation. Disabled
+            // telemetry costs exactly one relaxed load here.
+            let hit_start = if telemetry_on && self.telemetry.sampler.tick() {
+                Some(Instant::now())
+            } else {
+                None
+            };
             if let Some(allow) = self.dcache.lookup(&key) {
+                if let Some(start) = hit_start {
+                    self.audit_cache_hit(pid, opn, object, allow, start);
+                }
                 return Ok(AuthzRoute::Cached(allow));
             }
         }
@@ -747,6 +779,7 @@ impl Nexus {
                 proof: inline_proof.cloned(),
                 external: self.classify_external(&subject, opn, object, inline_proof),
                 label_shape,
+                submitted_at: telemetry_on.then(Instant::now),
             }) {
                 return Ok(AuthzRoute::Submitted(ticket));
             }
@@ -812,6 +845,7 @@ impl Nexus {
         inline_proof: Option<&Proof>,
         cfg: &NexusConfig,
     ) -> Result<bool, KernelError> {
+        let t0 = self.telemetry.enabled().then(Instant::now);
         // The read stamp is captured *before* any store read: if any
         // epoch or publication version moves while the guard runs, the
         // decision may be stale and must not be cached (insert_if
@@ -822,7 +856,9 @@ impl Nexus {
             .goals
             .effective_goal(&Self::manager_of(object), object, opn);
         let mut prepared = vec![self.prepare_request(pid, subject, opn, object, inline_proof, cfg)];
+        let prove_start = t0.map(|_| Instant::now());
         self.auto_prove_prepared(opn, object, &goal, &mut prepared, cfg);
+        let prove_end = t0.map(|_| Instant::now());
         let prep = prepared.pop().expect("one prepared request")?;
         let req = AccessRequest {
             subject: &prep.subject,
@@ -832,6 +868,7 @@ impl Nexus {
             labels: &prep.labels,
         };
         let decision = self.guard.check(&req, &goal, &self.authorities);
+        let verify_end = t0.map(|_| Instant::now());
         let cacheable = decision.cacheable && (!prep.auto_attempted || decision.allow);
         if cfg.decision_cache && cacheable {
             let key = CacheKey {
@@ -842,7 +879,61 @@ impl Nexus {
             self.dcache
                 .insert_if(key, decision.allow, || self.stamp_still_valid(&stamp));
         }
+        // Inline evaluations are µs-scale and always journaled; the
+        // spans double into the stage histograms so inline and
+        // pipeline traffic share one set of distributions.
+        if let (Some(t0), Some(ps), Some(pe), Some(ve)) = (t0, prove_start, prove_end, verify_end) {
+            let prove_ns = span_ns(ps, pe);
+            let verify_ns = span_ns(pe, ve);
+            let complete_ns = span_ns(t0, Instant::now());
+            let stages = &self.telemetry.stages;
+            stages.record(Stage::Prove, prove_ns);
+            stages.record(Stage::Verify, verify_ns);
+            stages.record(Stage::Complete, complete_ns);
+            let mut ev = audit_event(
+                pid,
+                opn.0.clone(),
+                object.0.clone(),
+                verdict_of(decision.allow),
+                AuditPath::Inline,
+            );
+            ev.epochs = [stamp.epochs.0, stamp.epochs.1, stamp.epochs.2];
+            ev.memo_hits = self.guard.prover_stats().memo_hits;
+            ev.stages.prove_ns = Some(prove_ns);
+            ev.stages.verify_ns = Some(verify_ns);
+            ev.stages.complete_ns = Some(complete_ns);
+            if !decision.allow {
+                ev.refuted = prep.refuted.as_ref().map(|f| f.to_string());
+            }
+            self.telemetry.audit.push(ev);
+        }
         Ok(decision.allow)
+    }
+
+    /// Journal a sampled decision-cache hit. Only 1-in-2^shift
+    /// authorizations reach here (see `ObsConfig::hit_sample_shift`),
+    /// so the event allocation and epoch reads are off the common ns-
+    /// scale path.
+    fn audit_cache_hit(
+        &self,
+        pid: u64,
+        opn: &OpName,
+        object: &ResourceId,
+        allow: bool,
+        start: Instant,
+    ) {
+        let mut ev = audit_event(
+            pid,
+            opn.0.clone(),
+            object.0.clone(),
+            verdict_of(allow),
+            AuditPath::CacheHit,
+        );
+        let (g, p, l) = self.epoch_snapshot();
+        ev.epochs = [g, p, l];
+        ev.memo_hits = self.guard.prover_stats().memo_hits;
+        ev.stages.complete_ns = Some(span_ns(start, Instant::now()));
+        self.telemetry.audit.push(ev);
     }
 
     /// Assemble everything request-specific the guard needs: the
@@ -890,6 +981,7 @@ impl Nexus {
             labels,
             proof,
             auto_attempted,
+            refuted: None,
         })
     }
 
@@ -938,7 +1030,7 @@ impl Nexus {
                 Guard::instantiate_goal(goal, &probe)
             })
             .collect();
-        let proofs: Vec<Option<Proof>> = if cfg.batch_prover {
+        if cfg.batch_prover {
             let goals: Vec<BatchGoal<'_>> = needy
                 .iter()
                 .zip(&insts)
@@ -947,20 +1039,21 @@ impl Nexus {
                     credentials: &prepared[i].as_ref().expect("filtered to Ok").labels,
                 })
                 .collect();
-            self.guard
-                .prove_batch(self.prover_epoch(), &goals, ProverConfig::default())
+            let outcomes = self.guard.prove_batch_explained(
+                self.prover_epoch(),
+                &goals,
+                ProverConfig::default(),
+            );
+            for (&i, out) in needy.iter().zip(outcomes) {
+                let p = prepared[i].as_mut().expect("filtered to Ok");
+                p.proof = out.proof;
+                p.refuted = out.refuted;
+            }
         } else {
-            needy
-                .iter()
-                .zip(&insts)
-                .map(|(&i, inst)| {
-                    let p = prepared[i].as_ref().expect("filtered to Ok");
-                    prove(inst, &p.labels, ProverConfig::default())
-                })
-                .collect()
-        };
-        for (&i, proof) in needy.iter().zip(proofs) {
-            prepared[i].as_mut().expect("filtered to Ok").proof = proof;
+            for (&i, inst) in needy.iter().zip(&insts) {
+                let p = prepared[i].as_mut().expect("filtered to Ok");
+                p.proof = prove(inst, &p.labels, ProverConfig::default());
+            }
         }
     }
 
@@ -1051,8 +1144,20 @@ impl Nexus {
                 })
             }) as nexus_authzd::pool::Prioritizer)
         });
+        // Unless the caller supplied its own timers, the pool records
+        // submit/queue-wait/assembly spans into the kernel's stage
+        // histograms (the Arc is shared, not copied, so one snapshot
+        // covers both sides; the enabled flag stays the single switch).
+        let stage_timers = cfg
+            .stage_timers
+            .clone()
+            .or_else(|| Some(Arc::clone(&self.telemetry.stages)));
         let pool = Arc::new(GuardPool::new(
-            GuardPoolConfig { prioritizer, ..cfg },
+            GuardPoolConfig {
+                prioritizer,
+                stage_timers,
+                ..cfg
+            },
             Arc::new(NexusExecutor { kernel }),
         ));
         *slot = Some(Arc::clone(&pool));
@@ -1104,6 +1209,7 @@ impl Nexus {
     fn evaluate_authz_batch(&self, key: &BatchKey, reqs: &[AuthzRequest]) -> Vec<AuthzOutcome> {
         let (opn, object) = (&key.op, &key.object);
         let cfg = self.config();
+        let eval_start = self.telemetry.enabled().then(Instant::now);
         // Bounded only to rule out livelock under pathological epoch
         // churn; in that case the batch *faults* rather than letting a
         // possibly-stale allow escape.
@@ -1120,7 +1226,9 @@ impl Nexus {
                     self.prepare_request(r.pid, subject, opn, object, r.proof.as_ref(), &cfg)
                 })
                 .collect();
+            let prove_start = eval_start.map(|_| Instant::now());
             self.auto_prove_prepared(opn, object, &goal, &mut prepared, &cfg);
+            let prove_end = eval_start.map(|_| Instant::now());
             let ok_indices: Vec<usize> = prepared
                 .iter()
                 .enumerate()
@@ -1149,6 +1257,7 @@ impl Nexus {
                 // Re-evaluate.
                 continue;
             }
+            let verify_end = eval_start.map(|_| Instant::now());
             let mut outcomes: Vec<Option<AuthzOutcome>> = vec![None; reqs.len()];
             for (&i, decision) in ok_indices.iter().zip(&decisions) {
                 let p = prepared[i].as_ref().expect("filtered to Ok");
@@ -1169,10 +1278,62 @@ impl Nexus {
                     outcomes[i] = Some(AuthzOutcome::Fault(e.to_string()));
                 }
             }
+            // Spans are recorded only for the *final* (stamp-valid)
+            // attempt: a retried attempt's decisions never escape, so
+            // its timings would skew the distributions with work the
+            // caller never observed.
+            if let (Some(t0), Some(ps), Some(pe), Some(ve)) =
+                (eval_start, prove_start, prove_end, verify_end)
+            {
+                let prove_ns = span_ns(ps, pe);
+                let verify_ns = span_ns(pe, ve);
+                self.telemetry.stages.record(Stage::Prove, prove_ns);
+                self.telemetry.stages.record(Stage::Verify, verify_ns);
+                let epochs = [stamp.epochs.0, stamp.epochs.1, stamp.epochs.2];
+                let memo_hits = self.guard.prover_stats().memo_hits;
+                for (i, (r, outcome)) in reqs.iter().zip(&outcomes).enumerate() {
+                    let verdict = match outcome.as_ref().expect("every request resolved") {
+                        AuthzOutcome::Allow => AuditVerdict::Allow,
+                        AuthzOutcome::Deny => AuditVerdict::Deny,
+                        AuthzOutcome::Fault(_) => AuditVerdict::Fault,
+                    };
+                    let mut ev = audit_event(
+                        r.pid,
+                        opn.0.clone(),
+                        object.0.clone(),
+                        verdict,
+                        AuditPath::Pipeline,
+                    );
+                    ev.epochs = epochs;
+                    ev.memo_hits = memo_hits;
+                    ev.stages.queue_wait_ns = r.submitted_at.map(|at| span_ns(at, t0));
+                    ev.stages.prove_ns = Some(prove_ns);
+                    ev.stages.verify_ns = Some(verify_ns);
+                    if verdict == AuditVerdict::Deny {
+                        ev.refuted = prepared[i]
+                            .as_ref()
+                            .ok()
+                            .and_then(|p| p.refuted.as_ref())
+                            .map(|f| f.to_string());
+                    }
+                    self.telemetry.audit.push(ev);
+                }
+            }
             return outcomes
                 .into_iter()
                 .map(|o| o.expect("every request resolved"))
                 .collect();
+        }
+        if self.telemetry.enabled() {
+            for r in reqs {
+                self.telemetry.audit.push(audit_event(
+                    r.pid,
+                    opn.0.clone(),
+                    object.0.clone(),
+                    AuditVerdict::Fault,
+                    AuditPath::Pipeline,
+                ));
+            }
         }
         vec![
             AuthzOutcome::Fault("authorization batch could not reach a stable epoch".into());
@@ -1205,6 +1366,205 @@ impl Nexus {
     /// guard).
     pub fn guard_upcalls(&self) -> u64 {
         self.guard_upcalls.load(Ordering::Relaxed)
+    }
+
+    // ---- telemetry (ISSUE 7) ----
+
+    /// One unified snapshot of every stats surface in the stack —
+    /// decision cache, guard, batch prover, interposition, pipeline
+    /// (when running), audit journal, and the per-stage latency
+    /// histograms — frozen into a [`TelemetrySnapshot`] renderable as
+    /// Prometheus text or JSON. Collection polls the live atomics
+    /// once; it never locks a hot path.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut r = MetricsRegistry::new();
+        r.gauge(
+            "nexus_telemetry_enabled",
+            "1 when stage timers and the audit journal are recording",
+            i64::from(self.telemetry.enabled()),
+        );
+        let d = self.dcache.stats();
+        r.counter("nexus_dcache_hits_total", "decision-cache hits", d.hits)
+            .counter(
+                "nexus_dcache_misses_total",
+                "decision-cache misses",
+                d.misses,
+            )
+            .counter(
+                "nexus_dcache_invalidations_total",
+                "decision-cache epoch invalidations",
+                d.invalidations,
+            )
+            .counter(
+                "nexus_dcache_collisions_total",
+                "decision-cache set-conflict evictions",
+                d.collisions,
+            )
+            .counter(
+                "nexus_dcache_read_retries_total",
+                "seqlock read retries (torn reads)",
+                d.read_retries,
+            )
+            .counter(
+                "nexus_dcache_read_fallbacks_total",
+                "seqlock reads that fell back to the table lock",
+                d.read_fallbacks,
+            );
+        let g = self.guard.stats();
+        r.counter("nexus_guard_checks_total", "guard proof checks", g.checks)
+            .counter(
+                "nexus_guard_cache_hits_total",
+                "guard proof-cache hits",
+                g.cache_hits,
+            )
+            .counter(
+                "nexus_guard_cache_misses_total",
+                "guard proof-cache misses",
+                g.cache_misses,
+            )
+            .counter(
+                "nexus_guard_authority_queries_total",
+                "authority predicate queries",
+                g.authority_queries,
+            )
+            .counter(
+                "nexus_guard_evictions_total",
+                "guard proof-cache evictions",
+                g.evictions,
+            )
+            .counter(
+                "nexus_guard_batched_total",
+                "requests checked through check_batch",
+                g.batched,
+            )
+            .counter(
+                "nexus_guard_upcalls_total",
+                "decision-cache misses that reached the guard",
+                self.guard_upcalls(),
+            );
+        let p = self.guard.prover_stats();
+        r.counter(
+            "nexus_prover_memo_hits_total",
+            "prover memo hits",
+            p.memo_hits,
+        )
+        .counter(
+            "nexus_prover_memo_misses_total",
+            "prover memo misses",
+            p.memo_misses,
+        )
+        .counter(
+            "nexus_prover_batch_groups_total",
+            "distinct frontier groups across batches",
+            p.batch_groups,
+        )
+        .counter(
+            "nexus_prover_batch_shared_total",
+            "goals that shared an earlier goal's frontier",
+            p.batch_shared,
+        )
+        .counter(
+            "nexus_prover_flushes_total",
+            "memo flushes (label-removal epoch moved)",
+            p.flushes,
+        )
+        .counter(
+            "nexus_prover_proved_total",
+            "auto-prove successes",
+            p.proved,
+        )
+        .counter("nexus_prover_failed_total", "auto-prove failures", p.failed);
+        let i = self.redirector.stats();
+        r.counter(
+            "nexus_interpose_invocations_total",
+            "redirector monitor invocations",
+            i.invocations,
+        )
+        .counter(
+            "nexus_interpose_hits_total",
+            "redirector verdict-cache hits",
+            i.hits,
+        );
+        if let Some(s) = self.authz_stats() {
+            r.counter(
+                "nexus_authz_submitted_total",
+                "pipeline submissions",
+                s.submitted,
+            )
+            .counter(
+                "nexus_authz_completed_total",
+                "pipeline completions",
+                s.completed,
+            )
+            .counter("nexus_authz_batches_total", "pipeline batches", s.batches)
+            .counter(
+                "nexus_authz_coalesced_total",
+                "requests coalesced into an existing batch",
+                s.coalesced,
+            )
+            .counter(
+                "nexus_authz_rejected_total",
+                "submissions shed at the high-water mark",
+                s.rejected,
+            )
+            .counter(
+                "nexus_authz_external_batches_total",
+                "batches run on the external lane",
+                s.external_batches,
+            )
+            .counter(
+                "nexus_authz_callback_panics_total",
+                "ticket callbacks that panicked",
+                s.callback_panics,
+            )
+            .counter(
+                "nexus_authz_executor_panics_total",
+                "batches whose executor panicked",
+                s.executor_panics,
+            )
+            .gauge(
+                "nexus_authz_max_batch_seen",
+                "largest batch observed",
+                i64::try_from(s.max_batch_seen).unwrap_or(i64::MAX),
+            )
+            .gauge(
+                "nexus_authz_embedded_depth",
+                "embedded-lane backlog (queued requests)",
+                i64::try_from(s.embedded_depth).unwrap_or(i64::MAX),
+            )
+            .gauge(
+                "nexus_authz_external_depth",
+                "external-lane backlog (queued requests)",
+                i64::try_from(s.external_depth).unwrap_or(i64::MAX),
+            );
+        }
+        r.counter(
+            "nexus_audit_recorded_total",
+            "audit events recorded (slot claims)",
+            self.telemetry.audit.recorded(),
+        )
+        .counter(
+            "nexus_audit_dropped_total",
+            "audit events dropped in slot races",
+            self.telemetry.audit.dropped(),
+        );
+        for stage in Stage::ALL {
+            r.histogram(
+                &format!("nexus_authz_stage_{}_ns", stage.name()),
+                &format!("authorize-path {} stage latency (ns)", stage.name()),
+                self.telemetry.stages.snapshot(stage),
+            );
+        }
+        r.finish()
+    }
+
+    /// The most recent `n` decision audit events, newest first (see
+    /// [`AuditEvent`]). Cache hits are sampled
+    /// (`ObsConfig::hit_sample_shift`); misses, denials, and faults
+    /// are always journaled while telemetry is enabled, and denials
+    /// carry the subgoal the prover refuted.
+    pub fn audit_recent(&self, n: usize) -> Vec<AuditEvent> {
+        self.telemetry.audit.recent(n)
     }
 
     // ---- system calls ----
@@ -1548,6 +1908,53 @@ struct PreparedRequest {
     labels: Vec<Formula>,
     proof: Option<Proof>,
     auto_attempted: bool,
+    /// For auto-proved requests whose search failed: the deepest
+    /// subgoal the prover refuted (the "why" behind a deny), carried
+    /// into the audit journal. `None` when the proof succeeded, the
+    /// request supplied/stored a proof, or the legacy one-shot prover
+    /// ran.
+    refuted: Option<Formula>,
+}
+
+/// The kernel-side telemetry bundle: stage-latency histograms (shared
+/// by `Arc` with the pipeline so pool workers record into the same
+/// buckets), the decision audit journal, and the cache-hit sampler.
+/// All three are live regardless of `ObsConfig::enabled`; the stage
+/// timers' enabled flag is the single master switch the hot paths
+/// consult (one relaxed load when telemetry is off).
+struct KernelTelemetry {
+    stages: Arc<StageTimers>,
+    audit: AuditJournal,
+    sampler: Sampler,
+}
+
+impl KernelTelemetry {
+    fn new(obs: &ObsConfig) -> Self {
+        KernelTelemetry {
+            stages: Arc::new(StageTimers::new(obs.enabled)),
+            audit: AuditJournal::new(obs.audit_capacity),
+            sampler: Sampler::new(obs.hit_sample_shift),
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.stages.enabled()
+    }
+}
+
+fn verdict_of(allow: bool) -> AuditVerdict {
+    if allow {
+        AuditVerdict::Allow
+    } else {
+        AuditVerdict::Deny
+    }
+}
+
+/// Nanoseconds between two instants, saturating (monotonic clocks can
+/// still compare non-monotonically across cores on some platforms).
+fn span_ns(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The per-process facts the submission path reads on every request,

@@ -246,9 +246,13 @@ mod tests {
         for _ in 0..10 {
             world.echo(&nexus, &[0u8; 100]).unwrap();
         }
-        let (hits, total) = nexus.redirector().stats();
-        assert!(total >= 10);
-        assert!(hits >= 9, "verdicts should be cached, hits={hits}");
+        let stats = nexus.redirector().stats();
+        assert!(stats.invocations >= 10);
+        assert!(
+            stats.hits >= 9,
+            "verdicts should be cached, hits={}",
+            stats.hits
+        );
     }
 
     #[test]

@@ -296,6 +296,7 @@ fn stuck_external_authority_saturates_only_the_external_pool() {
         overflow: OverflowPolicy::Reject,
         external_workers: 1,
         prioritizer: None,
+        stage_timers: None,
     });
     // The first external request wedges the (sole) external worker…
     let stuck = nexus.authorize_async(ext_pids[0], "poke", &ext).unwrap();

@@ -1,0 +1,242 @@
+//! Integration tests for the telemetry layer (ISSUE 7): the unified
+//! metrics snapshot, the per-stage latency histograms, and the
+//! decision audit journal — in particular that a denied request's
+//! journal entry carries the subgoal the prover refuted, on both the
+//! inline and the pipelined path.
+
+use nexus_core::ResourceId;
+use nexus_kernel::{
+    AuditPath, AuditVerdict, BootImages, GuardPoolConfig, Nexus, NexusConfig, ObsConfig,
+};
+use nexus_nal::{normalize, parse, Principal};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+use std::sync::Arc;
+
+fn boot_with(cfg: NexusConfig) -> Arc<Nexus> {
+    Arc::new(
+        Nexus::boot(
+            Tpm::new_with_seed(0x7e1e),
+            RamDisk::new(),
+            &BootImages::standard(),
+            cfg,
+        )
+        .expect("boot"),
+    )
+}
+
+/// A world whose conjunctive goal `Owner says g and Owner says h`
+/// splits cleanly: `g` is derivable through a Gate delegation, `h`
+/// never is — so every deny has a specific refuted subgoal
+/// (`Owner says h`) for the journal to carry.
+fn conjunctive_world(nexus: &Nexus) -> ResourceId {
+    let object = ResourceId::new("test", "telemetry");
+    let owner = nexus.spawn("owner", b"img");
+    nexus.grant_ownership(owner, &object).unwrap();
+    nexus
+        .sys_setgoal(
+            owner,
+            object.clone(),
+            "op",
+            parse("Owner says g and Owner says h").unwrap(),
+        )
+        .unwrap();
+    object
+}
+
+/// Credentials that discharge the `g` half only.
+fn grant_g_only(nexus: &Nexus, pid: u64) {
+    nexus
+        .kernel_label(
+            pid,
+            Principal::name("Owner"),
+            parse("Gate speaksfor Owner").unwrap(),
+        )
+        .unwrap();
+    nexus
+        .kernel_label(pid, Principal::name("Gate"), parse("g").unwrap())
+        .unwrap();
+}
+
+fn assert_refuted_is_owner_says_h(refuted: Option<&str>) {
+    let text = refuted.expect("denial must carry its refuted subgoal");
+    let got = normalize(&parse(text).expect("refuted subgoal must re-parse"));
+    assert_eq!(
+        got,
+        normalize(&parse("Owner says h").unwrap()),
+        "refuted subgoal must be the underivable conjunct, got {text:?}"
+    );
+}
+
+#[test]
+fn inline_denial_journals_the_refuted_subgoal() {
+    let nexus = boot_with(NexusConfig::default());
+    let object = conjunctive_world(&nexus);
+    let pid = nexus.spawn("halfway", b"img");
+    grant_g_only(&nexus, pid);
+    assert!(!nexus.authorize(pid, "op", &object).unwrap());
+    let ev = nexus
+        .audit_recent(16)
+        .into_iter()
+        .find(|e| e.pid == pid && e.verdict == AuditVerdict::Deny)
+        .expect("denial must be journaled");
+    assert_eq!(ev.path, AuditPath::Inline);
+    assert!(!ev.cache_hit);
+    assert_eq!(ev.op, "op");
+    assert!(ev.stages.prove_ns.is_some());
+    assert!(ev.stages.verify_ns.is_some());
+    assert!(ev.stages.complete_ns.is_some());
+    assert_refuted_is_owner_says_h(ev.refuted.as_deref());
+}
+
+#[test]
+fn pipelined_denial_journals_the_refuted_subgoal() {
+    let nexus = boot_with(NexusConfig::default());
+    let object = conjunctive_world(&nexus);
+    nexus.start_authz_pipeline(GuardPoolConfig::default());
+    let pid = nexus.spawn("halfway", b"img");
+    grant_g_only(&nexus, pid);
+    assert!(!nexus.authorize(pid, "op", &object).unwrap());
+    let ev = nexus
+        .audit_recent(64)
+        .into_iter()
+        .find(|e| e.pid == pid && e.verdict == AuditVerdict::Deny)
+        .expect("denial must be journaled");
+    assert_eq!(ev.path, AuditPath::Pipeline);
+    assert!(ev.stages.queue_wait_ns.is_some());
+    assert_refuted_is_owner_says_h(ev.refuted.as_deref());
+    // The pool side recorded its spans into the shared histograms.
+    let snap = nexus.telemetry_snapshot();
+    for stage in ["submit", "queue_wait", "batch_assembly", "complete"] {
+        let name = format!("nexus_authz_stage_{stage}_ns");
+        let m = snap.get(&name).expect("stage histogram registered");
+        match &m.value {
+            nexus_obs::SampleValue::Histogram(h) => {
+                assert!(h.count > 0, "{name} must have samples");
+            }
+            other => panic!("{name} must be a histogram, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn sampled_cache_hits_are_journaled_with_their_span() {
+    // shift 0 ⇒ every hit sampled.
+    let nexus = boot_with(NexusConfig {
+        obs: ObsConfig {
+            hit_sample_shift: 0,
+            ..ObsConfig::default()
+        },
+        ..NexusConfig::default()
+    });
+    let object = conjunctive_world(&nexus);
+    let owner_like = nexus.spawn("lucky", b"img");
+    grant_g_only(&nexus, owner_like);
+    nexus
+        .kernel_label(owner_like, Principal::name("Gate"), parse("h").unwrap())
+        .unwrap();
+    nexus
+        .kernel_label(
+            owner_like,
+            Principal::name("Owner"),
+            parse("Gate says h").unwrap(),
+        )
+        .unwrap();
+    // First authorize misses and (if allowed) caches; second hits.
+    let first = nexus.authorize(owner_like, "op", &object).unwrap();
+    assert!(first, "world must make the full conjunction derivable");
+    assert!(nexus.authorize(owner_like, "op", &object).unwrap());
+    let hit = nexus
+        .audit_recent(16)
+        .into_iter()
+        .find(|e| e.pid == owner_like && e.path == AuditPath::CacheHit)
+        .expect("sampled hit must be journaled");
+    assert!(hit.cache_hit);
+    assert_eq!(hit.verdict, AuditVerdict::Allow);
+    assert!(hit.stages.complete_ns.is_some());
+    assert!(hit.refuted.is_none());
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let nexus = boot_with(NexusConfig {
+        obs: ObsConfig::disabled(),
+        ..NexusConfig::default()
+    });
+    let object = conjunctive_world(&nexus);
+    let pid = nexus.spawn("halfway", b"img");
+    grant_g_only(&nexus, pid);
+    assert!(!nexus.authorize(pid, "op", &object).unwrap());
+    assert!(nexus.audit_recent(16).is_empty());
+    let snap = nexus.telemetry_snapshot();
+    match &snap.get("nexus_telemetry_enabled").unwrap().value {
+        nexus_obs::SampleValue::Gauge(v) => assert_eq!(*v, 0),
+        other => panic!("enabled flag must be a gauge, got {other:?}"),
+    }
+    match &snap.get("nexus_authz_stage_complete_ns").unwrap().value {
+        nexus_obs::SampleValue::Histogram(h) => assert_eq!(h.count, 0),
+        other => panic!("stage metric must be a histogram, got {other:?}"),
+    }
+    // Counters still collect (they are the stores' own live atomics).
+    assert!(snap.get("nexus_dcache_misses_total").is_some());
+}
+
+#[test]
+fn snapshot_unifies_every_stats_surface_and_renders() {
+    let nexus = boot_with(NexusConfig::default());
+    let object = conjunctive_world(&nexus);
+    nexus.start_authz_pipeline(GuardPoolConfig::default());
+    let pid = nexus.spawn("halfway", b"img");
+    grant_g_only(&nexus, pid);
+    let _ = nexus.authorize(pid, "op", &object).unwrap();
+    let snap = nexus.telemetry_snapshot();
+    for name in [
+        "nexus_telemetry_enabled",
+        "nexus_dcache_hits_total",
+        "nexus_guard_checks_total",
+        "nexus_prover_memo_hits_total",
+        "nexus_interpose_invocations_total",
+        "nexus_authz_submitted_total",
+        "nexus_authz_embedded_depth",
+        "nexus_audit_recorded_total",
+        "nexus_authz_stage_prove_ns",
+    ] {
+        assert!(snap.get(name).is_some(), "missing metric {name}");
+    }
+    let text = snap.render_text();
+    assert!(text.contains("# TYPE nexus_dcache_hits_total counter"));
+    assert!(text.contains("nexus_authz_stage_prove_ns{quantile=\"0.99\"}"));
+    let json = snap.render_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"nexus_guard_checks_total\""));
+}
+
+#[test]
+fn set_config_toggles_telemetry_at_runtime() {
+    let nexus = boot_with(NexusConfig::default());
+    let object = conjunctive_world(&nexus);
+    let pid = nexus.spawn("halfway", b"img");
+    grant_g_only(&nexus, pid);
+    nexus.set_config(NexusConfig {
+        obs: ObsConfig::disabled(),
+        ..NexusConfig::default()
+    });
+    assert!(!nexus.authorize(pid, "op", &object).unwrap());
+    // World setup (setgoal etc.) may have journaled while telemetry
+    // was still on; what matters is that *this* denial did not.
+    assert!(
+        !nexus.audit_recent(64).iter().any(|e| e.pid == pid),
+        "no event may be journaled while telemetry is off"
+    );
+    nexus.set_config(NexusConfig::default());
+    let fresh = nexus.spawn("fresh", b"img");
+    grant_g_only(&nexus, fresh);
+    assert!(!nexus.authorize(fresh, "op", &object).unwrap());
+    assert!(
+        nexus
+            .audit_recent(64)
+            .iter()
+            .any(|e| e.pid == fresh && e.verdict == AuditVerdict::Deny),
+        "re-enabled telemetry must journal again"
+    );
+}

@@ -73,14 +73,14 @@ pub mod subst;
 pub mod term;
 pub mod worldview;
 
-pub use check::{check, check_with_hypotheses, Assumptions};
+pub use check::{check, check_with_hypotheses, normalize, Assumptions};
 pub use error::{CheckError, ParseError};
 pub use formula::{CmpOp, Formula};
 pub use parser::{parse, parse_principal, parse_term};
 pub use principal::Principal;
 pub use proof::Proof;
 pub use search::{
-    credential_fingerprint, prove, BatchGoal, ProofSearch, ProverConfig, SearchStats,
+    credential_fingerprint, prove, BatchGoal, ProofSearch, ProveOutcome, ProverConfig, SearchStats,
 };
 pub use subst::Subst;
 pub use term::Term;

@@ -89,6 +89,22 @@ pub struct BatchGoal<'a> {
     pub credentials: &'a [Formula],
 }
 
+/// One request's outcome from an explained prover call: the proof if
+/// the search succeeded, otherwise the *refutation witness* — the most
+/// specific (deepest-recursion) subgoal the search refuted under the
+/// request's credential set, falling back to the normalized goal
+/// itself when the failure was a budget artifact with no memoized
+/// refutation. The witness is what a denial audit trail reports as
+/// "why": the blocking subgoal, not just "no proof".
+#[derive(Debug, Clone)]
+pub struct ProveOutcome {
+    /// The proof, when the bounded search succeeded.
+    pub proof: Option<Proof>,
+    /// On failure, the refuted subgoal (always `Some` when `proof` is
+    /// `None`; always `None` when it is `Some`).
+    pub refuted: Option<Formula>,
+}
+
 /// A memoized derivation, shareable across credential sets: the proof
 /// is spliced into a request only when every recorded leaf is among
 /// the *requesting* credentials, so a hit can never smuggle in a
@@ -199,6 +215,15 @@ impl ProofSearch {
     ///
     /// Returns one entry per input, in order.
     pub fn prove_batch(&mut self, goals: &[BatchGoal<'_>]) -> Vec<Option<Proof>> {
+        self.prove_batch_explained(goals)
+            .into_iter()
+            .map(|o| o.proof)
+            .collect()
+    }
+
+    /// [`ProofSearch::prove_batch`], with each failure explained by
+    /// its refutation witness (see [`ProveOutcome`]).
+    pub fn prove_batch_explained(&mut self, goals: &[BatchGoal<'_>]) -> Vec<ProveOutcome> {
         // Grouping compares the actual normalized credential lists —
         // never just their hashes — so a fingerprint collision cannot
         // hand one request another's proof.
@@ -209,23 +234,25 @@ impl ProofSearch {
             norm.dedup();
             groups.entry((normalize(g.goal), norm)).or_default().push(i);
         }
-        let mut out: Vec<Option<Proof>> = vec![None; goals.len()];
+        let mut out: Vec<Option<ProveOutcome>> = vec![None; goals.len()];
         self.session.stats.batch_groups += groups.len() as u64;
         for ((_, norm_creds), members) in groups {
             let fp = fingerprint_normalized(&norm_creds);
             let lead = members[0];
-            let proof = self.prove_keyed(goals[lead].goal, goals[lead].credentials, fp);
-            if proof.is_some() {
+            let outcome = self.prove_keyed_explained(goals[lead].goal, goals[lead].credentials, fp);
+            if outcome.proof.is_some() {
                 // Counted only when something was actually spliced: a
                 // failed group search shares the *refutation*, not a
                 // proof.
                 self.session.stats.batch_shared += (members.len() - 1) as u64;
             }
             for &i in &members {
-                out[i] = proof.clone();
+                out[i] = Some(outcome.clone());
             }
         }
-        out
+        out.into_iter()
+            .map(|o| o.expect("every member grouped"))
+            .collect()
     }
 
     /// Statistics snapshot.
@@ -245,6 +272,15 @@ impl ProofSearch {
     }
 
     fn prove_keyed(&mut self, goal: &Formula, credentials: &[Formula], fp: u128) -> Option<Proof> {
+        self.prove_keyed_explained(goal, credentials, fp).proof
+    }
+
+    fn prove_keyed_explained(
+        &mut self,
+        goal: &Formula,
+        credentials: &[Formula],
+        fp: u128,
+    ) -> ProveOutcome {
         let norm_credentials: Vec<(Formula, Formula)> = credentials
             .iter()
             .map(|c| (normalize(c), c.clone()))
@@ -259,17 +295,27 @@ impl ProofSearch {
             subgoals: 0,
             budget_exhausted: false,
             hypotheses: Vec::new(),
+            witness: None,
             handoff_edges: compute_handoff_edges(credentials),
             session: &mut self.session,
         };
-        let proof = s.solve(goal, self.cfg.max_depth)?;
+        let proof = s.solve(goal, self.cfg.max_depth);
+        // Whatever the search refuted most deeply is the explanation a
+        // denial reports; a budget-starved failure that refuted
+        // nothing falls back to the goal itself.
+        let witness = s.witness.take().map(|(f, _)| f);
         // Never hand back a proof that the checker would reject —
         // memoized splices included.
-        let asm = Assumptions::from_iter(credentials.iter());
-        match crate::check::check(&proof, &asm) {
-            Ok(c) if normalize(&c) == normalize(goal) => Some(proof),
-            _ => None,
-        }
+        let proof = proof.filter(|p| {
+            let asm = Assumptions::from_iter(credentials.iter());
+            matches!(crate::check::check(p, &asm), Ok(c) if normalize(&c) == normalize(goal))
+        });
+        let refuted = if proof.is_some() {
+            None
+        } else {
+            Some(witness.unwrap_or_else(|| normalize(goal)))
+        };
+        ProveOutcome { proof, refuted }
     }
 }
 
@@ -320,6 +366,11 @@ struct Search<'a> {
     /// are budget artifacts and must not be memoized as refutations.
     budget_exhausted: bool,
     hypotheses: Vec<Formula>,
+    /// The most specific refuted subgoal seen so far: the normalized
+    /// formula whose (hypothesis-free) search failed with the least
+    /// remaining depth — i.e. deepest in the recursion, closest to the
+    /// missing credential. Surfaced as the denial explanation.
+    witness: Option<(Formula, usize)>,
     /// Delegation edges derivable by the handoff rule from
     /// credentials of the form `S says (A speaksfor B)` where S is B
     /// or an ancestor of B: (from, to, scope, proof).
@@ -406,6 +457,15 @@ pub fn prove(goal: &Formula, credentials: &[Formula], cfg: ProverConfig) -> Opti
 }
 
 impl<'a> Search<'a> {
+    /// Remember `ng` as the refutation witness if it is the most
+    /// specific refutation so far (least remaining depth = deepest in
+    /// the recursion). Ties keep the earlier formula.
+    fn note_witness(&mut self, ng: &Formula, depth: usize) {
+        if self.witness.as_ref().is_none_or(|(_, d)| depth < *d) {
+            self.witness = Some((ng.clone(), depth));
+        }
+    }
+
     fn budget(&mut self) -> bool {
         self.subgoals += 1;
         if self.subgoals > self.cfg.max_subgoals {
@@ -473,6 +533,7 @@ impl<'a> Search<'a> {
                 // failed under the identical credential set.
                 if depth <= failed_depth {
                     self.session.stats.memo_hits += 1;
+                    self.note_witness(&ng, depth);
                     return None;
                 }
             }
@@ -504,6 +565,7 @@ impl<'a> Search<'a> {
                 // Budget-starved failures are artifacts of *this*
                 // search, not refutations; never memoize them.
                 None if !self.budget_exhausted => {
+                    self.note_witness(&ng, depth);
                     let slot = self
                         .session
                         .refuted
@@ -1111,6 +1173,46 @@ mod tests {
         assert!(s.prove(&g, &with).is_some());
         // And the refutation still answers for the original set.
         assert!(s.prove(&g, &without).is_none());
+    }
+
+    #[test]
+    fn failed_searches_explain_themselves_with_a_refuted_subgoal() {
+        // The first conjunct is provable via the A→B chain; the second
+        // is not. The witness must be the blocking *subgoal*
+        // (`B says q`), not merely the top-level conjunction.
+        let have = creds(&["A speaksfor B", "A says p"]);
+        let goal = parse("B says p and B says q").unwrap();
+        let mut s = ProofSearch::new(ProverConfig::default());
+        let out = s.prove_batch_explained(&[BatchGoal {
+            goal: &goal,
+            credentials: &have,
+        }]);
+        assert!(out[0].proof.is_none());
+        let refuted = out[0]
+            .refuted
+            .clone()
+            .expect("failure must carry a witness");
+        assert_eq!(
+            normalize(&refuted),
+            normalize(&parse("B says q").unwrap()),
+            "witness should be the deepest refuted subgoal"
+        );
+        // Successes carry no witness.
+        let ok_goal = parse("B says p").unwrap();
+        let out = s.prove_batch_explained(&[BatchGoal {
+            goal: &ok_goal,
+            credentials: &have,
+        }]);
+        assert!(out[0].proof.is_some());
+        assert!(out[0].refuted.is_none());
+        // A re-run answered from the memoized refutation still
+        // explains itself.
+        let out = s.prove_batch_explained(&[BatchGoal {
+            goal: &goal,
+            credentials: &have,
+        }]);
+        assert!(out[0].proof.is_none());
+        assert!(out[0].refuted.is_some());
     }
 
     #[test]

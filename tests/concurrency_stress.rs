@@ -292,6 +292,7 @@ fn bounded_admission_under_load_never_wedges_or_lies() {
         overflow: OverflowPolicy::Reject,
         external_workers: 1,
         prioritizer: None,
+        stage_timers: None,
     });
     // Fresh subjects each round dodge the decision cache, keeping the
     // submission queue under genuine pressure.
