@@ -1,0 +1,313 @@
+//! A compact binary IR for IPD images — the input language of the
+//! attestation analyzer ([`crate::attest`]).
+//!
+//! The native Nexus hands analyzers the ELF image of the IPD being
+//! labeled; this simulation hands them a structured stand-in: a
+//! control-flow graph per function, a direct call graph, explicit
+//! `unsafe`-region markers with the values flowing into them, guard
+//! (validity-check) instructions, and panic sites. Applications
+//! construct images with the builder-style methods here, and the
+//! analyzer's verdicts are *about this IR* — its soundness argument
+//! (see `docs/ARCHITECTURE.md`) is stated against the semantics below.
+//!
+//! ## Semantics (what the passes assume)
+//!
+//! * Execution of a function starts at block 0; every instruction in
+//!   a block executes in order, then the terminator transfers control.
+//! * Values ([`ValueId`]) are function-local virtual registers.
+//!   [`Inst::Compute`] (re)defines one from untrusted input;
+//!   [`Inst::Guard`] marks a validity check that vouches for the
+//!   value *from that point on, along that path*, until the value is
+//!   redefined.
+//! * [`Inst::Unsafe`] is an unsafe region consuming its input values;
+//!   [`Inst::Call`] transfers to another function in the image and
+//!   returns; [`Inst::CallIndirect`] transfers to an unknown target.
+//! * [`Inst::Panic`] aborts the process. (Instructions after a panic
+//!   in the same block are unreachable; the analyzer does not exploit
+//!   this — it only ever errs toward *refusing* a credential.)
+
+use nexus_tpm::{hash, Digest};
+
+/// Index of a function within its [`BinaryImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub usize);
+
+/// Index of a basic block within its [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// A function-local virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Define (or redefine) a value from untrusted input or
+    /// computation. Redefinition invalidates any earlier guard on the
+    /// same value.
+    Compute(ValueId),
+    /// A validity/bounds check: from here on (along this path) the
+    /// value counts as guarded.
+    Guard(ValueId),
+    /// An unsafe region consuming `inputs`; named for witnesses.
+    Unsafe {
+        /// Region name, quoted in refusal witnesses.
+        region: String,
+        /// Values flowing into the region.
+        inputs: Vec<ValueId>,
+    },
+    /// Direct call to another function in the image.
+    Call(FuncId),
+    /// Indirect call through a function pointer — target unknown.
+    CallIndirect,
+    /// A panic site (unwind/abort edge).
+    Panic,
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch.
+    Branch(BlockId, BlockId),
+    /// Return to the caller.
+    Return,
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instructions, executed in order.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Return,
+        }
+    }
+}
+
+/// A function: a CFG whose entry is block 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name, quoted in witnesses.
+    pub name: String,
+    /// Basic blocks; block 0 is the entry and always exists.
+    pub blocks: Vec<Block>,
+}
+
+/// A simulated IPD binary: functions, entry points, and a name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BinaryImage {
+    /// Image name (e.g. the encoder's), folded into the digest.
+    pub name: String,
+    /// All functions.
+    pub funcs: Vec<Function>,
+    /// Entry points (exported symbols the loader may invoke).
+    pub entries: Vec<FuncId>,
+}
+
+impl BinaryImage {
+    /// An empty image with the given name.
+    pub fn new(name: &str) -> BinaryImage {
+        BinaryImage {
+            name: name.to_string(),
+            funcs: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add a function (with its entry block) and return its id.
+    pub fn add_func(&mut self, name: &str) -> FuncId {
+        self.funcs.push(Function {
+            name: name.to_string(),
+            blocks: vec![Block::default()],
+        });
+        FuncId(self.funcs.len() - 1)
+    }
+
+    /// Mark a function as an entry point.
+    pub fn add_entry(&mut self, f: FuncId) {
+        self.entries.push(f);
+    }
+
+    /// Append a fresh block to `f`, returning its id.
+    pub fn add_block(&mut self, f: FuncId) -> BlockId {
+        let func = &mut self.funcs[f.0];
+        func.blocks.push(Block::default());
+        BlockId(func.blocks.len() - 1)
+    }
+
+    /// Append an instruction to a block.
+    pub fn push(&mut self, f: FuncId, b: BlockId, inst: Inst) {
+        self.funcs[f.0].blocks[b.0].insts.push(inst);
+    }
+
+    /// Set a block's terminator.
+    pub fn set_term(&mut self, f: FuncId, b: BlockId, term: Terminator) {
+        self.funcs[f.0].blocks[b.0].term = term;
+    }
+
+    /// Structural well-formedness: every referenced function, block,
+    /// and entry id is in range. The analyzer refuses credentials for
+    /// ill-formed images rather than guessing what they mean.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.entries {
+            if e.0 >= self.funcs.len() {
+                return Err(format!("entry point {} out of range", e.0));
+            }
+        }
+        for (fi, func) in self.funcs.iter().enumerate() {
+            if func.blocks.is_empty() {
+                return Err(format!("function {} ({}) has no blocks", fi, func.name));
+            }
+            for (bi, block) in func.blocks.iter().enumerate() {
+                for inst in &block.insts {
+                    if let Inst::Call(target) = inst {
+                        if target.0 >= self.funcs.len() {
+                            return Err(format!(
+                                "call target {} out of range in {}:{}",
+                                target.0, func.name, bi
+                            ));
+                        }
+                    }
+                }
+                let targets: &[BlockId] = match &block.term {
+                    Terminator::Jump(t) => std::slice::from_ref(t),
+                    Terminator::Branch(a, b) => {
+                        if a.0 >= func.blocks.len() || b.0 >= func.blocks.len() {
+                            return Err(format!("branch out of range in {}:{}", func.name, bi));
+                        }
+                        continue;
+                    }
+                    Terminator::Return => &[],
+                };
+                for t in targets {
+                    if t.0 >= func.blocks.len() {
+                        return Err(format!("jump out of range in {}:{}", func.name, bi));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable content digest over the canonical byte encoding of the
+    /// whole image. Two structurally equal images digest equal; any
+    /// mutation (instruction, edge, entry, name) moves the digest —
+    /// this is what keys the analyzer's result cache and what makes a
+    /// re-analysis after a binary change revoke stale credentials.
+    pub fn digest(&self) -> Digest {
+        let mut bytes = Vec::new();
+        let push_usize = |bytes: &mut Vec<u8>, x: usize| {
+            bytes.extend_from_slice(&(x as u64).to_le_bytes());
+        };
+        push_usize(&mut bytes, self.name.len());
+        bytes.extend_from_slice(self.name.as_bytes());
+        push_usize(&mut bytes, self.entries.len());
+        for e in &self.entries {
+            push_usize(&mut bytes, e.0);
+        }
+        push_usize(&mut bytes, self.funcs.len());
+        for func in &self.funcs {
+            push_usize(&mut bytes, func.name.len());
+            bytes.extend_from_slice(func.name.as_bytes());
+            push_usize(&mut bytes, func.blocks.len());
+            for block in &func.blocks {
+                push_usize(&mut bytes, block.insts.len());
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Compute(v) => {
+                            bytes.push(1);
+                            bytes.extend_from_slice(&v.0.to_le_bytes());
+                        }
+                        Inst::Guard(v) => {
+                            bytes.push(2);
+                            bytes.extend_from_slice(&v.0.to_le_bytes());
+                        }
+                        Inst::Unsafe { region, inputs } => {
+                            bytes.push(3);
+                            push_usize(&mut bytes, region.len());
+                            bytes.extend_from_slice(region.as_bytes());
+                            push_usize(&mut bytes, inputs.len());
+                            for v in inputs {
+                                bytes.extend_from_slice(&v.0.to_le_bytes());
+                            }
+                        }
+                        Inst::Call(f) => {
+                            bytes.push(4);
+                            push_usize(&mut bytes, f.0);
+                        }
+                        Inst::CallIndirect => bytes.push(5),
+                        Inst::Panic => bytes.push(6),
+                    }
+                }
+                match &block.term {
+                    Terminator::Jump(t) => {
+                        bytes.push(10);
+                        push_usize(&mut bytes, t.0);
+                    }
+                    Terminator::Branch(a, b) => {
+                        bytes.push(11);
+                        push_usize(&mut bytes, a.0);
+                        push_usize(&mut bytes, b.0);
+                    }
+                    Terminator::Return => bytes.push(12),
+                }
+            }
+        }
+        hash(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_moves_on_any_mutation() {
+        let mut img = BinaryImage::new("enc");
+        let f = img.add_func("main");
+        img.add_entry(f);
+        img.push(f, BlockId(0), Inst::Compute(ValueId(0)));
+        let d0 = img.digest();
+        assert_eq!(d0, img.clone().digest(), "digest is deterministic");
+
+        let mut renamed = img.clone();
+        renamed.name = "enc2".into();
+        assert_ne!(d0, renamed.digest());
+
+        let mut grown = img.clone();
+        grown.push(f, BlockId(0), Inst::Panic);
+        assert_ne!(d0, grown.digest());
+
+        let mut retermed = img.clone();
+        let b = retermed.add_block(f);
+        retermed.set_term(f, BlockId(0), Terminator::Jump(b));
+        assert_ne!(d0, retermed.digest());
+    }
+
+    #[test]
+    fn validate_catches_dangling_references() {
+        let mut img = BinaryImage::new("bad");
+        let f = img.add_func("main");
+        img.add_entry(FuncId(7));
+        assert!(img.validate().is_err());
+        img.entries.clear();
+        img.add_entry(f);
+        img.push(f, BlockId(0), Inst::Call(FuncId(9)));
+        assert!(img.validate().is_err());
+        img.funcs[f.0].blocks[0].insts.clear();
+        img.set_term(f, BlockId(0), Terminator::Branch(BlockId(0), BlockId(5)));
+        assert!(img.validate().is_err());
+        img.set_term(f, BlockId(0), Terminator::Return);
+        assert!(img.validate().is_ok());
+    }
+}

@@ -15,15 +15,24 @@
 //! * [`cobuf`] — constrained buffers: owner-tagged byte strings that
 //!   tenant code can store, retrieve, concatenate, and slice but never
 //!   inspect; collation is gated on the social graph's `speaksfor`
-//!   relation.
+//!   relation;
+//! * [`attest`] — the attestation analyzer (ISSUE 8): static
+//!   panic-reachability and unguarded-unsafe passes over the [`bin`]
+//!   IR that mint `panic_free`/`no_unsafe` (and, for PyLite,
+//!   `imports_clean`) credentials through the kernel's labelstore,
+//!   revoked through the label-removal epoch when the binary changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
+pub mod bin;
 pub mod cobuf;
 pub mod ipc_analyzer;
 pub mod pylite;
 
+pub use attest::{analyze, AnalysisConfig, AnalysisReport, AttestAnalyzer, Attestation, Claim};
+pub use bin::BinaryImage;
 pub use cobuf::{CobufId, CobufStore};
 pub use ipc_analyzer::{ConnectivityReport, IpcAnalyzer};
 pub use pylite::{analyze_imports, find_reflection, rewrite_reflection, Interpreter, PyValue};

@@ -1,0 +1,342 @@
+//! Soundness sabotage tests for the attestation analyzer (ISSUE 8):
+//! no IR with a reachable panic (or an unguarded unsafe input) may
+//! ever yield the corresponding credential. The analyzer is allowed to
+//! refuse clean images (conservatism is fine); it is never allowed to
+//! mint over a dirty one.
+
+use nexus_analyzers::attest::{analyze, AnalysisConfig, AttestAnalyzer, Claim};
+use nexus_analyzers::bin::{BinaryImage, BlockId, FuncId, Inst, Terminator, ValueId};
+use nexus_kernel::{BootImages, Nexus, NexusConfig};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+
+fn boot() -> Nexus {
+    Nexus::boot(
+        Tpm::new_with_seed(0x50_0d),
+        RamDisk::new(),
+        &BootImages::standard(),
+        NexusConfig::default(),
+    )
+    .expect("boot")
+}
+
+fn cfg() -> AnalysisConfig {
+    AnalysisConfig::default()
+}
+
+/// A panic reachable only *through* an indirect call: the function
+/// holding the panic is never a direct call target, but an indirect
+/// call could reach it. The analyzer cannot know the target set, so it
+/// must refuse.
+#[test]
+fn panic_only_via_indirect_call_refuses() {
+    let mut img = BinaryImage::new("indirect");
+    let main = img.add_func("main");
+    img.add_entry(main);
+    img.push(main, BlockId(0), Inst::CallIndirect);
+    // Only reachable through the indirect call.
+    let evil = img.add_func("evil");
+    img.push(evil, BlockId(0), Inst::Panic);
+    let r = analyze(&img, &cfg());
+    assert!(!r.panic_free, "indirect call must refuse panic_free");
+    assert!(
+        r.panic_witness.as_deref().unwrap().contains("indirect"),
+        "witness must name the indirect call: {:?}",
+        r.panic_witness
+    );
+    // The address-taken approximation also drags `evil` into the
+    // unsafe pass's coverage set (it is clean here, so no_unsafe may
+    // still hold).
+    assert!(r.no_unsafe);
+}
+
+/// Panic in dead code may mint — all the way through the kernel path:
+/// the credential lands in the subject's labelstore.
+#[test]
+fn dead_code_panic_mints_through_kernel() {
+    let nexus = boot();
+    let analyzer = AttestAnalyzer::launch(&nexus).expect("launch");
+    let mut img = BinaryImage::new("deadcode");
+    let main = img.add_func("main");
+    img.add_entry(main);
+    img.push(main, BlockId(0), Inst::Compute(ValueId(0)));
+    let dead = img.add_block(main); // no terminator reaches it
+    img.push(main, dead, Inst::Panic);
+    let subject = nexus.spawn("subject", b"img");
+    let att = analyzer
+        .attest_binary(&nexus, subject, &img)
+        .expect("attest");
+    assert!(att.holds(Claim::PanicFree), "{:?}", att.refused);
+    let subject_prin = nexus.principal(subject).unwrap();
+    let want = analyzer
+        .credential(Claim::PanicFree, &subject_prin)
+        .to_string();
+    assert!(
+        nexus
+            .labels_of(subject)
+            .unwrap()
+            .iter()
+            .any(|l| l.to_string() == want),
+        "minted credential must be in the labelstore"
+    );
+}
+
+/// Unsafe guarded on one of two paths: the join point is not
+/// must-guarded, so `no_unsafe` must be refused — and the refusal must
+/// keep the credential out of the labelstore.
+#[test]
+fn unsafe_guarded_on_one_path_refuses_through_kernel() {
+    let nexus = boot();
+    let analyzer = AttestAnalyzer::launch(&nexus).expect("launch");
+    let mut img = BinaryImage::new("half-guarded");
+    let main = img.add_func("main");
+    img.add_entry(main);
+    let (a, b, join) = (
+        img.add_block(main),
+        img.add_block(main),
+        img.add_block(main),
+    );
+    img.push(main, BlockId(0), Inst::Compute(ValueId(7)));
+    img.set_term(main, BlockId(0), Terminator::Branch(a, b));
+    img.push(main, a, Inst::Guard(ValueId(7)));
+    img.set_term(main, a, Terminator::Jump(join));
+    // Arm `b` skips the guard entirely.
+    img.set_term(main, b, Terminator::Jump(join));
+    img.push(
+        main,
+        join,
+        Inst::Unsafe {
+            region: "deref".into(),
+            inputs: vec![ValueId(7)],
+        },
+    );
+    let subject = nexus.spawn("subject", b"img");
+    let att = analyzer
+        .attest_binary(&nexus, subject, &img)
+        .expect("attest");
+    assert!(att.holds(Claim::PanicFree));
+    assert!(!att.holds(Claim::NoUnsafe));
+    assert!(
+        att.refusal(Claim::NoUnsafe).unwrap().contains("deref"),
+        "witness must name the unsafe region"
+    );
+    let subject_prin = nexus.principal(subject).unwrap();
+    let not_wanted = analyzer
+        .credential(Claim::NoUnsafe, &subject_prin)
+        .to_string();
+    assert!(
+        !nexus
+            .labels_of(subject)
+            .unwrap()
+            .iter()
+            .any(|l| l.to_string() == not_wanted),
+        "refused credential must not be in the labelstore"
+    );
+}
+
+// ---- randomized sabotage sweep -----------------------------------
+
+/// Deterministic LCG (no external randomness in tests).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random well-formed image: a handful of functions with random
+/// block graphs, computes/guards/unsafe regions, and direct calls.
+fn random_image(rng: &mut Lcg) -> BinaryImage {
+    let mut img = BinaryImage::new("random");
+    let nfuncs = 2 + rng.below(4) as usize;
+    let funcs: Vec<FuncId> = (0..nfuncs)
+        .map(|i| img.add_func(&format!("f{i}")))
+        .collect();
+    img.add_entry(funcs[0]);
+    for (fi, f) in funcs.iter().enumerate() {
+        let extra = rng.below(3) as usize;
+        let blocks: Vec<BlockId> = std::iter::once(BlockId(0))
+            .chain((0..extra).map(|_| img.add_block(*f)))
+            .collect();
+        for b in &blocks {
+            for _ in 0..rng.below(4) {
+                let inst = match rng.below(10) {
+                    0..=3 => Inst::Compute(ValueId(rng.below(4) as u32)),
+                    4..=6 => Inst::Guard(ValueId(rng.below(4) as u32)),
+                    7..=8 => Inst::Unsafe {
+                        region: "r".into(),
+                        inputs: vec![ValueId(rng.below(4) as u32)],
+                    },
+                    // Call a random function (cycles allowed).
+                    _ => Inst::Call(funcs[rng.below(nfuncs as u64) as usize]),
+                };
+                img.push(*f, *b, inst);
+            }
+            let term = match rng.below(3) {
+                0 if blocks.len() > 1 => {
+                    Terminator::Jump(blocks[rng.below(blocks.len() as u64) as usize])
+                }
+                1 if blocks.len() > 1 => Terminator::Branch(
+                    blocks[rng.below(blocks.len() as u64) as usize],
+                    blocks[rng.below(blocks.len() as u64) as usize],
+                ),
+                _ => Terminator::Return,
+            };
+            img.set_term(*f, *b, term);
+        }
+        // Keep at least one function panic-seeded sometimes, so both
+        // verdicts occur across the sweep.
+        if fi > 0 && rng.below(4) == 0 {
+            img.push(*f, BlockId(0), Inst::Panic);
+        }
+    }
+    img
+}
+
+/// Independent ground truth for pass 1: worklist over (func, block)
+/// states where a direct call enters the callee's entry block. A
+/// reachable `Panic` or `CallIndirect` means `panic_free` must not
+/// have been minted.
+fn ground_truth_panic_reachable(img: &BinaryImage) -> bool {
+    let mut seen: Vec<Vec<bool>> = img
+        .funcs
+        .iter()
+        .map(|f| vec![false; f.blocks.len()])
+        .collect();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for e in &img.entries {
+        if !seen[e.0][0] {
+            seen[e.0][0] = true;
+            work.push((e.0, 0));
+        }
+    }
+    while let Some((fi, bi)) = work.pop() {
+        let block = &img.funcs[fi].blocks[bi];
+        for inst in &block.insts {
+            match inst {
+                Inst::Panic | Inst::CallIndirect => return true,
+                Inst::Call(t) if !seen[t.0][0] => {
+                    seen[t.0][0] = true;
+                    work.push((t.0, 0));
+                }
+                _ => {}
+            }
+        }
+        for s in match block.term {
+            Terminator::Jump(b) => vec![b.0],
+            Terminator::Branch(a, b) => vec![a.0, b.0],
+            Terminator::Return => vec![],
+        } {
+            if !seen[fi][s] {
+                seen[fi][s] = true;
+                work.push((fi, s));
+            }
+        }
+    }
+    false
+}
+
+/// The sweep: over many random images, (a) a `panic_free` verdict must
+/// agree with the independent ground truth, and (b) sabotaging a
+/// minted image — injecting a panic or an unguarded unsafe at the
+/// entry point — must flip the verdict to refusal.
+#[test]
+fn randomized_sabotage_sweep() {
+    let mut rng = Lcg(0x5eed_cafe);
+    let mut minted_panic_free = 0;
+    let mut minted_no_unsafe = 0;
+    for _ in 0..200 {
+        let img = random_image(&mut rng);
+        img.validate().expect("generator builds well-formed images");
+        let r = analyze(&img, &cfg());
+
+        // (a) soundness vs ground truth: mint ⇒ truly clean.
+        if r.panic_free {
+            minted_panic_free += 1;
+            assert!(
+                !ground_truth_panic_reachable(&img),
+                "analyzer minted panic_free over a reachable panic"
+            );
+        }
+
+        // (b) sabotage: a panic at the entry must always refuse.
+        if r.panic_free {
+            let mut sab = img.clone();
+            let entry = sab.entries[0];
+            sab.push(entry, BlockId(0), Inst::Panic);
+            assert_ne!(sab.digest(), img.digest(), "sabotage must move the digest");
+            assert!(
+                !analyze(&sab, &cfg()).panic_free,
+                "injected panic must refuse panic_free"
+            );
+        }
+
+        // (b') sabotage: an unguarded unsafe at the entry must refuse.
+        if r.no_unsafe {
+            minted_no_unsafe += 1;
+            let mut sab = img.clone();
+            let entry = sab.entries[0];
+            // v3 freshly computed, never guarded before use.
+            sab.push(entry, BlockId(0), Inst::Compute(ValueId(3)));
+            sab.push(
+                entry,
+                BlockId(0),
+                Inst::Unsafe {
+                    region: "sabotage".into(),
+                    inputs: vec![ValueId(3)],
+                },
+            );
+            assert!(
+                !analyze(&sab, &cfg()).no_unsafe,
+                "injected unguarded unsafe must refuse no_unsafe"
+            );
+        }
+    }
+    // The sweep must exercise both verdicts to mean anything.
+    assert!(
+        minted_panic_free > 10,
+        "sweep too pessimistic to test mints"
+    );
+    assert!(minted_no_unsafe > 10);
+    assert!(
+        minted_panic_free < 200,
+        "sweep too optimistic to test refusals"
+    );
+}
+
+/// End-to-end sabotage through the kernel: a dirty image attested via
+/// the full minting path must leave no `panic_free` credential behind.
+#[test]
+fn sabotaged_image_never_earns_the_credential() {
+    let nexus = boot();
+    let analyzer = AttestAnalyzer::launch(&nexus).expect("launch");
+    let mut rng = Lcg(0xdead_beef);
+    for i in 0..20 {
+        let mut img = random_image(&mut rng);
+        img.push(img.entries[0], BlockId(0), Inst::Panic);
+        let subject = nexus.spawn(&format!("subject-{i}"), b"img");
+        let att = analyzer
+            .attest_binary(&nexus, subject, &img)
+            .expect("attest");
+        assert!(!att.holds(Claim::PanicFree));
+        let prin = nexus.principal(subject).unwrap();
+        let cred = analyzer.credential(Claim::PanicFree, &prin).to_string();
+        assert!(
+            !nexus
+                .labels_of(subject)
+                .unwrap()
+                .iter()
+                .any(|l| l.to_string() == cred),
+            "no sabotaged image may yield panic_free"
+        );
+    }
+}

@@ -4,10 +4,25 @@
 //! of every transformation applied. Publication-standards checkers
 //! later examine the (source, log, result) triple: the log replays to
 //! the result, and disallowed operations (e.g. cloning) are evident.
+//!
+//! [`CertiPicsService`] runs the suite *on a Nexus* and exercises the
+//! analytic basis of trust end-to-end: the upload operation carries
+//! the goal `analyzer says panic_free($subject)`, so only encoders the
+//! attestation analyzer ([`nexus_analyzers::attest`]) has statically
+//! verified panic-free can submit images — "only accept uploads from
+//! panic-free encoders". Re-attesting a changed encoder binary revokes
+//! the stale credential through the label-removal epoch, flipping a
+//! previously allowed upload to deny.
 
+use nexus_analyzers::attest::{AttestAnalyzer, Attestation, Claim};
+use nexus_analyzers::bin::{BinaryImage, BlockId, Inst, ValueId};
+use nexus_core::ResourceId;
+use nexus_kernel::{KernelError, Nexus};
 use nexus_tpm::{hash, Digest};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A grayscale raster image.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -227,6 +242,127 @@ impl CertiPics {
     }
 }
 
+/// A plausible encoder binary for the attestation analyzer: `width`
+/// stage functions called from `main`, each guarding its input before
+/// an unsafe region (SIMD/pixel-buffer work), panic-free throughout.
+/// Bigger `width` means a costlier analysis — the fig7a benchmark's
+/// knob.
+pub fn sample_encoder(name: &str, width: usize) -> BinaryImage {
+    let mut img = BinaryImage::new(name);
+    let main = img.add_func("main");
+    img.add_entry(main);
+    for i in 0..width.max(1) {
+        let stage = img.add_func(&format!("stage{i}"));
+        let v = ValueId(i as u32);
+        img.push(stage, BlockId(0), Inst::Compute(v));
+        img.push(stage, BlockId(0), Inst::Guard(v));
+        img.push(
+            stage,
+            BlockId(0),
+            Inst::Unsafe {
+                region: format!("simd{i}"),
+                inputs: vec![v],
+            },
+        );
+        img.push(main, BlockId(0), Inst::Call(stage));
+    }
+    img
+}
+
+/// The upload gate: a CertiPics service IPD owning the upload queue,
+/// with the `upload` operation goal-protected by the attestation
+/// analyzer's `panic_free` credential.
+pub struct CertiPicsService {
+    nexus: Arc<Nexus>,
+    service_pid: u64,
+    analyzer: AttestAnalyzer,
+    uploads_object: ResourceId,
+    accepted: Mutex<Vec<(u64, Digest)>>,
+}
+
+impl CertiPicsService {
+    /// Deploy on a running kernel: spawn the service and analyzer
+    /// IPDs, take ownership of the upload queue, and install the goal
+    /// `analyzer says panic_free($subject)` on `upload`.
+    pub fn deploy(nexus: Arc<Nexus>) -> Result<CertiPicsService, KernelError> {
+        let service_pid = nexus.spawn("certipics-service", b"certipics-image");
+        let analyzer = AttestAnalyzer::launch(&nexus)?;
+        let uploads_object = ResourceId::new("certipics", "uploads");
+        nexus.grant_ownership(service_pid, &uploads_object)?;
+        nexus.sys_setgoal(
+            service_pid,
+            uploads_object.clone(),
+            "upload",
+            analyzer.goal(Claim::PanicFree),
+        )?;
+        Ok(CertiPicsService {
+            nexus,
+            service_pid,
+            analyzer,
+            uploads_object,
+            accepted: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The service IPD.
+    pub fn service_pid(&self) -> u64 {
+        self.service_pid
+    }
+
+    /// The analyzer whose credentials gate uploads.
+    pub fn analyzer(&self) -> &AttestAnalyzer {
+        &self.analyzer
+    }
+
+    /// The goal-protected upload queue object.
+    pub fn uploads_object(&self) -> &ResourceId {
+        &self.uploads_object
+    }
+
+    /// Register an encoder: spawn its IPD from the binary and run the
+    /// first-contact analysis. The returned [`Attestation`] says which
+    /// credentials the encoder earned.
+    pub fn register_encoder(
+        &self,
+        name: &str,
+        binary: &BinaryImage,
+    ) -> Result<(u64, Attestation), KernelError> {
+        let pid = self.nexus.spawn(name, &binary.digest().0);
+        let attestation = self.analyzer.attest_binary(&self.nexus, pid, binary)?;
+        Ok((pid, attestation))
+    }
+
+    /// Re-analyze an encoder (e.g. after it updated its binary). A
+    /// changed binary revokes the old credentials before re-analysis,
+    /// so a stale `panic_free` can never authorize an upload.
+    pub fn reattest(
+        &self,
+        encoder_pid: u64,
+        binary: &BinaryImage,
+    ) -> Result<Attestation, KernelError> {
+        self.analyzer
+            .attest_binary(&self.nexus, encoder_pid, binary)
+    }
+
+    /// An encoder submits an image. The guard decides: `true` (and the
+    /// image is queued) only if the encoder currently holds the
+    /// analyzer's `panic_free` credential.
+    pub fn upload(&self, encoder_pid: u64, image: &Image) -> Result<bool, KernelError> {
+        let allowed = self
+            .nexus
+            .authorize(encoder_pid, "upload", &self.uploads_object)?;
+        if allowed {
+            self.accepted.lock().push((encoder_pid, image.digest()));
+        }
+        Ok(allowed)
+    }
+
+    /// Digests of accepted uploads, in arrival order.
+    pub fn accepted(&self) -> Vec<(u64, Digest)> {
+        self.accepted.lock().clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +428,27 @@ mod tests {
             CertiPics::verify(&src, &log, session.result()),
             Verdict::LogMismatch
         );
+    }
+
+    #[test]
+    fn upload_gate_demands_panic_free() {
+        use nexus_analyzers::bin::FuncId;
+        let nexus = Arc::new(Nexus::boot_default().unwrap());
+        let svc = CertiPicsService::deploy(Arc::clone(&nexus)).unwrap();
+
+        let (good, att) = svc
+            .register_encoder("good-encoder", &sample_encoder("good", 4))
+            .unwrap();
+        assert!(att.holds(Claim::PanicFree) && att.holds(Claim::NoUnsafe));
+        assert!(svc.upload(good, &gradient(8, 8)).unwrap());
+
+        // An encoder with a reachable panic in `main` never passes.
+        let mut crashy = sample_encoder("crashy", 4);
+        crashy.push(FuncId(0), BlockId(0), Inst::Panic);
+        let (bad, att) = svc.register_encoder("crashy-encoder", &crashy).unwrap();
+        assert!(!att.holds(Claim::PanicFree));
+        assert!(!svc.upload(bad, &gradient(8, 8)).unwrap());
+        assert_eq!(svc.accepted().len(), 1);
     }
 
     #[test]

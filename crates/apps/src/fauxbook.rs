@@ -19,6 +19,7 @@
 //!   guard using two embedded authorities (the web server's session
 //!   authority and the framework's friendship authority).
 
+use nexus_analyzers::attest::{AttestAnalyzer, Claim};
 use nexus_analyzers::cobuf::{CobufStore, RenderToken};
 use nexus_analyzers::pylite::{
     self, check_import_whitelist, find_reflection, rewrite_reflection, Program, PyValue,
@@ -102,6 +103,9 @@ pub struct Fauxbook {
     pub webserver_pid: u64,
     /// Web framework IPD.
     pub framework_pid: u64,
+    /// Tenant-code IPD — holds the attestation analyzer's
+    /// `imports_clean` credential once deployment succeeds.
+    pub tenant_pid: u64,
     echo: EchoWorld,
     cobufs: CobufStore,
     render_token: RenderToken,
@@ -163,6 +167,25 @@ impl Fauxbook {
         let reflections = find_reflection(&parsed);
         let tenant = rewrite_reflection(&parsed);
 
+        // The whitelist verdict also flows through the attestation-
+        // minting path (ISSUE 8): the tenant IPD earns a real
+        // `imports_clean` credential, spoken by the analyzer's own
+        // principal, sitting in its labelstore like any other label.
+        let tenant_pid = nexus.spawn("fauxbook-tenant", tenant_source.as_bytes());
+        let attest_analyzer =
+            AttestAnalyzer::launch(&nexus).map_err(|e| FauxbookError::Kernel(e.to_string()))?;
+        let tenant_attestation = attest_analyzer
+            .attest_pylite(&nexus, tenant_pid, &parsed, TENANT_WHITELIST)
+            .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
+        if !tenant_attestation.holds(Claim::ImportsClean) {
+            return Err(FauxbookError::TenantRejected(
+                tenant_attestation
+                    .refusal(Claim::ImportsClean)
+                    .unwrap_or("imports_clean refused")
+                    .to_string(),
+            ));
+        }
+
         // --- attestation labels (the privacy-policy bundle) ---
         let fw = nexus
             .principal(framework_pid)
@@ -177,6 +200,11 @@ impl Fauxbook {
         if !reflections.is_empty() {
             attestations.push(parse(&format!("{fw} says reflectionNeutralized(tenant)")).unwrap());
         }
+        // The analyzer-minted credential joins the published bundle.
+        let tenant_prin = nexus
+            .principal(tenant_pid)
+            .map_err(|e| FauxbookError::Kernel(e.to_string()))?;
+        attestations.push(attest_analyzer.credential(Claim::ImportsClean, &tenant_prin));
         // Resource attestation: register tenants on the scheduler.
         nexus.sched().set_weight("fauxbook", 3);
         nexus.sched().set_weight("other-tenant", 1);
@@ -237,6 +265,7 @@ impl Fauxbook {
             driver_pid,
             webserver_pid,
             framework_pid,
+            tenant_pid,
             echo,
             cobufs,
             render_token,

@@ -1,13 +1,16 @@
 //! Regenerate every table and figure of the paper's evaluation (§5)
-//! — plus the beyond-the-paper Figure 9 scalability curve and the
-//! Figure 12 telemetry-overhead A/B — and print them in the paper's
-//! layout.
+//! — plus the beyond-the-paper Figure 7a analysis-vs-reuse bench, the
+//! Figure 9 scalability curve, and the Figure 12 telemetry-overhead
+//! A/B — and print them in the paper's layout.
 //!
 //! Usage:
 //! `cargo run --release -p nexus-bench --bin reproduce \
-//!    [quick|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]`
+//!    [quick|fig7a|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]`
 //!
-//! `fig9` runs only the scalability bench (full iteration counts);
+//! `fig7a` runs only the attestation-analyzer bench (static analysis
+//! cost per authorization vs standing-credential reuse on the
+//! CertiPics upload gate); `fig9` runs only the scalability bench
+//! (full iteration counts);
 //! `fig9-hits` runs only its hit-path mode (seqlock vs mutexed
 //! decision-cache reads on a hit-dominated workload, 1..=64 threads);
 //! `fig9-bp` runs only its back-pressure mode (stuck external
@@ -22,7 +25,7 @@
 //! figure (see `nexus_bench::report`); for single-figure modes, just
 //! that figure's points.
 
-use nexus_bench::{fig12, fig4, fig5, fig6, fig7, fig8, fig9, report, table1};
+use nexus_bench::{fig12, fig4, fig5, fig6, fig7, fig7a, fig8, fig9, report, table1};
 
 fn print_fig9(iters: u64) {
     println!("\n=== Figure 9: authorization scalability (ops/s, shared Arc<Nexus>) ===");
@@ -118,6 +121,27 @@ fn print_fig9_prover(iters: u64) {
     );
 }
 
+fn print_fig7a(auths: u64) {
+    println!("\n=== Figure 7a: analysis cost vs credential reuse (CertiPics upload gate) ===");
+    println!(
+        "{:<20} {:>14} {:>8} {:>10} {:>8}",
+        "mode", "ns/auth", "auths", "analyses", "minted"
+    );
+    let pts = fig7a::run(auths);
+    for p in &pts {
+        println!(
+            "{:<20} {:>14.0} {:>8} {:>10} {:>8}",
+            p.mode, p.ns_per_auth, p.auths, p.analyses, p.minted
+        );
+    }
+    println!(
+        "(credential reuse vs re-analysis per auth: {:.1}x — acceptance bound ≥ 5x; \
+         {}-stage encoder, forced re-attest = revoke + analyze + re-mint + epoch flush)",
+        fig7a::speedup(&pts),
+        fig7a::ENCODER_WIDTH
+    );
+}
+
 fn print_fig4_assoc(rounds: u64) {
     println!("\n=== Figure 4 (ablation): decision-cache hit rate vs associativity ===");
     println!(
@@ -181,7 +205,9 @@ fn write_single(path: &str, figure: &str, cfg: &report::ReportConfig) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: reproduce [quick|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]");
+    eprintln!(
+        "usage: reproduce [quick|fig7a|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]"
+    );
     std::process::exit(2);
 }
 
@@ -202,6 +228,13 @@ fn main() {
     let quick = match args.as_slice() {
         [] => false,
         [a] if a == "quick" => true,
+        [a] if a == "fig7a" => {
+            print_fig7a(1_000);
+            if let Some(path) = &json_path {
+                write_single(path, "fig7a", &report::ReportConfig::full());
+            }
+            return;
+        }
         [a] if a == "fig9" => {
             print_fig9(2_000);
             print_fig9_hits(200_000);
@@ -367,6 +400,7 @@ fn main() {
             }
         }
     }
+    print_fig7a(if quick { 300 } else { 1_000 });
     print_fig4_assoc(if quick { 48 } else { 256 });
     print_fig9(if quick { 300 } else { 2_000 });
     print_fig9_hits(if quick { 20_000 } else { 200_000 });

@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fig7a;
 pub mod fig8;
 pub mod fig9;
 pub mod report;

@@ -7,7 +7,7 @@
 //! as an array of objects keyed by the point-struct field names. A
 //! `meta` object records the mode and workload knobs the run used.
 
-use crate::{fig12, fig4, fig5, fig6, fig7, fig8, fig9, table1};
+use crate::{fig12, fig4, fig5, fig6, fig7, fig7a, fig8, fig9, table1};
 use serde::Value;
 
 /// Workload sizes for one report run (the `quick`/full split the
@@ -22,6 +22,8 @@ pub struct ReportConfig {
     pub pkts: u64,
     /// Requests per fig8 cell.
     pub reqs: u64,
+    /// Authorizations per fig7a mode.
+    pub fig7a_auths: u64,
     /// Rounds for the fig4 associativity ablation.
     pub assoc_rounds: u64,
     /// Iterations for the fig9 scalability curve.
@@ -46,6 +48,7 @@ impl ReportConfig {
             iters: 300,
             pkts: 2_000,
             reqs: 50,
+            fig7a_auths: 300,
             assoc_rounds: 48,
             fig9_iters: 300,
             hits_iters: 20_000,
@@ -63,6 +66,7 @@ impl ReportConfig {
             iters: 2_000,
             pkts: 20_000,
             reqs: 300,
+            fig7a_auths: 1_000,
             assoc_rounds: 256,
             fig9_iters: 2_000,
             hits_iters: 200_000,
@@ -81,6 +85,7 @@ impl ReportConfig {
             iters: 5,
             pkts: 50,
             reqs: 2,
+            fig7a_auths: 5,
             assoc_rounds: 2,
             fig9_iters: 5,
             hits_iters: 200,
@@ -113,13 +118,14 @@ fn u(x: u64) -> Value {
 }
 
 /// Every figure key `generate` emits, in document order.
-pub const FIGURES: [&str; 12] = [
+pub const FIGURES: [&str; 13] = [
     "table1",
     "fig4",
     "fig4_assoc",
     "fig5",
     "fig6",
     "fig7",
+    "fig7a",
     "fig8",
     "fig9",
     "fig9_hits",
@@ -205,6 +211,20 @@ pub fn section(figure: &str, cfg: &ReportConfig) -> Option<Value> {
                         ("config", s(p.config)),
                         ("pkt_size", u(p.pkt_size as u64)),
                         ("pps", f(p.pps)),
+                    ])
+                })
+                .collect(),
+        ),
+        "fig7a" => Value::Seq(
+            fig7a::run(cfg.fig7a_auths)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("mode", s(p.mode)),
+                        ("ns_per_auth", f(p.ns_per_auth)),
+                        ("auths", u(p.auths)),
+                        ("analyses", u(p.analyses)),
+                        ("minted", u(p.minted)),
                     ])
                 })
                 .collect(),
@@ -325,6 +345,7 @@ mod tests {
             "fig5",
             "fig6",
             "fig7",
+            "fig7a",
             "fig8",
             "fig9",
             "fig9_hits",

@@ -232,6 +232,8 @@ pub struct Nexus {
     /// Telemetry composite: stage timers (shared by `Arc` with the
     /// pipeline), decision audit journal, and the cache-hit sampler.
     telemetry: KernelTelemetry,
+    /// Counters for the analyzer→credential path (ISSUE 8).
+    attest: AttestCounters,
 }
 
 impl Nexus {
@@ -294,6 +296,7 @@ impl Nexus {
             fs_reply_port,
             guard_upcalls: AtomicU64::new(0),
             telemetry: KernelTelemetry::new(&cfg.obs),
+            attest: AttestCounters::default(),
         })
     }
 
@@ -519,6 +522,134 @@ impl Nexus {
         self.dcache.clear();
         self.fence_in_flight_authz();
         Ok(handle)
+    }
+
+    // ---- analyzer credentials (ISSUE 8) ----
+
+    /// Record one analyzer run against the attestation counters:
+    /// `cache_hit` when a prior result was reused instead of
+    /// re-analyzing.
+    pub fn note_analysis(&self, cache_hit: bool) {
+        if cache_hit {
+            self.attest.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.attest.analyses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Mint an analyzer credential: deposit `statement`, spoken by
+    /// `analyzer_pid`'s principal, into `subject_pid`'s labelstore.
+    /// The speaker is kernel-attributed (like `sys_say`), so an
+    /// analyzer cannot mint in another principal's name. Counted and
+    /// journaled as a `mint` event on the analyzer audit path.
+    pub fn mint_credential(
+        &self,
+        analyzer_pid: u64,
+        subject_pid: u64,
+        statement: Formula,
+    ) -> Result<LabelHandle, KernelError> {
+        let speaker = self.principal(analyzer_pid)?;
+        let claim = Self::claim_name(&statement);
+        let handle = self
+            .ipds
+            .write()
+            .get_mut(subject_pid)?
+            .labelstore
+            .insert(Label { speaker, statement });
+        self.attest.minted.fetch_add(1, Ordering::Relaxed);
+        self.journal_attest(subject_pid, &claim, AuditVerdict::Mint, None);
+        Ok(handle)
+    }
+
+    /// Record an analyzer's refusal to mint `claim` for `subject_pid`
+    /// (nothing enters the labelstore). The analysis witness lands in
+    /// the journal event's `refuted` field, mirroring denial events.
+    pub fn refuse_credential(
+        &self,
+        analyzer_pid: u64,
+        subject_pid: u64,
+        claim: &str,
+        witness: &str,
+    ) -> Result<(), KernelError> {
+        self.principal(analyzer_pid)?;
+        self.principal(subject_pid)?;
+        self.attest.refused.fetch_add(1, Ordering::Relaxed);
+        self.journal_attest(
+            subject_pid,
+            claim,
+            AuditVerdict::Refuse,
+            Some(witness.to_string()),
+        );
+        Ok(())
+    }
+
+    /// Revoke a previously minted credential: remove the label and
+    /// flush everything that may have cached a decision it supported —
+    /// exactly [`Nexus::transfer_label`]'s removal discipline (bump
+    /// the label-removal epoch, clear the decision cache, fence
+    /// in-flight pipeline batches). By the time this returns, no
+    /// authorization backed by the revoked credential can complete.
+    pub fn revoke_credential(&self, subject_pid: u64, h: LabelHandle) -> Result<(), KernelError> {
+        let label = self
+            .ipds
+            .write()
+            .get_mut(subject_pid)?
+            .labelstore
+            .delete(h)?;
+        self.label_removal_epoch.fetch_add(1, Ordering::Relaxed);
+        self.dcache.clear();
+        self.fence_in_flight_authz();
+        self.attest.revoked.fetch_add(1, Ordering::Relaxed);
+        self.journal_attest(
+            subject_pid,
+            &Self::claim_name(&label.statement),
+            AuditVerdict::Revoke,
+            None,
+        );
+        Ok(())
+    }
+
+    /// Cumulative attestation-path counters.
+    pub fn attest_stats(&self) -> AttestStats {
+        AttestStats {
+            analyses_run: self.attest.analyses.load(Ordering::Relaxed),
+            analysis_cache_hits: self.attest.cache_hits.load(Ordering::Relaxed),
+            credentials_minted: self.attest.minted.load(Ordering::Relaxed),
+            credentials_refused: self.attest.refused.load(Ordering::Relaxed),
+            credentials_revoked: self.attest.revoked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The claim (predicate) name a credential statement asserts.
+    fn claim_name(statement: &Formula) -> String {
+        match statement {
+            Formula::Pred(name, _) => name.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Journal one analyzer credential event (while telemetry is on).
+    fn journal_attest(
+        &self,
+        subject_pid: u64,
+        claim: &str,
+        verdict: AuditVerdict,
+        witness: Option<String>,
+    ) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let mut ev = audit_event(
+            subject_pid,
+            claim,
+            ResourceId::ipd(subject_pid).0,
+            verdict,
+            AuditPath::Analyzer,
+        );
+        let (g, p, l) = self.epoch_snapshot();
+        ev.epochs = [g, p, l];
+        ev.refuted = witness;
+        self.telemetry.audit.push(ev);
     }
 
     // ---- goals, proofs, authorities ----
@@ -1548,6 +1679,32 @@ impl Nexus {
             "audit events dropped in slot races",
             self.telemetry.audit.dropped(),
         );
+        let a = self.attest_stats();
+        r.counter(
+            "nexus_attest_analyses_total",
+            "analyzer runs (analysis-cache misses)",
+            a.analyses_run,
+        )
+        .counter(
+            "nexus_attest_analysis_cache_hits_total",
+            "attestation requests served from cached analysis results",
+            a.analysis_cache_hits,
+        )
+        .counter(
+            "nexus_attest_minted_total",
+            "analyzer credentials minted",
+            a.credentials_minted,
+        )
+        .counter(
+            "nexus_attest_refused_total",
+            "analyzer credentials refused",
+            a.credentials_refused,
+        )
+        .counter(
+            "nexus_attest_revoked_total",
+            "analyzer credentials revoked (binary changed)",
+            a.credentials_revoked,
+        );
         for stage in Stage::ALL {
             r.histogram(
                 &format!("nexus_authz_stage_{}_ns", stage.name()),
@@ -1922,6 +2079,33 @@ struct PreparedRequest {
 /// All three are live regardless of `ObsConfig::enabled`; the stage
 /// timers' enabled flag is the single master switch the hot paths
 /// consult (one relaxed load when telemetry is off).
+/// Live counters behind [`Nexus::attest_stats`] (the analyzer
+/// credential path, ISSUE 8).
+#[derive(Default)]
+struct AttestCounters {
+    analyses: AtomicU64,
+    cache_hits: AtomicU64,
+    minted: AtomicU64,
+    refused: AtomicU64,
+    revoked: AtomicU64,
+}
+
+/// A frozen copy of the attestation-path counters: analyzer runs,
+/// analysis-cache reuse, and the mint/refuse/revoke tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttestStats {
+    /// Analyses actually run (analysis-cache misses).
+    pub analyses_run: u64,
+    /// Attestation requests answered from a cached analysis result.
+    pub analysis_cache_hits: u64,
+    /// Credentials minted into labelstores.
+    pub credentials_minted: u64,
+    /// Credentials refused (analysis found a witness).
+    pub credentials_refused: u64,
+    /// Credentials revoked after re-analysis or binary change.
+    pub credentials_revoked: u64,
+}
+
 struct KernelTelemetry {
     stages: Arc<StageTimers>,
     audit: AuditJournal,

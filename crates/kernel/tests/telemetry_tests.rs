@@ -212,6 +212,63 @@ fn snapshot_unifies_every_stats_surface_and_renders() {
 }
 
 #[test]
+fn credential_lifecycle_counts_and_journals() {
+    let nexus = boot_with(NexusConfig::default());
+    let analyzer = nexus.spawn("analyzer", b"analyzer-img");
+    let subject = nexus.spawn("subject", b"subject-img");
+    let subject_prin = nexus.principal(subject).unwrap();
+
+    // Mint, refuse, revoke — through the kernel surface the attest
+    // analyzer uses.
+    let stmt = nexus_nal::Formula::pred("panic_free", vec![nexus_nal::Term::Prin(subject_prin)]);
+    let h = nexus.mint_credential(analyzer, subject, stmt).unwrap();
+    nexus
+        .refuse_credential(analyzer, subject, "no_unsafe", "unguarded deref of v3")
+        .unwrap();
+    nexus.revoke_credential(subject, h).unwrap();
+
+    let stats = nexus.attest_stats();
+    assert_eq!(stats.credentials_minted, 1);
+    assert_eq!(stats.credentials_refused, 1);
+    assert_eq!(stats.credentials_revoked, 1);
+
+    // The same counts surface in the unified snapshot.
+    let snap = nexus.telemetry_snapshot();
+    for (name, want) in [
+        ("nexus_attest_minted_total", 1),
+        ("nexus_attest_refused_total", 1),
+        ("nexus_attest_revoked_total", 1),
+    ] {
+        match &snap.get(name).expect("attest counter registered").value {
+            nexus_obs::SampleValue::Counter(v) => assert_eq!(*v, want, "{name}"),
+            other => panic!("{name} must be a counter, got {other:?}"),
+        }
+    }
+
+    // All three journal as Analyzer-path events on the subject; the
+    // refusal carries its witness.
+    let events = nexus.audit_recent(16);
+    let mine: Vec<_> = events
+        .iter()
+        .filter(|e| e.path == AuditPath::Analyzer && e.pid == subject)
+        .collect();
+    assert!(mine
+        .iter()
+        .any(|e| e.verdict == AuditVerdict::Mint && e.op == "panic_free"));
+    assert!(mine.iter().any(|e| e.verdict == AuditVerdict::Refuse
+        && e.op == "no_unsafe"
+        && e.refuted.as_deref() == Some("unguarded deref of v3")));
+    assert!(mine
+        .iter()
+        .any(|e| e.verdict == AuditVerdict::Revoke && e.op == "panic_free"));
+
+    // Revoking an already-deleted handle is an error, not a double
+    // count.
+    assert!(nexus.revoke_credential(subject, h).is_err());
+    assert_eq!(nexus.attest_stats().credentials_revoked, 1);
+}
+
+#[test]
 fn set_config_toggles_telemetry_at_runtime() {
     let nexus = boot_with(NexusConfig::default());
     let object = conjunctive_world(&nexus);

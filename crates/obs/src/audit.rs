@@ -38,6 +38,14 @@ pub enum AuditVerdict {
     Deny,
     /// Evaluation faulted (pool shutdown, unstable epoch, bad pid).
     Fault,
+    /// An analyzer minted a credential into a labelstore.
+    Mint,
+    /// An analyzer refused to mint (the analysis found a witness;
+    /// the event's `refuted` field carries it).
+    Refuse,
+    /// A previously minted credential was revoked (re-analysis after
+    /// a binary change).
+    Revoke,
 }
 
 impl AuditVerdict {
@@ -47,6 +55,9 @@ impl AuditVerdict {
             AuditVerdict::Allow => "allow",
             AuditVerdict::Deny => "deny",
             AuditVerdict::Fault => "fault",
+            AuditVerdict::Mint => "mint",
+            AuditVerdict::Refuse => "refuse",
+            AuditVerdict::Revoke => "revoke",
         }
     }
 }
@@ -60,6 +71,9 @@ pub enum AuditPath {
     Inline,
     /// Batched evaluation on the authzd pipeline.
     Pipeline,
+    /// A labeling-function (analyzer) credential event — mint,
+    /// refuse, or revoke — rather than an authorization verdict.
+    Analyzer,
 }
 
 impl AuditPath {
@@ -69,6 +83,7 @@ impl AuditPath {
             AuditPath::CacheHit => "cache-hit",
             AuditPath::Inline => "inline",
             AuditPath::Pipeline => "pipeline",
+            AuditPath::Analyzer => "analyzer",
         }
     }
 }

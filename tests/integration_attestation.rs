@@ -1,0 +1,130 @@
+//! Cross-crate integration: the attestation analyzer gating a real
+//! application (ISSUE 8). A clean encoder's `panic_free` credential
+//! authorizes CertiPics uploads; mutating the binary revokes it and
+//! flips a previously-allowed upload to deny within one call; the
+//! whole story lands in the telemetry counters and the audit journal.
+
+use nexus_analyzers::attest::Claim;
+use nexus_analyzers::bin::{BlockId, FuncId, Inst};
+use nexus_apps::certipics::{sample_encoder, CertiPicsService, Image};
+use nexus_apps::fauxbook::{Fauxbook, DEFAULT_TENANT};
+use nexus_kernel::{AuditPath, AuditVerdict, BootImages, Nexus, NexusConfig};
+use nexus_storage::RamDisk;
+use nexus_tpm::Tpm;
+use std::sync::Arc;
+
+fn boot() -> Arc<Nexus> {
+    Arc::new(
+        Nexus::boot(
+            Tpm::new_with_seed(0xa77e),
+            RamDisk::new(),
+            &BootImages::standard(),
+            NexusConfig::default(),
+        )
+        .expect("boot"),
+    )
+}
+
+#[test]
+fn certipics_gate_revokes_on_binary_mutation() {
+    let nexus = boot();
+    let svc = CertiPicsService::deploy(Arc::clone(&nexus)).expect("deploy");
+    let img = Image::solid(8, 8, 42);
+
+    // First contact: the clean encoder earns both credentials and may
+    // upload (the second upload is a pure decision-cache hit).
+    let clean = sample_encoder("encoder-v1", 8);
+    let (pid, att) = svc.register_encoder("encoder", &clean).expect("register");
+    assert!(att.holds(Claim::PanicFree) && att.holds(Claim::NoUnsafe));
+    assert!(!att.cached);
+    assert!(svc.upload(pid, &img).expect("upload"));
+    assert!(svc.upload(pid, &img).expect("upload"));
+
+    // Re-presenting the unchanged binary is a cache hit, not a
+    // re-analysis.
+    let before = nexus.attest_stats();
+    let again = svc.reattest(pid, &clean).expect("reattest");
+    assert!(again.cached && again.holds(Claim::PanicFree));
+    let after = nexus.attest_stats();
+    assert_eq!(after.analysis_cache_hits, before.analysis_cache_hits + 1);
+    assert_eq!(after.analyses_run, before.analyses_run);
+
+    // The encoder ships an update with a reachable panic: re-analysis
+    // revokes both old credentials and refuses `panic_free` — and the
+    // upload that was just allowed is denied on the very next call.
+    let mut crashy = clean.clone();
+    crashy.push(FuncId(0), BlockId(0), Inst::Panic);
+    let att2 = svc.reattest(pid, &crashy).expect("reattest");
+    assert_eq!(att2.revoked, 2, "both stale credentials must be revoked");
+    assert!(!att2.holds(Claim::PanicFree));
+    assert!(
+        att2.refusal(Claim::PanicFree).unwrap().contains("panic"),
+        "refusal must carry the analysis witness"
+    );
+    assert!(
+        !svc.upload(pid, &img).expect("upload"),
+        "revocation must flip the cached allow to deny immediately"
+    );
+
+    // Only the two pre-revocation uploads were accepted.
+    assert_eq!(svc.accepted().len(), 2);
+
+    // The whole story is visible in the counters…
+    let stats = nexus.attest_stats();
+    assert!(stats.analyses_run >= 2);
+    assert!(stats.credentials_minted >= 2);
+    assert_eq!(stats.credentials_revoked, 2);
+    assert!(stats.credentials_refused >= 1);
+
+    // …and in the audit journal: Analyzer-path mint, revoke, and a
+    // refusal carrying its witness.
+    let events = nexus.audit_recent(64);
+    let analyzer_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.path == AuditPath::Analyzer)
+        .collect();
+    assert!(analyzer_events
+        .iter()
+        .any(|e| e.verdict == AuditVerdict::Mint && e.op == "panic_free"));
+    assert!(analyzer_events
+        .iter()
+        .any(|e| e.verdict == AuditVerdict::Revoke));
+    assert!(analyzer_events.iter().any(|e| {
+        e.verdict == AuditVerdict::Refuse
+            && e.op == "panic_free"
+            && e.refuted.as_deref().is_some_and(|w| w.contains("panic"))
+    }));
+}
+
+#[test]
+fn certipics_unattested_encoder_never_uploads() {
+    let nexus = boot();
+    let svc = CertiPicsService::deploy(Arc::clone(&nexus)).expect("deploy");
+    // An encoder that skipped analysis entirely holds no credential.
+    let stranger = nexus.spawn("stranger", b"stranger-image");
+    assert!(!svc
+        .upload(stranger, &Image::solid(4, 4, 1))
+        .expect("upload"));
+}
+
+#[test]
+fn fauxbook_tenant_holds_imports_clean_credential() {
+    let fb = Fauxbook::deploy(DEFAULT_TENANT).expect("deploy");
+    // The deploy-time attestation bundle now includes the analyzer's
+    // minted credential…
+    assert!(
+        fb.attestation_labels()
+            .iter()
+            .any(|l| l.to_string().contains("imports_clean")),
+        "attestation bundle must include imports_clean"
+    );
+    // …and the credential really sits in the tenant's labelstore (it
+    // was minted, not just quoted).
+    let labels = fb.nexus.labels_of(fb.tenant_pid).expect("labels");
+    assert!(
+        labels
+            .iter()
+            .any(|l| l.to_string().contains("imports_clean")),
+        "tenant labelstore must hold the minted credential, got {labels:?}"
+    );
+}
