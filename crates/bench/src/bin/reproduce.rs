@@ -5,7 +5,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p nexus-bench --bin reproduce \
-//!    [quick|fig7a|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]`
+//!    [quick|fig7a|fig9|fig9-hits|fig9-bp|fig9-prover|fig11|fig12] [--json <path>]`
 //!
 //! `fig7a` runs only the attestation-analyzer bench (static analysis
 //! cost per authorization vs standing-credential reuse on the
@@ -16,16 +16,19 @@
 //! `fig9-bp` runs only its back-pressure mode (stuck external
 //! authority vs. bounded admission + authority isolation);
 //! `fig9-prover` runs only the batch-aware prover comparison
-//! (per-request vs frontier-sharing proof search); `fig12` runs only
-//! the telemetry-overhead A/B (default telemetry vs
-//! `ObsConfig::disabled` on the primed hit workload).
+//! (per-request vs frontier-sharing proof search); `fig11` runs only
+//! the distributed-Nexus bench (cross-node revocation latency and
+//! replicated authorization throughput vs cluster size, over the
+//! deterministic simulator); `fig12` runs only the telemetry-overhead
+//! A/B (default telemetry vs `ObsConfig::disabled` on the primed hit
+//! workload).
 //!
 //! `--json <path>` additionally writes machine-readable results to
 //! `path`: for the full and `quick` modes, one document covering every
 //! figure (see `nexus_bench::report`); for single-figure modes, just
 //! that figure's points.
 
-use nexus_bench::{fig12, fig4, fig5, fig6, fig7, fig7a, fig8, fig9, report, table1};
+use nexus_bench::{fig11, fig12, fig4, fig5, fig6, fig7, fig7a, fig8, fig9, report, table1};
 
 fn print_fig9(iters: u64) {
     println!("\n=== Figure 9: authorization scalability (ops/s, shared Arc<Nexus>) ===");
@@ -165,6 +168,26 @@ fn print_fig4_assoc(rounds: u64) {
     println!("(Fauxbook hot-follower wall-polling pattern, 64-slot cache)");
 }
 
+fn print_fig11(revocations: u64, authz: u64) {
+    println!("\n=== Figure 11: distributed Nexus (BFT-replicated credentials) ===");
+    println!(
+        "{:<8} {:>18} {:>16} {:>16}",
+        "nodes", "revoke lat (µs)", "msgs/revoke", "authz ops/s"
+    );
+    for p in fig11::run(revocations, authz) {
+        println!(
+            "{:<8} {:>18.1} {:>16.1} {:>16.0}",
+            p.nodes, p.revoke_latency_us, p.msgs_per_revoke, p.authz_ops_per_s
+        );
+    }
+    println!(
+        "(in-process cluster over the deterministic simulator; latency = \
+         broadcast to applied-on-every-node, fence included; {revocations} \
+         revocation rounds and {authz} round-robin authorizations per size; \
+         reads stay node-local — only credential writes pay for agreement)"
+    );
+}
+
 fn print_fig12(iters: u64, reps: usize) {
     println!("\n=== Figure 12: telemetry overhead (primed hit path, 1 thread) ===");
     let r = fig12::run(iters, reps);
@@ -206,7 +229,7 @@ fn write_single(path: &str, figure: &str, cfg: &report::ReportConfig) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [quick|fig7a|fig9|fig9-hits|fig9-bp|fig9-prover|fig12] [--json <path>]"
+        "usage: reproduce [quick|fig7a|fig9|fig9-hits|fig9-bp|fig9-prover|fig11|fig12] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -278,6 +301,13 @@ fn main() {
             print_fig9_prover(600);
             if let Some(path) = &json_path {
                 write_single(path, "fig9_prover", &report::ReportConfig::full());
+            }
+            return;
+        }
+        [a] if a == "fig11" => {
+            print_fig11(10, 2_000);
+            if let Some(path) = &json_path {
+                write_single(path, "fig11", &report::ReportConfig::quick());
             }
             return;
         }
@@ -406,6 +436,10 @@ fn main() {
     print_fig9_hits(if quick { 20_000 } else { 200_000 });
     print_fig9_bp(if quick { 500 } else { 1_500 });
     print_fig9_prover(if quick { 100 } else { 600 });
+    print_fig11(
+        if quick { 10 } else { 40 },
+        if quick { 2_000 } else { 10_000 },
+    );
     // fig12 keeps full iteration counts even in quick mode: one rep is
     // ~30 ms, and short runs are too noisy for the 5% overhead bound.
     print_fig12(100_000, 5);

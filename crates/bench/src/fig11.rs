@@ -1,0 +1,148 @@
+//! Figure 11 (beyond the paper): distributed Nexus — cross-node
+//! revocation latency and replicated authorization throughput vs
+//! cluster size.
+//!
+//! Each point boots an in-process cluster of `n` kernels joined by
+//! the BFT-reliable-broadcast layer (`nexus-dist`), replicates one
+//! credential, then measures:
+//!
+//! * `revoke_latency_us` — wall time from a revocation broadcast at a
+//!   rotating origin until the revocation has been *delivered and
+//!   applied* (decision-cache flush and pipeline fence included) on
+//!   every node, averaged over `revocations` cycles;
+//! * `msgs_per_revoke` — network deliveries consumed per revocation
+//!   round (the O(n²) echo/ready traffic made visible);
+//! * `authz_ops_per_s` — round-robin authorization throughput against
+//!   the replicated credential once every node holds it (the steady
+//!   state: reads are node-local, only writes pay for agreement).
+//!
+//! The network is the deterministic simulator with a perfect
+//! (random-delivery-order) schedule, so the numbers isolate protocol
+//! and kernel cost from transport noise; the seed is fixed so runs
+//! replay.
+
+use nexus_core::ResourceId;
+use nexus_dist::Cluster;
+
+/// Cluster sizes measured, matching the paper-style scaling sweep.
+pub const NODE_COUNTS: [usize; 4] = [3, 5, 7, 9];
+
+/// One cluster size's measurements.
+#[derive(Debug, Clone)]
+pub struct Fig11Point {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Mean broadcast-to-applied-everywhere revocation latency (µs).
+    pub revoke_latency_us: f64,
+    /// Mean simulated-network deliveries per revocation round.
+    pub msgs_per_revoke: f64,
+    /// Round-robin replicated authorization throughput (ops/s).
+    pub authz_ops_per_s: f64,
+    /// Revocation rounds measured.
+    pub revocations: u64,
+}
+
+/// Run the sweep: `revocations` timed revoke→re-mint cycles and
+/// `authz_iters` authorization calls per cluster size.
+pub fn run(revocations: u64, authz_iters: u64) -> Vec<Fig11Point> {
+    NODE_COUNTS
+        .iter()
+        .map(|&n| run_one(n, revocations.max(1), authz_iters.max(1)))
+        .collect()
+}
+
+fn run_one(n: usize, revocations: u64, authz_iters: u64) -> Fig11Point {
+    let seed = 0xf160_1100 ^ n as u64;
+    let mut cluster = Cluster::new(n, seed);
+    let object = ResourceId::new("bench", "fig11");
+    cluster.install_goal(&object, "op", "CA says ok");
+    let mut rec = cluster.mint(0, "alice", "CA", "ok");
+    assert!(
+        cluster.run_until_converged(8),
+        "fig11 setup convergence: n={n} seed={seed}"
+    );
+
+    // Timed revocation rounds: broadcast at a rotating origin, drive
+    // the network until every replica has applied the revocation
+    // (each application runs the full fence), then re-mint for the
+    // next round outside the timed window.
+    let mut latency_total = std::time::Duration::ZERO;
+    let mut deliveries_total = 0u64;
+    for round in 0..revocations {
+        let origin = (round % n as u64) as u32;
+        let before = cluster.net_counters().delivered;
+        let start = std::time::Instant::now();
+        assert!(
+            cluster.revoke(origin, &rec),
+            "fig11 revoke origin must see the record: n={n} seed={seed}"
+        );
+        while (0..n as u32).any(|i| cluster.has_label(i, &rec)) {
+            if !cluster.step() {
+                cluster.anti_entropy();
+            }
+        }
+        latency_total += start.elapsed();
+        deliveries_total += cluster.net_counters().delivered - before;
+        cluster.run_to_quiescence(usize::MAX);
+        rec = cluster.mint(origin, "alice", "CA", "ok");
+        assert!(
+            cluster.run_until_converged(8),
+            "fig11 re-mint convergence: n={n} seed={seed}"
+        );
+    }
+
+    // Steady-state authorization throughput against the replicated
+    // credential, round-robin across nodes; prime each node's
+    // decision cache first so this measures the replicated hit path.
+    for i in 0..n as u32 {
+        assert!(
+            cluster.authorize(i, "alice", "op", &object),
+            "fig11 replicated credential must allow at node {i}: n={n} seed={seed}"
+        );
+    }
+    let start = std::time::Instant::now();
+    let mut allows = 0u64;
+    for k in 0..authz_iters {
+        let i = (k % n as u64) as u32;
+        if cluster.authorize(i, "alice", "op", &object) {
+            allows += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(
+        allows, authz_iters,
+        "fig11 authz must allow: n={n} seed={seed}"
+    );
+
+    Fig11Point {
+        nodes: n,
+        revoke_latency_us: latency_total.as_micros() as f64 / revocations as f64,
+        msgs_per_revoke: deliveries_total as f64 / revocations as f64,
+        authz_ops_per_s: authz_iters as f64 / elapsed.as_secs_f64(),
+        revocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: every cluster size produces a sane point, and the
+    /// broadcast traffic grows with n (quorums widen).
+    #[test]
+    fn fig11_smoke_produces_sane_points() {
+        let _guard = crate::timing_guard();
+        let pts = run(2, 50);
+        assert_eq!(pts.len(), NODE_COUNTS.len());
+        for (p, n) in pts.iter().zip(NODE_COUNTS) {
+            assert_eq!(p.nodes, n);
+            assert!(p.revoke_latency_us > 0.0, "n={n}");
+            assert!(p.msgs_per_revoke >= n as f64, "n={n}");
+            assert!(p.authz_ops_per_s > 0.0, "n={n}");
+        }
+        assert!(
+            pts.last().unwrap().msgs_per_revoke > pts[0].msgs_per_revoke,
+            "echo/ready traffic must widen with the cluster"
+        );
+    }
+}

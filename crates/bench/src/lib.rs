@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 #![allow(missing_docs)]
 
+pub mod fig11;
 pub mod fig12;
 pub mod fig4;
 pub mod fig5;

@@ -7,7 +7,7 @@
 //! as an array of objects keyed by the point-struct field names. A
 //! `meta` object records the mode and workload knobs the run used.
 
-use crate::{fig12, fig4, fig5, fig6, fig7, fig7a, fig8, fig9, table1};
+use crate::{fig11, fig12, fig4, fig5, fig6, fig7, fig7a, fig8, fig9, table1};
 use serde::Value;
 
 /// Workload sizes for one report run (the `quick`/full split the
@@ -38,6 +38,10 @@ pub struct ReportConfig {
     pub fig12_iters: u64,
     /// Interleaved fig12 reps per mode.
     pub fig12_reps: usize,
+    /// Timed revocation rounds per fig11 cluster size.
+    pub fig11_revocations: u64,
+    /// Authorization calls per fig11 cluster size.
+    pub fig11_authz: u64,
 }
 
 impl ReportConfig {
@@ -56,6 +60,8 @@ impl ReportConfig {
             prover_iters: 100,
             fig12_iters: 20_000,
             fig12_reps: 3,
+            fig11_revocations: 10,
+            fig11_authz: 2_000,
         }
     }
 
@@ -74,6 +80,8 @@ impl ReportConfig {
             prover_iters: 600,
             fig12_iters: 100_000,
             fig12_reps: 5,
+            fig11_revocations: 40,
+            fig11_authz: 10_000,
         }
     }
 
@@ -93,6 +101,8 @@ impl ReportConfig {
             prover_iters: 4,
             fig12_iters: 200,
             fig12_reps: 1,
+            fig11_revocations: 1,
+            fig11_authz: 50,
         }
     }
 }
@@ -118,7 +128,7 @@ fn u(x: u64) -> Value {
 }
 
 /// Every figure key `generate` emits, in document order.
-pub const FIGURES: [&str; 13] = [
+pub const FIGURES: [&str; 14] = [
     "table1",
     "fig4",
     "fig4_assoc",
@@ -131,6 +141,7 @@ pub const FIGURES: [&str; 13] = [
     "fig9_hits",
     "fig9_bp",
     "fig9_prover",
+    "fig11",
     "fig12",
 ];
 
@@ -298,6 +309,20 @@ pub fn section(figure: &str, cfg: &ReportConfig) -> Option<Value> {
                 })
                 .collect(),
         ),
+        "fig11" => Value::Seq(
+            fig11::run(cfg.fig11_revocations, cfg.fig11_authz)
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("nodes", u(p.nodes as u64)),
+                        ("revoke_latency_us", f(p.revoke_latency_us)),
+                        ("msgs_per_revoke", f(p.msgs_per_revoke)),
+                        ("authz_ops_per_s", f(p.authz_ops_per_s)),
+                        ("revocations", u(p.revocations)),
+                    ])
+                })
+                .collect(),
+        ),
         "fig12" => {
             let r = fig12::run(cfg.fig12_iters, cfg.fig12_reps);
             obj(vec![
@@ -351,6 +376,7 @@ mod tests {
             "fig9_hits",
             "fig9_bp",
             "fig9_prover",
+            "fig11",
             "fig12",
         ] {
             assert!(keys.contains(&expected), "report missing {expected}");
@@ -365,6 +391,28 @@ mod tests {
         assert!(fig4[0]
             .as_map()
             .is_some_and(|m| m.iter().any(|(k, _)| k.as_str() == Some("cached_ns"))));
+        // fig11 round-trips one row per cluster size.
+        let fig11 = map
+            .iter()
+            .find(|(k, _)| k.as_str() == Some("fig11"))
+            .and_then(|(_, v)| v.as_seq())
+            .expect("fig11 must be an array");
+        assert_eq!(fig11.len(), crate::fig11::NODE_COUNTS.len());
+        for row in fig11 {
+            let m = row.as_map().expect("fig11 row must be an object");
+            for field in [
+                "nodes",
+                "revoke_latency_us",
+                "msgs_per_revoke",
+                "authz_ops_per_s",
+                "revocations",
+            ] {
+                assert!(
+                    m.iter().any(|(k, _)| k.as_str() == Some(field)),
+                    "fig11 row missing {field}"
+                );
+            }
+        }
         // fig12 carries the A/B summary.
         let fig12 = map
             .iter()

@@ -234,6 +234,20 @@ impl LabelStore {
         Arc::clone(&self.shape)
     }
 
+    /// Find the handle of a label by content (lowest handle wins when
+    /// duplicates exist). The replication layer uses this to map a
+    /// remotely agreed revocation — which names the label by
+    /// speaker/statement, not by any node-local handle — onto this
+    /// store's handle space.
+    pub fn find_handle(&self, speaker: &Principal, statement: &Formula) -> Option<LabelHandle> {
+        self.labels
+            .iter()
+            .filter(|(_, l)| &l.speaker == speaker && &l.statement == statement)
+            .map(|(h, _)| *h)
+            .min()
+            .map(LabelHandle)
+    }
+
     /// Number of labels.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -372,6 +386,21 @@ mod tests {
             "old snapshot intact"
         );
         assert_eq!(store.formulas(), *s3);
+    }
+
+    #[test]
+    fn find_handle_matches_content_and_prefers_lowest() {
+        let mut store = LabelStore::new();
+        let h1 = store.say(&p("CA"), "ok").unwrap();
+        store.say(&p("CA"), "other").unwrap();
+        let h3 = store.say(&p("CA"), "ok").unwrap();
+        let stmt = parse("ok").unwrap();
+        assert_eq!(store.find_handle(&p("CA"), &stmt), Some(h1));
+        store.delete(h1).unwrap();
+        assert_eq!(store.find_handle(&p("CA"), &stmt), Some(h3));
+        store.delete(h3).unwrap();
+        assert_eq!(store.find_handle(&p("CA"), &stmt), None);
+        assert_eq!(store.find_handle(&p("CB"), &stmt), None);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! One cluster member: a full [`Nexus`] kernel plus its BRB endpoint
+//! and or-set replica, glued by the delivery path.
+//!
+//! When the broadcast layer delivers an op, the node applies it to its
+//! or-set; only *presence flips* touch the kernel. A record going
+//! absent→present becomes [`Nexus::apply_remote_mint`] into the
+//! subject's labelstore; present→absent becomes
+//! [`Nexus::apply_remote_revoke`], which runs the full revocation
+//! fence (epoch bump, decision-cache clear, pipeline quiesce) — so
+//! the moment a revocation is *delivered* at this node, no stale
+//! allow can complete here. The or-set's idempotence guarantees the
+//! kernel sees each flip exactly once no matter how the network
+//! duplicates or reorders the underlying messages.
+
+use crate::orset::{ApplyEffect, Dot, LabelRecord, OrSetLabels};
+use crate::wire::{BrbCounters, BrbState, Membership, Message, NodeId, SimEd25519};
+use nexus_kernel::Nexus;
+use nexus_nal::{parse, Principal};
+use nexus_obs::{MetricsRegistry, TelemetrySnapshot};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Application-side counters (what the delivery path did to the
+/// kernel), alongside the BRB protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Broadcast protocol counters.
+    pub brb: BrbCounters,
+    /// Labels minted into this node's kernel from deliveries.
+    pub applied_mints: u64,
+    /// Labels revoked (with the fence) from deliveries.
+    pub applied_revocations: u64,
+    /// Delivered ops that could not be applied (unparsable statement,
+    /// missing label) — kept at zero by every honest schedule.
+    pub apply_errors: u64,
+}
+
+/// A cluster member.
+pub struct DistNode {
+    pub(crate) signer: SimEd25519,
+    pub(crate) brb: BrbState,
+    pub(crate) orset: OrSetLabels,
+    nexus: Arc<Nexus>,
+    /// Cluster-wide subject name → this node's pid for it (spawned
+    /// lazily; pids are node-local, names are the replicated key).
+    subjects: HashMap<String, u64>,
+    /// This node's mint counter (dot uniqueness).
+    mint_counter: u64,
+    applied_mints: u64,
+    applied_revocations: u64,
+    apply_errors: u64,
+}
+
+impl DistNode {
+    /// Wrap a booted kernel as cluster member `id`.
+    pub fn new(
+        id: NodeId,
+        cluster_seed: u64,
+        membership: Membership,
+        nexus: Arc<Nexus>,
+    ) -> DistNode {
+        DistNode {
+            signer: SimEd25519::from_seed(cluster_seed, id),
+            brb: BrbState::new(id, membership),
+            orset: OrSetLabels::new(),
+            nexus,
+            subjects: HashMap::new(),
+            mint_counter: 0,
+            applied_mints: 0,
+            applied_revocations: 0,
+            apply_errors: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.brb.id()
+    }
+
+    /// The kernel.
+    pub fn nexus(&self) -> &Arc<Nexus> {
+        &self.nexus
+    }
+
+    /// The next unique dot for a mint originated here.
+    pub fn next_dot(&mut self) -> Dot {
+        self.mint_counter += 1;
+        Dot::new(self.id(), self.mint_counter)
+    }
+
+    /// The local pid for a cluster-wide subject name (spawned on
+    /// first use).
+    pub fn subject_pid(&mut self, subject: &str) -> u64 {
+        if let Some(&pid) = self.subjects.get(subject) {
+            return pid;
+        }
+        let pid = self.nexus.spawn(subject, subject.as_bytes());
+        self.subjects.insert(subject.to_string(), pid);
+        pid
+    }
+
+    /// The local pid for `subject`, if one was ever spawned.
+    pub fn lookup_subject(&self, subject: &str) -> Option<u64> {
+        self.subjects.get(subject).copied()
+    }
+
+    /// Is `record` visibly present in this node's replica?
+    pub fn contains(&self, record: &LabelRecord) -> bool {
+        self.orset.contains(record)
+    }
+
+    /// The live dots this node has observed for `record`.
+    pub fn observed_dots(&self, record: &LabelRecord) -> Vec<Dot> {
+        self.orset.observed_dots(record)
+    }
+
+    /// The replica's canonical state digest (convergence checks).
+    pub fn state_digest(&self) -> u64 {
+        self.orset.state_digest()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            brb: self.brb.counters(),
+            applied_mints: self.applied_mints,
+            applied_revocations: self.applied_revocations,
+            apply_errors: self.apply_errors,
+        }
+    }
+
+    /// Per-node broadcast/delivery metrics, in the same snapshot form
+    /// as [`Nexus::telemetry_snapshot`] (renderable as Prometheus
+    /// text or JSON next to the kernel's own series).
+    pub fn metrics(&self) -> TelemetrySnapshot {
+        let s = self.stats();
+        let mut r = MetricsRegistry::new();
+        r.counter(
+            "nexus_dist_brb_accepted_total",
+            "broadcast messages accepted",
+            s.brb.accepted,
+        )
+        .counter(
+            "nexus_dist_brb_rejected_sigs_total",
+            "broadcast messages dropped for bad signatures",
+            s.brb.rejected_sigs,
+        )
+        .counter(
+            "nexus_dist_brb_equivocations_total",
+            "conflicting Sends observed for an accepted slot",
+            s.brb.equivocations,
+        )
+        .counter(
+            "nexus_dist_brb_duplicates_total",
+            "redundant broadcast messages",
+            s.brb.duplicates,
+        )
+        .counter(
+            "nexus_dist_brb_delivered_total",
+            "ops delivered by the broadcast layer",
+            s.brb.delivered,
+        )
+        .counter(
+            "nexus_dist_applied_mints_total",
+            "labels minted from deliveries",
+            s.applied_mints,
+        )
+        .counter(
+            "nexus_dist_applied_revocations_total",
+            "labels revoked (fenced) from deliveries",
+            s.applied_revocations,
+        )
+        .counter(
+            "nexus_dist_apply_errors_total",
+            "delivered ops that failed to apply",
+            s.apply_errors,
+        );
+        r.finish()
+    }
+
+    /// Handle one incoming message: run the BRB state machine, apply
+    /// whatever it delivered, and return the messages to transmit.
+    pub fn handle(&mut self, msg: &Message) -> Vec<(NodeId, Message)> {
+        let step = self.brb.handle(msg, &self.signer);
+        for env in &step.delivered {
+            let effect = self.orset.apply(&env.op);
+            self.apply_effect(&effect);
+        }
+        step.outgoing
+    }
+
+    /// Apply an or-set presence change to the kernel.
+    fn apply_effect(&mut self, effect: &ApplyEffect) {
+        for rec in &effect.revoked {
+            match self.revoke_local(rec) {
+                Ok(()) => self.applied_revocations += 1,
+                Err(()) => self.apply_errors += 1,
+            }
+        }
+        for rec in &effect.minted {
+            match self.mint_local(rec) {
+                Ok(()) => self.applied_mints += 1,
+                Err(()) => self.apply_errors += 1,
+            }
+        }
+    }
+
+    fn mint_local(&mut self, rec: &LabelRecord) -> Result<(), ()> {
+        let statement = parse(&rec.statement).map_err(|_| ())?;
+        let pid = self.subject_pid(&rec.subject);
+        self.nexus
+            .apply_remote_mint(pid, Principal::name(&rec.speaker), statement)
+            .map(|_| ())
+            .map_err(|_| ())
+    }
+
+    fn revoke_local(&mut self, rec: &LabelRecord) -> Result<(), ()> {
+        let statement = parse(&rec.statement).map_err(|_| ())?;
+        let pid = self.lookup_subject(&rec.subject).ok_or(())?;
+        let speaker = Principal::name(&rec.speaker);
+        let handle = self
+            .nexus
+            .find_label(pid, &speaker, &statement)
+            .map_err(|_| ())?
+            .ok_or(())?;
+        self.nexus
+            .apply_remote_revoke(pid, handle)
+            .map(|_| ())
+            .map_err(|_| ())
+    }
+}

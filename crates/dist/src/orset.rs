@@ -1,0 +1,355 @@
+//! The replicated label state: an observed-remove set (or-set) CRDT.
+//!
+//! Each replica holds the same value — a set of [`LabelRecord`]s, the
+//! credential/label statements the cluster has agreed on — and applies
+//! the same operations, possibly in different orders, possibly more
+//! than once. The or-set discharges the strong-eventual-consistency
+//! obligations (Gomes et al.): `apply` is **commutative** and
+//! **idempotent** over any delivery schedule, so two replicas that
+//! have applied the same *set* of operations hold identical state, no
+//! matter the interleaving, duplication, or reordering.
+//!
+//! Mechanics: every mint tags the label with a globally unique [`Dot`]
+//! (origin node, per-origin counter). A revocation removes the dots it
+//! has *observed* — a concurrent mint carrying a dot the revoker never
+//! saw survives, which is exactly or-set add-wins semantics. Removed
+//! dots land in a tombstone set so a duplicated or late-arriving mint
+//! of an already-revoked dot can never resurrect the label.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One replica's globally unique tag for a mint: (origin node,
+/// per-origin counter). Dots are never reused, so the tombstone set
+/// is a permanent record of revoked mints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dot {
+    /// The node that minted.
+    pub actor: u32,
+    /// That node's mint counter.
+    pub counter: u64,
+}
+
+impl Dot {
+    /// Construct a dot.
+    pub fn new(actor: u32, counter: u64) -> Dot {
+        Dot { actor, counter }
+    }
+}
+
+/// The replicated content of one label: which subject holds it, who
+/// spoke it, and what was said. Speaker and statement travel as NAL
+/// concrete syntax (the same encoding certificates use) and are parsed
+/// only at the labelstore boundary.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelRecord {
+    /// The subject (process name, cluster-wide) holding the label.
+    pub subject: String,
+    /// The speaker principal, NAL concrete syntax.
+    pub speaker: String,
+    /// The statement, NAL concrete syntax.
+    pub statement: String,
+}
+
+impl LabelRecord {
+    /// Construct a record.
+    pub fn new(subject: &str, speaker: &str, statement: &str) -> LabelRecord {
+        LabelRecord {
+            subject: subject.to_string(),
+            speaker: speaker.to_string(),
+            statement: statement.to_string(),
+        }
+    }
+}
+
+/// One replicated label operation, as agreed through the broadcast
+/// layer. Mint adds a uniquely-dotted element; Revoke removes the
+/// observed dots; Transfer is revoke-at-`from` + mint-at-`to` applied
+/// atomically in one delivery (so no replica ever observes the
+/// credential on both subjects... or neither, split across ops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelOp {
+    /// Add `label`, tagged `dot`.
+    Mint {
+        /// The unique mint tag.
+        dot: Dot,
+        /// The label content.
+        label: LabelRecord,
+    },
+    /// Remove the observed `dots` of `label`.
+    Revoke {
+        /// The label content being revoked.
+        label: LabelRecord,
+        /// The mint dots the revoker observed.
+        dots: Vec<Dot>,
+    },
+    /// Revoke `label`'s observed `dots` and mint the same
+    /// speaker/statement for `to_subject` under `dot`.
+    Transfer {
+        /// The label content leaving its current subject.
+        label: LabelRecord,
+        /// The mint dots the transferring node observed.
+        dots: Vec<Dot>,
+        /// The receiving subject.
+        to_subject: String,
+        /// The fresh mint tag for the receiving side.
+        dot: Dot,
+    },
+}
+
+/// How applying one delivered operation changed a replica's visible
+/// label set. `minted` lists records that went absent→present;
+/// `revoked` lists records that went present→absent. Records whose
+/// presence did not flip (duplicate delivery, revocation of an
+/// already-dead dot) appear in neither.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyEffect {
+    /// Records that became present.
+    pub minted: Vec<LabelRecord>,
+    /// Records that became absent.
+    pub revoked: Vec<LabelRecord>,
+}
+
+impl ApplyEffect {
+    /// Did the operation change visible state at all?
+    pub fn is_noop(&self) -> bool {
+        self.minted.is_empty() && self.revoked.is_empty()
+    }
+}
+
+/// The or-set replica state. `BTreeMap`/`BTreeSet` keep iteration
+/// deterministic, so state digests and convergence comparisons are
+/// stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrSetLabels {
+    /// Live dots per label content.
+    live: BTreeMap<LabelRecord, BTreeSet<Dot>>,
+    /// Every dot ever revoked (dots are unique, so this is global).
+    tombstones: BTreeSet<Dot>,
+}
+
+impl OrSetLabels {
+    /// Empty replica.
+    pub fn new() -> OrSetLabels {
+        OrSetLabels::default()
+    }
+
+    /// Apply one delivered operation. Idempotent and commutative: any
+    /// permutation (with duplicates) of the same operation set yields
+    /// the same state.
+    pub fn apply(&mut self, op: &LabelOp) -> ApplyEffect {
+        let mut effect = ApplyEffect::default();
+        match op {
+            LabelOp::Mint { dot, label } => {
+                self.add(*dot, label, &mut effect);
+            }
+            LabelOp::Revoke { label, dots } => {
+                self.remove(label, dots, &mut effect);
+            }
+            LabelOp::Transfer {
+                label,
+                dots,
+                to_subject,
+                dot,
+            } => {
+                self.remove(label, dots, &mut effect);
+                let target = LabelRecord {
+                    subject: to_subject.clone(),
+                    speaker: label.speaker.clone(),
+                    statement: label.statement.clone(),
+                };
+                self.add(*dot, &target, &mut effect);
+            }
+        }
+        effect
+    }
+
+    fn add(&mut self, dot: Dot, label: &LabelRecord, effect: &mut ApplyEffect) {
+        if self.tombstones.contains(&dot) {
+            return; // the revocation arrived first — add loses
+        }
+        let dots = self.live.entry(label.clone()).or_default();
+        let was_present = !dots.is_empty();
+        if dots.insert(dot) && !was_present {
+            effect.minted.push(label.clone());
+        }
+    }
+
+    fn remove(&mut self, label: &LabelRecord, dots: &[Dot], effect: &mut ApplyEffect) {
+        for d in dots {
+            self.tombstones.insert(*d);
+        }
+        if let Some(live) = self.live.get_mut(label) {
+            let was_present = !live.is_empty();
+            for d in dots {
+                live.remove(d);
+            }
+            if was_present && live.is_empty() {
+                effect.revoked.push(label.clone());
+            }
+        }
+        // An empty live set stays in the map deliberately: removing the
+        // entry or keeping it is invisible to `contains`/`records`, and
+        // keeping it makes `apply` order-insensitive bookkeeping-free.
+    }
+
+    /// Is `label` visibly present (≥ 1 live dot)?
+    pub fn contains(&self, label: &LabelRecord) -> bool {
+        self.live.get(label).is_some_and(|d| !d.is_empty())
+    }
+
+    /// The live dots of `label` — what a revocation at this replica
+    /// observes.
+    pub fn observed_dots(&self, label: &LabelRecord) -> Vec<Dot> {
+        self.live
+            .get(label)
+            .map(|d| d.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All visibly present records, deterministically ordered.
+    pub fn records(&self) -> Vec<LabelRecord> {
+        self.live
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(r, _)| r.clone())
+            .collect()
+    }
+
+    /// A canonical digest of the visible state (records + live dots +
+    /// tombstones), for convergence assertions and per-node telemetry.
+    pub fn state_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for (r, dots) in &self.live {
+            if dots.is_empty() {
+                continue;
+            }
+            r.hash(&mut h);
+            for d in dots {
+                d.hash(&mut h);
+            }
+        }
+        for d in &self.tombstones {
+            d.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Two replicas agree when their visible records and live dots
+    /// match and they have tombstoned the same mints.
+    pub fn agrees_with(&self, other: &OrSetLabels) -> bool {
+        self.tombstones == other.tombstones
+            && self
+                .live
+                .iter()
+                .filter(|(_, d)| !d.is_empty())
+                .eq(other.live.iter().filter(|(_, d)| !d.is_empty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: &str) -> LabelRecord {
+        LabelRecord::new(s, "CA", "ok")
+    }
+
+    #[test]
+    fn mint_then_revoke_is_absent_in_both_orders() {
+        let mint = LabelOp::Mint {
+            dot: Dot::new(0, 1),
+            label: rec("alice"),
+        };
+        let revoke = LabelOp::Revoke {
+            label: rec("alice"),
+            dots: vec![Dot::new(0, 1)],
+        };
+        let mut fwd = OrSetLabels::new();
+        fwd.apply(&mint);
+        fwd.apply(&revoke);
+        let mut rev = OrSetLabels::new();
+        rev.apply(&revoke);
+        rev.apply(&mint);
+        assert!(!fwd.contains(&rec("alice")));
+        assert!(!rev.contains(&rec("alice")));
+        assert!(fwd.agrees_with(&rev));
+        assert_eq!(fwd.state_digest(), rev.state_digest());
+    }
+
+    #[test]
+    fn concurrent_unobserved_mint_survives_revocation() {
+        // Add-wins: the revoker only observed dot (0,1); the
+        // concurrent mint (1,1) survives on every replica.
+        let mut a = OrSetLabels::new();
+        a.apply(&LabelOp::Mint {
+            dot: Dot::new(0, 1),
+            label: rec("alice"),
+        });
+        a.apply(&LabelOp::Revoke {
+            label: rec("alice"),
+            dots: vec![Dot::new(0, 1)],
+        });
+        a.apply(&LabelOp::Mint {
+            dot: Dot::new(1, 1),
+            label: rec("alice"),
+        });
+        assert!(a.contains(&rec("alice")));
+        assert_eq!(a.observed_dots(&rec("alice")), vec![Dot::new(1, 1)]);
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_reports_effect_once() {
+        let mut a = OrSetLabels::new();
+        let mint = LabelOp::Mint {
+            dot: Dot::new(2, 7),
+            label: rec("bob"),
+        };
+        let e1 = a.apply(&mint);
+        assert_eq!(e1.minted, vec![rec("bob")]);
+        let e2 = a.apply(&mint);
+        assert!(e2.is_noop(), "duplicate delivery must not re-mint");
+        let digest = a.state_digest();
+        a.apply(&mint);
+        assert_eq!(a.state_digest(), digest);
+    }
+
+    #[test]
+    fn transfer_moves_subject_atomically() {
+        let mut a = OrSetLabels::new();
+        a.apply(&LabelOp::Mint {
+            dot: Dot::new(0, 1),
+            label: rec("alice"),
+        });
+        let eff = a.apply(&LabelOp::Transfer {
+            label: rec("alice"),
+            dots: vec![Dot::new(0, 1)],
+            to_subject: "bob".into(),
+            dot: Dot::new(0, 2),
+        });
+        assert_eq!(eff.revoked, vec![rec("alice")]);
+        assert_eq!(eff.minted, vec![rec("bob")]);
+        assert!(!a.contains(&rec("alice")));
+        assert!(a.contains(&rec("bob")));
+    }
+
+    #[test]
+    fn second_dot_keeps_label_present_through_partial_revoke() {
+        let mut a = OrSetLabels::new();
+        a.apply(&LabelOp::Mint {
+            dot: Dot::new(0, 1),
+            label: rec("alice"),
+        });
+        a.apply(&LabelOp::Mint {
+            dot: Dot::new(1, 1),
+            label: rec("alice"),
+        });
+        let eff = a.apply(&LabelOp::Revoke {
+            label: rec("alice"),
+            dots: vec![Dot::new(0, 1)],
+        });
+        assert!(eff.is_noop(), "presence did not flip — one dot remains");
+        assert!(a.contains(&rec("alice")));
+    }
+}

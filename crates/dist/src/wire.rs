@@ -1,0 +1,730 @@
+//! Wire format, signing surface, and the Byzantine reliable broadcast
+//! (BRB) state machine.
+//!
+//! The protocol is Bracha's classic three-phase reliable broadcast
+//! over a fixed membership of `n = 3f + 1` (tolerating `f` Byzantine
+//! nodes; smaller clusters get `f = (n-1)/3`):
+//!
+//! 1. the origin signs an [`OpEnvelope`] and **Send**s it to everyone;
+//! 2. on the first valid Send for `(origin, seq)`, a node **Echo**s
+//!    the envelope's digest to everyone;
+//! 3. on `⌈(n+f+1)/2⌉` matching Echoes — or `f + 1` matching Readies
+//!    (amplification) — a node sends **Ready**;
+//! 4. on `2f + 1` matching Readies, the node **delivers** the op.
+//!
+//! Agreement holds per `(origin, seq)` slot: two honest nodes can
+//! never deliver different ops for the same slot, because conflicting
+//! digests cannot both reach the echo quorum. An equivocating origin
+//! therefore gets at most one of its conflicting ops delivered —
+//! possibly neither — but never splits the honest nodes.
+//!
+//! Every message carries two signatures: the origin's signature over
+//! the envelope (so an op cannot be forged in another node's name even
+//! when relayed) and the immediate sender's link signature over the
+//! whole payload (so Echo/Ready votes cannot be stuffed). Signing goes
+//! through the [`OpSigner`] trait; the in-tree implementation is the
+//! vendored ed25519 stand-in, and a real Ed25519 signer can slot in
+//! without touching the state machine.
+
+use crate::orset::{Dot, LabelOp, LabelRecord};
+use ed25519_dalek::{Signature, Signer, SigningKey, Verifier, VerifyingKey};
+use sha2::{Digest as _, Sha256};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cluster-wide node identifier (index into the membership table).
+pub type NodeId = u32;
+
+/// A SHA-256 digest of an envelope's canonical encoding — the value
+/// echo/ready votes are counted against.
+pub type OpDigest = [u8; 32];
+
+// ---- canonical encoding ----
+//
+// Hand-rolled length-prefixed encoding: deterministic, self-delimiting,
+// no external serializer needed. Only ever hashed and signed — never
+// decoded — so it stays write-only.
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_dot(out: &mut Vec<u8>, d: &Dot) {
+    put_u64(out, d.actor as u64);
+    put_u64(out, d.counter);
+}
+
+fn put_record(out: &mut Vec<u8>, r: &LabelRecord) {
+    put_str(out, &r.subject);
+    put_str(out, &r.speaker);
+    put_str(out, &r.statement);
+}
+
+fn put_op(out: &mut Vec<u8>, op: &LabelOp) {
+    match op {
+        LabelOp::Mint { dot, label } => {
+            out.push(1);
+            put_dot(out, dot);
+            put_record(out, label);
+        }
+        LabelOp::Revoke { label, dots } => {
+            out.push(2);
+            put_record(out, label);
+            put_u64(out, dots.len() as u64);
+            for d in dots {
+                put_dot(out, d);
+            }
+        }
+        LabelOp::Transfer {
+            label,
+            dots,
+            to_subject,
+            dot,
+        } => {
+            out.push(3);
+            put_record(out, label);
+            put_u64(out, dots.len() as u64);
+            for d in dots {
+                put_dot(out, d);
+            }
+            put_str(out, to_subject);
+            put_dot(out, dot);
+        }
+    }
+}
+
+// ---- signing surface ----
+
+/// The signing surface the broadcast layer needs from a node identity.
+/// Implemented by [`SimEd25519`] over the vendored stand-in; a real
+/// Ed25519 (or TPM-backed) signer implements the same two methods.
+pub trait OpSigner: Send {
+    /// The 32-byte public verification key peers hold for this node.
+    fn public(&self) -> [u8; 32];
+    /// Sign `msg`, returning the 64-byte signature.
+    fn sign(&self, msg: &[u8]) -> [u8; 64];
+}
+
+/// [`OpSigner`] over the vendored ed25519-dalek stand-in.
+pub struct SimEd25519 {
+    key: SigningKey,
+}
+
+impl SimEd25519 {
+    /// Derive a node keypair deterministically from a cluster seed and
+    /// node id (test clusters must be replayable from one seed).
+    pub fn from_seed(cluster_seed: u64, node: NodeId) -> SimEd25519 {
+        let mut input = Vec::new();
+        put_str(&mut input, "nexus-dist-node-key");
+        put_u64(&mut input, cluster_seed);
+        put_u64(&mut input, node as u64);
+        let digest = Sha256::digest(&input);
+        SimEd25519 {
+            key: SigningKey::from_bytes(&digest),
+        }
+    }
+}
+
+impl OpSigner for SimEd25519 {
+    fn public(&self) -> [u8; 32] {
+        self.key.verifying_key().to_bytes()
+    }
+
+    fn sign(&self, msg: &[u8]) -> [u8; 64] {
+        self.key.sign(msg).to_bytes()
+    }
+}
+
+/// The fixed cluster membership: node id → verification key. BRB
+/// assumes a static membership agreed out of band (cluster boot).
+#[derive(Debug, Clone)]
+pub struct Membership {
+    keys: Vec<[u8; 32]>,
+}
+
+impl Membership {
+    /// Build from the ordered list of node verification keys.
+    pub fn new(keys: Vec<[u8; 32]>) -> Membership {
+        Membership { keys }
+    }
+
+    /// Cluster size `n`.
+    pub fn n(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Tolerated Byzantine nodes: `f = (n - 1) / 3`.
+    pub fn f(&self) -> usize {
+        (self.n() - 1) / 3
+    }
+
+    /// Echo quorum `⌈(n + f + 1) / 2⌉`.
+    pub fn echo_quorum(&self) -> usize {
+        (self.n() + self.f() + 2) / 2
+    }
+
+    /// Ready amplification threshold `f + 1`.
+    pub fn ready_amplify(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// Delivery threshold `2f + 1`.
+    pub fn deliver_quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// The verification key registered for `node`.
+    pub fn key_of(&self, node: NodeId) -> Option<[u8; 32]> {
+        self.keys.get(node as usize).copied()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.n() as NodeId
+    }
+}
+
+fn verify_sig(key: &[u8; 32], msg: &[u8], sig: &[u8; 64]) -> bool {
+    match (VerifyingKey::from_bytes(key), Signature::from_slice(sig)) {
+        (Ok(vk), Ok(s)) => vk.verify(msg, &s).is_ok(),
+        _ => false,
+    }
+}
+
+// ---- envelopes and messages ----
+
+/// A broadcast operation bound to its origin: `(origin, seq)` names
+/// the BRB slot, and `sig` is the origin's signature over the
+/// canonical encoding — relayed unchanged inside Echo/Ready, so a
+/// Byzantine relay cannot alter or forge the op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpEnvelope {
+    /// The originating node.
+    pub origin: NodeId,
+    /// The origin's per-node sequence number.
+    pub seq: u64,
+    /// The replicated label operation.
+    pub op: LabelOp,
+    /// Origin signature over [`OpEnvelope::signable`].
+    pub sig: [u8; 64],
+}
+
+impl OpEnvelope {
+    /// The canonical byte string the origin signs.
+    pub fn signable(origin: NodeId, seq: u64, op: &LabelOp) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, "nexus-dist-op");
+        put_u64(&mut out, origin as u64);
+        put_u64(&mut out, seq);
+        put_op(&mut out, op);
+        out
+    }
+
+    /// Build and origin-sign an envelope.
+    pub fn sign(origin: NodeId, seq: u64, op: LabelOp, signer: &dyn OpSigner) -> OpEnvelope {
+        let sig = signer.sign(&OpEnvelope::signable(origin, seq, &op));
+        OpEnvelope {
+            origin,
+            seq,
+            op,
+            sig,
+        }
+    }
+
+    /// Digest the envelope (origin, seq, op, origin-sig) — the vote key.
+    pub fn digest(&self) -> OpDigest {
+        let mut out = OpEnvelope::signable(self.origin, self.seq, &self.op);
+        put_bytes(&mut out, &self.sig);
+        Sha256::digest(&out)
+    }
+
+    /// Verify the origin signature against `membership`.
+    pub fn verify(&self, membership: &Membership) -> bool {
+        match membership.key_of(self.origin) {
+            Some(key) => verify_sig(
+                &key,
+                &OpEnvelope::signable(self.origin, self.seq, &self.op),
+                &self.sig,
+            ),
+            None => false,
+        }
+    }
+}
+
+/// The three BRB phases. Echo and Ready carry the full envelope (not
+/// just the digest) so late nodes can reconstruct the op from any
+/// quorum — the origin signature inside keeps that relay unforgeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Phase 1: the origin's broadcast.
+    Send(OpEnvelope),
+    /// Phase 2: a witness vote for the envelope's digest.
+    Echo(OpEnvelope),
+    /// Phase 3: a commitment to deliver.
+    Ready(OpEnvelope),
+}
+
+impl Payload {
+    /// The envelope inside.
+    pub fn envelope(&self) -> &OpEnvelope {
+        match self {
+            Payload::Send(e) | Payload::Echo(e) | Payload::Ready(e) => e,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Payload::Send(_) => 1,
+            Payload::Echo(_) => 2,
+            Payload::Ready(_) => 3,
+        }
+    }
+
+    /// The canonical byte string the link signature covers.
+    pub fn signable(&self, from: NodeId) -> Vec<u8> {
+        let e = self.envelope();
+        let mut out = Vec::new();
+        put_str(&mut out, "nexus-dist-msg");
+        put_u64(&mut out, from as u64);
+        out.push(self.tag());
+        put_u64(&mut out, e.origin as u64);
+        put_u64(&mut out, e.seq);
+        put_op(&mut out, &e.op);
+        put_bytes(&mut out, &e.sig);
+        out
+    }
+}
+
+/// One point-to-point message: a phase payload, link-signed by the
+/// immediate sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The immediate sender (whose Echo/Ready vote this is).
+    pub from: NodeId,
+    /// The phase payload.
+    pub payload: Payload,
+    /// Link signature by `from` over [`Payload::signable`].
+    pub sig: [u8; 64],
+}
+
+impl Message {
+    /// Build and link-sign a message.
+    pub fn sign(from: NodeId, payload: Payload, signer: &dyn OpSigner) -> Message {
+        let sig = signer.sign(&payload.signable(from));
+        Message { from, payload, sig }
+    }
+
+    /// Verify the link signature against `membership`.
+    pub fn verify(&self, membership: &Membership) -> bool {
+        match membership.key_of(self.from) {
+            Some(key) => verify_sig(&key, &self.payload.signable(self.from), &self.sig),
+            None => false,
+        }
+    }
+}
+
+// ---- the state machine ----
+
+/// Per-`(origin, seq)` slot state.
+#[derive(Debug, Default)]
+struct Slot {
+    /// The envelope this node first accepted (first valid Send wins;
+    /// Echo/Ready for other digests still tally, but this is what the
+    /// node votes for and ultimately delivers).
+    accepted: Option<OpEnvelope>,
+    /// Who echoed which digest.
+    echoes: BTreeMap<OpDigest, BTreeSet<NodeId>>,
+    /// Who sent ready for which digest.
+    readies: BTreeMap<OpDigest, BTreeSet<NodeId>>,
+    /// Envelopes seen for digests (from any phase), so delivery can
+    /// reconstruct the op even if the Send never arrived here.
+    seen: BTreeMap<OpDigest, OpEnvelope>,
+    echoed: bool,
+    readied: bool,
+    delivered: bool,
+}
+
+/// Counters the observability layer surfaces per node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrbCounters {
+    /// Messages accepted and processed.
+    pub accepted: u64,
+    /// Messages dropped for a bad link or origin signature.
+    pub rejected_sigs: u64,
+    /// Sends conflicting with an already-accepted envelope for the
+    /// same slot (an equivocating origin).
+    pub equivocations: u64,
+    /// Redundant messages (duplicate votes, replayed sends).
+    pub duplicates: u64,
+    /// Ops delivered.
+    pub delivered: u64,
+}
+
+/// One node's BRB endpoint: a pure state machine — feed it messages,
+/// collect outgoing messages and deliveries. Transport-agnostic (the
+/// simulator owns scheduling; a socket loop could own it instead).
+pub struct BrbState {
+    id: NodeId,
+    membership: Membership,
+    next_seq: u64,
+    slots: BTreeMap<(NodeId, u64), Slot>,
+    /// Everything this node has origin'd or accepted as a Send —
+    /// retransmitted verbatim during anti-entropy so quorums can
+    /// re-form after a partition heals.
+    known_sends: BTreeMap<(NodeId, u64), OpEnvelope>,
+    counters: BrbCounters,
+}
+
+/// What handling one message produced: messages to transmit (fan-out
+/// already applied) and ops that reached the delivery quorum.
+#[derive(Debug, Default)]
+pub struct Step {
+    /// `(destination, message)` pairs to hand to the transport.
+    pub outgoing: Vec<(NodeId, Message)>,
+    /// Envelopes delivered, in order.
+    pub delivered: Vec<OpEnvelope>,
+}
+
+impl BrbState {
+    /// A fresh endpoint for `id` under `membership`.
+    pub fn new(id: NodeId, membership: Membership) -> BrbState {
+        BrbState {
+            id,
+            membership,
+            next_seq: 0,
+            slots: BTreeMap::new(),
+            known_sends: BTreeMap::new(),
+            counters: BrbCounters::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The membership table.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> BrbCounters {
+        self.counters
+    }
+
+    fn fanout(&self, payload: Payload, signer: &dyn OpSigner) -> Vec<(NodeId, Message)> {
+        let msg = Message::sign(self.id, payload, signer);
+        self.membership
+            .nodes()
+            .map(|to| (to, msg.clone()))
+            .collect()
+    }
+
+    /// Originate a broadcast of `op`: allocate the next sequence
+    /// number, sign the envelope, and Send it to every node (including
+    /// ourselves — self-delivery goes through the same quorum path, so
+    /// an origin partitioned below quorum does *not* deliver locally).
+    pub fn broadcast(&mut self, op: LabelOp, signer: &dyn OpSigner) -> Step {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let env = OpEnvelope::sign(self.id, seq, op, signer);
+        self.known_sends.insert((self.id, seq), env.clone());
+        Step {
+            outgoing: self.fanout(Payload::Send(env), signer),
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Retransmit every known Send — the anti-entropy pass a healed
+    /// partition runs. Receivers treat a replayed Send idempotently
+    /// but re-announce their Echo/Ready votes for it, letting a quorum
+    /// assemble for nodes that missed the original exchange.
+    pub fn anti_entropy(&mut self, signer: &dyn OpSigner) -> Step {
+        let sends: Vec<OpEnvelope> = self.known_sends.values().cloned().collect();
+        let mut out = Vec::new();
+        for env in sends {
+            out.extend(self.fanout(Payload::Send(env), signer));
+        }
+        Step {
+            outgoing: out,
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Handle one incoming message. Invalid signatures are counted and
+    /// dropped; everything else advances the slot's phase machine.
+    pub fn handle(&mut self, msg: &Message, signer: &dyn OpSigner) -> Step {
+        let mut step = Step::default();
+        if !msg.verify(&self.membership) || !msg.payload.envelope().verify(&self.membership) {
+            self.counters.rejected_sigs += 1;
+            return step;
+        }
+        self.counters.accepted += 1;
+
+        let env = msg.payload.envelope().clone();
+        let key = (env.origin, env.seq);
+        let digest = env.digest();
+        let slot = self.slots.entry(key).or_default();
+        slot.seen.entry(digest).or_insert_with(|| env.clone());
+
+        match &msg.payload {
+            Payload::Send(_) => {
+                // Only the origin's own link carries authority to open
+                // a slot; a relayed Send still counts via Echo/Ready.
+                if msg.from != env.origin {
+                    self.counters.duplicates += 1;
+                    return step;
+                }
+                match &slot.accepted {
+                    Some(acc) if acc.digest() != digest => {
+                        self.counters.equivocations += 1;
+                        return step; // first valid Send wins
+                    }
+                    Some(_) => {
+                        self.counters.duplicates += 1;
+                        // Replayed Send: re-announce our votes so a
+                        // healed partition can rebuild the quorum.
+                        let mut reannounce = Vec::new();
+                        if slot.echoed {
+                            reannounce.push(Payload::Echo(env.clone()));
+                        }
+                        if slot.readied {
+                            reannounce.push(Payload::Ready(env.clone()));
+                        }
+                        for p in reannounce {
+                            step.outgoing.extend(self.fanout(p, signer));
+                        }
+                        return step;
+                    }
+                    None => {
+                        slot.accepted = Some(env.clone());
+                        slot.echoed = true;
+                        self.known_sends.insert(key, env.clone());
+                        step.outgoing
+                            .extend(self.fanout(Payload::Echo(env), signer));
+                    }
+                }
+            }
+            Payload::Echo(_) => {
+                if !slot.echoes.entry(digest).or_default().insert(msg.from) {
+                    self.counters.duplicates += 1;
+                    return step;
+                }
+            }
+            Payload::Ready(_) => {
+                if !slot.readies.entry(digest).or_default().insert(msg.from) {
+                    self.counters.duplicates += 1;
+                    return step;
+                }
+            }
+        }
+
+        step.outgoing.extend(self.advance(key, signer));
+        if let Some(env) = self.try_deliver(key) {
+            self.counters.delivered += 1;
+            step.delivered.push(env);
+        }
+        step
+    }
+
+    /// Phase transitions for a slot after a new vote landed: echo
+    /// quorum → Ready, ready amplification → Ready.
+    fn advance(&mut self, key: (NodeId, u64), signer: &dyn OpSigner) -> Vec<(NodeId, Message)> {
+        let echo_q = self.membership.echo_quorum();
+        let amplify = self.membership.ready_amplify();
+        let slot = self.slots.entry(key).or_default();
+        if slot.readied {
+            return Vec::new();
+        }
+        let ready_for = slot
+            .echoes
+            .iter()
+            .find(|(_, voters)| voters.len() >= echo_q)
+            .or_else(|| {
+                slot.readies
+                    .iter()
+                    .find(|(_, voters)| voters.len() >= amplify)
+            })
+            .map(|(digest, _)| *digest);
+        let Some(digest) = ready_for else {
+            return Vec::new();
+        };
+        let Some(env) = slot.seen.get(&digest).cloned() else {
+            return Vec::new();
+        };
+        slot.readied = true;
+        self.known_sends.entry(key).or_insert_with(|| env.clone());
+        self.fanout(Payload::Ready(env), signer)
+    }
+
+    /// Deliver once `2f + 1` readies agree on one digest.
+    fn try_deliver(&mut self, key: (NodeId, u64)) -> Option<OpEnvelope> {
+        let quorum = self.membership.deliver_quorum();
+        let slot = self.slots.get_mut(&key)?;
+        if slot.delivered {
+            return None;
+        }
+        let digest = slot
+            .readies
+            .iter()
+            .find(|(_, voters)| voters.len() >= quorum)
+            .map(|(d, _)| *d)?;
+        let env = slot.seen.get(&digest)?.clone();
+        slot.delivered = true;
+        Some(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orset::{Dot, LabelOp, LabelRecord};
+
+    fn op(n: u64) -> LabelOp {
+        LabelOp::Mint {
+            dot: Dot::new(0, n),
+            label: LabelRecord::new("alice", "CA", "ok"),
+        }
+    }
+
+    fn cluster(n: usize) -> (Vec<BrbState>, Vec<SimEd25519>) {
+        let signers: Vec<SimEd25519> = (0..n as NodeId)
+            .map(|i| SimEd25519::from_seed(42, i))
+            .collect();
+        let membership = Membership::new(signers.iter().map(|s| s.public()).collect());
+        let states = (0..n as NodeId)
+            .map(|i| BrbState::new(i, membership.clone()))
+            .collect();
+        (states, signers)
+    }
+
+    /// Synchronously pump every outgoing message until quiet,
+    /// returning per-node deliveries.
+    fn pump(states: &mut [BrbState], signers: &[SimEd25519], first: Step) -> Vec<Vec<OpEnvelope>> {
+        let mut delivered: Vec<Vec<OpEnvelope>> = vec![Vec::new(); states.len()];
+        let mut queue: Vec<(NodeId, Message)> = first.outgoing;
+        while let Some((to, msg)) = queue.pop() {
+            let step = states[to as usize].handle(&msg, &signers[to as usize]);
+            queue.extend(step.outgoing);
+            delivered[to as usize].extend(step.delivered);
+        }
+        delivered
+    }
+
+    #[test]
+    fn quorum_thresholds_match_bracha() {
+        let m = Membership::new(vec![[0u8; 32]; 4]);
+        assert_eq!(m.f(), 1);
+        assert_eq!(m.echo_quorum(), 3);
+        assert_eq!(m.ready_amplify(), 2);
+        assert_eq!(m.deliver_quorum(), 3);
+        let m3 = Membership::new(vec![[0u8; 32]; 3]);
+        assert_eq!(m3.f(), 0);
+        assert_eq!(m3.echo_quorum(), 2);
+        assert_eq!(m3.deliver_quorum(), 1);
+    }
+
+    #[test]
+    fn broadcast_delivers_on_every_node_exactly_once() {
+        let (mut states, signers) = cluster(4);
+        let first = states[0].broadcast(op(1), &signers[0]);
+        let delivered = pump(&mut states, &signers, first);
+        for (i, d) in delivered.iter().enumerate() {
+            assert_eq!(d.len(), 1, "node {i} must deliver exactly once");
+            assert_eq!(d[0].op, op(1));
+        }
+    }
+
+    #[test]
+    fn forged_origin_signature_is_rejected_everywhere() {
+        let (mut states, signers) = cluster(4);
+        // Node 3 crafts an envelope claiming origin 0 but signs it
+        // with its own key.
+        let env = OpEnvelope::sign(0, 0, op(9), &signers[3]);
+        let msg = Message::sign(3, Payload::Send(env), &signers[3]);
+        for i in 0..4usize {
+            let step = states[i].handle(&msg, &signers[i]);
+            assert!(step.outgoing.is_empty());
+            assert!(step.delivered.is_empty());
+        }
+        assert!(states.iter().all(|s| s.counters().rejected_sigs == 1));
+    }
+
+    #[test]
+    fn equivocating_sends_never_split_honest_nodes() {
+        let (mut states, signers) = cluster(4);
+        // Origin 0 equivocates on one slot: envelope A to nodes 1 and
+        // 2, envelope B to nodes 2 and 3 — node 2 sees the conflict.
+        let env_a = OpEnvelope::sign(0, 0, op(1), &signers[0]);
+        let env_b = OpEnvelope::sign(0, 0, op(2), &signers[0]);
+        let msg_a = Message::sign(0, Payload::Send(env_a), &signers[0]);
+        let msg_b = Message::sign(0, Payload::Send(env_b), &signers[0]);
+        let mut queue: Vec<(NodeId, Message)> = vec![
+            (1, msg_a.clone()),
+            (2, msg_a),
+            (2, msg_b.clone()),
+            (3, msg_b),
+        ];
+        let mut delivered: Vec<Vec<OpEnvelope>> = vec![Vec::new(); 4];
+        while let Some((to, msg)) = queue.pop() {
+            let step = states[to as usize].handle(&msg, &signers[to as usize]);
+            queue.extend(step.outgoing);
+            delivered[to as usize].extend(step.delivered);
+        }
+        // Honest agreement: every node that delivered slot (0,0)
+        // delivered the same op.
+        let mut seen = None;
+        for d in &delivered {
+            for env in d {
+                match &seen {
+                    None => seen = Some(env.op.clone()),
+                    Some(prev) => assert_eq!(prev, &env.op, "honest nodes split on a slot"),
+                }
+            }
+        }
+        assert!(
+            states.iter().any(|s| s.counters().equivocations > 0),
+            "the conflicting Send must be observed somewhere"
+        );
+    }
+
+    #[test]
+    fn anti_entropy_rebuilds_quorum_for_a_node_that_missed_everything() {
+        let (mut states, signers) = cluster(4);
+        // Broadcast while node 3 is "partitioned": discard its inbox.
+        let first = states[0].broadcast(op(1), &signers[0]);
+        let mut queue: Vec<(NodeId, Message)> = first.outgoing;
+        let mut delivered: Vec<Vec<OpEnvelope>> = vec![Vec::new(); 4];
+        while let Some((to, msg)) = queue.pop() {
+            if to == 3 {
+                continue;
+            }
+            let step = states[to as usize].handle(&msg, &signers[to as usize]);
+            queue.extend(step.outgoing);
+            delivered[to as usize].extend(step.delivered);
+        }
+        assert!(delivered[3].is_empty());
+        assert_eq!(delivered[0].len(), 1, "majority side delivers");
+        // Heal: everyone retransmits known sends; pump to quiet.
+        for i in 0..4usize {
+            let step = states[i].anti_entropy(&signers[i]);
+            queue.extend(step.outgoing);
+        }
+        while let Some((to, msg)) = queue.pop() {
+            let step = states[to as usize].handle(&msg, &signers[to as usize]);
+            queue.extend(step.outgoing);
+            delivered[to as usize].extend(step.delivered);
+        }
+        assert_eq!(delivered[3].len(), 1, "healed node must deliver");
+        assert_eq!(delivered[3][0].op, op(1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the or-set label CRDT: the strong-eventual-
+//! consistency obligations (Gomes et al.) under arbitrary seeded op
+//! interleavings, duplicated deliveries, and reordering. Every
+//! failure message carries the generating seed — rerunning with that
+//! seed replays the exact schedule.
+
+use nexus_dist::{Dot, LabelOp, LabelRecord, OrSetLabels};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+const SUBJECTS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+
+/// Generate a plausible op history: mints with globally unique dots,
+/// revocations and transfers that reference previously minted dots
+/// (as a real replica would — revoking what it has observed).
+fn gen_ops(seed: u64, count: usize) -> Vec<LabelOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = 0u64;
+    let mut minted: Vec<(Dot, LabelRecord)> = Vec::new();
+    let mut ops = Vec::new();
+    while ops.len() < count {
+        let roll = rng.next_u64() % 100;
+        if minted.is_empty() || roll < 55 {
+            counter += 1;
+            let dot = Dot::new((rng.next_u64() % 4) as u32, counter);
+            let rec = LabelRecord::new(
+                SUBJECTS[(rng.next_u64() as usize) % SUBJECTS.len()],
+                "CA",
+                &format!("claim{}", rng.next_u64() % 6),
+            );
+            minted.push((dot, rec.clone()));
+            ops.push(LabelOp::Mint { dot, label: rec });
+        } else if roll < 85 {
+            let (_, rec) = minted[(rng.next_u64() as usize) % minted.len()].clone();
+            let dots: Vec<Dot> = minted
+                .iter()
+                .filter(|(_, r)| r == &rec)
+                .filter(|_| rng.next_u64() % 2 == 0)
+                .map(|(d, _)| *d)
+                .collect();
+            if dots.is_empty() {
+                continue;
+            }
+            ops.push(LabelOp::Revoke { label: rec, dots });
+        } else {
+            let (_, rec) = minted[(rng.next_u64() as usize) % minted.len()].clone();
+            let dots: Vec<Dot> = minted
+                .iter()
+                .filter(|(_, r)| r == &rec)
+                .map(|(d, _)| *d)
+                .collect();
+            counter += 1;
+            let dot = Dot::new((rng.next_u64() % 4) as u32, counter);
+            let to = SUBJECTS[(rng.next_u64() as usize) % SUBJECTS.len()];
+            minted.push((dot, LabelRecord::new(to, &rec.speaker, &rec.statement)));
+            ops.push(LabelOp::Transfer {
+                label: rec,
+                dots,
+                to_subject: to.to_string(),
+                dot,
+            });
+        }
+    }
+    ops
+}
+
+fn apply_all(ops: &[LabelOp]) -> OrSetLabels {
+    let mut s = OrSetLabels::new();
+    for op in ops {
+        s.apply(op);
+    }
+    s
+}
+
+fn shuffled(ops: &[LabelOp], rng: &mut StdRng) -> Vec<LabelOp> {
+    let mut v: Vec<LabelOp> = ops.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[test]
+fn converges_under_arbitrary_reorder_and_duplication() {
+    for seed in 0..24u64 {
+        let ops = gen_ops(seed, 48);
+        let reference = apply_all(&ops);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for round in 0..6 {
+            // Reorder the whole history, then duplicate ~30% of ops
+            // in place (a retransmitting network).
+            let mut schedule = shuffled(&ops, &mut rng);
+            let dups: Vec<LabelOp> = schedule
+                .iter()
+                .filter(|_| rng.next_u64() % 100 < 30)
+                .cloned()
+                .collect();
+            schedule.extend(dups);
+            let schedule = shuffled(&schedule, &mut rng);
+            let replica = apply_all(&schedule);
+            assert!(
+                replica.agrees_with(&reference),
+                "divergence: seed={seed} round={round} (replay with this seed)"
+            );
+            assert_eq!(
+                replica.state_digest(),
+                reference.state_digest(),
+                "digest mismatch: seed={seed} round={round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn apply_is_idempotent_over_whole_histories() {
+    for seed in 100..112u64 {
+        let ops = gen_ops(seed, 40);
+        let once = apply_all(&ops);
+        let twice: Vec<LabelOp> = ops.iter().flat_map(|op| [op.clone(), op.clone()]).collect();
+        let doubled = apply_all(&twice);
+        assert!(
+            doubled.agrees_with(&once),
+            "double-apply diverged: seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn apply_is_commutative_pairwise() {
+    // The algebraic core of convergence: any adjacent transposition
+    // leaves the final state unchanged, for every position.
+    for seed in 200..206u64 {
+        let ops = gen_ops(seed, 24);
+        let reference = apply_all(&ops);
+        for i in 0..ops.len() - 1 {
+            let mut swapped = ops.clone();
+            swapped.swap(i, i + 1);
+            assert!(
+                apply_all(&swapped).agrees_with(&reference),
+                "transposition at {i} diverged: seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn effects_fire_exactly_once_per_presence_flip() {
+    // However the schedule is permuted or duplicated, the *net* flip
+    // count the kernel would see for any record is bounded by the
+    // schedule's structure: a record present in the final state was
+    // minted exactly once more than it was revoked (n+1 mints, n
+    // revokes net n+1 flips... net: minted_flips - revoked_flips = 1),
+    // and an absent one balances. This is what keeps labelstores in
+    // lock-step with the or-set.
+    for seed in 300..312u64 {
+        let ops = gen_ops(seed, 40);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = shuffled(&ops, &mut rng);
+        let mut replica = OrSetLabels::new();
+        let mut net: std::collections::HashMap<LabelRecord, i64> = std::collections::HashMap::new();
+        for op in &schedule {
+            let eff = replica.apply(op);
+            for r in eff.minted {
+                *net.entry(r).or_default() += 1;
+            }
+            for r in eff.revoked {
+                *net.entry(r).or_default() -= 1;
+            }
+        }
+        for (rec, delta) in net {
+            let expected = i64::from(replica.contains(&rec));
+            assert_eq!(
+                delta, expected,
+                "flip imbalance for {rec:?}: seed={seed} (kernel would desync)"
+            );
+        }
+    }
+}

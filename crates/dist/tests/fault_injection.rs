@@ -1,0 +1,214 @@
+//! Fault-injection tests: Byzantine members (equivocation, forgery,
+//! replay storms), lossy networks, and partitions. The invariants: a
+//! Byzantine peer never corrupts an honest node's label state or
+//! mints a credential on it; honest replicas converge once the
+//! network lets a quorum through. All schedules are seeded — every
+//! assertion message prints the seed that replays it.
+
+use nexus_dist::{Cluster, Partition, SimConfig};
+
+/// Clusters that must tolerate one Byzantine member need n >= 4
+/// (f = (n-1)/3 >= 1); we use 5 to keep quorums honest-majority even
+/// with one compromised key.
+const BYZ_N: usize = 5;
+
+#[test]
+fn happy_path_replicates_across_cluster_sizes() {
+    for n in [3usize, 5, 7] {
+        let seed = 0xabc0 + n as u64;
+        let mut cluster = Cluster::new(n, seed);
+        let rec = cluster.mint(0, "alice", "CA", "ok");
+        assert!(
+            cluster.run_until_converged(4),
+            "no convergence: n={n} seed={seed}"
+        );
+        for i in 0..n as u32 {
+            assert!(
+                cluster.has_label(i, &rec),
+                "label missing at node {i}: n={n} seed={seed}"
+            );
+            let stats = cluster.node(i).stats();
+            assert_eq!(stats.applied_mints, 1, "node {i}: n={n} seed={seed}");
+            assert_eq!(stats.apply_errors, 0, "node {i}: n={n} seed={seed}");
+            assert_eq!(
+                cluster.nexus(i).dist_stats().remote_mints,
+                1,
+                "kernel counter desync at node {i}: n={n} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forged_ops_never_mint_anywhere() {
+    for seed in [1u64, 7, 42] {
+        let mut cluster = Cluster::new(BYZ_N, seed);
+        // Node 4 forges an op in node 1's name (it lacks node 1's key).
+        let forged = cluster.inject_forged(4, 1, "mallory");
+        cluster.run_to_quiescence(usize::MAX);
+        for i in 0..BYZ_N as u32 {
+            assert!(
+                !cluster.has_label(i, &forged),
+                "forged label visible at node {i}: seed={seed}"
+            );
+            assert_eq!(
+                cluster.nexus(i).dist_stats().remote_mints,
+                0,
+                "forged op reached a kernel at node {i}: seed={seed}"
+            );
+            assert!(
+                cluster.node(i).stats().brb.rejected_sigs > 0,
+                "node {i} never saw (and rejected) the forgery: seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivocation_never_splits_honest_state() {
+    for seed in [3u64, 11, 99] {
+        let mut cluster = Cluster::new(BYZ_N, seed);
+        let (rec_a, rec_b) = cluster.inject_equivocation(4, 0, "alice", "bob");
+        cluster.run_to_quiescence(usize::MAX);
+        // Agreement: at most one of the conflicting ops may be
+        // delivered, and whichever it is, every honest node agrees.
+        for rec in [&rec_a, &rec_b] {
+            let views: Vec<bool> = (0..BYZ_N as u32)
+                .map(|i| cluster.has_label(i, rec))
+                .collect();
+            assert!(
+                views.iter().all(|&v| v == views[0]),
+                "honest nodes split on {rec:?}: views={views:?} seed={seed}"
+            );
+        }
+        assert!(
+            !((0..BYZ_N as u32).all(|i| cluster.has_label(i, &rec_a))
+                && (0..BYZ_N as u32).all(|i| cluster.has_label(i, &rec_b))),
+            "both equivocating ops delivered for one slot: seed={seed}"
+        );
+        let observed: u64 = (0..BYZ_N as u32)
+            .map(|i| cluster.node(i).stats().brb.equivocations)
+            .sum();
+        assert!(observed > 0, "equivocation went unobserved: seed={seed}");
+    }
+}
+
+#[test]
+fn replay_storm_does_not_move_state_or_recount_kernel_effects() {
+    for seed in [5u64, 23] {
+        let mut cluster = Cluster::new(BYZ_N, seed);
+        let rec = cluster.mint(0, "alice", "CA", "ok");
+        assert!(cluster.run_until_converged(4), "setup: seed={seed}");
+        let digests: Vec<u64> = (0..BYZ_N as u32)
+            .map(|i| cluster.node(i).state_digest())
+            .collect();
+        let mints: Vec<u64> = (0..BYZ_N as u32)
+            .map(|i| cluster.nexus(i).dist_stats().remote_mints)
+            .collect();
+        // Node 4 replays everything it knows, five times over.
+        cluster.inject_replay(4, 5);
+        cluster.run_to_quiescence(usize::MAX);
+        for i in 0..BYZ_N as u32 {
+            assert!(cluster.has_label(i, &rec), "node {i}: seed={seed}");
+            assert_eq!(
+                cluster.node(i).state_digest(),
+                digests[i as usize],
+                "replay moved node {i}'s state: seed={seed}"
+            );
+            assert_eq!(
+                cluster.nexus(i).dist_stats().remote_mints,
+                mints[i as usize],
+                "replay re-minted on node {i}'s kernel: seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lossy_duplicating_delaying_network_still_converges() {
+    for seed in [2u64, 13, 77, 1234] {
+        let mut cluster = Cluster::with_config(BYZ_N, SimConfig::lossy(seed, 10, 15, 4));
+        let rec = cluster.mint(0, "alice", "CA", "ok");
+        let rec2 = cluster.mint(2, "bob", "CA", "ok");
+        assert!(
+            cluster.run_until_converged(32),
+            "no convergence on lossy net: seed={seed}"
+        );
+        for i in 0..BYZ_N as u32 {
+            assert!(cluster.has_label(i, &rec), "node {i}: seed={seed}");
+            assert!(cluster.has_label(i, &rec2), "node {i}: seed={seed}");
+            assert_eq!(
+                cluster.node(i).stats().apply_errors,
+                0,
+                "apply error at node {i}: seed={seed}"
+            );
+        }
+        assert!(
+            cluster.net_counters().dropped > 0,
+            "schedule never exercised loss: seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn minority_partition_stalls_then_heals_to_convergence() {
+    for seed in [4u64, 19] {
+        // Node 4 is cut off from tick 0 until tick 300. With n=5 the
+        // echo quorum is n - f = 4, so the connected side {0,1,2,3}
+        // is exactly quorate and delivers; node 4 cannot. (Ticks
+        // advance one per delivery, so the anti-entropy rounds below
+        // also pump the clock toward the healing point.)
+        let mut cfg = SimConfig::perfect(seed);
+        cfg.partitions = vec![Partition::new(&[4], 0, 300)];
+        let mut cluster = Cluster::with_config(BYZ_N, cfg);
+        let rec = cluster.mint(0, "alice", "CA", "ok");
+        cluster.run_to_quiescence(usize::MAX);
+        for i in 0..4u32 {
+            assert!(
+                cluster.has_label(i, &rec),
+                "majority node {i} must deliver: seed={seed}"
+            );
+        }
+        assert!(
+            !cluster.has_label(4, &rec),
+            "partitioned node delivered without quorum: seed={seed}"
+        );
+        assert!(
+            cluster.run_until_converged(64),
+            "no convergence after heal: seed={seed}"
+        );
+        for i in 0..BYZ_N as u32 {
+            assert!(
+                cluster.has_label(i, &rec),
+                "node {i} missing label after heal: seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn transfer_is_atomic_on_every_replica() {
+    for seed in [6u64, 31] {
+        let mut cluster = Cluster::new(BYZ_N, seed);
+        let rec = cluster.mint(0, "alice", "CA", "ok");
+        assert!(cluster.run_until_converged(4), "setup: seed={seed}");
+        let moved = cluster.transfer(1, &rec, "bob").expect("visible at node 1");
+        assert!(cluster.run_until_converged(4), "transfer: seed={seed}");
+        for i in 0..BYZ_N as u32 {
+            assert!(
+                !cluster.has_label(i, &rec),
+                "source label survived transfer at node {i}: seed={seed}"
+            );
+            assert!(
+                cluster.has_label(i, &moved),
+                "destination label missing at node {i}: seed={seed}"
+            );
+            let ds = cluster.nexus(i).dist_stats();
+            assert_eq!(
+                (ds.remote_mints, ds.remote_revocations),
+                (2, 1),
+                "kernel effect counts off at node {i}: seed={seed}"
+            );
+        }
+    }
+}

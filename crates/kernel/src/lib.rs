@@ -42,7 +42,9 @@ pub use interpose::{
 };
 pub use ipc::IpcTable;
 pub use ipd::{Ipd, IpdTable};
-pub use nexus::{AttestStats, BootImages, Nexus, NexusConfig, SysRet, Syscall, SYSCALL_CHANNEL};
+pub use nexus::{
+    AttestStats, BootImages, DistStats, Nexus, NexusConfig, SysRet, Syscall, SYSCALL_CHANNEL,
+};
 pub use nexus_authzd::{AuthzOutcome, AuthzTicket, GuardPoolConfig, OverflowPolicy, PoolStats};
 pub use nexus_obs::{
     AuditEvent, AuditPath, AuditVerdict, HistogramSnapshot, ObsConfig, TelemetrySnapshot,

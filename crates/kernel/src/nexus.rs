@@ -234,6 +234,8 @@ pub struct Nexus {
     telemetry: KernelTelemetry,
     /// Counters for the analyzer→credential path (ISSUE 8).
     attest: AttestCounters,
+    /// Counters for the replicated-credential path (ISSUE 9).
+    dist: DistCounters,
 }
 
 impl Nexus {
@@ -297,6 +299,7 @@ impl Nexus {
             guard_upcalls: AtomicU64::new(0),
             telemetry: KernelTelemetry::new(&cfg.obs),
             attest: AttestCounters::default(),
+            dist: DistCounters::default(),
         })
     }
 
@@ -518,10 +521,22 @@ impl Nexus {
             let label = ipds.get_mut(from)?.labelstore.delete(h)?;
             ipds.get_mut(to)?.labelstore.insert(label)
         };
+        self.revocation_fence();
+        Ok(handle)
+    }
+
+    /// The label-removal fence, as one named step: bump the removal
+    /// epoch (aborting racing cache fills), clear the decision cache,
+    /// and quiesce in-flight pipeline batches. Every path that takes a
+    /// label *away* — transfer, credential revocation, and a remotely
+    /// delivered revocation broadcast — runs exactly this; by the time
+    /// it returns, no authorization backed by the departed label can
+    /// complete (PR 5's no-stale-allow invariant, which the
+    /// distributed layer extends across nodes).
+    pub fn revocation_fence(&self) {
         self.label_removal_epoch.fetch_add(1, Ordering::Relaxed);
         self.dcache.clear();
         self.fence_in_flight_authz();
-        Ok(handle)
     }
 
     // ---- analyzer credentials (ISSUE 8) ----
@@ -596,9 +611,7 @@ impl Nexus {
             .get_mut(subject_pid)?
             .labelstore
             .delete(h)?;
-        self.label_removal_epoch.fetch_add(1, Ordering::Relaxed);
-        self.dcache.clear();
-        self.fence_in_flight_authz();
+        self.revocation_fence();
         self.attest.revoked.fetch_add(1, Ordering::Relaxed);
         self.journal_attest(
             subject_pid,
@@ -649,6 +662,91 @@ impl Nexus {
         let (g, p, l) = self.epoch_snapshot();
         ev.epochs = [g, p, l];
         ev.refuted = witness;
+        self.telemetry.audit.push(ev);
+    }
+
+    // ---- replicated credentials (ISSUE 9) ----
+
+    /// Apply a *remotely agreed* label mint: the distributed layer
+    /// delivered a broadcast op whose quorum vouches for it, so the
+    /// label enters `pid`'s store kernel-attributed (like
+    /// [`Nexus::kernel_label`]) without a local `say`. Counted and
+    /// journaled on the replication audit path.
+    pub fn apply_remote_mint(
+        &self,
+        pid: u64,
+        speaker: Principal,
+        statement: Formula,
+    ) -> Result<LabelHandle, KernelError> {
+        let claim = Self::claim_name(&statement);
+        let handle = self
+            .ipds
+            .write()
+            .get_mut(pid)?
+            .labelstore
+            .insert(Label { speaker, statement });
+        self.dist.remote_mints.fetch_add(1, Ordering::Relaxed);
+        self.journal_dist(pid, &claim, AuditVerdict::Mint);
+        Ok(handle)
+    }
+
+    /// Apply a *remotely agreed* revocation: remove the label and run
+    /// the full [`Nexus::revocation_fence`]. By the time this returns,
+    /// no authorization on this node backed by the revoked label can
+    /// complete — the cross-node extension of the no-stale-allow
+    /// invariant (a revocation delivered anywhere fences every
+    /// replica as its delivery is applied).
+    pub fn apply_remote_revoke(&self, pid: u64, h: LabelHandle) -> Result<Label, KernelError> {
+        let label = self.ipds.write().get_mut(pid)?.labelstore.delete(h)?;
+        self.revocation_fence();
+        self.dist.remote_revocations.fetch_add(1, Ordering::Relaxed);
+        self.journal_dist(
+            pid,
+            &Self::claim_name(&label.statement),
+            AuditVerdict::Revoke,
+        );
+        Ok(label)
+    }
+
+    /// Find a label in `pid`'s store by content. The replication layer
+    /// names labels by (speaker, statement) — handles are node-local —
+    /// so applying a remote revocation starts here.
+    pub fn find_label(
+        &self,
+        pid: u64,
+        speaker: &Principal,
+        statement: &Formula,
+    ) -> Result<Option<LabelHandle>, KernelError> {
+        Ok(self
+            .ipds
+            .read()
+            .get(pid)?
+            .labelstore
+            .find_handle(speaker, statement))
+    }
+
+    /// Cumulative replication-path counters.
+    pub fn dist_stats(&self) -> DistStats {
+        DistStats {
+            remote_mints: self.dist.remote_mints.load(Ordering::Relaxed),
+            remote_revocations: self.dist.remote_revocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Journal one replication event (while telemetry is on).
+    fn journal_dist(&self, subject_pid: u64, claim: &str, verdict: AuditVerdict) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let mut ev = audit_event(
+            subject_pid,
+            claim,
+            ResourceId::ipd(subject_pid).0,
+            verdict,
+            AuditPath::Replication,
+        );
+        let (g, p, l) = self.epoch_snapshot();
+        ev.epochs = [g, p, l];
         self.telemetry.audit.push(ev);
     }
 
@@ -1705,6 +1803,17 @@ impl Nexus {
             "analyzer credentials revoked (binary changed)",
             a.credentials_revoked,
         );
+        let ds = self.dist_stats();
+        r.counter(
+            "nexus_dist_remote_mints_total",
+            "labels minted from delivered broadcast ops",
+            ds.remote_mints,
+        )
+        .counter(
+            "nexus_dist_remote_revocations_total",
+            "labels revoked (and fenced) from delivered broadcast ops",
+            ds.remote_revocations,
+        );
         for stage in Stage::ALL {
             r.histogram(
                 &format!("nexus_authz_stage_{}_ns", stage.name()),
@@ -2088,6 +2197,26 @@ struct AttestCounters {
     minted: AtomicU64,
     refused: AtomicU64,
     revoked: AtomicU64,
+}
+
+/// Live counters behind [`Nexus::dist_stats`] (the replicated
+/// credential path, ISSUE 9): label changes this kernel applied
+/// because a remote broadcast op was delivered, not because a local
+/// process invoked a system call.
+#[derive(Default)]
+struct DistCounters {
+    remote_mints: AtomicU64,
+    remote_revocations: AtomicU64,
+}
+
+/// A frozen copy of the replication-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Labels minted on delivery of a remote broadcast op.
+    pub remote_mints: u64,
+    /// Labels revoked (with the full fence) on delivery of a remote
+    /// broadcast op.
+    pub remote_revocations: u64,
 }
 
 /// A frozen copy of the attestation-path counters: analyzer runs,

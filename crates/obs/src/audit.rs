@@ -74,6 +74,9 @@ pub enum AuditPath {
     /// A labeling-function (analyzer) credential event — mint,
     /// refuse, or revoke — rather than an authorization verdict.
     Analyzer,
+    /// A label change applied from a remotely agreed broadcast op
+    /// (the distributed credential layer), not a local system call.
+    Replication,
 }
 
 impl AuditPath {
@@ -84,6 +87,7 @@ impl AuditPath {
             AuditPath::Inline => "inline",
             AuditPath::Pipeline => "pipeline",
             AuditPath::Analyzer => "analyzer",
+            AuditPath::Replication => "replication",
         }
     }
 }
