@@ -235,10 +235,11 @@ impl LabelStore {
     }
 
     /// Find the handle of a label by content (lowest handle wins when
-    /// duplicates exist). The replication layer uses this to map a
-    /// remotely agreed revocation — which names the label by
-    /// speaker/statement, not by any node-local handle — onto this
-    /// store's handle space.
+    /// duplicates exist). Content resolution cannot distinguish a
+    /// replicated label from an identically-worded locally-said one,
+    /// so the replication layer tracks the exact handle each remote
+    /// mint produced and uses this lookup only as a fallback for
+    /// untracked records.
     pub fn find_handle(&self, speaker: &Principal, statement: &Formula) -> Option<LabelHandle> {
         self.labels
             .iter()

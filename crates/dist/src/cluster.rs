@@ -343,6 +343,83 @@ impl Cluster {
         rec
     }
 
+    /// `byz` mounts the shared-dot attack (REVIEW finding 1): two
+    /// validly-signed mints of *different* labels sharing one dot
+    /// (its own actor id) in two slots, plus a revocation of the
+    /// first label's dot in a third — all in flight at once, so
+    /// replicas apply them in schedule-dependent orders. With
+    /// `(label, dot)`-keyed tombstones every order converges: the
+    /// revoked label dies, the dot-sharing label survives everywhere.
+    /// Returns (revoked record, surviving record).
+    pub fn inject_shared_dot_attack(
+        &mut self,
+        byz: NodeId,
+        subject_a: &str,
+        subject_b: &str,
+    ) -> (LabelRecord, LabelRecord) {
+        let rec_a = LabelRecord::new(subject_a, "CA", "ok");
+        let rec_b = LabelRecord::new(subject_b, "CA", "ok");
+        let dot = self.node_mut(byz).next_dot();
+        let ops = [
+            LabelOp::Mint {
+                dot,
+                label: rec_a.clone(),
+            },
+            LabelOp::Mint {
+                dot,
+                label: rec_b.clone(),
+            },
+            LabelOp::Revoke {
+                label: rec_a.clone(),
+                dots: vec![dot],
+            },
+        ];
+        for op in ops {
+            let n = &mut self.nodes[byz as usize];
+            let step = n.brb.broadcast(op, &n.signer);
+            self.route(byz, step.outgoing);
+        }
+        (rec_a, rec_b)
+    }
+
+    /// `byz` broadcasts a validly-signed mint whose dot sits in
+    /// `victim`'s actor namespace (pre-colliding with the victim's
+    /// future honest mint counter `counter`). The broadcast layer
+    /// delivers it — the envelope is genuine — but every honest node
+    /// must reject it at the application layer (origin-unbound dot).
+    pub fn inject_foreign_dot_mint(
+        &mut self,
+        byz: NodeId,
+        victim: NodeId,
+        counter: u64,
+        subject: &str,
+    ) -> LabelRecord {
+        let rec = LabelRecord::new(subject, "CA", "ok");
+        let op = LabelOp::Mint {
+            dot: Dot::new(victim, counter),
+            label: rec.clone(),
+        };
+        let n = &mut self.nodes[byz as usize];
+        let step = n.brb.broadcast(op, &n.signer);
+        self.route(byz, step.outgoing);
+        rec
+    }
+
+    /// Drop node `crashed` from the cluster's anti-entropy loop and
+    /// retransmit from everyone else — models a crashed origin whose
+    /// Send can never be replayed by itself. Totality must not depend
+    /// on it: surviving voters re-announce their own Echo/Ready.
+    pub fn anti_entropy_without(&mut self, crashed: NodeId) {
+        for i in 0..self.nodes.len() {
+            if i as NodeId == crashed {
+                continue;
+            }
+            let n = &mut self.nodes[i];
+            let step = n.brb.anti_entropy(&n.signer);
+            self.route(i as NodeId, step.outgoing);
+        }
+    }
+
     /// `byz` replays every Send it knows, `copies` times (a replay
     /// storm). Honest or-sets are idempotent, so state must not move.
     pub fn inject_replay(&mut self, byz: NodeId, copies: usize) {

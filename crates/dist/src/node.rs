@@ -12,8 +12,9 @@
 //! kernel sees each flip exactly once no matter how the network
 //! duplicates or reorders the underlying messages.
 
-use crate::orset::{ApplyEffect, Dot, LabelRecord, OrSetLabels};
-use crate::wire::{BrbCounters, BrbState, Membership, Message, NodeId, SimEd25519};
+use crate::orset::{ApplyEffect, Dot, LabelOp, LabelRecord, OrSetLabels};
+use crate::wire::{BrbCounters, BrbState, Membership, Message, NodeId, OpEnvelope, SimEd25519};
+use nexus_core::LabelHandle;
 use nexus_kernel::Nexus;
 use nexus_nal::{parse, Principal};
 use nexus_obs::{MetricsRegistry, TelemetrySnapshot};
@@ -33,6 +34,10 @@ pub struct NodeStats {
     /// Delivered ops that could not be applied (unparsable statement,
     /// missing label) — kept at zero by every honest schedule.
     pub apply_errors: u64,
+    /// Delivered ops rejected before touching the or-set because
+    /// their mint dot was not bound to the envelope's origin (a
+    /// Byzantine member spending another node's dot namespace).
+    pub rejected_ops: u64,
 }
 
 /// A cluster member.
@@ -46,9 +51,14 @@ pub struct DistNode {
     subjects: HashMap<String, u64>,
     /// This node's mint counter (dot uniqueness).
     mint_counter: u64,
+    /// The exact kernel handle each replicated record minted here, so
+    /// a remote revocation deletes that handle — never a locally-said
+    /// label that happens to share (speaker, statement) content.
+    remote_handles: HashMap<LabelRecord, LabelHandle>,
     applied_mints: u64,
     applied_revocations: u64,
     apply_errors: u64,
+    rejected_ops: u64,
 }
 
 impl DistNode {
@@ -66,9 +76,11 @@ impl DistNode {
             nexus,
             subjects: HashMap::new(),
             mint_counter: 0,
+            remote_handles: HashMap::new(),
             applied_mints: 0,
             applied_revocations: 0,
             apply_errors: 0,
+            rejected_ops: 0,
         }
     }
 
@@ -126,6 +138,7 @@ impl DistNode {
             applied_mints: self.applied_mints,
             applied_revocations: self.applied_revocations,
             apply_errors: self.apply_errors,
+            rejected_ops: self.rejected_ops,
         }
     }
 
@@ -174,19 +187,44 @@ impl DistNode {
             "nexus_dist_apply_errors_total",
             "delivered ops that failed to apply",
             s.apply_errors,
+        )
+        .counter(
+            "nexus_dist_rejected_ops_total",
+            "delivered ops rejected for an origin-unbound mint dot",
+            s.rejected_ops,
         );
         r.finish()
     }
 
-    /// Handle one incoming message: run the BRB state machine, apply
-    /// whatever it delivered, and return the messages to transmit.
+    /// Handle one incoming message: run the BRB state machine,
+    /// validate and apply whatever it delivered, and return the
+    /// messages to transmit.
     pub fn handle(&mut self, msg: &Message) -> Vec<(NodeId, Message)> {
         let step = self.brb.handle(msg, &self.signer);
         for env in &step.delivered {
+            if !Self::op_origin_bound(env) {
+                self.rejected_ops += 1;
+                continue;
+            }
             let effect = self.orset.apply(&env.op);
             self.apply_effect(&effect);
         }
         step.outgoing
+    }
+
+    /// A delivered op's *fresh mint dot* must carry the envelope
+    /// origin's own actor id: a member mints only in its own dot
+    /// namespace, so it can neither collide with another node's
+    /// future honest mints nor spend dots in a victim's name. (A
+    /// revoke's observed `dots` legitimately reference other actors'
+    /// mints and are not origin-bound.) The check is a pure function
+    /// of the envelope, so every honest replica rejects exactly the
+    /// same delivered ops — convergence is preserved.
+    fn op_origin_bound(env: &OpEnvelope) -> bool {
+        match &env.op {
+            LabelOp::Mint { dot, .. } | LabelOp::Transfer { dot, .. } => dot.actor == env.origin,
+            LabelOp::Revoke { .. } => true,
+        }
     }
 
     /// Apply an or-set presence change to the kernel.
@@ -208,24 +246,36 @@ impl DistNode {
     fn mint_local(&mut self, rec: &LabelRecord) -> Result<(), ()> {
         let statement = parse(&rec.statement).map_err(|_| ())?;
         let pid = self.subject_pid(&rec.subject);
-        self.nexus
+        let handle = self
+            .nexus
             .apply_remote_mint(pid, Principal::name(&rec.speaker), statement)
-            .map(|_| ())
-            .map_err(|_| ())
+            .map_err(|_| ())?;
+        self.remote_handles.insert(rec.clone(), handle);
+        Ok(())
     }
 
     fn revoke_local(&mut self, rec: &LabelRecord) -> Result<(), ()> {
-        let statement = parse(&rec.statement).map_err(|_| ())?;
         let pid = self.lookup_subject(&rec.subject).ok_or(())?;
-        let speaker = Principal::name(&rec.speaker);
-        let handle = self
-            .nexus
-            .find_label(pid, &speaker, &statement)
-            .map_err(|_| ())?
-            .ok_or(())?;
+        // Revoke the exact handle the replication layer minted. The
+        // content-resolution fallback (`find_label`) only runs if the
+        // record somehow isn't tracked; it can conflate a replicated
+        // label with an identically-worded locally-said one, which is
+        // why the map is authoritative.
+        let handle = match self.remote_handles.get(rec) {
+            Some(&h) => h,
+            None => {
+                let statement = parse(&rec.statement).map_err(|_| ())?;
+                let speaker = Principal::name(&rec.speaker);
+                self.nexus
+                    .find_label(pid, &speaker, &statement)
+                    .map_err(|_| ())?
+                    .ok_or(())?
+            }
+        };
         self.nexus
             .apply_remote_revoke(pid, handle)
-            .map(|_| ())
-            .map_err(|_| ())
+            .map_err(|_| ())?;
+        self.remote_handles.remove(rec);
+        Ok(())
     }
 }

@@ -15,6 +15,15 @@
 //! saw survives, which is exactly or-set add-wins semantics. Removed
 //! dots land in a tombstone set so a duplicated or late-arriving mint
 //! of an already-revoked dot can never resurrect the label.
+//!
+//! Tombstones are keyed by `(label, dot)`, not by dot alone. Honest
+//! nodes never reuse a dot, but a Byzantine member can sign two mints
+//! of *different* labels sharing one dot; if tombstones were global
+//! per dot, revoking one label would suppress the other label's mint
+//! on replicas that saw the revoke first and not on replicas that saw
+//! the mint first — permanent divergence. Keyed tombstones make a
+//! revoke touch only mints of the same record, so `apply` stays
+//! commutative even under adversarial dot sharing.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -123,8 +132,9 @@ impl ApplyEffect {
 pub struct OrSetLabels {
     /// Live dots per label content.
     live: BTreeMap<LabelRecord, BTreeSet<Dot>>,
-    /// Every dot ever revoked (dots are unique, so this is global).
-    tombstones: BTreeSet<Dot>,
+    /// Revoked dots, keyed by the record they were revoked under — a
+    /// revoke can only ever suppress mints of the *same* record.
+    tombstones: BTreeMap<LabelRecord, BTreeSet<Dot>>,
 }
 
 impl OrSetLabels {
@@ -164,7 +174,7 @@ impl OrSetLabels {
     }
 
     fn add(&mut self, dot: Dot, label: &LabelRecord, effect: &mut ApplyEffect) {
-        if self.tombstones.contains(&dot) {
+        if self.tombstones.get(label).is_some_and(|t| t.contains(&dot)) {
             return; // the revocation arrived first — add loses
         }
         let dots = self.live.entry(label.clone()).or_default();
@@ -175,9 +185,13 @@ impl OrSetLabels {
     }
 
     fn remove(&mut self, label: &LabelRecord, dots: &[Dot], effect: &mut ApplyEffect) {
-        for d in dots {
-            self.tombstones.insert(*d);
+        if dots.is_empty() {
+            return; // a dotless revoke observed nothing — no state
         }
+        self.tombstones
+            .entry(label.clone())
+            .or_default()
+            .extend(dots.iter().copied());
         if let Some(live) = self.live.get_mut(label) {
             let was_present = !live.is_empty();
             for d in dots {
@@ -230,8 +244,11 @@ impl OrSetLabels {
                 d.hash(&mut h);
             }
         }
-        for d in &self.tombstones {
-            d.hash(&mut h);
+        for (r, dots) in &self.tombstones {
+            r.hash(&mut h);
+            for d in dots {
+                d.hash(&mut h);
+            }
         }
         h.finish()
     }
@@ -332,6 +349,68 @@ mod tests {
         assert_eq!(eff.minted, vec![rec("bob")]);
         assert!(!a.contains(&rec("alice")));
         assert!(a.contains(&rec("bob")));
+    }
+
+    #[test]
+    fn shared_dot_revoke_cannot_suppress_an_unrelated_label() {
+        // A Byzantine member signs two mints of *different* labels
+        // sharing one dot, then a revoke of one of them. With keyed
+        // tombstones the revoke only touches its own record, so every
+        // delivery order converges to the same state: alice absent,
+        // mallory present.
+        let mint_a = LabelOp::Mint {
+            dot: Dot::new(3, 1),
+            label: rec("alice"),
+        };
+        let mint_b = LabelOp::Mint {
+            dot: Dot::new(3, 1), // same dot, different label
+            label: rec("mallory"),
+        };
+        let revoke_a = LabelOp::Revoke {
+            label: rec("alice"),
+            dots: vec![Dot::new(3, 1)],
+        };
+        let ops = [mint_a, mint_b, revoke_a];
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let mut replicas: Vec<OrSetLabels> = orders
+            .iter()
+            .map(|order| {
+                let mut r = OrSetLabels::new();
+                for &i in order {
+                    r.apply(&ops[i]);
+                }
+                r
+            })
+            .collect();
+        let reference = replicas.pop().unwrap();
+        for r in &replicas {
+            assert!(r.agrees_with(&reference), "delivery order diverged");
+            assert_eq!(r.state_digest(), reference.state_digest());
+            assert!(!r.contains(&rec("alice")), "revoked label must die");
+            assert!(
+                r.contains(&rec("mallory")),
+                "unrelated label sharing the dot must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn dotless_revoke_leaves_no_state_and_stays_convergent() {
+        let mut a = OrSetLabels::new();
+        let eff = a.apply(&LabelOp::Revoke {
+            label: rec("alice"),
+            dots: vec![],
+        });
+        assert!(eff.is_noop());
+        assert!(a.agrees_with(&OrSetLabels::new()));
+        assert_eq!(a.state_digest(), OrSetLabels::new().state_digest());
     }
 
     #[test]

@@ -333,12 +333,25 @@ impl Message {
 
 // ---- the state machine ----
 
-/// Per-`(origin, seq)` slot state.
+/// Per-origin cap on *undelivered* slots retained. A Byzantine member
+/// can sign envelopes for unlimited fresh `seq` values under its own
+/// id (it cannot forge another origin's envelope signature), each of
+/// which would otherwise allocate slot state forever; beyond this
+/// window its messages are dropped and counted. Honest traffic keeps
+/// at most a handful of broadcasts in flight, far below the window.
+const SLOT_WINDOW: usize = 64;
+
+/// Per-`(origin, seq)` slot state. After delivery the vote tallies
+/// are compacted away (see [`BrbState::try_deliver`]); what remains —
+/// the accepted envelope and this node's own votes — is exactly what
+/// anti-entropy re-announcement needs, so slot memory stops growing
+/// the moment the slot's job is done.
 #[derive(Debug, Default)]
 struct Slot {
-    /// The envelope this node first accepted (first valid Send wins;
-    /// Echo/Ready for other digests still tally, but this is what the
-    /// node votes for and ultimately delivers).
+    /// The envelope this node first accepted (first valid Send from
+    /// the origin wins; Echo/Ready for other digests still tally, but
+    /// this is what the node votes for). Set to the delivered
+    /// envelope at delivery even if no Send ever arrived here.
     accepted: Option<OpEnvelope>,
     /// Who echoed which digest.
     echoes: BTreeMap<OpDigest, BTreeSet<NodeId>>,
@@ -347,8 +360,11 @@ struct Slot {
     /// Envelopes seen for digests (from any phase), so delivery can
     /// reconstruct the op even if the Send never arrived here.
     seen: BTreeMap<OpDigest, OpEnvelope>,
-    echoed: bool,
-    readied: bool,
+    /// The Echo this node fanned out, retransmittable during
+    /// anti-entropy and on replayed/relayed Sends.
+    our_echo: Option<OpEnvelope>,
+    /// The Ready this node fanned out, likewise retransmittable.
+    our_ready: Option<OpEnvelope>,
     delivered: bool,
 }
 
@@ -364,6 +380,9 @@ pub struct BrbCounters {
     pub equivocations: u64,
     /// Redundant messages (duplicate votes, replayed sends).
     pub duplicates: u64,
+    /// Messages dropped by the per-origin undelivered-slot window or
+    /// the per-slot digest cap (Byzantine flood defense).
+    pub rejected_bounds: u64,
     /// Ops delivered.
     pub delivered: u64,
 }
@@ -376,6 +395,8 @@ pub struct BrbState {
     membership: Membership,
     next_seq: u64,
     slots: BTreeMap<(NodeId, u64), Slot>,
+    /// Undelivered-slot count per origin, enforcing [`SLOT_WINDOW`].
+    undelivered: BTreeMap<NodeId, usize>,
     /// Everything this node has origin'd or accepted as a Send —
     /// retransmitted verbatim during anti-entropy so quorums can
     /// re-form after a partition heals.
@@ -401,6 +422,7 @@ impl BrbState {
             membership,
             next_seq: 0,
             slots: BTreeMap::new(),
+            undelivered: BTreeMap::new(),
             known_sends: BTreeMap::new(),
             counters: BrbCounters::default(),
         }
@@ -444,15 +466,32 @@ impl BrbState {
         }
     }
 
-    /// Retransmit every known Send — the anti-entropy pass a healed
-    /// partition runs. Receivers treat a replayed Send idempotently
-    /// but re-announce their Echo/Ready votes for it, letting a quorum
-    /// assemble for nodes that missed the original exchange.
+    /// Retransmit every known Send *and this node's own Echo/Ready
+    /// votes* — the anti-entropy pass a healed partition runs.
+    /// Receivers treat a replayed Send idempotently but re-announce
+    /// their votes for it; retransmitting our votes directly as well
+    /// means a node that missed the original exchange can assemble a
+    /// quorum even when the op's origin has crashed and will never
+    /// retransmit its Send (totality does not depend on the origin
+    /// surviving).
     pub fn anti_entropy(&mut self, signer: &dyn OpSigner) -> Step {
-        let sends: Vec<OpEnvelope> = self.known_sends.values().cloned().collect();
+        let mut payloads: Vec<Payload> = self
+            .known_sends
+            .values()
+            .cloned()
+            .map(Payload::Send)
+            .collect();
+        for slot in self.slots.values() {
+            if let Some(env) = &slot.our_echo {
+                payloads.push(Payload::Echo(env.clone()));
+            }
+            if let Some(env) = &slot.our_ready {
+                payloads.push(Payload::Ready(env.clone()));
+            }
+        }
         let mut out = Vec::new();
-        for env in sends {
-            out.extend(self.fanout(Payload::Send(env), signer));
+        for p in payloads {
+            out.extend(self.fanout(p, signer));
         }
         Step {
             outgoing: out,
@@ -468,49 +507,85 @@ impl BrbState {
             self.counters.rejected_sigs += 1;
             return step;
         }
-        self.counters.accepted += 1;
 
         let env = msg.payload.envelope().clone();
         let key = (env.origin, env.seq);
         let digest = env.digest();
-        let slot = self.slots.entry(key).or_default();
+
+        // Opening a new slot is bounded per origin: a Byzantine member
+        // cannot allocate state for unlimited fresh seqs. (It can only
+        // flood its *own* origin's window — envelopes for any other
+        // origin need that origin's signature, checked above.)
+        if !self.slots.contains_key(&key) {
+            let active = self.undelivered.get(&env.origin).copied().unwrap_or(0);
+            if active >= SLOT_WINDOW {
+                self.counters.rejected_bounds += 1;
+                return step;
+            }
+            self.undelivered.insert(env.origin, active + 1);
+            self.slots.insert(key, Slot::default());
+        }
+        self.counters.accepted += 1;
+
+        let digest_cap = self.membership.n();
+        let slot = self.slots.get_mut(&key).expect("slot just ensured");
+
+        // A delivered slot's tallies are gone; the only remaining duty
+        // is re-announcing our votes when a (replayed or relayed) Send
+        // asks for them, so vote maps can never regrow.
+        if slot.delivered {
+            self.counters.duplicates += 1;
+            if matches!(msg.payload, Payload::Send(_)) {
+                step.outgoing.extend(self.reannounce(key, &digest, signer));
+            }
+            return step;
+        }
+
+        // Bound distinct digests tracked per slot: honest operation
+        // produces one (two under an equivocating origin); each costs
+        // an envelope copy, so beyond `n` it can only be vote
+        // stuffing by a member spraying self-signed variants.
+        if !slot.seen.contains_key(&digest) && slot.seen.len() >= digest_cap {
+            self.counters.rejected_bounds += 1;
+            return step;
+        }
         slot.seen.entry(digest).or_insert_with(|| env.clone());
 
         match &msg.payload {
             Payload::Send(_) => {
-                // Only the origin's own link carries authority to open
-                // a slot; a relayed Send still counts via Echo/Ready.
-                if msg.from != env.origin {
-                    self.counters.duplicates += 1;
-                    return step;
-                }
                 match &slot.accepted {
                     Some(acc) if acc.digest() != digest => {
+                        // A validly origin-signed conflicting envelope
+                        // for an accepted slot — whether carried by
+                        // the origin or a relay — is proof the origin
+                        // equivocated. First valid Send wins.
                         self.counters.equivocations += 1;
-                        return step; // first valid Send wins
-                    }
-                    Some(_) => {
-                        self.counters.duplicates += 1;
-                        // Replayed Send: re-announce our votes so a
-                        // healed partition can rebuild the quorum.
-                        let mut reannounce = Vec::new();
-                        if slot.echoed {
-                            reannounce.push(Payload::Echo(env.clone()));
-                        }
-                        if slot.readied {
-                            reannounce.push(Payload::Ready(env.clone()));
-                        }
-                        for p in reannounce {
-                            step.outgoing.extend(self.fanout(p, signer));
-                        }
                         return step;
                     }
-                    None => {
+                    Some(_) => {
+                        // Replayed or relayed Send for the envelope we
+                        // hold: re-announce our votes so a healed
+                        // partition can rebuild the quorum.
+                        self.counters.duplicates += 1;
+                        step.outgoing.extend(self.reannounce(key, &digest, signer));
+                        return step;
+                    }
+                    None if msg.from == env.origin => {
                         slot.accepted = Some(env.clone());
-                        slot.echoed = true;
+                        slot.our_echo = Some(env.clone());
                         self.known_sends.insert(key, env.clone());
                         step.outgoing
                             .extend(self.fanout(Payload::Echo(env), signer));
+                    }
+                    None => {
+                        // Relayed Send for a slot we never accepted:
+                        // only the origin's own link opens a slot
+                        // (acceptance stays origin-gated), but any
+                        // votes we do hold — e.g. a Ready reached via
+                        // amplification — are still re-announced.
+                        self.counters.duplicates += 1;
+                        step.outgoing.extend(self.reannounce(key, &digest, signer));
+                        return step;
                     }
                 }
             }
@@ -536,13 +611,48 @@ impl BrbState {
         step
     }
 
+    /// Resend this node's Echo/Ready votes matching `digest` for
+    /// `key` — the answer to a replayed *or relayed* Send during
+    /// anti-entropy. Relayed Sends carry the origin's envelope
+    /// signature, so answering them is safe, and it means a node that
+    /// missed the original exchange can still collect a quorum after
+    /// the origin itself has crashed.
+    fn reannounce(
+        &self,
+        key: (NodeId, u64),
+        digest: &OpDigest,
+        signer: &dyn OpSigner,
+    ) -> Vec<(NodeId, Message)> {
+        let Some(slot) = self.slots.get(&key) else {
+            return Vec::new();
+        };
+        let mut payloads = Vec::new();
+        if let Some(env) = &slot.our_echo {
+            if env.digest() == *digest {
+                payloads.push(Payload::Echo(env.clone()));
+            }
+        }
+        if let Some(env) = &slot.our_ready {
+            if env.digest() == *digest {
+                payloads.push(Payload::Ready(env.clone()));
+            }
+        }
+        let mut out = Vec::new();
+        for p in payloads {
+            out.extend(self.fanout(p, signer));
+        }
+        out
+    }
+
     /// Phase transitions for a slot after a new vote landed: echo
     /// quorum → Ready, ready amplification → Ready.
     fn advance(&mut self, key: (NodeId, u64), signer: &dyn OpSigner) -> Vec<(NodeId, Message)> {
         let echo_q = self.membership.echo_quorum();
         let amplify = self.membership.ready_amplify();
-        let slot = self.slots.entry(key).or_default();
-        if slot.readied {
+        let Some(slot) = self.slots.get_mut(&key) else {
+            return Vec::new();
+        };
+        if slot.our_ready.is_some() {
             return Vec::new();
         }
         let ready_for = slot
@@ -561,12 +671,17 @@ impl BrbState {
         let Some(env) = slot.seen.get(&digest).cloned() else {
             return Vec::new();
         };
-        slot.readied = true;
+        slot.our_ready = Some(env.clone());
         self.known_sends.entry(key).or_insert_with(|| env.clone());
         self.fanout(Payload::Ready(env), signer)
     }
 
-    /// Deliver once `2f + 1` readies agree on one digest.
+    /// Deliver once `2f + 1` readies agree on one digest, then compact
+    /// the slot: the vote tallies have done their job, so they (and
+    /// the per-digest envelope copies) are dropped. What stays — the
+    /// delivered envelope as `accepted`, plus this node's own votes —
+    /// is exactly what anti-entropy re-announcement needs, and the
+    /// origin's undelivered-window slot is released.
     fn try_deliver(&mut self, key: (NodeId, u64)) -> Option<OpEnvelope> {
         let quorum = self.membership.deliver_quorum();
         let slot = self.slots.get_mut(&key)?;
@@ -580,6 +695,14 @@ impl BrbState {
             .map(|(d, _)| *d)?;
         let env = slot.seen.get(&digest)?.clone();
         slot.delivered = true;
+        slot.echoes.clear();
+        slot.readies.clear();
+        slot.seen.clear();
+        slot.accepted = Some(env.clone());
+        self.known_sends.insert(key, env.clone());
+        if let Some(active) = self.undelivered.get_mut(&key.0) {
+            *active = active.saturating_sub(1);
+        }
         Some(env)
     }
 }
@@ -695,6 +818,109 @@ mod tests {
             states.iter().any(|s| s.counters().equivocations > 0),
             "the conflicting Send must be observed somewhere"
         );
+    }
+
+    #[test]
+    fn survivors_votes_deliver_to_a_healed_node_after_the_origin_crashes() {
+        // REVIEW finding 2: origin 0 broadcasts while node 3 is
+        // partitioned, then crashes for good. Totality must not
+        // depend on the origin retransmitting its Send — the
+        // surviving voters' anti-entropy re-announces their own
+        // Echo/Ready, and node 3 assembles a quorum from those.
+        let (mut states, signers) = cluster(4);
+        let first = states[0].broadcast(op(1), &signers[0]);
+        let mut queue: Vec<(NodeId, Message)> = first.outgoing;
+        let mut delivered: Vec<Vec<OpEnvelope>> = vec![Vec::new(); 4];
+        while let Some((to, msg)) = queue.pop() {
+            if to == 3 {
+                continue; // partitioned
+            }
+            let step = states[to as usize].handle(&msg, &signers[to as usize]);
+            queue.extend(step.outgoing);
+            delivered[to as usize].extend(step.delivered);
+        }
+        for (i, d) in delivered.iter().take(3).enumerate() {
+            assert_eq!(d.len(), 1, "majority node {i} must deliver");
+        }
+        assert!(delivered[3].is_empty());
+        // Origin 0 crashes: it transmits nothing more and its inbox
+        // is discarded. Only survivors 1 and 2 run anti-entropy.
+        for i in [1usize, 2] {
+            let step = states[i].anti_entropy(&signers[i]);
+            queue.extend(step.outgoing);
+        }
+        while let Some((to, msg)) = queue.pop() {
+            if to == 0 {
+                continue; // crashed
+            }
+            let step = states[to as usize].handle(&msg, &signers[to as usize]);
+            queue.extend(step.outgoing);
+            delivered[to as usize].extend(step.delivered);
+        }
+        assert_eq!(
+            delivered[3].len(),
+            1,
+            "healed node must deliver from survivors' votes alone"
+        );
+        assert_eq!(delivered[3][0].op, op(1));
+    }
+
+    #[test]
+    fn byzantine_seq_flood_is_bounded_per_origin() {
+        // REVIEW finding 3: a member spraying validly-signed votes
+        // for unlimited fresh seqs of its own origin must not
+        // allocate unbounded slot state.
+        let (mut states, signers) = cluster(4);
+        let flood = 10 * SLOT_WINDOW as u64;
+        for seq in 0..flood {
+            let env = OpEnvelope::sign(3, seq, op(seq), &signers[3]);
+            let msg = Message::sign(3, Payload::Echo(env), &signers[3]);
+            let step = states[0].handle(&msg, &signers[0]);
+            assert!(step.delivered.is_empty());
+        }
+        assert_eq!(
+            states[0].slots.len(),
+            SLOT_WINDOW,
+            "slot state must stop growing at the per-origin window"
+        );
+        assert_eq!(
+            states[0].counters().rejected_bounds,
+            flood - SLOT_WINDOW as u64
+        );
+    }
+
+    #[test]
+    fn digest_spray_within_one_slot_is_bounded() {
+        // One slot, many distinct self-signed envelope variants: the
+        // per-slot digest cap (= n) bounds the envelope copies held.
+        let (mut states, signers) = cluster(4);
+        for variant in 0..32u64 {
+            let env = OpEnvelope::sign(3, 0, op(variant), &signers[3]);
+            let msg = Message::sign(3, Payload::Echo(env), &signers[3]);
+            states[0].handle(&msg, &signers[0]);
+        }
+        let slot = states[0].slots.get(&(3, 0)).expect("slot exists");
+        assert_eq!(slot.seen.len(), 4, "digest cap must hold at n");
+        assert!(states[0].counters().rejected_bounds >= 28);
+    }
+
+    #[test]
+    fn delivery_compacts_slot_tallies_and_frees_the_window() {
+        let (mut states, signers) = cluster(4);
+        let first = states[0].broadcast(op(1), &signers[0]);
+        let delivered = pump(&mut states, &signers, first);
+        assert_eq!(delivered[1].len(), 1);
+        let slot = states[1].slots.get(&(0, 0)).expect("slot retained");
+        assert!(slot.delivered);
+        assert!(
+            slot.echoes.is_empty() && slot.readies.is_empty() && slot.seen.is_empty(),
+            "vote tallies must be compacted after delivery"
+        );
+        assert!(
+            slot.accepted.is_some(),
+            "re-announce still needs the envelope"
+        );
+        assert_eq!(states[1].undelivered.get(&0).copied().unwrap_or(0), 0);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! network lets a quorum through. All schedules are seeded — every
 //! assertion message prints the seed that replays it.
 
+use nexus_core::ResourceId;
 use nexus_dist::{Cluster, Partition, SimConfig};
+use nexus_nal::{parse, Principal};
 
 /// Clusters that must tolerate one Byzantine member need n >= 4
 /// (f = (n-1)/3 >= 1); we use 5 to keep quorums honest-majority even
@@ -90,6 +92,183 @@ fn equivocation_never_splits_honest_state() {
             .map(|i| cluster.node(i).stats().brb.equivocations)
             .sum();
         assert!(observed > 0, "equivocation went unobserved: seed={seed}");
+    }
+}
+
+#[test]
+fn shared_dot_attack_converges_and_never_splits_authorization() {
+    // REVIEW finding 1: a Byzantine member signs two mints of
+    // different labels sharing one dot, plus a revoke of one of them,
+    // all racing through the network. Replicas apply the three ops in
+    // schedule-dependent orders; keyed tombstones must make every
+    // order converge — the revoked label dead everywhere, the
+    // dot-sharing label alive (and authorizing) everywhere.
+    for seed in [9u64, 41, 137, 2718] {
+        let mut cluster = Cluster::with_config(BYZ_N, SimConfig::lossy(seed, 0, 10, 6));
+        let object = ResourceId::new("bench", "shared-dot");
+        cluster.install_goal(&object, "op", "CA says ok");
+        let (revoked, survivor) = cluster.inject_shared_dot_attack(4, "alice", "bob");
+        assert!(
+            cluster.run_until_converged(16),
+            "shared-dot schedule diverged: seed={seed}"
+        );
+        for i in 0..BYZ_N as u32 {
+            assert!(
+                !cluster.has_label(i, &revoked),
+                "revoked label alive at node {i}: seed={seed}"
+            );
+            assert!(
+                cluster.has_label(i, &survivor),
+                "dot-sharing label suppressed at node {i}: seed={seed}"
+            );
+            assert!(
+                !cluster.authorize(i, "alice", "op", &object),
+                "revoked credential authorized at node {i}: seed={seed}"
+            );
+            assert!(
+                cluster.authorize(i, "bob", "op", &object),
+                "surviving credential denied at node {i}: seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn foreign_dot_mint_is_rejected_on_every_honest_node() {
+    // A Byzantine member mints with a dot in a victim's actor
+    // namespace. The broadcast layer delivers it (the envelope is
+    // genuinely signed by the attacker), but the application layer
+    // rejects the origin-unbound dot everywhere — and the victim's
+    // own future mint with that same counter is unaffected.
+    for seed in [12u64, 55] {
+        let mut cluster = Cluster::new(BYZ_N, seed);
+        // Node 4 pre-collides with victim node 1's first dot (1, 1).
+        let foreign = cluster.inject_foreign_dot_mint(4, 1, 1, "mallory");
+        cluster.run_to_quiescence(usize::MAX);
+        for i in 0..BYZ_N as u32 {
+            let stats = cluster.node(i).stats();
+            assert!(
+                !cluster.has_label(i, &foreign),
+                "foreign-dot label visible at node {i}: seed={seed}"
+            );
+            assert_eq!(
+                stats.rejected_ops, 1,
+                "origin-unbound mint not rejected at node {i}: seed={seed}"
+            );
+            assert_eq!(
+                cluster.nexus(i).dist_stats().remote_mints,
+                0,
+                "foreign-dot op reached a kernel at node {i}: seed={seed}"
+            );
+        }
+        // The victim's honest mint under its own (1, 1) dot works and
+        // a revoke of it cannot be confused with the rejected op.
+        let honest = cluster.mint(1, "alice", "CA", "ok");
+        assert!(cluster.run_until_converged(4), "honest mint: seed={seed}");
+        for i in 0..BYZ_N as u32 {
+            assert!(
+                cluster.has_label(i, &honest),
+                "victim's honest mint missing at node {i}: seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crashed_origin_cannot_block_totality_after_partition_heals() {
+    // REVIEW finding 2: the origin broadcasts while node 4 is
+    // partitioned, every other node delivers, then the origin
+    // crashes. The healed node must still deliver — survivors'
+    // anti-entropy re-announces their own Echo/Ready votes, so
+    // totality does not depend on the origin retransmitting.
+    for seed in [8u64, 21] {
+        let mut cfg = SimConfig::perfect(seed);
+        // Node 4 is cut off until tick 300; from tick 300 the origin
+        // (node 0) is cut off forever — a network-level crash, so its
+        // re-announcements can never reach the healed node.
+        cfg.partitions = vec![
+            Partition::new(&[4], 0, 300),
+            Partition::new(&[0], 300, u64::MAX),
+        ];
+        let mut cluster = Cluster::with_config(BYZ_N, cfg);
+        let rec = cluster.mint(0, "alice", "CA", "ok");
+        cluster.run_to_quiescence(usize::MAX);
+        for i in 0..4u32 {
+            assert!(
+                cluster.has_label(i, &rec),
+                "majority node {i} must deliver: seed={seed}"
+            );
+        }
+        assert!(
+            !cluster.has_label(4, &rec),
+            "partitioned node delivered without quorum: seed={seed}"
+        );
+        // Origin 0 crashes for good; only the survivors retransmit.
+        let mut rounds = 0;
+        while !cluster.has_label(4, &rec) {
+            assert!(
+                rounds < 64,
+                "healed node never delivered without the origin: seed={seed}"
+            );
+            cluster.anti_entropy_without(0);
+            cluster.run_to_quiescence(usize::MAX);
+            rounds += 1;
+        }
+        assert_eq!(
+            cluster.node(4).stats().applied_mints,
+            1,
+            "healed node's kernel must see the mint: seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn remote_revocation_deletes_the_replicated_handle_not_a_local_twin() {
+    // REVIEW finding 4: a subject holds a locally-granted label and
+    // an identically-worded replicated one. The replicated layer
+    // tracks the handle it minted, so a delivered revocation removes
+    // exactly that handle — the node-local credential survives and
+    // keeps authorizing on that node only.
+    let seed = 77u64;
+    let mut cluster = Cluster::new(3, seed);
+    let object = ResourceId::new("bench", "local-twin");
+    cluster.install_goal(&object, "op", "CA says ok");
+    // Node 1 grants alice the label locally FIRST, so the local twin
+    // gets the lower handle — the case content-based resolution got
+    // wrong (lowest handle wins).
+    let pid = cluster.node_mut(1).subject_pid("alice");
+    cluster
+        .nexus(1)
+        .kernel_label(pid, Principal::name("CA"), parse("ok").unwrap())
+        .expect("local grant");
+    let rec = cluster.mint(0, "alice", "CA", "ok");
+    assert!(cluster.run_until_converged(4), "mint: seed={seed}");
+    assert!(
+        cluster.revoke(0, &rec),
+        "origin must see the record: seed={seed}"
+    );
+    assert!(cluster.run_until_converged(4), "revoke: seed={seed}");
+    for i in 0..3u32 {
+        assert!(
+            !cluster.has_label(i, &rec),
+            "replicated label alive at node {i}: seed={seed}"
+        );
+        assert_eq!(
+            cluster.node(i).stats().apply_errors,
+            0,
+            "apply error at node {i}: seed={seed}"
+        );
+    }
+    // The locally-granted credential survives on node 1 alone.
+    assert!(
+        cluster.authorize(1, "alice", "op", &object),
+        "local credential must survive the remote revocation: seed={seed}"
+    );
+    for i in [0u32, 2] {
+        assert!(
+            !cluster.authorize(i, "alice", "op", &object),
+            "node {i} has no local grant and must deny: seed={seed}"
+        );
     }
 }
 
